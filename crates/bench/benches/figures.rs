@@ -1,0 +1,64 @@
+//! One Criterion bench per paper table/figure: each times a
+//! scaled-down regeneration of that experiment (the full-budget runs
+//! live in the `repro` binary; `repro --all` prints the actual rows).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pfm_sim::{experiments, RunConfig};
+use std::time::Duration;
+
+fn tiny() -> RunConfig {
+    let mut rc = RunConfig::paper_scale();
+    rc.max_instrs = 15_000;
+    rc
+}
+
+macro_rules! fig_bench {
+    ($fn_name:ident, $exp:path, $id:literal) => {
+        fn $fn_name(c: &mut Criterion) {
+            let mut g = c.benchmark_group("figures");
+            g.sample_size(10);
+            g.warm_up_time(Duration::from_millis(300));
+            g.measurement_time(Duration::from_secs(2));
+            let rc = tiny();
+            g.bench_function($id, |b| b.iter(|| $exp(&rc).rows.len()));
+            g.finish();
+        }
+    };
+}
+
+fig_bench!(bench_fig2, experiments::fig2, "fig02_slipstream_vs_pfm");
+fig_bench!(bench_fig8, experiments::fig8, "fig08_astar_clk_w");
+fig_bench!(bench_table2, experiments::table2, "table2_astar_snoop");
+fig_bench!(bench_fig9, experiments::fig9, "fig09_astar_dqp");
+fig_bench!(bench_fig10, experiments::fig10, "fig10_astar_scope");
+fig_bench!(bench_fig12, experiments::fig12, "fig12_bfs_oracles_clk_w");
+fig_bench!(bench_table3, experiments::table3, "table3_bfs_snoop");
+fig_bench!(bench_fig13, experiments::fig13, "fig13_bfs_dqp");
+fig_bench!(bench_fig14, experiments::fig14, "fig14_bfs_window");
+fig_bench!(bench_fig17, experiments::fig17, "fig17_prefetchers");
+fig_bench!(bench_fig18, experiments::fig18, "fig18_energy");
+fig_bench!(bench_ablations, experiments::ablations, "ablations_design_choices");
+
+fn bench_table4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.bench_function("table4_fpga_estimates", |b| b.iter(|| experiments::table4().rows.len()));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig2,
+    bench_fig8,
+    bench_table2,
+    bench_fig9,
+    bench_fig10,
+    bench_fig12,
+    bench_table3,
+    bench_fig13,
+    bench_fig14,
+    bench_fig17,
+    bench_table4,
+    bench_fig18,
+    bench_ablations
+);
+criterion_main!(benches);

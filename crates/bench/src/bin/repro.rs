@@ -1,0 +1,51 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro --all                # everything, paper order
+//! repro fig8 table2 fig18    # a subset
+//! repro --quick fig12        # smaller instruction budget
+//! ```
+
+use pfm_sim::experiments;
+use pfm_sim::RunConfig;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let all = args.is_empty() || args.iter().any(|a| a == "--all");
+    let ids: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+
+    let mut rc = RunConfig::paper_scale();
+    if quick {
+        rc.max_instrs = 300_000;
+    }
+
+    let menu: Vec<(&str, fn(&RunConfig) -> experiments::Experiment)> = vec![
+        ("fig2", experiments::fig2),
+        ("fig8", experiments::fig8),
+        ("table2", experiments::table2),
+        ("fig9", experiments::fig9),
+        ("fig10", experiments::fig10),
+        ("fig12", experiments::fig12),
+        ("table3", experiments::table3),
+        ("fig13", experiments::fig13),
+        ("fig14", experiments::fig14),
+        ("fig17", experiments::fig17),
+        ("table4", |_| experiments::table4()),
+        ("fig18", experiments::fig18),
+        ("ablations", experiments::ablations),
+    ];
+
+    let total = Instant::now();
+    for (id, f) in menu {
+        if !all && !ids.contains(&id) {
+            continue;
+        }
+        let t = Instant::now();
+        let exp = f(&rc);
+        println!("{}", exp.render());
+        println!("   [{} regenerated in {:.1}s]\n", id, t.elapsed().as_secs_f64());
+    }
+    println!("total: {:.1}s", total.elapsed().as_secs_f64());
+}

@@ -1,0 +1,11 @@
+//! # pfm-bench — benchmark harness
+//!
+//! Two halves:
+//!
+//! * the `repro` binary regenerates every table and figure of the
+//!   paper's evaluation (`repro --all`, or `repro fig8 table2 ...`);
+//! * the Criterion benches (`cargo bench`) measure the simulator's own
+//!   performance (predictor, cache, core and fabric throughput) and
+//!   time scaled-down versions of each experiment.
+
+pub use pfm_sim::experiments;

@@ -1,0 +1,183 @@
+//! A unified front over the conditional predictors so the core can be
+//! configured with any of them (TAGE-SC-L baseline, simple baselines,
+//! or an oracle for perfect-BP experiments).
+
+use crate::simple::{Bimodal, Gshare, GshareCheckpoint, GshareMeta};
+use crate::tagescl::{TageScl, TageSclCheckpoint, TageSclMeta};
+
+/// Which conditional predictor to instantiate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PredictorKind {
+    /// 64 KB TAGE-SC-L (the paper's baseline).
+    TageScl,
+    /// gshare.
+    Gshare,
+    /// Bimodal.
+    Bimodal,
+    /// Oracle: always correct (perfect branch prediction). The core
+    /// substitutes the actual outcome.
+    Perfect,
+}
+
+/// Per-prediction metadata (paired with the later `train` call).
+#[derive(Clone, Debug)]
+pub enum Prediction {
+    /// TAGE-SC-L metadata.
+    TageScl(TageSclMeta),
+    /// gshare metadata.
+    Gshare(GshareMeta),
+    /// Bimodal metadata.
+    Bimodal {
+        /// The prediction made.
+        taken: bool,
+    },
+    /// Oracle (no metadata).
+    Perfect {
+        /// The (always correct) prediction.
+        taken: bool,
+    },
+}
+
+impl Prediction {
+    /// The predicted direction.
+    pub fn taken(&self) -> bool {
+        match self {
+            Prediction::TageScl(m) => m.taken,
+            Prediction::Gshare(m) => m.taken,
+            Prediction::Bimodal { taken } | Prediction::Perfect { taken } => *taken,
+        }
+    }
+}
+
+/// Speculative-history checkpoint for the unified predictor.
+#[derive(Clone, Debug)]
+pub enum Checkpoint {
+    /// TAGE-SC-L checkpoint.
+    TageScl(TageSclCheckpoint),
+    /// gshare checkpoint.
+    Gshare(GshareCheckpoint),
+    /// No speculative state.
+    None,
+}
+
+/// The unified conditional branch predictor.
+#[derive(Clone, Debug)]
+pub enum Predictor {
+    /// 64 KB TAGE-SC-L.
+    TageScl(Box<TageScl>),
+    /// gshare.
+    Gshare(Gshare),
+    /// Bimodal.
+    Bimodal(Bimodal),
+    /// Oracle.
+    Perfect,
+}
+
+impl Predictor {
+    /// Instantiates the requested predictor.
+    pub fn new(kind: PredictorKind) -> Predictor {
+        match kind {
+            PredictorKind::TageScl => Predictor::TageScl(Box::new(TageScl::new())),
+            PredictorKind::Gshare => Predictor::Gshare(Gshare::default()),
+            PredictorKind::Bimodal => Predictor::Bimodal(Bimodal::default()),
+            PredictorKind::Perfect => Predictor::Perfect,
+        }
+    }
+
+    /// Predicts the conditional branch at `pc`. For the oracle, the
+    /// caller passes the actual outcome in `oracle_outcome`.
+    pub fn predict(&mut self, pc: u64, oracle_outcome: bool) -> Prediction {
+        match self {
+            Predictor::TageScl(p) => Prediction::TageScl(p.predict(pc)),
+            Predictor::Gshare(p) => Prediction::Gshare(p.predict(pc)),
+            Predictor::Bimodal(p) => Prediction::Bimodal { taken: p.predict(pc) },
+            Predictor::Perfect => Prediction::Perfect { taken: oracle_outcome },
+        }
+    }
+
+    /// Snapshots speculative history before a branch.
+    pub fn checkpoint(&self) -> Checkpoint {
+        match self {
+            Predictor::TageScl(p) => Checkpoint::TageScl(p.checkpoint()),
+            Predictor::Gshare(p) => Checkpoint::Gshare(p.checkpoint()),
+            Predictor::Bimodal(_) | Predictor::Perfect => Checkpoint::None,
+        }
+    }
+
+    /// Restores speculative history to `cp` without pushing an outcome
+    /// (squash at a non-branch boundary).
+    pub fn restore(&mut self, cp: &Checkpoint) {
+        match (self, cp) {
+            (Predictor::TageScl(p), Checkpoint::TageScl(c)) => p.restore(c),
+            (Predictor::Gshare(p), Checkpoint::Gshare(c)) => p.restore(c),
+            _ => {}
+        }
+    }
+
+    /// Recovers from a misprediction: restores `cp` and pushes the
+    /// actual outcome.
+    pub fn recover(&mut self, cp: &Checkpoint, actual: bool) {
+        match (self, cp) {
+            (Predictor::TageScl(p), Checkpoint::TageScl(c)) => p.recover(c, actual),
+            (Predictor::Gshare(p), Checkpoint::Gshare(c)) => p.recover(c, actual),
+            _ => {}
+        }
+    }
+
+    /// Trains at retirement with the actual outcome.
+    pub fn train(&mut self, pc: u64, taken: bool, pred: &Prediction) {
+        match (self, pred) {
+            (Predictor::TageScl(p), Prediction::TageScl(m)) => p.train(pc, taken, m),
+            (Predictor::Gshare(p), Prediction::Gshare(m)) => p.train(taken, m),
+            (Predictor::Bimodal(p), _) => p.train(pc, taken),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_construct_and_predict() {
+        for kind in [PredictorKind::TageScl, PredictorKind::Gshare, PredictorKind::Bimodal, PredictorKind::Perfect] {
+            let mut p = Predictor::new(kind);
+            let cp = p.checkpoint();
+            let pred = p.predict(0x1000, true);
+            p.train(0x1000, true, &pred);
+            p.recover(&cp, true);
+        }
+    }
+
+    #[test]
+    fn perfect_is_always_right() {
+        let mut p = Predictor::new(PredictorKind::Perfect);
+        for i in 0..100 {
+            let truth = (i * 7) % 3 == 0;
+            assert_eq!(p.predict(0x2000, truth).taken(), truth);
+        }
+    }
+
+    #[test]
+    fn tagescl_beats_bimodal_on_history_pattern() {
+        let mut tage = Predictor::new(PredictorKind::TageScl);
+        let mut bim = Predictor::new(PredictorKind::Bimodal);
+        let mut tage_ok = 0;
+        let mut bim_ok = 0;
+        for i in 0..3000 {
+            let truth = (i / 3) % 2 == 0; // period-6 pattern
+            let pt = tage.predict(0x3000, truth);
+            if pt.taken() == truth {
+                tage_ok += 1;
+            }
+            tage.train(0x3000, truth, &pt);
+            let pb = bim.predict(0x3000, truth);
+            if pb.taken() == truth {
+                bim_ok += 1;
+            }
+            bim.train(0x3000, truth, &pb);
+        }
+        assert!(tage_ok > bim_ok, "tage {tage_ok} vs bimodal {bim_ok}");
+    }
+}

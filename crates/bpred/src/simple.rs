@@ -1,0 +1,168 @@
+//! Simple baseline conditional predictors: bimodal and gshare.
+
+/// A bimodal (per-PC 2-bit counter) predictor.
+#[derive(Clone, Debug)]
+pub struct Bimodal {
+    ctrs: Vec<i8>,
+    mask: u64,
+}
+
+impl Bimodal {
+    /// Creates a predictor with `1 << log_entries` counters.
+    pub fn new(log_entries: u32) -> Bimodal {
+        Bimodal { ctrs: vec![0; 1 << log_entries], mask: (1 << log_entries) - 1 }
+    }
+
+    #[inline]
+    fn idx(&self, pc: u64) -> usize {
+        ((pc >> 2) & self.mask) as usize
+    }
+
+    /// Predicts the branch at `pc`.
+    pub fn predict(&self, pc: u64) -> bool {
+        self.ctrs[self.idx(pc)] >= 0
+    }
+
+    /// Trains with the actual outcome.
+    pub fn train(&mut self, pc: u64, taken: bool) {
+        let i = self.idx(pc);
+        let c = &mut self.ctrs[i];
+        *c = if taken { (*c + 1).min(1) } else { (*c - 1).max(-2) };
+    }
+}
+
+impl Default for Bimodal {
+    fn default() -> Bimodal {
+        Bimodal::new(14)
+    }
+}
+
+/// A gshare predictor (global history XOR PC indexing).
+#[derive(Clone, Debug)]
+pub struct Gshare {
+    ctrs: Vec<i8>,
+    mask: u64,
+    hist_bits: u32,
+    /// Speculative global history (youngest bit in LSB).
+    hist: u64,
+}
+
+/// Checkpoint of gshare's speculative history.
+#[derive(Clone, Copy, Debug)]
+pub struct GshareCheckpoint {
+    hist: u64,
+}
+
+/// Per-prediction metadata for gshare training.
+#[derive(Clone, Copy, Debug)]
+pub struct GshareMeta {
+    idx: usize,
+    /// The prediction made.
+    pub taken: bool,
+}
+
+impl Gshare {
+    /// Creates a predictor with `1 << log_entries` counters and
+    /// `hist_bits` bits of global history.
+    pub fn new(log_entries: u32, hist_bits: u32) -> Gshare {
+        Gshare { ctrs: vec![0; 1 << log_entries], mask: (1 << log_entries) - 1, hist_bits, hist: 0 }
+    }
+
+    /// Predicts the branch at `pc`, speculatively updating history.
+    pub fn predict(&mut self, pc: u64) -> GshareMeta {
+        let h = self.hist & ((1u64 << self.hist_bits) - 1);
+        let idx = (((pc >> 2) ^ h) & self.mask) as usize;
+        let taken = self.ctrs[idx] >= 0;
+        self.hist = (self.hist << 1) | taken as u64;
+        GshareMeta { idx, taken }
+    }
+
+    /// Snapshots speculative history.
+    pub fn checkpoint(&self) -> GshareCheckpoint {
+        GshareCheckpoint { hist: self.hist }
+    }
+
+    /// Restores to `cp` without pushing any outcome.
+    pub fn restore(&mut self, cp: &GshareCheckpoint) {
+        self.hist = cp.hist;
+    }
+
+    /// Restores to `cp` and pushes the actual outcome.
+    pub fn recover(&mut self, cp: &GshareCheckpoint, actual: bool) {
+        self.hist = (cp.hist << 1) | actual as u64;
+    }
+
+    /// Trains with the actual outcome.
+    pub fn train(&mut self, taken: bool, meta: &GshareMeta) {
+        let c = &mut self.ctrs[meta.idx];
+        *c = if taken { (*c + 1).min(1) } else { (*c - 1).max(-2) };
+    }
+}
+
+impl Default for Gshare {
+    fn default() -> Gshare {
+        Gshare::new(14, 12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bimodal_learns_bias() {
+        let mut b = Bimodal::new(10);
+        for _ in 0..4 {
+            b.train(0x100, true);
+        }
+        assert!(b.predict(0x100));
+        for _ in 0..4 {
+            b.train(0x100, false);
+        }
+        assert!(!b.predict(0x100));
+    }
+
+    #[test]
+    fn bimodal_cannot_learn_alternation() {
+        let mut b = Bimodal::new(10);
+        let mut correct = 0;
+        for i in 0..1000 {
+            let truth = i % 2 == 0;
+            if b.predict(0x200) == truth {
+                correct += 1;
+            }
+            b.train(0x200, truth);
+        }
+        assert!(correct < 700, "bimodal should struggle, got {correct}");
+    }
+
+    #[test]
+    fn gshare_learns_alternation() {
+        let mut g = Gshare::new(12, 8);
+        let mut correct = 0;
+        for i in 0..1000 {
+            let truth = i % 2 == 0;
+            let m = g.predict(0x300);
+            if m.taken == truth {
+                correct += 1;
+            } else {
+                let cp = g.checkpoint();
+                // emulate recovery: history must contain actual outcome
+                g.recover(&GshareCheckpoint { hist: cp.hist >> 1 }, truth);
+            }
+            g.train(truth, &m);
+        }
+        assert!(correct > 900, "gshare should learn alternation, got {correct}");
+    }
+
+    #[test]
+    fn gshare_checkpoint_roundtrip() {
+        let mut g = Gshare::new(10, 6);
+        g.predict(0x400);
+        let cp = g.checkpoint();
+        g.predict(0x404);
+        g.predict(0x408);
+        g.recover(&cp, true);
+        assert_eq!(g.hist & 1, 1);
+    }
+}

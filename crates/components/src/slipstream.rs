@@ -1,0 +1,85 @@
+//! A single-core model of **Slipstream 2.0** (Srinivasan et al., ISCA
+//! 2020) pre-execution, used as the comparison point in Figure 2.
+//!
+//! Slipstream's automated branch pre-execution prunes a hard branch's
+//! control-dependent region from a leading thread. As §1.1 of the PFM
+//! paper explains, for astar this means: (1) the *maparp* branch cannot
+//! also be pre-executed because it is skipped over, and (2) the
+//! loop-carried memory dependency through the `waymap` store is
+//! omitted, so a fraction of pre-executed outcomes are wrong.
+//!
+//! Both limitations are exactly what you get by running the PFM astar
+//! component with its index1_CAM store inference disabled and maparp
+//! predictions left to the core predictor — so this module models
+//! slipstream as that restricted configuration (with the paper's two
+//! tailored optimizations: a hardwired pruning decision and local
+//! squashes instead of leading-thread restarts). The bfs analogue
+//! disables the duplicate-neighbor inference and the trip-count
+//! stream.
+
+use crate::astar::AstarConfig;
+use crate::bfs::BfsConfig;
+
+/// Restricts an astar component configuration to what slipstream-style
+/// automated pre-execution can deliver.
+pub fn slipstream_astar(mut cfg: AstarConfig) -> AstarConfig {
+    cfg.store_inference = false;
+    cfg.predict_maparp = false;
+    cfg
+}
+
+/// Restricts a bfs component configuration to slipstream-style
+/// pre-execution of the visited branch only.
+pub fn slipstream_bfs(mut cfg: BfsConfig) -> BfsConfig {
+    cfg.dup_inference = false;
+    cfg.predict_loop = false;
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::astar::NEIGHBORS;
+
+    #[test]
+    fn slipstream_astar_strips_inference_and_maparp() {
+        let base = AstarConfig {
+            fillnum_pc: 0,
+            wl_base_pc: 0,
+            wl_len_pc: 0,
+            induction_pc: 0,
+            waymap_base: 0,
+            maparp_base: 0,
+            offsets: [0; NEIGHBORS],
+            waymap_branch_pcs: [0; NEIGHBORS],
+            maparp_branch_pcs: [0; NEIGHBORS],
+            index_queue_size: 8,
+            store_inference: true,
+            predict_maparp: true,
+            t1_width: 2,
+        };
+        let ss = slipstream_astar(base);
+        assert!(!ss.store_inference);
+        assert!(!ss.predict_maparp);
+    }
+
+    #[test]
+    fn slipstream_bfs_strips_inference_and_loop_preds() {
+        let base = BfsConfig {
+            frontier_base_pc: 0,
+            frontier_len_pc: 0,
+            induction_pc: 0,
+            offsets_base: 0,
+            neighbors_base: 0,
+            properties_base: 0,
+            loop_branch_pc: 0,
+            visited_branch_pc: 0,
+            window_size: 64,
+            dup_inference: true,
+            predict_loop: true,
+        };
+        let ss = slipstream_bfs(base);
+        assert!(!ss.dup_inference);
+        assert!(!ss.predict_loop);
+    }
+}

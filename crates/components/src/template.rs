@@ -1,0 +1,601 @@
+//! A *templated* run-ahead predictor — the paper's §7 future work.
+//!
+//! §7: "the astar and bfs designs presented in this paper follow a
+//! similar strategy. If this could be templated, it suggests a path
+//! toward automation." This module is that first step: a declarative
+//! template for the family of designs that
+//!
+//! 1. walk an input worklist ahead of the core (T0),
+//! 2. fan each element out into a fixed set of derived loads (T1),
+//! 3. convert loaded values into branch predicates (T2), and
+//! 4. infer not-yet-retired stores via a sticky "recently predicted
+//!    entered" search, exactly like astar's index1_CAM and bfs's
+//!    neighbor-window search.
+//!
+//! A compiler (or a tool reading profiles) could emit a
+//! [`TemplateSpec`] instead of hand-writing a component; instantiating
+//! the template for astar's ROI reproduces the hand-built
+//! [`crate::astar::AstarPredictor`]'s prediction stream exactly (see
+//! the tests). Patterns with data-dependent trip counts (bfs's
+//! neighbor loop) need the nested-walk extension, which is why the
+//! dedicated [`crate::bfs::BfsComponent`] still exists.
+
+use pfm_fabric::{CustomComponent, FabricIo, FabricLoad, ObsPacket, PredPacket};
+use std::collections::{HashMap, VecDeque};
+
+/// How a derived lane turns its loaded value into a branch predicate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Predicate {
+    /// Taken iff the loaded value equals the snooped tag (astar's
+    /// `waymap[index1].fillnum != fillnum` visited test).
+    EqualsTag,
+    /// Taken iff the loaded value is non-zero (astar's
+    /// `maparp[index1] == 0` obstacle test).
+    NonZero,
+    /// Taken iff the loaded value, sign-extended, is non-negative
+    /// (bfs-style `parent[v] >= 0` visited test).
+    NonNegative,
+}
+
+impl Predicate {
+    fn eval(self, value: u64, size: u64, tag: u64) -> bool {
+        match self {
+            Predicate::EqualsTag => value == tag,
+            Predicate::NonZero => value != 0,
+            Predicate::NonNegative => {
+                let shift = 64 - 8 * size;
+                (((value << shift) as i64) >> shift) >= 0
+            }
+        }
+    }
+}
+
+/// One derived load + prediction lane: for worklist element `x`, load
+/// `table_base + (x + offset) * elem_scale + elem_offset` and emit a
+/// prediction for `branch_pc`.
+#[derive(Clone, Debug)]
+pub struct LaneSpec {
+    /// Added to the worklist element before scaling (astar's neighbor
+    /// offsets).
+    pub offset: i64,
+    /// Table base address.
+    pub table_base: u64,
+    /// Bytes per table element.
+    pub elem_scale: u64,
+    /// Byte offset within the element.
+    pub elem_offset: i64,
+    /// Load size in bytes.
+    pub size: u64,
+    /// Branch this lane predicts.
+    pub branch_pc: u64,
+    /// Predicate mapping the value to a direction.
+    pub predicate: Predicate,
+    /// A taken prediction from this lane skips the rest of the
+    /// element's lane group (astar: visited ⇒ the maparp branch is
+    /// never fetched).
+    pub taken_skips_group: bool,
+    /// Group id: lanes with the same group form a short-circuit chain
+    /// in order.
+    pub group: u32,
+    /// When the whole group predicts not-taken, record the derived
+    /// index as "entered" (sticky-visited inference) and override
+    /// future first-lane predictions for it to taken.
+    pub infer_store_on_all_not_taken: bool,
+}
+
+/// The declarative component description (the artifact a generator
+/// would emit).
+#[derive(Clone, Debug)]
+pub struct TemplateSpec {
+    /// PC whose destination value is the sticky tag (astar's fillnum).
+    pub tag_pc: u64,
+    /// PC whose destination value is the worklist base.
+    pub wl_base_pc: u64,
+    /// PC whose destination value is the worklist length.
+    pub wl_len_pc: u64,
+    /// PC of the induction increment (commit-head advance).
+    pub induction_pc: u64,
+    /// Worklist element size in bytes.
+    pub wl_elem_size: u64,
+    /// The derived lanes, in program order.
+    pub lanes: Vec<LaneSpec>,
+    /// Speculative scope (worklist elements in flight).
+    pub scope: usize,
+}
+
+#[derive(Clone, Debug)]
+struct IterState {
+    index: Option<u64>,
+    values: Vec<Option<u64>>,
+    issued: Vec<bool>,
+}
+
+/// The instantiated template component.
+pub struct TemplateComponent {
+    spec: TemplateSpec,
+    tag: u64,
+    wl_base: u64,
+    wl_len: u64,
+    have_call: bool,
+    call_gen: u64,
+
+    base_iter: u64,
+    commit_iter: u64,
+    alloc_iter: u64,
+    issue_iter: u64,
+    issue_lane: usize,
+    emit_iter: u64,
+    emit_lane: usize,
+    window: VecDeque<IterState>,
+
+    /// Sticky entered-set (the generalized index1_CAM).
+    entered: HashMap<u64, u64>,
+
+    next_id: u64,
+    tags: HashMap<u64, (u64, usize)>, // id -> (iter, lane or usize::MAX for T0)
+}
+
+impl std::fmt::Debug for TemplateComponent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TemplateComponent")
+            .field("lanes", &self.spec.lanes.len())
+            .field("scope", &self.spec.scope)
+            .finish()
+    }
+}
+
+impl TemplateComponent {
+    /// Instantiates the template.
+    pub fn new(spec: TemplateSpec) -> TemplateComponent {
+        TemplateComponent {
+            spec,
+            tag: 0,
+            wl_base: 0,
+            wl_len: 0,
+            have_call: false,
+            call_gen: 0,
+            base_iter: 0,
+            commit_iter: 0,
+            alloc_iter: 0,
+            issue_iter: 0,
+            issue_lane: 0,
+            emit_iter: 0,
+            emit_lane: 0,
+            window: VecDeque::new(),
+            entered: HashMap::new(),
+            next_id: 0,
+            tags: HashMap::new(),
+        }
+    }
+
+    fn reset_call(&mut self) {
+        self.call_gen += 1;
+        self.have_call = false;
+        self.base_iter = 0;
+        self.commit_iter = 0;
+        self.alloc_iter = 0;
+        self.issue_iter = 0;
+        self.issue_lane = 0;
+        self.emit_iter = 0;
+        self.emit_lane = 0;
+        self.window.clear();
+        self.entered.clear();
+        self.tags.clear();
+    }
+
+    fn slot(&self, iter: u64) -> Option<&IterState> {
+        if iter < self.base_iter {
+            return None;
+        }
+        self.window.get((iter - self.base_iter) as usize)
+    }
+
+    fn slot_mut(&mut self, iter: u64) -> Option<&mut IterState> {
+        if iter < self.base_iter {
+            return None;
+        }
+        let b = self.base_iter;
+        self.window.get_mut((iter - b) as usize)
+    }
+
+    fn derived_key(&self, index: u64, lane: &LaneSpec) -> u64 {
+        (index as i64 + lane.offset) as u64
+    }
+
+    fn retire(&mut self) {
+        self.commit_iter += 1;
+        while self.base_iter < self.commit_iter && !self.window.is_empty() {
+            self.window.pop_front();
+            self.base_iter += 1;
+        }
+        for p in [&mut self.alloc_iter, &mut self.issue_iter, &mut self.emit_iter] {
+            if *p < self.base_iter {
+                *p = self.base_iter;
+            }
+        }
+        // Sticky lifetime: one extra scope beyond retirement (see the
+        // astar component's CAM discussion).
+        let scope = self.spec.scope as u64;
+        let commit = self.commit_iter;
+        self.entered.retain(|_, &mut it| it + scope >= commit);
+    }
+
+    fn observations(&mut self, io: &mut FabricIo<'_>) {
+        while let Some(obs) = io.pop_obs() {
+            if let ObsPacket::DestValue { pc, value } = obs {
+                if pc == self.spec.tag_pc {
+                    self.tag = value;
+                } else if pc == self.spec.wl_base_pc {
+                    self.reset_call();
+                    self.wl_base = value;
+                } else if pc == self.spec.wl_len_pc {
+                    self.wl_len = value;
+                    self.have_call = true;
+                } else if pc == self.spec.induction_pc {
+                    self.retire();
+                }
+            }
+        }
+    }
+
+    fn responses(&mut self, io: &mut FabricIo<'_>) {
+        while let Some(r) = io.pop_load_resp() {
+            let Some(&(iter, lane)) = self.tags.get(&r.id) else { continue };
+            self.tags.remove(&r.id);
+            if let Some(s) = self.slot_mut(iter) {
+                if lane == usize::MAX {
+                    s.index = Some(r.value);
+                } else {
+                    s.values[lane] = Some(r.value);
+                }
+            }
+        }
+    }
+
+    fn t0(&mut self, io: &mut FabricIo<'_>) {
+        if !self.have_call {
+            return;
+        }
+        while self.alloc_iter < self.wl_len
+            && ((self.alloc_iter - self.base_iter) as usize) < self.spec.scope
+        {
+            self.next_id += 1;
+            let id = (self.call_gen << 40) | self.next_id;
+            let addr = self.wl_base + self.spec.wl_elem_size * self.alloc_iter;
+            if !io.push_load(FabricLoad { id, addr, size: self.spec.wl_elem_size, is_prefetch: false }) {
+                return;
+            }
+            self.tags.insert(id, (self.alloc_iter, usize::MAX));
+            self.window.push_back(IterState {
+                index: None,
+                values: vec![None; self.spec.lanes.len()],
+                issued: vec![false; self.spec.lanes.len()],
+            });
+            self.alloc_iter += 1;
+        }
+    }
+
+    fn t1(&mut self, io: &mut FabricIo<'_>) {
+        while self.issue_iter < self.alloc_iter {
+            let Some(index) = self.slot(self.issue_iter).and_then(|s| s.index) else { return };
+            while self.issue_lane < self.spec.lanes.len() {
+                let lane_idx = self.issue_lane;
+                let lane = self.spec.lanes[lane_idx].clone();
+                let already = self.slot(self.issue_iter).is_some_and(|s| s.issued[lane_idx]);
+                if !already {
+                    let key = self.derived_key(index, &lane);
+                    let addr = (lane.table_base as i64
+                        + (key as i64) * lane.elem_scale as i64
+                        + lane.elem_offset) as u64;
+                    self.next_id += 1;
+                    let id = (self.call_gen << 40) | self.next_id;
+                    if !io.push_load(FabricLoad { id, addr, size: lane.size, is_prefetch: false }) {
+                        return;
+                    }
+                    self.tags.insert(id, (self.issue_iter, lane_idx));
+                    if let Some(s) = self.slot_mut(self.issue_iter) {
+                        s.issued[lane_idx] = true;
+                    }
+                }
+                self.issue_lane += 1;
+            }
+            self.issue_lane = 0;
+            self.issue_iter += 1;
+        }
+    }
+
+    fn t2(&mut self, io: &mut FabricIo<'_>) {
+        'outer: loop {
+            if self.emit_iter >= self.alloc_iter || self.emit_iter >= self.wl_len {
+                return;
+            }
+            let Some(index) = self.slot(self.emit_iter).and_then(|s| s.index) else { return };
+            while self.emit_lane < self.spec.lanes.len() {
+                let lane_idx = self.emit_lane;
+                let lane = self.spec.lanes[lane_idx].clone();
+                let key = self.derived_key(index, &lane);
+                // First lane of a group may be overridden by the
+                // sticky entered-set.
+                let group_start = lane_idx == 0 || self.spec.lanes[lane_idx - 1].group != lane.group;
+                let inferred = group_start && lane.taken_skips_group && self.entered.contains_key(&key);
+                let taken = if inferred {
+                    true
+                } else {
+                    let Some(v) = self.slot(self.emit_iter).and_then(|s| s.values[lane_idx]) else {
+                        return;
+                    };
+                    lane.predicate.eval(v, lane.size, self.tag)
+                };
+                if !io.push_pred(PredPacket { pc: lane.branch_pc, taken }) {
+                    return;
+                }
+                if taken && lane.taken_skips_group {
+                    // Skip the remaining lanes of this group.
+                    let g = lane.group;
+                    let mut next = lane_idx + 1;
+                    while next < self.spec.lanes.len() && self.spec.lanes[next].group == g {
+                        next += 1;
+                    }
+                    self.emit_lane = next;
+                    continue;
+                }
+                // Group completed with this lane not-taken: store
+                // inference when it was the group's last lane.
+                let last_of_group = lane_idx + 1 == self.spec.lanes.len()
+                    || self.spec.lanes[lane_idx + 1].group != lane.group;
+                if !taken && last_of_group && lane.infer_store_on_all_not_taken {
+                    self.entered.insert(key, self.emit_iter);
+                }
+                self.emit_lane += 1;
+                continue 'outer;
+            }
+            self.emit_lane = 0;
+            self.emit_iter += 1;
+        }
+    }
+}
+
+impl CustomComponent for TemplateComponent {
+    fn tick(&mut self, io: &mut FabricIo<'_>) {
+        self.observations(io);
+        self.responses(io);
+        self.t2(io);
+        self.t1(io);
+        self.t0(io);
+    }
+
+    fn name(&self) -> &'static str {
+        "templated-runahead"
+    }
+}
+
+/// Generates the astar instantiation of the template from the same
+/// configuration the hand-built component uses — what §7's imagined
+/// generator would produce for this ROI.
+pub fn astar_template(cfg: &crate::astar::AstarConfig) -> TemplateSpec {
+    let mut lanes = Vec::new();
+    for k in 0..crate::astar::NEIGHBORS {
+        lanes.push(LaneSpec {
+            offset: cfg.offsets[k],
+            table_base: cfg.waymap_base,
+            elem_scale: 8,
+            elem_offset: 0,
+            size: 4,
+            branch_pc: cfg.waymap_branch_pcs[k],
+            predicate: Predicate::EqualsTag,
+            taken_skips_group: true,
+            group: k as u32,
+            infer_store_on_all_not_taken: false,
+        });
+        lanes.push(LaneSpec {
+            offset: cfg.offsets[k],
+            table_base: cfg.maparp_base,
+            elem_scale: 1,
+            elem_offset: 0,
+            size: 1,
+            branch_pc: cfg.maparp_branch_pcs[k],
+            predicate: Predicate::NonZero,
+            taken_skips_group: true,
+            group: k as u32,
+            infer_store_on_all_not_taken: true,
+        });
+    }
+    TemplateSpec {
+        tag_pc: cfg.fillnum_pc,
+        wl_base_pc: cfg.wl_base_pc,
+        wl_len_pc: cfg.wl_len_pc,
+        induction_pc: cfg.induction_pc,
+        wl_elem_size: 4,
+        lanes,
+        scope: cfg.index_queue_size,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfm_fabric::LoadResponse;
+
+    fn spec_two_lane() -> TemplateSpec {
+        TemplateSpec {
+            tag_pc: 0x100,
+            wl_base_pc: 0x104,
+            wl_len_pc: 0x108,
+            induction_pc: 0x10c,
+            wl_elem_size: 4,
+            lanes: vec![
+                LaneSpec {
+                    offset: 1,
+                    table_base: 0x10_0000,
+                    elem_scale: 8,
+                    elem_offset: 0,
+                    size: 4,
+                    branch_pc: 0x200,
+                    predicate: Predicate::EqualsTag,
+                    taken_skips_group: true,
+                    group: 0,
+                    infer_store_on_all_not_taken: false,
+                },
+                LaneSpec {
+                    offset: 1,
+                    table_base: 0x20_0000,
+                    elem_scale: 1,
+                    elem_offset: 0,
+                    size: 1,
+                    branch_pc: 0x204,
+                    predicate: Predicate::NonZero,
+                    taken_skips_group: true,
+                    group: 0,
+                    infer_store_on_all_not_taken: true,
+                },
+            ],
+            scope: 8,
+        }
+    }
+
+    /// Drives a component over the scripted worklist; iterations
+    /// retire only after all their group-leader predictions were
+    /// emitted, as the core would (it cannot retire unfetched code).
+    fn drive_component(
+        c: &mut dyn CustomComponent,
+        worklist: &[u64],
+        answer: &dyn Fn(u64) -> u64,
+        tag: u64,
+        leader_pcs: &[u64],
+        groups_per_iter: u64,
+    ) -> Vec<PredPacket> {
+        let mut obs: VecDeque<ObsPacket> = VecDeque::new();
+        obs.push_back(ObsPacket::DestValue { pc: 0x100, value: tag });
+        obs.push_back(ObsPacket::DestValue { pc: 0x104, value: 0x50_0000 });
+        obs.push_back(ObsPacket::DestValue { pc: 0x108, value: worklist.len() as u64 });
+        let mut resp: VecDeque<LoadResponse> = VecDeque::new();
+        let mut preds: Vec<PredPacket> = Vec::new();
+        let mut retired = 0u64;
+        for tick in 0..800 {
+            let mut out_p = Vec::new();
+            let mut out_l = Vec::new();
+            {
+                let mut io =
+                    FabricIo::new(8, tick, &mut obs, &mut resp, &mut out_p, &mut out_l, 512, 512);
+                c.tick(&mut io);
+            }
+            for l in out_l {
+                let value = if l.addr >= 0x50_0000 {
+                    worklist[((l.addr - 0x50_0000) / 4) as usize]
+                } else {
+                    answer(l.addr)
+                };
+                resp.push_back(LoadResponse { id: l.id, value });
+            }
+            preds.extend(out_p);
+            let leaders = preds.iter().filter(|p| leader_pcs.contains(&p.pc)).count() as u64;
+            if leaders >= (retired + 1) * groups_per_iter && (retired as usize) < worklist.len() {
+                retired += 1;
+                obs.push_back(ObsPacket::DestValue { pc: 0x10c, value: retired });
+            }
+        }
+        preds
+    }
+
+    fn drive(
+        spec: TemplateSpec,
+        worklist: &[u64],
+        answer: impl Fn(u64) -> u64,
+        tag: u64,
+    ) -> Vec<PredPacket> {
+        let leaders: Vec<u64> = {
+            let mut v = Vec::new();
+            let mut last_group = u32::MAX;
+            for l in &spec.lanes {
+                if l.group != last_group {
+                    v.push(l.branch_pc);
+                    last_group = l.group;
+                }
+            }
+            v
+        };
+        let groups = leaders.len() as u64;
+        let mut c = TemplateComponent::new(spec);
+        drive_component(&mut c, worklist, &answer, tag, &leaders, groups)
+    }
+
+    #[test]
+    fn two_lane_group_short_circuits() {
+        // Element 10 -> key 11: visited (waymap == tag) -> single taken
+        // pred, no second-lane pred.
+        let preds = drive(
+            spec_two_lane(),
+            &[10],
+            |addr| if addr == 0x10_0000 + 8 * 11 { 5 } else { 0 },
+            5,
+        );
+        assert_eq!(preds, vec![PredPacket { pc: 0x200, taken: true }]);
+    }
+
+    #[test]
+    fn entered_set_infers_stores() {
+        // Elements 10 and 10 again: both map to key 11, unvisited and
+        // passable. First: [NT, NT] + entered; second: inferred taken.
+        let preds = drive(spec_two_lane(), &[10, 10], |_| 0, 5);
+        assert_eq!(
+            preds,
+            vec![
+                PredPacket { pc: 0x200, taken: false },
+                PredPacket { pc: 0x204, taken: false },
+                PredPacket { pc: 0x200, taken: true },
+            ]
+        );
+    }
+
+    #[test]
+    fn template_reproduces_handbuilt_astar_stream() {
+        // Instantiate the template for astar's ROI and compare its
+        // full prediction stream against the dedicated component on a
+        // scripted input.
+        let acfg = crate::astar::AstarConfig {
+            fillnum_pc: 0x100,
+            wl_base_pc: 0x104,
+            wl_len_pc: 0x108,
+            induction_pc: 0x10c,
+            waymap_base: 0x10_0000,
+            maparp_base: 0x20_0000,
+            offsets: [-17, -16, -15, -1, 1, 15, 16, 17],
+            waymap_branch_pcs: [0x200, 0x210, 0x220, 0x230, 0x240, 0x250, 0x260, 0x270],
+            maparp_branch_pcs: [0x204, 0x214, 0x224, 0x234, 0x244, 0x254, 0x264, 0x274],
+            index_queue_size: 8,
+            store_inference: true,
+            predict_maparp: true,
+            t1_width: 2,
+        };
+        let worklist: Vec<u64> = vec![100, 101, 130, 100];
+        let blocked = [99u64, 116, 131];
+        let answer = |addr: u64| -> u64 {
+            if addr >= 0x20_0000 {
+                blocked.contains(&(addr - 0x20_0000)) as u64
+            } else {
+                0 // waymap: all unvisited
+            }
+        };
+
+        let template_preds = drive(astar_template(&acfg), &worklist, answer, 7);
+
+        // Drive the hand-built component under the same pacing.
+        let leaders: Vec<u64> = acfg.waymap_branch_pcs.to_vec();
+        let mut c = crate::astar::AstarPredictor::new(acfg);
+        let hand = drive_component(&mut c, &worklist, &answer, 7, &leaders, 8);
+        assert_eq!(template_preds, hand, "the template must reproduce the hand-built design");
+    }
+
+    #[test]
+    fn predicates_evaluate_correctly() {
+        assert!(Predicate::EqualsTag.eval(5, 4, 5));
+        assert!(!Predicate::EqualsTag.eval(4, 4, 5));
+        assert!(Predicate::NonZero.eval(1, 1, 0));
+        assert!(!Predicate::NonZero.eval(0, 1, 0));
+        assert!(Predicate::NonNegative.eval(3, 8, 0));
+        assert!(!Predicate::NonNegative.eval((-1i64) as u64, 8, 0));
+        // Sign extension respects the load size.
+        assert!(!Predicate::NonNegative.eval(0x80, 1, 0));
+        assert!(Predicate::NonNegative.eval(0x80, 2, 0));
+    }
+}

@@ -1,0 +1,1156 @@
+//! The cycle-level out-of-order superscalar core.
+//!
+//! Functional-first discipline: the architectural [`Machine`] executes
+//! correct-path instructions at fetch, producing exact values; this
+//! module layers the timing model — fetch bundles and I-cache, a
+//! front-end pipe, rename with PRF free-list accounting, an issue
+//! queue with wakeup/select over 8 lanes, a load/store queue with
+//! store-to-load forwarding and speculative memory disambiguation, and
+//! 4-wide in-order retirement — on top of those records. Wrong-path
+//! execution is modeled as fetch bubbles (the standard
+//! trace-replay simplification), applied identically to baseline and
+//! PFM runs.
+//!
+//! Squashes (mispredicts, disambiguation violations, Retire-Agent ROI
+//! squashes) rewind *timing* state only: squashed records park in a
+//! replay queue and re-enter fetch, while architectural state — which
+//! only ever executed the correct path — is untouched.
+
+use crate::config::{CoreConfig, LaneClass, NUM_LANES};
+use crate::hooks::{
+    FabricLoadResult, FetchOverride, PfmHooks, RetireDirective, RetireInfo, SquashKind,
+};
+use crate::stats::SimStats;
+use pfm_bpred::{BranchKind, Btb, Checkpoint, Prediction, Predictor, Ras};
+use pfm_isa::inst::{ExecClass, Inst};
+use pfm_isa::machine::{ExecError, Machine, StepOut};
+use pfm_isa::InstInfo;
+use pfm_mem::cache::line_of;
+use pfm_mem::{AccessKind, Hierarchy, HitLevel};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+/// Instruction timing state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum InstState {
+    /// In the front-end pipe (fetched, not yet in the window).
+    InFront,
+    /// In the issue queue waiting for operands/lane.
+    Waiting,
+    /// Executing.
+    Issued,
+    /// Done executing; waiting to retire.
+    Completed,
+}
+
+/// One in-flight dynamic instruction.
+#[derive(Clone, Debug)]
+struct DynInst {
+    step: StepOut,
+    info: InstInfo,
+    state: InstState,
+    /// Cycle at which it may leave the front-end into the window.
+    dispatch_ready: u64,
+    /// Producer sequence numbers for each source operand.
+    srcs: [Option<u64>; 2],
+    has_dst: bool,
+    issue_cycle: u64,
+    complete_cycle: u64,
+    /// Direction used by fetch (prediction or fabric override).
+    pred_taken: bool,
+    /// Direction misprediction (resolved at execute).
+    mispredicted: bool,
+    /// Return/indirect target misprediction.
+    target_mispredicted: bool,
+    /// Prediction was supplied by the Fetch Agent.
+    from_fabric: bool,
+    prediction: Option<Prediction>,
+    checkpoint: Option<Checkpoint>,
+    ras_snap: Option<(usize, usize)>,
+}
+
+impl DynInst {
+    fn is_load(&self) -> bool {
+        self.info.class == ExecClass::Load
+    }
+    fn is_store(&self) -> bool {
+        self.info.class == ExecClass::Store
+    }
+    fn mem_range(&self) -> Option<(u64, u64)> {
+        self.step.mem.map(|m| (m.addr, m.addr + m.size))
+    }
+}
+
+fn overlaps(a: (u64, u64), b: (u64, u64)) -> bool {
+    a.0 < b.1 && b.0 < a.1
+}
+
+/// Errors from a simulation run.
+#[derive(Debug)]
+pub enum SimError {
+    /// The functional machine faulted (bad PC, etc.).
+    Exec(ExecError),
+    /// The run exceeded the cycle limit without retiring `Halt` or the
+    /// requested instruction count (deadlock guard).
+    CycleLimit(u64),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Exec(e) => write!(f, "functional execution failed: {e}"),
+            SimError::CycleLimit(c) => write!(f, "cycle limit {c} reached (possible deadlock)"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<ExecError> for SimError {
+    fn from(e: ExecError) -> SimError {
+        SimError::Exec(e)
+    }
+}
+
+/// The superscalar core plus its memory hierarchy and predictor.
+pub struct Core {
+    config: CoreConfig,
+    machine: Machine,
+    hierarchy: Hierarchy,
+    bp: Predictor,
+    btb: Btb,
+    ras: Ras,
+
+    cycle: u64,
+    front: VecDeque<DynInst>,
+    rob: VecDeque<DynInst>,
+    replay: VecDeque<StepOut>,
+    peeked: Option<StepOut>,
+    events: BTreeMap<u64, Vec<u64>>,
+    fabric_load_events: BTreeMap<u64, Vec<(u64, u64, u64)>>, // cycle -> (id, addr, size)
+    inflight_incomplete: HashSet<u64>,
+    last_writer: HashMap<usize, u64>,
+
+    iq_count: usize,
+    lq_count: usize,
+    sq_count: usize,
+    dest_count: usize,
+
+    fetch_stall_until: u64,
+    fetch_blocked_on: Option<u64>,
+    halt_fetched: bool,
+    finished: bool,
+    last_fetch_line: u64,
+
+    lane_busy: [bool; NUM_LANES],
+    lane_busy_prev: [bool; NUM_LANES],
+
+    stats: SimStats,
+}
+
+impl std::fmt::Debug for Core {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Core")
+            .field("cycle", &self.cycle)
+            .field("retired", &self.stats.retired)
+            .field("rob", &self.rob.len())
+            .finish()
+    }
+}
+
+impl Core {
+    /// Creates a core around a functional machine and memory hierarchy.
+    pub fn new(config: CoreConfig, machine: Machine, hierarchy: Hierarchy) -> Core {
+        let bp = Predictor::new(config.predictor);
+        let ras_depth = config.ras_depth;
+        Core {
+            config,
+            machine,
+            hierarchy,
+            bp,
+            btb: Btb::default(),
+            ras: Ras::new(ras_depth),
+            cycle: 0,
+            front: VecDeque::new(),
+            rob: VecDeque::new(),
+            replay: VecDeque::new(),
+            peeked: None,
+            events: BTreeMap::new(),
+            fabric_load_events: BTreeMap::new(),
+            inflight_incomplete: HashSet::new(),
+            last_writer: HashMap::new(),
+            iq_count: 0,
+            lq_count: 0,
+            sq_count: 0,
+            dest_count: 0,
+            fetch_stall_until: 0,
+            fetch_blocked_on: None,
+            halt_fetched: false,
+            finished: false,
+            last_fetch_line: u64::MAX,
+            lane_busy: [false; NUM_LANES],
+            lane_busy_prev: [false; NUM_LANES],
+            stats: SimStats::default(),
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// The memory hierarchy (for cache statistics).
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+
+    /// The architectural machine.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Whether `Halt` has retired.
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Runs until `Halt` retires, `max_instrs` instructions retire, or
+    /// `max_cycles` elapses.
+    ///
+    /// # Errors
+    /// Returns [`SimError::Exec`] on functional faults and
+    /// [`SimError::CycleLimit`] if `max_cycles` elapses first (which
+    /// usually indicates a deadlocked custom component).
+    pub fn run(
+        &mut self,
+        hooks: &mut dyn PfmHooks,
+        max_instrs: u64,
+        max_cycles: u64,
+    ) -> Result<(), SimError> {
+        while !self.finished && self.stats.retired < max_instrs {
+            if self.cycle >= max_cycles {
+                return Err(SimError::CycleLimit(max_cycles));
+            }
+            self.tick(hooks)?;
+        }
+        Ok(())
+    }
+
+    /// Advances the core by one cycle.
+    ///
+    /// # Errors
+    /// Returns [`SimError::Exec`] if the functional machine faults.
+    pub fn tick(&mut self, hooks: &mut dyn PfmHooks) -> Result<(), SimError> {
+        self.cycle += 1;
+        self.stats.cycles = self.cycle;
+        self.lane_busy_prev = self.lane_busy;
+        self.lane_busy = [false; NUM_LANES];
+
+        hooks.begin_cycle(self.cycle, self.lane_busy_prev);
+        self.retire(hooks);
+        self.complete(hooks);
+        self.issue(hooks);
+        self.dispatch();
+        self.fetch(hooks)?;
+        hooks.end_cycle(self.cycle);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Retire
+    // ------------------------------------------------------------------
+
+    fn retire(&mut self, hooks: &mut dyn PfmHooks) {
+        if hooks.retire_stalled() {
+            self.stats.retire_agent_stall_cycles += 1;
+            return;
+        }
+        for _ in 0..self.config.retire_width {
+            let Some(head) = self.rob.front() else { break };
+            if head.state != InstState::Completed || head.complete_cycle >= self.cycle {
+                break;
+            }
+            let inst = self.rob.pop_front().expect("head exists");
+            let seq = inst.step.seq;
+
+            // Commit stores: architectural memory + write-buffer D$
+            // access (does not stall retire).
+            if inst.is_store() {
+                self.machine.mem_mut().commit_store(seq);
+                let m = inst.step.mem.expect("store has a memory access");
+                self.hierarchy.access(m.addr, AccessKind::Store, self.cycle);
+                self.stats.stores += 1;
+                self.sq_count -= 1;
+            }
+            if inst.is_load() {
+                self.stats.loads += 1;
+                self.lq_count -= 1;
+            }
+            if inst.has_dst {
+                self.dest_count -= 1;
+            }
+
+            // Branch bookkeeping and predictor training.
+            if inst.info.is_cond_branch {
+                self.stats.cond_branches += 1;
+                if inst.mispredicted {
+                    self.stats.mispredicts += 1;
+                    if inst.from_fabric {
+                        self.stats.fabric_mispredicts += 1;
+                    }
+                }
+                if inst.from_fabric {
+                    self.stats.fabric_predictions_used += 1;
+                }
+                if let Some(pred) = &inst.prediction {
+                    self.bp.train(inst.step.pc, inst.step.taken, pred);
+                }
+            }
+            if inst.target_mispredicted {
+                self.stats.target_mispredicts += 1;
+            }
+            if inst.info.is_control {
+                let kind = match inst.step.inst {
+                    Inst::Branch { .. } => BranchKind::Conditional,
+                    Inst::Jal { rd, .. } if rd == pfm_isa::Reg::RA => BranchKind::Call,
+                    Inst::Jal { .. } => BranchKind::DirectJump,
+                    Inst::Jalr { rd, base, .. }
+                        if rd == pfm_isa::Reg::X0 && base == pfm_isa::Reg::RA =>
+                    {
+                        BranchKind::Return
+                    }
+                    _ => BranchKind::IndirectJump,
+                };
+                if inst.step.taken {
+                    self.btb.update(inst.step.pc, inst.step.next_pc, kind);
+                }
+            }
+
+            // Rename-table cleanup.
+            if let Some((reg, _)) = inst.step.wrote {
+                if self.last_writer.get(&reg.index()) == Some(&seq) {
+                    self.last_writer.remove(&reg.index());
+                }
+            }
+            self.inflight_incomplete.remove(&seq);
+
+            self.stats.retired += 1;
+
+            // Retire Agent observation.
+            let info = RetireInfo {
+                seq,
+                pc: inst.step.pc,
+                inst: &inst.step.inst,
+                taken: inst.step.taken,
+                dest_value: inst.step.wrote.map(|(_, v)| v),
+                store: inst.step.mem.and_then(|m| {
+                    if m.is_store {
+                        Some((m.addr, m.size, m.value))
+                    } else {
+                        None
+                    }
+                }),
+                lane_busy: self.lane_busy_prev,
+            };
+            let directive = hooks.on_retire(&info);
+
+            if inst.step.halted {
+                self.finished = true;
+                return;
+            }
+            if directive == RetireDirective::SquashYounger {
+                self.stats.squash_roi += 1;
+                self.squash_from(seq + 1, SquashKind::RoiBegin, hooks);
+                return;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Complete / writeback
+    // ------------------------------------------------------------------
+
+    fn rob_pos(&self, seq: u64) -> Option<usize> {
+        self.rob.binary_search_by_key(&seq, |d| d.step.seq).ok()
+    }
+
+    fn complete(&mut self, hooks: &mut dyn PfmHooks) {
+        // Fabric load data returns.
+        if let Some(loads) = self.fabric_load_events.remove(&self.cycle) {
+            for (id, addr, size) in loads {
+                let value = self.machine.mem().read_committed(addr, size);
+                hooks.load_result(id, FabricLoadResult::Hit { value }, self.cycle);
+            }
+        }
+
+        let Some(seqs) = self.events.remove(&self.cycle) else { return };
+        for seq in seqs {
+            let Some(pos) = self.rob_pos(seq) else { continue };
+            if self.rob[pos].state != InstState::Issued || self.rob[pos].complete_cycle != self.cycle
+            {
+                continue; // stale event from a squashed incarnation
+            }
+            self.rob[pos].state = InstState::Completed;
+            self.inflight_incomplete.remove(&seq);
+
+            let is_store = self.rob[pos].is_store();
+            let mispredicted =
+                self.rob[pos].mispredicted || self.rob[pos].target_mispredicted;
+
+            if is_store {
+                // Memory-disambiguation check: a younger load that
+                // already executed and overlaps this store's bytes
+                // violated the dependence.
+                let range = self.rob[pos].mem_range().expect("store range");
+                let mut violator = None;
+                for d in self.rob.iter().skip(pos + 1) {
+                    if d.is_load()
+                        && matches!(d.state, InstState::Issued | InstState::Completed)
+                        && d.issue_cycle < self.cycle
+                    {
+                        if let Some(lr) = d.mem_range() {
+                            if overlaps(range, lr) {
+                                violator = Some(d.step.seq);
+                                break;
+                            }
+                        }
+                    }
+                }
+                if let Some(v) = violator {
+                    self.stats.squash_disambiguation += 1;
+                    self.squash_from(v, SquashKind::Disambiguation, hooks);
+                    continue;
+                }
+            }
+
+            if mispredicted {
+                // Resolve: repair predictor history, notify the fabric,
+                // redirect fetch.
+                let pos = self.rob_pos(seq).expect("still present");
+                let actual = self.rob[pos].step.taken;
+                let is_cond = self.rob[pos].info.is_cond_branch;
+                if let Some(cp) = self.rob[pos].checkpoint.take() {
+                    if is_cond {
+                        self.bp.recover(&cp, actual);
+                    } else {
+                        self.bp.restore(&cp);
+                    }
+                }
+                if let Some(snap) = self.rob[pos].ras_snap.take() {
+                    self.ras.restore(snap);
+                }
+                self.stats.squash_mispredict += 1;
+                hooks.on_squash(SquashKind::Mispredict, seq + 1, self.cycle);
+                if self.fetch_blocked_on == Some(seq) {
+                    self.fetch_blocked_on = None;
+                    self.fetch_stall_until = self.fetch_stall_until.max(self.cycle + 1);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Issue / execute
+    // ------------------------------------------------------------------
+
+    fn src_ready(&self, src: Option<u64>) -> bool {
+        src.is_none_or(|s| !self.inflight_incomplete.contains(&s))
+    }
+
+    fn lane_for(class: ExecClass) -> LaneClass {
+        match class {
+            ExecClass::Load | ExecClass::Store => LaneClass::LoadStore,
+            ExecClass::Complex => LaneClass::Complex,
+            _ => LaneClass::SimpleAlu,
+        }
+    }
+
+    fn issue(&mut self, hooks: &mut dyn PfmHooks) {
+        let mut lane_free: [usize; 3] = [4, 2, 2]; // SimpleAlu, LoadStore, Complex
+        let mut issued = 0usize;
+        let cycle = self.cycle;
+
+        let mut scheduled: Vec<(u64, u64)> = Vec::new(); // (complete_cycle, seq)
+        for pos in 0..self.rob.len() {
+            if issued >= self.config.issue_width {
+                break;
+            }
+            let d = &self.rob[pos];
+            if d.state != InstState::Waiting || d.dispatch_ready > cycle {
+                continue;
+            }
+            if !(self.src_ready(d.srcs[0]) && self.src_ready(d.srcs[1])) {
+                continue;
+            }
+            let lane = Self::lane_for(d.info.class);
+            let lane_idx = match lane {
+                LaneClass::SimpleAlu => 0,
+                LaneClass::LoadStore => 1,
+                LaneClass::Complex => 2,
+            };
+            if lane_free[lane_idx] == 0 {
+                continue;
+            }
+
+            // Compute completion time.
+            let complete_at = match d.info.class {
+                ExecClass::Load => {
+                    let m = d.step.mem.expect("load has an access");
+                    // Store-to-load forwarding: an older in-flight store
+                    // with a known (executed) address that overlaps.
+                    let lr = (m.addr, m.addr + m.size);
+                    let mut forwarded = false;
+                    for s in self.rob.iter().take(pos) {
+                        if s.is_store()
+                            && matches!(s.state, InstState::Issued | InstState::Completed)
+                        {
+                            if let Some(sr) = s.mem_range() {
+                                if overlaps(sr, lr) {
+                                    forwarded = true;
+                                }
+                            }
+                        }
+                    }
+                    if forwarded {
+                        cycle + self.hierarchy.config().l1d.latency
+                    } else {
+                        let outcome = self.hierarchy.access(m.addr, AccessKind::Load, cycle + 1);
+                        cycle + outcome.latency
+                    }
+                }
+                ExecClass::Store => cycle + 1, // address generation
+                _ => cycle + d.info.latency as u64,
+            };
+
+            lane_free[lane_idx] -= 1;
+            issued += 1;
+            // Mark a concrete lane busy for PRF-port contention modeling.
+            let base = match lane {
+                LaneClass::SimpleAlu => 0,
+                LaneClass::LoadStore => 4,
+                LaneClass::Complex => 6,
+            };
+            let width = match lane {
+                LaneClass::SimpleAlu => 4,
+                _ => 2,
+            };
+            for l in base..base + width {
+                if !self.lane_busy[l] {
+                    self.lane_busy[l] = true;
+                    break;
+                }
+            }
+
+            let d = &mut self.rob[pos];
+            d.state = InstState::Issued;
+            d.issue_cycle = cycle;
+            d.complete_cycle = complete_at;
+            scheduled.push((complete_at, d.step.seq));
+        }
+        for (at, seq) in scheduled {
+            self.events.entry(at).or_default().push(seq);
+        }
+
+        // Load Agent: offer leftover load/store issue slots to the
+        // fabric ("when the corresponding issue port is not busy").
+        let mut free_ls = lane_free[1];
+        while free_ls > 0 {
+            let Some(req) = hooks.pop_load() else { break };
+            free_ls -= 1;
+            if req.is_prefetch {
+                self.stats.fabric_prefetches += 1;
+                self.hierarchy.external_prefetch(req.addr, cycle);
+                continue;
+            }
+            self.stats.fabric_loads += 1;
+            let outcome = self.hierarchy.access(req.addr, AccessKind::Load, cycle);
+            if outcome.level == HitLevel::L1 {
+                let at = cycle + outcome.latency;
+                self.fabric_load_events.entry(at).or_default().push((req.id, req.addr, req.size));
+            } else {
+                hooks.load_result(req.id, FabricLoadResult::Miss, cycle);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch / rename
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self) {
+        for _ in 0..self.config.dispatch_width {
+            let Some(head) = self.front.front() else { break };
+            if head.dispatch_ready > self.cycle + 1 {
+                // Still flowing through the front-end pipe. (It may
+                // enter the window the cycle it becomes ready.)
+                break;
+            }
+            // Structural resources.
+            if self.rob.len() >= self.config.rob_size
+                || self.iq_count >= self.config.iq_size
+                || (head.is_load() && self.lq_count >= self.config.ldq_size)
+                || (head.is_store() && self.sq_count >= self.config.stq_size)
+                || (head.has_dst && self.dest_count >= self.config.rename_regs())
+            {
+                break;
+            }
+            let mut d = self.front.pop_front().expect("head exists");
+            // Rename: source producers from the last-writer map.
+            for (i, src) in d.info.srcs.iter().enumerate() {
+                d.srcs[i] = src
+                    .filter(|r| !r.is_zero())
+                    .and_then(|r| self.last_writer.get(&r.index()).copied());
+            }
+            if let Some((reg, _)) = d.step.wrote {
+                self.last_writer.insert(reg.index(), d.step.seq);
+                self.dest_count += 1;
+                d.has_dst = true;
+            }
+            if d.is_load() {
+                self.lq_count += 1;
+            }
+            if d.is_store() {
+                self.sq_count += 1;
+            }
+            self.iq_count += 1;
+            d.state = InstState::Waiting;
+            self.inflight_incomplete.insert(d.step.seq);
+            self.rob.push_back(d);
+        }
+        // IQ entries free at issue; approximate by counting Waiting.
+        self.iq_count = self.rob.iter().filter(|d| d.state == InstState::Waiting).count();
+    }
+
+    // ------------------------------------------------------------------
+    // Fetch
+    // ------------------------------------------------------------------
+
+    fn next_record(&mut self) -> Result<Option<StepOut>, ExecError> {
+        if let Some(r) = self.peeked.take() {
+            return Ok(Some(r));
+        }
+        if let Some(r) = self.replay.pop_front() {
+            return Ok(Some(r));
+        }
+        if self.machine.halted() {
+            return Ok(None);
+        }
+        self.machine.step().map(Some)
+    }
+
+    fn fetch(&mut self, hooks: &mut dyn PfmHooks) -> Result<(), SimError> {
+        if self.halt_fetched || self.finished {
+            return Ok(());
+        }
+        if self.fetch_blocked_on.is_some() {
+            self.stats.fetch_redirect_stall_cycles += 1;
+            return Ok(());
+        }
+        if self.cycle < self.fetch_stall_until {
+            self.stats.fetch_icache_stall_cycles += 1;
+            return Ok(());
+        }
+        let front_cap = self.config.fetch_width * (self.config.front_depth as usize + 1);
+
+        for _ in 0..self.config.fetch_width {
+            if self.front.len() >= front_cap {
+                break;
+            }
+            let Some(rec) = self.next_record()? else {
+                break;
+            };
+
+            // I-cache: charge a stall when crossing into a missing line.
+            let pc_line = line_of(rec.pc);
+            if pc_line != self.last_fetch_line {
+                let outcome = self.hierarchy.access(rec.pc, AccessKind::Ifetch, self.cycle);
+                self.last_fetch_line = pc_line;
+                if outcome.level != HitLevel::L1 {
+                    self.fetch_stall_until = self.cycle + outcome.latency;
+                    self.peeked = Some(rec);
+                    break;
+                }
+            }
+
+            let info = rec.inst.info();
+
+            // Fetch Agent.
+            let over = hooks.fetch_inst(rec.seq, rec.pc, info.is_cond_branch);
+            if over == FetchOverride::Stall {
+                self.stats.fetch_fabric_stall_cycles += 1;
+                self.peeked = Some(rec);
+                break;
+            }
+
+            let mut d = DynInst {
+                step: rec,
+                info,
+                state: InstState::InFront,
+                dispatch_ready: self.cycle + self.config.front_depth,
+                srcs: [None, None],
+                has_dst: false,
+                issue_cycle: 0,
+                complete_cycle: 0,
+                pred_taken: false,
+                mispredicted: false,
+                target_mispredicted: false,
+                from_fabric: false,
+                prediction: None,
+                checkpoint: None,
+                ras_snap: None,
+            };
+
+            if info.is_cond_branch {
+                let cp = self.bp.checkpoint();
+                let pred = self.bp.predict(rec.pc, rec.taken);
+                let mut used = pred.taken();
+                match over {
+                    FetchOverride::Use(dir) => {
+                        d.from_fabric = true;
+                        if dir != used {
+                            // Keep the core predictor's speculative
+                            // history aligned with the fetch direction.
+                            self.bp.recover(&cp, dir);
+                        }
+                        used = dir;
+                    }
+                    FetchOverride::Pass => {}
+                    FetchOverride::Stall => unreachable!(),
+                }
+                d.pred_taken = used;
+                d.mispredicted = used != rec.taken;
+                d.prediction = Some(pred);
+                d.checkpoint = Some(cp);
+            } else if info.is_control {
+                // jal/jalr: direction always taken; model RAS for
+                // returns and BTB for other indirect targets.
+                d.pred_taken = true;
+                match rec.inst {
+                    Inst::Jal { rd, .. } => {
+                        if rd == pfm_isa::Reg::RA {
+                            d.ras_snap = Some(self.ras.snapshot());
+                            self.ras.push(rec.pc + 4);
+                        }
+                    }
+                    Inst::Jalr { rd, base, .. } => {
+                        d.ras_snap = Some(self.ras.snapshot());
+                        if rd == pfm_isa::Reg::X0 && base == pfm_isa::Reg::RA {
+                            let predicted = self.ras.pop();
+                            d.target_mispredicted = predicted != Some(rec.next_pc);
+                        } else {
+                            let predicted = self.btb.lookup(rec.pc).map(|(t, _)| t);
+                            d.target_mispredicted = predicted != Some(rec.next_pc);
+                            if rd == pfm_isa::Reg::RA {
+                                self.ras.push(rec.pc + 4);
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+
+            let ends_bundle = (d.info.is_control && (d.pred_taken || d.step.taken))
+                || d.step.halted
+                || d.mispredicted
+                || d.target_mispredicted;
+            let seq = d.step.seq;
+            let halted = d.step.halted;
+            let blocked = d.mispredicted || d.target_mispredicted;
+            self.front.push_back(d);
+
+            if halted {
+                self.halt_fetched = true;
+                break;
+            }
+            if blocked {
+                self.fetch_blocked_on = Some(seq);
+                break;
+            }
+            if ends_bundle {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Squash
+    // ------------------------------------------------------------------
+
+    /// Rolls all timing state for instructions with `seq >= boundary`
+    /// back to fetch (their records re-enter via the replay queue).
+    fn squash_from(&mut self, boundary: u64, kind: SquashKind, hooks: &mut dyn PfmHooks) {
+        // Split the ROB.
+        let cut = self.rob.partition_point(|d| d.step.seq < boundary);
+        let squashed_rob: Vec<DynInst> = self.rob.split_off(cut).into();
+        let squashed_front: Vec<DynInst> = self.front.drain(..).collect();
+        let peeked = self.peeked.take();
+
+        // Repair predictor/RAS speculative state using the oldest
+        // squashed control instruction's checkpoint.
+        for d in squashed_rob.iter().chain(squashed_front.iter()) {
+            if let Some(cp) = &d.checkpoint {
+                self.bp.restore(cp);
+                break;
+            }
+            if let Some(snap) = d.ras_snap {
+                self.ras.restore(snap);
+                break;
+            }
+        }
+
+        // Records back to replay, in order.
+        let mut records: Vec<StepOut> = squashed_rob
+            .iter()
+            .map(|d| d.step)
+            .chain(squashed_front.iter().map(|d| d.step))
+            .chain(peeked)
+            .collect();
+        let mut merged: Vec<StepOut> = records.drain(..).chain(self.replay.drain(..)).collect();
+        merged.sort_by_key(|r| r.seq);
+        debug_assert!(merged.windows(2).all(|w| w[0].seq < w[1].seq));
+        self.replay = merged.into();
+
+        // Bookkeeping rebuilds.
+        for d in squashed_rob.iter().chain(squashed_front.iter()) {
+            self.inflight_incomplete.remove(&d.step.seq);
+            if d.step.halted {
+                self.halt_fetched = false;
+            }
+        }
+        self.last_writer.clear();
+        for d in &self.rob {
+            if let Some((reg, _)) = d.step.wrote {
+                self.last_writer.insert(reg.index(), d.step.seq);
+            }
+        }
+        self.lq_count = self.rob.iter().filter(|d| d.is_load()).count();
+        self.sq_count = self.rob.iter().filter(|d| d.is_store()).count();
+        self.dest_count = self.rob.iter().filter(|d| d.has_dst).count();
+        self.iq_count = self.rob.iter().filter(|d| d.state == InstState::Waiting).count();
+
+        self.fetch_blocked_on = None;
+        self.fetch_stall_until = self.cycle + 1;
+        self.last_fetch_line = u64::MAX;
+
+        hooks.on_squash(kind, boundary, self.cycle);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hooks::NoPfm;
+    use pfm_bpred::PredictorKind;
+    use pfm_isa::asm::Asm;
+    use pfm_isa::mem::SpecMemory;
+    use pfm_isa::reg::names::*;
+    use pfm_mem::HierarchyConfig;
+
+    fn run_asm(f: impl FnOnce(&mut Asm), cfg: CoreConfig) -> Core {
+        run_asm_mem(f, cfg, SpecMemory::new())
+    }
+
+    fn run_asm_mem(f: impl FnOnce(&mut Asm), cfg: CoreConfig, mem: SpecMemory) -> Core {
+        let mut a = Asm::new(0x1000);
+        f(&mut a);
+        let machine = Machine::new(a.finish().unwrap(), mem);
+        let mut core = Core::new(cfg, machine, Hierarchy::new(HierarchyConfig::micro21()));
+        core.run(&mut NoPfm, u64::MAX, 20_000_000).unwrap();
+        core
+    }
+
+    #[test]
+    fn straightline_code_retires_and_matches_functional_result() {
+        let core = run_asm(
+            |a| {
+                a.li(A0, 5);
+                a.li(A1, 7);
+                a.add(A2, A0, A1);
+                a.mul(A3, A2, A2);
+                a.halt();
+            },
+            CoreConfig::micro21(),
+        );
+        assert!(core.finished());
+        assert_eq!(core.machine().reg(A2), 12);
+        assert_eq!(core.machine().reg(A3), 144);
+        assert_eq!(core.stats().retired, 5);
+    }
+
+    #[test]
+    fn independent_instructions_achieve_ilp() {
+        // 4 independent ALU chains: should sustain IPC well above 1.
+        let core = run_asm(
+            |a| {
+                let top = a.label();
+                a.li(S0, 0);
+                a.li(S1, 0);
+                a.li(S2, 0);
+                a.li(S3, 0);
+                a.li(T0, 20_000);
+                a.bind(top).unwrap();
+                a.addi(S0, S0, 1);
+                a.addi(S1, S1, 1);
+                a.addi(S2, S2, 1);
+                a.addi(T0, T0, -1);
+                a.bne(T0, X0, top);
+                a.halt();
+            },
+            CoreConfig::micro21(),
+        );
+        let ipc = core.stats().ipc();
+        assert!(ipc > 2.0, "expected ILP, got IPC {ipc}");
+        assert_eq!(core.machine().reg(S0), 20_000);
+    }
+
+    #[test]
+    fn dependent_chain_is_serialized() {
+        // One long dependence chain: IPC must be ~1 or below.
+        let core = run_asm(
+            |a| {
+                let top = a.label();
+                a.li(S0, 0);
+                a.li(T0, 20_000);
+                a.bind(top).unwrap();
+                a.addi(S0, S0, 1);
+                a.addi(S0, S0, 1);
+                a.addi(S0, S0, 1);
+                a.addi(S0, S0, 1);
+                a.addi(T0, T0, -1);
+                a.bne(T0, X0, top);
+                a.halt();
+            },
+            CoreConfig::micro21(),
+        );
+        let ipc = core.stats().ipc();
+        assert!(ipc < 1.7, "dependence chain should serialize, got IPC {ipc}");
+        assert_eq!(core.machine().reg(S0), 80_000);
+    }
+
+    #[test]
+    fn random_branches_cause_mispredicts_and_pipeline_cost() {
+        // Data-dependent branch on an LCG: high MPKI, low IPC.
+        let core = run_asm(
+            |a| {
+                let top = a.label();
+                let skip = a.label();
+                a.li(S0, 12345);
+                a.li(S1, 6364136223846793005);
+                a.li(S2, 1442695040888963407);
+                a.li(T0, 20_000);
+                a.li(S4, 0);
+                a.bind(top).unwrap();
+                a.mul(S0, S0, S1);
+                a.add(S0, S0, S2);
+                a.srli(T1, S0, 62);
+                a.andi(T1, T1, 1);
+                a.beq(T1, X0, skip);
+                a.addi(S4, S4, 1);
+                a.bind(skip).unwrap();
+                a.addi(T0, T0, -1);
+                a.bne(T0, X0, top);
+                a.halt();
+            },
+            CoreConfig::micro21(),
+        );
+        let mpki = core.stats().mpki();
+        assert!(mpki > 30.0, "random branch should mispredict often, MPKI {mpki}");
+        assert!(core.stats().squash_mispredict > 5_000);
+    }
+
+    #[test]
+    fn perfect_bp_removes_mispredicts() {
+        let mut cfg = CoreConfig::micro21();
+        cfg.predictor = PredictorKind::Perfect;
+        let core = run_asm(
+            |a| {
+                let top = a.label();
+                let skip = a.label();
+                a.li(S0, 12345);
+                a.li(S1, 6364136223846793005);
+                a.li(S2, 1442695040888963407);
+                a.li(T0, 5_000);
+                a.bind(top).unwrap();
+                a.mul(S0, S0, S1);
+                a.add(S0, S0, S2);
+                a.srli(T1, S0, 62);
+                a.andi(T1, T1, 1);
+                a.beq(T1, X0, skip);
+                a.addi(S4, S4, 1);
+                a.bind(skip).unwrap();
+                a.addi(T0, T0, -1);
+                a.bne(T0, X0, top);
+                a.halt();
+            },
+            cfg,
+        );
+        assert_eq!(core.stats().mispredicts, 0);
+        assert_eq!(core.stats().squash_mispredict, 0);
+    }
+
+    #[test]
+    fn store_load_forwarding_keeps_values_correct() {
+        let core = run_asm(
+            |a| {
+                let top = a.label();
+                a.li(A0, 0x10_0000);
+                a.li(T0, 1000);
+                a.li(S0, 0);
+                a.bind(top).unwrap();
+                a.sd(T0, A0, 0);
+                a.ld(T1, A0, 0); // forwarded from the store
+                a.add(S0, S0, T1);
+                a.addi(T0, T0, -1);
+                a.bne(T0, X0, top);
+                a.halt();
+            },
+            CoreConfig::micro21(),
+        );
+        assert_eq!(core.machine().reg(S0), (1..=1000u64).sum::<u64>());
+    }
+
+    #[test]
+    fn pointer_chase_is_memory_latency_bound() {
+        // Build a linked list spanning far more than L1/L2, then chase it.
+        let mut mem = SpecMemory::new();
+        let n = 40_000u64;
+        let base = 0x100_0000u64;
+        // Pseudo-random permutation chain with large strides.
+        let mut perm: Vec<u64> = (0..n).collect();
+        let mut x = 99u64;
+        for i in (1..n as usize).rev() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (x >> 33) as usize % (i + 1);
+            perm.swap(i, j);
+        }
+        for i in 0..n as usize {
+            let next = perm[(i + 1) % n as usize];
+            m_write(&mut mem, base + perm[i] * 64, base + next * 64);
+        }
+        fn m_write(mem: &mut SpecMemory, addr: u64, v: u64) {
+            mem.committed_mut().write(addr, 8, v);
+        }
+        let core = run_asm_mem(
+            |a| {
+                let top = a.label();
+                a.li(A0, 0x100_0000);
+                a.li(T0, 20_000);
+                a.bind(top).unwrap();
+                a.ld(A0, A0, 0);
+                a.addi(T0, T0, -1);
+                a.bne(T0, X0, top);
+                a.halt();
+            },
+            CoreConfig::micro21(),
+            mem,
+        );
+        let ipc = core.stats().ipc();
+        assert!(ipc < 0.25, "pointer chase should be latency bound, IPC {ipc}");
+        assert!(core.hierarchy().stats().dram_accesses > 1_000);
+    }
+
+    #[test]
+    fn disambiguation_violation_squashes_but_stays_correct() {
+        // A store whose address depends on a long-latency load, followed
+        // immediately by a load to the same address: the load issues
+        // first (store address unknown) -> violation -> replay.
+        let mut mem = SpecMemory::new();
+        mem.committed_mut().write(0x20_0000, 8, 0x30_0000); // pointer
+        let core = run_asm_mem(
+            |a| {
+                let top = a.label();
+                a.li(A0, 0x20_0000);
+                a.li(T0, 200);
+                a.li(S0, 0);
+                a.bind(top).unwrap();
+                a.ld(A1, A0, 0); // long-latency pointer load (cold)
+                a.sd(T0, A1, 0); // store through pointer
+                a.li(A2, 0x30_0000);
+                a.ld(T1, A2, 0); // same address; issues before store agen
+                a.add(S0, S0, T1);
+                a.addi(T0, T0, -1);
+                a.bne(T0, X0, top);
+                a.halt();
+            },
+            CoreConfig::micro21(),
+            mem,
+        );
+        assert!(core.stats().squash_disambiguation > 0, "expected violations");
+        // Values must still be exact: sum of 200..=1.
+        assert_eq!(core.machine().reg(S0), (1..=200u64).sum::<u64>());
+    }
+
+    #[test]
+    fn rob_size_bounds_memory_level_parallelism() {
+        // Independent streaming loads that all miss: a big window
+        // overlaps many misses (MLP); a tiny window serializes them.
+        fn kernel(a: &mut Asm) {
+            let top = a.label();
+            a.li(A0, 0x200_0000);
+            a.li(T0, 3_000);
+            a.bind(top).unwrap();
+            a.ld(T1, A0, 0);
+            a.ld(T2, A0, 4096);
+            a.ld(T3, A0, 8192);
+            a.addi(A0, A0, 12288);
+            a.addi(T0, T0, -1);
+            a.bne(T0, X0, top);
+            a.halt();
+        }
+        let mut small_cfg = CoreConfig::micro21();
+        small_cfg.rob_size = 8;
+        let small = run_asm(kernel, small_cfg);
+        let big = run_asm(kernel, CoreConfig::micro21());
+        assert!(
+            big.stats().ipc() > small.stats().ipc() * 1.5,
+            "big window IPC {} vs small {}",
+            big.stats().ipc(),
+            small.stats().ipc()
+        );
+    }
+
+    #[test]
+    fn calls_and_returns_predicted_by_ras() {
+        let core = run_asm(
+            |a| {
+                let func = a.label();
+                let top = a.label();
+                a.li(T0, 2000);
+                a.li(S0, 0);
+                a.bind(top).unwrap();
+                a.call(func);
+                a.addi(T0, T0, -1);
+                a.bne(T0, X0, top);
+                a.halt();
+                a.bind(func).unwrap();
+                a.addi(S0, S0, 1);
+                a.ret();
+            },
+            CoreConfig::micro21(),
+        );
+        assert_eq!(core.machine().reg(S0), 2000);
+        assert!(
+            core.stats().target_mispredicts < 10,
+            "RAS should predict returns, got {}",
+            core.stats().target_mispredicts
+        );
+    }
+
+    #[test]
+    fn cycle_limit_guard_fires() {
+        let mut a = Asm::new(0x1000);
+        let top = a.label();
+        a.bind(top).unwrap();
+        a.j(top); // infinite loop, no halt
+        let machine = Machine::new(a.finish().unwrap(), SpecMemory::new());
+        let mut core =
+            Core::new(CoreConfig::micro21(), machine, Hierarchy::new(HierarchyConfig::micro21()));
+        let err = core.run(&mut NoPfm, u64::MAX, 10_000).unwrap_err();
+        assert!(matches!(err, SimError::CycleLimit(_)));
+    }
+}

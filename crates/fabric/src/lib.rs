@@ -1,0 +1,63 @@
+//! # pfm-fabric — the reconfigurable fabric and PFM Agents
+//!
+//! Models §2 of the paper: a reconfigurable logic fabric (RF) coupled
+//! to the superscalar core through three Agents:
+//!
+//! * **Retire Agent** — matches retired PCs against the Retire Snoop
+//!   Table (RST), detects ROI begin/end, constructs destination-value
+//!   (PRF-port-contended), store-value and branch-outcome observation
+//!   packets into ObsQ-R, and runs the squash / squash-done protocol
+//!   that stalls retirement until the component realigns.
+//! * **Fetch Agent** — matches fetched PCs against the Fetch Snoop
+//!   Table (FST) and overrides the core's conditional branch predictor
+//!   with predictions popped from IntQ-F, stalling fetch when the
+//!   component runs late (with a §2.4 watchdog/chicken-switch and the
+//!   alternative proceed-and-drop policy).
+//! * **Load Agent** — injects component loads/prefetches from IntQ-IS
+//!   into free load/store issue ports, never searching the store queue,
+//!   buffering L1 misses in a 64-entry Missed Load Buffer that replays
+//!   until they hit, and returning (possibly out-of-order) values
+//!   tagged with component-chosen ids via ObsQ-EX.
+//!
+//! The component itself implements [`CustomComponent`] and runs in the
+//! RF clock domain: one tick every C core cycles, at most W packets per
+//! queue per tick, outputs delayed by the D-stage component pipeline.
+//!
+//! ## Example
+//!
+//! A trivial component that predicts every snooped branch taken:
+//!
+//! ```
+//! use pfm_fabric::{CustomComponent, FabricIo, Fabric, FabricParams, PredPacket, RstEntry};
+//! use std::collections::{HashMap, HashSet};
+//!
+//! struct AlwaysTaken { pc: u64 }
+//! impl CustomComponent for AlwaysTaken {
+//!     fn tick(&mut self, io: &mut FabricIo<'_>) {
+//!         while io.can_push_pred() {
+//!             io.push_pred(PredPacket { pc: self.pc, taken: true });
+//!         }
+//!     }
+//!     fn name(&self) -> &'static str { "always-taken" }
+//! }
+//!
+//! let mut fst = HashSet::new();
+//! fst.insert(0x2000);
+//! let mut rst = HashMap::new();
+//! rst.insert(0x1000, RstEntry::dest().begin());
+//! let fabric = Fabric::new(FabricParams::paper_default(), fst, rst,
+//!                          Box::new(AlwaysTaken { pc: 0x2000 }));
+//! assert!(!fabric.enabled()); // idle until the ROI begins
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod component;
+pub mod fabric;
+pub mod packets;
+pub mod params;
+
+pub use component::{CustomComponent, FabricIo};
+pub use fabric::{Fabric, FabricStats};
+pub use packets::{FabricLoad, LoadResponse, ObsPacket, ObserveKind, PredPacket, RstEntry};
+pub use params::{FabricParams, PortPolicy, StallPolicy};

@@ -1,0 +1,129 @@
+//! Packet formats and snoop-table configuration for the three Agents.
+
+pub use pfm_core::hooks::FabricLoad;
+
+/// What a Retire Snoop Table hit observes (§2.1's three observation
+/// packet types).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ObserveKind {
+    /// Destination value packet (needs a PRF read port).
+    DestValue,
+    /// Store value packet (from the SQ head).
+    StoreValue,
+    /// Branch outcome packet (from the branch queue head).
+    BranchOutcome,
+}
+
+/// One Retire Snoop Table entry.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RstEntry {
+    /// This PC marks the beginning of the region of interest.
+    pub begin_roi: bool,
+    /// This PC marks the end of the region of interest.
+    pub end_roi: bool,
+    /// Observation to construct when this PC retires (while enabled).
+    pub observe: Option<ObserveKind>,
+}
+
+impl RstEntry {
+    /// An entry that observes the destination value.
+    pub fn dest() -> RstEntry {
+        RstEntry { observe: Some(ObserveKind::DestValue), ..RstEntry::default() }
+    }
+
+    /// An entry that observes the store value.
+    pub fn store() -> RstEntry {
+        RstEntry { observe: Some(ObserveKind::StoreValue), ..RstEntry::default() }
+    }
+
+    /// An entry that observes the branch outcome.
+    pub fn branch() -> RstEntry {
+        RstEntry { observe: Some(ObserveKind::BranchOutcome), ..RstEntry::default() }
+    }
+
+    /// Marks this entry as the beginning of the ROI.
+    pub fn begin(mut self) -> RstEntry {
+        self.begin_roi = true;
+        self
+    }
+
+    /// Marks this entry as the end of the ROI.
+    pub fn end(mut self) -> RstEntry {
+        self.end_roi = true;
+        self
+    }
+}
+
+/// An observation packet flowing from the Retire Agent to the custom
+/// component via ObsQ-R.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ObsPacket {
+    /// Beginning of the region of interest.
+    BeginRoi,
+    /// Destination value of a retired instruction.
+    DestValue {
+        /// Retired instruction's PC.
+        pc: u64,
+        /// Destination register value.
+        value: u64,
+    },
+    /// A retired store's address and value.
+    StoreValue {
+        /// Retired store's PC.
+        pc: u64,
+        /// Effective address.
+        addr: u64,
+        /// Stored value.
+        value: u64,
+    },
+    /// A retired conditional branch's outcome.
+    BranchOutcome {
+        /// Retired branch's PC.
+        pc: u64,
+        /// Actual direction.
+        taken: bool,
+    },
+    /// The pipeline squashed; the component must realign (answered
+    /// with squash-done).
+    Squash,
+}
+
+/// A custom conditional-branch prediction flowing from the component to
+/// the Fetch Agent via IntQ-F. Predictions are tagged with the branch
+/// PC they belong to so the Fetch Agent can detect and repair residual
+/// stream misalignment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PredPacket {
+    /// Static PC of the branch this prediction is for.
+    pub pc: u64,
+    /// Predicted direction.
+    pub taken: bool,
+}
+
+/// A load value returning from the Load Agent to the component via
+/// ObsQ-EX. May arrive out of order; `id` is the component-assigned
+/// identifier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LoadResponse {
+    /// The identifier the component attached to the load.
+    pub id: u64,
+    /// Loaded value (from committed architectural memory).
+    pub value: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rst_entry_builders() {
+        let e = RstEntry::dest().begin();
+        assert!(e.begin_roi);
+        assert!(!e.end_roi);
+        assert_eq!(e.observe, Some(ObserveKind::DestValue));
+        let e = RstEntry::branch().end();
+        assert!(e.end_roi);
+        assert_eq!(e.observe, Some(ObserveKind::BranchOutcome));
+        assert_eq!(RstEntry::store().observe, Some(ObserveKind::StoreValue));
+    }
+}

@@ -1,0 +1,164 @@
+//! PFM fabric and Agent parameters, using the paper's notation
+//! (§3): `clkC_wW`, `delayD`, `queueQ`, `portP`.
+
+/// Which Physical Register File read ports the Retire Agent may
+/// contend on (parameter P).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PortPolicy {
+    /// All eight execution lanes' ports.
+    All,
+    /// Both load/store lanes' ports.
+    Ls,
+    /// A single load/store lane's ports.
+    Ls1,
+}
+
+impl PortPolicy {
+    /// Lane indices the Retire Agent may borrow ports from.
+    pub fn lanes(&self) -> &'static [usize] {
+        match self {
+            PortPolicy::All => &[0, 1, 2, 3, 4, 5, 6, 7],
+            PortPolicy::Ls => &[4, 5],
+            PortPolicy::Ls1 => &[5],
+        }
+    }
+
+    /// The paper's label for this policy.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PortPolicy::All => "portALL",
+            PortPolicy::Ls => "portLS",
+            PortPolicy::Ls1 => "portLS1",
+        }
+    }
+}
+
+/// Fetch Agent behaviour when an FST-hit branch finds IntQ-F empty
+/// (§2.4 discusses both options).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StallPolicy {
+    /// Stall the fetch unit until the prediction arrives (the paper's
+    /// primary design).
+    Stall,
+    /// Proceed with the core's predictor and drop that many late
+    /// packets when they arrive (the §2.4 alternative).
+    ProceedAndDrop,
+}
+
+/// Full parameter set for the fabric and Agents.
+#[derive(Clone, Debug)]
+pub struct FabricParams {
+    /// C: CLK_CORE / CLK_RF (the component ticks once every C core
+    /// cycles).
+    pub clk_ratio: u64,
+    /// W: the component's superscalar width — packets popped/pushed
+    /// per communication queue per RF cycle, and predictions generated
+    /// per RF cycle.
+    pub width: usize,
+    /// D: pipelined execution latency of the component, in RF cycles.
+    pub delay: u64,
+    /// Q: size of the Observation and Intervention queues.
+    pub queue_size: usize,
+    /// P: PRF port-sharing policy for the Retire Agent.
+    pub port_policy: PortPolicy,
+    /// Missed Load Buffer entries (fixed at 64 in the paper).
+    pub mlb_size: usize,
+    /// Core cycles between MLB replay attempts.
+    pub mlb_replay_interval: u64,
+    /// Fetch-stall policy for late predictions.
+    pub stall_policy: StallPolicy,
+    /// Watchdog: disable the component after this many consecutive
+    /// fetch-stall cycles (§2.4's chicken switch). `None` disables.
+    pub watchdog: Option<u64>,
+}
+
+impl FabricParams {
+    /// The paper's headline configuration: clk4_w4, delay4, queue32,
+    /// portLS1.
+    pub fn paper_default() -> FabricParams {
+        FabricParams {
+            clk_ratio: 4,
+            width: 4,
+            delay: 4,
+            queue_size: 32,
+            port_policy: PortPolicy::Ls1,
+            mlb_size: 64,
+            mlb_replay_interval: 16,
+            stall_policy: StallPolicy::Stall,
+            watchdog: Some(100_000),
+        }
+    }
+
+    /// Sets C and W (`clkC_wW`).
+    pub fn clk_w(mut self, c: u64, w: usize) -> FabricParams {
+        self.clk_ratio = c;
+        self.width = w;
+        self
+    }
+
+    /// Sets D (`delayD`).
+    pub fn delay(mut self, d: u64) -> FabricParams {
+        self.delay = d;
+        self
+    }
+
+    /// Sets Q (`queueQ`).
+    pub fn queue(mut self, q: usize) -> FabricParams {
+        self.queue_size = q;
+        self
+    }
+
+    /// Sets P (`portP`).
+    pub fn port(mut self, p: PortPolicy) -> FabricParams {
+        self.port_policy = p;
+        self
+    }
+
+    /// Paper-style label, e.g. `clk4_w4_delay4_queue32_portLS1`.
+    pub fn label(&self) -> String {
+        format!(
+            "clk{}_w{}_delay{}_queue{}_{}",
+            self.clk_ratio,
+            self.width,
+            self.delay,
+            self.queue_size,
+            self.port_policy.label()
+        )
+    }
+}
+
+impl Default for FabricParams {
+    fn default() -> FabricParams {
+        FabricParams::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_headline_config() {
+        let p = FabricParams::paper_default();
+        assert_eq!(p.clk_ratio, 4);
+        assert_eq!(p.width, 4);
+        assert_eq!(p.delay, 4);
+        assert_eq!(p.queue_size, 32);
+        assert_eq!(p.port_policy, PortPolicy::Ls1);
+        assert_eq!(p.mlb_size, 64);
+        assert_eq!(p.label(), "clk4_w4_delay4_queue32_portLS1");
+    }
+
+    #[test]
+    fn builder_methods_chain() {
+        let p = FabricParams::paper_default().clk_w(8, 1).delay(0).queue(8).port(PortPolicy::All);
+        assert_eq!(p.label(), "clk8_w1_delay0_queue8_portALL");
+    }
+
+    #[test]
+    fn port_policies_expose_lanes() {
+        assert_eq!(PortPolicy::All.lanes().len(), 8);
+        assert_eq!(PortPolicy::Ls.lanes(), &[4, 5]);
+        assert_eq!(PortPolicy::Ls1.lanes(), &[5]);
+    }
+}

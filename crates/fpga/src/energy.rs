@@ -1,0 +1,153 @@
+//! McPAT-style core energy model plus core+RF energy accounting for
+//! Figure 18.
+//!
+//! The paper obtains core energy from McPAT and RF energy from
+//! post-place-and-route power analysis; we use a per-event energy model
+//! with constants in the published range for a 4-wide out-of-order core
+//! in a 22nm-class process, and the [`mod@crate::power`] model for the RF.
+//! Energy reductions come from the same two sources the paper
+//! identifies: (1) less mis-speculated work, and (2) shorter runtime,
+//! hence less static energy.
+
+use crate::designs::Design;
+use crate::power::energy_per_rf_cycle_nj;
+use pfm_core::SimStats;
+use pfm_mem::HierarchyStats;
+
+/// Per-event energy constants (nanojoules).
+#[derive(Clone, Copy, Debug)]
+pub struct EnergyModel {
+    /// Fetch/decode/rename/issue/commit energy per retired instruction.
+    pub epi_nj: f64,
+    /// Extra energy per load/store (AGU + LSQ + L1D access).
+    pub mem_op_nj: f64,
+    /// Energy per L2 access.
+    pub l2_nj: f64,
+    /// Energy per L3 access.
+    pub l3_nj: f64,
+    /// Energy per DRAM access.
+    pub dram_nj: f64,
+    /// Wasted pipeline work per squash (refilled instructions times
+    /// front-end energy — stands in for wrong-path execution energy).
+    pub squash_nj: f64,
+    /// Core static + clock-tree power (watts).
+    pub static_w: f64,
+    /// Core clock (GHz).
+    pub clk_ghz: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> EnergyModel {
+        EnergyModel {
+            epi_nj: 0.16,
+            mem_op_nj: 0.06,
+            l2_nj: 0.35,
+            l3_nj: 1.4,
+            dram_nj: 12.0,
+            squash_nj: 0.16 * 24.0, // ~fetch-width x pipeline-depth refill
+            static_w: 1.3,
+            clk_ghz: 2.0,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Total core energy for a run, in millijoules.
+    pub fn core_energy_mj(&self, stats: &SimStats, hier: &HierarchyStats) -> f64 {
+        let dynamic_nj = stats.retired as f64 * self.epi_nj
+            + (stats.loads + stats.stores + stats.fabric_loads + stats.fabric_prefetches) as f64
+                * self.mem_op_nj
+            + (hier.l2_hits + hier.l3_hits + hier.dram_accesses) as f64 * self.l2_nj
+            + (hier.l3_hits + hier.dram_accesses) as f64 * self.l3_nj
+            + hier.dram_accesses as f64 * self.dram_nj
+            + (stats.squash_mispredict + stats.squash_disambiguation + stats.squash_roi) as f64
+                * self.squash_nj;
+        let seconds = stats.cycles as f64 / (self.clk_ghz * 1e9);
+        let static_mj = self.static_w * seconds * 1e3;
+        dynamic_nj * 1e-6 + static_mj
+    }
+
+    /// RF (fabric + synthesized component) energy for a run, in
+    /// millijoules: per-RF-cycle dynamic energy from post-PAR-style
+    /// power analysis plus RF static power over the runtime.
+    pub fn rf_energy_mj(&self, design: &Design, stats: &SimStats, clk_ratio: u64) -> f64 {
+        let clk_rf_mhz = self.clk_ghz * 1000.0 / clk_ratio as f64;
+        let rf_cycles = stats.cycles as f64 / clk_ratio as f64;
+        rf_cycles * energy_per_rf_cycle_nj(design, clk_rf_mhz) * 1e-6
+    }
+
+    /// Figure 18's metric: PFM (core + RF) energy normalized to the
+    /// baseline core's energy.
+    pub fn normalized_pfm_energy(
+        &self,
+        base: (&SimStats, &HierarchyStats),
+        pfm: (&SimStats, &HierarchyStats),
+        design: &Design,
+        clk_ratio: u64,
+    ) -> f64 {
+        let e_base = self.core_energy_mj(base.0, base.1);
+        let e_pfm = self.core_energy_mj(pfm.0, pfm.1) + self.rf_energy_mj(design, pfm.0, clk_ratio);
+        e_pfm / e_base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::designs::astar_4wide;
+
+    fn stats(cycles: u64, retired: u64, squashes: u64) -> (SimStats, HierarchyStats) {
+        let s = SimStats {
+            cycles,
+            retired,
+            loads: retired / 4,
+            stores: retired / 10,
+            squash_mispredict: squashes,
+            ..Default::default()
+        };
+        let h = HierarchyStats {
+            l2_hits: retired / 50,
+            l3_hits: retired / 100,
+            dram_accesses: retired / 400,
+            ..Default::default()
+        };
+        (s, h)
+    }
+
+    #[test]
+    fn shorter_runs_save_static_energy() {
+        let m = EnergyModel::default();
+        let (s1, h1) = stats(1_000_000, 1_000_000, 0);
+        let (s2, h2) = stats(400_000, 1_000_000, 0);
+        assert!(m.core_energy_mj(&s2, &h2) < m.core_energy_mj(&s1, &h1));
+    }
+
+    #[test]
+    fn squashes_cost_energy() {
+        let m = EnergyModel::default();
+        let (s1, h1) = stats(1_000_000, 1_000_000, 0);
+        let (s2, h2) = stats(1_000_000, 1_000_000, 40_000);
+        assert!(m.core_energy_mj(&s2, &h2) > m.core_energy_mj(&s1, &h1));
+    }
+
+    #[test]
+    fn pfm_with_big_speedup_reduces_energy() {
+        // A PFM run that halves cycles and removes squashes should come
+        // in below 1.0 even after paying for the RF.
+        let m = EnergyModel::default();
+        let (bs, bh) = stats(2_000_000, 1_000_000, 50_000);
+        let (ps, ph) = stats(800_000, 1_000_000, 500);
+        let n = m.normalized_pfm_energy((&bs, &bh), (&ps, &ph), &astar_4wide(), 4);
+        assert!(n < 1.0, "normalized energy {n}");
+        assert!(n > 0.2, "RF power is not free, got {n}");
+    }
+
+    #[test]
+    fn rf_energy_scales_with_runtime() {
+        let m = EnergyModel::default();
+        let (s1, _) = stats(1_000_000, 1_000_000, 0);
+        let (s2, _) = stats(2_000_000, 1_000_000, 0);
+        let d = astar_4wide();
+        assert!(m.rf_energy_mj(&d, &s2, 4) > m.rf_energy_mj(&d, &s1, 4));
+    }
+}

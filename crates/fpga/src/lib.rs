@@ -1,0 +1,20 @@
+//! # pfm-fpga — FPGA cost, power and energy models
+//!
+//! Replaces the paper's vendor toolflow (§5): a structural resource
+//! estimator over coarse primitives stands in for Vivado synthesis, a
+//! switched-capacitance power model for the post-place-and-route power
+//! analysis, and a per-event core energy model for McPAT. Together they
+//! regenerate Table 4 (LUT/FF/BRAM/DSP/frequency/power per design) and
+//! Figure 18 (core+RF energy normalized to the baseline core).
+
+#![warn(missing_docs)]
+
+pub mod designs;
+pub mod energy;
+pub mod power;
+pub mod resource;
+
+pub use designs::{table4_designs, Design};
+pub use energy::EnergyModel;
+pub use power::{power, PowerEstimate};
+pub use resource::{estimate_design, Primitive, ResourceEstimate};

@@ -1,0 +1,231 @@
+//! Structural FPGA resource estimation.
+//!
+//! The paper synthesizes its custom components to a Xilinx Virtex
+//! UltraScale+ (xcvu3p) with Vivado; we replace the vendor tools with a
+//! structural estimator: a component is described as a netlist of
+//! coarse primitives (registers, queues, adders, comparators, CAMs,
+//! block-RAM tables, multipliers, FSMs) whose LUT/FF/BRAM/DSP costs are
+//! calibrated against published synthesis results for this device
+//! class. Absolute counts are estimates; the *relationships* Table 4
+//! exhibits (the 4-wide astar design is LUT-heavy, astar-alt trades
+//! logic for BRAM, the prefetch FSMs are tiny) are structural and carry
+//! over.
+
+/// A coarse hardware primitive.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Primitive {
+    /// `bits` of simple registers/pipeline state.
+    Registers {
+        /// Total register bits.
+        bits: u32,
+    },
+    /// A FIFO queue of `entries` x `width` bits implemented in
+    /// distributed RAM + pointers.
+    Queue {
+        /// Number of entries.
+        entries: u32,
+        /// Bits per entry.
+        width: u32,
+    },
+    /// A content-addressable memory of `entries` x `width` bits
+    /// (parallel comparators: LUT-hungry).
+    Cam {
+        /// Number of entries.
+        entries: u32,
+        /// Tag width in bits.
+        width: u32,
+    },
+    /// An adder/subtractor of `width` bits.
+    Adder {
+        /// Operand width.
+        width: u32,
+    },
+    /// An equality/magnitude comparator of `width` bits.
+    Comparator {
+        /// Operand width.
+        width: u32,
+    },
+    /// A `ways`-to-1 multiplexer of `width`-bit operands.
+    Mux {
+        /// Number of inputs.
+        ways: u32,
+        /// Data width.
+        width: u32,
+    },
+    /// A large table in Block RAM (`bits` total).
+    BramTable {
+        /// Total bits.
+        bits: u32,
+    },
+    /// A hardware multiplier (DSP-mapped when wide enough).
+    Multiplier {
+        /// Operand width.
+        width: u32,
+    },
+    /// Control FSM with `states` states and `signals` control outputs.
+    Fsm {
+        /// State count.
+        states: u32,
+        /// Control signal count.
+        signals: u32,
+    },
+}
+
+/// Estimated resources for one design.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ResourceEstimate {
+    /// Look-up tables.
+    pub lut: u32,
+    /// Flip-flops.
+    pub ff: u32,
+    /// Block RAMs (36Kb units; halves allowed).
+    pub bram: f64,
+    /// DSP slices.
+    pub dsp: u32,
+}
+
+impl ResourceEstimate {
+    /// Adds another estimate.
+    pub fn add(&mut self, other: ResourceEstimate) {
+        self.lut += other.lut;
+        self.ff += other.ff;
+        self.bram += other.bram;
+        self.dsp += other.dsp;
+    }
+}
+
+/// Estimates the cost of one primitive (xcvu3p-class calibration).
+pub fn estimate(p: &Primitive) -> ResourceEstimate {
+    match *p {
+        Primitive::Registers { bits } => {
+            ResourceEstimate { lut: bits / 8, ff: bits, bram: 0.0, dsp: 0 }
+        }
+        Primitive::Queue { entries, width } => {
+            // Distributed-RAM FIFO: storage LUTs (LUTRAM packs 64 bits
+            // per LUT pair) + head/tail pointers and flags.
+            let storage_lut = (entries * width).div_ceil(32);
+            let ptr_bits = 2 * (32 - entries.leading_zeros().max(1)) + 4;
+            ResourceEstimate {
+                lut: storage_lut + 12,
+                ff: ptr_bits + width, // output register + pointers
+                bram: 0.0,
+                dsp: 0,
+            }
+        }
+        Primitive::Cam { entries, width } => {
+            // One comparator per entry plus tag storage (LUTRAM-packed,
+            // so roughly half a FF per tag bit).
+            ResourceEstimate {
+                lut: entries * width.div_ceil(2),
+                ff: entries * width / 2,
+                bram: 0.0,
+                dsp: 0,
+            }
+        }
+        Primitive::Adder { width } => ResourceEstimate { lut: width, ff: 0, bram: 0.0, dsp: 0 },
+        Primitive::Comparator { width } => {
+            ResourceEstimate { lut: width.div_ceil(2), ff: 0, bram: 0.0, dsp: 0 }
+        }
+        Primitive::Mux { ways, width } => {
+            ResourceEstimate { lut: (ways.saturating_sub(1)) * width.div_ceil(2), ff: 0, bram: 0.0, dsp: 0 }
+        }
+        Primitive::BramTable { bits } => {
+            ResourceEstimate { lut: 8, ff: 8, bram: f64::from(bits) / 36_864.0, dsp: 0 }
+        }
+        Primitive::Multiplier { width } => {
+            if width >= 12 {
+                ResourceEstimate { lut: 12, ff: 16, bram: 0.0, dsp: ((width + 16) / 17).max(1) }
+            } else {
+                ResourceEstimate { lut: width * width / 2, ff: width, bram: 0.0, dsp: 0 }
+            }
+        }
+        Primitive::Fsm { states, signals } => ResourceEstimate {
+            lut: states * 3 + signals * 2,
+            ff: (32 - states.leading_zeros().max(1)) + signals,
+            bram: 0.0,
+            dsp: 0,
+        },
+    }
+}
+
+/// Estimates a whole design (a bag of primitives).
+pub fn estimate_design(prims: &[Primitive]) -> ResourceEstimate {
+    let mut total = ResourceEstimate::default();
+    for p in prims {
+        total.add(estimate(p));
+    }
+    total
+}
+
+/// Achievable clock frequency (MHz) for a design on this device class:
+/// small FSMs close near the device limit; CAM match-lines and wide
+/// muxes add levels of logic that cost frequency.
+pub fn frequency_mhz(prims: &[Primitive], est: &ResourceEstimate) -> f64 {
+    let mut f: f64 = 737.0; // xcvu3p-3 BUFG-limited practical ceiling
+    let cam_bits: u32 = prims
+        .iter()
+        .map(|p| if let Primitive::Cam { entries, width } = *p { entries * width } else { 0 })
+        .sum();
+    // CAM match-or trees: ~1 MHz per 16 CAM bits of match network.
+    f -= f64::from(cam_bits) / 16.0;
+    // Routing congestion from sheer logic size.
+    f -= f64::from(est.lut) / 60.0;
+    // BRAM access paths hold ~500 MHz.
+    if est.bram > 0.0 {
+        f = f.min(520.0);
+    }
+    f.clamp(150.0, 737.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_have_sane_costs() {
+        let r = estimate(&Primitive::Registers { bits: 64 });
+        assert_eq!(r.ff, 64);
+        let q = estimate(&Primitive::Queue { entries: 32, width: 16 });
+        assert!(q.lut > 0 && q.ff > 0);
+        let c = estimate(&Primitive::Cam { entries: 64, width: 18 });
+        assert!(c.lut >= 64 * 9, "CAMs are LUT-hungry");
+        let b = estimate(&Primitive::BramTable { bits: 32 * 8 * 1024 });
+        assert!(b.bram > 7.0 && b.bram < 7.2);
+        let m = estimate(&Primitive::Multiplier { width: 32 });
+        assert!(m.dsp >= 1);
+    }
+
+    #[test]
+    fn design_sums_primitives() {
+        let d = vec![
+            Primitive::Registers { bits: 100 },
+            Primitive::Adder { width: 32 },
+            Primitive::Adder { width: 32 },
+        ];
+        let e = estimate_design(&d);
+        assert_eq!(e.ff, 100);
+        assert_eq!(e.lut, 100 / 8 + 64);
+    }
+
+    #[test]
+    fn frequency_degrades_with_cams_and_size() {
+        let small = vec![Primitive::Fsm { states: 4, signals: 8 }];
+        let es = estimate_design(&small);
+        let fs = frequency_mhz(&small, &es);
+        let big = vec![
+            Primitive::Cam { entries: 64, width: 18 },
+            Primitive::Registers { bits: 4000 },
+        ];
+        let eb = estimate_design(&big);
+        let fb = frequency_mhz(&big, &eb);
+        assert!(fs > 650.0, "small FSMs run fast, got {fs}");
+        assert!(fb < fs, "CAM designs are slower: {fb} vs {fs}");
+    }
+
+    #[test]
+    fn bram_designs_cap_frequency() {
+        let d = vec![Primitive::BramTable { bits: 262_144 }];
+        let e = estimate_design(&d);
+        assert!(frequency_mhz(&d, &e) <= 520.0);
+    }
+}

@@ -1,0 +1,420 @@
+//! A small label-based assembler for writing workload kernels in Rust.
+//!
+//! ```
+//! use pfm_isa::asm::Asm;
+//! use pfm_isa::reg::names::*;
+//!
+//! # fn main() -> Result<(), pfm_isa::asm::AsmError> {
+//! let mut a = Asm::new(0x1000);
+//! let loop_top = a.label();
+//! a.li(A0, 10);
+//! a.bind(loop_top)?;
+//! a.addi(A0, A0, -1);
+//! a.bne(A0, X0, loop_top);
+//! a.halt();
+//! let prog = a.finish()?;
+//! assert_eq!(prog.len(), 4);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::inst::{AluOp, BranchCond, FAluOp, Inst, MemWidth, INST_BYTES};
+use crate::program::Program;
+use crate::reg::{FReg, Reg};
+use std::collections::HashMap;
+
+/// A forward-referencable code label.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Label(usize);
+
+/// Errors produced by the assembler.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AsmError {
+    /// `finish` was called while a label used as a branch target was
+    /// never bound.
+    UnboundLabel(usize),
+    /// A label was bound twice.
+    Rebound(usize),
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AsmError::UnboundLabel(i) => write!(f, "label {i} was referenced but never bound"),
+            AsmError::Rebound(i) => write!(f, "label {i} bound more than once"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Incremental program builder.
+///
+/// Instructions are appended with the mnemonic-named methods; branch
+/// targets may be labels created with [`Asm::label`] and bound with
+/// [`Asm::bind`] before or after use. [`Asm::finish`] patches all label
+/// references and returns the [`Program`].
+#[derive(Debug)]
+pub struct Asm {
+    base: u64,
+    insts: Vec<Inst>,
+    labels: Vec<Option<u64>>,
+    /// (instruction index) -> label to patch into its target.
+    patches: Vec<(usize, Label)>,
+    symbols: HashMap<String, u64>,
+}
+
+impl Asm {
+    /// Creates an assembler placing the first instruction at `base`.
+    pub fn new(base: u64) -> Asm {
+        Asm { base, insts: Vec::new(), labels: Vec::new(), patches: Vec::new(), symbols: HashMap::new() }
+    }
+
+    /// Creates a fresh, unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the address of the *next* appended instruction.
+    ///
+    /// # Errors
+    /// Returns [`AsmError::Rebound`] if the label was already bound.
+    pub fn bind(&mut self, label: Label) -> Result<(), AsmError> {
+        if self.labels[label.0].is_some() {
+            return Err(AsmError::Rebound(label.0));
+        }
+        self.labels[label.0] = Some(self.here());
+        Ok(())
+    }
+
+    /// The address of the next appended instruction.
+    pub fn here(&self) -> u64 {
+        self.base + self.insts.len() as u64 * INST_BYTES
+    }
+
+    /// Records `name` as an exported symbol for the current address.
+    pub fn export(&mut self, name: &str) {
+        self.symbols.insert(name.to_string(), self.here());
+    }
+
+    /// Records `name` as an exported symbol for an arbitrary value
+    /// (e.g., a data address).
+    pub fn export_value(&mut self, name: &str, value: u64) {
+        self.symbols.insert(name.to_string(), value);
+    }
+
+    /// Appends a raw instruction.
+    pub fn push(&mut self, inst: Inst) -> &mut Asm {
+        self.insts.push(inst);
+        self
+    }
+
+    fn push_branch(&mut self, cond: BranchCond, rs1: Reg, rs2: Reg, label: Label) -> &mut Asm {
+        self.patches.push((self.insts.len(), label));
+        self.insts.push(Inst::Branch { cond, rs1, rs2, target: 0 });
+        self
+    }
+
+    // ---- integer ALU ----
+
+    /// `rd = rs1 + rs2`
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.push(Inst::Alu { op: AluOp::Add, rd, rs1, rs2 })
+    }
+    /// `rd = rs1 - rs2`
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.push(Inst::Alu { op: AluOp::Sub, rd, rs1, rs2 })
+    }
+    /// `rd = rs1 & rs2`
+    pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.push(Inst::Alu { op: AluOp::And, rd, rs1, rs2 })
+    }
+    /// `rd = rs1 | rs2`
+    pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.push(Inst::Alu { op: AluOp::Or, rd, rs1, rs2 })
+    }
+    /// `rd = rs1 ^ rs2`
+    pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.push(Inst::Alu { op: AluOp::Xor, rd, rs1, rs2 })
+    }
+    /// `rd = rs1 << rs2`
+    pub fn sll(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.push(Inst::Alu { op: AluOp::Sll, rd, rs1, rs2 })
+    }
+    /// `rd = rs1 >> rs2` (logical)
+    pub fn srl(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.push(Inst::Alu { op: AluOp::Srl, rd, rs1, rs2 })
+    }
+    /// `rd = (rs1 < rs2) ? 1 : 0` (signed)
+    pub fn slt(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.push(Inst::Alu { op: AluOp::Slt, rd, rs1, rs2 })
+    }
+    /// `rd = (rs1 < rs2) ? 1 : 0` (unsigned)
+    pub fn sltu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.push(Inst::Alu { op: AluOp::Sltu, rd, rs1, rs2 })
+    }
+    /// `rd = rs1 * rs2`
+    pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.push(Inst::Alu { op: AluOp::Mul, rd, rs1, rs2 })
+    }
+    /// `rd = rs1 / rs2` (signed)
+    pub fn div(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.push(Inst::Alu { op: AluOp::Div, rd, rs1, rs2 })
+    }
+    /// `rd = rs1 % rs2` (signed)
+    pub fn rem(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.push(Inst::Alu { op: AluOp::Rem, rd, rs1, rs2 })
+    }
+
+    // ---- immediates ----
+
+    /// `rd = rs1 + imm`
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Asm {
+        self.push(Inst::AluImm { op: AluOp::Add, rd, rs1, imm })
+    }
+    /// `rd = rs1 & imm`
+    pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Asm {
+        self.push(Inst::AluImm { op: AluOp::And, rd, rs1, imm })
+    }
+    /// `rd = rs1 | imm`
+    pub fn ori(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Asm {
+        self.push(Inst::AluImm { op: AluOp::Or, rd, rs1, imm })
+    }
+    /// `rd = rs1 ^ imm`
+    pub fn xori(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Asm {
+        self.push(Inst::AluImm { op: AluOp::Xor, rd, rs1, imm })
+    }
+    /// `rd = rs1 << imm`
+    pub fn slli(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Asm {
+        self.push(Inst::AluImm { op: AluOp::Sll, rd, rs1, imm })
+    }
+    /// `rd = rs1 >> imm` (logical)
+    pub fn srli(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Asm {
+        self.push(Inst::AluImm { op: AluOp::Srl, rd, rs1, imm })
+    }
+    /// `rd = (rs1 < imm) ? 1 : 0` (signed)
+    pub fn slti(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Asm {
+        self.push(Inst::AluImm { op: AluOp::Slt, rd, rs1, imm })
+    }
+    /// `rd = imm` (full 64-bit constant materialization)
+    pub fn li(&mut self, rd: Reg, imm: i64) -> &mut Asm {
+        self.push(Inst::Li { rd, imm })
+    }
+    /// `rd = rs1` (register move)
+    pub fn mv(&mut self, rd: Reg, rs1: Reg) -> &mut Asm {
+        self.addi(rd, rs1, 0)
+    }
+
+    // ---- memory ----
+
+    /// `rd = sext(mem8[rs1+offset])`
+    pub fn lb(&mut self, rd: Reg, base: Reg, offset: i64) -> &mut Asm {
+        self.push(Inst::Load { width: MemWidth::B1, signed: true, rd, base, offset })
+    }
+    /// `rd = zext(mem8[rs1+offset])`
+    pub fn lbu(&mut self, rd: Reg, base: Reg, offset: i64) -> &mut Asm {
+        self.push(Inst::Load { width: MemWidth::B1, signed: false, rd, base, offset })
+    }
+    /// `rd = sext(mem16[rs1+offset])`
+    pub fn lh(&mut self, rd: Reg, base: Reg, offset: i64) -> &mut Asm {
+        self.push(Inst::Load { width: MemWidth::B2, signed: true, rd, base, offset })
+    }
+    /// `rd = sext(mem32[rs1+offset])`
+    pub fn lw(&mut self, rd: Reg, base: Reg, offset: i64) -> &mut Asm {
+        self.push(Inst::Load { width: MemWidth::B4, signed: true, rd, base, offset })
+    }
+    /// `rd = zext(mem32[rs1+offset])`
+    pub fn lwu(&mut self, rd: Reg, base: Reg, offset: i64) -> &mut Asm {
+        self.push(Inst::Load { width: MemWidth::B4, signed: false, rd, base, offset })
+    }
+    /// `rd = mem64[rs1+offset]`
+    pub fn ld(&mut self, rd: Reg, base: Reg, offset: i64) -> &mut Asm {
+        self.push(Inst::Load { width: MemWidth::B8, signed: true, rd, base, offset })
+    }
+    /// `mem8[base+offset] = src`
+    pub fn sb(&mut self, src: Reg, base: Reg, offset: i64) -> &mut Asm {
+        self.push(Inst::Store { width: MemWidth::B1, src, base, offset })
+    }
+    /// `mem16[base+offset] = src`
+    pub fn sh(&mut self, src: Reg, base: Reg, offset: i64) -> &mut Asm {
+        self.push(Inst::Store { width: MemWidth::B2, src, base, offset })
+    }
+    /// `mem32[base+offset] = src`
+    pub fn sw(&mut self, src: Reg, base: Reg, offset: i64) -> &mut Asm {
+        self.push(Inst::Store { width: MemWidth::B4, src, base, offset })
+    }
+    /// `mem64[base+offset] = src`
+    pub fn sd(&mut self, src: Reg, base: Reg, offset: i64) -> &mut Asm {
+        self.push(Inst::Store { width: MemWidth::B8, src, base, offset })
+    }
+
+    // ---- control flow ----
+
+    /// `if rs1 == rs2 goto label`
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, label: Label) -> &mut Asm {
+        self.push_branch(BranchCond::Eq, rs1, rs2, label)
+    }
+    /// `if rs1 != rs2 goto label`
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, label: Label) -> &mut Asm {
+        self.push_branch(BranchCond::Ne, rs1, rs2, label)
+    }
+    /// `if rs1 < rs2 goto label` (signed)
+    pub fn blt(&mut self, rs1: Reg, rs2: Reg, label: Label) -> &mut Asm {
+        self.push_branch(BranchCond::Lt, rs1, rs2, label)
+    }
+    /// `if rs1 >= rs2 goto label` (signed)
+    pub fn bge(&mut self, rs1: Reg, rs2: Reg, label: Label) -> &mut Asm {
+        self.push_branch(BranchCond::Ge, rs1, rs2, label)
+    }
+    /// `if rs1 < rs2 goto label` (unsigned)
+    pub fn bltu(&mut self, rs1: Reg, rs2: Reg, label: Label) -> &mut Asm {
+        self.push_branch(BranchCond::Ltu, rs1, rs2, label)
+    }
+    /// `if rs1 >= rs2 goto label` (unsigned)
+    pub fn bgeu(&mut self, rs1: Reg, rs2: Reg, label: Label) -> &mut Asm {
+        self.push_branch(BranchCond::Geu, rs1, rs2, label)
+    }
+    /// Unconditional jump to `label`.
+    pub fn j(&mut self, label: Label) -> &mut Asm {
+        self.patches.push((self.insts.len(), label));
+        self.push(Inst::Jal { rd: Reg::X0, target: 0 })
+    }
+    /// Call `label`, saving the return address in `ra`.
+    pub fn call(&mut self, label: Label) -> &mut Asm {
+        self.patches.push((self.insts.len(), label));
+        self.push(Inst::Jal { rd: Reg::RA, target: 0 })
+    }
+    /// Return via `ra`.
+    pub fn ret(&mut self) -> &mut Asm {
+        self.push(Inst::Jalr { rd: Reg::X0, base: Reg::RA, offset: 0 })
+    }
+    /// Indirect jump-and-link.
+    pub fn jalr(&mut self, rd: Reg, base: Reg, offset: i64) -> &mut Asm {
+        self.push(Inst::Jalr { rd, base, offset })
+    }
+
+    // ---- floating point ----
+
+    /// `fd = mem64[base+offset]` (as f64 bits)
+    pub fn fld(&mut self, fd: FReg, base: Reg, offset: i64) -> &mut Asm {
+        self.push(Inst::FLoad { fd, base, offset })
+    }
+    /// `mem64[base+offset] = fs`
+    pub fn fsd(&mut self, fs: FReg, base: Reg, offset: i64) -> &mut Asm {
+        self.push(Inst::FStore { fs, base, offset })
+    }
+    /// `fd = fs1 + fs2`
+    pub fn fadd(&mut self, fd: FReg, fs1: FReg, fs2: FReg) -> &mut Asm {
+        self.push(Inst::FAlu { op: FAluOp::Fadd, fd, fs1, fs2 })
+    }
+    /// `fd = fs1 - fs2`
+    pub fn fsub(&mut self, fd: FReg, fs1: FReg, fs2: FReg) -> &mut Asm {
+        self.push(Inst::FAlu { op: FAluOp::Fsub, fd, fs1, fs2 })
+    }
+    /// `fd = fs1 * fs2`
+    pub fn fmul(&mut self, fd: FReg, fs1: FReg, fs2: FReg) -> &mut Asm {
+        self.push(Inst::FAlu { op: FAluOp::Fmul, fd, fs1, fs2 })
+    }
+    /// `fd = fs1 / fs2`
+    pub fn fdiv(&mut self, fd: FReg, fs1: FReg, fs2: FReg) -> &mut Asm {
+        self.push(Inst::FAlu { op: FAluOp::Fdiv, fd, fs1, fs2 })
+    }
+
+    // ---- misc ----
+
+    /// No-op.
+    pub fn nop(&mut self) -> &mut Asm {
+        self.push(Inst::Nop)
+    }
+    /// Stop the simulation.
+    pub fn halt(&mut self) -> &mut Asm {
+        self.push(Inst::Halt)
+    }
+
+    /// Resolves all labels and produces the final [`Program`].
+    ///
+    /// # Errors
+    /// Returns [`AsmError::UnboundLabel`] if any referenced label was
+    /// never bound.
+    pub fn finish(mut self) -> Result<Program, AsmError> {
+        for &(idx, label) in &self.patches {
+            let addr = self.labels[label.0].ok_or(AsmError::UnboundLabel(label.0))?;
+            match &mut self.insts[idx] {
+                Inst::Branch { target, .. } | Inst::Jal { target, .. } => *target = addr,
+                other => unreachable!("patch target is not a control instruction: {other:?}"),
+            }
+        }
+        Ok(Program::new(self.base, self.insts, self.symbols))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::names::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut a = Asm::new(0x1000);
+        let fwd = a.label();
+        let back = a.label();
+        a.bind(back).unwrap();
+        a.addi(A0, A0, 1); // 0x1000
+        a.beq(A0, X0, fwd); // 0x1004
+        a.bne(A0, X0, back); // 0x1008
+        a.bind(fwd).unwrap();
+        a.halt(); // 0x100c
+        let p = a.finish().unwrap();
+        match p.fetch(0x1004).unwrap() {
+            Inst::Branch { target, .. } => assert_eq!(target, 0x100c),
+            other => panic!("unexpected {other:?}"),
+        }
+        match p.fetch(0x1008).unwrap() {
+            Inst::Branch { target, .. } => assert_eq!(target, 0x1000),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut a = Asm::new(0);
+        let l = a.label();
+        a.j(l);
+        assert_eq!(a.finish().unwrap_err(), AsmError::UnboundLabel(0));
+    }
+
+    #[test]
+    fn rebinding_is_an_error() {
+        let mut a = Asm::new(0);
+        let l = a.label();
+        a.bind(l).unwrap();
+        a.nop();
+        assert_eq!(a.bind(l).unwrap_err(), AsmError::Rebound(0));
+    }
+
+    #[test]
+    fn exports_become_symbols() {
+        let mut a = Asm::new(0x2000);
+        a.nop();
+        a.export("roi_begin");
+        a.halt();
+        a.export_value("waymap_base", 0xdead0000);
+        let p = a.finish().unwrap();
+        assert_eq!(p.symbol("roi_begin").unwrap(), 0x2004);
+        assert_eq!(p.symbol("waymap_base").unwrap(), 0xdead0000);
+    }
+
+    #[test]
+    fn call_ret_encode_jal_jalr() {
+        let mut a = Asm::new(0);
+        let f = a.label();
+        a.call(f);
+        a.halt();
+        a.bind(f).unwrap();
+        a.ret();
+        let p = a.finish().unwrap();
+        assert!(matches!(p.fetch(0).unwrap(), Inst::Jal { rd, target: 8 } if rd == RA));
+        assert!(matches!(p.fetch(8).unwrap(), Inst::Jalr { .. }));
+    }
+}

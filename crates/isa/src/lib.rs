@@ -1,0 +1,54 @@
+//! # pfm-isa — ISA, assembler and functional execution substrate
+//!
+//! The RISC-V-flavoured instruction set, label-based assembler, sparse
+//! data memory with a speculative store overlay, and the architectural
+//! (functional) executor used by the Post-Fabrication Microarchitecture
+//! (PFM) reproduction.
+//!
+//! The cycle-level superscalar core in `pfm-core` is *functional-first*:
+//! it consumes architecturally-exact [`machine::StepOut`] records from
+//! [`machine::Machine`] and layers all speculation/timing on top. The
+//! split between speculative and committed memory in
+//! [`mem::SpecMemory`] is what gives the PFM Load Agent its
+//! paper-faithful semantics (fabric loads never see unretired stores).
+//!
+//! ## Example
+//!
+//! ```
+//! use pfm_isa::asm::Asm;
+//! use pfm_isa::machine::Machine;
+//! use pfm_isa::mem::SpecMemory;
+//! use pfm_isa::reg::names::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut a = Asm::new(0x1000);
+//! let top = a.label();
+//! a.li(A0, 0);
+//! a.li(A1, 100);
+//! a.bind(top)?;
+//! a.add(A0, A0, A1);
+//! a.addi(A1, A1, -1);
+//! a.bne(A1, X0, top);
+//! a.halt();
+//! let mut m = Machine::new(a.finish()?, SpecMemory::new());
+//! m.run(10_000)?;
+//! assert_eq!(m.reg(A0), 5050);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod inst;
+pub mod machine;
+pub mod mem;
+pub mod program;
+pub mod reg;
+
+pub use asm::Asm;
+pub use inst::{ExecClass, Inst, InstInfo};
+pub use machine::{Machine, StepOut};
+pub use mem::{SparseMem, SpecMemory};
+pub use program::Program;
+pub use reg::{FReg, Reg, RegRef};

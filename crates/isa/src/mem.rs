@@ -1,0 +1,347 @@
+//! Data memory: a sparse paged byte store plus a speculative store
+//! overlay.
+//!
+//! The simulator executes correct-path instructions functionally at
+//! fetch ("functional-first"), but stores must not become
+//! architecturally visible until they retire: the PFM Load Agent issues
+//! loads on behalf of the reconfigurable fabric that, per the paper,
+//! *do not search the store queue* and therefore see only committed
+//! state. [`SpecMemory`] models this split:
+//!
+//! * speculative writes go into a per-byte overlay tagged with the
+//!   store's program-order sequence number,
+//! * core loads read overlay-then-committed (correct, because the
+//!   functional stream is executed in program order),
+//! * fabric loads read only the committed image,
+//! * at store retirement the overlay entry is folded into the committed
+//!   image; on a pipeline squash younger overlay entries are dropped.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u64 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
+
+/// A sparse, paged, byte-addressable memory. Unwritten bytes read zero.
+///
+/// ```
+/// use pfm_isa::mem::SparseMem;
+/// let mut m = SparseMem::new();
+/// m.write(0x8000, 8, 0xdead_beef_1234_5678);
+/// assert_eq!(m.read(0x8000, 8), 0xdead_beef_1234_5678);
+/// assert_eq!(m.read(0x8004, 4), 0xdead_beef);
+/// assert_eq!(m.read(0x9000, 8), 0); // untouched page
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SparseMem {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl SparseMem {
+    /// Creates an empty memory.
+    pub fn new() -> SparseMem {
+        SparseMem::default()
+    }
+
+    /// Number of resident 4 KiB pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Reads one byte.
+    #[inline]
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(p) => p[(addr & PAGE_MASK) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte, allocating the page on demand.
+    #[inline]
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        page[(addr & PAGE_MASK) as usize] = value;
+    }
+
+    /// Reads `size` bytes (1, 2, 4, or 8) little-endian, zero-extended.
+    ///
+    /// # Panics
+    /// Panics if `size` is not one of 1, 2, 4, 8.
+    pub fn read(&self, addr: u64, size: u64) -> u64 {
+        assert!(matches!(size, 1 | 2 | 4 | 8), "bad access size {size}");
+        let mut v = 0u64;
+        for i in 0..size {
+            v |= (self.read_u8(addr.wrapping_add(i)) as u64) << (8 * i);
+        }
+        v
+    }
+
+    /// Writes the low `size` bytes (1, 2, 4, or 8) of `value`
+    /// little-endian.
+    ///
+    /// # Panics
+    /// Panics if `size` is not one of 1, 2, 4, 8.
+    pub fn write(&mut self, addr: u64, size: u64, value: u64) {
+        assert!(matches!(size, 1 | 2 | 4 | 8), "bad access size {size}");
+        for i in 0..size {
+            self.write_u8(addr.wrapping_add(i), (value >> (8 * i)) as u8);
+        }
+    }
+}
+
+/// A pending speculative store registered with [`SpecMemory`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PendingStore {
+    /// Program-order sequence number of the store instruction.
+    pub seq: u64,
+    /// Byte address.
+    pub addr: u64,
+    /// Access size in bytes.
+    pub size: u64,
+    /// Store value (low `size` bytes significant).
+    pub value: u64,
+}
+
+/// Committed memory plus a speculative store overlay.
+///
+/// Sequence numbers must be registered in strictly increasing order
+/// (program order), committed in the same order, and squashed from the
+/// youngest end — which is exactly how an out-of-order core's store
+/// queue behaves.
+#[derive(Clone, Debug, Default)]
+pub struct SpecMemory {
+    committed: SparseMem,
+    /// Per-byte stacks of (seq, value); each Vec is sorted by seq
+    /// because writes arrive in program order.
+    overlay: HashMap<u64, Vec<(u64, u8)>>,
+    /// All unretired stores by seq, for commit/squash bookkeeping.
+    pending: Vec<PendingStore>,
+}
+
+impl SpecMemory {
+    /// Creates an empty speculative memory.
+    pub fn new() -> SpecMemory {
+        SpecMemory::default()
+    }
+
+    /// Immutable view of the committed image (what the PFM Load Agent
+    /// sees).
+    pub fn committed(&self) -> &SparseMem {
+        &self.committed
+    }
+
+    /// Mutable access to the committed image, for program/data
+    /// initialization before simulation starts.
+    ///
+    /// # Panics
+    /// Panics if there are unretired speculative stores, to prevent
+    /// initialization racing with execution.
+    pub fn committed_mut(&mut self) -> &mut SparseMem {
+        assert!(self.pending.is_empty(), "cannot mutate committed image with stores in flight");
+        &mut self.committed
+    }
+
+    /// Number of in-flight speculative stores.
+    pub fn pending_stores(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Speculative read: youngest overlay byte wins, falling back to the
+    /// committed image. This is the view core instructions see.
+    pub fn read_spec(&self, addr: u64, size: u64) -> u64 {
+        assert!(matches!(size, 1 | 2 | 4 | 8), "bad access size {size}");
+        let mut v = 0u64;
+        for i in 0..size {
+            let a = addr.wrapping_add(i);
+            let byte = match self.overlay.get(&a).and_then(|s| s.last()) {
+                Some(&(_, b)) => b,
+                None => self.committed.read_u8(a),
+            };
+            v |= (byte as u64) << (8 * i);
+        }
+        v
+    }
+
+    /// Committed read: ignores all unretired stores. This is the view
+    /// fabric (Load Agent) loads see.
+    pub fn read_committed(&self, addr: u64, size: u64) -> u64 {
+        self.committed.read(addr, size)
+    }
+
+    /// Registers a speculative store.
+    ///
+    /// # Panics
+    /// Panics if `seq` is not greater than every pending store's seq
+    /// (stores must arrive in program order).
+    pub fn write_spec(&mut self, seq: u64, addr: u64, size: u64, value: u64) {
+        assert!(matches!(size, 1 | 2 | 4 | 8), "bad access size {size}");
+        if let Some(last) = self.pending.last() {
+            assert!(seq > last.seq, "stores must be registered in program order");
+        }
+        for i in 0..size {
+            let a = addr.wrapping_add(i);
+            let byte = (value >> (8 * i)) as u8;
+            self.overlay.entry(a).or_default().push((seq, byte));
+        }
+        self.pending.push(PendingStore { seq, addr, size, value });
+    }
+
+    /// Commits the oldest pending store, which must have sequence number
+    /// `seq`; its bytes become visible in the committed image.
+    ///
+    /// # Panics
+    /// Panics if `seq` is not the oldest pending store.
+    pub fn commit_store(&mut self, seq: u64) {
+        let st = self.pending.first().copied().expect("no pending store to commit");
+        assert_eq!(st.seq, seq, "stores must commit in program order");
+        self.pending.remove(0);
+        for i in 0..st.size {
+            let a = st.addr.wrapping_add(i);
+            if let Some(stack) = self.overlay.get_mut(&a) {
+                // The committing store's byte is the oldest entry.
+                debug_assert_eq!(stack.first().map(|e| e.0), Some(seq));
+                let (_, byte) = stack.remove(0);
+                self.committed.write_u8(a, byte);
+                if stack.is_empty() {
+                    self.overlay.remove(&a);
+                }
+            }
+        }
+    }
+
+    /// Squashes all speculative stores with sequence number strictly
+    /// greater than `seq` (youngest-first rollback after a pipeline
+    /// squash).
+    pub fn squash_after(&mut self, seq: u64) {
+        while let Some(last) = self.pending.last().copied() {
+            if last.seq <= seq {
+                break;
+            }
+            self.pending.pop();
+            for i in 0..last.size {
+                let a = last.addr.wrapping_add(i);
+                if let Some(stack) = self.overlay.get_mut(&a) {
+                    debug_assert_eq!(stack.last().map(|e| e.0), Some(last.seq));
+                    stack.pop();
+                    if stack.is_empty() {
+                        self.overlay.remove(&a);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_mem_zero_fill() {
+        let m = SparseMem::new();
+        assert_eq!(m.read(0x1234, 8), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn sparse_mem_rw_roundtrip_sizes() {
+        let mut m = SparseMem::new();
+        for &(size, val) in &[(1u64, 0xabu64), (2, 0xbeef), (4, 0xdeadbeef), (8, 0x0123456789abcdef)] {
+            m.write(0x4000, size, val);
+            assert_eq!(m.read(0x4000, size), val);
+        }
+    }
+
+    #[test]
+    fn sparse_mem_cross_page_access() {
+        let mut m = SparseMem::new();
+        let addr = 0x1FFC; // spans 0x1000-page boundary at 0x2000
+        m.write(addr, 8, 0x1122334455667788);
+        assert_eq!(m.read(addr, 8), 0x1122334455667788);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn sparse_mem_little_endian() {
+        let mut m = SparseMem::new();
+        m.write(0x100, 4, 0x0A0B0C0D);
+        assert_eq!(m.read_u8(0x100), 0x0D);
+        assert_eq!(m.read_u8(0x103), 0x0A);
+    }
+
+    #[test]
+    fn spec_read_sees_overlay_committed_does_not() {
+        let mut m = SpecMemory::new();
+        m.committed_mut().write(0x100, 8, 111);
+        m.write_spec(1, 0x100, 8, 222);
+        assert_eq!(m.read_spec(0x100, 8), 222);
+        assert_eq!(m.read_committed(0x100, 8), 111);
+    }
+
+    #[test]
+    fn commit_makes_store_visible() {
+        let mut m = SpecMemory::new();
+        m.write_spec(5, 0x200, 4, 77);
+        assert_eq!(m.read_committed(0x200, 4), 0);
+        m.commit_store(5);
+        assert_eq!(m.read_committed(0x200, 4), 77);
+        assert_eq!(m.pending_stores(), 0);
+    }
+
+    #[test]
+    fn squash_discards_young_stores_only() {
+        let mut m = SpecMemory::new();
+        m.write_spec(1, 0x300, 8, 10);
+        m.write_spec(2, 0x300, 8, 20);
+        m.write_spec(3, 0x308, 8, 30);
+        m.squash_after(1);
+        assert_eq!(m.read_spec(0x300, 8), 10);
+        assert_eq!(m.read_spec(0x308, 8), 0);
+        assert_eq!(m.pending_stores(), 1);
+        m.commit_store(1);
+        assert_eq!(m.read_committed(0x300, 8), 10);
+    }
+
+    #[test]
+    fn youngest_overlay_byte_wins() {
+        let mut m = SpecMemory::new();
+        m.write_spec(1, 0x400, 8, 0xAAAA_AAAA_AAAA_AAAA);
+        m.write_spec(2, 0x404, 4, 0xBBBB_BBBB);
+        // Low half from store 1, high half from store 2.
+        assert_eq!(m.read_spec(0x400, 8), 0xBBBB_BBBB_AAAA_AAAA);
+    }
+
+    #[test]
+    fn overlapping_commit_in_order() {
+        let mut m = SpecMemory::new();
+        m.write_spec(1, 0x500, 8, 1);
+        m.write_spec(2, 0x500, 8, 2);
+        m.commit_store(1);
+        // Spec view still sees store 2; committed sees store 1.
+        assert_eq!(m.read_spec(0x500, 8), 2);
+        assert_eq!(m.read_committed(0x500, 8), 1);
+        m.commit_store(2);
+        assert_eq!(m.read_committed(0x500, 8), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_order_registration_panics() {
+        let mut m = SpecMemory::new();
+        m.write_spec(5, 0x0, 8, 0);
+        m.write_spec(4, 0x8, 8, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_order_commit_panics() {
+        let mut m = SpecMemory::new();
+        m.write_spec(1, 0x0, 8, 0);
+        m.write_spec(2, 0x8, 8, 0);
+        m.commit_store(2);
+    }
+}

@@ -1,0 +1,135 @@
+//! Program representation: a contiguous block of instructions in the PC
+//! address space plus symbolic metadata.
+
+use crate::inst::{Inst, INST_BYTES};
+use std::collections::HashMap;
+
+/// Errors produced while building or querying a [`Program`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProgramError {
+    /// The program counter does not map to an instruction slot.
+    BadPc(u64),
+    /// A named symbol was not defined.
+    UnknownSymbol(String),
+}
+
+impl std::fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProgramError::BadPc(pc) => write!(f, "pc {pc:#x} is outside the program"),
+            ProgramError::UnknownSymbol(s) => write!(f, "unknown symbol `{s}`"),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// An assembled program.
+///
+/// Instructions live at consecutive addresses starting at
+/// [`Program::base`], each occupying [`INST_BYTES`] bytes.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    base: u64,
+    insts: Vec<Inst>,
+    symbols: HashMap<String, u64>,
+}
+
+impl Program {
+    /// Creates a program from raw parts.
+    pub fn new(base: u64, insts: Vec<Inst>, symbols: HashMap<String, u64>) -> Program {
+        Program { base, insts, symbols }
+    }
+
+    /// First instruction address.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// One-past-the-end address.
+    pub fn end(&self) -> u64 {
+        self.base + self.insts.len() as u64 * INST_BYTES
+    }
+
+    /// Fetches the instruction at `pc`.
+    ///
+    /// # Errors
+    /// Returns [`ProgramError::BadPc`] if `pc` is unaligned or outside
+    /// the program.
+    pub fn fetch(&self, pc: u64) -> Result<Inst, ProgramError> {
+        if pc < self.base || pc >= self.end() || (pc - self.base) % INST_BYTES != 0 {
+            return Err(ProgramError::BadPc(pc));
+        }
+        Ok(self.insts[((pc - self.base) / INST_BYTES) as usize])
+    }
+
+    /// All instructions, in address order.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Looks up a named symbol (label address recorded by the
+    /// assembler).
+    ///
+    /// # Errors
+    /// Returns [`ProgramError::UnknownSymbol`] if the name was never
+    /// exported.
+    pub fn symbol(&self, name: &str) -> Result<u64, ProgramError> {
+        self.symbols
+            .get(name)
+            .copied()
+            .ok_or_else(|| ProgramError::UnknownSymbol(name.to_string()))
+    }
+
+    /// All exported symbols.
+    pub fn symbols(&self) -> &HashMap<String, u64> {
+        &self.symbols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Inst;
+
+    fn prog() -> Program {
+        let mut syms = HashMap::new();
+        syms.insert("start".to_string(), 0x1000);
+        Program::new(0x1000, vec![Inst::Nop, Inst::Halt], syms)
+    }
+
+    #[test]
+    fn fetch_in_range() {
+        let p = prog();
+        assert_eq!(p.fetch(0x1000).unwrap(), Inst::Nop);
+        assert_eq!(p.fetch(0x1004).unwrap(), Inst::Halt);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.end(), 0x1008);
+    }
+
+    #[test]
+    fn fetch_out_of_range_or_unaligned_errors() {
+        let p = prog();
+        assert_eq!(p.fetch(0xFFC), Err(ProgramError::BadPc(0xFFC)));
+        assert_eq!(p.fetch(0x1008), Err(ProgramError::BadPc(0x1008)));
+        assert_eq!(p.fetch(0x1002), Err(ProgramError::BadPc(0x1002)));
+    }
+
+    #[test]
+    fn symbols_lookup() {
+        let p = prog();
+        assert_eq!(p.symbol("start").unwrap(), 0x1000);
+        assert!(p.symbol("missing").is_err());
+        assert!(!format!("{}", p.symbol("missing").unwrap_err()).is_empty());
+    }
+}

@@ -1,0 +1,301 @@
+//! Architectural register names for the PFM RISC-V-like ISA.
+//!
+//! The ISA has 32 integer registers (`x0`..`x31`, with `x0` hardwired to
+//! zero) and 32 floating-point registers (`f0`..`f31`). For renaming
+//! purposes the two files are folded into a single 64-entry architectural
+//! register space via [`RegRef::index`].
+
+use core::fmt;
+
+/// Number of integer architectural registers.
+pub const NUM_INT_REGS: usize = 32;
+/// Number of floating-point architectural registers.
+pub const NUM_FP_REGS: usize = 32;
+/// Total architectural register-space size (int + fp) used by rename.
+pub const NUM_ARCH_REGS: usize = NUM_INT_REGS + NUM_FP_REGS;
+
+/// An integer architectural register (`x0`..`x31`).
+///
+/// `x0` always reads as zero and writes to it are discarded.
+///
+/// ```
+/// use pfm_isa::reg::Reg;
+/// let a0 = Reg::new(10);
+/// assert_eq!(a0.num(), 10);
+/// assert!(Reg::X0.is_zero());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hardwired zero register.
+    pub const X0: Reg = Reg(0);
+    /// Return address register (`x1` / `ra`).
+    pub const RA: Reg = Reg(1);
+    /// Stack pointer (`x2` / `sp`).
+    pub const SP: Reg = Reg(2);
+
+    /// Creates a register from its number.
+    ///
+    /// # Panics
+    /// Panics if `n >= 32`.
+    #[inline]
+    pub fn new(n: u8) -> Reg {
+        assert!((n as usize) < NUM_INT_REGS, "integer register out of range: {n}");
+        Reg(n)
+    }
+
+    /// The register number (0..32).
+    #[inline]
+    pub fn num(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the hardwired zero register `x0`.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A floating-point architectural register (`f0`..`f31`).
+///
+/// ```
+/// use pfm_isa::reg::FReg;
+/// let ft0 = FReg::new(0);
+/// assert_eq!(ft0.num(), 0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct FReg(u8);
+
+impl FReg {
+    /// Creates a floating-point register from its number.
+    ///
+    /// # Panics
+    /// Panics if `n >= 32`.
+    #[inline]
+    pub fn new(n: u8) -> FReg {
+        assert!((n as usize) < NUM_FP_REGS, "fp register out of range: {n}");
+        FReg(n)
+    }
+
+    /// The register number (0..32).
+    #[inline]
+    pub fn num(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// A reference into the unified architectural register space.
+///
+/// The out-of-order core renames integer and floating-point registers out
+/// of one physical register file, so both are mapped into a flat
+/// 64-entry space: integer register `xN` is index `N` and floating-point
+/// register `fN` is index `32 + N`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RegRef {
+    /// An integer register.
+    Int(Reg),
+    /// A floating-point register.
+    Fp(FReg),
+}
+
+impl RegRef {
+    /// Flat index into the unified 64-entry architectural register space.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            RegRef::Int(r) => r.num() as usize,
+            RegRef::Fp(f) => NUM_INT_REGS + f.num() as usize,
+        }
+    }
+
+    /// Whether this reference is the hardwired integer zero register.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        matches!(self, RegRef::Int(r) if r.is_zero())
+    }
+}
+
+impl fmt::Display for RegRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegRef::Int(r) => write!(f, "{r}"),
+            RegRef::Fp(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+impl From<Reg> for RegRef {
+    fn from(r: Reg) -> RegRef {
+        RegRef::Int(r)
+    }
+}
+
+impl From<FReg> for RegRef {
+    fn from(r: FReg) -> RegRef {
+        RegRef::Fp(r)
+    }
+}
+
+/// Conventional ABI-style names for the integer registers, for use when
+/// hand-writing kernels.
+pub mod names {
+    use super::{FReg, Reg};
+
+    /// Hardwired zero.
+    pub const X0: Reg = Reg::X0;
+    /// Return address.
+    pub const RA: Reg = Reg::RA;
+    /// Stack pointer.
+    pub const SP: Reg = Reg::SP;
+    /// Global pointer.
+    pub const GP: Reg = Reg(3);
+    /// Thread pointer.
+    pub const TP: Reg = Reg(4);
+    /// Temporary 0.
+    pub const T0: Reg = Reg(5);
+    /// Temporary 1.
+    pub const T1: Reg = Reg(6);
+    /// Temporary 2.
+    pub const T2: Reg = Reg(7);
+    /// Saved register 0 / frame pointer.
+    pub const S0: Reg = Reg(8);
+    /// Saved register 1.
+    pub const S1: Reg = Reg(9);
+    /// Argument/return 0.
+    pub const A0: Reg = Reg(10);
+    /// Argument/return 1.
+    pub const A1: Reg = Reg(11);
+    /// Argument 2.
+    pub const A2: Reg = Reg(12);
+    /// Argument 3.
+    pub const A3: Reg = Reg(13);
+    /// Argument 4.
+    pub const A4: Reg = Reg(14);
+    /// Argument 5.
+    pub const A5: Reg = Reg(15);
+    /// Argument 6.
+    pub const A6: Reg = Reg(16);
+    /// Argument 7.
+    pub const A7: Reg = Reg(17);
+    /// Saved register 2.
+    pub const S2: Reg = Reg(18);
+    /// Saved register 3.
+    pub const S3: Reg = Reg(19);
+    /// Saved register 4.
+    pub const S4: Reg = Reg(20);
+    /// Saved register 5.
+    pub const S5: Reg = Reg(21);
+    /// Saved register 6.
+    pub const S6: Reg = Reg(22);
+    /// Saved register 7.
+    pub const S7: Reg = Reg(23);
+    /// Saved register 8.
+    pub const S8: Reg = Reg(24);
+    /// Saved register 9.
+    pub const S9: Reg = Reg(25);
+    /// Saved register 10.
+    pub const S10: Reg = Reg(26);
+    /// Saved register 11.
+    pub const S11: Reg = Reg(27);
+    /// Temporary 3.
+    pub const T3: Reg = Reg(28);
+    /// Temporary 4.
+    pub const T4: Reg = Reg(29);
+    /// Temporary 5.
+    pub const T5: Reg = Reg(30);
+    /// Temporary 6.
+    pub const T6: Reg = Reg(31);
+
+    /// FP temporary 0.
+    pub const FT0: FReg = FReg(0);
+    /// FP temporary 1.
+    pub const FT1: FReg = FReg(1);
+    /// FP temporary 2.
+    pub const FT2: FReg = FReg(2);
+    /// FP temporary 3.
+    pub const FT3: FReg = FReg(3);
+    /// FP temporary 4.
+    pub const FT4: FReg = FReg(4);
+    /// FP temporary 5.
+    pub const FT5: FReg = FReg(5);
+    /// FP temporary 6.
+    pub const FT6: FReg = FReg(6);
+    /// FP temporary 7.
+    pub const FT7: FReg = FReg(7);
+    /// FP argument 0.
+    pub const FA0: FReg = FReg(10);
+    /// FP argument 1.
+    pub const FA1: FReg = FReg(11);
+    /// FP argument 2.
+    pub const FA2: FReg = FReg(12);
+    /// FP argument 3.
+    pub const FA3: FReg = FReg(13);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_basics() {
+        assert!(Reg::X0.is_zero());
+        assert!(!Reg::new(5).is_zero());
+        assert_eq!(Reg::new(31).num(), 31);
+        assert_eq!(format!("{}", Reg::new(7)), "x7");
+    }
+
+    #[test]
+    #[should_panic]
+    fn reg_out_of_range_panics() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    #[should_panic]
+    fn freg_out_of_range_panics() {
+        let _ = FReg::new(32);
+    }
+
+    #[test]
+    fn regref_index_is_flat_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..32u8 {
+            assert!(seen.insert(RegRef::Int(Reg::new(i)).index()));
+        }
+        for i in 0..32u8 {
+            assert!(seen.insert(RegRef::Fp(FReg::new(i)).index()));
+        }
+        assert_eq!(seen.len(), NUM_ARCH_REGS);
+        assert_eq!(RegRef::Int(Reg::new(3)).index(), 3);
+        assert_eq!(RegRef::Fp(FReg::new(3)).index(), 35);
+    }
+
+    #[test]
+    fn regref_zero_detection() {
+        assert!(RegRef::Int(Reg::X0).is_zero());
+        assert!(!RegRef::Fp(FReg::new(0)).is_zero());
+        assert!(!RegRef::Int(Reg::new(1)).is_zero());
+    }
+
+    #[test]
+    fn regref_from_conversions() {
+        let r: RegRef = Reg::new(4).into();
+        assert_eq!(r.index(), 4);
+        let f: RegRef = FReg::new(4).into();
+        assert_eq!(f.index(), 36);
+    }
+}

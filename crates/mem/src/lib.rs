@@ -1,0 +1,33 @@
+//! # pfm-mem — memory hierarchy substrate
+//!
+//! The cache/memory system of the PFM paper's Table 1: 32 KB 8-way L1I
+//! and L1D (3-cycle), 256 KB 8-way L2 (12-cycle), 8 MB 16-way L3
+//! (42-cycle), 250-cycle DRAM, a next-2-line L1D prefetcher, a
+//! simplified VLDP L2/L3 prefetcher, MSHRs bounding memory-level
+//! parallelism, and a data TLB.
+//!
+//! ## Example
+//!
+//! ```
+//! use pfm_mem::hierarchy::{AccessKind, Hierarchy, HierarchyConfig, HitLevel};
+//!
+//! let mut h = Hierarchy::new(HierarchyConfig::micro21());
+//! let miss = h.access(0x10_0000, AccessKind::Load, 0);
+//! assert_eq!(miss.level, HitLevel::Dram);
+//! let hit = h.access(0x10_0000, AccessKind::Load, 1_000);
+//! assert_eq!(hit.level, HitLevel::L1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod hierarchy;
+pub mod mshr;
+pub mod prefetch;
+pub mod tlb;
+
+pub use cache::{Cache, CacheConfig, CacheStats, LINE_BYTES};
+pub use hierarchy::{AccessKind, AccessOutcome, Hierarchy, HierarchyConfig, HierarchyStats, HitLevel};
+pub use mshr::MshrFile;
+pub use prefetch::{NextNLine, Prefetcher, Vldp};
+pub use tlb::Tlb;

@@ -1,0 +1,172 @@
+//! Property-based tests for the memory hierarchy: cache behaviour
+//! against a naive reference model, MSHR invariants, and latency
+//! sanity across random access streams.
+
+use pfm_mem::cache::{line_of, Cache, CacheConfig};
+use pfm_mem::hierarchy::{AccessKind, Hierarchy, HierarchyConfig, HitLevel};
+use pfm_mem::mshr::MshrFile;
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// Naive fully-explicit reference for a set-associative LRU cache.
+struct RefCacheModel {
+    sets: Vec<VecDeque<u64>>, // tags per set, most-recent first
+    ways: usize,
+    num_sets: u64,
+}
+
+impl RefCacheModel {
+    fn new(cfg: &CacheConfig) -> RefCacheModel {
+        RefCacheModel {
+            sets: (0..cfg.sets()).map(|_| VecDeque::new()).collect(),
+            ways: cfg.ways,
+            num_sets: cfg.sets(),
+        }
+    }
+
+    fn set_of(&self, addr: u64) -> usize {
+        (((addr >> 6) & (self.num_sets - 1)) as usize)
+    }
+
+    fn access(&mut self, addr: u64) -> bool {
+        let tag = addr >> 6;
+        let set = self.set_of(addr);
+        let s = &mut self.sets[set];
+        if let Some(pos) = s.iter().position(|&t| t == tag) {
+            s.remove(pos);
+            s.push_front(tag);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn fill(&mut self, addr: u64) {
+        let tag = addr >> 6;
+        let set = self.set_of(addr);
+        let s = &mut self.sets[set];
+        if s.iter().any(|&t| t == tag) {
+            return;
+        }
+        if s.len() >= self.ways {
+            s.pop_back();
+        }
+        s.push_front(tag);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The cache's hit/miss stream matches the reference LRU model for
+    /// any access sequence.
+    #[test]
+    fn cache_matches_reference_lru(addrs in prop::collection::vec(0u64..0x8000, 1..300)) {
+        let cfg = CacheConfig::new(4096, 4, 1); // 16 sets x 4 ways
+        let mut cache = Cache::new(cfg);
+        let mut reference = RefCacheModel::new(&cfg);
+        for &a in &addrs {
+            let hit = cache.access(a, false);
+            let ref_hit = reference.access(a);
+            prop_assert_eq!(hit, ref_hit, "divergence at addr {:#x}", a);
+            if !hit {
+                cache.fill(a, false);
+                reference.fill(a);
+            }
+        }
+    }
+
+    /// Probe never mutates: probing between accesses does not change
+    /// the hit/miss stream.
+    #[test]
+    fn probe_is_pure(addrs in prop::collection::vec(0u64..0x4000, 1..200)) {
+        let cfg = CacheConfig::new(2048, 2, 1);
+        let mut with_probe = Cache::new(cfg);
+        let mut without = Cache::new(cfg);
+        for &a in &addrs {
+            with_probe.probe(a ^ 0x40);
+            let h1 = with_probe.access(a, false);
+            let h2 = without.access(a, false);
+            prop_assert_eq!(h1, h2);
+            if !h1 {
+                with_probe.fill(a, false);
+                without.fill(a, false);
+            }
+        }
+    }
+
+    /// MSHR in-flight count never exceeds capacity and lookups only
+    /// match the same line.
+    #[test]
+    fn mshr_invariants(ops in prop::collection::vec((0u64..0x2000, 1u64..400), 1..100)) {
+        let mut m = MshrFile::new(8);
+        let mut cycle = 0u64;
+        for (addr, lat) in ops {
+            cycle += 7;
+            m.expire(cycle);
+            prop_assert!(m.in_flight() <= 8);
+            if let Some(ready) = m.peek(addr) {
+                prop_assert!(ready > cycle || ready <= cycle, "sane ready");
+                // Same-line lookups must agree with line_of.
+                prop_assert!(m.peek(line_of(addr)).is_some());
+            } else if m.has_free() {
+                m.alloc(addr, cycle + lat).unwrap();
+            }
+        }
+    }
+
+    /// Hierarchy latencies are always one of the configured levels (or
+    /// above, when MSHR/TLB waits add on), and repeated access to the
+    /// same line is never slower than the first.
+    #[test]
+    fn hierarchy_latency_sanity(addrs in prop::collection::vec(0u64..0x40_0000, 1..150)) {
+        let mut cfg = HierarchyConfig::micro21();
+        cfg.next_n_line = 0;
+        cfg.vldp = false;
+        cfg.tlb_walk_latency = 0;
+        let l1 = cfg.l1d.latency;
+        let mut h = Hierarchy::new(cfg);
+        let mut cycle = 0;
+        for &a in &addrs {
+            cycle += 500; // far apart: no in-flight interference
+            let first = h.access(a, AccessKind::Load, cycle);
+            prop_assert!(first.latency >= l1);
+            cycle += 500;
+            let second = h.access(a, AccessKind::Load, cycle);
+            prop_assert_eq!(second.level, HitLevel::L1, "fill must land in L1");
+            prop_assert!(second.latency <= first.latency);
+        }
+    }
+
+    /// Perfect-data mode always reports L1 latency regardless of the
+    /// stream.
+    #[test]
+    fn perfect_data_is_flat(addrs in prop::collection::vec(0u64..0x100_0000, 1..100)) {
+        let mut cfg = HierarchyConfig::micro21();
+        cfg.perfect_data = true;
+        let l1 = cfg.l1d.latency;
+        let mut h = Hierarchy::new(cfg);
+        for (i, &a) in addrs.iter().enumerate() {
+            let o = h.access(a, AccessKind::Load, i as u64);
+            prop_assert_eq!(o.latency, l1);
+        }
+    }
+
+    /// In-flight merges always return a residual latency no larger
+    /// than the full miss latency.
+    #[test]
+    fn merge_residual_is_bounded(offset in 0u64..64, gap in 1u64..291) {
+        let mut cfg = HierarchyConfig::micro21();
+        cfg.next_n_line = 0;
+        cfg.vldp = false;
+        cfg.tlb_walk_latency = 0;
+        let mut h = Hierarchy::new(cfg);
+        let base = 0x70_0000u64;
+        let first = h.access(base, AccessKind::Load, 0);
+        prop_assert_eq!(first.level, HitLevel::Dram);
+        let merged = h.access(base + offset, AccessKind::Load, gap);
+        prop_assert_eq!(merged.level, HitLevel::InFlight);
+        prop_assert!(merged.latency <= first.latency);
+        prop_assert!(merged.latency >= first.latency.saturating_sub(gap).max(3));
+    }
+}

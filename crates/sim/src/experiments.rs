@@ -1,0 +1,442 @@
+//! One function per table and figure of the paper's evaluation: each
+//! regenerates the corresponding rows/series (workload, parameter
+//! sweep, baselines) and returns them in a printable form.
+//!
+//! Speedups follow the paper's convention: percentage IPC improvement
+//! over the baseline core, which sits at 0%.
+
+use crate::runner::{run_baseline, run_pfm, RunConfig, RunResult};
+use crate::usecases;
+use pfm_fabric::{FabricParams, PortPolicy};
+use pfm_fpga::{power, table4_designs, EnergyModel};
+use pfm_workloads::UseCase;
+
+/// One labeled data point.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Bar/row label (paper notation, e.g. `clk4_w4`).
+    pub label: String,
+    /// Primary value (usually % IPC improvement).
+    pub value: f64,
+    /// Free-form extra columns.
+    pub extra: String,
+}
+
+/// A regenerated table or figure.
+#[derive(Clone, Debug)]
+pub struct Experiment {
+    /// Paper identifier (e.g. `fig8`, `table2`).
+    pub id: &'static str,
+    /// Title as in the paper.
+    pub title: &'static str,
+    /// The paper's reported numbers, for side-by-side comparison.
+    pub paper: &'static str,
+    /// Regenerated rows.
+    pub rows: Vec<Row>,
+}
+
+impl Experiment {
+    /// Renders the experiment as aligned text.
+    pub fn render(&self) -> String {
+        let mut out = format!("== {} — {} ==\n   (paper: {})\n", self.id, self.title, self.paper);
+        for r in &self.rows {
+            out.push_str(&format!("  {:<22} {:>8.1}  {}\n", r.label, r.value, r.extra));
+        }
+        out
+    }
+}
+
+fn pfm_cfg(c: u64, w: usize) -> FabricParams {
+    FabricParams::paper_default().clk_w(c, w).delay(0).queue(32).port(PortPolicy::All)
+}
+
+fn speedup_row(label: impl Into<String>, r: &RunResult, base: &RunResult) -> Row {
+    Row {
+        label: label.into(),
+        value: r.speedup_over(base),
+        extra: format!("IPC {:.3}  MPKI {:.2}", r.ipc(), r.stats.mpki()),
+    }
+}
+
+fn expect(result: Result<RunResult, pfm_core::SimError>, what: &str) -> RunResult {
+    result.unwrap_or_else(|e| panic!("simulation failed for {what}: {e}"))
+}
+
+/// Figure 2: speedups of PFM and Slipstream 2.0 on astar and bfs.
+pub fn fig2(rc: &RunConfig) -> Experiment {
+    let mut rows = Vec::new();
+    let paper_cfg = FabricParams::paper_default(); // clk4_w4 delay4 queue32 portLS1
+
+    let astar = usecases::astar_custom();
+    let base = expect(run_baseline(&astar, rc), "astar baseline");
+    let pfm = expect(run_pfm(&astar, paper_cfg.clone(), rc), "astar pfm");
+    rows.push(speedup_row("astar PFM", &pfm, &base));
+    let ss = usecases::astar_slipstream();
+    let ss_run = expect(run_pfm(&ss, paper_cfg.clone(), rc), "astar slipstream");
+    rows.push(speedup_row("astar Slipstream2.0", &ss_run, &base));
+
+    let bfs = usecases::bfs_roads();
+    let bbase = expect(run_baseline(&bfs, rc), "bfs baseline");
+    let bpfm = expect(run_pfm(&bfs, paper_cfg.clone(), rc), "bfs pfm");
+    rows.push(speedup_row("bfs PFM", &bpfm, &bbase));
+    let bss = usecases::bfs_roads_slipstream();
+    let bss_run = expect(run_pfm(&bss, paper_cfg, rc), "bfs slipstream");
+    rows.push(speedup_row("bfs Slipstream2.0", &bss_run, &bbase));
+
+    Experiment {
+        id: "fig2",
+        title: "Speedups of PFM and Slipstream 2.0",
+        paper: "astar: PFM 154%, slipstream 18%; bfs: PFM up to 125%, slipstream smaller",
+        rows,
+    }
+}
+
+/// Figure 8: astar speedup for different C and W parameters.
+pub fn fig8(rc: &RunConfig) -> Experiment {
+    let uc = usecases::astar_custom();
+    let base = expect(run_baseline(&uc, rc), "astar baseline");
+    let mut rows = Vec::new();
+    for (c, w) in [(4, 1), (8, 1), (4, 2), (4, 3), (4, 4), (2, 4), (1, 4)] {
+        let r = expect(run_pfm(&uc, pfm_cfg(c, w), rc), "astar clk/w sweep");
+        rows.push(speedup_row(format!("clk{c}_w{w}"), &r, &base));
+    }
+    let perf = expect(run_baseline(&uc, &rc.clone().perfect_bp()), "astar perfBP");
+    rows.push(speedup_row("perfBP", &perf, &base));
+    Experiment {
+        id: "fig8",
+        title: "astar speedup vs. custom-predictor C and W",
+        paper: "clk4_w1/clk8_w1 slowdowns; clk4_w2 99%, clk4_w3 155%, clk4_w4 163%; perfBP 162%",
+        rows,
+    }
+}
+
+/// Table 2: astar FST and RST snoop percentages.
+pub fn table2(rc: &RunConfig) -> Experiment {
+    let uc = usecases::astar_custom();
+    let r = expect(run_pfm(&uc, pfm_cfg(4, 4), rc), "astar snoop rates");
+    let f = r.fabric.expect("pfm run");
+    Experiment {
+        id: "table2",
+        title: "astar: FST and RST snoop percentages",
+        paper: "RST 20.3% of retired in ROI; FST 15.5% of fetched in ROI",
+        rows: vec![
+            Row { label: "% retired in RST".into(), value: f.rst_hit_pct(), extra: String::new() },
+            Row { label: "% fetched in FST".into(), value: f.fst_hit_pct(), extra: String::new() },
+        ],
+    }
+}
+
+/// Figure 9: astar sensitivity to D (delay), Q (queues) and P (ports).
+pub fn fig9(rc: &RunConfig) -> Experiment {
+    let uc = usecases::astar_custom();
+    let base = expect(run_baseline(&uc, rc), "astar baseline");
+    let mut rows = Vec::new();
+    for d in [0u64, 2, 4, 8] {
+        let p = FabricParams::paper_default().clk_w(4, 4).delay(d).queue(32).port(PortPolicy::All);
+        let r = expect(run_pfm(&uc, p, rc), "astar delay sweep");
+        rows.push(speedup_row(format!("(a) delay{d}"), &r, &base));
+    }
+    for q in [8usize, 16, 32, 64] {
+        let p = FabricParams::paper_default().clk_w(4, 4).delay(4).queue(q).port(PortPolicy::All);
+        let r = expect(run_pfm(&uc, p, rc), "astar queue sweep");
+        rows.push(speedup_row(format!("(b) queue{q}"), &r, &base));
+    }
+    for pp in [PortPolicy::All, PortPolicy::Ls, PortPolicy::Ls1] {
+        let p = FabricParams::paper_default().clk_w(4, 4).delay(4).queue(32).port(pp);
+        let r = expect(run_pfm(&uc, p, rc), "astar port sweep");
+        rows.push(speedup_row(format!("(c) {}", pp.label()), &r, &base));
+    }
+    Experiment {
+        id: "fig9",
+        title: "astar speedup vs. D, Q and P",
+        paper: "delay8 still 138%; resistant to queue size; ports not an issue (portLS1 154%)",
+        rows,
+    }
+}
+
+/// Figure 10: astar speedup vs. index_queue entries (speculative scope).
+pub fn fig10(rc: &RunConfig) -> Experiment {
+    let mut rows = Vec::new();
+    let base = expect(run_baseline(&usecases::astar_custom(), rc), "astar baseline");
+    for scope in [2usize, 4, 8, 16] {
+        let uc = usecases::astar_with_scope(scope);
+        let r = expect(run_pfm(&uc, FabricParams::paper_default(), rc), "astar scope sweep");
+        rows.push(speedup_row(format!("index_queue {scope}"), &r, &base));
+    }
+    Experiment {
+        id: "fig10",
+        title: "astar speedup vs. index_queue entries",
+        paper: "8 entries adequate for most of the speedup potential",
+        rows,
+    }
+}
+
+/// Figure 12: bfs oracles and C/W sweep (Roads and Youtube inputs).
+pub fn fig12(rc: &RunConfig) -> Experiment {
+    let mut rows = Vec::new();
+    for (uc, tag) in [(usecases::bfs_roads(), "roads"), (usecases::bfs_youtube(), "youtube")] {
+        let base = expect(run_baseline(&uc, rc), "bfs baseline");
+        let pbp = expect(run_baseline(&uc, &rc.clone().perfect_bp()), "bfs perfBP");
+        rows.push(speedup_row(format!("{tag} perfBP"), &pbp, &base));
+        let pd = expect(run_baseline(&uc, &rc.clone().perfect_dcache()), "bfs perfD$");
+        rows.push(speedup_row(format!("{tag} perfD$"), &pd, &base));
+        let both =
+            expect(run_baseline(&uc, &rc.clone().perfect_bp().perfect_dcache()), "bfs perfBP+D$");
+        rows.push(speedup_row(format!("{tag} perfBP+D$"), &both, &base));
+        for (c, w) in [(4, 1), (4, 2), (4, 4)] {
+            let r = expect(run_pfm(&uc, pfm_cfg(c, w), rc), "bfs clk/w sweep");
+            rows.push(speedup_row(format!("{tag} clk{c}_w{w}"), &r, &base));
+        }
+    }
+    Experiment {
+        id: "fig12",
+        title: "bfs speedup: oracles and custom component C/W",
+        paper: "Roads: perfBP 11%, perfD$ 152%, both 426%, custom up to 125%; clk4_w2 close to clk4_w4",
+        rows,
+    }
+}
+
+/// Table 3: bfs FST and RST snoop percentages.
+pub fn table3(rc: &RunConfig) -> Experiment {
+    let uc = usecases::bfs_roads();
+    let r = expect(run_pfm(&uc, pfm_cfg(4, 4), rc), "bfs snoop rates");
+    let f = r.fabric.expect("pfm run");
+    Experiment {
+        id: "table3",
+        title: "bfs: FST and RST snoop percentages",
+        paper: "RST 31% of retired in ROI; FST 13% of fetched in ROI",
+        rows: vec![
+            Row { label: "% retired in RST".into(), value: f.rst_hit_pct(), extra: String::new() },
+            Row { label: "% fetched in FST".into(), value: f.fst_hit_pct(), extra: String::new() },
+        ],
+    }
+}
+
+/// Figure 13: bfs sensitivity to D, Q and P.
+pub fn fig13(rc: &RunConfig) -> Experiment {
+    let uc = usecases::bfs_roads();
+    let base = expect(run_baseline(&uc, rc), "bfs baseline");
+    let mut rows = Vec::new();
+    for d in [0u64, 2, 4, 8] {
+        let p = FabricParams::paper_default().clk_w(4, 4).delay(d).queue(32).port(PortPolicy::All);
+        let r = expect(run_pfm(&uc, p, rc), "bfs delay sweep");
+        rows.push(speedup_row(format!("(a) delay{d}"), &r, &base));
+    }
+    for q in [8usize, 16, 32, 64] {
+        let p = FabricParams::paper_default().clk_w(4, 4).delay(4).queue(q).port(PortPolicy::All);
+        let r = expect(run_pfm(&uc, p, rc), "bfs queue sweep");
+        rows.push(speedup_row(format!("(b) queue{q}"), &r, &base));
+    }
+    for pp in [PortPolicy::All, PortPolicy::Ls, PortPolicy::Ls1] {
+        let p = FabricParams::paper_default().clk_w(4, 4).delay(4).queue(32).port(pp);
+        let r = expect(run_pfm(&uc, p, rc), "bfs port sweep");
+        rows.push(speedup_row(format!("(c) {}", pp.label()), &r, &base));
+    }
+    Experiment {
+        id: "fig13",
+        title: "bfs speedup vs. D, Q and P",
+        paper: "low sensitivity to all three",
+        rows,
+    }
+}
+
+/// Figure 14: bfs speedup vs. the component's queue entries.
+pub fn fig14(rc: &RunConfig) -> Experiment {
+    let mut rows = Vec::new();
+    let base = expect(run_baseline(&usecases::bfs_roads(), rc), "bfs baseline");
+    for window in [16usize, 32, 64, 128] {
+        let uc = usecases::bfs_roads_with_window(window);
+        let r = expect(run_pfm(&uc, FabricParams::paper_default(), rc), "bfs window sweep");
+        rows.push(speedup_row(format!("{window}-entry queues"), &r, &base));
+    }
+    Experiment {
+        id: "fig14",
+        title: "bfs speedup vs. frontier/neighbor queue entries",
+        paper: "performance scales with the queue sizes",
+        rows,
+    }
+}
+
+/// Figure 17: custom prefetcher speedups for different C and W.
+pub fn fig17(rc: &RunConfig) -> Experiment {
+    let mut rows = Vec::new();
+    for uc in usecases::prefetch_suite() {
+        let base = expect(run_baseline(&uc, rc), "prefetch baseline");
+        for (c, w) in [(1, 1), (4, 1), (4, 4), (8, 4)] {
+            let r = expect(run_pfm(&uc, pfm_cfg(c, w), rc), "prefetch clk/w sweep");
+            rows.push(speedup_row(format!("{} clk{c}_w{w}", uc.name), &r, &base));
+        }
+    }
+    Experiment {
+        id: "fig17",
+        title: "custom prefetcher speedups vs. C and W",
+        paper: "positive speedups, very resistant to C and W",
+        rows,
+    }
+}
+
+/// Table 4: FPGA resource, frequency and power estimates per design.
+pub fn table4() -> Experiment {
+    let mut rows = Vec::new();
+    for d in table4_designs() {
+        let r = d.resources();
+        let p = power(&d);
+        rows.push(Row {
+            label: d.name.to_string(),
+            value: d.frequency_mhz(),
+            extra: format!(
+                "LUT {:>5}  FF {:>5}  BRAM {:>5.1}  DSP {}  dyn(logic) {:>5.0} mW  dyn(I/O) {:>4.0} mW  static {:>4.0} mW",
+                r.lut, r.ff, r.bram, r.dsp, p.dynamic_logic_mw, p.dynamic_io_mw, p.static_mw
+            ),
+        });
+    }
+    Experiment {
+        id: "table4",
+        title: "Hardware overhead using FPGA for RF (value = freq MHz)",
+        paper: "astar(4wide) 6249 LUT/3523 FF/500 MHz/251 mW; astar-alt 1064/700/17.5 BRAM/498; prefetchers 150-300 LUT, 628-731 MHz",
+        rows,
+    }
+}
+
+/// Figure 18: PFM (core + RF) energy normalized to the baseline core.
+pub fn fig18(rc: &RunConfig) -> Experiment {
+    let model = EnergyModel::default();
+    let designs = table4_designs();
+    let design_for = |name: &str| {
+        designs
+            .iter()
+            .find(|d| match name {
+                "astar" => d.name == "astar (4wide)",
+                "astar-alt" => d.name == "astar-alt",
+                "libquantum" => d.name == "libq",
+                other => d.name == other,
+            })
+            .expect("design exists")
+    };
+
+    let mut rows = Vec::new();
+    let mut cases: Vec<(UseCase, FabricParams)> = vec![
+        (usecases::astar_custom(), FabricParams::paper_default()),
+        (usecases::astar_alt(), FabricParams::paper_default()),
+    ];
+    for uc in [usecases::libquantum_scale(), usecases::lbm_scale(), usecases::bwaves_scale(), usecases::milc_scale()] {
+        cases.push((uc, pfm_cfg(4, 1)));
+    }
+    for (uc, params) in cases {
+        let clk_ratio = params.clk_ratio;
+        let base = expect(run_baseline(&uc, rc), "energy baseline");
+        let pfm = expect(run_pfm(&uc, params, rc), "energy pfm");
+        let d = design_for(&uc.name);
+        let n = model.normalized_pfm_energy(
+            (&base.stats, &base.hier),
+            (&pfm.stats, &pfm.hier),
+            d,
+            clk_ratio,
+        );
+        rows.push(Row {
+            label: uc.name.clone(),
+            value: n,
+            extra: format!("speedup +{:.0}%", pfm.speedup_over(&base)),
+        });
+    }
+    Experiment {
+        id: "fig18",
+        title: "core+RF energy normalized to baseline core (value = ratio)",
+        paper: "all designs below 1.0: less misspeculation + shorter runtime",
+        rows,
+    }
+}
+
+/// Every regenerable experiment, in paper order.
+pub fn all(rc: &RunConfig) -> Vec<Experiment> {
+    vec![
+        fig2(rc),
+        fig8(rc),
+        table2(rc),
+        fig9(rc),
+        fig10(rc),
+        fig12(rc),
+        table3(rc),
+        fig13(rc),
+        fig14(rc),
+        fig17(rc),
+        table4(),
+        fig18(rc),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_renders_all_rows() {
+        let t = table4();
+        assert_eq!(t.rows.len(), 6);
+        let s = t.render();
+        assert!(s.contains("astar-alt"));
+        assert!(s.contains("BRAM"));
+    }
+
+    #[test]
+    fn table2_snoop_rates_in_paper_ballpark() {
+        let rc = RunConfig::test_scale();
+        let t = table2(&rc);
+        let rst = t.rows[0].value;
+        let fst = t.rows[1].value;
+        assert!(rst > 5.0 && rst < 45.0, "RST {rst}%");
+        assert!(fst > 5.0 && fst < 30.0, "FST {fst}%");
+    }
+}
+
+/// Ablations of the design choices DESIGN.md calls out: store
+/// inference, the missed-load buffer, the fetch stall policy, and the
+/// baseline VLDP prefetcher.
+pub fn ablations(rc: &RunConfig) -> Experiment {
+    use pfm_fabric::StallPolicy;
+    use pfm_workloads::{astar, AstarParams};
+
+    let mut rows = Vec::new();
+
+    // (1) astar index1_CAM store inference on/off.
+    let uc = usecases::astar_custom();
+    let base = expect(run_baseline(&uc, rc), "ablation baseline");
+    let on = expect(run_pfm(&uc, FabricParams::paper_default(), rc), "inference on");
+    rows.push(speedup_row("astar + inference", &on, &base));
+    let no_inf = astar(&AstarParams { store_inference: false, ..AstarParams::default() });
+    let off = expect(run_pfm(&no_inf, FabricParams::paper_default(), rc), "inference off");
+    rows.push(speedup_row("astar - inference", &off, &base));
+
+    // (2) Load Agent missed-load buffer: shrink it to 2 entries.
+    let mut tiny_mlb = FabricParams::paper_default();
+    tiny_mlb.mlb_size = 2;
+    let r = expect(run_pfm(&uc, tiny_mlb, rc), "tiny MLB");
+    rows.push(speedup_row("astar mlb=2", &r, &base));
+
+    // (3) Fetch Agent stall vs proceed-and-drop (§2.4 alternative).
+    let mut pd = FabricParams::paper_default();
+    pd.stall_policy = StallPolicy::ProceedAndDrop;
+    let r = expect(run_pfm(&uc, pd, rc), "proceed-and-drop");
+    rows.push(speedup_row("astar proceed+drop", &r, &base));
+
+    // (4) VLDP's contribution to the libquantum baseline (the custom
+    // prefetcher's win shrinks/grows with the baseline prefetchers).
+    let libq = usecases::libquantum_scale();
+    let libq_base = expect(run_baseline(&libq, rc), "libq baseline");
+    let mut no_vldp = rc.clone();
+    no_vldp.hier.vldp = false;
+    let r = expect(run_baseline(&libq, &no_vldp), "libq no vldp");
+    rows.push(speedup_row("libq baseline -VLDP", &r, &libq_base));
+    let r = expect(
+        run_pfm(&libq, FabricParams::paper_default().clk_w(4, 1).delay(0).port(PortPolicy::All), rc),
+        "libq custom",
+    );
+    rows.push(speedup_row("libq custom pf", &r, &libq_base));
+
+    Experiment {
+        id: "ablations",
+        title: "design-choice ablations (speedup vs. each row's baseline)",
+        paper: "(not in the paper: DESIGN.md ablation list)",
+        rows,
+    }
+}

@@ -1,0 +1,29 @@
+//! # pfm-sim — full-system integration and experiment driver
+//!
+//! Wires the functional machine, the cycle-level core, the memory
+//! hierarchy, and the PFM fabric together ([`runner`]), instantiates
+//! the paper's workloads at experiment scale ([`usecases`]), and
+//! regenerates every table and figure of the evaluation
+//! ([`experiments`]).
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use pfm_sim::{run_baseline, run_pfm, RunConfig};
+//! use pfm_fabric::FabricParams;
+//!
+//! let uc = pfm_sim::usecases::astar_custom();
+//! let rc = RunConfig::paper_scale();
+//! let base = run_baseline(&uc, &rc).unwrap();
+//! let pfm = run_pfm(&uc, FabricParams::paper_default(), &rc).unwrap();
+//! println!("astar PFM speedup: +{:.0}%", pfm.speedup_over(&base));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod runner;
+pub mod usecases;
+
+pub use experiments::{Experiment, Row};
+pub use runner::{run_baseline, run_pfm, RunConfig, RunResult};

@@ -1,0 +1,138 @@
+//! Single-run driver: wires a [`UseCase`] into the core, optionally
+//! attaches the PFM fabric, runs, and collects every statistic the
+//! experiments need.
+
+use pfm_core::{Core, CoreConfig, NoPfm, SimError, SimStats};
+use pfm_bpred::PredictorKind;
+use pfm_fabric::{FabricParams, FabricStats};
+use pfm_mem::{Hierarchy, HierarchyConfig, HierarchyStats};
+use pfm_workloads::UseCase;
+
+/// Run-level configuration.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Stop after this many retired instructions.
+    pub max_instrs: u64,
+    /// Hard cycle cap (deadlock guard).
+    pub max_cycles: u64,
+    /// Core configuration.
+    pub core: CoreConfig,
+    /// Memory hierarchy configuration.
+    pub hier: HierarchyConfig,
+}
+
+impl RunConfig {
+    /// The default experiment budget: 1.5 M retired instructions on the
+    /// Table 1 machine (a scaled-down stand-in for the paper's 100 M
+    /// SimPoints; every configuration of an experiment shares it, so
+    /// relative speedups are comparable).
+    pub fn paper_scale() -> RunConfig {
+        RunConfig {
+            max_instrs: 1_500_000,
+            max_cycles: 200_000_000,
+            core: CoreConfig::micro21(),
+            hier: HierarchyConfig::micro21(),
+        }
+    }
+
+    /// A small budget for tests.
+    pub fn test_scale() -> RunConfig {
+        RunConfig { max_instrs: 150_000, ..RunConfig::paper_scale() }
+    }
+
+    /// Enables perfect branch prediction.
+    pub fn perfect_bp(mut self) -> RunConfig {
+        self.core.predictor = PredictorKind::Perfect;
+        self
+    }
+
+    /// Enables a perfect data cache.
+    pub fn perfect_dcache(mut self) -> RunConfig {
+        self.hier.perfect_data = true;
+        self
+    }
+}
+
+impl Default for RunConfig {
+    fn default() -> RunConfig {
+        RunConfig::paper_scale()
+    }
+}
+
+/// Everything measured by one simulation run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Use-case name.
+    pub name: String,
+    /// Core statistics.
+    pub stats: SimStats,
+    /// Memory hierarchy statistics.
+    pub hier: HierarchyStats,
+    /// Agent statistics (PFM runs only).
+    pub fabric: Option<FabricStats>,
+}
+
+impl RunResult {
+    /// IPC of this run.
+    pub fn ipc(&self) -> f64 {
+        self.stats.ipc()
+    }
+
+    /// Percentage IPC improvement over `base` (the paper's metric;
+    /// baseline sits at 0%).
+    pub fn speedup_over(&self, base: &RunResult) -> f64 {
+        self.stats.ipc_improvement_over(&base.stats)
+    }
+}
+
+/// Runs the use-case on the baseline core (no fabric attached).
+///
+/// # Errors
+/// Propagates simulator errors (functional faults, cycle-limit
+/// deadlocks).
+pub fn run_baseline(uc: &UseCase, rc: &RunConfig) -> Result<RunResult, SimError> {
+    let mut core = Core::new(rc.core.clone(), uc.machine(), Hierarchy::new(rc.hier.clone()));
+    core.run(&mut NoPfm, rc.max_instrs, rc.max_cycles)?;
+    Ok(RunResult {
+        name: uc.name.clone(),
+        stats: core.stats().clone(),
+        hier: *core.hierarchy().stats(),
+        fabric: None,
+    })
+}
+
+/// Runs the use-case with the PFM fabric attached.
+///
+/// # Errors
+/// Propagates simulator errors (functional faults, cycle-limit
+/// deadlocks).
+pub fn run_pfm(uc: &UseCase, params: FabricParams, rc: &RunConfig) -> Result<RunResult, SimError> {
+    let mut fabric = uc.fabric(params);
+    let mut core = Core::new(rc.core.clone(), uc.machine(), Hierarchy::new(rc.hier.clone()));
+    core.run(&mut fabric, rc.max_instrs, rc.max_cycles)?;
+    Ok(RunResult {
+        name: uc.name.clone(),
+        stats: core.stats().clone(),
+        hier: *core.hierarchy().stats(),
+        fabric: Some(*fabric.stats()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfm_workloads::{astar, AstarParams};
+
+    #[test]
+    fn baseline_and_pfm_agree_architecturally() {
+        let p = AstarParams { grid_w: 32, grid_h: 32, fills: 1, ..AstarParams::default() };
+        let uc = astar(&p);
+        let rc = RunConfig::test_scale();
+        let base = run_baseline(&uc, &rc).unwrap();
+        let pfm = run_pfm(&uc, FabricParams::paper_default(), &rc).unwrap();
+        // Same instruction budget; the PFM run must not break anything.
+        assert!(base.stats.retired > 0);
+        assert!(pfm.stats.retired > 0);
+        assert!(pfm.fabric.is_some());
+    }
+}

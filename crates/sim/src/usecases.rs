@@ -1,0 +1,113 @@
+//! Standard experiment-scale use-case instances (the equivalents of
+//! the paper's §3 benchmark selections).
+
+use pfm_workloads::graphs::{powerlaw_graph, road_graph, shuffle_labels_fraction};
+use pfm_workloads::{
+    astar, bfs, bwaves, lbm, leslie, libquantum, milc, AstarParams, AstarVariant, BfsParams,
+    BfsVariant, UseCase,
+};
+use std::sync::OnceLock;
+
+/// astar with the default experiment-scale grid and the load-based
+/// custom predictor.
+pub fn astar_custom() -> UseCase {
+    astar(&AstarParams::default())
+}
+
+/// astar with a specific index_queue scope (Figure 10).
+pub fn astar_with_scope(scope: usize) -> UseCase {
+    astar(&AstarParams { scope, ..AstarParams::default() })
+}
+
+/// astar with the slipstream-style restricted pre-execution (§1.1).
+pub fn astar_slipstream() -> UseCase {
+    astar(&AstarParams { variant: AstarVariant::Slipstream, ..AstarParams::default() })
+}
+
+/// astar with the table-mimicking astar-alt design (§5).
+pub fn astar_alt() -> UseCase {
+    astar(&AstarParams { variant: AstarVariant::Alt, ..AstarParams::default() })
+}
+
+fn roads_graph() -> &'static pfm_workloads::Csr {
+    static G: OnceLock<pfm_workloads::Csr> = OnceLock::new();
+    G.get_or_init(|| shuffle_labels_fraction(&road_graph(1000, 1000, 2000, 7), 11, 0.05))
+}
+
+fn roads_params() -> BfsParams {
+    BfsParams { source: 5, start_level: 400, ..BfsParams::default() }
+}
+
+/// bfs on the road-network-like input ("Roads" in §4.2), measured in
+/// steady state past the setup phase.
+pub fn bfs_roads() -> UseCase {
+    static UC: OnceLock<UseCase> = OnceLock::new();
+    UC.get_or_init(|| bfs(roads_graph(), "roads", &roads_params())).clone()
+}
+
+/// bfs on Roads with a specific component window size (Figure 14).
+pub fn bfs_roads_with_window(window: usize) -> UseCase {
+    bfs(roads_graph(), "roads", &BfsParams { window, ..roads_params() })
+}
+
+/// bfs on Roads with slipstream-style pre-execution (Figure 2).
+pub fn bfs_roads_slipstream() -> UseCase {
+    bfs(roads_graph(), "roads", &BfsParams { variant: BfsVariant::Slipstream, ..roads_params() })
+}
+
+/// bfs on the power-law input ("Youtube" in §4.2).
+pub fn bfs_youtube() -> UseCase {
+    static UC: OnceLock<UseCase> = OnceLock::new();
+    UC.get_or_init(|| {
+        let g = powerlaw_graph(300_000, 3, 13);
+        bfs(&g, "youtube", &BfsParams { source: 0, start_level: 2, ..BfsParams::default() })
+    })
+    .clone()
+}
+
+/// libquantum at experiment scale (24 MB node array).
+pub fn libquantum_scale() -> UseCase {
+    libquantum(1_500_000, 4)
+}
+
+/// bwaves at experiment scale (the scattered stream spans ~7 MB and
+/// crosses a page nearly every iteration).
+pub fn bwaves_scale() -> UseCase {
+    bwaves(96, 96, 256)
+}
+
+/// lbm at experiment scale (9 planes of 2 MB).
+pub fn lbm_scale() -> UseCase {
+    lbm(262_144, 9)
+}
+
+/// milc at experiment scale (4 streams of 8 MB).
+pub fn milc_scale() -> UseCase {
+    milc(524_288, 4)
+}
+
+/// leslie at experiment scale (3 ROIs over padded 2-D arrays).
+pub fn leslie_scale() -> UseCase {
+    leslie(192, 192)
+}
+
+/// All five custom-prefetcher use-cases, in Figure 17 order.
+pub fn prefetch_suite() -> Vec<UseCase> {
+    vec![libquantum_scale(), bwaves_scale(), lbm_scale(), milc_scale(), leslie_scale()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_produce_named_usecases() {
+        assert_eq!(astar_custom().name, "astar");
+        assert_eq!(astar_slipstream().name, "astar-slipstream");
+        assert_eq!(astar_alt().name, "astar-alt");
+        assert_eq!(libquantum_scale().name, "libquantum");
+        let suite = prefetch_suite();
+        assert_eq!(suite.len(), 5);
+        assert_eq!(suite[4].name, "leslie");
+    }
+}

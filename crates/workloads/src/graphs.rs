@@ -1,0 +1,266 @@
+//! Synthetic graph generators standing in for the paper's SNAP inputs
+//! (§3): a road-network-like lattice (roadNet-CA: huge diameter, low
+//! degree) and a power-law graph (com-Youtube: small diameter, skewed
+//! degree).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A graph in CSR form (undirected: each edge appears in both
+/// adjacency lists).
+#[derive(Clone, Debug)]
+pub struct Csr {
+    /// Per-node start offsets into `neighbors`; `n + 1` entries.
+    pub offsets: Vec<u64>,
+    /// Concatenated adjacency lists.
+    pub neighbors: Vec<u32>,
+}
+
+impl Csr {
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges (twice the undirected count).
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// The neighbors of `u`.
+    pub fn neighbors_of(&self, u: usize) -> &[u32] {
+        &self.neighbors[self.offsets[u] as usize..self.offsets[u + 1] as usize]
+    }
+
+    fn from_adj(adj: Vec<Vec<u32>>) -> Csr {
+        let mut offsets = Vec::with_capacity(adj.len() + 1);
+        let mut neighbors = Vec::new();
+        offsets.push(0);
+        for l in &adj {
+            neighbors.extend_from_slice(l);
+            offsets.push(neighbors.len() as u64);
+        }
+        Csr { offsets, neighbors }
+    }
+
+    /// BFS levels: `levels[k]` holds the nodes discovered at depth `k`
+    /// in visit order, matching what the top-down kernel produces.
+    pub fn bfs_levels(&self, src: usize) -> Vec<Vec<u32>> {
+        let n = self.num_nodes();
+        let mut parent = vec![-1i64; n];
+        parent[src] = src as i64;
+        let mut levels = vec![vec![src as u32]];
+        loop {
+            let mut next = Vec::new();
+            for &u in levels.last().expect("non-empty") {
+                for &v in self.neighbors_of(u as usize) {
+                    if parent[v as usize] < 0 {
+                        parent[v as usize] = u as i64;
+                        next.push(v);
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            levels.push(next);
+        }
+        levels
+    }
+
+    /// Reference BFS (parent array), for validating simulated runs.
+    pub fn bfs_parents(&self, src: usize) -> Vec<i64> {
+        let n = self.num_nodes();
+        let mut parent = vec![-1i64; n];
+        parent[src] = src as i64;
+        let mut frontier = vec![src as u32];
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                for &v in self.neighbors_of(u as usize) {
+                    if parent[v as usize] < 0 {
+                        parent[v as usize] = u as i64;
+                        next.push(v);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        parent
+    }
+}
+
+/// A road-network-like graph: a `w x h` lattice with ~25% of the
+/// lattice edges randomly removed (real road networks are irregular:
+/// dead ends, missing links, variable intersection degree) plus a
+/// sprinkling of random shortcut edges. This yields the huge diameter,
+/// low degree, and irregular trip counts characteristic of roadNet-CA
+/// — the irregularity is what makes the neighbor-loop and visited
+/// branches hard for the baseline predictor.
+pub fn road_graph(w: usize, h: usize, shortcuts: usize, seed: u64) -> Csr {
+    let n = w * h;
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let add = |adj: &mut Vec<Vec<u32>>, a: usize, b: usize| {
+        adj[a].push(b as u32);
+        adj[b].push(a as u32);
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    for y in 0..h {
+        for x in 0..w {
+            let u = y * w + x;
+            if x + 1 < w && rng.gen_range(0..100) < 75 {
+                add(&mut adj, u, u + 1);
+            }
+            if y + 1 < h && rng.gen_range(0..100) < 75 {
+                add(&mut adj, u, u + w);
+            }
+        }
+    }
+    // Shortcuts are local (diagonal connectors, bypass roads): long
+    // random edges would collapse the diameter into a small world,
+    // which road networks are not.
+    for _ in 0..shortcuts {
+        let x = rng.gen_range(0..w) as i64;
+        let y = rng.gen_range(0..h) as i64;
+        let dx = rng.gen_range(-20..=20i64);
+        let dy = rng.gen_range(-20..=20i64);
+        let (x2, y2) = (x + dx, y + dy);
+        if x2 >= 0 && x2 < w as i64 && y2 >= 0 && y2 < h as i64 {
+            let a = (y * w as i64 + x) as usize;
+            let b = (y2 * w as i64 + x2) as usize;
+            if a != b {
+                add(&mut adj, a, b);
+            }
+        }
+    }
+    Csr::from_adj(adj)
+}
+
+/// Relabels a graph's nodes with a random permutation. Real-world
+/// graph files (e.g., roadNet-CA) assign IDs with no memory locality,
+/// so neighbor/property accesses scatter across the whole arrays; a
+/// freshly generated lattice has near-perfect locality until shuffled.
+pub fn shuffle_labels(g: &Csr, seed: u64) -> Csr {
+    shuffle_labels_fraction(g, seed, 1.0)
+}
+
+/// Like [`shuffle_labels`] but only a `fraction` of the nodes are
+/// relabeled (swapped with random partners); the rest keep their
+/// locality. This dials the workload between cache-friendly (0.0) and
+/// fully scattered (1.0).
+pub fn shuffle_labels_fraction(g: &Csr, seed: u64, fraction: f64) -> Csr {
+    let n = g.num_nodes();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    let swaps = ((n as f64) * fraction.clamp(0.0, 1.0) / 2.0) as usize;
+    for _ in 0..swaps {
+        let i = rng.gen_range(0..n);
+        let j = rng.gen_range(0..n);
+        perm.swap(i, j);
+    }
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for u in 0..n {
+        let nu = perm[u] as usize;
+        adj[nu] = g.neighbors_of(u).iter().map(|&v| perm[v as usize]).collect();
+    }
+    Csr::from_adj(adj)
+}
+
+/// A power-law graph via preferential attachment (Barabási–Albert with
+/// `m` edges per new node): small diameter, heavy-tailed degrees, like
+/// com-Youtube.
+pub fn powerlaw_graph(n: usize, m: usize, seed: u64) -> Csr {
+    assert!(n > m && m > 0, "need n > m > 0");
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Repeated-endpoints list: sampling uniformly from it implements
+    // preferential attachment.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * m);
+    // Seed clique over the first m+1 nodes.
+    for a in 0..=m {
+        for b in (a + 1)..=m {
+            adj[a].push(b as u32);
+            adj[b].push(a as u32);
+            endpoints.push(a as u32);
+            endpoints.push(b as u32);
+        }
+    }
+    for u in (m + 1)..n {
+        let mut targets = Vec::with_capacity(m);
+        while targets.len() < m {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if t as usize != u && !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for t in targets {
+            adj[u].push(t);
+            adj[t as usize].push(u as u32);
+            endpoints.push(u as u32);
+            endpoints.push(t);
+        }
+    }
+    Csr::from_adj(adj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn road_graph_shape() {
+        let g = road_graph(10, 10, 5, 1);
+        assert_eq!(g.num_nodes(), 100);
+        // ~75% of the 180 undirected lattice edges, doubled, + shortcuts.
+        assert!(g.num_edges() >= 200);
+        let avg = g.num_edges() as f64 / g.num_nodes() as f64;
+        assert!(avg < 5.0, "road graphs are sparse, got avg degree {avg}");
+        // Degrees must be irregular (TAGE-hostile trip counts).
+        let distinct: std::collections::HashSet<usize> =
+            (0..100).map(|u| g.neighbors_of(u).len()).collect();
+        assert!(distinct.len() >= 4, "expected varied degrees, got {distinct:?}");
+    }
+
+    #[test]
+    fn powerlaw_graph_has_heavy_tail() {
+        let g = powerlaw_graph(2000, 3, 7);
+        assert_eq!(g.num_nodes(), 2000);
+        let mut degrees: Vec<usize> = (0..2000).map(|u| g.neighbors_of(u).len()).collect();
+        degrees.sort_unstable();
+        let max = *degrees.last().unwrap();
+        let median = degrees[1000];
+        assert!(max > 10 * median, "expected hubs: max {max}, median {median}");
+    }
+
+    #[test]
+    fn bfs_parents_cover_most_of_the_graph() {
+        let g = road_graph(20, 20, 10, 0);
+        let parents = g.bfs_parents(0);
+        let visited = parents.iter().filter(|&&p| p >= 0).count();
+        assert!(visited > 300, "percolated lattice stays mostly connected, got {visited}");
+        assert_eq!(parents[0], 0);
+    }
+
+    #[test]
+    fn csr_is_symmetric() {
+        let g = powerlaw_graph(500, 2, 3);
+        for u in 0..g.num_nodes() {
+            for &v in g.neighbors_of(u) {
+                assert!(
+                    g.neighbors_of(v as usize).contains(&(u as u32)),
+                    "edge {u}->{v} missing its reverse"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = road_graph(15, 15, 10, 42);
+        let b = road_graph(15, 15, 10, 42);
+        assert_eq!(a.neighbors, b.neighbors);
+        let c = powerlaw_graph(300, 3, 42);
+        let d = powerlaw_graph(300, 3, 42);
+        assert_eq!(c.neighbors, d.neighbors);
+    }
+}

@@ -1,0 +1,439 @@
+//! The five SPEC-2006-style prefetch workloads of §4.3: loop kernels
+//! whose delinquent loads reproduce each benchmark's documented access
+//! pattern, paired with the matching custom prefetcher.
+//!
+//! * `libquantum` — one strided delinquent load in a long flat loop
+//!   (the `quantum_toffoli` walk of Figure 15), adaptive distance.
+//! * `bwaves` — delinquent load inside a loop nest whose address mixes
+//!   several induction variables (a scattered, page-crossing walk that
+//!   defeats per-page delta prefetchers).
+//! * `lbm` — a cluster of delinquent loads at fixed plane offsets from
+//!   a walking base; the prefetcher pushes the cluster as a set.
+//! * `milc` — several libquantum-like streams prefetched together.
+//! * `leslie` — multiple ROIs, each a nested loop over its own array.
+
+use crate::usecase::UseCase;
+use pfm_components::{CustomPrefetcher, EngineConfig};
+use pfm_fabric::RstEntry;
+use pfm_isa::reg::names::*;
+use pfm_isa::{Asm, SpecMemory};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Data array base for the prefetch kernels.
+pub const ARRAY_BASE: u64 = 0x1_0000_0000;
+/// Second array base (bwaves' scattered stream, milc's extra arrays).
+pub const ARRAY2_BASE: u64 = 0x2_0000_0000;
+
+fn usecase(
+    name: &str,
+    program: pfm_isa::Program,
+    mem: SpecMemory,
+    rst: HashMap<u64, RstEntry>,
+    engines: Vec<EngineConfig>,
+    comp_name: &'static str,
+) -> UseCase {
+    let factory: crate::usecase::ComponentFactory = {
+        let engines = engines.clone();
+        Arc::new(move || Box::new(CustomPrefetcher::new(comp_name, engines.clone())))
+    };
+    UseCase::new(name, program, mem, HashSet::new(), rst, factory)
+}
+
+/// libquantum: `for i in 0..n { B = node[i]; if (B & control) ... }`
+/// with a 16-byte element stride.
+pub fn libquantum(n: u64, calls: u64) -> UseCase {
+    let mut mem = SpecMemory::new();
+    {
+        // Sparse control bits: a period-16 branch pattern (biased,
+        // easily predicted) so the bottleneck is purely the load.
+        let m = mem.committed_mut();
+        for i in (0..n).step_by(16) {
+            m.write(ARRAY_BASE + i * 16, 8, 0x2);
+        }
+    }
+    let mut a = Asm::new(0x1000);
+    let call_loop = a.label();
+    let body = a.label();
+    let skip = a.label();
+    let done = a.label();
+    a.li(S1, ARRAY_BASE as i64);
+    a.li(S9, calls as i64);
+    a.li(A2, 0x2); // control mask
+    a.li(A3, 0x10); // target mask
+    a.bind(call_loop).unwrap();
+    a.export("base_pc");
+    a.mv(A0, S1); // snooped: base
+    a.export("count_pc");
+    a.li(A1, n as i64); // snooped: count
+    a.li(T0, 0);
+    a.bind(body).unwrap();
+    a.bge(T0, A1, done);
+    a.slli(T3, T0, 4);
+    a.add(T3, A0, T3);
+    a.export("load_pc");
+    a.ld(T4, T3, 0); // delinquent load B
+    a.and(T5, T4, A2);
+    // Bookkeeping the real toffoli body performs per node.
+    a.srli(T6, T4, 8);
+    a.xor(T6, T6, T4);
+    a.slli(S4, T6, 1);
+    a.add(S4, S4, T6);
+    a.andi(S5, S4, 0xFF);
+    a.add(S6, S6, S5);
+    a.beq(T5, X0, skip);
+    a.xor(T4, T4, A3);
+    a.sd(T4, T3, 0);
+    a.bind(skip).unwrap();
+    a.addi(T0, T0, 1);
+    a.j(body);
+    a.bind(done).unwrap();
+    a.addi(S9, S9, -1);
+    a.bne(S9, X0, call_loop);
+    a.halt();
+    let program = a.finish().expect("libquantum assembles");
+
+    let base_pc = program.symbol("base_pc").unwrap();
+    let count_pc = program.symbol("count_pc").unwrap();
+    let load_pc = program.symbol("load_pc").unwrap();
+    let mut rst = HashMap::new();
+    rst.insert(base_pc, RstEntry::dest().begin());
+    rst.insert(count_pc, RstEntry::dest());
+    rst.insert(load_pc, RstEntry::dest());
+    let engines = vec![EngineConfig {
+        base_pcs: vec![base_pc],
+        count_pc,
+        load_pc,
+        extents: vec![n],
+        strides: vec![16],
+        stream_offsets: vec![0],
+        as_set: false,
+        adaptive: true,
+        init_distance: 8,
+    }];
+    usecase("libquantum", program, mem, rst, engines, "libq-prefetcher")
+}
+
+/// bwaves: nested `i, j, k` loops; the delinquent load's address mixes
+/// the induction variables so consecutive accesses jump across pages.
+pub fn bwaves(ni: u64, nj: u64, nk: u64) -> UseCase {
+    let mem = SpecMemory::new();
+    let mut a = Asm::new(0x1000);
+    a.li(S1, ARRAY_BASE as i64); // sequential stream X
+    a.li(S2, ARRAY2_BASE as i64); // scattered stream Y
+    a.export("base_pc");
+    a.mv(A0, S2); // snooped: scattered base
+    a.export("count_pc");
+    a.li(A1, (ni * nj * nk) as i64);
+    let li = a.label(); // i loop
+    let lj = a.label();
+    let lk = a.label();
+    let di = a.label();
+    let dj = a.label();
+    let dk = a.label();
+    a.li(T0, 0); // i
+    a.bind(li).unwrap();
+    a.li(T1, 0); // j
+    a.bind(lj).unwrap();
+    a.li(T2, 0); // k
+    a.bind(lk).unwrap();
+    // X[(i*nj*nk + j*nk + k)*8] — sequential.
+    a.li(T3, (nj * nk) as i64);
+    a.mul(T3, T0, T3);
+    a.li(T4, nk as i64);
+    a.mul(T4, T1, T4);
+    a.add(T3, T3, T4);
+    a.add(T3, T3, T2);
+    a.slli(T3, T3, 3);
+    a.add(T3, S1, T3);
+    a.fld(FT0, T3, 0);
+    // Y[(k*ni*nj + j*97 + i)*8] — scattered (delinquent): every
+    // access lands on a fresh line in a fresh page.
+    a.li(T5, (ni * nj) as i64);
+    a.mul(T5, T2, T5);
+    a.li(T6, 97);
+    a.mul(T6, T1, T6);
+    a.add(T5, T5, T6);
+    a.add(T5, T5, T0);
+    a.slli(T5, T5, 3);
+    a.add(T5, S2, T5);
+    a.export("load_pc");
+    a.fld(FT1, T5, 0); // delinquent load
+    a.fadd(FT2, FT0, FT1);
+    a.fsd(FT2, T3, 0);
+    a.addi(T2, T2, 1);
+    a.li(T4, nk as i64);
+    a.blt(T2, T4, lk);
+    a.j(dk);
+    a.bind(dk).unwrap();
+    a.addi(T1, T1, 1);
+    a.li(T4, nj as i64);
+    a.blt(T1, T4, lj);
+    a.j(dj);
+    a.bind(dj).unwrap();
+    a.addi(T0, T0, 1);
+    a.li(T4, ni as i64);
+    a.blt(T0, T4, li);
+    a.j(di);
+    a.bind(di).unwrap();
+    a.halt();
+    let program = a.finish().expect("bwaves assembles");
+
+    let base_pc = program.symbol("base_pc").unwrap();
+    let count_pc = program.symbol("count_pc").unwrap();
+    let load_pc = program.symbol("load_pc").unwrap();
+    let mut rst = HashMap::new();
+    rst.insert(base_pc, RstEntry::dest().begin());
+    rst.insert(count_pc, RstEntry::dest());
+    rst.insert(load_pc, RstEntry::dest());
+    // The FSM walks the program's (i, j, k) space with the Y stream's
+    // per-level strides: i -> 8, j -> 97*8, k -> ni*nj*8.
+    let engines = vec![EngineConfig {
+        base_pcs: vec![base_pc],
+        count_pc,
+        load_pc,
+        extents: vec![ni, nj, nk],
+        strides: vec![8, 97 * 8, (ni * nj) as i64 * 8],
+        stream_offsets: vec![0],
+        as_set: false,
+        adaptive: true,
+        init_distance: 16,
+    }];
+    usecase("bwaves", program, mem, rst, engines, "bwaves-prefetcher")
+}
+
+/// lbm: a cluster of delinquent loads at fixed plane offsets from a
+/// walking base, prefetched as a set.
+pub fn lbm(n: u64, planes: u64) -> UseCase {
+    let mem = SpecMemory::new();
+    let plane_bytes = (n * 160) as i64;
+    let mut a = Asm::new(0x1000);
+    a.li(S1, ARRAY_BASE as i64);
+    a.export("base_pc");
+    a.mv(A0, S1);
+    a.export("count_pc");
+    a.li(A1, n as i64);
+    let body = a.label();
+    let done = a.label();
+    a.li(T0, 0);
+    a.li(A3, 160); // 20 doubles per cell, as in lbm's struct-of-cells
+    a.bind(body).unwrap();
+    a.bge(T0, A1, done);
+    a.mul(T3, T0, A3);
+    a.add(T3, A0, T3);
+    // The cluster: one load per plane. The first is the tracked
+    // delinquent load; all suffer together (bottleneck shifts among
+    // them unless they are prefetched as a set).
+    a.export("load_pc");
+    a.fld(FT0, T3, 0);
+    for p in 1..planes {
+        a.fld(FT1, T3, p as i64 * plane_bytes);
+        a.fadd(FT0, FT0, FT1);
+    }
+    // Collision-kernel FP density (real lbm performs ~100s of FLOPs
+    // per cell; a taste of that keeps prefetch demand per cycle low).
+    for _ in 0..8 {
+        a.fmul(FT2, FT0, FT1);
+        a.fadd(FT0, FT0, FT2);
+        a.fsub(FT3, FT0, FT1);
+    }
+    a.fsd(FT0, T3, 0);
+    a.addi(T0, T0, 1);
+    a.j(body);
+    a.bind(done).unwrap();
+    a.halt();
+    let program = a.finish().expect("lbm assembles");
+
+    let base_pc = program.symbol("base_pc").unwrap();
+    let count_pc = program.symbol("count_pc").unwrap();
+    let load_pc = program.symbol("load_pc").unwrap();
+    let mut rst = HashMap::new();
+    rst.insert(base_pc, RstEntry::dest().begin());
+    rst.insert(count_pc, RstEntry::dest());
+    rst.insert(load_pc, RstEntry::dest());
+    let engines = vec![EngineConfig {
+        base_pcs: vec![base_pc],
+        count_pc,
+        load_pc,
+        extents: vec![n],
+        strides: vec![160],
+        stream_offsets: (0..planes).map(|p| p as i64 * plane_bytes).collect(),
+        as_set: true,
+        adaptive: false,
+        init_distance: 16,
+    }];
+    usecase("lbm", program, mem, rst, engines, "lbm-prefetcher")
+}
+
+/// milc: several libquantum-like streams accessed together each
+/// iteration.
+pub fn milc(n: u64, streams: u64) -> UseCase {
+    let mem = SpecMemory::new();
+    let stream_bytes = (n * 16) as i64;
+    let mut a = Asm::new(0x1000);
+    a.li(S1, ARRAY_BASE as i64);
+    a.export("base_pc");
+    a.mv(A0, S1);
+    a.export("count_pc");
+    a.li(A1, n as i64);
+    let body = a.label();
+    let done = a.label();
+    a.li(T0, 0);
+    a.bind(body).unwrap();
+    a.bge(T0, A1, done);
+    a.slli(T3, T0, 4);
+    a.add(T3, A0, T3);
+    a.export("load_pc");
+    a.fld(FT0, T3, 0);
+    for s in 1..streams {
+        a.fld(FT1, T3, s as i64 * stream_bytes);
+        a.fmul(FT0, FT0, FT1);
+    }
+    // su3 matrix-vector flavor: dense FP work per element.
+    a.fadd(FT2, FT0, FT1);
+    for _ in 0..6 {
+        a.fmul(FT3, FT2, FT0);
+        a.fadd(FT2, FT2, FT3);
+    }
+    a.fsd(FT2, T3, 8);
+    a.addi(T0, T0, 1);
+    a.j(body);
+    a.bind(done).unwrap();
+    a.halt();
+    let program = a.finish().expect("milc assembles");
+
+    let base_pc = program.symbol("base_pc").unwrap();
+    let count_pc = program.symbol("count_pc").unwrap();
+    let load_pc = program.symbol("load_pc").unwrap();
+    let mut rst = HashMap::new();
+    rst.insert(base_pc, RstEntry::dest().begin());
+    rst.insert(count_pc, RstEntry::dest());
+    rst.insert(load_pc, RstEntry::dest());
+    let engines = vec![EngineConfig {
+        base_pcs: vec![base_pc],
+        count_pc,
+        load_pc,
+        extents: vec![n],
+        strides: vec![16],
+        stream_offsets: (0..streams).map(|s| s as i64 * stream_bytes).collect(),
+        as_set: false,
+        adaptive: true,
+        init_distance: 8,
+    }];
+    usecase("milc", program, mem, rst, engines, "milc-prefetcher")
+}
+
+/// leslie: three ROIs, each a two-level loop nest over its own array
+/// with a non-unit inner stride.
+pub fn leslie(rows: u64, cols: u64) -> UseCase {
+    let mem = SpecMemory::new();
+    let mut a = Asm::new(0x1000);
+    let mut engines = Vec::new();
+    let mut rst = HashMap::new();
+    let inner_stride: i64 = 192; // three lines apart: hostile to next-N-line
+    let row_stride: i64 = cols as i64 * inner_stride + 256;
+
+    for roi in 0..3u64 {
+        let base = ARRAY_BASE + roi * 0x800_0000;
+        a.li(S1, base as i64);
+        let base_sym = format!("base_pc_{roi}");
+        let count_sym = format!("count_pc_{roi}");
+        let load_sym = format!("load_pc_{roi}");
+        a.export(&base_sym);
+        a.mv(A0, S1);
+        a.export(&count_sym);
+        a.li(A1, (rows * cols) as i64);
+        let lr = a.label();
+        let lc = a.label();
+        let dr = a.label();
+        a.li(T0, 0); // row
+        a.bind(lr).unwrap();
+        a.li(T1, 0); // col
+        a.bind(lc).unwrap();
+        a.li(T3, row_stride);
+        a.mul(T3, T0, T3);
+        a.li(T4, inner_stride);
+        a.mul(T4, T1, T4);
+        a.add(T3, T3, T4);
+        a.add(T3, A0, T3);
+        a.export(&load_sym);
+        a.fld(FT0, T3, 0);
+        a.fadd(FT1, FT1, FT0);
+        a.addi(T1, T1, 1);
+        a.li(T4, cols as i64);
+        a.blt(T1, T4, lc);
+        a.addi(T0, T0, 1);
+        a.li(T4, rows as i64);
+        a.blt(T0, T4, lr);
+        a.j(dr);
+        a.bind(dr).unwrap();
+    }
+    a.halt();
+    let program = a.finish().expect("leslie assembles");
+
+    for roi in 0..3u64 {
+        let base_pc = program.symbol(&format!("base_pc_{roi}")).unwrap();
+        let count_pc = program.symbol(&format!("count_pc_{roi}")).unwrap();
+        let load_pc = program.symbol(&format!("load_pc_{roi}")).unwrap();
+        let entry = if roi == 0 { RstEntry::dest().begin() } else { RstEntry::dest() };
+        rst.insert(base_pc, entry);
+        rst.insert(count_pc, RstEntry::dest());
+        rst.insert(load_pc, RstEntry::dest());
+        engines.push(EngineConfig {
+            base_pcs: vec![base_pc],
+            count_pc,
+            load_pc,
+            extents: vec![rows, cols],
+            strides: vec![row_stride, inner_stride],
+            stream_offsets: vec![0],
+            as_set: false,
+            adaptive: false,
+            init_distance: 24,
+        });
+    }
+    usecase("leslie", program, mem, rst, engines, "leslie-prefetcher")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn libquantum_runs_and_counts() {
+        let uc = libquantum(1000, 2);
+        let mut m = uc.machine();
+        m.run(10_000_000).unwrap();
+        assert!(m.halted());
+        assert_eq!(uc.component().name(), "libq-prefetcher");
+        assert!(uc.rst.values().any(|e| e.begin_roi));
+    }
+
+    #[test]
+    fn bwaves_touches_both_streams() {
+        let uc = bwaves(4, 4, 4);
+        let mut m = uc.machine();
+        m.run(10_000_000).unwrap();
+        assert!(m.halted());
+        // The sequential stream was written (fsd).
+        let _ = m.mem().read_committed(ARRAY_BASE, 8);
+    }
+
+    #[test]
+    fn lbm_and_milc_assemble_and_run() {
+        for uc in [lbm(500, 4), milc(500, 4)] {
+            let mut m = uc.machine();
+            m.run(10_000_000).unwrap();
+            assert!(m.halted(), "{} did not halt", uc.name);
+        }
+    }
+
+    #[test]
+    fn leslie_has_three_engines_in_rst() {
+        let uc = leslie(16, 16);
+        let mut m = uc.machine();
+        m.run(10_000_000).unwrap();
+        assert!(m.halted());
+        let dests = uc.rst.values().filter(|e| e.observe.is_some()).count();
+        assert!(dests >= 9, "3 ROIs x 3 snoop points");
+    }
+}

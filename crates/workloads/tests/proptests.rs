@@ -1,0 +1,107 @@
+//! Property-based tests for the workloads: the assembled kernels must
+//! compute exactly what their Rust references compute, for arbitrary
+//! generator parameters, and the graph generators must uphold their
+//! structural invariants.
+
+use pfm_workloads::graphs::{powerlaw_graph, road_graph, shuffle_labels_fraction};
+use pfm_workloads::{astar, astar_reference, bfs, AstarParams, BfsParams};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The astar kernel's final waymap image equals the reference
+    /// implementation for arbitrary grids, obstacle densities, seeds
+    /// and fill counts.
+    #[test]
+    fn astar_kernel_equals_reference(
+        w in 12usize..28,
+        h in 12usize..28,
+        block_pct in 0u32..60,
+        fills in 1u64..4,
+        seed: u64,
+    ) {
+        let p = AstarParams { grid_w: w, grid_h: h, block_pct, fills, seed, ..AstarParams::default() };
+        let uc = astar(&p);
+        let mut m = uc.machine();
+        m.run(200_000_000).unwrap();
+        prop_assert!(m.halted(), "kernel must terminate");
+        let reference = astar_reference(&p);
+        for (idx, &expect) in reference.iter().enumerate() {
+            let got =
+                m.mem().read_committed(pfm_workloads::astar::WAYMAP_BASE + 8 * idx as u64, 4) as u32;
+            prop_assert_eq!(got, expect, "cell {}", idx);
+        }
+    }
+
+    /// The bfs kernel visits exactly the reference's reachable set with
+    /// identical parents, over arbitrary graphs and start levels.
+    #[test]
+    fn bfs_kernel_equals_reference(
+        w in 6usize..16,
+        h in 6usize..16,
+        shortcuts in 0usize..20,
+        seed: u64,
+        start_level in 0usize..6,
+    ) {
+        let g = road_graph(w, h, shortcuts, seed);
+        let params = BfsParams { source: 0, start_level, ..BfsParams::default() };
+        let uc = bfs(&g, "prop", &params);
+        let mut m = uc.machine();
+        m.run(200_000_000).unwrap();
+        prop_assert!(m.halted());
+        let reference = g.bfs_parents(0);
+        let levels = g.bfs_levels(0);
+        let start = start_level.min(levels.len() - 1);
+        for (v, &p) in reference.iter().enumerate() {
+            let got =
+                m.mem().read_committed(pfm_workloads::bfs::PROPS_BASE + 8 * v as u64, 8) as i64;
+            if p < 0 {
+                prop_assert!(got < 0, "node {} must stay unvisited", v);
+            } else {
+                // Nodes at or before the start level are seeded with
+                // parent = self; deeper nodes must match exactly.
+                let depth = levels.iter().position(|l| l.contains(&(v as u32)));
+                match depth {
+                    Some(d) if d <= start => prop_assert!(got >= 0),
+                    _ => prop_assert_eq!(got, p, "parent of node {}", v),
+                }
+            }
+        }
+    }
+
+    /// Graph invariants: CSR symmetry and monotone offsets survive
+    /// shuffling.
+    #[test]
+    fn shuffled_graphs_keep_invariants(
+        n in 30usize..200,
+        m in 1usize..4,
+        seed: u64,
+        fraction in 0.0f64..1.0,
+    ) {
+        let g = shuffle_labels_fraction(&powerlaw_graph(n, m, seed), seed ^ 1, fraction);
+        prop_assert_eq!(g.num_nodes(), n);
+        // Offsets monotone.
+        for w in g.offsets.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        // Symmetry.
+        for u in 0..n {
+            for &v in g.neighbors_of(u) {
+                prop_assert!(
+                    g.neighbors_of(v as usize).contains(&(u as u32)),
+                    "edge {}->{} lost its reverse",
+                    u,
+                    v
+                );
+            }
+        }
+        // Shuffling preserves the degree multiset.
+        let base = powerlaw_graph(n, m, seed);
+        let mut d1: Vec<usize> = (0..n).map(|u| base.neighbors_of(u).len()).collect();
+        let mut d2: Vec<usize> = (0..n).map(|u| g.neighbors_of(u).len()).collect();
+        d1.sort_unstable();
+        d2.sort_unstable();
+        prop_assert_eq!(d1, d2);
+    }
+}

@@ -1,0 +1,141 @@
+//! Building a PFM use-case by hand: assemble a kernel, configure the
+//! snoop tables, and attach your own custom component — a miniature
+//! version of what §4's designs do: bake application knowledge (here,
+//! the LCG that generates the inner-loop trip counts) into the
+//! component, arm it from one snooped retire value, and let it stream
+//! predictions ahead of the core. Compare against the real astar
+//! component in `pfm-components` for the full three-engine design.
+//!
+//! ```text
+//! cargo run --release --example custom_astar_predictor
+//! ```
+
+use pfm_core::{Core, CoreConfig, NoPfm};
+use pfm_fabric::{
+    CustomComponent, Fabric, FabricIo, FabricParams, ObsPacket, PredPacket, RstEntry,
+};
+use pfm_isa::reg::names::*;
+use pfm_isa::{Asm, Machine, SpecMemory};
+use pfm_mem::{Hierarchy, HierarchyConfig};
+use std::collections::{HashMap, HashSet};
+
+/// A minimal custom component built from application knowledge, the
+/// way §4's designs are: the kernel's inner-loop trip counts come from
+/// an LCG, so the component *reconstructs the LCG* (constants baked
+/// into its "bitstream", seed snooped from the retire stream once) and
+/// streams predictions arbitrarily far ahead of the core — it never
+/// waits for retirement, which is the whole point of the paradigm.
+struct LcgRunahead {
+    branch_pc: u64,
+    seed_pc: u64,
+    mul: u64,
+    add: u64,
+    state: u64,
+    armed: bool,
+    inner_left: u64,
+}
+
+impl CustomComponent for LcgRunahead {
+    fn tick(&mut self, io: &mut FabricIo<'_>) {
+        while let Some(obs) = io.pop_obs() {
+            if let ObsPacket::DestValue { pc, value } = obs {
+                if pc == self.seed_pc {
+                    self.state = value;
+                    self.armed = true;
+                    self.inner_left = 0;
+                }
+            }
+        }
+        if !self.armed {
+            return;
+        }
+        // Run ahead: IntQ-F back-pressure is the only thing pacing us.
+        while io.can_push_pred() {
+            if self.inner_left == 0 {
+                self.state = self.state.wrapping_mul(self.mul).wrapping_add(self.add);
+                self.inner_left = (self.state >> 60) + 1; // trip in 1..=16
+            }
+            io.push_pred(PredPacket { pc: self.branch_pc, taken: self.inner_left > 1 });
+            self.inner_left -= 1;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "lcg-runahead"
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A kernel with a data-dependent inner trip count: hostile to a
+    // plain bimodal predictor, trivial for a component that snoops the
+    // count from the retire stream.
+    let mut a = Asm::new(0x1000);
+    let outer = a.label();
+    let inner = a.label();
+    let done = a.label();
+    a.export("seed");
+    a.li(S0, 0); // lcg state (snooped once: arms the component)
+    a.li(S1, 6364136223846793005u64 as i64);
+    a.li(S2, 1442695040888963407);
+    a.li(T0, 30_000); // outer iterations
+    a.export("roi");
+    a.nop();
+    a.bind(outer).unwrap();
+    a.mul(S0, S0, S1);
+    a.add(S0, S0, S2);
+    a.srli(T1, S0, 60);
+    a.addi(T1, T1, 1); // trip in 1..=16
+    a.li(T2, 0);
+    a.bind(inner).unwrap();
+    a.addi(S4, S4, 1);
+    a.addi(T2, T2, 1);
+    a.export_value("branch", a.here());
+    a.blt(T2, T1, inner); // the hot branch
+    a.addi(T0, T0, -1);
+    a.bne(T0, X0, outer);
+    a.j(done);
+    a.bind(done).unwrap();
+    a.halt();
+    let program = a.finish()?;
+
+    let seed = program.symbol("seed")?;
+    let branch = program.symbol("branch")?;
+
+    // Snoop tables: begin the ROI at the seed (whose destination value
+    // arms the component) and override the hot branch.
+    let mut rst = HashMap::new();
+    rst.insert(seed, RstEntry::dest().begin());
+    let mut fst = HashSet::new();
+    fst.insert(branch);
+
+    let run = |fabric: Option<Fabric>| -> Result<(f64, f64), Box<dyn std::error::Error>> {
+        let machine = Machine::new(program.clone(), SpecMemory::new());
+        let mut core =
+            Core::new(CoreConfig::micro21(), machine, Hierarchy::new(HierarchyConfig::micro21()));
+        match fabric {
+            Some(mut f) => core.run(&mut f, u64::MAX, 100_000_000)?,
+            None => core.run(&mut NoPfm, u64::MAX, 100_000_000)?,
+        }
+        Ok((core.stats().ipc(), core.stats().mpki()))
+    };
+
+    let (base_ipc, base_mpki) = run(None)?;
+    println!("baseline:   IPC {base_ipc:.3}  MPKI {base_mpki:.1}");
+
+    let component = LcgRunahead {
+        branch_pc: branch,
+        seed_pc: seed,
+        mul: 6364136223846793005,
+        add: 1442695040888963407,
+        state: 0,
+        armed: false,
+        inner_left: 0,
+    };
+    let fabric = Fabric::new(FabricParams::paper_default(), fst, rst, Box::new(component));
+    let (pfm_ipc, pfm_mpki) = run(Some(fabric))?;
+    println!(
+        "custom:     IPC {pfm_ipc:.3}  MPKI {pfm_mpki:.1}  (+{:.0}%)",
+        (pfm_ipc / base_ipc - 1.0) * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! Quickstart: run the astar workload on the baseline superscalar
+//! core, then attach the PFM fabric with the paper's custom astar
+//! branch predictor and compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use pfm::sim::{run_baseline, run_pfm, RunConfig};
+use pfm_fabric::FabricParams;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A use-case bundles the program, its data, and the "configuration
+    // bitstream" (snoop tables + custom component).
+    let usecase = pfm_sim::usecases::astar_custom();
+
+    // The Table 1 machine, scaled to a 1.5M-instruction budget.
+    let rc = RunConfig::paper_scale();
+
+    println!("running baseline (64KB TAGE-SC-L, no fabric)...");
+    let base = run_baseline(&usecase, &rc)?;
+    println!(
+        "  baseline: IPC {:.3}  branch MPKI {:.1}",
+        base.ipc(),
+        base.stats.mpki()
+    );
+
+    // clk4_w4, delay4, queue32, portLS1 — the paper's headline config.
+    println!("running PFM ({})...", FabricParams::paper_default().label());
+    let pfm = run_pfm(&usecase, FabricParams::paper_default(), &rc)?;
+    let fabric = pfm.fabric.expect("PFM run has agent stats");
+    println!(
+        "  PFM:      IPC {:.3}  branch MPKI {:.2}  (+{:.0}% IPC)",
+        pfm.ipc(),
+        pfm.stats.mpki(),
+        pfm.speedup_over(&base)
+    );
+    println!(
+        "  agents:   {:.1}% of fetched in-ROI instructions hit the FST, \
+         {:.1}% of retired hit the RST",
+        fabric.fst_hit_pct(),
+        fabric.rst_hit_pct()
+    );
+    println!(
+        "  fabric:   {} custom predictions delivered, {} loads injected, {} prefetches",
+        fabric.preds_delivered, fabric.loads_injected, fabric.prefetches_injected
+    );
+    Ok(())
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 CI: formatting, lints, build and tests for the default
+# workspace members. Fully offline — all dependencies are vendored
+# path crates, so no registry or network access is needed.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (-D warnings) =="
+cargo clippy --release --all-targets -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test =="
+cargo test -q --release
+
+echo "CI OK"

@@ -37,11 +37,17 @@ fig_bench!(bench_fig13, experiments::fig13, "fig13_bfs_dqp");
 fig_bench!(bench_fig14, experiments::fig14, "fig14_bfs_window");
 fig_bench!(bench_fig17, experiments::fig17, "fig17_prefetchers");
 fig_bench!(bench_fig18, experiments::fig18, "fig18_energy");
-fig_bench!(bench_ablations, experiments::ablations, "ablations_design_choices");
+fig_bench!(
+    bench_ablations,
+    experiments::ablations,
+    "ablations_design_choices"
+);
 
 fn bench_table4(c: &mut Criterion) {
     let mut g = c.benchmark_group("figures");
-    g.bench_function("table4_fpga_estimates", |b| b.iter(|| experiments::table4().rows.len()));
+    g.bench_function("table4_fpga_estimates", |b| {
+        b.iter(|| experiments::table4().rows.len())
+    });
     g.finish();
 }
 

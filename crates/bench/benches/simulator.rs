@@ -16,7 +16,7 @@ fn bench_tage(c: &mut Criterion) {
     g.bench_function("predict_train", |b| {
         b.iter(|| {
             i += 1;
-            let truth = i % 3 == 0;
+            let truth = i.is_multiple_of(3);
             let pred = p.predict(0x1000 + (i % 64) * 4, truth);
             p.train(0x1000 + (i % 64) * 4, truth, &pred);
         })
@@ -55,8 +55,11 @@ fn bench_core(c: &mut Criterion) {
             a.bne(T0, X0, top);
             a.halt();
             let m = Machine::new(a.finish().unwrap(), SpecMemory::new());
-            let mut core =
-                Core::new(CoreConfig::micro21(), m, Hierarchy::new(HierarchyConfig::micro21()));
+            let mut core = Core::new(
+                CoreConfig::micro21(),
+                m,
+                Hierarchy::new(HierarchyConfig::micro21()),
+            );
             core.run(&mut NoPfm, u64::MAX, 10_000_000).unwrap();
             core.stats().retired
         })

@@ -1,51 +1,113 @@
-//! Regenerates the paper's tables and figures.
+//! Regenerates the paper's tables and figures through the
+//! plan → execute → assemble pipeline: all requested experiments are
+//! planned up front, identical runs (e.g. the astar baseline shared by
+//! six experiments) are deduplicated, and the unique set is simulated
+//! across worker threads.
 //!
 //! ```text
 //! repro --all                # everything, paper order
 //! repro fig8 table2 fig18    # a subset
 //! repro --quick fig12        # smaller instruction budget
+//! repro --all --jobs 4       # four worker threads
+//! repro --list               # what can be regenerated
 //! ```
 
-use pfm_sim::experiments;
-use pfm_sim::RunConfig;
-use std::time::Instant;
+use pfm_sim::experiments::{plan_for, ALL_IDS};
+use pfm_sim::{run_plans, ExecOptions, RunConfig};
+
+fn print_menu(out: &mut impl std::io::Write) {
+    let rc = RunConfig::test_scale();
+    writeln!(out, "available experiments:").unwrap();
+    for id in ALL_IDS {
+        let plan = plan_for(id, &rc).expect("every listed id has a plan");
+        writeln!(out, "  {id:<10} {}", plan.title).unwrap();
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let all = args.is_empty() || args.iter().any(|a| a == "--all");
-    let ids: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let mut quick = false;
+    let mut all = false;
+    let mut list = false;
+    let mut jobs: Option<usize> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut bad_args: Vec<String> = Vec::new();
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--all" => all = true,
+            "--list" => list = true,
+            "--jobs" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => jobs = Some(n),
+                None => bad_args.push("--jobs <N>".to_string()),
+            },
+            other => {
+                if let Some(n) = other.strip_prefix("--jobs=") {
+                    match n.parse() {
+                        Ok(n) => jobs = Some(n),
+                        Err(_) => bad_args.push(other.to_string()),
+                    }
+                } else if other.starts_with("--") || !ALL_IDS.contains(&other) {
+                    bad_args.push(other.to_string());
+                } else {
+                    ids.push(other.to_string());
+                }
+            }
+        }
+    }
+
+    if !bad_args.is_empty() {
+        eprintln!("unknown argument(s): {}", bad_args.join(", "));
+        eprintln!();
+        print_menu(&mut std::io::stderr());
+        eprintln!("\nflags: --all --quick --list --jobs <N>");
+        std::process::exit(1);
+    }
+
+    if list {
+        print_menu(&mut std::io::stdout());
+        return;
+    }
+
+    if ids.is_empty() {
+        all = true;
+    }
 
     let mut rc = RunConfig::paper_scale();
     if quick {
         rc.max_instrs = 300_000;
     }
 
-    let menu: Vec<(&str, fn(&RunConfig) -> experiments::Experiment)> = vec![
-        ("fig2", experiments::fig2),
-        ("fig8", experiments::fig8),
-        ("table2", experiments::table2),
-        ("fig9", experiments::fig9),
-        ("fig10", experiments::fig10),
-        ("fig12", experiments::fig12),
-        ("table3", experiments::table3),
-        ("fig13", experiments::fig13),
-        ("fig14", experiments::fig14),
-        ("fig17", experiments::fig17),
-        ("table4", |_| experiments::table4()),
-        ("fig18", experiments::fig18),
-        ("ablations", experiments::ablations),
-    ];
+    // Paper order regardless of argument order, as before the planner.
+    let plans: Vec<_> = ALL_IDS
+        .iter()
+        .filter(|id| all || ids.iter().any(|w| w == *id))
+        .map(|id| plan_for(id, &rc).expect("every listed id has a plan"))
+        .collect();
 
-    let total = Instant::now();
-    for (id, f) in menu {
-        if !all && !ids.contains(&id) {
-            continue;
-        }
-        let t = Instant::now();
-        let exp = f(&rc);
+    let opts = ExecOptions {
+        jobs: jobs.unwrap_or_else(|| ExecOptions::default().jobs),
+        progress: true,
+    };
+    let unique: usize = {
+        let specs: Vec<_> = plans
+            .iter()
+            .flat_map(|p| p.specs().iter().cloned())
+            .collect();
+        pfm_sim::exec::dedup_specs(&specs).len()
+    };
+    eprintln!(
+        "planned {} experiment(s), {} unique run(s), {} job(s)",
+        plans.len(),
+        unique,
+        opts.jobs
+    );
+
+    let (experiments, report) = run_plans(plans, &opts);
+    for exp in &experiments {
         println!("{}", exp.render());
-        println!("   [{} regenerated in {:.1}s]\n", id, t.elapsed().as_secs_f64());
     }
-    println!("total: {:.1}s", total.elapsed().as_secs_f64());
+    println!("plan: {}", report.summary());
 }

@@ -33,7 +33,12 @@ pub struct Btb {
 impl Btb {
     /// Creates a BTB with `1 << log_entries` entries.
     pub fn new(log_entries: u32) -> Btb {
-        Btb { entries: vec![None; 1 << log_entries], mask: (1 << log_entries) - 1, hits: 0, misses: 0 }
+        Btb {
+            entries: vec![None; 1 << log_entries],
+            mask: (1 << log_entries) - 1,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     #[inline]
@@ -86,7 +91,12 @@ impl Ras {
     /// Panics if `depth` is zero.
     pub fn new(depth: usize) -> Ras {
         assert!(depth > 0, "RAS needs at least one entry");
-        Ras { stack: vec![0; depth], top: 0, depth, used: 0 }
+        Ras {
+            stack: vec![0; depth],
+            top: 0,
+            depth,
+            used: 0,
+        }
     }
 
     /// Pushes a return address (on call).

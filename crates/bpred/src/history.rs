@@ -34,7 +34,10 @@ impl Default for GlobalHistory {
 impl GlobalHistory {
     /// Creates an all-zero history.
     pub fn new() -> GlobalHistory {
-        GlobalHistory { bits: [0; WORDS], pos: 0 }
+        GlobalHistory {
+            bits: [0; WORDS],
+            pos: 0,
+        }
     }
 
     /// Pushes an outcome (true = taken).
@@ -93,7 +96,11 @@ impl Folded {
     /// Panics if `comp_len` is zero or greater than 31.
     pub fn new(orig_len: u32, comp_len: u32) -> Folded {
         assert!(comp_len > 0 && comp_len < 32, "fold width out of range");
-        Folded { comp: 0, orig_len, comp_len }
+        Folded {
+            comp: 0,
+            orig_len,
+            comp_len,
+        }
     }
 
     /// Current folded value.
@@ -177,7 +184,10 @@ mod tests {
         let mut flipped = base.clone();
         let n = flipped.len();
         flipped[n - 1] = !flipped[n - 1];
-        assert_ne!(fold_reference(&base, 16, 11), fold_reference(&flipped, 16, 11));
+        assert_ne!(
+            fold_reference(&base, 16, 11),
+            fold_reference(&flipped, 16, 11)
+        );
     }
 
     #[test]

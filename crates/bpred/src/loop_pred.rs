@@ -40,7 +40,9 @@ impl Default for LoopPredictor {
 impl LoopPredictor {
     /// Creates an empty loop predictor.
     pub fn new() -> LoopPredictor {
-        LoopPredictor { entries: [LoopEntry::default(); LOOP_ENTRIES] }
+        LoopPredictor {
+            entries: [LoopEntry::default(); LOOP_ENTRIES],
+        }
     }
 
     #[inline]
@@ -56,9 +58,15 @@ impl LoopPredictor {
         let e = &self.entries[idx];
         if e.valid && e.tag == tag && e.conf >= CONF_MAX && e.trip > 0 {
             // Predict not-taken exactly on the learned exit iteration.
-            LoopMeta { hit: true, taken: e.current + 1 < e.trip }
+            LoopMeta {
+                hit: true,
+                taken: e.current + 1 < e.trip,
+            }
         } else {
-            LoopMeta { hit: false, taken: false }
+            LoopMeta {
+                hit: false,
+                taken: false,
+            }
         }
     }
 
@@ -74,7 +82,14 @@ impl LoopPredictor {
                     e.age -= 1;
                     return;
                 }
-                *e = LoopEntry { tag, valid: true, trip: 0, current: 0, conf: 0, age: 3 };
+                *e = LoopEntry {
+                    tag,
+                    valid: true,
+                    trip: 0,
+                    current: 0,
+                    conf: 0,
+                    age: 3,
+                };
             }
             return;
         }

@@ -19,6 +19,18 @@ pub enum PredictorKind {
     Perfect,
 }
 
+impl PredictorKind {
+    /// Canonical label (used in run keys and experiment labels).
+    pub fn label(&self) -> &'static str {
+        match self {
+            PredictorKind::TageScl => "tagescl",
+            PredictorKind::Gshare => "gshare",
+            PredictorKind::Bimodal => "bimodal",
+            PredictorKind::Perfect => "perfectBP",
+        }
+    }
+}
+
 /// Per-prediction metadata (paired with the later `train` call).
 #[derive(Clone, Debug)]
 pub enum Prediction {
@@ -50,6 +62,10 @@ impl Prediction {
 }
 
 /// Speculative-history checkpoint for the unified predictor.
+// Checkpoints are taken on every predicted branch in the timing hot
+// path; keeping the TAGE-SC-L state inline avoids a per-branch heap
+// allocation at the cost of a wide enum.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug)]
 pub enum Checkpoint {
     /// TAGE-SC-L checkpoint.
@@ -90,8 +106,12 @@ impl Predictor {
         match self {
             Predictor::TageScl(p) => Prediction::TageScl(p.predict(pc)),
             Predictor::Gshare(p) => Prediction::Gshare(p.predict(pc)),
-            Predictor::Bimodal(p) => Prediction::Bimodal { taken: p.predict(pc) },
-            Predictor::Perfect => Prediction::Perfect { taken: oracle_outcome },
+            Predictor::Bimodal(p) => Prediction::Bimodal {
+                taken: p.predict(pc),
+            },
+            Predictor::Perfect => Prediction::Perfect {
+                taken: oracle_outcome,
+            },
         }
     }
 
@@ -141,7 +161,12 @@ mod tests {
 
     #[test]
     fn all_kinds_construct_and_predict() {
-        for kind in [PredictorKind::TageScl, PredictorKind::Gshare, PredictorKind::Bimodal, PredictorKind::Perfect] {
+        for kind in [
+            PredictorKind::TageScl,
+            PredictorKind::Gshare,
+            PredictorKind::Bimodal,
+            PredictorKind::Perfect,
+        ] {
             let mut p = Predictor::new(kind);
             let cp = p.checkpoint();
             let pred = p.predict(0x1000, true);

@@ -63,7 +63,11 @@ impl StatisticalCorrector {
 
     fn index(&self, pc: u64, t: usize, tage_pred: bool) -> u32 {
         let pc = pc >> 2;
-        let h = if SC_LENGTHS[t] == 0 { 0 } else { self.folds[t].value() as u64 };
+        let h = if SC_LENGTHS[t] == 0 {
+            0
+        } else {
+            self.folds[t].value() as u64
+        };
         (((pc ^ (pc >> 6) ^ h) << 1 | tage_pred as u64) & ((1 << LOG_SC) - 1)) as u32
     }
 
@@ -73,9 +77,9 @@ impl StatisticalCorrector {
     pub fn predict(&mut self, pc: u64, tage_pred: bool, provider_ctr: i8) -> ScMeta {
         let mut indices = [0u32; SC_LENGTHS.len()];
         let mut sum: i32 = 0;
-        for t in 0..SC_LENGTHS.len() {
-            indices[t] = self.index(pc, t, tage_pred);
-            sum += (2 * self.tables[t][indices[t] as usize] as i32) + 1;
+        for (t, idx) in indices.iter_mut().enumerate() {
+            *idx = self.index(pc, t, tage_pred);
+            sum += (2 * self.tables[t][*idx as usize] as i32) + 1;
         }
         // TAGE confidence: centered provider counter, strongly weighted.
         sum += 8 * (2 * provider_ctr as i32 + 1);
@@ -84,7 +88,12 @@ impl StatisticalCorrector {
         let overrode = sc_pred != tage_pred && sum.abs() >= self.theta;
         let taken = if overrode { sc_pred } else { tage_pred };
         self.push_history(taken);
-        ScMeta { indices, sum, taken, overrode }
+        ScMeta {
+            indices,
+            sum,
+            taken,
+            overrode,
+        }
     }
 
     fn push_history(&mut self, taken: bool) {
@@ -96,7 +105,10 @@ impl StatisticalCorrector {
 
     /// Snapshots speculative history state.
     pub fn checkpoint(&self) -> ScCheckpoint {
-        ScCheckpoint { pos: self.hist.len(), folds: self.folds }
+        ScCheckpoint {
+            pos: self.hist.len(),
+            folds: self.folds,
+        }
     }
 
     /// Restores a checkpoint without pushing any outcome.
@@ -119,7 +131,11 @@ impl StatisticalCorrector {
         if sc_dir != taken || meta.sum.abs() < self.theta {
             for t in 0..SC_LENGTHS.len() {
                 let e = &mut self.tables[t][meta.indices[t] as usize];
-                *e = if taken { (*e + 1).min(SC_CTR_MAX) } else { (*e - 1).max(SC_CTR_MIN) };
+                *e = if taken {
+                    (*e + 1).min(SC_CTR_MAX)
+                } else {
+                    (*e - 1).max(SC_CTR_MIN)
+                };
             }
         }
         // Dynamic threshold adaptation.

@@ -10,7 +10,10 @@ pub struct Bimodal {
 impl Bimodal {
     /// Creates a predictor with `1 << log_entries` counters.
     pub fn new(log_entries: u32) -> Bimodal {
-        Bimodal { ctrs: vec![0; 1 << log_entries], mask: (1 << log_entries) - 1 }
+        Bimodal {
+            ctrs: vec![0; 1 << log_entries],
+            mask: (1 << log_entries) - 1,
+        }
     }
 
     #[inline]
@@ -27,7 +30,11 @@ impl Bimodal {
     pub fn train(&mut self, pc: u64, taken: bool) {
         let i = self.idx(pc);
         let c = &mut self.ctrs[i];
-        *c = if taken { (*c + 1).min(1) } else { (*c - 1).max(-2) };
+        *c = if taken {
+            (*c + 1).min(1)
+        } else {
+            (*c - 1).max(-2)
+        };
     }
 }
 
@@ -65,7 +72,12 @@ impl Gshare {
     /// Creates a predictor with `1 << log_entries` counters and
     /// `hist_bits` bits of global history.
     pub fn new(log_entries: u32, hist_bits: u32) -> Gshare {
-        Gshare { ctrs: vec![0; 1 << log_entries], mask: (1 << log_entries) - 1, hist_bits, hist: 0 }
+        Gshare {
+            ctrs: vec![0; 1 << log_entries],
+            mask: (1 << log_entries) - 1,
+            hist_bits,
+            hist: 0,
+        }
     }
 
     /// Predicts the branch at `pc`, speculatively updating history.
@@ -95,7 +107,11 @@ impl Gshare {
     /// Trains with the actual outcome.
     pub fn train(&mut self, taken: bool, meta: &GshareMeta) {
         let c = &mut self.ctrs[meta.idx];
-        *c = if taken { (*c + 1).min(1) } else { (*c - 1).max(-2) };
+        *c = if taken {
+            (*c + 1).min(1)
+        } else {
+            (*c - 1).max(-2)
+        };
     }
 }
 
@@ -152,7 +168,10 @@ mod tests {
             }
             g.train(truth, &m);
         }
-        assert!(correct > 900, "gshare should learn alternation, got {correct}");
+        assert!(
+            correct > 900,
+            "gshare should learn alternation, got {correct}"
+        );
     }
 
     #[test]

@@ -231,7 +231,7 @@ impl Tage {
     /// `predict` call.
     pub fn train(&mut self, _pc: u64, taken: bool, meta: &TageMeta) {
         self.updates += 1;
-        if self.updates % U_RESET_PERIOD == 0 {
+        if self.updates.is_multiple_of(U_RESET_PERIOD) {
             // Gracefully age usefulness counters.
             for table in &mut self.tables {
                 for e in table.iter_mut() {
@@ -285,12 +285,20 @@ impl Tage {
             if start < NUM_TABLES {
                 // Skip one table pseudo-randomly to decorrelate
                 // allocation, as in reference TAGE.
-                let skip = if self.rand_bit() && start + 1 < NUM_TABLES { 1 } else { 0 };
+                let skip = if self.rand_bit() && start + 1 < NUM_TABLES {
+                    1
+                } else {
+                    0
+                };
                 let mut allocated = false;
                 for t in (start + skip)..NUM_TABLES {
                     let e = &mut self.tables[t][meta.indices[t] as usize];
                     if e.u == 0 {
-                        *e = TageEntry { ctr: if taken { 0 } else { -1 }, tag: meta.tags[t], u: 0 };
+                        *e = TageEntry {
+                            ctr: if taken { 0 } else { -1 },
+                            tag: meta.tags[t],
+                            u: 0,
+                        };
                         allocated = true;
                         break;
                     }
@@ -382,7 +390,9 @@ mod tests {
         let mut x = 12345u64;
         let outcomes: Vec<bool> = (0..4000)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (x >> 62) & 1 == 1
             })
             .collect();

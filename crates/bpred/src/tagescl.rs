@@ -48,12 +48,20 @@ impl TageScl {
         let after_loop = if lp.hit { lp.taken } else { tage.taken };
         let sc = self.sc.predict(pc, after_loop, tage.provider_ctr);
         let taken = sc.taken;
-        TageSclMeta { tage, sc, lp, taken }
+        TageSclMeta {
+            tage,
+            sc,
+            lp,
+            taken,
+        }
     }
 
     /// Snapshots speculative history state (for the branch queue).
     pub fn checkpoint(&self) -> TageSclCheckpoint {
-        TageSclCheckpoint { tage: self.tage.checkpoint(), sc: self.sc.checkpoint() }
+        TageSclCheckpoint {
+            tage: self.tage.checkpoint(),
+            sc: self.sc.checkpoint(),
+        }
     }
 
     /// Restores to a checkpoint without pushing any outcome.
@@ -128,6 +136,9 @@ mod tests {
             }
         }
         let mpki_like = mispredicts as f64 / total as f64;
-        assert!(mpki_like < 0.05, "loop branch misprediction rate {mpki_like}");
+        assert!(
+            mpki_like < 0.05,
+            "loop branch misprediction rate {mpki_like}"
+        );
     }
 }

@@ -211,7 +211,9 @@ impl AstarPredictor {
     }
 
     fn make_id(&self, kind: u64, payload: u64) -> u64 {
-        (kind << ID_KIND_SHIFT) | (self.call_gen << ID_GEN_SHIFT) | (payload & ((1 << ID_GEN_SHIFT) - 1))
+        (kind << ID_KIND_SHIFT)
+            | (self.call_gen << ID_GEN_SHIFT)
+            | (payload & ((1 << ID_GEN_SHIFT) - 1))
     }
 
     fn consume_observations(&mut self, io: &mut FabricIo<'_>) {
@@ -315,7 +317,12 @@ impl AstarPredictor {
         }
         let addr = self.wl_base + 4 * self.alloc_iter;
         let id = self.make_id(KIND_T0, self.alloc_iter);
-        if io.push_load(FabricLoad { id, addr, size: 4, is_prefetch: false }) {
+        if io.push_load(FabricLoad {
+            id,
+            addr,
+            size: 4,
+            is_prefetch: false,
+        }) {
             self.iters.push_back(IterEntry::new());
             self.alloc_iter += 1;
         }
@@ -342,7 +349,12 @@ impl AstarPredictor {
             if !w_issued {
                 let wid = self.make_id(KIND_T1, g << 1);
                 let waddr = self.cfg.waymap_base + 8 * idx1;
-                if !io.push_load(FabricLoad { id: wid, addr: waddr, size: 4, is_prefetch: false }) {
+                if !io.push_load(FabricLoad {
+                    id: wid,
+                    addr: waddr,
+                    size: 4,
+                    is_prefetch: false,
+                }) {
                     return;
                 }
                 let iter = self.t1_iter;
@@ -354,7 +366,12 @@ impl AstarPredictor {
             if !m_issued {
                 let mid = self.make_id(KIND_T1, (g << 1) | 1);
                 let maddr = self.cfg.maparp_base + idx1;
-                if !io.push_load(FabricLoad { id: mid, addr: maddr, size: 1, is_prefetch: false }) {
+                if !io.push_load(FabricLoad {
+                    id: mid,
+                    addr: maddr,
+                    size: 1,
+                    is_prefetch: false,
+                }) {
                     return; // finish the pair next cycle
                 }
                 let iter = self.t1_iter;
@@ -387,7 +404,9 @@ impl AstarPredictor {
             }
             let k = self.emit_k;
             let (idx1, wval, mval) = {
-                let Some(e) = self.entry(self.emit_iter) else { return };
+                let Some(e) = self.entry(self.emit_iter) else {
+                    return;
+                };
                 (e.idx1[k], e.wval[k], e.mval[k])
             };
             let wpc = self.cfg.waymap_branch_pcs[k];
@@ -403,7 +422,10 @@ impl AstarPredictor {
                     let Some(w) = wval else { return };
                     w as u64 == self.fillnum
                 };
-                if !io.push_pred(PredPacket { pc: wpc, taken: wtaken }) {
+                if !io.push_pred(PredPacket {
+                    pc: wpc,
+                    taken: wtaken,
+                }) {
                     return;
                 }
                 self.stats.predictions += 1;
@@ -422,7 +444,10 @@ impl AstarPredictor {
             let Some(m) = mval else { return };
             let mtaken = m != 0;
             if self.cfg.predict_maparp {
-                if !io.push_pred(PredPacket { pc: mpc, taken: mtaken }) {
+                if !io.push_pred(PredPacket {
+                    pc: mpc,
+                    taken: mtaken,
+                }) {
                     return;
                 }
                 self.stats.predictions += 1;
@@ -499,15 +524,32 @@ mod tests {
 
     impl Harness {
         fn new() -> Harness {
-            Harness { obs: VecDeque::new(), resp: VecDeque::new(), preds: Vec::new(), loads: Vec::new() }
+            Harness {
+                obs: VecDeque::new(),
+                resp: VecDeque::new(),
+                preds: Vec::new(),
+                loads: Vec::new(),
+            }
         }
 
-        fn tick(&mut self, c: &mut AstarPredictor, width: usize) -> (Vec<PredPacket>, Vec<FabricLoad>) {
+        fn tick(
+            &mut self,
+            c: &mut AstarPredictor,
+            width: usize,
+        ) -> (Vec<PredPacket>, Vec<FabricLoad>) {
             let mut preds = Vec::new();
             let mut loads = Vec::new();
             {
-                let mut io =
-                    FabricIo::new(width, 0, &mut self.obs, &mut self.resp, &mut preds, &mut loads, 64, 64);
+                let mut io = FabricIo::new(
+                    width,
+                    0,
+                    &mut self.obs,
+                    &mut self.resp,
+                    &mut preds,
+                    &mut loads,
+                    64,
+                    64,
+                );
                 c.tick(&mut io);
             }
             self.preds.extend(preds.iter().copied());
@@ -517,9 +559,18 @@ mod tests {
     }
 
     fn setup_call(h: &mut Harness, c: &mut AstarPredictor, fillnum: u64, base: u64, len: u64) {
-        h.obs.push_back(ObsPacket::DestValue { pc: 0x100, value: fillnum });
-        h.obs.push_back(ObsPacket::DestValue { pc: 0x104, value: base });
-        h.obs.push_back(ObsPacket::DestValue { pc: 0x108, value: len });
+        h.obs.push_back(ObsPacket::DestValue {
+            pc: 0x100,
+            value: fillnum,
+        });
+        h.obs.push_back(ObsPacket::DestValue {
+            pc: 0x104,
+            value: base,
+        });
+        h.obs.push_back(ObsPacket::DestValue {
+            pc: 0x108,
+            value: len,
+        });
         h.tick(c, 4);
     }
 
@@ -528,10 +579,18 @@ mod tests {
         let mut c = AstarPredictor::new(cfg());
         let mut h = Harness::new();
         setup_call(&mut h, &mut c, 5, 0x50_0000, 100);
-        let mut t0_loads = h.loads.iter().filter(|l| l.id >> ID_KIND_SHIFT == KIND_T0).count();
+        let mut t0_loads = h
+            .loads
+            .iter()
+            .filter(|l| l.id >> ID_KIND_SHIFT == KIND_T0)
+            .count();
         for _ in 0..20 {
             h.tick(&mut c, 4);
-            t0_loads = h.loads.iter().filter(|l| l.id >> ID_KIND_SHIFT == KIND_T0).count();
+            t0_loads = h
+                .loads
+                .iter()
+                .filter(|l| l.id >> ID_KIND_SHIFT == KIND_T0)
+                .count();
         }
         // Scope is 8: T0 must stop at 8 outstanding iterations.
         assert_eq!(t0_loads, 8);
@@ -546,12 +605,27 @@ mod tests {
         setup_call(&mut h, &mut c, 5, 0x50_0000, 4);
         h.tick(&mut c, 4);
         // Return the first worklist index (cell 1000).
-        let t0 = h.loads.iter().find(|l| l.id >> ID_KIND_SHIFT == KIND_T0).unwrap();
-        h.resp.push_back(LoadResponse { id: t0.id, value: 1000 });
+        let t0 = h
+            .loads
+            .iter()
+            .find(|l| l.id >> ID_KIND_SHIFT == KIND_T0)
+            .unwrap();
+        h.resp.push_back(LoadResponse {
+            id: t0.id,
+            value: 1000,
+        });
         h.tick(&mut c, 4);
         h.tick(&mut c, 4);
-        let t1: Vec<_> = h.loads.iter().filter(|l| l.id >> ID_KIND_SHIFT == KIND_T1).collect();
-        assert!(t1.len() >= 4, "expected waymap/maparp pairs, got {}", t1.len());
+        let t1: Vec<_> = h
+            .loads
+            .iter()
+            .filter(|l| l.id >> ID_KIND_SHIFT == KIND_T1)
+            .collect();
+        assert!(
+            t1.len() >= 4,
+            "expected waymap/maparp pairs, got {}",
+            t1.len()
+        );
         // First pair: neighbor 0 => idx1 = 1000 - 65 = 935.
         assert_eq!(t1[0].addr, 0x10_0000 + 8 * 935);
         assert_eq!(t1[0].size, 4);
@@ -560,15 +634,27 @@ mod tests {
     }
 
     /// Drives one full iteration and returns the emitted predictions.
-    fn run_iteration(wvals: [u32; 8], mvals: [u8; 8], fillnum: u64, store_inf: bool) -> Vec<PredPacket> {
+    fn run_iteration(
+        wvals: [u32; 8],
+        mvals: [u8; 8],
+        fillnum: u64,
+        store_inf: bool,
+    ) -> Vec<PredPacket> {
         let mut config = cfg();
         config.store_inference = store_inf;
         let mut c = AstarPredictor::new(config);
         let mut h = Harness::new();
         setup_call(&mut h, &mut c, fillnum, 0x50_0000, 1);
         h.tick(&mut c, 8);
-        let t0 = h.loads.iter().find(|l| l.id >> ID_KIND_SHIFT == KIND_T0).unwrap();
-        h.resp.push_back(LoadResponse { id: t0.id, value: 1000 });
+        let t0 = h
+            .loads
+            .iter()
+            .find(|l| l.id >> ID_KIND_SHIFT == KIND_T0)
+            .unwrap();
+        h.resp.push_back(LoadResponse {
+            id: t0.id,
+            value: 1000,
+        });
         // Tick until all loads issued, answering as they appear.
         let mut answered = std::collections::HashSet::new();
         for _ in 0..40 {
@@ -584,7 +670,11 @@ mod tests {
                 let payload = l.id & ((1 << ID_GEN_SHIFT) - 1);
                 let is_m = payload & 1 == 1;
                 let k = ((payload >> 1) % 8) as usize;
-                let v = if is_m { mvals[k] as u64 } else { wvals[k] as u64 };
+                let v = if is_m {
+                    mvals[k] as u64
+                } else {
+                    wvals[k] as u64
+                };
                 h.resp.push_back(LoadResponse { id: l.id, value: v });
             }
         }
@@ -602,11 +692,41 @@ mod tests {
         let mut mvals = [0u8; 8];
         mvals[2] = 1;
         let preds = run_iteration(wvals, mvals, 5, true);
-        assert_eq!(preds[0], PredPacket { pc: 0x200, taken: true });
-        assert_eq!(preds[1], PredPacket { pc: 0x210, taken: false });
-        assert_eq!(preds[2], PredPacket { pc: 0x214, taken: false });
-        assert_eq!(preds[3], PredPacket { pc: 0x220, taken: false });
-        assert_eq!(preds[4], PredPacket { pc: 0x224, taken: true });
+        assert_eq!(
+            preds[0],
+            PredPacket {
+                pc: 0x200,
+                taken: true
+            }
+        );
+        assert_eq!(
+            preds[1],
+            PredPacket {
+                pc: 0x210,
+                taken: false
+            }
+        );
+        assert_eq!(
+            preds[2],
+            PredPacket {
+                pc: 0x214,
+                taken: false
+            }
+        );
+        assert_eq!(
+            preds[3],
+            PredPacket {
+                pc: 0x220,
+                taken: false
+            }
+        );
+        assert_eq!(
+            preds[4],
+            PredPacket {
+                pc: 0x224,
+                taken: true
+            }
+        );
         // Remaining 5 neighbors visited => single taken preds.
         assert_eq!(preds.len(), 5 + 5);
     }
@@ -621,14 +741,30 @@ mod tests {
         let mut h = Harness::new();
         setup_call(&mut h, &mut c, 5, 0x50_0000, 2);
         h.tick(&mut c, 8);
-        let t0s: Vec<_> = h.loads.iter().filter(|l| l.id >> ID_KIND_SHIFT == KIND_T0).copied().collect();
-        h.resp.push_back(LoadResponse { id: t0s[0].id, value: 1000 });
+        let t0s: Vec<_> = h
+            .loads
+            .iter()
+            .filter(|l| l.id >> ID_KIND_SHIFT == KIND_T0)
+            .copied()
+            .collect();
+        h.resp.push_back(LoadResponse {
+            id: t0s[0].id,
+            value: 1000,
+        });
         for _ in 0..3 {
             h.tick(&mut c, 8);
         }
-        let t0s: Vec<_> = h.loads.iter().filter(|l| l.id >> ID_KIND_SHIFT == KIND_T0).copied().collect();
+        let t0s: Vec<_> = h
+            .loads
+            .iter()
+            .filter(|l| l.id >> ID_KIND_SHIFT == KIND_T0)
+            .copied()
+            .collect();
         assert_eq!(t0s.len(), 2);
-        h.resp.push_back(LoadResponse { id: t0s[1].id, value: 1002 });
+        h.resp.push_back(LoadResponse {
+            id: t0s[1].id,
+            value: 1002,
+        });
         let mut answered = std::collections::HashSet::new();
         for _ in 0..80 {
             h.tick(&mut c, 8);
@@ -648,9 +784,17 @@ mod tests {
         // Find the two predictions for cell 1001: iteration 0 neighbor
         // k=4 (1000+1) => [NT,NT]; iteration 1 neighbor k=3 (1002-1)
         // => overridden [T].
-        let it0_k4: Vec<_> = h.preds.iter().filter(|p| p.pc == 0x240 || p.pc == 0x244).collect();
-        assert_eq!(it0_k4[0].taken, false);
-        let it1_preds: Vec<_> = h.preds.iter().skip_while(|p| p.pc != 0x200 || it0_k4.is_empty()).collect();
+        let it0_k4: Vec<_> = h
+            .preds
+            .iter()
+            .filter(|p| p.pc == 0x240 || p.pc == 0x244)
+            .collect();
+        assert!(!it0_k4[0].taken);
+        let it1_preds: Vec<_> = h
+            .preds
+            .iter()
+            .skip_while(|p| p.pc != 0x200 || it0_k4.is_empty())
+            .collect();
         let _ = it1_preds;
         // The second iteration's k=3 waymap branch (pc 0x230) appears
         // twice across the two iterations; its second instance must be
@@ -658,7 +802,10 @@ mod tests {
         let k3: Vec<_> = h.preds.iter().filter(|p| p.pc == 0x230).collect();
         assert_eq!(k3.len(), 2);
         assert!(!k3[0].taken, "first visit to some cell at k=3 enters");
-        assert!(k3[1].taken, "second visit to cell 1001 must be inferred visited");
+        assert!(
+            k3[1].taken,
+            "second visit to cell 1001 must be inferred visited"
+        );
     }
 
     #[test]
@@ -669,13 +816,29 @@ mod tests {
         let mut h = Harness::new();
         setup_call(&mut h, &mut c, 5, 0x50_0000, 2);
         h.tick(&mut c, 8);
-        let t0s: Vec<_> = h.loads.iter().filter(|l| l.id >> ID_KIND_SHIFT == KIND_T0).copied().collect();
-        h.resp.push_back(LoadResponse { id: t0s[0].id, value: 1000 });
+        let t0s: Vec<_> = h
+            .loads
+            .iter()
+            .filter(|l| l.id >> ID_KIND_SHIFT == KIND_T0)
+            .copied()
+            .collect();
+        h.resp.push_back(LoadResponse {
+            id: t0s[0].id,
+            value: 1000,
+        });
         for _ in 0..3 {
             h.tick(&mut c, 8);
         }
-        let t0s: Vec<_> = h.loads.iter().filter(|l| l.id >> ID_KIND_SHIFT == KIND_T0).copied().collect();
-        h.resp.push_back(LoadResponse { id: t0s[1].id, value: 1002 });
+        let t0s: Vec<_> = h
+            .loads
+            .iter()
+            .filter(|l| l.id >> ID_KIND_SHIFT == KIND_T0)
+            .copied()
+            .collect();
+        h.resp.push_back(LoadResponse {
+            id: t0s[1].id,
+            value: 1002,
+        });
         let mut answered = std::collections::HashSet::new();
         for _ in 0..80 {
             h.tick(&mut c, 8);
@@ -692,7 +855,10 @@ mod tests {
         }
         let k3: Vec<_> = h.preds.iter().filter(|p| p.pc == 0x230).collect();
         assert_eq!(k3.len(), 2);
-        assert!(!k3[1].taken, "without inference the stale load value wins (wrongly)");
+        assert!(
+            !k3[1].taken,
+            "without inference the stale load value wins (wrongly)"
+        );
         assert_eq!(c.stats().cam_overrides, 0);
     }
 
@@ -705,12 +871,21 @@ mod tests {
             h.tick(&mut c, 4);
         }
         assert_eq!(c.alloc_iter, 8, "scope full");
-        h.obs.push_back(ObsPacket::DestValue { pc: 0x10c, value: 1 });
-        h.obs.push_back(ObsPacket::DestValue { pc: 0x10c, value: 2 });
+        h.obs.push_back(ObsPacket::DestValue {
+            pc: 0x10c,
+            value: 1,
+        });
+        h.obs.push_back(ObsPacket::DestValue {
+            pc: 0x10c,
+            value: 2,
+        });
         for _ in 0..10 {
             h.tick(&mut c, 4);
         }
-        assert_eq!(c.alloc_iter, 10, "two slots freed, two new iterations allocated");
+        assert_eq!(
+            c.alloc_iter, 10,
+            "two slots freed, two new iterations allocated"
+        );
     }
 
     #[test]
@@ -729,12 +904,19 @@ mod tests {
         let new_gen_t0: Vec<_> = h
             .loads
             .iter()
-            .filter(|l| l.id >> ID_KIND_SHIFT == KIND_T0 && (l.id >> ID_GEN_SHIFT) & 0xFFFF == c.call_gen)
+            .filter(|l| {
+                l.id >> ID_KIND_SHIFT == KIND_T0 && (l.id >> ID_GEN_SHIFT) & 0xFFFF == c.call_gen
+            })
             .collect();
         assert!(new_gen_t0.iter().all(|l| l.addr >= 0x60_0000));
         // Stale responses from the old generation are ignored.
-        h.resp.push_back(LoadResponse { id: (gen_before << ID_GEN_SHIFT) | 3, value: 7 });
+        h.resp.push_back(LoadResponse {
+            id: (gen_before << ID_GEN_SHIFT) | 3,
+            value: 7,
+        });
         h.tick(&mut c, 4);
-        assert!(c.entry(0).is_none_or(|e| e.index.is_none() || e.index != Some(7)));
+        assert!(c
+            .entry(0)
+            .is_none_or(|e| e.index.is_none() || e.index != Some(7)));
     }
 }

@@ -82,7 +82,9 @@ pub struct AstarAltPredictor {
 
 impl std::fmt::Debug for AstarAltPredictor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("AstarAltPredictor").field("stats", &self.stats).finish()
+        f.debug_struct("AstarAltPredictor")
+            .field("stats", &self.stats)
+            .finish()
     }
 }
 
@@ -137,10 +139,10 @@ impl AstarAltPredictor {
                         self.commit_iter += 1;
                     }
                 }
-                ObsPacket::StoreValue { pc, value, .. } => {
-                    if self.cfg.worklist_store_pcs.contains(&pc) {
-                        self.cur_wl.push(value);
-                    }
+                ObsPacket::StoreValue { pc, value, .. }
+                    if self.cfg.worklist_store_pcs.contains(&pc) =>
+                {
+                    self.cur_wl.push(value);
                 }
                 ObsPacket::BranchOutcome { pc, taken } => {
                     // Repair the mirrors with retirement ground truth.
@@ -176,7 +178,10 @@ impl AstarAltPredictor {
 
             if !self.emit_w_done {
                 let visited = self.waymap_mirror[wslot] == (self.fillnum & 0xFF) as u8;
-                if !io.push_pred(PredPacket { pc: self.cfg.waymap_branch_pcs[k], taken: visited }) {
+                if !io.push_pred(PredPacket {
+                    pc: self.cfg.waymap_branch_pcs[k],
+                    taken: visited,
+                }) {
                     return;
                 }
                 self.stats.predictions += 1;
@@ -193,11 +198,15 @@ impl AstarAltPredictor {
             if state == 0 {
                 self.stats.cold_maparp += 1;
             }
-            if !io.push_pred(PredPacket { pc: self.cfg.maparp_branch_pcs[k], taken: blocked }) {
+            if !io.push_pred(PredPacket {
+                pc: self.cfg.maparp_branch_pcs[k],
+                taken: blocked,
+            }) {
                 return;
             }
             self.stats.predictions += 1;
-            self.outcome_fifo.push_back((idx1, self.cfg.maparp_branch_pcs[k]));
+            self.outcome_fifo
+                .push_back((idx1, self.cfg.maparp_branch_pcs[k]));
             if !blocked {
                 // Active update: the program will store fillnum here.
                 self.waymap_mirror[wslot] = (self.fillnum & 0xFF) as u8;
@@ -245,7 +254,11 @@ mod tests {
         }
     }
 
-    fn tick(c: &mut AstarAltPredictor, obs: &mut VecDeque<ObsPacket>, width: usize) -> Vec<PredPacket> {
+    fn tick(
+        c: &mut AstarAltPredictor,
+        obs: &mut VecDeque<ObsPacket>,
+        width: usize,
+    ) -> Vec<PredPacket> {
         let mut resp = VecDeque::new();
         let mut preds = Vec::new();
         let mut loads = Vec::new();
@@ -260,15 +273,37 @@ mod tests {
     fn mimics_worklist_from_observed_stores() {
         let mut c = AstarAltPredictor::new(cfg());
         let mut obs = VecDeque::new();
-        obs.push_back(ObsPacket::DestValue { pc: 0x100, value: 1 });
-        obs.push_back(ObsPacket::StoreValue { pc: 0x108, addr: 0, value: 1000 });
-        obs.push_back(ObsPacket::DestValue { pc: 0x104, value: 0 }); // call: swap
+        obs.push_back(ObsPacket::DestValue {
+            pc: 0x100,
+            value: 1,
+        });
+        obs.push_back(ObsPacket::StoreValue {
+            pc: 0x108,
+            addr: 0,
+            value: 1000,
+        });
+        obs.push_back(ObsPacket::DestValue {
+            pc: 0x104,
+            value: 0,
+        }); // call: swap
         let preds = tick(&mut c, &mut obs, 16);
         // One worklist index -> 8 waymap preds (everything unvisited in
         // the mirror) each followed by a cold maparp pred (not blocked).
         assert_eq!(preds.len(), 16);
-        assert_eq!(preds[0], PredPacket { pc: 0x200, taken: false });
-        assert_eq!(preds[1], PredPacket { pc: 0x204, taken: false });
+        assert_eq!(
+            preds[0],
+            PredPacket {
+                pc: 0x200,
+                taken: false
+            }
+        );
+        assert_eq!(
+            preds[1],
+            PredPacket {
+                pc: 0x204,
+                taken: false
+            }
+        );
         assert!(c.stats().cold_maparp > 0);
     }
 
@@ -277,10 +312,24 @@ mod tests {
         // Worklist [1000, 1002]: both reach cell 1001 (offsets +1/-1).
         let mut c = AstarAltPredictor::new(cfg());
         let mut obs = VecDeque::new();
-        obs.push_back(ObsPacket::DestValue { pc: 0x100, value: 1 });
-        obs.push_back(ObsPacket::StoreValue { pc: 0x108, addr: 0, value: 1000 });
-        obs.push_back(ObsPacket::StoreValue { pc: 0x108, addr: 0, value: 1002 });
-        obs.push_back(ObsPacket::DestValue { pc: 0x104, value: 0 });
+        obs.push_back(ObsPacket::DestValue {
+            pc: 0x100,
+            value: 1,
+        });
+        obs.push_back(ObsPacket::StoreValue {
+            pc: 0x108,
+            addr: 0,
+            value: 1000,
+        });
+        obs.push_back(ObsPacket::StoreValue {
+            pc: 0x108,
+            addr: 0,
+            value: 1002,
+        });
+        obs.push_back(ObsPacket::DestValue {
+            pc: 0x104,
+            value: 0,
+        });
         let preds = tick(&mut c, &mut obs, 64);
         // Find the two predictions for the k=3 (-1) and k=4 (+1)
         // waymap branches; iteration 0's +1 marks 1001 visited, so
@@ -288,25 +337,54 @@ mod tests {
         let k3: Vec<_> = preds.iter().filter(|p| p.pc == 0x230).collect();
         let k4: Vec<_> = preds.iter().filter(|p| p.pc == 0x240).collect();
         assert!(!k4[0].taken, "first visit to 1001 (from 1000, +1) enters");
-        assert!(k3[1].taken, "second visit to 1001 (from 1002, -1) sees the active update");
+        assert!(
+            k3[1].taken,
+            "second visit to 1001 (from 1002, -1) sees the active update"
+        );
     }
 
     #[test]
     fn maparp_mirror_learns_from_outcomes() {
         let mut c = AstarAltPredictor::new(cfg());
         let mut obs = VecDeque::new();
-        obs.push_back(ObsPacket::DestValue { pc: 0x100, value: 1 });
-        obs.push_back(ObsPacket::StoreValue { pc: 0x108, addr: 0, value: 1000 });
-        obs.push_back(ObsPacket::DestValue { pc: 0x104, value: 0 });
+        obs.push_back(ObsPacket::DestValue {
+            pc: 0x100,
+            value: 1,
+        });
+        obs.push_back(ObsPacket::StoreValue {
+            pc: 0x108,
+            addr: 0,
+            value: 1000,
+        });
+        obs.push_back(ObsPacket::DestValue {
+            pc: 0x104,
+            value: 0,
+        });
         let preds = tick(&mut c, &mut obs, 64);
-        assert!(preds.iter().any(|p| p.pc == 0x204 && !p.taken), "cold maparp predicts passable");
+        assert!(
+            preds.iter().any(|p| p.pc == 0x204 && !p.taken),
+            "cold maparp predicts passable"
+        );
         // Outcome arrives: cell 935 (1000-65) is actually blocked.
-        obs.push_back(ObsPacket::BranchOutcome { pc: 0x204, taken: true });
+        obs.push_back(ObsPacket::BranchOutcome {
+            pc: 0x204,
+            taken: true,
+        });
         tick(&mut c, &mut obs, 64);
         // Next fill pass over the same cell must predict blocked.
-        obs.push_back(ObsPacket::DestValue { pc: 0x100, value: 2 });
-        obs.push_back(ObsPacket::StoreValue { pc: 0x108, addr: 0, value: 1000 });
-        obs.push_back(ObsPacket::DestValue { pc: 0x104, value: 0 });
+        obs.push_back(ObsPacket::DestValue {
+            pc: 0x100,
+            value: 2,
+        });
+        obs.push_back(ObsPacket::StoreValue {
+            pc: 0x108,
+            addr: 0,
+            value: 1000,
+        });
+        obs.push_back(ObsPacket::DestValue {
+            pc: 0x104,
+            value: 0,
+        });
         let preds = tick(&mut c, &mut obs, 64);
         let m: Vec<_> = preds.iter().filter(|p| p.pc == 0x204).collect();
         assert!(m[0].taken, "learned blocked cell predicts taken");
@@ -316,18 +394,31 @@ mod tests {
     fn runahead_is_bounded_by_retirement() {
         let mut c = AstarAltPredictor::new(cfg());
         let mut obs = VecDeque::new();
-        obs.push_back(ObsPacket::DestValue { pc: 0x100, value: 1 });
+        obs.push_back(ObsPacket::DestValue {
+            pc: 0x100,
+            value: 1,
+        });
         for i in 0..100 {
-            obs.push_back(ObsPacket::StoreValue { pc: 0x108, addr: 0, value: 1000 + i * 3 });
+            obs.push_back(ObsPacket::StoreValue {
+                pc: 0x108,
+                addr: 0,
+                value: 1000 + i * 3,
+            });
         }
-        obs.push_back(ObsPacket::DestValue { pc: 0x104, value: 0 });
+        obs.push_back(ObsPacket::DestValue {
+            pc: 0x104,
+            value: 0,
+        });
         for _ in 0..100 {
             tick(&mut c, &mut obs, 64);
         }
         // No retirement observed: at most runahead_iters iterations
         // worth of predictions.
         assert!(c.emit_iter <= 8, "emit ran ahead to {}", c.emit_iter);
-        obs.push_back(ObsPacket::DestValue { pc: 0x110, value: 1 });
+        obs.push_back(ObsPacket::DestValue {
+            pc: 0x110,
+            value: 1,
+        });
         for _ in 0..10 {
             tick(&mut c, &mut obs, 64);
         }

@@ -295,7 +295,9 @@ impl BfsComponent {
 
     fn consume_load_responses(&mut self, io: &mut FabricIo<'_>) {
         while let Some(resp) = io.pop_load_resp() {
-            let Some(tag) = self.tags.remove(&resp.id) else { continue };
+            let Some(tag) = self.tags.remove(&resp.id) else {
+                continue;
+            };
             match tag {
                 LoadTag::Frontier { slot } => {
                     if let Some(e) = self.slot_mut(slot) {
@@ -355,7 +357,12 @@ impl BfsComponent {
         {
             let addr = self.frontier_base + 4 * self.alloc_u;
             let id = self.alloc_id(LoadTag::Frontier { slot: self.alloc_u });
-            if !io.push_load(FabricLoad { id, addr, size: 4, is_prefetch: false }) {
+            if !io.push_load(FabricLoad {
+                id,
+                addr,
+                size: 4,
+                is_prefetch: false,
+            }) {
                 self.tags.remove(&id);
                 return;
             }
@@ -369,7 +376,9 @@ impl BfsComponent {
     /// re-issues (or live-locks on) the first half.
     fn t1(&mut self, io: &mut FabricIo<'_>) {
         while self.t1_u < self.alloc_u {
-            let Some(e) = self.slot(self.t1_u) else { return };
+            let Some(e) = self.slot(self.t1_u) else {
+                return;
+            };
             if e.off_a_issued && e.off_b_issued {
                 self.t1_u += 1;
                 continue;
@@ -378,7 +387,12 @@ impl BfsComponent {
             let base = self.cfg.offsets_base;
             if !e.off_a_issued {
                 let a_id = self.alloc_id(LoadTag::OffsetA { slot: self.t1_u });
-                if !io.push_load(FabricLoad { id: a_id, addr: base + 8 * u, size: 8, is_prefetch: false }) {
+                if !io.push_load(FabricLoad {
+                    id: a_id,
+                    addr: base + 8 * u,
+                    size: 8,
+                    is_prefetch: false,
+                }) {
                     self.tags.remove(&a_id);
                     return;
                 }
@@ -390,7 +404,12 @@ impl BfsComponent {
             let b_pending = self.slot(self.t1_u).is_some_and(|e| !e.off_b_issued);
             if b_pending {
                 let b_id = self.alloc_id(LoadTag::OffsetB { slot: self.t1_u });
-                if !io.push_load(FabricLoad { id: b_id, addr: base + 8 * (u + 1), size: 8, is_prefetch: false }) {
+                if !io.push_load(FabricLoad {
+                    id: b_id,
+                    addr: base + 8 * (u + 1),
+                    size: 8,
+                    is_prefetch: false,
+                }) {
                     self.tags.remove(&b_id);
                     return; // finish the pair next cycle
                 }
@@ -406,8 +425,12 @@ impl BfsComponent {
     /// T2: neighbor loads.
     fn t2(&mut self, io: &mut FabricIo<'_>) {
         while self.t2_u < self.alloc_u {
-            let Some(e) = self.slot(self.t2_u) else { return };
-            let (Some(trip), Some(a)) = (e.trip, e.off_a) else { return };
+            let Some(e) = self.slot(self.t2_u) else {
+                return;
+            };
+            let (Some(trip), Some(a)) = (e.trip, e.off_a) else {
+                return;
+            };
             if e.nbr_issued >= trip {
                 self.t2_u += 1;
                 continue;
@@ -415,7 +438,12 @@ impl BfsComponent {
             let j = e.nbr_issued;
             let addr = self.cfg.neighbors_base + 4 * (a + j);
             let id = self.alloc_id(LoadTag::Neighbor { slot: self.t2_u, j });
-            if !io.push_load(FabricLoad { id, addr, size: 4, is_prefetch: false }) {
+            if !io.push_load(FabricLoad {
+                id,
+                addr,
+                size: 4,
+                is_prefetch: false,
+            }) {
                 self.tags.remove(&id);
                 return;
             }
@@ -428,17 +456,26 @@ impl BfsComponent {
     /// T3: visited-ness property loads.
     fn t3(&mut self, io: &mut FabricIo<'_>) {
         while self.t3_u < self.alloc_u {
-            let Some(e) = self.slot(self.t3_u) else { return };
+            let Some(e) = self.slot(self.t3_u) else {
+                return;
+            };
             let Some(trip) = e.trip else { return };
             if e.prop_issued >= trip {
                 self.t3_u += 1;
                 continue;
             }
             let j = e.prop_issued;
-            let Some(Some(v)) = e.neighbors.get(j as usize).copied() else { return };
+            let Some(Some(v)) = e.neighbors.get(j as usize).copied() else {
+                return;
+            };
             let addr = self.cfg.properties_base + 8 * v as u64;
             let id = self.alloc_id(LoadTag::Property { slot: self.t3_u, j });
-            if !io.push_load(FabricLoad { id, addr, size: 8, is_prefetch: false }) {
+            if !io.push_load(FabricLoad {
+                id,
+                addr,
+                size: 8,
+                is_prefetch: false,
+            }) {
                 self.tags.remove(&id);
                 return;
             }
@@ -456,7 +493,9 @@ impl BfsComponent {
                 return;
             }
             let (trip, v, prop) = {
-                let Some(e) = self.slot(self.emit_u) else { return };
+                let Some(e) = self.slot(self.emit_u) else {
+                    return;
+                };
                 let Some(trip) = e.trip else { return };
                 let v = e.neighbors.get(self.emit_j as usize).copied().flatten();
                 let prop = e.props.get(self.emit_j as usize).copied().flatten();
@@ -466,7 +505,10 @@ impl BfsComponent {
             if self.emit_j >= trip {
                 // Loop-exit prediction, then next node.
                 if self.cfg.predict_loop {
-                    if !io.push_pred(PredPacket { pc: self.cfg.loop_branch_pc, taken: true }) {
+                    if !io.push_pred(PredPacket {
+                        pc: self.cfg.loop_branch_pc,
+                        taken: true,
+                    }) {
                         return;
                     }
                     self.stats.predictions += 1;
@@ -480,7 +522,10 @@ impl BfsComponent {
 
             if !self.emit_loop_done {
                 if self.cfg.predict_loop {
-                    if !io.push_pred(PredPacket { pc: self.cfg.loop_branch_pc, taken: false }) {
+                    if !io.push_pred(PredPacket {
+                        pc: self.cfg.loop_branch_pc,
+                        taken: false,
+                    }) {
                         return;
                     }
                     self.stats.predictions += 1;
@@ -499,7 +544,10 @@ impl BfsComponent {
                 let Some(p) = prop else { return };
                 p >= 0
             };
-            if !io.push_pred(PredPacket { pc: self.cfg.visited_branch_pc, taken }) {
+            if !io.push_pred(PredPacket {
+                pc: self.cfg.visited_branch_pc,
+                taken,
+            }) {
                 return;
             }
             self.stats.predictions += 1;
@@ -602,8 +650,11 @@ mod tests {
 
     impl MiniGraph {
         fn answer(&self, c: &mut BfsComponent, h: &mut Harness, frontier: &[u32]) {
-            let pending: Vec<(u64, LoadTag)> =
-                h.loads.iter().filter_map(|l| c.tags.get(&l.id).map(|t| (l.id, *t))).collect();
+            let pending: Vec<(u64, LoadTag)> = h
+                .loads
+                .iter()
+                .filter_map(|l| c.tags.get(&l.id).map(|t| (l.id, *t)))
+                .collect();
             for (id, tag) in pending {
                 let cfgv = &c.cfg;
                 let value = match tag {
@@ -637,22 +688,47 @@ mod tests {
         let g = MiniGraph {
             offsets: vec![0, 2],
             neighbors: vec![5, 6],
-            props: vec![-1; 10].into_iter().enumerate().map(|(i, p)| if i == 5 { 0 } else { p }).collect(),
+            props: vec![-1; 10]
+                .into_iter()
+                .enumerate()
+                .map(|(i, p)| if i == 5 { 0 } else { p })
+                .collect(),
         };
         let mut c = BfsComponent::new(cfg());
         let mut h = Harness::new();
-        h.obs.push_back(ObsPacket::DestValue { pc: 0x100, value: 0x500_0000 });
-        h.obs.push_back(ObsPacket::DestValue { pc: 0x104, value: 1 });
+        h.obs.push_back(ObsPacket::DestValue {
+            pc: 0x100,
+            value: 0x500_0000,
+        });
+        h.obs.push_back(ObsPacket::DestValue {
+            pc: 0x104,
+            value: 1,
+        });
         for _ in 0..30 {
             h.tick(&mut c, 8);
             g.answer(&mut c, &mut h, &[0]);
         }
         let expect = vec![
-            PredPacket { pc: 0x400, taken: false }, // j=0 continue
-            PredPacket { pc: 0x410, taken: true },  // v=5 visited
-            PredPacket { pc: 0x400, taken: false }, // j=1 continue
-            PredPacket { pc: 0x410, taken: false }, // v=6 unvisited
-            PredPacket { pc: 0x400, taken: true },  // exit
+            PredPacket {
+                pc: 0x400,
+                taken: false,
+            }, // j=0 continue
+            PredPacket {
+                pc: 0x410,
+                taken: true,
+            }, // v=5 visited
+            PredPacket {
+                pc: 0x400,
+                taken: false,
+            }, // j=1 continue
+            PredPacket {
+                pc: 0x410,
+                taken: false,
+            }, // v=6 unvisited
+            PredPacket {
+                pc: 0x400,
+                taken: true,
+            }, // exit
         ];
         assert_eq!(h.preds, expect);
         assert_eq!(c.stats().nodes, 1);
@@ -670,8 +746,14 @@ mod tests {
         };
         let mut c = BfsComponent::new(cfg());
         let mut h = Harness::new();
-        h.obs.push_back(ObsPacket::DestValue { pc: 0x100, value: 0x500_0000 });
-        h.obs.push_back(ObsPacket::DestValue { pc: 0x104, value: 2 });
+        h.obs.push_back(ObsPacket::DestValue {
+            pc: 0x100,
+            value: 0x500_0000,
+        });
+        h.obs.push_back(ObsPacket::DestValue {
+            pc: 0x104,
+            value: 2,
+        });
         for _ in 0..40 {
             h.tick(&mut c, 8);
             g.answer(&mut c, &mut h, &[0, 1]);
@@ -685,42 +767,81 @@ mod tests {
 
     #[test]
     fn no_dup_inference_repeats_the_mistake() {
-        let g = MiniGraph { offsets: vec![0, 1, 2], neighbors: vec![7, 7], props: vec![-1; 10] };
+        let g = MiniGraph {
+            offsets: vec![0, 1, 2],
+            neighbors: vec![7, 7],
+            props: vec![-1; 10],
+        };
         let mut config = cfg();
         config.dup_inference = false;
         let mut c = BfsComponent::new(config);
         let mut h = Harness::new();
-        h.obs.push_back(ObsPacket::DestValue { pc: 0x100, value: 0x500_0000 });
-        h.obs.push_back(ObsPacket::DestValue { pc: 0x104, value: 2 });
+        h.obs.push_back(ObsPacket::DestValue {
+            pc: 0x100,
+            value: 0x500_0000,
+        });
+        h.obs.push_back(ObsPacket::DestValue {
+            pc: 0x104,
+            value: 2,
+        });
         for _ in 0..40 {
             h.tick(&mut c, 8);
             g.answer(&mut c, &mut h, &[0, 1]);
         }
         let visited: Vec<_> = h.preds.iter().filter(|p| p.pc == 0x410).collect();
-        assert!(!visited[1].taken, "without inference the stale property wins");
+        assert!(
+            !visited[1].taken,
+            "without inference the stale property wins"
+        );
     }
 
     #[test]
     fn zero_degree_node_emits_single_exit_prediction() {
-        let g = MiniGraph { offsets: vec![0, 0], neighbors: vec![], props: vec![-1; 4] };
+        let g = MiniGraph {
+            offsets: vec![0, 0],
+            neighbors: vec![],
+            props: vec![-1; 4],
+        };
         let mut c = BfsComponent::new(cfg());
         let mut h = Harness::new();
-        h.obs.push_back(ObsPacket::DestValue { pc: 0x100, value: 0x500_0000 });
-        h.obs.push_back(ObsPacket::DestValue { pc: 0x104, value: 1 });
+        h.obs.push_back(ObsPacket::DestValue {
+            pc: 0x100,
+            value: 0x500_0000,
+        });
+        h.obs.push_back(ObsPacket::DestValue {
+            pc: 0x104,
+            value: 1,
+        });
         for _ in 0..20 {
             h.tick(&mut c, 8);
             g.answer(&mut c, &mut h, &[0]);
         }
-        assert_eq!(h.preds, vec![PredPacket { pc: 0x400, taken: true }]);
+        assert_eq!(
+            h.preds,
+            vec![PredPacket {
+                pc: 0x400,
+                taken: true
+            }]
+        );
     }
 
     #[test]
     fn retirement_frees_window_and_seen_set() {
-        let g = MiniGraph { offsets: vec![0, 1, 2], neighbors: vec![7, 7], props: vec![-1; 10] };
+        let g = MiniGraph {
+            offsets: vec![0, 1, 2],
+            neighbors: vec![7, 7],
+            props: vec![-1; 10],
+        };
         let mut c = BfsComponent::new(cfg());
         let mut h = Harness::new();
-        h.obs.push_back(ObsPacket::DestValue { pc: 0x100, value: 0x500_0000 });
-        h.obs.push_back(ObsPacket::DestValue { pc: 0x104, value: 2 });
+        h.obs.push_back(ObsPacket::DestValue {
+            pc: 0x100,
+            value: 0x500_0000,
+        });
+        h.obs.push_back(ObsPacket::DestValue {
+            pc: 0x104,
+            value: 2,
+        });
         for _ in 0..40 {
             h.tick(&mut c, 8);
             g.answer(&mut c, &mut h, &[0, 1]);
@@ -729,12 +850,18 @@ mod tests {
         // The set persists for `window` extra retirements (sticky
         // visited-ness), so retire window+2 nodes.
         for i in 0..(c.cfg.window_size as u64 + 2) {
-            h.obs.push_back(ObsPacket::DestValue { pc: 0x108, value: i });
+            h.obs.push_back(ObsPacket::DestValue {
+                pc: 0x108,
+                value: i,
+            });
         }
         for _ in 0..20 {
             h.tick(&mut c, 8);
         }
-        assert!(!c.seen.contains_key(&7), "old entries leave the search window");
+        assert!(
+            !c.seen.contains_key(&7),
+            "old entries leave the search window"
+        );
         assert!(c.base_u >= 2);
     }
 }

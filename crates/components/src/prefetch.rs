@@ -70,9 +70,11 @@ impl AdaptiveDistance {
         // Hill climb: keep increasing while the proxy improves, settle
         // when flat, back off when it degrades.
         if proxy * 100 > self.last_proxy * 105 {
-            self.distance = (self.distance as i64 + self.step).clamp(self.min as i64, self.max as i64) as u64;
+            self.distance =
+                (self.distance as i64 + self.step).clamp(self.min as i64, self.max as i64) as u64;
         } else if proxy * 100 < self.last_proxy * 90 {
-            self.distance = (self.distance as i64 - self.step).clamp(self.min as i64, self.max as i64) as u64;
+            self.distance =
+                (self.distance as i64 - self.step).clamp(self.min as i64, self.max as i64) as u64;
         }
         self.last_proxy = proxy;
     }
@@ -136,7 +138,19 @@ impl Engine {
     fn new(cfg: EngineConfig) -> Engine {
         let n = cfg.base_pcs.len();
         let adaptive = AdaptiveDistance::new(cfg.init_distance, 256);
-        Engine { cfg, bases: vec![None; n], count: 0, have_count: false, next: 0, retired: 0, total_retired: 0, adaptive, issued: 0, set_pos: 0, sets_skipped: 0 }
+        Engine {
+            cfg,
+            bases: vec![None; n],
+            count: 0,
+            have_count: false,
+            next: 0,
+            retired: 0,
+            total_retired: 0,
+            adaptive,
+            issued: 0,
+            set_pos: 0,
+            sets_skipped: 0,
+        }
     }
 
     fn reset_invocation(&mut self) {
@@ -212,8 +226,11 @@ impl Engine {
                 continue;
             }
             let off = self.offset_of(self.next);
-            let offsets: &[i64] =
-                if self.cfg.stream_offsets.is_empty() { &[0] } else { &self.cfg.stream_offsets };
+            let offsets: &[i64] = if self.cfg.stream_offsets.is_empty() {
+                &[0]
+            } else {
+                &self.cfg.stream_offsets
+            };
             let mut flat: Vec<u64> = Vec::with_capacity(n_streams);
             for b in 0..self.bases.len() {
                 let base = self.bases[b].expect("ready") as i64;
@@ -223,7 +240,12 @@ impl Engine {
             }
             while self.set_pos < flat.len() {
                 let addr = flat[self.set_pos];
-                if !io.push_load(FabricLoad { id: 0, addr, size: 8, is_prefetch: true }) {
+                if !io.push_load(FabricLoad {
+                    id: 0,
+                    addr,
+                    size: 8,
+                    is_prefetch: true,
+                }) {
                     return; // width budget: resume the set next cycle
                 }
                 self.issued += 1;
@@ -253,21 +275,30 @@ pub struct CustomPrefetcher {
 
 impl std::fmt::Debug for CustomPrefetcher {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("CustomPrefetcher").field("name", &self.name).finish()
+        f.debug_struct("CustomPrefetcher")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
 impl CustomPrefetcher {
     /// Creates a prefetcher from its engine configurations.
     pub fn new(name: &'static str, engines: Vec<EngineConfig>) -> CustomPrefetcher {
-        CustomPrefetcher { engines: engines.into_iter().map(Engine::new).collect(), name }
+        CustomPrefetcher {
+            engines: engines.into_iter().map(Engine::new).collect(),
+            name,
+        }
     }
 
     /// Component statistics.
     pub fn stats(&self) -> PrefetcherStats {
         PrefetcherStats {
             prefetches: self.engines.iter().map(|e| e.issued).sum(),
-            distance: self.engines.first().map(|e| e.adaptive.distance()).unwrap_or(0),
+            distance: self
+                .engines
+                .first()
+                .map(|e| e.adaptive.distance())
+                .unwrap_or(0),
         }
     }
 }
@@ -310,7 +341,12 @@ mod tests {
         }
     }
 
-    fn tick(c: &mut CustomPrefetcher, obs: &mut VecDeque<ObsPacket>, width: usize, rf: u64) -> Vec<FabricLoad> {
+    fn tick(
+        c: &mut CustomPrefetcher,
+        obs: &mut VecDeque<ObsPacket>,
+        width: usize,
+        rf: u64,
+    ) -> Vec<FabricLoad> {
         let mut resp = VecDeque::new();
         let mut preds = Vec::new();
         let mut loads = Vec::new();
@@ -325,8 +361,14 @@ mod tests {
     fn strided_prefetches_run_distance_ahead() {
         let mut c = CustomPrefetcher::new("libq", vec![stride_cfg()]);
         let mut obs = VecDeque::new();
-        obs.push_back(ObsPacket::DestValue { pc: 0x100, value: 0x10_0000 });
-        obs.push_back(ObsPacket::DestValue { pc: 0x104, value: 1000 });
+        obs.push_back(ObsPacket::DestValue {
+            pc: 0x100,
+            value: 0x10_0000,
+        });
+        obs.push_back(ObsPacket::DestValue {
+            pc: 0x104,
+            value: 1000,
+        });
         let loads = tick(&mut c, &mut obs, 8, 1);
         // Distance 8, nothing retired: exactly 8 prefetches, stride 16.
         assert_eq!(loads.len(), 8);
@@ -335,7 +377,10 @@ mod tests {
         assert_eq!(loads[1].addr, 0x10_0010);
         // Retire 3 instances: 3 more prefetches.
         for _ in 0..3 {
-            obs.push_back(ObsPacket::DestValue { pc: 0x108, value: 0 });
+            obs.push_back(ObsPacket::DestValue {
+                pc: 0x108,
+                value: 0,
+            });
         }
         let loads = tick(&mut c, &mut obs, 8, 2);
         assert_eq!(loads.len(), 3);
@@ -348,8 +393,14 @@ mod tests {
         cfg.init_distance = 100;
         let mut c = CustomPrefetcher::new("libq", vec![cfg]);
         let mut obs = VecDeque::new();
-        obs.push_back(ObsPacket::DestValue { pc: 0x100, value: 0x10_0000 });
-        obs.push_back(ObsPacket::DestValue { pc: 0x104, value: 5 });
+        obs.push_back(ObsPacket::DestValue {
+            pc: 0x100,
+            value: 0x10_0000,
+        });
+        obs.push_back(ObsPacket::DestValue {
+            pc: 0x104,
+            value: 5,
+        });
         let mut total = 0;
         for rf in 1..10 {
             total += tick(&mut c, &mut obs, 16, rf).len();
@@ -374,8 +425,14 @@ mod tests {
         };
         let mut c = CustomPrefetcher::new("bwaves", vec![cfg]);
         let mut obs = VecDeque::new();
-        obs.push_back(ObsPacket::DestValue { pc: 0x100, value: 0 });
-        obs.push_back(ObsPacket::DestValue { pc: 0x104, value: 6 });
+        obs.push_back(ObsPacket::DestValue {
+            pc: 0x100,
+            value: 0,
+        });
+        obs.push_back(ObsPacket::DestValue {
+            pc: 0x104,
+            value: 6,
+        });
         let loads = tick(&mut c, &mut obs, 8, 1);
         let addrs: Vec<u64> = loads.iter().map(|l| l.addr).collect();
         assert_eq!(addrs, vec![0, 8, 1000, 1008, 2000, 2008]);
@@ -396,10 +453,22 @@ mod tests {
         };
         let mut c = CustomPrefetcher::new("lbm", vec![cfg]);
         let mut obs = VecDeque::new();
-        obs.push_back(ObsPacket::DestValue { pc: 0x100, value: 0x1000 });
-        obs.push_back(ObsPacket::DestValue { pc: 0x110, value: 0x2000 });
-        obs.push_back(ObsPacket::DestValue { pc: 0x120, value: 0x3000 });
-        obs.push_back(ObsPacket::DestValue { pc: 0x104, value: 100 });
+        obs.push_back(ObsPacket::DestValue {
+            pc: 0x100,
+            value: 0x1000,
+        });
+        obs.push_back(ObsPacket::DestValue {
+            pc: 0x110,
+            value: 0x2000,
+        });
+        obs.push_back(ObsPacket::DestValue {
+            pc: 0x120,
+            value: 0x3000,
+        });
+        obs.push_back(ObsPacket::DestValue {
+            pc: 0x104,
+            value: 100,
+        });
         // Width 4 allows one full set (3) plus the start of the next.
         let loads = tick(&mut c, &mut obs, 4, 1);
         assert_eq!(loads[0].addr, 0x1000);
@@ -415,7 +484,11 @@ mod tests {
         for (i, l) in all.iter().enumerate() {
             let set = i / 3;
             let stream = i % 3;
-            assert_eq!(l.addr, 0x1000 + stream as u64 * 0x1000 + set as u64 * 64, "load {i}");
+            assert_eq!(
+                l.addr,
+                0x1000 + stream as u64 * 0x1000 + set as u64 * 64,
+                "load {i}"
+            );
         }
     }
 
@@ -428,14 +501,22 @@ mod tests {
             count += 100 + epoch * 10;
             a.observe(epoch * 10, count);
         }
-        assert!(a.distance() > 8, "distance should grow, got {}", a.distance());
+        assert!(
+            a.distance() > 8,
+            "distance should grow, got {}",
+            a.distance()
+        );
         let peak = a.distance();
         // Degrading epochs: it should back off.
         for epoch in 6..12 {
             count += 500 - epoch * 40;
             a.observe(epoch * 10, count);
         }
-        assert!(a.distance() < peak, "distance should back off from {peak}, got {}", a.distance());
+        assert!(
+            a.distance() < peak,
+            "distance should back off from {peak}, got {}",
+            a.distance()
+        );
         assert!(a.distance() >= 1);
     }
 
@@ -443,12 +524,24 @@ mod tests {
     fn new_invocation_resets_the_walk() {
         let mut c = CustomPrefetcher::new("libq", vec![stride_cfg()]);
         let mut obs = VecDeque::new();
-        obs.push_back(ObsPacket::DestValue { pc: 0x100, value: 0x10_0000 });
-        obs.push_back(ObsPacket::DestValue { pc: 0x104, value: 1000 });
+        obs.push_back(ObsPacket::DestValue {
+            pc: 0x100,
+            value: 0x10_0000,
+        });
+        obs.push_back(ObsPacket::DestValue {
+            pc: 0x104,
+            value: 1000,
+        });
         tick(&mut c, &mut obs, 8, 1);
         // New call with a different base.
-        obs.push_back(ObsPacket::DestValue { pc: 0x100, value: 0x40_0000 });
-        obs.push_back(ObsPacket::DestValue { pc: 0x104, value: 1000 });
+        obs.push_back(ObsPacket::DestValue {
+            pc: 0x100,
+            value: 0x40_0000,
+        });
+        obs.push_back(ObsPacket::DestValue {
+            pc: 0x104,
+            value: 1000,
+        });
         let loads = tick(&mut c, &mut obs, 8, 2);
         assert_eq!(loads[0].addr, 0x40_0000);
     }

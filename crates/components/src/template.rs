@@ -208,7 +208,11 @@ impl TemplateComponent {
             self.window.pop_front();
             self.base_iter += 1;
         }
-        for p in [&mut self.alloc_iter, &mut self.issue_iter, &mut self.emit_iter] {
+        for p in [
+            &mut self.alloc_iter,
+            &mut self.issue_iter,
+            &mut self.emit_iter,
+        ] {
             if *p < self.base_iter {
                 *p = self.base_iter;
             }
@@ -240,7 +244,9 @@ impl TemplateComponent {
 
     fn responses(&mut self, io: &mut FabricIo<'_>) {
         while let Some(r) = io.pop_load_resp() {
-            let Some(&(iter, lane)) = self.tags.get(&r.id) else { continue };
+            let Some(&(iter, lane)) = self.tags.get(&r.id) else {
+                continue;
+            };
             self.tags.remove(&r.id);
             if let Some(s) = self.slot_mut(iter) {
                 if lane == usize::MAX {
@@ -262,7 +268,12 @@ impl TemplateComponent {
             self.next_id += 1;
             let id = (self.call_gen << 40) | self.next_id;
             let addr = self.wl_base + self.spec.wl_elem_size * self.alloc_iter;
-            if !io.push_load(FabricLoad { id, addr, size: self.spec.wl_elem_size, is_prefetch: false }) {
+            if !io.push_load(FabricLoad {
+                id,
+                addr,
+                size: self.spec.wl_elem_size,
+                is_prefetch: false,
+            }) {
                 return;
             }
             self.tags.insert(id, (self.alloc_iter, usize::MAX));
@@ -277,11 +288,15 @@ impl TemplateComponent {
 
     fn t1(&mut self, io: &mut FabricIo<'_>) {
         while self.issue_iter < self.alloc_iter {
-            let Some(index) = self.slot(self.issue_iter).and_then(|s| s.index) else { return };
+            let Some(index) = self.slot(self.issue_iter).and_then(|s| s.index) else {
+                return;
+            };
             while self.issue_lane < self.spec.lanes.len() {
                 let lane_idx = self.issue_lane;
                 let lane = self.spec.lanes[lane_idx].clone();
-                let already = self.slot(self.issue_iter).is_some_and(|s| s.issued[lane_idx]);
+                let already = self
+                    .slot(self.issue_iter)
+                    .is_some_and(|s| s.issued[lane_idx]);
                 if !already {
                     let key = self.derived_key(index, &lane);
                     let addr = (lane.table_base as i64
@@ -289,7 +304,12 @@ impl TemplateComponent {
                         + lane.elem_offset) as u64;
                     self.next_id += 1;
                     let id = (self.call_gen << 40) | self.next_id;
-                    if !io.push_load(FabricLoad { id, addr, size: lane.size, is_prefetch: false }) {
+                    if !io.push_load(FabricLoad {
+                        id,
+                        addr,
+                        size: lane.size,
+                        is_prefetch: false,
+                    }) {
                         return;
                     }
                     self.tags.insert(id, (self.issue_iter, lane_idx));
@@ -309,15 +329,19 @@ impl TemplateComponent {
             if self.emit_iter >= self.alloc_iter || self.emit_iter >= self.wl_len {
                 return;
             }
-            let Some(index) = self.slot(self.emit_iter).and_then(|s| s.index) else { return };
+            let Some(index) = self.slot(self.emit_iter).and_then(|s| s.index) else {
+                return;
+            };
             while self.emit_lane < self.spec.lanes.len() {
                 let lane_idx = self.emit_lane;
                 let lane = self.spec.lanes[lane_idx].clone();
                 let key = self.derived_key(index, &lane);
                 // First lane of a group may be overridden by the
                 // sticky entered-set.
-                let group_start = lane_idx == 0 || self.spec.lanes[lane_idx - 1].group != lane.group;
-                let inferred = group_start && lane.taken_skips_group && self.entered.contains_key(&key);
+                let group_start =
+                    lane_idx == 0 || self.spec.lanes[lane_idx - 1].group != lane.group;
+                let inferred =
+                    group_start && lane.taken_skips_group && self.entered.contains_key(&key);
                 let taken = if inferred {
                     true
                 } else {
@@ -326,7 +350,10 @@ impl TemplateComponent {
                     };
                     lane.predicate.eval(v, lane.size, self.tag)
                 };
-                if !io.push_pred(PredPacket { pc: lane.branch_pc, taken }) {
+                if !io.push_pred(PredPacket {
+                    pc: lane.branch_pc,
+                    taken,
+                }) {
                     return;
                 }
                 if taken && lane.taken_skips_group {
@@ -465,9 +492,18 @@ mod tests {
         groups_per_iter: u64,
     ) -> Vec<PredPacket> {
         let mut obs: VecDeque<ObsPacket> = VecDeque::new();
-        obs.push_back(ObsPacket::DestValue { pc: 0x100, value: tag });
-        obs.push_back(ObsPacket::DestValue { pc: 0x104, value: 0x50_0000 });
-        obs.push_back(ObsPacket::DestValue { pc: 0x108, value: worklist.len() as u64 });
+        obs.push_back(ObsPacket::DestValue {
+            pc: 0x100,
+            value: tag,
+        });
+        obs.push_back(ObsPacket::DestValue {
+            pc: 0x104,
+            value: 0x50_0000,
+        });
+        obs.push_back(ObsPacket::DestValue {
+            pc: 0x108,
+            value: worklist.len() as u64,
+        });
         let mut resp: VecDeque<LoadResponse> = VecDeque::new();
         let mut preds: Vec<PredPacket> = Vec::new();
         let mut retired = 0u64;
@@ -475,8 +511,9 @@ mod tests {
             let mut out_p = Vec::new();
             let mut out_l = Vec::new();
             {
-                let mut io =
-                    FabricIo::new(8, tick, &mut obs, &mut resp, &mut out_p, &mut out_l, 512, 512);
+                let mut io = FabricIo::new(
+                    8, tick, &mut obs, &mut resp, &mut out_p, &mut out_l, 512, 512,
+                );
                 c.tick(&mut io);
             }
             for l in out_l {
@@ -491,7 +528,10 @@ mod tests {
             let leaders = preds.iter().filter(|p| leader_pcs.contains(&p.pc)).count() as u64;
             if leaders >= (retired + 1) * groups_per_iter && (retired as usize) < worklist.len() {
                 retired += 1;
-                obs.push_back(ObsPacket::DestValue { pc: 0x10c, value: retired });
+                obs.push_back(ObsPacket::DestValue {
+                    pc: 0x10c,
+                    value: retired,
+                });
             }
         }
         preds
@@ -529,7 +569,13 @@ mod tests {
             |addr| if addr == 0x10_0000 + 8 * 11 { 5 } else { 0 },
             5,
         );
-        assert_eq!(preds, vec![PredPacket { pc: 0x200, taken: true }]);
+        assert_eq!(
+            preds,
+            vec![PredPacket {
+                pc: 0x200,
+                taken: true
+            }]
+        );
     }
 
     #[test]
@@ -540,9 +586,18 @@ mod tests {
         assert_eq!(
             preds,
             vec![
-                PredPacket { pc: 0x200, taken: false },
-                PredPacket { pc: 0x204, taken: false },
-                PredPacket { pc: 0x200, taken: true },
+                PredPacket {
+                    pc: 0x200,
+                    taken: false
+                },
+                PredPacket {
+                    pc: 0x204,
+                    taken: false
+                },
+                PredPacket {
+                    pc: 0x200,
+                    taken: true
+                },
             ]
         );
     }
@@ -583,7 +638,10 @@ mod tests {
         let leaders: Vec<u64> = acfg.waymap_branch_pcs.to_vec();
         let mut c = crate::astar::AstarPredictor::new(acfg);
         let hand = drive_component(&mut c, &worklist, &answer, 7, &leaders, 8);
-        assert_eq!(template_preds, hand, "the template must reproduce the hand-built design");
+        assert_eq!(
+            template_preds, hand,
+            "the template must reproduce the hand-built design"
+        );
     }
 
     #[test]

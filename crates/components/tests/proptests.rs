@@ -64,9 +64,18 @@ fn drive_astar(
     let mut committed_waymap = waymap.clone();
     let mut c = AstarPredictor::new(cfg.clone());
     let mut obs: VecDeque<ObsPacket> = VecDeque::new();
-    obs.push_back(ObsPacket::DestValue { pc: cfg.fillnum_pc, value: fillnum });
-    obs.push_back(ObsPacket::DestValue { pc: cfg.wl_base_pc, value: 0x50_0000 });
-    obs.push_back(ObsPacket::DestValue { pc: cfg.wl_len_pc, value: worklist.len() as u64 });
+    obs.push_back(ObsPacket::DestValue {
+        pc: cfg.fillnum_pc,
+        value: fillnum,
+    });
+    obs.push_back(ObsPacket::DestValue {
+        pc: cfg.wl_base_pc,
+        value: 0x50_0000,
+    });
+    obs.push_back(ObsPacket::DestValue {
+        pc: cfg.wl_len_pc,
+        value: worklist.len() as u64,
+    });
     let mut resp: VecDeque<LoadResponse> = VecDeque::new();
     let mut preds: Vec<PredPacket> = Vec::new();
     let mut pending: Vec<pfm_fabric::FabricLoad> = Vec::new();
@@ -75,7 +84,9 @@ fn drive_astar(
         let mut out_p = Vec::new();
         let mut out_l = Vec::new();
         {
-            let mut io = FabricIo::new(8, tick, &mut obs, &mut resp, &mut out_p, &mut out_l, 1024, 1024);
+            let mut io = FabricIo::new(
+                8, tick, &mut obs, &mut resp, &mut out_p, &mut out_l, 1024, 1024,
+            );
             c.tick(&mut io);
         }
         preds.extend(out_p);
@@ -87,7 +98,9 @@ fn drive_astar(
             } else if l.addr >= 0x20_0000 {
                 *maparp.get(&(l.addr - 0x20_0000)).unwrap_or(&0) as u64
             } else {
-                *committed_waymap.get(&((l.addr - 0x10_0000) / 8)).unwrap_or(&0) as u64
+                *committed_waymap
+                    .get(&((l.addr - 0x10_0000) / 8))
+                    .unwrap_or(&0) as u64
             };
             resp.push_back(LoadResponse { id: l.id, value });
         }
@@ -100,7 +113,10 @@ fn drive_astar(
                 committed_waymap.insert(idx1, fillnum as u32);
             }
             retired += 1;
-            obs.push_back(ObsPacket::DestValue { pc: cfg.induction_pc, value: retired });
+            obs.push_back(ObsPacket::DestValue {
+                pc: cfg.induction_pc,
+                value: retired,
+            });
         }
         if preds.len() > worklist.len() * 16 {
             break;
@@ -124,12 +140,18 @@ fn astar_oracle(
             let idx1 = (index as i64 + off) as u64;
             let vtag = *visited.get(&idx1).unwrap_or(&0);
             let wtaken = vtag as u64 == fillnum;
-            preds.push(PredPacket { pc: cfg.waymap_branch_pcs[k], taken: wtaken });
+            preds.push(PredPacket {
+                pc: cfg.waymap_branch_pcs[k],
+                taken: wtaken,
+            });
             if wtaken {
                 continue;
             }
             let blocked = *maparp.get(&idx1).unwrap_or(&0) != 0;
-            preds.push(PredPacket { pc: cfg.maparp_branch_pcs[k], taken: blocked });
+            preds.push(PredPacket {
+                pc: cfg.maparp_branch_pcs[k],
+                taken: blocked,
+            });
             if !blocked {
                 visited.insert(idx1, fillnum as u32);
             }
@@ -233,7 +255,7 @@ proptest! {
             pending.extend(out_l);
             for l in pending.drain(..) {
                 let value = if l.addr >= 0x500_0000 {
-                    ((l.addr - 0x500_0000) / 4) as u64 // frontier[i] = node i
+                    (l.addr - 0x500_0000) / 4 // frontier[i] = node i
                 } else if l.addr >= cfg.properties_base {
                     let v = ((l.addr - cfg.properties_base) / 8) as u32;
                     (*props.get(&v).unwrap_or(&-1)) as u64

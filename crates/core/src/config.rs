@@ -89,6 +89,27 @@ impl CoreConfig {
     pub fn rename_regs(&self) -> usize {
         self.prf_size.saturating_sub(pfm_isa::reg::NUM_ARCH_REGS)
     }
+
+    /// Canonical content key covering every field. Two configs with
+    /// the same key time identically; the experiment planner relies on
+    /// this to deduplicate runs.
+    pub fn key(&self) -> String {
+        format!(
+            "f{}d{}i{}r{}_fd{}_rob{}iq{}ldq{}stq{}prf{}_ras{}_{}",
+            self.fetch_width,
+            self.dispatch_width,
+            self.issue_width,
+            self.retire_width,
+            self.front_depth,
+            self.rob_size,
+            self.iq_size,
+            self.ldq_size,
+            self.stq_size,
+            self.prf_size,
+            self.ras_depth,
+            self.predictor.label()
+        )
+    }
 }
 
 impl Default for CoreConfig {
@@ -117,9 +138,15 @@ mod tests {
 
     #[test]
     fn lane_layout_matches_table1() {
-        let alus = (0..NUM_LANES).filter(|&i| lane_class(i) == LaneClass::SimpleAlu).count();
-        let ls = (0..NUM_LANES).filter(|&i| lane_class(i) == LaneClass::LoadStore).count();
-        let fp = (0..NUM_LANES).filter(|&i| lane_class(i) == LaneClass::Complex).count();
+        let alus = (0..NUM_LANES)
+            .filter(|&i| lane_class(i) == LaneClass::SimpleAlu)
+            .count();
+        let ls = (0..NUM_LANES)
+            .filter(|&i| lane_class(i) == LaneClass::LoadStore)
+            .count();
+        let fp = (0..NUM_LANES)
+            .filter(|&i| lane_class(i) == LaneClass::Complex)
+            .count();
         assert_eq!((alus, ls, fp), (4, 2, 2));
         assert_eq!(LS_LANES, [4, 5]);
     }

@@ -387,10 +387,15 @@ impl Core {
             }
         }
 
-        let Some(seqs) = self.events.remove(&self.cycle) else { return };
+        let Some(seqs) = self.events.remove(&self.cycle) else {
+            return;
+        };
         for seq in seqs {
-            let Some(pos) = self.rob_pos(seq) else { continue };
-            if self.rob[pos].state != InstState::Issued || self.rob[pos].complete_cycle != self.cycle
+            let Some(pos) = self.rob_pos(seq) else {
+                continue;
+            };
+            if self.rob[pos].state != InstState::Issued
+                || self.rob[pos].complete_cycle != self.cycle
             {
                 continue; // stale event from a squashed incarnation
             }
@@ -398,8 +403,7 @@ impl Core {
             self.inflight_incomplete.remove(&seq);
 
             let is_store = self.rob[pos].is_store();
-            let mispredicted =
-                self.rob[pos].mispredicted || self.rob[pos].target_mispredicted;
+            let mispredicted = self.rob[pos].mispredicted || self.rob[pos].target_mispredicted;
 
             if is_store {
                 // Memory-disambiguation check: a younger load that
@@ -570,7 +574,10 @@ impl Core {
             let outcome = self.hierarchy.access(req.addr, AccessKind::Load, cycle);
             if outcome.level == HitLevel::L1 {
                 let at = cycle + outcome.latency;
-                self.fabric_load_events.entry(at).or_default().push((req.id, req.addr, req.size));
+                self.fabric_load_events
+                    .entry(at)
+                    .or_default()
+                    .push((req.id, req.addr, req.size));
             } else {
                 hooks.load_result(req.id, FabricLoadResult::Miss, cycle);
             }
@@ -583,7 +590,9 @@ impl Core {
 
     fn dispatch(&mut self) {
         for _ in 0..self.config.dispatch_width {
-            let Some(head) = self.front.front() else { break };
+            let Some(head) = self.front.front() else {
+                break;
+            };
             if head.dispatch_ready > self.cycle + 1 {
                 // Still flowing through the front-end pipe. (It may
                 // enter the window the cycle it becomes ready.)
@@ -622,7 +631,11 @@ impl Core {
             self.rob.push_back(d);
         }
         // IQ entries free at issue; approximate by counting Waiting.
-        self.iq_count = self.rob.iter().filter(|d| d.state == InstState::Waiting).count();
+        self.iq_count = self
+            .rob
+            .iter()
+            .filter(|d| d.state == InstState::Waiting)
+            .count();
     }
 
     // ------------------------------------------------------------------
@@ -667,7 +680,9 @@ impl Core {
             // I-cache: charge a stall when crossing into a missing line.
             let pc_line = line_of(rec.pc);
             if pc_line != self.last_fetch_line {
-                let outcome = self.hierarchy.access(rec.pc, AccessKind::Ifetch, self.cycle);
+                let outcome = self
+                    .hierarchy
+                    .access(rec.pc, AccessKind::Ifetch, self.cycle);
                 self.last_fetch_line = pc_line;
                 if outcome.level != HitLevel::L1 {
                     self.fetch_stall_until = self.cycle + outcome.latency;
@@ -730,11 +745,9 @@ impl Core {
                 // returns and BTB for other indirect targets.
                 d.pred_taken = true;
                 match rec.inst {
-                    Inst::Jal { rd, .. } => {
-                        if rd == pfm_isa::Reg::RA {
-                            d.ras_snap = Some(self.ras.snapshot());
-                            self.ras.push(rec.pc + 4);
-                        }
+                    Inst::Jal { rd, .. } if rd == pfm_isa::Reg::RA => {
+                        d.ras_snap = Some(self.ras.snapshot());
+                        self.ras.push(rec.pc + 4);
                     }
                     Inst::Jalr { rd, base, .. } => {
                         d.ras_snap = Some(self.ras.snapshot());
@@ -831,7 +844,11 @@ impl Core {
         self.lq_count = self.rob.iter().filter(|d| d.is_load()).count();
         self.sq_count = self.rob.iter().filter(|d| d.is_store()).count();
         self.dest_count = self.rob.iter().filter(|d| d.has_dst).count();
-        self.iq_count = self.rob.iter().filter(|d| d.state == InstState::Waiting).count();
+        self.iq_count = self
+            .rob
+            .iter()
+            .filter(|d| d.state == InstState::Waiting)
+            .count();
 
         self.fetch_blocked_on = None;
         self.fetch_stall_until = self.cycle + 1;
@@ -928,7 +945,10 @@ mod tests {
             CoreConfig::micro21(),
         );
         let ipc = core.stats().ipc();
-        assert!(ipc < 1.7, "dependence chain should serialize, got IPC {ipc}");
+        assert!(
+            ipc < 1.7,
+            "dependence chain should serialize, got IPC {ipc}"
+        );
         assert_eq!(core.machine().reg(S0), 80_000);
     }
 
@@ -959,7 +979,10 @@ mod tests {
             CoreConfig::micro21(),
         );
         let mpki = core.stats().mpki();
-        assert!(mpki > 30.0, "random branch should mispredict often, MPKI {mpki}");
+        assert!(
+            mpki > 30.0,
+            "random branch should mispredict often, MPKI {mpki}"
+        );
         assert!(core.stats().squash_mispredict > 5_000);
     }
 
@@ -1024,7 +1047,9 @@ mod tests {
         let mut perm: Vec<u64> = (0..n).collect();
         let mut x = 99u64;
         for i in (1..n as usize).rev() {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let j = (x >> 33) as usize % (i + 1);
             perm.swap(i, j);
         }
@@ -1050,7 +1075,10 @@ mod tests {
             mem,
         );
         let ipc = core.stats().ipc();
-        assert!(ipc < 0.25, "pointer chase should be latency bound, IPC {ipc}");
+        assert!(
+            ipc < 0.25,
+            "pointer chase should be latency bound, IPC {ipc}"
+        );
         assert!(core.hierarchy().stats().dram_accesses > 1_000);
     }
 
@@ -1080,7 +1108,10 @@ mod tests {
             CoreConfig::micro21(),
             mem,
         );
-        assert!(core.stats().squash_disambiguation > 0, "expected violations");
+        assert!(
+            core.stats().squash_disambiguation > 0,
+            "expected violations"
+        );
         // Values must still be exact: sum of 200..=1.
         assert_eq!(core.machine().reg(S0), (1..=200u64).sum::<u64>());
     }
@@ -1148,8 +1179,11 @@ mod tests {
         a.bind(top).unwrap();
         a.j(top); // infinite loop, no halt
         let machine = Machine::new(a.finish().unwrap(), SpecMemory::new());
-        let mut core =
-            Core::new(CoreConfig::micro21(), machine, Hierarchy::new(HierarchyConfig::micro21()));
+        let mut core = Core::new(
+            CoreConfig::micro21(),
+            machine,
+            Hierarchy::new(HierarchyConfig::micro21()),
+        );
         let err = core.run(&mut NoPfm, u64::MAX, 10_000).unwrap_err();
         assert!(matches!(err, SimError::CycleLimit(_)));
     }

@@ -1,7 +1,11 @@
 //! Simulation statistics.
 
 /// Counters collected during a simulation run.
-#[derive(Clone, Debug, Default)]
+///
+/// `Eq` is part of the simulator's public determinism contract: two
+/// runs of the same `RunSpec` must produce identical counters (see the
+/// determinism regression tests in `pfm-sim`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Elapsed core cycles.
     pub cycles: u64,
@@ -78,7 +82,12 @@ mod tests {
 
     #[test]
     fn ipc_and_mpki() {
-        let s = SimStats { cycles: 1000, retired: 2500, mispredicts: 25, ..Default::default() };
+        let s = SimStats {
+            cycles: 1000,
+            retired: 2500,
+            mispredicts: 25,
+            ..Default::default()
+        };
         assert!((s.ipc() - 2.5).abs() < 1e-12);
         assert!((s.mpki() - 10.0).abs() < 1e-12);
     }
@@ -93,8 +102,16 @@ mod tests {
 
     #[test]
     fn improvement_percentage() {
-        let base = SimStats { cycles: 1000, retired: 1000, ..Default::default() };
-        let fast = SimStats { cycles: 500, retired: 1000, ..Default::default() };
+        let base = SimStats {
+            cycles: 1000,
+            retired: 1000,
+            ..Default::default()
+        };
+        let fast = SimStats {
+            cycles: 500,
+            retired: 1000,
+            ..Default::default()
+        };
         assert!((fast.ipc_improvement_over(&base) - 100.0).abs() < 1e-9);
     }
 }

@@ -127,7 +127,9 @@ impl<'a> FabricIo<'a> {
     /// lbm-style MLP-aware prefetcher pushes delinquent-load clusters
     /// only as complete sets).
     pub fn load_budget(&self) -> usize {
-        self.width.min(self.load_space).saturating_sub(self.loads_pushed)
+        self.width
+            .min(self.load_space)
+            .saturating_sub(self.loads_pushed)
     }
 
     /// Remaining IntQ-IS space irrespective of this cycle's width
@@ -180,7 +182,9 @@ mod tests {
 
     #[test]
     fn io_enforces_width_budget() {
-        let mut obs: VecDeque<ObsPacket> = (0..10).map(|i| ObsPacket::DestValue { pc: i, value: i }).collect();
+        let mut obs: VecDeque<ObsPacket> = (0..10)
+            .map(|i| ObsPacket::DestValue { pc: i, value: i })
+            .collect();
         let mut resp: VecDeque<LoadResponse> = VecDeque::new();
         let mut preds = Vec::new();
         let mut loads = Vec::new();
@@ -189,7 +193,10 @@ mod tests {
         assert!(io.pop_obs().is_some());
         assert!(io.pop_obs().is_none(), "width budget exhausted");
         assert!(io.push_pred(PredPacket { pc: 1, taken: true }));
-        assert!(io.push_pred(PredPacket { pc: 2, taken: false }));
+        assert!(io.push_pred(PredPacket {
+            pc: 2,
+            taken: false
+        }));
         assert!(!io.push_pred(PredPacket { pc: 3, taken: true }));
         assert_eq!(preds.len(), 2);
     }
@@ -204,7 +211,12 @@ mod tests {
         assert!(io.push_pred(PredPacket { pc: 1, taken: true }));
         assert!(!io.can_push_pred(), "IntQ-F space exhausted");
         assert!(!io.can_push_load(), "IntQ-IS full from the start");
-        assert!(!io.push_load(FabricLoad { id: 0, addr: 0, size: 8, is_prefetch: false }));
+        assert!(!io.push_load(FabricLoad {
+            id: 0,
+            addr: 0,
+            size: 8,
+            is_prefetch: false
+        }));
     }
 
     #[test]

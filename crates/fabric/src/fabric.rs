@@ -18,7 +18,10 @@ const MATCH_SCAN_DEPTH: usize = 8;
 
 /// Agent-side statistics (Table 2/3 snoop percentages and protocol
 /// health).
-#[derive(Clone, Copy, Debug, Default)]
+///
+/// `Eq` is part of the simulator's determinism contract (identical
+/// runs must produce identical counters).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct FabricStats {
     /// Instructions fetched while the ROI was active.
     pub fetched_in_roi: u64,
@@ -213,7 +216,10 @@ impl Fabric {
 
     fn free_port(&mut self) -> bool {
         let allowed = self.params.port_policy.lanes();
-        let free = allowed.iter().filter(|&&l| !self.lane_busy_latest[l]).count();
+        let free = allowed
+            .iter()
+            .filter(|&&l| !self.lane_busy_latest[l])
+            .count();
         if self.ports_used < free {
             self.ports_used += 1;
             true
@@ -231,7 +237,10 @@ impl Fabric {
         if port_ok && self.pending_obs.is_empty() && self.obs_q.len() < self.params.queue_size {
             self.obs_q.push_back(packet);
         } else {
-            self.pending_obs.push_back(PendingObs { packet, needs_port: !port_ok });
+            self.pending_obs.push_back(PendingObs {
+                packet,
+                needs_port: !port_ok,
+            });
         }
     }
 
@@ -240,10 +249,8 @@ impl Fabric {
             if self.obs_q.len() >= self.params.queue_size {
                 break;
             }
-            if head.needs_port {
-                if !self.free_port() {
-                    break;
-                }
+            if head.needs_port && !self.free_port() {
+                break;
             }
             self.pending_obs.pop_front();
             self.obs_q.push_back(head.packet);
@@ -330,7 +337,7 @@ impl PfmHooks for Fabric {
         self.lane_busy_latest = lane_busy;
         self.ports_used = 0;
         self.drain_pending_obs();
-        if cycle % self.params.clk_ratio == 0 {
+        if cycle.is_multiple_of(self.params.clk_ratio) {
             self.rf_tick();
         }
     }
@@ -436,15 +443,26 @@ impl PfmHooks for Fabric {
         if self.enabled {
             if let Some(kind) = entry.observe {
                 let packet = match kind {
-                    ObserveKind::DestValue => info.dest_value.map(|value| {
-                        (ObsPacket::DestValue { pc: info.pc, value }, true)
-                    }),
+                    ObserveKind::DestValue => info
+                        .dest_value
+                        .map(|value| (ObsPacket::DestValue { pc: info.pc, value }, true)),
                     ObserveKind::StoreValue => info.store.map(|(addr, _, value)| {
-                        (ObsPacket::StoreValue { pc: info.pc, addr, value }, false)
+                        (
+                            ObsPacket::StoreValue {
+                                pc: info.pc,
+                                addr,
+                                value,
+                            },
+                            false,
+                        )
                     }),
-                    ObserveKind::BranchOutcome => {
-                        Some((ObsPacket::BranchOutcome { pc: info.pc, taken: info.taken }, false))
-                    }
+                    ObserveKind::BranchOutcome => Some((
+                        ObsPacket::BranchOutcome {
+                            pc: info.pc,
+                            taken: info.taken,
+                        },
+                        false,
+                    )),
                 };
                 if let Some((packet, needs_port)) = packet {
                     self.stats.rst_hits += 1;
@@ -474,8 +492,7 @@ impl PfmHooks for Fabric {
         // queued (the paper's astar design records final predictions in
         // an extra queue for exactly this replay).
         let cut = self.delivered.partition_point(|&(s, _)| s < boundary);
-        let replayed: Vec<PredPacket> =
-            self.delivered.drain(cut..).map(|(_, p)| p).collect();
+        let replayed: Vec<PredPacket> = self.delivered.drain(cut..).map(|(_, p)| p).collect();
         for p in replayed.into_iter().rev() {
             self.intq_f.push_front(p);
         }
@@ -524,7 +541,8 @@ impl PfmHooks for Fabric {
             FabricLoadResult::Miss => {
                 if let Some(load) = self.inflight_loads.remove(&id) {
                     if self.mlb.len() < self.params.mlb_size {
-                        self.mlb.push_back((load, self.cycle + self.params.mlb_replay_interval));
+                        self.mlb
+                            .push_back((load, self.cycle + self.params.mlb_replay_interval));
                     } else {
                         self.stats.mlb_full_drops += 1;
                     }
@@ -549,7 +567,13 @@ mod tests {
 
     impl Scripted {
         fn new() -> Scripted {
-            Scripted { preds: Vec::new(), loads: Vec::new(), squashes: 0, seen_obs: Vec::new(), seen_resps: Vec::new() }
+            Scripted {
+                preds: Vec::new(),
+                loads: Vec::new(),
+                squashes: 0,
+                seen_obs: Vec::new(),
+                seen_resps: Vec::new(),
+            }
         }
     }
 
@@ -633,7 +657,10 @@ mod tests {
     #[test]
     fn predictions_flow_through_delay_to_fetch() {
         let mut comp = Scripted::new();
-        comp.preds.push(PredPacket { pc: 0x2000, taken: true });
+        comp.preds.push(PredPacket {
+            pc: 0x2000,
+            taken: true,
+        });
         let mut f = fabric_with(comp, FabricParams::paper_default().clk_w(4, 4).delay(1));
         f.on_retire(&retire_info(0x1000, 1));
         // Absorb the ROI squash protocol.
@@ -680,8 +707,14 @@ mod tests {
     #[test]
     fn squash_replays_delivered_predictions() {
         let mut comp = Scripted::new();
-        comp.preds.push(PredPacket { pc: 0x2000, taken: true });
-        comp.preds.push(PredPacket { pc: 0x2000, taken: false });
+        comp.preds.push(PredPacket {
+            pc: 0x2000,
+            taken: true,
+        });
+        comp.preds.push(PredPacket {
+            pc: 0x2000,
+            taken: false,
+        });
         let mut f = fabric_with(comp, FabricParams::paper_default().delay(0));
         f.on_retire(&retire_info(0x1000, 1));
         f.on_squash(SquashKind::RoiBegin, 2, 1);
@@ -702,8 +735,14 @@ mod tests {
     #[test]
     fn pc_mismatch_drops_stale_predictions() {
         let mut comp = Scripted::new();
-        comp.preds.push(PredPacket { pc: 0x9999, taken: false }); // stale
-        comp.preds.push(PredPacket { pc: 0x2000, taken: true });
+        comp.preds.push(PredPacket {
+            pc: 0x9999,
+            taken: false,
+        }); // stale
+        comp.preds.push(PredPacket {
+            pc: 0x2000,
+            taken: true,
+        });
         let mut f = fabric_with(comp, FabricParams::paper_default().delay(0));
         f.on_retire(&retire_info(0x1000, 1));
         f.on_squash(SquashKind::RoiBegin, 2, 1);
@@ -717,7 +756,12 @@ mod tests {
     #[test]
     fn loads_and_mlb_replay() {
         let mut comp = Scripted::new();
-        comp.loads.push(FabricLoad { id: 7, addr: 0x100, size: 8, is_prefetch: false });
+        comp.loads.push(FabricLoad {
+            id: 7,
+            addr: 0x100,
+            size: 8,
+            is_prefetch: false,
+        });
         let mut f = fabric_with(comp, FabricParams::paper_default().delay(0));
         f.on_retire(&retire_info(0x1000, 1));
         f.on_squash(SquashKind::RoiBegin, 2, 1);

@@ -28,17 +28,26 @@ pub struct RstEntry {
 impl RstEntry {
     /// An entry that observes the destination value.
     pub fn dest() -> RstEntry {
-        RstEntry { observe: Some(ObserveKind::DestValue), ..RstEntry::default() }
+        RstEntry {
+            observe: Some(ObserveKind::DestValue),
+            ..RstEntry::default()
+        }
     }
 
     /// An entry that observes the store value.
     pub fn store() -> RstEntry {
-        RstEntry { observe: Some(ObserveKind::StoreValue), ..RstEntry::default() }
+        RstEntry {
+            observe: Some(ObserveKind::StoreValue),
+            ..RstEntry::default()
+        }
     }
 
     /// An entry that observes the branch outcome.
     pub fn branch() -> RstEntry {
-        RstEntry { observe: Some(ObserveKind::BranchOutcome), ..RstEntry::default() }
+        RstEntry {
+            observe: Some(ObserveKind::BranchOutcome),
+            ..RstEntry::default()
+        }
     }
 
     /// Marks this entry as the beginning of the ROI.

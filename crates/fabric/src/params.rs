@@ -45,6 +45,16 @@ pub enum StallPolicy {
     ProceedAndDrop,
 }
 
+impl StallPolicy {
+    /// Canonical label (used in run keys).
+    pub fn label(&self) -> &'static str {
+        match self {
+            StallPolicy::Stall => "stall",
+            StallPolicy::ProceedAndDrop => "drop",
+        }
+    }
+}
+
 /// Full parameter set for the fabric and Agents.
 #[derive(Clone, Debug)]
 pub struct FabricParams {
@@ -125,6 +135,26 @@ impl FabricParams {
             self.port_policy.label()
         )
     }
+
+    /// Canonical content key: covers *every* field (unlike
+    /// [`label`](Self::label), which only covers the paper's C/W/D/Q/P
+    /// notation), so two parameter sets with the same key are
+    /// guaranteed to configure identical fabrics. Used by the
+    /// experiment planner to deduplicate runs.
+    pub fn key(&self) -> String {
+        let wd = match self.watchdog {
+            Some(n) => format!("wd{n}"),
+            None => "wdOFF".to_string(),
+        };
+        format!(
+            "{}_mlb{}r{}_{}_{}",
+            self.label(),
+            self.mlb_size,
+            self.mlb_replay_interval,
+            self.stall_policy.label(),
+            wd
+        )
+    }
 }
 
 impl Default for FabricParams {
@@ -151,7 +181,11 @@ mod tests {
 
     #[test]
     fn builder_methods_chain() {
-        let p = FabricParams::paper_default().clk_w(8, 1).delay(0).queue(8).port(PortPolicy::All);
+        let p = FabricParams::paper_default()
+            .clk_w(8, 1)
+            .delay(0)
+            .queue(8)
+            .port(PortPolicy::All);
         assert_eq!(p.label(), "clk8_w1_delay0_queue8_portALL");
     }
 

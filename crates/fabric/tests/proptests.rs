@@ -23,7 +23,10 @@ impl CustomComponent for Numbered {
         while self.next < self.limit && io.can_push_pred() {
             // Encode the sequence number in the direction stream:
             // prediction k is taken iff k is even.
-            io.push_pred(PredPacket { pc: self.pc, taken: self.next % 2 == 0 });
+            io.push_pred(PredPacket {
+                pc: self.pc,
+                taken: self.next.is_multiple_of(2),
+            });
             self.next += 1;
         }
     }

@@ -36,22 +36,41 @@ impl Design {
 /// index1_CAM, and the wide T1/T2 datapaths make it the LUT-heaviest
 /// design in Table 4.
 pub fn astar_4wide() -> Design {
-    let mut p = Vec::new();
-    // index_queue: 8 x (32-bit index + valid).
-    p.push(Primitive::Queue { entries: 8, width: 33 });
-    // pred_queue: 128 x (pred + valid); replay queue of final preds.
-    p.push(Primitive::Queue { entries: 128, width: 2 });
-    p.push(Primitive::Queue { entries: 128, width: 2 });
-    // index1_queue: 64 x 32-bit.
-    p.push(Primitive::Queue { entries: 64, width: 32 });
+    let mut p = vec![
+        // index_queue: 8 x (32-bit index + valid).
+        Primitive::Queue {
+            entries: 8,
+            width: 33,
+        },
+        // pred_queue: 128 x (pred + valid); replay queue of final preds.
+        Primitive::Queue {
+            entries: 128,
+            width: 2,
+        },
+        Primitive::Queue {
+            entries: 128,
+            width: 2,
+        },
+        // index1_queue: 64 x 32-bit.
+        Primitive::Queue {
+            entries: 64,
+            width: 32,
+        },
+    ];
     // index1_CAM: 64 x 18-bit tags, searched 4-wide => 4 copies of the
     // match network (modeled as 4 CAM banks of 16).
     for _ in 0..4 {
-        p.push(Primitive::Cam { entries: 16, width: 18 });
+        p.push(Primitive::Cam {
+            entries: 16,
+            width: 18,
+        });
     }
     // T0: worklist walker (address adder + id tagging).
     p.push(Primitive::Adder { width: 40 });
-    p.push(Primitive::Fsm { states: 4, signals: 12 });
+    p.push(Primitive::Fsm {
+        states: 4,
+        signals: 12,
+    });
     // T1: 2 index1 generators x 8 neighbor offsets, 4 load-address
     // adders, steering muxes.
     for _ in 0..2 {
@@ -61,7 +80,10 @@ pub fn astar_4wide() -> Design {
         p.push(Primitive::Adder { width: 40 });
         p.push(Primitive::Mux { ways: 8, width: 32 });
     }
-    p.push(Primitive::Fsm { states: 6, signals: 16 });
+    p.push(Primitive::Fsm {
+        states: 6,
+        signals: 16,
+    });
     // T2: 4 predicate units (compare fillnum / maparp) + final-pred
     // mux + CAM write port logic.
     for _ in 0..4 {
@@ -69,35 +91,67 @@ pub fn astar_4wide() -> Design {
         p.push(Primitive::Comparator { width: 8 });
         p.push(Primitive::Mux { ways: 4, width: 4 });
     }
-    p.push(Primitive::Fsm { states: 8, signals: 24 });
+    p.push(Primitive::Fsm {
+        states: 8,
+        signals: 24,
+    });
     // Pipeline registers for the 4-deep pipelined engines, 4-wide
     // datapaths (the dominant FF cost).
     p.push(Primitive::Registers { bits: 2200 });
     // Wide width-4 interconnect/alignment crossbars between engines.
     for _ in 0..4 {
-        p.push(Primitive::Mux { ways: 16, width: 96 });
+        p.push(Primitive::Mux {
+            ways: 16,
+            width: 96,
+        });
     }
-    p.push(Primitive::Cam { entries: 64, width: 18 }); // replicated search across the full window
-    Design { name: "astar (4wide)", primitives: p, activity: 0.18, io_groups: 6 }
+    p.push(Primitive::Cam {
+        entries: 64,
+        width: 18,
+    }); // replicated search across the full window
+    Design {
+        name: "astar (4wide)",
+        primitives: p,
+        activity: 0.18,
+        io_groups: 6,
+    }
 }
 
 /// astar-alt (§5): two 32KB BRAM prediction tables mimicking waymap and
 /// maparp, two 512-entry worklists, and narrow 1-wide logic.
 pub fn astar_alt() -> Design {
     let p = vec![
-        Primitive::BramTable { bits: 32 * 8 * 1024 }, // waymap mirror
-        Primitive::BramTable { bits: 32 * 8 * 1024 }, // maparp mirror
-        Primitive::Queue { entries: 512, width: 32 }, // worklist A
-        Primitive::Queue { entries: 512, width: 32 }, // worklist B
+        Primitive::BramTable {
+            bits: 32 * 8 * 1024,
+        }, // waymap mirror
+        Primitive::BramTable {
+            bits: 32 * 8 * 1024,
+        }, // maparp mirror
+        Primitive::Queue {
+            entries: 512,
+            width: 32,
+        }, // worklist A
+        Primitive::Queue {
+            entries: 512,
+            width: 32,
+        }, // worklist B
         Primitive::Adder { width: 32 },
         Primitive::Adder { width: 32 },
         Primitive::Comparator { width: 8 },
         Primitive::Comparator { width: 8 },
         Primitive::Mux { ways: 8, width: 32 },
-        Primitive::Fsm { states: 10, signals: 24 },
+        Primitive::Fsm {
+            states: 10,
+            signals: 24,
+        },
         Primitive::Registers { bits: 420 },
     ];
-    Design { name: "astar-alt", primitives: p, activity: 0.22, io_groups: 3 }
+    Design {
+        name: "astar-alt",
+        primitives: p,
+        activity: 0.22,
+        io_groups: 3,
+    }
 }
 
 /// libquantum custom prefetcher: a stride FSM with adaptive distance.
@@ -107,9 +161,17 @@ pub fn libquantum() -> Design {
         Primitive::Adder { width: 40 },     // prefetch address
         Primitive::Adder { width: 16 },     // distance/epoch counters
         Primitive::Comparator { width: 32 },
-        Primitive::Fsm { states: 5, signals: 10 },
+        Primitive::Fsm {
+            states: 5,
+            signals: 10,
+        },
     ];
-    Design { name: "libq", primitives: p, activity: 0.3, io_groups: 1 }
+    Design {
+        name: "libq",
+        primitives: p,
+        activity: 0.3,
+        io_groups: 1,
+    }
 }
 
 /// lbm custom prefetcher: cluster-of-planes set pusher (no adaptive
@@ -119,9 +181,17 @@ pub fn lbm() -> Design {
         Primitive::Registers { bits: 130 },
         Primitive::Adder { width: 40 },
         Primitive::Mux { ways: 9, width: 8 }, // plane-offset select
-        Primitive::Fsm { states: 4, signals: 8 },
+        Primitive::Fsm {
+            states: 4,
+            signals: 8,
+        },
     ];
-    Design { name: "lbm", primitives: p, activity: 0.28, io_groups: 1 }
+    Design {
+        name: "lbm",
+        primitives: p,
+        activity: 0.28,
+        io_groups: 1,
+    }
 }
 
 /// bwaves custom prefetcher: multi-level nested-loop walker (more
@@ -133,9 +203,17 @@ pub fn bwaves() -> Design {
         Primitive::Adder { width: 24 },
         Primitive::Comparator { width: 24 },
         Primitive::Comparator { width: 24 },
-        Primitive::Fsm { states: 8, signals: 12 },
+        Primitive::Fsm {
+            states: 8,
+            signals: 12,
+        },
     ];
-    Design { name: "bwaves", primitives: p, activity: 0.26, io_groups: 1 }
+    Design {
+        name: "bwaves",
+        primitives: p,
+        activity: 0.26,
+        io_groups: 1,
+    }
 }
 
 /// milc custom prefetcher: several adaptive streams; the per-stream
@@ -150,14 +228,29 @@ pub fn milc() -> Design {
         Primitive::Multiplier { width: 17 },
         Primitive::Multiplier { width: 17 },
         Primitive::Comparator { width: 32 },
-        Primitive::Fsm { states: 6, signals: 14 },
+        Primitive::Fsm {
+            states: 6,
+            signals: 14,
+        },
     ];
-    Design { name: "milc", primitives: p, activity: 0.3, io_groups: 2 }
+    Design {
+        name: "milc",
+        primitives: p,
+        activity: 0.3,
+        io_groups: 2,
+    }
 }
 
 /// All Table 4 designs, in row order.
 pub fn table4_designs() -> Vec<Design> {
-    vec![astar_4wide(), astar_alt(), libquantum(), lbm(), bwaves(), milc()]
+    vec![
+        astar_4wide(),
+        astar_alt(),
+        libquantum(),
+        lbm(),
+        bwaves(),
+        milc(),
+    ]
 }
 
 #[cfg(test)]

@@ -55,11 +55,14 @@ pub fn power(design: &Design) -> PowerEstimate {
             + f64::from(r.ff) * FF_MW_PER_MHZ
             + r.bram * BRAM_MW_PER_MHZ
             + f64::from(r.dsp) * DSP_MW_PER_MHZ);
-    let dynamic_io_mw =
-        f64::from(design.io_groups) * (45.0 + f * act * IO_GROUP_MW_PER_MHZ);
+    let dynamic_io_mw = f64::from(design.io_groups) * (45.0 + f * act * IO_GROUP_MW_PER_MHZ);
     let static_mw =
         STATIC_FLOOR_MW + f64::from(r.lut) * 0.001 + r.bram * 0.08 + f64::from(r.dsp) * 0.05;
-    PowerEstimate { dynamic_logic_mw, dynamic_io_mw, static_mw }
+    PowerEstimate {
+        dynamic_logic_mw,
+        dynamic_io_mw,
+        static_mw,
+    }
 }
 
 /// Energy per RF cycle (nJ) for a design running at `clk_rf_mhz`.
@@ -82,8 +85,17 @@ mod tests {
     fn static_power_dominates_like_table4() {
         for d in table4_designs() {
             let p = power(&d);
-            assert!(p.static_mw > 850.0 && p.static_mw < 880.0, "{}: {}", d.name, p.static_mw);
-            assert!(p.static_mw > p.dynamic_logic_mw, "{} static should dominate", d.name);
+            assert!(
+                p.static_mw > 850.0 && p.static_mw < 880.0,
+                "{}: {}",
+                d.name,
+                p.static_mw
+            );
+            assert!(
+                p.static_mw > p.dynamic_logic_mw,
+                "{} static should dominate",
+                d.name
+            );
         }
     }
 

@@ -97,9 +97,12 @@ impl ResourceEstimate {
 /// Estimates the cost of one primitive (xcvu3p-class calibration).
 pub fn estimate(p: &Primitive) -> ResourceEstimate {
     match *p {
-        Primitive::Registers { bits } => {
-            ResourceEstimate { lut: bits / 8, ff: bits, bram: 0.0, dsp: 0 }
-        }
+        Primitive::Registers { bits } => ResourceEstimate {
+            lut: bits / 8,
+            ff: bits,
+            bram: 0.0,
+            dsp: 0,
+        },
         Primitive::Queue { entries, width } => {
             // Distributed-RAM FIFO: storage LUTs (LUTRAM packs 64 bits
             // per LUT pair) + head/tail pointers and flags.
@@ -122,21 +125,45 @@ pub fn estimate(p: &Primitive) -> ResourceEstimate {
                 dsp: 0,
             }
         }
-        Primitive::Adder { width } => ResourceEstimate { lut: width, ff: 0, bram: 0.0, dsp: 0 },
-        Primitive::Comparator { width } => {
-            ResourceEstimate { lut: width.div_ceil(2), ff: 0, bram: 0.0, dsp: 0 }
-        }
-        Primitive::Mux { ways, width } => {
-            ResourceEstimate { lut: (ways.saturating_sub(1)) * width.div_ceil(2), ff: 0, bram: 0.0, dsp: 0 }
-        }
-        Primitive::BramTable { bits } => {
-            ResourceEstimate { lut: 8, ff: 8, bram: f64::from(bits) / 36_864.0, dsp: 0 }
-        }
+        Primitive::Adder { width } => ResourceEstimate {
+            lut: width,
+            ff: 0,
+            bram: 0.0,
+            dsp: 0,
+        },
+        Primitive::Comparator { width } => ResourceEstimate {
+            lut: width.div_ceil(2),
+            ff: 0,
+            bram: 0.0,
+            dsp: 0,
+        },
+        Primitive::Mux { ways, width } => ResourceEstimate {
+            lut: (ways.saturating_sub(1)) * width.div_ceil(2),
+            ff: 0,
+            bram: 0.0,
+            dsp: 0,
+        },
+        Primitive::BramTable { bits } => ResourceEstimate {
+            lut: 8,
+            ff: 8,
+            bram: f64::from(bits) / 36_864.0,
+            dsp: 0,
+        },
         Primitive::Multiplier { width } => {
             if width >= 12 {
-                ResourceEstimate { lut: 12, ff: 16, bram: 0.0, dsp: ((width + 16) / 17).max(1) }
+                ResourceEstimate {
+                    lut: 12,
+                    ff: 16,
+                    bram: 0.0,
+                    dsp: width.div_ceil(17).max(1),
+                }
             } else {
-                ResourceEstimate { lut: width * width / 2, ff: width, bram: 0.0, dsp: 0 }
+                ResourceEstimate {
+                    lut: width * width / 2,
+                    ff: width,
+                    bram: 0.0,
+                    dsp: 0,
+                }
             }
         }
         Primitive::Fsm { states, signals } => ResourceEstimate {
@@ -164,7 +191,13 @@ pub fn frequency_mhz(prims: &[Primitive], est: &ResourceEstimate) -> f64 {
     let mut f: f64 = 737.0; // xcvu3p-3 BUFG-limited practical ceiling
     let cam_bits: u32 = prims
         .iter()
-        .map(|p| if let Primitive::Cam { entries, width } = *p { entries * width } else { 0 })
+        .map(|p| {
+            if let Primitive::Cam { entries, width } = *p {
+                entries * width
+            } else {
+                0
+            }
+        })
         .sum();
     // CAM match-or trees: ~1 MHz per 16 CAM bits of match network.
     f -= f64::from(cam_bits) / 16.0;
@@ -185,11 +218,19 @@ mod tests {
     fn primitives_have_sane_costs() {
         let r = estimate(&Primitive::Registers { bits: 64 });
         assert_eq!(r.ff, 64);
-        let q = estimate(&Primitive::Queue { entries: 32, width: 16 });
+        let q = estimate(&Primitive::Queue {
+            entries: 32,
+            width: 16,
+        });
         assert!(q.lut > 0 && q.ff > 0);
-        let c = estimate(&Primitive::Cam { entries: 64, width: 18 });
+        let c = estimate(&Primitive::Cam {
+            entries: 64,
+            width: 18,
+        });
         assert!(c.lut >= 64 * 9, "CAMs are LUT-hungry");
-        let b = estimate(&Primitive::BramTable { bits: 32 * 8 * 1024 });
+        let b = estimate(&Primitive::BramTable {
+            bits: 32 * 8 * 1024,
+        });
         assert!(b.bram > 7.0 && b.bram < 7.2);
         let m = estimate(&Primitive::Multiplier { width: 32 });
         assert!(m.dsp >= 1);
@@ -209,11 +250,17 @@ mod tests {
 
     #[test]
     fn frequency_degrades_with_cams_and_size() {
-        let small = vec![Primitive::Fsm { states: 4, signals: 8 }];
+        let small = vec![Primitive::Fsm {
+            states: 4,
+            signals: 8,
+        }];
         let es = estimate_design(&small);
         let fs = frequency_mhz(&small, &es);
         let big = vec![
-            Primitive::Cam { entries: 64, width: 18 },
+            Primitive::Cam {
+                entries: 64,
+                width: 18,
+            },
             Primitive::Registers { bits: 4000 },
         ];
         let eb = estimate_design(&big);

@@ -67,7 +67,13 @@ pub struct Asm {
 impl Asm {
     /// Creates an assembler placing the first instruction at `base`.
     pub fn new(base: u64) -> Asm {
-        Asm { base, insts: Vec::new(), labels: Vec::new(), patches: Vec::new(), symbols: HashMap::new() }
+        Asm {
+            base,
+            insts: Vec::new(),
+            labels: Vec::new(),
+            patches: Vec::new(),
+            symbols: HashMap::new(),
+        }
     }
 
     /// Creates a fresh, unbound label.
@@ -112,7 +118,12 @@ impl Asm {
 
     fn push_branch(&mut self, cond: BranchCond, rs1: Reg, rs2: Reg, label: Label) -> &mut Asm {
         self.patches.push((self.insts.len(), label));
-        self.insts.push(Inst::Branch { cond, rs1, rs2, target: 0 });
+        self.insts.push(Inst::Branch {
+            cond,
+            rs1,
+            rs2,
+            target: 0,
+        });
         self
     }
 
@@ -120,82 +131,177 @@ impl Asm {
 
     /// `rd = rs1 + rs2`
     pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
-        self.push(Inst::Alu { op: AluOp::Add, rd, rs1, rs2 })
+        self.push(Inst::Alu {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// `rd = rs1 - rs2`
     pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
-        self.push(Inst::Alu { op: AluOp::Sub, rd, rs1, rs2 })
+        self.push(Inst::Alu {
+            op: AluOp::Sub,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// `rd = rs1 & rs2`
     pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
-        self.push(Inst::Alu { op: AluOp::And, rd, rs1, rs2 })
+        self.push(Inst::Alu {
+            op: AluOp::And,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// `rd = rs1 | rs2`
     pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
-        self.push(Inst::Alu { op: AluOp::Or, rd, rs1, rs2 })
+        self.push(Inst::Alu {
+            op: AluOp::Or,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// `rd = rs1 ^ rs2`
     pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
-        self.push(Inst::Alu { op: AluOp::Xor, rd, rs1, rs2 })
+        self.push(Inst::Alu {
+            op: AluOp::Xor,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// `rd = rs1 << rs2`
     pub fn sll(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
-        self.push(Inst::Alu { op: AluOp::Sll, rd, rs1, rs2 })
+        self.push(Inst::Alu {
+            op: AluOp::Sll,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// `rd = rs1 >> rs2` (logical)
     pub fn srl(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
-        self.push(Inst::Alu { op: AluOp::Srl, rd, rs1, rs2 })
+        self.push(Inst::Alu {
+            op: AluOp::Srl,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// `rd = (rs1 < rs2) ? 1 : 0` (signed)
     pub fn slt(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
-        self.push(Inst::Alu { op: AluOp::Slt, rd, rs1, rs2 })
+        self.push(Inst::Alu {
+            op: AluOp::Slt,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// `rd = (rs1 < rs2) ? 1 : 0` (unsigned)
     pub fn sltu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
-        self.push(Inst::Alu { op: AluOp::Sltu, rd, rs1, rs2 })
+        self.push(Inst::Alu {
+            op: AluOp::Sltu,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// `rd = rs1 * rs2`
     pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
-        self.push(Inst::Alu { op: AluOp::Mul, rd, rs1, rs2 })
+        self.push(Inst::Alu {
+            op: AluOp::Mul,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// `rd = rs1 / rs2` (signed)
     pub fn div(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
-        self.push(Inst::Alu { op: AluOp::Div, rd, rs1, rs2 })
+        self.push(Inst::Alu {
+            op: AluOp::Div,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// `rd = rs1 % rs2` (signed)
     pub fn rem(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
-        self.push(Inst::Alu { op: AluOp::Rem, rd, rs1, rs2 })
+        self.push(Inst::Alu {
+            op: AluOp::Rem,
+            rd,
+            rs1,
+            rs2,
+        })
     }
 
     // ---- immediates ----
 
     /// `rd = rs1 + imm`
     pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Asm {
-        self.push(Inst::AluImm { op: AluOp::Add, rd, rs1, imm })
+        self.push(Inst::AluImm {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            imm,
+        })
     }
     /// `rd = rs1 & imm`
     pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Asm {
-        self.push(Inst::AluImm { op: AluOp::And, rd, rs1, imm })
+        self.push(Inst::AluImm {
+            op: AluOp::And,
+            rd,
+            rs1,
+            imm,
+        })
     }
     /// `rd = rs1 | imm`
     pub fn ori(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Asm {
-        self.push(Inst::AluImm { op: AluOp::Or, rd, rs1, imm })
+        self.push(Inst::AluImm {
+            op: AluOp::Or,
+            rd,
+            rs1,
+            imm,
+        })
     }
     /// `rd = rs1 ^ imm`
     pub fn xori(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Asm {
-        self.push(Inst::AluImm { op: AluOp::Xor, rd, rs1, imm })
+        self.push(Inst::AluImm {
+            op: AluOp::Xor,
+            rd,
+            rs1,
+            imm,
+        })
     }
     /// `rd = rs1 << imm`
     pub fn slli(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Asm {
-        self.push(Inst::AluImm { op: AluOp::Sll, rd, rs1, imm })
+        self.push(Inst::AluImm {
+            op: AluOp::Sll,
+            rd,
+            rs1,
+            imm,
+        })
     }
     /// `rd = rs1 >> imm` (logical)
     pub fn srli(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Asm {
-        self.push(Inst::AluImm { op: AluOp::Srl, rd, rs1, imm })
+        self.push(Inst::AluImm {
+            op: AluOp::Srl,
+            rd,
+            rs1,
+            imm,
+        })
     }
     /// `rd = (rs1 < imm) ? 1 : 0` (signed)
     pub fn slti(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Asm {
-        self.push(Inst::AluImm { op: AluOp::Slt, rd, rs1, imm })
+        self.push(Inst::AluImm {
+            op: AluOp::Slt,
+            rd,
+            rs1,
+            imm,
+        })
     }
     /// `rd = imm` (full 64-bit constant materialization)
     pub fn li(&mut self, rd: Reg, imm: i64) -> &mut Asm {
@@ -210,43 +316,99 @@ impl Asm {
 
     /// `rd = sext(mem8[rs1+offset])`
     pub fn lb(&mut self, rd: Reg, base: Reg, offset: i64) -> &mut Asm {
-        self.push(Inst::Load { width: MemWidth::B1, signed: true, rd, base, offset })
+        self.push(Inst::Load {
+            width: MemWidth::B1,
+            signed: true,
+            rd,
+            base,
+            offset,
+        })
     }
     /// `rd = zext(mem8[rs1+offset])`
     pub fn lbu(&mut self, rd: Reg, base: Reg, offset: i64) -> &mut Asm {
-        self.push(Inst::Load { width: MemWidth::B1, signed: false, rd, base, offset })
+        self.push(Inst::Load {
+            width: MemWidth::B1,
+            signed: false,
+            rd,
+            base,
+            offset,
+        })
     }
     /// `rd = sext(mem16[rs1+offset])`
     pub fn lh(&mut self, rd: Reg, base: Reg, offset: i64) -> &mut Asm {
-        self.push(Inst::Load { width: MemWidth::B2, signed: true, rd, base, offset })
+        self.push(Inst::Load {
+            width: MemWidth::B2,
+            signed: true,
+            rd,
+            base,
+            offset,
+        })
     }
     /// `rd = sext(mem32[rs1+offset])`
     pub fn lw(&mut self, rd: Reg, base: Reg, offset: i64) -> &mut Asm {
-        self.push(Inst::Load { width: MemWidth::B4, signed: true, rd, base, offset })
+        self.push(Inst::Load {
+            width: MemWidth::B4,
+            signed: true,
+            rd,
+            base,
+            offset,
+        })
     }
     /// `rd = zext(mem32[rs1+offset])`
     pub fn lwu(&mut self, rd: Reg, base: Reg, offset: i64) -> &mut Asm {
-        self.push(Inst::Load { width: MemWidth::B4, signed: false, rd, base, offset })
+        self.push(Inst::Load {
+            width: MemWidth::B4,
+            signed: false,
+            rd,
+            base,
+            offset,
+        })
     }
     /// `rd = mem64[rs1+offset]`
     pub fn ld(&mut self, rd: Reg, base: Reg, offset: i64) -> &mut Asm {
-        self.push(Inst::Load { width: MemWidth::B8, signed: true, rd, base, offset })
+        self.push(Inst::Load {
+            width: MemWidth::B8,
+            signed: true,
+            rd,
+            base,
+            offset,
+        })
     }
     /// `mem8[base+offset] = src`
     pub fn sb(&mut self, src: Reg, base: Reg, offset: i64) -> &mut Asm {
-        self.push(Inst::Store { width: MemWidth::B1, src, base, offset })
+        self.push(Inst::Store {
+            width: MemWidth::B1,
+            src,
+            base,
+            offset,
+        })
     }
     /// `mem16[base+offset] = src`
     pub fn sh(&mut self, src: Reg, base: Reg, offset: i64) -> &mut Asm {
-        self.push(Inst::Store { width: MemWidth::B2, src, base, offset })
+        self.push(Inst::Store {
+            width: MemWidth::B2,
+            src,
+            base,
+            offset,
+        })
     }
     /// `mem32[base+offset] = src`
     pub fn sw(&mut self, src: Reg, base: Reg, offset: i64) -> &mut Asm {
-        self.push(Inst::Store { width: MemWidth::B4, src, base, offset })
+        self.push(Inst::Store {
+            width: MemWidth::B4,
+            src,
+            base,
+            offset,
+        })
     }
     /// `mem64[base+offset] = src`
     pub fn sd(&mut self, src: Reg, base: Reg, offset: i64) -> &mut Asm {
-        self.push(Inst::Store { width: MemWidth::B8, src, base, offset })
+        self.push(Inst::Store {
+            width: MemWidth::B8,
+            src,
+            base,
+            offset,
+        })
     }
 
     // ---- control flow ----
@@ -278,16 +440,26 @@ impl Asm {
     /// Unconditional jump to `label`.
     pub fn j(&mut self, label: Label) -> &mut Asm {
         self.patches.push((self.insts.len(), label));
-        self.push(Inst::Jal { rd: Reg::X0, target: 0 })
+        self.push(Inst::Jal {
+            rd: Reg::X0,
+            target: 0,
+        })
     }
     /// Call `label`, saving the return address in `ra`.
     pub fn call(&mut self, label: Label) -> &mut Asm {
         self.patches.push((self.insts.len(), label));
-        self.push(Inst::Jal { rd: Reg::RA, target: 0 })
+        self.push(Inst::Jal {
+            rd: Reg::RA,
+            target: 0,
+        })
     }
     /// Return via `ra`.
     pub fn ret(&mut self) -> &mut Asm {
-        self.push(Inst::Jalr { rd: Reg::X0, base: Reg::RA, offset: 0 })
+        self.push(Inst::Jalr {
+            rd: Reg::X0,
+            base: Reg::RA,
+            offset: 0,
+        })
     }
     /// Indirect jump-and-link.
     pub fn jalr(&mut self, rd: Reg, base: Reg, offset: i64) -> &mut Asm {
@@ -306,19 +478,39 @@ impl Asm {
     }
     /// `fd = fs1 + fs2`
     pub fn fadd(&mut self, fd: FReg, fs1: FReg, fs2: FReg) -> &mut Asm {
-        self.push(Inst::FAlu { op: FAluOp::Fadd, fd, fs1, fs2 })
+        self.push(Inst::FAlu {
+            op: FAluOp::Fadd,
+            fd,
+            fs1,
+            fs2,
+        })
     }
     /// `fd = fs1 - fs2`
     pub fn fsub(&mut self, fd: FReg, fs1: FReg, fs2: FReg) -> &mut Asm {
-        self.push(Inst::FAlu { op: FAluOp::Fsub, fd, fs1, fs2 })
+        self.push(Inst::FAlu {
+            op: FAluOp::Fsub,
+            fd,
+            fs1,
+            fs2,
+        })
     }
     /// `fd = fs1 * fs2`
     pub fn fmul(&mut self, fd: FReg, fs1: FReg, fs2: FReg) -> &mut Asm {
-        self.push(Inst::FAlu { op: FAluOp::Fmul, fd, fs1, fs2 })
+        self.push(Inst::FAlu {
+            op: FAluOp::Fmul,
+            fd,
+            fs1,
+            fs2,
+        })
     }
     /// `fd = fs1 / fs2`
     pub fn fdiv(&mut self, fd: FReg, fs1: FReg, fs2: FReg) -> &mut Asm {
-        self.push(Inst::FAlu { op: FAluOp::Fdiv, fd, fs1, fs2 })
+        self.push(Inst::FAlu {
+            op: FAluOp::Fdiv,
+            fd,
+            fs1,
+            fs2,
+        })
     }
 
     // ---- misc ----

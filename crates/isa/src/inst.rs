@@ -51,7 +51,10 @@ impl AluOp {
     /// Whether this operation executes on the FP/complex lanes
     /// (multi-cycle multiply/divide) rather than the simple ALU lanes.
     pub fn is_complex(self) -> bool {
-        matches!(self, AluOp::Mul | AluOp::Div | AluOp::Divu | AluOp::Rem | AluOp::Remu)
+        matches!(
+            self,
+            AluOp::Mul | AluOp::Div | AluOp::Divu | AluOp::Rem | AluOp::Remu
+        )
     }
 }
 
@@ -309,27 +312,41 @@ impl Inst {
     pub fn info(&self) -> InstInfo {
         use Inst::*;
         let none = [None, None];
-        let mk = |srcs: [Option<RegRef>; 2], dst: Option<RegRef>, class: ExecClass, lat: u32| InstInfo {
-            srcs,
-            dst,
-            class,
-            is_cond_branch: matches!(class, ExecClass::Branch),
-            is_control: matches!(class, ExecClass::Branch | ExecClass::Jump),
-            is_mem: matches!(class, ExecClass::Load | ExecClass::Store),
-            latency: lat,
-        };
+        let mk =
+            |srcs: [Option<RegRef>; 2], dst: Option<RegRef>, class: ExecClass, lat: u32| InstInfo {
+                srcs,
+                dst,
+                class,
+                is_cond_branch: matches!(class, ExecClass::Branch),
+                is_control: matches!(class, ExecClass::Branch | ExecClass::Jump),
+                is_mem: matches!(class, ExecClass::Load | ExecClass::Store),
+                latency: lat,
+            };
         match *self {
             Alu { op, rd, rs1, rs2 } => {
-                let class = if op.is_complex() { ExecClass::Complex } else { ExecClass::SimpleAlu };
+                let class = if op.is_complex() {
+                    ExecClass::Complex
+                } else {
+                    ExecClass::SimpleAlu
+                };
                 let lat = match op {
                     AluOp::Mul => 3,
                     AluOp::Div | AluOp::Divu | AluOp::Rem | AluOp::Remu => 12,
                     _ => 1,
                 };
-                mk([Some(rs1.into()), Some(rs2.into())], dst_int(rd), class, lat)
+                mk(
+                    [Some(rs1.into()), Some(rs2.into())],
+                    dst_int(rd),
+                    class,
+                    lat,
+                )
             }
             AluImm { op, rd, rs1, .. } => {
-                let class = if op.is_complex() { ExecClass::Complex } else { ExecClass::SimpleAlu };
+                let class = if op.is_complex() {
+                    ExecClass::Complex
+                } else {
+                    ExecClass::SimpleAlu
+                };
                 let lat = match op {
                     AluOp::Mul => 3,
                     AluOp::Div | AluOp::Divu | AluOp::Rem | AluOp::Remu => 12,
@@ -339,20 +356,32 @@ impl Inst {
             }
             Li { rd, .. } => mk(none, dst_int(rd), ExecClass::SimpleAlu, 1),
             Load { rd, base, .. } => mk([Some(base.into()), None], dst_int(rd), ExecClass::Load, 1),
-            Store { src, base, .. } => {
-                mk([Some(base.into()), Some(src.into())], None, ExecClass::Store, 1)
-            }
-            Branch { rs1, rs2, .. } => {
-                mk([Some(rs1.into()), Some(rs2.into())], None, ExecClass::Branch, 1)
-            }
+            Store { src, base, .. } => mk(
+                [Some(base.into()), Some(src.into())],
+                None,
+                ExecClass::Store,
+                1,
+            ),
+            Branch { rs1, rs2, .. } => mk(
+                [Some(rs1.into()), Some(rs2.into())],
+                None,
+                ExecClass::Branch,
+                1,
+            ),
             Jal { rd, .. } => mk(none, dst_int(rd), ExecClass::Jump, 1),
             Jalr { rd, base, .. } => mk([Some(base.into()), None], dst_int(rd), ExecClass::Jump, 1),
-            FLoad { fd, base, .. } => {
-                mk([Some(base.into()), None], Some(fd.into()), ExecClass::Load, 1)
-            }
-            FStore { fs, base, .. } => {
-                mk([Some(base.into()), Some(fs.into())], None, ExecClass::Store, 1)
-            }
+            FLoad { fd, base, .. } => mk(
+                [Some(base.into()), None],
+                Some(fd.into()),
+                ExecClass::Load,
+                1,
+            ),
+            FStore { fs, base, .. } => mk(
+                [Some(base.into()), Some(fs.into())],
+                None,
+                ExecClass::Store,
+                1,
+            ),
             FAlu { op, fd, fs1, fs2 } => {
                 let lat = match op {
                     FAluOp::Fadd | FAluOp::Fsub => 3,
@@ -360,9 +389,19 @@ impl Inst {
                     FAluOp::Fdiv => 12,
                     FAluOp::Fmin | FAluOp::Fmax => 2,
                 };
-                mk([Some(fs1.into()), Some(fs2.into())], Some(fd.into()), ExecClass::Complex, lat)
+                mk(
+                    [Some(fs1.into()), Some(fs2.into())],
+                    Some(fd.into()),
+                    ExecClass::Complex,
+                    lat,
+                )
             }
-            FMvToF { fd, rs1 } => mk([Some(rs1.into()), None], Some(fd.into()), ExecClass::Complex, 1),
+            FMvToF { fd, rs1 } => mk(
+                [Some(rs1.into()), None],
+                Some(fd.into()),
+                ExecClass::Complex,
+                1,
+            ),
             FMvToX { rd, fs1 } => mk([Some(fs1.into()), None], dst_int(rd), ExecClass::Complex, 1),
             Nop | Halt => mk(none, None, ExecClass::Other, 1),
         }
@@ -411,13 +450,34 @@ impl fmt::Display for Inst {
             Alu { op, rd, rs1, rs2 } => write!(f, "{op:?} {rd}, {rs1}, {rs2}"),
             AluImm { op, rd, rs1, imm } => write!(f, "{op:?}i {rd}, {rs1}, {imm}"),
             Li { rd, imm } => write!(f, "li {rd}, {imm}"),
-            Load { width, signed, rd, base, offset } => {
-                write!(f, "l{}{} {rd}, {offset}({base})", width.bytes(), if signed { "" } else { "u" })
+            Load {
+                width,
+                signed,
+                rd,
+                base,
+                offset,
+            } => {
+                write!(
+                    f,
+                    "l{}{} {rd}, {offset}({base})",
+                    width.bytes(),
+                    if signed { "" } else { "u" }
+                )
             }
-            Store { width, src, base, offset } => {
+            Store {
+                width,
+                src,
+                base,
+                offset,
+            } => {
                 write!(f, "s{} {src}, {offset}({base})", width.bytes())
             }
-            Branch { cond, rs1, rs2, target } => {
+            Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
                 write!(f, "b{cond:?} {rs1}, {rs2}, {target:#x}")
             }
             Jal { rd, target } => write!(f, "jal {rd}, {target:#x}"),
@@ -440,27 +500,55 @@ mod tests {
 
     #[test]
     fn alu_info_simple_vs_complex() {
-        let add = Inst::Alu { op: AluOp::Add, rd: A0, rs1: A1, rs2: A2 };
+        let add = Inst::Alu {
+            op: AluOp::Add,
+            rd: A0,
+            rs1: A1,
+            rs2: A2,
+        };
         assert_eq!(add.info().class, ExecClass::SimpleAlu);
         assert_eq!(add.info().latency, 1);
-        let mul = Inst::Alu { op: AluOp::Mul, rd: A0, rs1: A1, rs2: A2 };
+        let mul = Inst::Alu {
+            op: AluOp::Mul,
+            rd: A0,
+            rs1: A1,
+            rs2: A2,
+        };
         assert_eq!(mul.info().class, ExecClass::Complex);
         assert_eq!(mul.info().latency, 3);
-        let div = Inst::Alu { op: AluOp::Div, rd: A0, rs1: A1, rs2: A2 };
+        let div = Inst::Alu {
+            op: AluOp::Div,
+            rd: A0,
+            rs1: A1,
+            rs2: A2,
+        };
         assert_eq!(div.info().latency, 12);
     }
 
     #[test]
     fn x0_destination_is_discarded() {
-        let i = Inst::AluImm { op: AluOp::Add, rd: X0, rs1: A0, imm: 1 };
+        let i = Inst::AluImm {
+            op: AluOp::Add,
+            rd: X0,
+            rs1: A0,
+            imm: 1,
+        };
         assert!(i.info().dst.is_none());
-        let j = Inst::Jal { rd: X0, target: 0x1000 };
+        let j = Inst::Jal {
+            rd: X0,
+            target: 0x1000,
+        };
         assert!(j.info().dst.is_none());
     }
 
     #[test]
     fn branch_info() {
-        let b = Inst::Branch { cond: BranchCond::Eq, rs1: A0, rs2: X0, target: 0x1000 };
+        let b = Inst::Branch {
+            cond: BranchCond::Eq,
+            rs1: A0,
+            rs2: X0,
+            target: 0x1000,
+        };
         let info = b.info();
         assert!(info.is_cond_branch);
         assert!(info.is_control);
@@ -471,11 +559,22 @@ mod tests {
 
     #[test]
     fn load_store_info() {
-        let ld = Inst::Load { width: MemWidth::B8, signed: true, rd: A0, base: A1, offset: 8 };
+        let ld = Inst::Load {
+            width: MemWidth::B8,
+            signed: true,
+            rd: A0,
+            base: A1,
+            offset: 8,
+        };
         assert!(ld.info().is_mem);
         assert!(ld.is_load());
         assert!(!ld.is_store());
-        let st = Inst::Store { width: MemWidth::B4, src: A0, base: A1, offset: -4 };
+        let st = Inst::Store {
+            width: MemWidth::B4,
+            src: A0,
+            base: A1,
+            offset: -4,
+        };
         assert!(st.info().is_mem);
         assert!(st.is_store());
         assert!(st.info().dst.is_none());
@@ -495,10 +594,20 @@ mod tests {
 
     #[test]
     fn fp_ops_are_complex() {
-        let fa = Inst::FAlu { op: FAluOp::Fadd, fd: FT0, fs1: FT1, fs2: FT2 };
+        let fa = Inst::FAlu {
+            op: FAluOp::Fadd,
+            fd: FT0,
+            fs1: FT1,
+            fs2: FT2,
+        };
         assert_eq!(fa.info().class, ExecClass::Complex);
         assert_eq!(fa.info().latency, 3);
-        let fd = Inst::FAlu { op: FAluOp::Fdiv, fd: FT0, fs1: FT1, fs2: FT2 };
+        let fd = Inst::FAlu {
+            op: FAluOp::Fdiv,
+            fd: FT0,
+            fs1: FT1,
+            fs2: FT2,
+        };
         assert_eq!(fd.info().latency, 12);
     }
 
@@ -516,7 +625,11 @@ mod tests {
             Inst::Nop,
             Inst::Halt,
             Inst::Li { rd: A0, imm: -3 },
-            Inst::Jalr { rd: RA, base: A0, offset: 0 },
+            Inst::Jalr {
+                rd: RA,
+                base: A0,
+                offset: 0,
+            },
         ];
         for i in insts {
             assert!(!format!("{i}").is_empty());

@@ -199,23 +199,49 @@ impl Machine {
                 self.set_reg(rd, imm as u64);
                 out.wrote = wrote_int(rd, imm as u64);
             }
-            Inst::Load { width, signed, rd, base, offset } => {
+            Inst::Load {
+                width,
+                signed,
+                rd,
+                base,
+                offset,
+            } => {
                 let addr = self.reg(base).wrapping_add(offset as u64);
                 let size = width.bytes();
                 let raw = self.mem.read_spec(addr, size);
                 let v = extend(raw, width, signed);
                 self.set_reg(rd, v);
-                out.mem = Some(MemOp { is_store: false, addr, size, value: v });
+                out.mem = Some(MemOp {
+                    is_store: false,
+                    addr,
+                    size,
+                    value: v,
+                });
                 out.wrote = wrote_int(rd, v);
             }
-            Inst::Store { width, src, base, offset } => {
+            Inst::Store {
+                width,
+                src,
+                base,
+                offset,
+            } => {
                 let addr = self.reg(base).wrapping_add(offset as u64);
                 let size = width.bytes();
                 let v = self.reg(src);
                 self.mem.write_spec(seq, addr, size, v);
-                out.mem = Some(MemOp { is_store: true, addr, size, value: v });
+                out.mem = Some(MemOp {
+                    is_store: true,
+                    addr,
+                    size,
+                    value: v,
+                });
             }
-            Inst::Branch { cond, rs1, rs2, target } => {
+            Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
                 let taken = cond.eval(self.reg(rs1), self.reg(rs2));
                 out.taken = taken;
                 out.next_pc = if taken { target } else { fall };
@@ -237,14 +263,24 @@ impl Machine {
                 let addr = self.reg(base).wrapping_add(offset as u64);
                 let bits = self.mem.read_spec(addr, 8);
                 self.set_freg_bits(fd, bits);
-                out.mem = Some(MemOp { is_store: false, addr, size: 8, value: bits });
+                out.mem = Some(MemOp {
+                    is_store: false,
+                    addr,
+                    size: 8,
+                    value: bits,
+                });
                 out.wrote = Some((fd.into(), bits));
             }
             Inst::FStore { fs, base, offset } => {
                 let addr = self.reg(base).wrapping_add(offset as u64);
                 let bits = self.freg_bits(fs);
                 self.mem.write_spec(seq, addr, 8, bits);
-                out.mem = Some(MemOp { is_store: true, addr, size: 8, value: bits });
+                out.mem = Some(MemOp {
+                    is_store: true,
+                    addr,
+                    size: 8,
+                    value: bits,
+                });
             }
             Inst::FAlu { op, fd, fs1, fs2 } => {
                 let a = f64::from_bits(self.freg_bits(fs1));
@@ -345,13 +381,7 @@ fn alu(op: AluOp, a: u64, b: u64) -> u64 {
                 ((a as i64) / (b as i64)) as u64
             }
         }
-        AluOp::Divu => {
-            if b == 0 {
-                u64::MAX
-            } else {
-                a / b
-            }
-        }
+        AluOp::Divu => a.checked_div(b).unwrap_or(u64::MAX),
         AluOp::Rem => {
             if b == 0 {
                 a
@@ -494,7 +524,10 @@ mod tests {
     fn riscv_division_semantics() {
         assert_eq!(alu(AluOp::Div, 7, 0), u64::MAX);
         assert_eq!(alu(AluOp::Rem, 7, 0), 7);
-        assert_eq!(alu(AluOp::Div, i64::MIN as u64, (-1i64) as u64), i64::MIN as u64);
+        assert_eq!(
+            alu(AluOp::Div, i64::MIN as u64, (-1i64) as u64),
+            i64::MIN as u64
+        );
         assert_eq!(alu(AluOp::Rem, i64::MIN as u64, (-1i64) as u64), 0);
         assert_eq!(alu(AluOp::Divu, 7, 0), u64::MAX);
         assert_eq!(alu(AluOp::Remu, 7, 0), 7);

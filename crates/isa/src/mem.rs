@@ -141,7 +141,10 @@ impl SpecMemory {
     /// Panics if there are unretired speculative stores, to prevent
     /// initialization racing with execution.
     pub fn committed_mut(&mut self) -> &mut SparseMem {
-        assert!(self.pending.is_empty(), "cannot mutate committed image with stores in flight");
+        assert!(
+            self.pending.is_empty(),
+            "cannot mutate committed image with stores in flight"
+        );
         &mut self.committed
     }
 
@@ -187,7 +190,12 @@ impl SpecMemory {
             let byte = (value >> (8 * i)) as u8;
             self.overlay.entry(a).or_default().push((seq, byte));
         }
-        self.pending.push(PendingStore { seq, addr, size, value });
+        self.pending.push(PendingStore {
+            seq,
+            addr,
+            size,
+            value,
+        });
     }
 
     /// Commits the oldest pending store, which must have sequence number
@@ -196,7 +204,11 @@ impl SpecMemory {
     /// # Panics
     /// Panics if `seq` is not the oldest pending store.
     pub fn commit_store(&mut self, seq: u64) {
-        let st = self.pending.first().copied().expect("no pending store to commit");
+        let st = self
+            .pending
+            .first()
+            .copied()
+            .expect("no pending store to commit");
         assert_eq!(st.seq, seq, "stores must commit in program order");
         self.pending.remove(0);
         for i in 0..st.size {
@@ -250,7 +262,12 @@ mod tests {
     #[test]
     fn sparse_mem_rw_roundtrip_sizes() {
         let mut m = SparseMem::new();
-        for &(size, val) in &[(1u64, 0xabu64), (2, 0xbeef), (4, 0xdeadbeef), (8, 0x0123456789abcdef)] {
+        for &(size, val) in &[
+            (1u64, 0xabu64),
+            (2, 0xbeef),
+            (4, 0xdeadbeef),
+            (8, 0x0123456789abcdef),
+        ] {
             m.write(0x4000, size, val);
             assert_eq!(m.read(0x4000, size), val);
         }

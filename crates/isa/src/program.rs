@@ -38,7 +38,11 @@ pub struct Program {
 impl Program {
     /// Creates a program from raw parts.
     pub fn new(base: u64, insts: Vec<Inst>, symbols: HashMap<String, u64>) -> Program {
-        Program { base, insts, symbols }
+        Program {
+            base,
+            insts,
+            symbols,
+        }
     }
 
     /// First instruction address.
@@ -67,7 +71,7 @@ impl Program {
     /// Returns [`ProgramError::BadPc`] if `pc` is unaligned or outside
     /// the program.
     pub fn fetch(&self, pc: u64) -> Result<Inst, ProgramError> {
-        if pc < self.base || pc >= self.end() || (pc - self.base) % INST_BYTES != 0 {
+        if pc < self.base || pc >= self.end() || !(pc - self.base).is_multiple_of(INST_BYTES) {
             return Err(ProgramError::BadPc(pc));
         }
         Ok(self.insts[((pc - self.base) / INST_BYTES) as usize])

@@ -41,7 +41,10 @@ impl Reg {
     /// Panics if `n >= 32`.
     #[inline]
     pub fn new(n: u8) -> Reg {
-        assert!((n as usize) < NUM_INT_REGS, "integer register out of range: {n}");
+        assert!(
+            (n as usize) < NUM_INT_REGS,
+            "integer register out of range: {n}"
+        );
         Reg(n)
     }
 

@@ -36,15 +36,33 @@ impl CacheConfig {
     /// count).
     pub fn new(size_bytes: u64, ways: usize, latency: u64) -> CacheConfig {
         assert!(ways > 0, "cache must have at least one way");
-        assert_eq!(size_bytes % (ways as u64 * LINE_BYTES), 0, "capacity must divide evenly into sets");
+        assert_eq!(
+            size_bytes % (ways as u64 * LINE_BYTES),
+            0,
+            "capacity must divide evenly into sets"
+        );
         let sets = size_bytes / (ways as u64 * LINE_BYTES);
         assert!(sets.is_power_of_two(), "set count must be a power of two");
-        CacheConfig { size_bytes, ways, latency }
+        CacheConfig {
+            size_bytes,
+            ways,
+            latency,
+        }
     }
 
     /// Number of sets.
     pub fn sets(&self) -> u64 {
         self.size_bytes / (self.ways as u64 * LINE_BYTES)
+    }
+
+    /// Canonical content key, e.g. `32k8w3` (capacity, ways, latency).
+    pub fn key(&self) -> String {
+        let cap = if self.size_bytes.is_multiple_of(1024) {
+            format!("{}k", self.size_bytes / 1024)
+        } else {
+            format!("{}b", self.size_bytes)
+        };
+        format!("{cap}{}w{}", self.ways, self.latency)
     }
 }
 
@@ -107,7 +125,12 @@ impl Cache {
     /// Creates an empty (all-invalid) cache.
     pub fn new(config: CacheConfig) -> Cache {
         let n = (config.sets() as usize) * config.ways;
-        Cache { config, lines: vec![Line::default(); n], stamp: 0, stats: CacheStats::default() }
+        Cache {
+            config,
+            lines: vec![Line::default(); n],
+            stamp: 0,
+            stats: CacheStats::default(),
+        }
     }
 
     /// The cache geometry.
@@ -189,12 +212,18 @@ impl Cache {
         let evicted = if set[victim].valid && set[victim].dirty {
             self.stats.writebacks += 1;
             let sets = self.config.sets();
-            let set_idx = ((addr >> LINE_SHIFT) & (sets - 1)) as u64;
+            let set_idx = (addr >> LINE_SHIFT) & (sets - 1);
             Some(((set[victim].tag & !(sets - 1)) | set_idx) << LINE_SHIFT)
         } else {
             None
         };
-        set[victim] = Line { tag, valid: true, dirty: false, lru: self.stamp, prefetched: from_prefetch };
+        set[victim] = Line {
+            tag,
+            valid: true,
+            dirty: false,
+            lru: self.stamp,
+            prefetched: from_prefetch,
+        };
         evicted
     }
 

@@ -95,6 +95,26 @@ impl Default for HierarchyConfig {
 }
 
 impl HierarchyConfig {
+    /// Canonical content key covering every field. Two configs with
+    /// the same key time identically; the experiment planner relies on
+    /// this to deduplicate runs.
+    pub fn key(&self) -> String {
+        format!(
+            "i{}_d{}_l2{}_l3{}_dram{}_mshr{}_nl{}_vldp{}_tlb{}w{}{}",
+            self.l1i.key(),
+            self.l1d.key(),
+            self.l2.key(),
+            self.l3.key(),
+            self.dram_latency,
+            self.mshrs,
+            self.next_n_line,
+            u8::from(self.vldp),
+            self.tlb_entries,
+            self.tlb_walk_latency,
+            if self.perfect_data { "_perfD" } else { "" }
+        )
+    }
+
     /// The exact configuration of Table 1 (MICRO 2021 paper).
     pub fn micro21() -> HierarchyConfig {
         HierarchyConfig {
@@ -115,7 +135,10 @@ impl HierarchyConfig {
 
 /// Hierarchy-level statistics (authoritative for experiments; per-cache
 /// stats additionally track prefetch usefulness).
-#[derive(Clone, Copy, Debug, Default)]
+///
+/// `Eq` is part of the simulator's determinism contract (identical
+/// runs must produce identical counters).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct HierarchyStats {
     /// Demand data accesses that hit L1D.
     pub l1d_hits: u64,
@@ -153,7 +176,10 @@ pub struct Hierarchy {
 
 impl std::fmt::Debug for Hierarchy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Hierarchy").field("config", &self.config).field("stats", &self.stats).finish()
+        f.debug_struct("Hierarchy")
+            .field("config", &self.config)
+            .field("stats", &self.stats)
+            .finish()
     }
 }
 
@@ -166,8 +192,16 @@ impl Hierarchy {
             l2: Cache::new(config.l2),
             l3: Cache::new(config.l3),
             mshrs: MshrFile::new(config.mshrs),
-            l1_prefetcher: if config.next_n_line > 0 { Some(NextNLine::new(config.next_n_line)) } else { None },
-            l2_prefetcher: if config.vldp { Some(Vldp::default()) } else { None },
+            l1_prefetcher: if config.next_n_line > 0 {
+                Some(NextNLine::new(config.next_n_line))
+            } else {
+                None
+            },
+            l2_prefetcher: if config.vldp {
+                Some(Vldp::default())
+            } else {
+                None
+            },
             tlb: Tlb::new(config.tlb_entries, config.tlb_walk_latency),
             config,
             stats: HierarchyStats::default(),
@@ -185,8 +219,20 @@ impl Hierarchy {
     }
 
     /// Per-level cache statistics `(l1i, l1d, l2, l3)`.
-    pub fn cache_stats(&self) -> (crate::cache::CacheStats, crate::cache::CacheStats, crate::cache::CacheStats, crate::cache::CacheStats) {
-        (*self.l1i.stats(), *self.l1d.stats(), *self.l2.stats(), *self.l3.stats())
+    pub fn cache_stats(
+        &self,
+    ) -> (
+        crate::cache::CacheStats,
+        crate::cache::CacheStats,
+        crate::cache::CacheStats,
+        crate::cache::CacheStats,
+    ) {
+        (
+            *self.l1i.stats(),
+            *self.l1d.stats(),
+            *self.l2.stats(),
+            *self.l3.stats(),
+        )
     }
 
     /// Performs an access at `cycle` and returns its latency/source.
@@ -195,7 +241,10 @@ impl Hierarchy {
             AccessKind::Ifetch => self.ifetch(addr),
             AccessKind::Prefetch => {
                 self.data_access(addr, false, cycle, true);
-                AccessOutcome { latency: 0, level: HitLevel::L1 }
+                AccessOutcome {
+                    latency: 0,
+                    level: HitLevel::L1,
+                }
             }
             AccessKind::Load => self.data_access(addr, false, cycle, false),
             AccessKind::Store => self.data_access(addr, true, cycle, false),
@@ -204,7 +253,10 @@ impl Hierarchy {
 
     fn ifetch(&mut self, addr: u64) -> AccessOutcome {
         if self.l1i.access(addr, false) {
-            return AccessOutcome { latency: self.config.l1i.latency, level: HitLevel::L1 };
+            return AccessOutcome {
+                latency: self.config.l1i.latency,
+                level: HitLevel::L1,
+            };
         }
         self.stats.l1i_misses += 1;
         let (latency, level) = if self.l2.access(addr, false) {
@@ -221,13 +273,26 @@ impl Hierarchy {
         AccessOutcome { latency, level }
     }
 
-    fn data_access(&mut self, addr: u64, is_write: bool, cycle: u64, is_prefetch: bool) -> AccessOutcome {
+    fn data_access(
+        &mut self,
+        addr: u64,
+        is_write: bool,
+        cycle: u64,
+        is_prefetch: bool,
+    ) -> AccessOutcome {
         if self.config.perfect_data && !is_prefetch {
-            return AccessOutcome { latency: self.config.l1d.latency, level: HitLevel::L1 };
+            return AccessOutcome {
+                latency: self.config.l1d.latency,
+                level: HitLevel::L1,
+            };
         }
 
         self.mshrs.expire(cycle);
-        let tlb_extra = if is_prefetch { 0 } else { self.tlb.translate(addr) };
+        let tlb_extra = if is_prefetch {
+            0
+        } else {
+            self.tlb.translate(addr)
+        };
 
         // In-flight miss covering this line?
         if let Some(ready) = self.mshrs.peek(addr) {
@@ -235,16 +300,25 @@ impl Hierarchy {
                 self.stats.inflight_merges += 1;
                 self.mshrs.lookup(addr); // count the merge
                 let residual = ready.saturating_sub(cycle).max(self.config.l1d.latency);
-                return AccessOutcome { latency: residual + tlb_extra, level: HitLevel::InFlight };
+                return AccessOutcome {
+                    latency: residual + tlb_extra,
+                    level: HitLevel::InFlight,
+                };
             }
-            return AccessOutcome { latency: 0, level: HitLevel::InFlight };
+            return AccessOutcome {
+                latency: 0,
+                level: HitLevel::InFlight,
+            };
         }
 
         if self.l1d.access(addr, is_write) {
             if !is_prefetch {
                 self.stats.l1d_hits += 1;
             }
-            return AccessOutcome { latency: self.config.l1d.latency + tlb_extra, level: HitLevel::L1 };
+            return AccessOutcome {
+                latency: self.config.l1d.latency + tlb_extra,
+                level: HitLevel::L1,
+            };
         }
 
         if !is_prefetch {
@@ -297,7 +371,10 @@ impl Hierarchy {
             }
         }
 
-        AccessOutcome { latency: latency + tlb_extra, level }
+        AccessOutcome {
+            latency: latency + tlb_extra,
+            level,
+        }
     }
 
     /// Fills `addr`'s line as a prefetch (no demand latency returned).
@@ -398,7 +475,11 @@ mod tests {
         h.access(0x0000, AccessKind::Load, 0);
         h.access(0x2000, AccessKind::Load, 0);
         let o = h.access(0x4000, AccessKind::Load, 0); // MSHRs full until 292
-        assert!(o.latency > 292, "third miss should wait for an MSHR, got {}", o.latency);
+        assert!(
+            o.latency > 292,
+            "third miss should wait for an MSHR, got {}",
+            o.latency
+        );
         assert!(h.stats().mshr_wait_cycles > 0);
     }
 
@@ -406,9 +487,9 @@ mod tests {
     fn l2_and_l3_hit_latencies() {
         let mut h = hier();
         h.access(0x40_0000, AccessKind::Load, 0); // fill everything
-        // Evict from L1 by filling 9 conflicting lines (8-way L1).
-        // L1D: 32KB/8way/64B = 64 sets; same-set stride = 4096 bytes.
-        // (4096 < L2's 32768-byte same-set stride, so L2 keeps the line.)
+                                                  // Evict from L1 by filling 9 conflicting lines (8-way L1).
+                                                  // L1D: 32KB/8way/64B = 64 sets; same-set stride = 4096 bytes.
+                                                  // (4096 < L2's 32768-byte same-set stride, so L2 keeps the line.)
         for i in 1..=9u64 {
             h.access(0x40_0000 + i * 4096, AccessKind::Load, 0);
         }
@@ -435,7 +516,7 @@ mod tests {
         cfg.tlb_walk_latency = 0;
         let mut h = Hierarchy::new(cfg);
         h.access(0x50_0000, AccessKind::Load, 0); // miss; prefetch +1, +2
-        // Much later, the next line is already resident.
+                                                  // Much later, the next line is already resident.
         let o = h.access(0x50_0040, AccessKind::Load, 5000);
         assert_eq!(o.level, HitLevel::L1);
         assert!(h.stats().prefetches_issued >= 2);

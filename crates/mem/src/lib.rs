@@ -27,7 +27,9 @@ pub mod prefetch;
 pub mod tlb;
 
 pub use cache::{Cache, CacheConfig, CacheStats, LINE_BYTES};
-pub use hierarchy::{AccessKind, AccessOutcome, Hierarchy, HierarchyConfig, HierarchyStats, HitLevel};
+pub use hierarchy::{
+    AccessKind, AccessOutcome, Hierarchy, HierarchyConfig, HierarchyStats, HitLevel,
+};
 pub use mshr::MshrFile;
 pub use prefetch::{NextNLine, Prefetcher, Vldp};
 pub use tlb::Tlb;

@@ -39,7 +39,12 @@ impl MshrFile {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> MshrFile {
         assert!(capacity > 0, "MSHR file needs at least one entry");
-        MshrFile { entries: Vec::with_capacity(capacity), capacity, full_stalls: 0, merges: 0 }
+        MshrFile {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            full_stalls: 0,
+            merges: 0,
+        }
     }
 
     /// Drops entries whose data has arrived by `cycle`.
@@ -51,7 +56,11 @@ impl MshrFile {
     /// Records a merge when found.
     pub fn lookup(&mut self, addr: u64) -> Option<u64> {
         let line = line_of(addr);
-        let hit = self.entries.iter().find(|e| e.line == line).map(|e| e.ready);
+        let hit = self
+            .entries
+            .iter()
+            .find(|e| e.line == line)
+            .map(|e| e.ready);
         if hit.is_some() {
             self.merges += 1;
         }
@@ -61,7 +70,10 @@ impl MshrFile {
     /// Non-mutating variant of [`MshrFile::lookup`] (no merge counted).
     pub fn peek(&self, addr: u64) -> Option<u64> {
         let line = line_of(addr);
-        self.entries.iter().find(|e| e.line == line).map(|e| e.ready)
+        self.entries
+            .iter()
+            .find(|e| e.line == line)
+            .map(|e| e.ready)
     }
 
     /// Allocates an entry for `addr`'s line.
@@ -72,10 +84,18 @@ impl MshrFile {
     pub fn alloc(&mut self, addr: u64, ready: u64) -> Result<(), u64> {
         if self.entries.len() >= self.capacity {
             self.full_stalls += 1;
-            let earliest = self.entries.iter().map(|e| e.ready).min().expect("non-empty");
+            let earliest = self
+                .entries
+                .iter()
+                .map(|e| e.ready)
+                .min()
+                .expect("non-empty");
             return Err(earliest);
         }
-        self.entries.push(Mshr { line: line_of(addr), ready });
+        self.entries.push(Mshr {
+            line: line_of(addr),
+            ready,
+        });
         Ok(())
     }
 

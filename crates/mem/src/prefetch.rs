@@ -27,7 +27,10 @@ impl NextNLine {
     /// Creates a next-`n`-line prefetcher (the paper's L1D prefetcher
     /// uses `n = 2`).
     pub fn new(n: u64) -> NextNLine {
-        NextNLine { n, last_line: u64::MAX }
+        NextNLine {
+            n,
+            last_line: u64::MAX,
+        }
     }
 }
 
@@ -38,7 +41,9 @@ impl Prefetcher for NextNLine {
             return Vec::new();
         }
         self.last_line = line;
-        (1..=self.n).map(|i| line.wrapping_add(i * LINE_BYTES)).collect()
+        (1..=self.n)
+            .map(|i| line.wrapping_add(i * LINE_BYTES))
+            .collect()
     }
 
     fn name(&self) -> &'static str {
@@ -122,7 +127,12 @@ impl Vldp {
                 e.conf = 1;
             }
         } else {
-            *e = DptEntry { key, valid: true, delta: actual, conf: 1 };
+            *e = DptEntry {
+                key,
+                valid: true,
+                delta: actual,
+                conf: 1,
+            };
         }
     }
 
@@ -171,8 +181,14 @@ impl Prefetcher for Vldp {
                         victim = i;
                     }
                 }
-                self.dhb[victim] =
-                    DhbEntry { page, valid: true, last_block: block, deltas: [0; VLDP_HISTORY], num_deltas: 0, lru: self.stamp };
+                self.dhb[victim] = DhbEntry {
+                    page,
+                    valid: true,
+                    last_block: block,
+                    deltas: [0; VLDP_HISTORY],
+                    num_deltas: 0,
+                    lru: self.stamp,
+                };
                 // First touch of a page: nothing to predict from yet.
                 return Vec::new();
             }
@@ -188,7 +204,8 @@ impl Prefetcher for Vldp {
         // Train: each history length that was available should have
         // predicted `delta`.
         for len in 1..=entry.num_deltas.min(VLDP_HISTORY) {
-            let hist: Vec<i64> = entry.deltas[..entry.num_deltas][entry.num_deltas - len..].to_vec();
+            let hist: Vec<i64> =
+                entry.deltas[..entry.num_deltas][entry.num_deltas - len..].to_vec();
             self.dpt_update(len, &hist, delta);
         }
 
@@ -209,7 +226,9 @@ impl Prefetcher for Vldp {
         let mut hist: Vec<i64> = self.dhb[slot].deltas[..self.dhb[slot].num_deltas].to_vec();
         let mut cur = block;
         for _ in 0..self.degree {
-            let Some(d) = self.dpt_predict(&hist) else { break };
+            let Some(d) = self.dpt_predict(&hist) else {
+                break;
+            };
             cur += d;
             if cur < 0 {
                 break;

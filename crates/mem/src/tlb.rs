@@ -30,7 +30,14 @@ impl Tlb {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize, walk_latency: u64) -> Tlb {
         assert!(capacity > 0, "TLB needs at least one entry");
-        Tlb { entries: Vec::with_capacity(capacity), capacity, walk_latency, stamp: 0, hits: 0, misses: 0 }
+        Tlb {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            walk_latency,
+            stamp: 0,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Translates `addr`, returning the added latency (0 on hit, the

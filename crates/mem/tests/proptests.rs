@@ -25,7 +25,7 @@ impl RefCacheModel {
     }
 
     fn set_of(&self, addr: u64) -> usize {
-        (((addr >> 6) & (self.num_sets - 1)) as usize)
+        ((addr >> 6) & (self.num_sets - 1)) as usize
     }
 
     fn access(&mut self, addr: u64) -> bool {
@@ -106,7 +106,9 @@ proptest! {
             m.expire(cycle);
             prop_assert!(m.in_flight() <= 8);
             if let Some(ready) = m.peek(addr) {
-                prop_assert!(ready > cycle || ready <= cycle, "sane ready");
+                // expire() just dropped everything ready at or before
+                // this cycle, so surviving entries are in the future.
+                prop_assert!(ready > cycle, "entry survived expire({cycle}) with ready {ready}");
                 // Same-line lookups must agree with line_of.
                 prop_assert!(m.peek(line_of(addr)).is_some());
             } else if m.has_free() {

@@ -5,12 +5,29 @@ fn main() {
     let rc = RunConfig::paper_scale();
     for uc in pfm_sim::usecases::prefetch_suite() {
         let base = run_baseline(&uc, &rc).unwrap();
-        print!("{:<11} base IPC {:.2} l1dm {:>6} l2h {:>6} l3h {:>6} dram {:>6} |", uc.name, base.ipc(), base.hier.l1d_misses, base.hier.l2_hits, base.hier.l3_hits, base.hier.dram_accesses);
-        for (c,w) in [(4,1),(4,4)] {
-            let p = FabricParams::paper_default().clk_w(c,w).delay(0).queue(32).port(PortPolicy::All);
+        print!(
+            "{:<11} base IPC {:.2} l1dm {:>6} l2h {:>6} l3h {:>6} dram {:>6} |",
+            uc.name,
+            base.ipc(),
+            base.hier.l1d_misses,
+            base.hier.l2_hits,
+            base.hier.l3_hits,
+            base.hier.dram_accesses
+        );
+        for (c, w) in [(4, 1), (4, 4)] {
+            let p = FabricParams::paper_default()
+                .clk_w(c, w)
+                .delay(0)
+                .queue(32)
+                .port(PortPolicy::All);
             let r = run_pfm(&uc, p, &rc).unwrap();
             let f = r.fabric.unwrap();
-            print!(" c{c}w{w}: +{:.0}% pf {} dram {} |", r.speedup_over(&base), f.prefetches_injected, r.hier.dram_accesses);
+            print!(
+                " c{c}w{w}: +{:.0}% pf {} dram {} |",
+                r.speedup_over(&base),
+                f.prefetches_injected,
+                r.hier.dram_accesses
+            );
         }
         println!();
     }

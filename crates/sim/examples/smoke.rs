@@ -7,37 +7,74 @@ fn main() {
     let mut rc = RunConfig::paper_scale();
     rc.max_instrs = 800_000;
     let base = run_baseline(&uc, &rc).unwrap();
-    println!("baseline IPC {:.3} MPKI {:.1}", base.ipc(), base.stats.mpki());
+    println!(
+        "baseline IPC {:.3} MPKI {:.1}",
+        base.ipc(),
+        base.stats.mpki()
+    );
     for d in [0u64, 2, 4, 8] {
-        let p = FabricParams::paper_default().clk_w(4,4).delay(d).queue(32).port(PortPolicy::All);
+        let p = FabricParams::paper_default()
+            .clk_w(4, 4)
+            .delay(d)
+            .queue(32)
+            .port(PortPolicy::All);
         let r = run_pfm(&uc, p, &rc).unwrap();
         println!("delay{d}: +{:.0}%", r.speedup_over(&base));
     }
     for q in [8usize, 16, 32, 64] {
-        let p = FabricParams::paper_default().clk_w(4,4).delay(4).queue(q).port(PortPolicy::All);
+        let p = FabricParams::paper_default()
+            .clk_w(4, 4)
+            .delay(4)
+            .queue(q)
+            .port(PortPolicy::All);
         let r = run_pfm(&uc, p, &rc).unwrap();
         println!("queue{q}: +{:.0}%", r.speedup_over(&base));
     }
-    for (pp, name) in [(PortPolicy::All,"ALL"), (PortPolicy::Ls,"LS"), (PortPolicy::Ls1,"LS1")] {
-        let p = FabricParams::paper_default().clk_w(4,4).delay(4).queue(32).port(pp);
+    for (pp, name) in [
+        (PortPolicy::All, "ALL"),
+        (PortPolicy::Ls, "LS"),
+        (PortPolicy::Ls1, "LS1"),
+    ] {
+        let p = FabricParams::paper_default()
+            .clk_w(4, 4)
+            .delay(4)
+            .queue(32)
+            .port(pp);
         let r = run_pfm(&uc, p, &rc).unwrap();
         println!("port{name}: +{:.0}%", r.speedup_over(&base));
     }
     for scope in [2usize, 4, 8, 16] {
-        let mut ap = AstarParams::default();
-        ap.scope = scope;
+        let ap = AstarParams {
+            scope,
+            ..AstarParams::default()
+        };
         let uc2 = astar(&ap);
-        let p = FabricParams::paper_default().clk_w(4,4).delay(4).queue(32).port(PortPolicy::Ls1);
+        let p = FabricParams::paper_default()
+            .clk_w(4, 4)
+            .delay(4)
+            .queue(32)
+            .port(PortPolicy::Ls1);
         let r = run_pfm(&uc2, p, &rc).unwrap();
         println!("scope{scope}: +{:.0}%", r.speedup_over(&base));
     }
     // slipstream + alt variants (Fig 2 / Table 4 datapoints)
     for v in [AstarVariant::Slipstream, AstarVariant::Alt] {
-        let mut ap = AstarParams::default();
-        ap.variant = v;
+        let ap = AstarParams {
+            variant: v,
+            ..AstarParams::default()
+        };
         let uc2 = astar(&ap);
-        let p = FabricParams::paper_default().clk_w(4,4).delay(4).queue(32).port(PortPolicy::Ls1);
+        let p = FabricParams::paper_default()
+            .clk_w(4, 4)
+            .delay(4)
+            .queue(32)
+            .port(PortPolicy::Ls1);
         let r = run_pfm(&uc2, p, &rc).unwrap();
-        println!("{:?}: +{:.0}% MPKI {:.2}", v, r.speedup_over(&base), r.stats.mpki());
+        println!(
+            "{:?}: +{:.0}% MPKI {:.2}",
+            v,
+            r.speedup_over(&base),
+            r.stats.mpki()
+        );
     }
 }

@@ -1,31 +1,48 @@
 use pfm_fabric::FabricParams;
 use pfm_sim::{run_baseline, run_pfm, RunConfig};
-use pfm_workloads::{bfs, road_graph, BfsParams};
 use pfm_workloads::graphs::shuffle_labels_fraction;
+use pfm_workloads::{bfs, road_graph, BfsParams};
 use std::time::Instant;
 
 fn main() {
     let t = Instant::now();
     let g = shuffle_labels_fraction(&road_graph(1000, 1000, 2000, 7), 11, 0.05);
-    println!("graph built: {} nodes {} edges ({:.1}s)", g.num_nodes(), g.num_edges(), t.elapsed().as_secs_f64());
+    println!(
+        "graph built: {} nodes {} edges ({:.1}s)",
+        g.num_nodes(),
+        g.num_edges(),
+        t.elapsed().as_secs_f64()
+    );
     let t = Instant::now();
-    let mut bp = BfsParams::default();
-    bp.start_level = 400;
-    bp.source = 5;
+    let bp = BfsParams {
+        start_level: 400,
+        source: 5,
+        ..BfsParams::default()
+    };
     let uc = bfs(&g, "roads", &bp);
     println!("usecase built ({:.1}s)", t.elapsed().as_secs_f64());
     let mut rc = RunConfig::paper_scale();
     rc.max_instrs = 800_000;
     let base = run_baseline(&uc, &rc).unwrap();
-    println!("baseline IPC {:.3} MPKI {:.1} dram {} l1d_miss {}", base.ipc(), base.stats.mpki(), base.hier.dram_accesses, base.hier.l1d_misses);
+    println!(
+        "baseline IPC {:.3} MPKI {:.1} dram {} l1d_miss {}",
+        base.ipc(),
+        base.stats.mpki(),
+        base.hier.dram_accesses,
+        base.hier.l1d_misses
+    );
     let pbp = run_baseline(&uc, &rc.clone().perfect_bp()).unwrap();
     println!("perfBP:  +{:.0}%", pbp.speedup_over(&base));
     let pd = run_baseline(&uc, &rc.clone().perfect_dcache()).unwrap();
     println!("perfD$:  +{:.0}%", pd.speedup_over(&base));
     let pboth = run_baseline(&uc, &rc.clone().perfect_bp().perfect_dcache()).unwrap();
     println!("perfBP+D$: +{:.0}%", pboth.speedup_over(&base));
-    for (c, w) in [(4,1),(4,2),(4,4)] {
-        let p = FabricParams::paper_default().clk_w(c, w).delay(0).queue(32).port(pfm_fabric::PortPolicy::All);
+    for (c, w) in [(4, 1), (4, 2), (4, 4)] {
+        let p = FabricParams::paper_default()
+            .clk_w(c, w)
+            .delay(0)
+            .queue(32)
+            .port(pfm_fabric::PortPolicy::All);
         match run_pfm(&uc, p, &rc) {
             Ok(r) => {
                 let f = r.fabric.unwrap();

@@ -1,0 +1,277 @@
+//! Deduplicating parallel executor for [`RunSpec`]s.
+//!
+//! The executor is the "execute" stage of plan → execute → assemble:
+//! it collapses the requested specs to the unique set by content key
+//! (first-seen order), then drains that set across scoped worker
+//! threads. Every run is independent and internally deterministic, so
+//! results are identical for any `--jobs` value — the worker count
+//! only changes wall-clock time.
+
+use crate::experiments::Experiment;
+use crate::plan::{ExperimentPlan, RunSet, RunSpec};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Executor knobs.
+#[derive(Clone, Debug)]
+pub struct ExecOptions {
+    /// Worker threads. Values are clamped to at least 1.
+    pub jobs: usize,
+    /// Emit per-run progress lines on stderr.
+    pub progress: bool,
+}
+
+impl ExecOptions {
+    /// Serial, quiet execution (the back-compat path for single
+    /// experiments).
+    pub fn serial() -> ExecOptions {
+        ExecOptions {
+            jobs: 1,
+            progress: false,
+        }
+    }
+}
+
+impl Default for ExecOptions {
+    fn default() -> ExecOptions {
+        let jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+        ExecOptions {
+            jobs,
+            progress: false,
+        }
+    }
+}
+
+/// Timing of one executed (unique) run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Content key of the run.
+    pub key: String,
+    /// Use-case name.
+    pub name: String,
+    /// Simulation time in seconds.
+    pub seconds: f64,
+}
+
+/// What the executor did: dedup factor and per-run timings.
+#[derive(Clone, Debug, Default)]
+pub struct ExecReport {
+    /// Runs requested across all plans (before dedup).
+    pub requested: usize,
+    /// Unique runs actually simulated.
+    pub unique: usize,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// End-to-end wall-clock seconds.
+    pub wall_seconds: f64,
+    /// Per-run timings, in plan (first-seen) order.
+    pub runs: Vec<RunReport>,
+}
+
+impl ExecReport {
+    /// Runs skipped because an identical run was already planned.
+    pub fn deduped(&self) -> usize {
+        self.requested - self.unique
+    }
+
+    /// Total simulation seconds across all runs (≥ wall-clock when
+    /// workers overlap).
+    pub fn sim_seconds(&self) -> f64 {
+        // fold, not sum(): an empty sum() is -0.0, which renders as
+        // "-0.0s" for run-less plans like table4.
+        self.runs
+            .iter()
+            .map(|r| r.seconds)
+            .fold(0.0, |acc, s| acc + s)
+    }
+
+    /// One-line summary, e.g. for `repro`.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} runs requested, {} unique ({} deduped), {} job(s), {:.1}s wall ({:.1}s simulated)",
+            self.requested,
+            self.unique,
+            self.deduped(),
+            self.jobs,
+            self.wall_seconds,
+            self.sim_seconds()
+        )
+    }
+}
+
+/// Collapses `specs` to the unique set by content key, preserving
+/// first-seen order.
+pub fn dedup_specs(specs: &[RunSpec]) -> Vec<RunSpec> {
+    let mut seen = std::collections::HashSet::new();
+    let mut unique = Vec::new();
+    for spec in specs {
+        if seen.insert(spec.key().to_string()) {
+            unique.push(spec.clone());
+        }
+    }
+    unique
+}
+
+/// Executes the unique subset of `specs` and returns the completed
+/// runs plus a report.
+///
+/// Work is distributed over `opts.jobs` scoped threads by an atomic
+/// work index; each unique spec is executed exactly once. Determinism
+/// is per-run, so the schedule cannot affect any statistic.
+pub fn execute(specs: &[RunSpec], opts: &ExecOptions) -> (RunSet, ExecReport) {
+    let unique = dedup_specs(specs);
+    let jobs = opts.jobs.max(1).min(unique.len().max(1));
+    let total = unique.len();
+    let started = Instant::now();
+
+    // One pre-allocated slot per unique run; each is written exactly
+    // once by whichever worker claims that index.
+    let slots: Vec<OnceLock<(Result<crate::runner::RunResult, pfm_core::SimError>, f64)>> =
+        (0..total).map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= total {
+                    break;
+                }
+                let spec = &unique[idx];
+                let t0 = Instant::now();
+                let result = spec.execute();
+                let secs = t0.elapsed().as_secs_f64();
+                if opts.progress {
+                    let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    eprintln!(
+                        "  [{n}/{total}] {} ({:.1}s)  {}",
+                        spec.name(),
+                        secs,
+                        spec.key()
+                    );
+                }
+                slots[idx]
+                    .set((result, secs))
+                    .expect("run slot written twice");
+            });
+        }
+    });
+
+    let mut runs = RunSet::default();
+    let mut reports = Vec::with_capacity(total);
+    for (spec, slot) in unique.iter().zip(slots) {
+        let (result, seconds) = slot.into_inner().expect("run slot never written");
+        reports.push(RunReport {
+            key: spec.key().to_string(),
+            name: spec.name().to_string(),
+            seconds,
+        });
+        runs.insert(spec.key().to_string(), result);
+    }
+
+    let report = ExecReport {
+        requested: specs.len(),
+        unique: total,
+        jobs,
+        wall_seconds: started.elapsed().as_secs_f64(),
+        runs: reports,
+    };
+    (runs, report)
+}
+
+/// Plans → finished experiments: gathers every plan's specs, executes
+/// the deduplicated union, and assembles each experiment from the
+/// shared [`RunSet`].
+pub fn run_plans(plans: Vec<ExperimentPlan>, opts: &ExecOptions) -> (Vec<Experiment>, ExecReport) {
+    let specs: Vec<RunSpec> = plans
+        .iter()
+        .flat_map(|p| p.specs().iter().cloned())
+        .collect();
+    let (runs, report) = execute(&specs, opts);
+    let experiments = plans.into_iter().map(|p| p.assemble(&runs)).collect();
+    (experiments, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::RunConfig;
+    use crate::usecases;
+
+    fn tiny_rc() -> RunConfig {
+        RunConfig {
+            max_instrs: 20_000,
+            ..RunConfig::test_scale()
+        }
+    }
+
+    #[test]
+    fn executor_dedups_identical_specs() {
+        let rc = tiny_rc();
+        let uc = usecases::libquantum_factory();
+        let spec = RunSpec::baseline(uc, &rc);
+        let specs = vec![spec.clone(), spec.clone(), spec];
+        let (runs, report) = execute(&specs, &ExecOptions::serial());
+        assert_eq!(report.requested, 3);
+        assert_eq!(report.unique, 1);
+        assert_eq!(report.deduped(), 2);
+        assert_eq!(runs.len(), 1);
+    }
+
+    #[test]
+    fn repeated_execution_is_deterministic() {
+        let rc = tiny_rc();
+        let spec = RunSpec::pfm(
+            usecases::libquantum_factory(),
+            pfm_fabric::FabricParams::paper_default(),
+            &rc,
+        );
+        let a = spec.execute().unwrap();
+        let b = spec.execute().unwrap();
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.hier, b.hier);
+        assert_eq!(a.fabric, b.fabric);
+    }
+
+    #[test]
+    fn parallel_and_serial_execution_agree() {
+        let rc = tiny_rc();
+        let specs = vec![
+            RunSpec::baseline(usecases::libquantum_factory(), &rc),
+            RunSpec::pfm(
+                usecases::libquantum_factory(),
+                pfm_fabric::FabricParams::paper_default(),
+                &rc,
+            ),
+            RunSpec::baseline(usecases::lbm_factory(), &rc),
+        ];
+        let (serial, _) = execute(&specs, &ExecOptions::serial());
+        let (parallel, report) = execute(
+            &specs,
+            &ExecOptions {
+                jobs: 3,
+                progress: false,
+            },
+        );
+        assert_eq!(report.unique, 3);
+        for spec in &specs {
+            let a = serial.get(spec.key());
+            let b = parallel.get(spec.key());
+            assert_eq!(a.stats, b.stats, "core stats diverged for {}", spec.key());
+            assert_eq!(
+                a.hier,
+                b.hier,
+                "hierarchy stats diverged for {}",
+                spec.key()
+            );
+            assert_eq!(
+                a.fabric,
+                b.fabric,
+                "fabric stats diverged for {}",
+                spec.key()
+            );
+        }
+    }
+}

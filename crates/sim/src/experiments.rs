@@ -1,15 +1,26 @@
-//! One function per table and figure of the paper's evaluation: each
-//! regenerates the corresponding rows/series (workload, parameter
-//! sweep, baselines) and returns them in a printable form.
+//! One plan per table and figure of the paper's evaluation: each
+//! `plan_*` function *describes* the runs the experiment needs (keyed
+//! [`RunSpec`](crate::plan::RunSpec)s) plus a pure assembly closure
+//! mapping completed runs to printable rows. The executor
+//! ([`crate::exec`]) deduplicates runs shared between experiments —
+//! the astar baseline, requested by fig2/fig8/fig9/fig10/fig18 and the
+//! ablations, is simulated once.
+//!
+//! The eager `fig*`/`table*` functions are thin wrappers that plan and
+//! execute a single experiment serially; `all` executes every plan
+//! through the deduplicating executor. Both paths produce identical
+//! rows (runs are deterministic, assembly is pure).
 //!
 //! Speedups follow the paper's convention: percentage IPC improvement
 //! over the baseline core, which sits at 0%.
 
-use crate::runner::{run_baseline, run_pfm, RunConfig, RunResult};
+use crate::exec::{self, ExecOptions};
+use crate::plan::{ExperimentPlan, RunHandle, SpecSet};
+use crate::runner::{RunConfig, RunResult};
 use crate::usecases;
-use pfm_fabric::{FabricParams, PortPolicy};
+use pfm_fabric::{FabricParams, PortPolicy, StallPolicy};
 use pfm_fpga::{power, table4_designs, EnergyModel};
-use pfm_workloads::UseCase;
+use pfm_workloads::{AstarParams, AstarVariant, UseCaseFactory};
 
 /// One labeled data point.
 #[derive(Clone, Debug)]
@@ -38,16 +49,26 @@ pub struct Experiment {
 impl Experiment {
     /// Renders the experiment as aligned text.
     pub fn render(&self) -> String {
-        let mut out = format!("== {} — {} ==\n   (paper: {})\n", self.id, self.title, self.paper);
+        let mut out = format!(
+            "== {} — {} ==\n   (paper: {})\n",
+            self.id, self.title, self.paper
+        );
         for r in &self.rows {
-            out.push_str(&format!("  {:<22} {:>8.1}  {}\n", r.label, r.value, r.extra));
+            out.push_str(&format!(
+                "  {:<22} {:>8.1}  {}\n",
+                r.label, r.value, r.extra
+            ));
         }
         out
     }
 }
 
 fn pfm_cfg(c: u64, w: usize) -> FabricParams {
-    FabricParams::paper_default().clk_w(c, w).delay(0).queue(32).port(PortPolicy::All)
+    FabricParams::paper_default()
+        .clk_w(c, w)
+        .delay(0)
+        .queue(32)
+        .port(PortPolicy::All)
 }
 
 fn speedup_row(label: impl Into<String>, r: &RunResult, base: &RunResult) -> Row {
@@ -58,311 +79,601 @@ fn speedup_row(label: impl Into<String>, r: &RunResult, base: &RunResult) -> Row
     }
 }
 
-fn expect(result: Result<RunResult, pfm_core::SimError>, what: &str) -> RunResult {
-    result.unwrap_or_else(|e| panic!("simulation failed for {what}: {e}"))
+/// Plans and executes a single experiment serially (the eager
+/// back-compat path).
+fn run_one(plan: ExperimentPlan) -> Experiment {
+    let (runs, _) = exec::execute(plan.specs(), &ExecOptions::serial());
+    plan.assemble(&runs)
+}
+
+/// Figure 2 plan: speedups of PFM and Slipstream 2.0 on astar and bfs.
+pub fn plan_fig2(rc: &RunConfig) -> ExperimentPlan {
+    let paper_cfg = FabricParams::paper_default(); // clk4_w4 delay4 queue32 portLS1
+    let mut s = SpecSet::default();
+
+    let astar = usecases::astar_custom_factory();
+    let base = s.baseline(&astar, rc);
+    let pfm = s.pfm(&astar, paper_cfg.clone(), rc);
+    let slipstream = usecases::astar_factory(AstarParams {
+        variant: AstarVariant::Slipstream,
+        ..AstarParams::default()
+    });
+    let ss = s.pfm(&slipstream, paper_cfg.clone(), rc);
+
+    let bfs = usecases::bfs_roads_factory();
+    let bbase = s.baseline(&bfs, rc);
+    let bpfm = s.pfm(&bfs, paper_cfg.clone(), rc);
+    let bss = s.pfm(&usecases::bfs_roads_slipstream_factory(), paper_cfg, rc);
+
+    ExperimentPlan::new(
+        "fig2",
+        "Speedups of PFM and Slipstream 2.0",
+        "astar: PFM 154%, slipstream 18%; bfs: PFM up to 125%, slipstream smaller",
+        s,
+        move |runs| {
+            vec![
+                speedup_row("astar PFM", pfm.of(runs), base.of(runs)),
+                speedup_row("astar Slipstream2.0", ss.of(runs), base.of(runs)),
+                speedup_row("bfs PFM", bpfm.of(runs), bbase.of(runs)),
+                speedup_row("bfs Slipstream2.0", bss.of(runs), bbase.of(runs)),
+            ]
+        },
+    )
+}
+
+/// Figure 8 plan: astar speedup for different C and W parameters.
+pub fn plan_fig8(rc: &RunConfig) -> ExperimentPlan {
+    let uc = usecases::astar_custom_factory();
+    let mut s = SpecSet::default();
+    let base = s.baseline(&uc, rc);
+    let mut sweep: Vec<(String, RunHandle)> = Vec::new();
+    for (c, w) in [(4, 1), (8, 1), (4, 2), (4, 3), (4, 4), (2, 4), (1, 4)] {
+        sweep.push((format!("clk{c}_w{w}"), s.pfm(&uc, pfm_cfg(c, w), rc)));
+    }
+    sweep.push((
+        "perfBP".to_string(),
+        s.baseline(&uc, &rc.clone().perfect_bp()),
+    ));
+    ExperimentPlan::new(
+        "fig8",
+        "astar speedup vs. custom-predictor C and W",
+        "clk4_w1/clk8_w1 slowdowns; clk4_w2 99%, clk4_w3 155%, clk4_w4 163%; perfBP 162%",
+        s,
+        move |runs| {
+            let base = base.of(runs);
+            sweep
+                .iter()
+                .map(|(label, h)| speedup_row(label.clone(), h.of(runs), base))
+                .collect()
+        },
+    )
+}
+
+fn snoop_rows(r: &RunResult) -> Vec<Row> {
+    let f = r.fabric.expect("pfm run");
+    vec![
+        Row {
+            label: "% retired in RST".into(),
+            value: f.rst_hit_pct(),
+            extra: String::new(),
+        },
+        Row {
+            label: "% fetched in FST".into(),
+            value: f.fst_hit_pct(),
+            extra: String::new(),
+        },
+    ]
+}
+
+/// Table 2 plan: astar FST and RST snoop percentages.
+pub fn plan_table2(rc: &RunConfig) -> ExperimentPlan {
+    let mut s = SpecSet::default();
+    let r = s.pfm(&usecases::astar_custom_factory(), pfm_cfg(4, 4), rc);
+    ExperimentPlan::new(
+        "table2",
+        "astar: FST and RST snoop percentages",
+        "RST 20.3% of retired in ROI; FST 15.5% of fetched in ROI",
+        s,
+        move |runs| snoop_rows(r.of(runs)),
+    )
+}
+
+/// Shared D/Q/P sensitivity plan (Figures 9 and 13 differ only in the
+/// use-case under test — this helper replaces their former copy-pasted
+/// sweep loops).
+fn plan_dqp(
+    id: &'static str,
+    title: &'static str,
+    paper: &'static str,
+    uc: UseCaseFactory,
+    rc: &RunConfig,
+) -> ExperimentPlan {
+    let mut s = SpecSet::default();
+    let base = s.baseline(&uc, rc);
+    let mut sweep: Vec<(String, RunHandle)> = Vec::new();
+    for d in [0u64, 2, 4, 8] {
+        let p = FabricParams::paper_default()
+            .clk_w(4, 4)
+            .delay(d)
+            .queue(32)
+            .port(PortPolicy::All);
+        sweep.push((format!("(a) delay{d}"), s.pfm(&uc, p, rc)));
+    }
+    for q in [8usize, 16, 32, 64] {
+        let p = FabricParams::paper_default()
+            .clk_w(4, 4)
+            .delay(4)
+            .queue(q)
+            .port(PortPolicy::All);
+        sweep.push((format!("(b) queue{q}"), s.pfm(&uc, p, rc)));
+    }
+    for pp in [PortPolicy::All, PortPolicy::Ls, PortPolicy::Ls1] {
+        let p = FabricParams::paper_default()
+            .clk_w(4, 4)
+            .delay(4)
+            .queue(32)
+            .port(pp);
+        sweep.push((format!("(c) {}", pp.label()), s.pfm(&uc, p, rc)));
+    }
+    ExperimentPlan::new(id, title, paper, s, move |runs| {
+        let base = base.of(runs);
+        sweep
+            .iter()
+            .map(|(label, h)| speedup_row(label.clone(), h.of(runs), base))
+            .collect()
+    })
+}
+
+/// Figure 9 plan: astar sensitivity to D (delay), Q (queues) and P
+/// (ports).
+pub fn plan_fig9(rc: &RunConfig) -> ExperimentPlan {
+    plan_dqp(
+        "fig9",
+        "astar speedup vs. D, Q and P",
+        "delay8 still 138%; resistant to queue size; ports not an issue (portLS1 154%)",
+        usecases::astar_custom_factory(),
+        rc,
+    )
+}
+
+/// Figure 10 plan: astar speedup vs. index_queue entries (speculative
+/// scope).
+pub fn plan_fig10(rc: &RunConfig) -> ExperimentPlan {
+    let mut s = SpecSet::default();
+    let base = s.baseline(&usecases::astar_custom_factory(), rc);
+    let mut sweep: Vec<(String, RunHandle)> = Vec::new();
+    for scope in [2usize, 4, 8, 16] {
+        let uc = usecases::astar_factory(AstarParams {
+            scope,
+            ..AstarParams::default()
+        });
+        sweep.push((
+            format!("index_queue {scope}"),
+            s.pfm(&uc, FabricParams::paper_default(), rc),
+        ));
+    }
+    ExperimentPlan::new(
+        "fig10",
+        "astar speedup vs. index_queue entries",
+        "8 entries adequate for most of the speedup potential",
+        s,
+        move |runs| {
+            let base = base.of(runs);
+            sweep
+                .iter()
+                .map(|(label, h)| speedup_row(label.clone(), h.of(runs), base))
+                .collect()
+        },
+    )
+}
+
+/// Figure 12 plan: bfs oracles and C/W sweep (Roads and Youtube
+/// inputs).
+pub fn plan_fig12(rc: &RunConfig) -> ExperimentPlan {
+    let mut s = SpecSet::default();
+    // (label, run, that run's baseline)
+    let mut sweep: Vec<(String, RunHandle, RunHandle)> = Vec::new();
+    for (uc, tag) in [
+        (usecases::bfs_roads_factory(), "roads"),
+        (usecases::bfs_youtube_factory(), "youtube"),
+    ] {
+        let base = s.baseline(&uc, rc);
+        let pbp = s.baseline(&uc, &rc.clone().perfect_bp());
+        sweep.push((format!("{tag} perfBP"), pbp, base.clone()));
+        let pd = s.baseline(&uc, &rc.clone().perfect_dcache());
+        sweep.push((format!("{tag} perfD$"), pd, base.clone()));
+        let both = s.baseline(&uc, &rc.clone().perfect_bp().perfect_dcache());
+        sweep.push((format!("{tag} perfBP+D$"), both, base.clone()));
+        for (c, w) in [(4, 1), (4, 2), (4, 4)] {
+            let r = s.pfm(&uc, pfm_cfg(c, w), rc);
+            sweep.push((format!("{tag} clk{c}_w{w}"), r, base.clone()));
+        }
+    }
+    ExperimentPlan::new(
+        "fig12",
+        "bfs speedup: oracles and custom component C/W",
+        "Roads: perfBP 11%, perfD$ 152%, both 426%, custom up to 125%; clk4_w2 close to clk4_w4",
+        s,
+        move |runs| {
+            sweep
+                .iter()
+                .map(|(label, h, base)| speedup_row(label.clone(), h.of(runs), base.of(runs)))
+                .collect()
+        },
+    )
+}
+
+/// Table 3 plan: bfs FST and RST snoop percentages.
+pub fn plan_table3(rc: &RunConfig) -> ExperimentPlan {
+    let mut s = SpecSet::default();
+    let r = s.pfm(&usecases::bfs_roads_factory(), pfm_cfg(4, 4), rc);
+    ExperimentPlan::new(
+        "table3",
+        "bfs: FST and RST snoop percentages",
+        "RST 31% of retired in ROI; FST 13% of fetched in ROI",
+        s,
+        move |runs| snoop_rows(r.of(runs)),
+    )
+}
+
+/// Figure 13 plan: bfs sensitivity to D, Q and P.
+pub fn plan_fig13(rc: &RunConfig) -> ExperimentPlan {
+    plan_dqp(
+        "fig13",
+        "bfs speedup vs. D, Q and P",
+        "low sensitivity to all three",
+        usecases::bfs_roads_factory(),
+        rc,
+    )
+}
+
+/// Figure 14 plan: bfs speedup vs. the component's queue entries.
+pub fn plan_fig14(rc: &RunConfig) -> ExperimentPlan {
+    let mut s = SpecSet::default();
+    let base = s.baseline(&usecases::bfs_roads_factory(), rc);
+    let mut sweep: Vec<(String, RunHandle)> = Vec::new();
+    for window in [16usize, 32, 64, 128] {
+        let uc = usecases::bfs_roads_window_factory(window);
+        sweep.push((
+            format!("{window}-entry queues"),
+            s.pfm(&uc, FabricParams::paper_default(), rc),
+        ));
+    }
+    ExperimentPlan::new(
+        "fig14",
+        "bfs speedup vs. frontier/neighbor queue entries",
+        "performance scales with the queue sizes",
+        s,
+        move |runs| {
+            let base = base.of(runs);
+            sweep
+                .iter()
+                .map(|(label, h)| speedup_row(label.clone(), h.of(runs), base))
+                .collect()
+        },
+    )
+}
+
+/// Figure 17 plan: custom prefetcher speedups for different C and W.
+pub fn plan_fig17(rc: &RunConfig) -> ExperimentPlan {
+    let mut s = SpecSet::default();
+    let mut sweep: Vec<(String, RunHandle, RunHandle)> = Vec::new();
+    for uc in usecases::prefetch_suite_factories() {
+        let base = s.baseline(&uc, rc);
+        for (c, w) in [(1, 1), (4, 1), (4, 4), (8, 4)] {
+            let r = s.pfm(&uc, pfm_cfg(c, w), rc);
+            sweep.push((format!("{} clk{c}_w{w}", uc.name()), r, base.clone()));
+        }
+    }
+    ExperimentPlan::new(
+        "fig17",
+        "custom prefetcher speedups vs. C and W",
+        "positive speedups, very resistant to C and W",
+        s,
+        move |runs| {
+            sweep
+                .iter()
+                .map(|(label, h, base)| speedup_row(label.clone(), h.of(runs), base.of(runs)))
+                .collect()
+        },
+    )
+}
+
+/// Table 4 plan: FPGA resource, frequency and power estimates per
+/// design (no simulation runs — the rows come from the FPGA model).
+pub fn plan_table4() -> ExperimentPlan {
+    ExperimentPlan::new(
+        "table4",
+        "Hardware overhead using FPGA for RF (value = freq MHz)",
+        "astar(4wide) 6249 LUT/3523 FF/500 MHz/251 mW; astar-alt 1064/700/17.5 BRAM/498; prefetchers 150-300 LUT, 628-731 MHz",
+        SpecSet::default(),
+        |_| {
+            table4_designs()
+                .iter()
+                .map(|d| {
+                    let r = d.resources();
+                    let p = power(d);
+                    Row {
+                        label: d.name.to_string(),
+                        value: d.frequency_mhz(),
+                        extra: format!(
+                            "LUT {:>5}  FF {:>5}  BRAM {:>5.1}  DSP {}  dyn(logic) {:>5.0} mW  dyn(I/O) {:>4.0} mW  static {:>4.0} mW",
+                            r.lut, r.ff, r.bram, r.dsp, p.dynamic_logic_mw, p.dynamic_io_mw, p.static_mw
+                        ),
+                    }
+                })
+                .collect()
+        },
+    )
+}
+
+/// Figure 18 plan: PFM (core + RF) energy normalized to the baseline
+/// core.
+pub fn plan_fig18(rc: &RunConfig) -> ExperimentPlan {
+    let mut cases: Vec<(UseCaseFactory, FabricParams)> = vec![
+        (
+            usecases::astar_custom_factory(),
+            FabricParams::paper_default(),
+        ),
+        (
+            usecases::astar_factory(AstarParams {
+                variant: AstarVariant::Alt,
+                ..AstarParams::default()
+            }),
+            FabricParams::paper_default(),
+        ),
+    ];
+    for uc in [
+        usecases::libquantum_factory(),
+        usecases::lbm_factory(),
+        usecases::bwaves_factory(),
+        usecases::milc_factory(),
+    ] {
+        cases.push((uc, pfm_cfg(4, 1)));
+    }
+
+    let mut s = SpecSet::default();
+    // (use-case name, fabric clock ratio, baseline run, pfm run)
+    let mut sweep: Vec<(String, u64, RunHandle, RunHandle)> = Vec::new();
+    for (uc, params) in cases {
+        let clk_ratio = params.clk_ratio;
+        let base = s.baseline(&uc, rc);
+        let pfm = s.pfm(&uc, params, rc);
+        sweep.push((uc.name().to_string(), clk_ratio, base, pfm));
+    }
+    ExperimentPlan::new(
+        "fig18",
+        "core+RF energy normalized to baseline core (value = ratio)",
+        "all designs below 1.0: less misspeculation + shorter runtime",
+        s,
+        move |runs| {
+            let model = EnergyModel::default();
+            let designs = table4_designs();
+            let design_for = |name: &str| {
+                designs
+                    .iter()
+                    .find(|d| match name {
+                        "astar" => d.name == "astar (4wide)",
+                        "astar-alt" => d.name == "astar-alt",
+                        "libquantum" => d.name == "libq",
+                        other => d.name == other,
+                    })
+                    .expect("design exists")
+            };
+            sweep
+                .iter()
+                .map(|(name, clk_ratio, bh, ph)| {
+                    let base = bh.of(runs);
+                    let pfm = ph.of(runs);
+                    let n = model.normalized_pfm_energy(
+                        (&base.stats, &base.hier),
+                        (&pfm.stats, &pfm.hier),
+                        design_for(name),
+                        *clk_ratio,
+                    );
+                    Row {
+                        label: name.clone(),
+                        value: n,
+                        extra: format!("speedup +{:.0}%", pfm.speedup_over(base)),
+                    }
+                })
+                .collect()
+        },
+    )
+}
+
+/// Ablations plan: the design choices DESIGN.md calls out — store
+/// inference, the missed-load buffer, the fetch stall policy, and the
+/// baseline VLDP prefetcher.
+pub fn plan_ablations(rc: &RunConfig) -> ExperimentPlan {
+    let mut s = SpecSet::default();
+
+    // (1) astar index1_CAM store inference on/off.
+    let uc = usecases::astar_custom_factory();
+    let base = s.baseline(&uc, rc);
+    let on = s.pfm(&uc, FabricParams::paper_default(), rc);
+    let no_inf = usecases::astar_factory(AstarParams {
+        store_inference: false,
+        ..AstarParams::default()
+    });
+    let off = s.pfm(&no_inf, FabricParams::paper_default(), rc);
+
+    // (2) Load Agent missed-load buffer: shrink it to 2 entries.
+    let mut tiny_mlb = FabricParams::paper_default();
+    tiny_mlb.mlb_size = 2;
+    let tiny = s.pfm(&uc, tiny_mlb, rc);
+
+    // (3) Fetch Agent stall vs proceed-and-drop (§2.4 alternative).
+    let mut pd_params = FabricParams::paper_default();
+    pd_params.stall_policy = StallPolicy::ProceedAndDrop;
+    let pd = s.pfm(&uc, pd_params, rc);
+
+    // (4) VLDP's contribution to the libquantum baseline (the custom
+    // prefetcher's win shrinks/grows with the baseline prefetchers).
+    let libq = usecases::libquantum_factory();
+    let libq_base = s.baseline(&libq, rc);
+    let mut no_vldp = rc.clone();
+    no_vldp.hier.vldp = false;
+    let libq_novldp = s.baseline(&libq, &no_vldp);
+    let libq_custom = s.pfm(
+        &libq,
+        FabricParams::paper_default()
+            .clk_w(4, 1)
+            .delay(0)
+            .port(PortPolicy::All),
+        rc,
+    );
+
+    ExperimentPlan::new(
+        "ablations",
+        "design-choice ablations (speedup vs. each row's baseline)",
+        "(not in the paper: DESIGN.md ablation list)",
+        s,
+        move |runs| {
+            vec![
+                speedup_row("astar + inference", on.of(runs), base.of(runs)),
+                speedup_row("astar - inference", off.of(runs), base.of(runs)),
+                speedup_row("astar mlb=2", tiny.of(runs), base.of(runs)),
+                speedup_row("astar proceed+drop", pd.of(runs), base.of(runs)),
+                speedup_row(
+                    "libq baseline -VLDP",
+                    libq_novldp.of(runs),
+                    libq_base.of(runs),
+                ),
+                speedup_row("libq custom pf", libq_custom.of(runs), libq_base.of(runs)),
+            ]
+        },
+    )
+}
+
+/// Every experiment id `plan_for` knows, in paper order (`ablations`
+/// last; it is extra material, not part of [`plans_all`]).
+pub const ALL_IDS: [&str; 13] = [
+    "fig2",
+    "fig8",
+    "table2",
+    "fig9",
+    "fig10",
+    "fig12",
+    "table3",
+    "fig13",
+    "fig14",
+    "fig17",
+    "table4",
+    "fig18",
+    "ablations",
+];
+
+/// The plan for one experiment id, or `None` for an unknown id.
+pub fn plan_for(id: &str, rc: &RunConfig) -> Option<ExperimentPlan> {
+    match id {
+        "fig2" => Some(plan_fig2(rc)),
+        "fig8" => Some(plan_fig8(rc)),
+        "table2" => Some(plan_table2(rc)),
+        "fig9" => Some(plan_fig9(rc)),
+        "fig10" => Some(plan_fig10(rc)),
+        "fig12" => Some(plan_fig12(rc)),
+        "table3" => Some(plan_table3(rc)),
+        "fig13" => Some(plan_fig13(rc)),
+        "fig14" => Some(plan_fig14(rc)),
+        "fig17" => Some(plan_fig17(rc)),
+        "table4" => Some(plan_table4()),
+        "fig18" => Some(plan_fig18(rc)),
+        "ablations" => Some(plan_ablations(rc)),
+        _ => None,
+    }
+}
+
+/// Plans for every paper experiment, in paper order.
+pub fn plans_all(rc: &RunConfig) -> Vec<ExperimentPlan> {
+    vec![
+        plan_fig2(rc),
+        plan_fig8(rc),
+        plan_table2(rc),
+        plan_fig9(rc),
+        plan_fig10(rc),
+        plan_fig12(rc),
+        plan_table3(rc),
+        plan_fig13(rc),
+        plan_fig14(rc),
+        plan_fig17(rc),
+        plan_table4(),
+        plan_fig18(rc),
+    ]
 }
 
 /// Figure 2: speedups of PFM and Slipstream 2.0 on astar and bfs.
 pub fn fig2(rc: &RunConfig) -> Experiment {
-    let mut rows = Vec::new();
-    let paper_cfg = FabricParams::paper_default(); // clk4_w4 delay4 queue32 portLS1
-
-    let astar = usecases::astar_custom();
-    let base = expect(run_baseline(&astar, rc), "astar baseline");
-    let pfm = expect(run_pfm(&astar, paper_cfg.clone(), rc), "astar pfm");
-    rows.push(speedup_row("astar PFM", &pfm, &base));
-    let ss = usecases::astar_slipstream();
-    let ss_run = expect(run_pfm(&ss, paper_cfg.clone(), rc), "astar slipstream");
-    rows.push(speedup_row("astar Slipstream2.0", &ss_run, &base));
-
-    let bfs = usecases::bfs_roads();
-    let bbase = expect(run_baseline(&bfs, rc), "bfs baseline");
-    let bpfm = expect(run_pfm(&bfs, paper_cfg.clone(), rc), "bfs pfm");
-    rows.push(speedup_row("bfs PFM", &bpfm, &bbase));
-    let bss = usecases::bfs_roads_slipstream();
-    let bss_run = expect(run_pfm(&bss, paper_cfg, rc), "bfs slipstream");
-    rows.push(speedup_row("bfs Slipstream2.0", &bss_run, &bbase));
-
-    Experiment {
-        id: "fig2",
-        title: "Speedups of PFM and Slipstream 2.0",
-        paper: "astar: PFM 154%, slipstream 18%; bfs: PFM up to 125%, slipstream smaller",
-        rows,
-    }
+    run_one(plan_fig2(rc))
 }
 
 /// Figure 8: astar speedup for different C and W parameters.
 pub fn fig8(rc: &RunConfig) -> Experiment {
-    let uc = usecases::astar_custom();
-    let base = expect(run_baseline(&uc, rc), "astar baseline");
-    let mut rows = Vec::new();
-    for (c, w) in [(4, 1), (8, 1), (4, 2), (4, 3), (4, 4), (2, 4), (1, 4)] {
-        let r = expect(run_pfm(&uc, pfm_cfg(c, w), rc), "astar clk/w sweep");
-        rows.push(speedup_row(format!("clk{c}_w{w}"), &r, &base));
-    }
-    let perf = expect(run_baseline(&uc, &rc.clone().perfect_bp()), "astar perfBP");
-    rows.push(speedup_row("perfBP", &perf, &base));
-    Experiment {
-        id: "fig8",
-        title: "astar speedup vs. custom-predictor C and W",
-        paper: "clk4_w1/clk8_w1 slowdowns; clk4_w2 99%, clk4_w3 155%, clk4_w4 163%; perfBP 162%",
-        rows,
-    }
+    run_one(plan_fig8(rc))
 }
 
 /// Table 2: astar FST and RST snoop percentages.
 pub fn table2(rc: &RunConfig) -> Experiment {
-    let uc = usecases::astar_custom();
-    let r = expect(run_pfm(&uc, pfm_cfg(4, 4), rc), "astar snoop rates");
-    let f = r.fabric.expect("pfm run");
-    Experiment {
-        id: "table2",
-        title: "astar: FST and RST snoop percentages",
-        paper: "RST 20.3% of retired in ROI; FST 15.5% of fetched in ROI",
-        rows: vec![
-            Row { label: "% retired in RST".into(), value: f.rst_hit_pct(), extra: String::new() },
-            Row { label: "% fetched in FST".into(), value: f.fst_hit_pct(), extra: String::new() },
-        ],
-    }
+    run_one(plan_table2(rc))
 }
 
 /// Figure 9: astar sensitivity to D (delay), Q (queues) and P (ports).
 pub fn fig9(rc: &RunConfig) -> Experiment {
-    let uc = usecases::astar_custom();
-    let base = expect(run_baseline(&uc, rc), "astar baseline");
-    let mut rows = Vec::new();
-    for d in [0u64, 2, 4, 8] {
-        let p = FabricParams::paper_default().clk_w(4, 4).delay(d).queue(32).port(PortPolicy::All);
-        let r = expect(run_pfm(&uc, p, rc), "astar delay sweep");
-        rows.push(speedup_row(format!("(a) delay{d}"), &r, &base));
-    }
-    for q in [8usize, 16, 32, 64] {
-        let p = FabricParams::paper_default().clk_w(4, 4).delay(4).queue(q).port(PortPolicy::All);
-        let r = expect(run_pfm(&uc, p, rc), "astar queue sweep");
-        rows.push(speedup_row(format!("(b) queue{q}"), &r, &base));
-    }
-    for pp in [PortPolicy::All, PortPolicy::Ls, PortPolicy::Ls1] {
-        let p = FabricParams::paper_default().clk_w(4, 4).delay(4).queue(32).port(pp);
-        let r = expect(run_pfm(&uc, p, rc), "astar port sweep");
-        rows.push(speedup_row(format!("(c) {}", pp.label()), &r, &base));
-    }
-    Experiment {
-        id: "fig9",
-        title: "astar speedup vs. D, Q and P",
-        paper: "delay8 still 138%; resistant to queue size; ports not an issue (portLS1 154%)",
-        rows,
-    }
+    run_one(plan_fig9(rc))
 }
 
 /// Figure 10: astar speedup vs. index_queue entries (speculative scope).
 pub fn fig10(rc: &RunConfig) -> Experiment {
-    let mut rows = Vec::new();
-    let base = expect(run_baseline(&usecases::astar_custom(), rc), "astar baseline");
-    for scope in [2usize, 4, 8, 16] {
-        let uc = usecases::astar_with_scope(scope);
-        let r = expect(run_pfm(&uc, FabricParams::paper_default(), rc), "astar scope sweep");
-        rows.push(speedup_row(format!("index_queue {scope}"), &r, &base));
-    }
-    Experiment {
-        id: "fig10",
-        title: "astar speedup vs. index_queue entries",
-        paper: "8 entries adequate for most of the speedup potential",
-        rows,
-    }
+    run_one(plan_fig10(rc))
 }
 
 /// Figure 12: bfs oracles and C/W sweep (Roads and Youtube inputs).
 pub fn fig12(rc: &RunConfig) -> Experiment {
-    let mut rows = Vec::new();
-    for (uc, tag) in [(usecases::bfs_roads(), "roads"), (usecases::bfs_youtube(), "youtube")] {
-        let base = expect(run_baseline(&uc, rc), "bfs baseline");
-        let pbp = expect(run_baseline(&uc, &rc.clone().perfect_bp()), "bfs perfBP");
-        rows.push(speedup_row(format!("{tag} perfBP"), &pbp, &base));
-        let pd = expect(run_baseline(&uc, &rc.clone().perfect_dcache()), "bfs perfD$");
-        rows.push(speedup_row(format!("{tag} perfD$"), &pd, &base));
-        let both =
-            expect(run_baseline(&uc, &rc.clone().perfect_bp().perfect_dcache()), "bfs perfBP+D$");
-        rows.push(speedup_row(format!("{tag} perfBP+D$"), &both, &base));
-        for (c, w) in [(4, 1), (4, 2), (4, 4)] {
-            let r = expect(run_pfm(&uc, pfm_cfg(c, w), rc), "bfs clk/w sweep");
-            rows.push(speedup_row(format!("{tag} clk{c}_w{w}"), &r, &base));
-        }
-    }
-    Experiment {
-        id: "fig12",
-        title: "bfs speedup: oracles and custom component C/W",
-        paper: "Roads: perfBP 11%, perfD$ 152%, both 426%, custom up to 125%; clk4_w2 close to clk4_w4",
-        rows,
-    }
+    run_one(plan_fig12(rc))
 }
 
 /// Table 3: bfs FST and RST snoop percentages.
 pub fn table3(rc: &RunConfig) -> Experiment {
-    let uc = usecases::bfs_roads();
-    let r = expect(run_pfm(&uc, pfm_cfg(4, 4), rc), "bfs snoop rates");
-    let f = r.fabric.expect("pfm run");
-    Experiment {
-        id: "table3",
-        title: "bfs: FST and RST snoop percentages",
-        paper: "RST 31% of retired in ROI; FST 13% of fetched in ROI",
-        rows: vec![
-            Row { label: "% retired in RST".into(), value: f.rst_hit_pct(), extra: String::new() },
-            Row { label: "% fetched in FST".into(), value: f.fst_hit_pct(), extra: String::new() },
-        ],
-    }
+    run_one(plan_table3(rc))
 }
 
 /// Figure 13: bfs sensitivity to D, Q and P.
 pub fn fig13(rc: &RunConfig) -> Experiment {
-    let uc = usecases::bfs_roads();
-    let base = expect(run_baseline(&uc, rc), "bfs baseline");
-    let mut rows = Vec::new();
-    for d in [0u64, 2, 4, 8] {
-        let p = FabricParams::paper_default().clk_w(4, 4).delay(d).queue(32).port(PortPolicy::All);
-        let r = expect(run_pfm(&uc, p, rc), "bfs delay sweep");
-        rows.push(speedup_row(format!("(a) delay{d}"), &r, &base));
-    }
-    for q in [8usize, 16, 32, 64] {
-        let p = FabricParams::paper_default().clk_w(4, 4).delay(4).queue(q).port(PortPolicy::All);
-        let r = expect(run_pfm(&uc, p, rc), "bfs queue sweep");
-        rows.push(speedup_row(format!("(b) queue{q}"), &r, &base));
-    }
-    for pp in [PortPolicy::All, PortPolicy::Ls, PortPolicy::Ls1] {
-        let p = FabricParams::paper_default().clk_w(4, 4).delay(4).queue(32).port(pp);
-        let r = expect(run_pfm(&uc, p, rc), "bfs port sweep");
-        rows.push(speedup_row(format!("(c) {}", pp.label()), &r, &base));
-    }
-    Experiment {
-        id: "fig13",
-        title: "bfs speedup vs. D, Q and P",
-        paper: "low sensitivity to all three",
-        rows,
-    }
+    run_one(plan_fig13(rc))
 }
 
 /// Figure 14: bfs speedup vs. the component's queue entries.
 pub fn fig14(rc: &RunConfig) -> Experiment {
-    let mut rows = Vec::new();
-    let base = expect(run_baseline(&usecases::bfs_roads(), rc), "bfs baseline");
-    for window in [16usize, 32, 64, 128] {
-        let uc = usecases::bfs_roads_with_window(window);
-        let r = expect(run_pfm(&uc, FabricParams::paper_default(), rc), "bfs window sweep");
-        rows.push(speedup_row(format!("{window}-entry queues"), &r, &base));
-    }
-    Experiment {
-        id: "fig14",
-        title: "bfs speedup vs. frontier/neighbor queue entries",
-        paper: "performance scales with the queue sizes",
-        rows,
-    }
+    run_one(plan_fig14(rc))
 }
 
 /// Figure 17: custom prefetcher speedups for different C and W.
 pub fn fig17(rc: &RunConfig) -> Experiment {
-    let mut rows = Vec::new();
-    for uc in usecases::prefetch_suite() {
-        let base = expect(run_baseline(&uc, rc), "prefetch baseline");
-        for (c, w) in [(1, 1), (4, 1), (4, 4), (8, 4)] {
-            let r = expect(run_pfm(&uc, pfm_cfg(c, w), rc), "prefetch clk/w sweep");
-            rows.push(speedup_row(format!("{} clk{c}_w{w}", uc.name), &r, &base));
-        }
-    }
-    Experiment {
-        id: "fig17",
-        title: "custom prefetcher speedups vs. C and W",
-        paper: "positive speedups, very resistant to C and W",
-        rows,
-    }
+    run_one(plan_fig17(rc))
 }
 
 /// Table 4: FPGA resource, frequency and power estimates per design.
 pub fn table4() -> Experiment {
-    let mut rows = Vec::new();
-    for d in table4_designs() {
-        let r = d.resources();
-        let p = power(&d);
-        rows.push(Row {
-            label: d.name.to_string(),
-            value: d.frequency_mhz(),
-            extra: format!(
-                "LUT {:>5}  FF {:>5}  BRAM {:>5.1}  DSP {}  dyn(logic) {:>5.0} mW  dyn(I/O) {:>4.0} mW  static {:>4.0} mW",
-                r.lut, r.ff, r.bram, r.dsp, p.dynamic_logic_mw, p.dynamic_io_mw, p.static_mw
-            ),
-        });
-    }
-    Experiment {
-        id: "table4",
-        title: "Hardware overhead using FPGA for RF (value = freq MHz)",
-        paper: "astar(4wide) 6249 LUT/3523 FF/500 MHz/251 mW; astar-alt 1064/700/17.5 BRAM/498; prefetchers 150-300 LUT, 628-731 MHz",
-        rows,
-    }
+    run_one(plan_table4())
 }
 
 /// Figure 18: PFM (core + RF) energy normalized to the baseline core.
 pub fn fig18(rc: &RunConfig) -> Experiment {
-    let model = EnergyModel::default();
-    let designs = table4_designs();
-    let design_for = |name: &str| {
-        designs
-            .iter()
-            .find(|d| match name {
-                "astar" => d.name == "astar (4wide)",
-                "astar-alt" => d.name == "astar-alt",
-                "libquantum" => d.name == "libq",
-                other => d.name == other,
-            })
-            .expect("design exists")
-    };
-
-    let mut rows = Vec::new();
-    let mut cases: Vec<(UseCase, FabricParams)> = vec![
-        (usecases::astar_custom(), FabricParams::paper_default()),
-        (usecases::astar_alt(), FabricParams::paper_default()),
-    ];
-    for uc in [usecases::libquantum_scale(), usecases::lbm_scale(), usecases::bwaves_scale(), usecases::milc_scale()] {
-        cases.push((uc, pfm_cfg(4, 1)));
-    }
-    for (uc, params) in cases {
-        let clk_ratio = params.clk_ratio;
-        let base = expect(run_baseline(&uc, rc), "energy baseline");
-        let pfm = expect(run_pfm(&uc, params, rc), "energy pfm");
-        let d = design_for(&uc.name);
-        let n = model.normalized_pfm_energy(
-            (&base.stats, &base.hier),
-            (&pfm.stats, &pfm.hier),
-            d,
-            clk_ratio,
-        );
-        rows.push(Row {
-            label: uc.name.clone(),
-            value: n,
-            extra: format!("speedup +{:.0}%", pfm.speedup_over(&base)),
-        });
-    }
-    Experiment {
-        id: "fig18",
-        title: "core+RF energy normalized to baseline core (value = ratio)",
-        paper: "all designs below 1.0: less misspeculation + shorter runtime",
-        rows,
-    }
+    run_one(plan_fig18(rc))
 }
 
-/// Every regenerable experiment, in paper order.
+/// Ablations of the design choices DESIGN.md calls out: store
+/// inference, the missed-load buffer, the fetch stall policy, and the
+/// baseline VLDP prefetcher.
+pub fn ablations(rc: &RunConfig) -> Experiment {
+    run_one(plan_ablations(rc))
+}
+
+/// Every regenerable experiment, in paper order, executed through the
+/// deduplicating executor (shared baselines run once).
 pub fn all(rc: &RunConfig) -> Vec<Experiment> {
-    vec![
-        fig2(rc),
-        fig8(rc),
-        table2(rc),
-        fig9(rc),
-        fig10(rc),
-        fig12(rc),
-        table3(rc),
-        fig13(rc),
-        fig14(rc),
-        fig17(rc),
-        table4(),
-        fig18(rc),
-    ]
+    let (experiments, _) = exec::run_plans(plans_all(rc), &ExecOptions::default());
+    experiments
 }
 
 #[cfg(test)]
@@ -387,56 +698,58 @@ mod tests {
         assert!(rst > 5.0 && rst < 45.0, "RST {rst}%");
         assert!(fst > 5.0 && fst < 30.0, "FST {fst}%");
     }
-}
 
-/// Ablations of the design choices DESIGN.md calls out: store
-/// inference, the missed-load buffer, the fetch stall policy, and the
-/// baseline VLDP prefetcher.
-pub fn ablations(rc: &RunConfig) -> Experiment {
-    use pfm_fabric::StallPolicy;
-    use pfm_workloads::{astar, AstarParams};
+    #[test]
+    fn shared_astar_baseline_planned_once_across_experiments() {
+        // fig2, fig8, fig9 and fig10 all request the astar baseline;
+        // the executor must simulate it exactly once. Pure planning
+        // assertion — nothing is simulated here.
+        let rc = RunConfig::test_scale();
+        let plans = [
+            plan_fig2(&rc),
+            plan_fig8(&rc),
+            plan_fig9(&rc),
+            plan_fig10(&rc),
+            plan_table2(&rc),
+        ];
+        let specs: Vec<_> = plans
+            .iter()
+            .flat_map(|p| p.specs().iter().cloned())
+            .collect();
+        let astar_base_key = {
+            let mut probe = crate::plan::SpecSet::default();
+            probe
+                .baseline(&usecases::astar_custom_factory(), &rc)
+                .key()
+                .to_string()
+        };
+        let requested = specs
+            .iter()
+            .filter(|spec| spec.key() == astar_base_key)
+            .count();
+        assert!(
+            requested >= 4,
+            "astar baseline should be requested by ≥4 plans, got {requested}"
+        );
+        let unique = crate::exec::dedup_specs(&specs);
+        let executed = unique
+            .iter()
+            .filter(|spec| spec.key() == astar_base_key)
+            .count();
+        assert_eq!(executed, 1, "astar baseline must be simulated exactly once");
+        assert!(
+            unique.len() < specs.len(),
+            "dedup should collapse shared runs"
+        );
+    }
 
-    let mut rows = Vec::new();
-
-    // (1) astar index1_CAM store inference on/off.
-    let uc = usecases::astar_custom();
-    let base = expect(run_baseline(&uc, rc), "ablation baseline");
-    let on = expect(run_pfm(&uc, FabricParams::paper_default(), rc), "inference on");
-    rows.push(speedup_row("astar + inference", &on, &base));
-    let no_inf = astar(&AstarParams { store_inference: false, ..AstarParams::default() });
-    let off = expect(run_pfm(&no_inf, FabricParams::paper_default(), rc), "inference off");
-    rows.push(speedup_row("astar - inference", &off, &base));
-
-    // (2) Load Agent missed-load buffer: shrink it to 2 entries.
-    let mut tiny_mlb = FabricParams::paper_default();
-    tiny_mlb.mlb_size = 2;
-    let r = expect(run_pfm(&uc, tiny_mlb, rc), "tiny MLB");
-    rows.push(speedup_row("astar mlb=2", &r, &base));
-
-    // (3) Fetch Agent stall vs proceed-and-drop (§2.4 alternative).
-    let mut pd = FabricParams::paper_default();
-    pd.stall_policy = StallPolicy::ProceedAndDrop;
-    let r = expect(run_pfm(&uc, pd, rc), "proceed-and-drop");
-    rows.push(speedup_row("astar proceed+drop", &r, &base));
-
-    // (4) VLDP's contribution to the libquantum baseline (the custom
-    // prefetcher's win shrinks/grows with the baseline prefetchers).
-    let libq = usecases::libquantum_scale();
-    let libq_base = expect(run_baseline(&libq, rc), "libq baseline");
-    let mut no_vldp = rc.clone();
-    no_vldp.hier.vldp = false;
-    let r = expect(run_baseline(&libq, &no_vldp), "libq no vldp");
-    rows.push(speedup_row("libq baseline -VLDP", &r, &libq_base));
-    let r = expect(
-        run_pfm(&libq, FabricParams::paper_default().clk_w(4, 1).delay(0).port(PortPolicy::All), rc),
-        "libq custom",
-    );
-    rows.push(speedup_row("libq custom pf", &r, &libq_base));
-
-    Experiment {
-        id: "ablations",
-        title: "design-choice ablations (speedup vs. each row's baseline)",
-        paper: "(not in the paper: DESIGN.md ablation list)",
-        rows,
+    #[test]
+    fn all_ids_resolve_to_plans() {
+        let rc = RunConfig::test_scale();
+        for id in ALL_IDS {
+            let plan = plan_for(id, &rc).unwrap_or_else(|| panic!("no plan for {id}"));
+            assert_eq!(plan.id, id);
+        }
+        assert!(plan_for("fig99", &rc).is_none());
     }
 }

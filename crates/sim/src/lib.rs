@@ -3,8 +3,10 @@
 //! Wires the functional machine, the cycle-level core, the memory
 //! hierarchy, and the PFM fabric together ([`runner`]), instantiates
 //! the paper's workloads at experiment scale ([`usecases`]), and
-//! regenerates every table and figure of the evaluation
-//! ([`experiments`]).
+//! regenerates every table and figure of the evaluation as
+//! plan → execute → assemble: [`experiments`] builds declarative
+//! [`plan::ExperimentPlan`]s, and [`exec`] deduplicates and runs them
+//! across worker threads.
 //!
 //! ## Example
 //!
@@ -21,9 +23,13 @@
 
 #![warn(missing_docs)]
 
+pub mod exec;
 pub mod experiments;
+pub mod plan;
 pub mod runner;
 pub mod usecases;
 
+pub use exec::{run_plans, ExecOptions, ExecReport};
 pub use experiments::{Experiment, Row};
+pub use plan::{ExperimentPlan, RunSet, RunSpec};
 pub use runner::{run_baseline, run_pfm, RunConfig, RunResult};

@@ -1,0 +1,273 @@
+//! Declarative run plans: experiments *describe* the simulation runs
+//! they need and how to turn completed runs into rows; the executor
+//! ([`crate::exec`]) decides what actually gets simulated, once, and
+//! on how many threads.
+//!
+//! The architecture is plan → execute → assemble:
+//!
+//! 1. **Plan.** Each experiment builds an [`ExperimentPlan`]: a list
+//!    of keyed [`RunSpec`]s (use-case factory + run configuration +
+//!    optional fabric parameters) plus a pure assembly closure.
+//! 2. **Execute.** The executor collects the specs of every requested
+//!    experiment, deduplicates them by [`RunSpec::key`] (the shared
+//!    astar baseline is requested by six experiments but simulated
+//!    once), and runs the unique set across worker threads.
+//! 3. **Assemble.** Each plan's closure maps the completed
+//!    [`RunResult`]s to [`Row`]s — no simulation happens here, so
+//!    assembly is cheap, deterministic, and order-independent.
+//!
+//! Dedup correctness rests on the canonical content keys introduced
+//! across the stack: `UseCaseFactory::key` (pfm-workloads),
+//! `CoreConfig::key` (pfm-core), `HierarchyConfig::key` (pfm-mem) and
+//! `FabricParams::key` (pfm-fabric) each cover *every* field of their
+//! layer, so equal keys imply behaviourally identical runs.
+
+use crate::experiments::{Experiment, Row};
+use crate::runner::{run_baseline, run_pfm, RunConfig, RunResult};
+use pfm_core::SimError;
+use pfm_fabric::FabricParams;
+use pfm_workloads::UseCaseFactory;
+use std::collections::HashMap;
+
+/// One fully-specified, deduplicatable simulation run.
+#[derive(Clone, Debug)]
+pub struct RunSpec {
+    usecase: UseCaseFactory,
+    rc: RunConfig,
+    fabric: Option<FabricParams>,
+    key: String,
+}
+
+impl RunSpec {
+    /// A baseline run (no fabric attached).
+    pub fn baseline(usecase: UseCaseFactory, rc: &RunConfig) -> RunSpec {
+        let key = format!("{}|baseline|{}", usecase.key(), rc.key());
+        RunSpec {
+            usecase,
+            rc: rc.clone(),
+            fabric: None,
+            key,
+        }
+    }
+
+    /// A PFM run with the given fabric parameters.
+    pub fn pfm(usecase: UseCaseFactory, params: FabricParams, rc: &RunConfig) -> RunSpec {
+        let key = format!("{}|{}|{}", usecase.key(), params.key(), rc.key());
+        RunSpec {
+            usecase,
+            rc: rc.clone(),
+            fabric: Some(params),
+            key,
+        }
+    }
+
+    /// Stable content key: two specs with equal keys simulate the
+    /// exact same thing (and are executed once).
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// Display name of the underlying use-case.
+    pub fn name(&self) -> &str {
+        self.usecase.name()
+    }
+
+    /// Builds the use-case and performs the run. Deterministic:
+    /// calling this any number of times, on any thread, yields
+    /// identical statistics.
+    ///
+    /// # Errors
+    /// Propagates simulator errors (functional faults, cycle-limit
+    /// deadlocks).
+    pub fn execute(&self) -> Result<RunResult, SimError> {
+        let uc = self.usecase.build();
+        match &self.fabric {
+            None => run_baseline(&uc, &self.rc),
+            Some(params) => run_pfm(&uc, params.clone(), &self.rc),
+        }
+    }
+}
+
+/// Completed runs, indexed by [`RunSpec::key`].
+#[derive(Debug, Default)]
+pub struct RunSet {
+    runs: HashMap<String, Result<RunResult, String>>,
+}
+
+impl RunSet {
+    pub(crate) fn insert(&mut self, key: String, result: Result<RunResult, SimError>) {
+        self.runs.insert(key, result.map_err(|e| e.to_string()));
+    }
+
+    /// The completed run for `key`.
+    ///
+    /// # Panics
+    /// Panics if the run is missing from the executed set or failed —
+    /// both are programming errors in an experiment plan, exactly as a
+    /// failed eager run was before the planner existed.
+    pub fn get(&self, key: &str) -> &RunResult {
+        match self.runs.get(key) {
+            Some(Ok(r)) => r,
+            Some(Err(e)) => panic!("simulation failed for {key}: {e}"),
+            None => panic!("run {key} was not part of the executed plan"),
+        }
+    }
+
+    /// Number of completed (or failed) runs.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Whether no runs completed.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+}
+
+/// Handle to one requested run, returned while building a plan's spec
+/// list and redeemed inside its assembly closure.
+#[derive(Clone, Debug)]
+pub struct RunHandle(String);
+
+impl RunHandle {
+    /// The completed run this handle refers to.
+    ///
+    /// # Panics
+    /// Panics if the run is missing or failed (see [`RunSet::get`]).
+    pub fn of<'a>(&self, runs: &'a RunSet) -> &'a RunResult {
+        runs.get(&self.0)
+    }
+
+    /// The underlying spec key.
+    pub fn key(&self) -> &str {
+        &self.0
+    }
+}
+
+/// Accumulates the runs an experiment needs while handing back
+/// [`RunHandle`]s for its assembly closure.
+#[derive(Debug, Default)]
+pub struct SpecSet {
+    specs: Vec<RunSpec>,
+}
+
+impl SpecSet {
+    /// Requests a baseline run.
+    pub fn baseline(&mut self, uc: &UseCaseFactory, rc: &RunConfig) -> RunHandle {
+        self.push(RunSpec::baseline(uc.clone(), rc))
+    }
+
+    /// Requests a PFM run.
+    pub fn pfm(&mut self, uc: &UseCaseFactory, params: FabricParams, rc: &RunConfig) -> RunHandle {
+        self.push(RunSpec::pfm(uc.clone(), params, rc))
+    }
+
+    fn push(&mut self, spec: RunSpec) -> RunHandle {
+        let handle = RunHandle(spec.key().to_string());
+        self.specs.push(spec);
+        handle
+    }
+
+    /// The accumulated specs.
+    pub fn into_specs(self) -> Vec<RunSpec> {
+        self.specs
+    }
+}
+
+type AssembleFn = Box<dyn FnOnce(&RunSet) -> Vec<Row> + Send>;
+
+/// A planned (not yet executed) experiment: requested runs + pure
+/// assembly.
+pub struct ExperimentPlan {
+    /// Paper identifier (e.g. `fig8`, `table2`).
+    pub id: &'static str,
+    /// Title as in the paper.
+    pub title: &'static str,
+    /// The paper's reported numbers, for side-by-side comparison.
+    pub paper: &'static str,
+    specs: Vec<RunSpec>,
+    assemble: AssembleFn,
+}
+
+impl ExperimentPlan {
+    /// Bundles a plan from its requested runs and assembly closure.
+    pub fn new(
+        id: &'static str,
+        title: &'static str,
+        paper: &'static str,
+        specs: SpecSet,
+        assemble: impl FnOnce(&RunSet) -> Vec<Row> + Send + 'static,
+    ) -> ExperimentPlan {
+        ExperimentPlan {
+            id,
+            title,
+            paper,
+            specs: specs.into_specs(),
+            assemble: Box::new(assemble),
+        }
+    }
+
+    /// The runs this experiment needs (possibly overlapping other
+    /// plans' — the executor deduplicates).
+    pub fn specs(&self) -> &[RunSpec] {
+        &self.specs
+    }
+
+    /// Maps completed runs to the final experiment. Pure: no
+    /// simulation happens here.
+    ///
+    /// # Panics
+    /// Panics if `runs` is missing one of the plan's specs or that run
+    /// failed.
+    pub fn assemble(self, runs: &RunSet) -> Experiment {
+        Experiment {
+            id: self.id,
+            title: self.title,
+            paper: self.paper,
+            rows: (self.assemble)(runs),
+        }
+    }
+}
+
+impl std::fmt::Debug for ExperimentPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExperimentPlan")
+            .field("id", &self.id)
+            .field("specs", &self.specs.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::usecases;
+
+    #[test]
+    fn identical_specs_share_keys_and_distinct_specs_do_not() {
+        let rc = RunConfig::test_scale();
+        let uc = usecases::astar_custom_factory();
+        let a = RunSpec::baseline(uc.clone(), &rc);
+        let b = RunSpec::baseline(usecases::astar_custom_factory(), &rc);
+        assert_eq!(a.key(), b.key());
+
+        let pfm = RunSpec::pfm(uc.clone(), FabricParams::paper_default(), &rc);
+        assert_ne!(a.key(), pfm.key());
+
+        // Non-label fabric fields must be visible in the key.
+        let mut tiny_mlb = FabricParams::paper_default();
+        tiny_mlb.mlb_size = 2;
+        let tiny = RunSpec::pfm(uc.clone(), tiny_mlb, &rc);
+        assert_ne!(pfm.key(), tiny.key());
+
+        // Run-config deltas must be visible in the key.
+        let perf = RunSpec::baseline(uc, &rc.clone().perfect_bp());
+        assert_ne!(a.key(), perf.key());
+    }
+
+    #[test]
+    #[should_panic(expected = "was not part of the executed plan")]
+    fn runset_panics_on_missing_key() {
+        RunSet::default().get("nope");
+    }
+}

@@ -2,8 +2,8 @@
 //! attaches the PFM fabric, runs, and collects every statistic the
 //! experiments need.
 
-use pfm_core::{Core, CoreConfig, NoPfm, SimError, SimStats};
 use pfm_bpred::PredictorKind;
+use pfm_core::{Core, CoreConfig, NoPfm, SimError, SimStats};
 use pfm_fabric::{FabricParams, FabricStats};
 use pfm_mem::{Hierarchy, HierarchyConfig, HierarchyStats};
 use pfm_workloads::UseCase;
@@ -37,7 +37,10 @@ impl RunConfig {
 
     /// A small budget for tests.
     pub fn test_scale() -> RunConfig {
-        RunConfig { max_instrs: 150_000, ..RunConfig::paper_scale() }
+        RunConfig {
+            max_instrs: 150_000,
+            ..RunConfig::paper_scale()
+        }
     }
 
     /// Enables perfect branch prediction.
@@ -50,6 +53,19 @@ impl RunConfig {
     pub fn perfect_dcache(mut self) -> RunConfig {
         self.hier.perfect_data = true;
         self
+    }
+
+    /// Canonical content key covering the budget, the core and the
+    /// hierarchy. Two configs with equal keys time identically; the
+    /// experiment planner's run deduplication relies on this.
+    pub fn key(&self) -> String {
+        format!(
+            "n{}_c{}_{}_{}",
+            self.max_instrs,
+            self.max_cycles,
+            self.core.key(),
+            self.hier.key()
+        )
     }
 }
 
@@ -91,7 +107,11 @@ impl RunResult {
 /// Propagates simulator errors (functional faults, cycle-limit
 /// deadlocks).
 pub fn run_baseline(uc: &UseCase, rc: &RunConfig) -> Result<RunResult, SimError> {
-    let mut core = Core::new(rc.core.clone(), uc.machine(), Hierarchy::new(rc.hier.clone()));
+    let mut core = Core::new(
+        rc.core.clone(),
+        uc.machine(),
+        Hierarchy::new(rc.hier.clone()),
+    );
     core.run(&mut NoPfm, rc.max_instrs, rc.max_cycles)?;
     Ok(RunResult {
         name: uc.name.clone(),
@@ -108,7 +128,11 @@ pub fn run_baseline(uc: &UseCase, rc: &RunConfig) -> Result<RunResult, SimError>
 /// deadlocks).
 pub fn run_pfm(uc: &UseCase, params: FabricParams, rc: &RunConfig) -> Result<RunResult, SimError> {
     let mut fabric = uc.fabric(params);
-    let mut core = Core::new(rc.core.clone(), uc.machine(), Hierarchy::new(rc.hier.clone()));
+    let mut core = Core::new(
+        rc.core.clone(),
+        uc.machine(),
+        Hierarchy::new(rc.hier.clone()),
+    );
     core.run(&mut fabric, rc.max_instrs, rc.max_cycles)?;
     Ok(RunResult {
         name: uc.name.clone(),
@@ -125,7 +149,12 @@ mod tests {
 
     #[test]
     fn baseline_and_pfm_agree_architecturally() {
-        let p = AstarParams { grid_w: 32, grid_h: 32, fills: 1, ..AstarParams::default() };
+        let p = AstarParams {
+            grid_w: 32,
+            grid_h: 32,
+            fills: 1,
+            ..AstarParams::default()
+        };
         let uc = astar(&p);
         let rc = RunConfig::test_scale();
         let base = run_baseline(&uc, &rc).unwrap();

@@ -1,10 +1,13 @@
 //! Standard experiment-scale use-case instances (the equivalents of
-//! the paper's §3 benchmark selections).
+//! the paper's §3 benchmark selections), plus keyed [`UseCaseFactory`]
+//! constructors for the experiment planner (use-cases are built lazily
+//! inside the executor's worker threads; the `OnceLock` caches below
+//! make every rebuild after the first cheap, from any thread).
 
 use pfm_workloads::graphs::{powerlaw_graph, road_graph, shuffle_labels_fraction};
 use pfm_workloads::{
     astar, bfs, bwaves, lbm, leslie, libquantum, milc, AstarParams, AstarVariant, BfsParams,
-    BfsVariant, UseCase,
+    BfsVariant, UseCase, UseCaseFactory,
 };
 use std::sync::OnceLock;
 
@@ -16,17 +19,26 @@ pub fn astar_custom() -> UseCase {
 
 /// astar with a specific index_queue scope (Figure 10).
 pub fn astar_with_scope(scope: usize) -> UseCase {
-    astar(&AstarParams { scope, ..AstarParams::default() })
+    astar(&AstarParams {
+        scope,
+        ..AstarParams::default()
+    })
 }
 
 /// astar with the slipstream-style restricted pre-execution (§1.1).
 pub fn astar_slipstream() -> UseCase {
-    astar(&AstarParams { variant: AstarVariant::Slipstream, ..AstarParams::default() })
+    astar(&AstarParams {
+        variant: AstarVariant::Slipstream,
+        ..AstarParams::default()
+    })
 }
 
 /// astar with the table-mimicking astar-alt design (§5).
 pub fn astar_alt() -> UseCase {
-    astar(&AstarParams { variant: AstarVariant::Alt, ..AstarParams::default() })
+    astar(&AstarParams {
+        variant: AstarVariant::Alt,
+        ..AstarParams::default()
+    })
 }
 
 fn roads_graph() -> &'static pfm_workloads::Csr {
@@ -35,24 +47,43 @@ fn roads_graph() -> &'static pfm_workloads::Csr {
 }
 
 fn roads_params() -> BfsParams {
-    BfsParams { source: 5, start_level: 400, ..BfsParams::default() }
+    BfsParams {
+        source: 5,
+        start_level: 400,
+        ..BfsParams::default()
+    }
 }
 
 /// bfs on the road-network-like input ("Roads" in §4.2), measured in
 /// steady state past the setup phase.
 pub fn bfs_roads() -> UseCase {
     static UC: OnceLock<UseCase> = OnceLock::new();
-    UC.get_or_init(|| bfs(roads_graph(), "roads", &roads_params())).clone()
+    UC.get_or_init(|| bfs(roads_graph(), "roads", &roads_params()))
+        .clone()
 }
 
 /// bfs on Roads with a specific component window size (Figure 14).
 pub fn bfs_roads_with_window(window: usize) -> UseCase {
-    bfs(roads_graph(), "roads", &BfsParams { window, ..roads_params() })
+    bfs(
+        roads_graph(),
+        "roads",
+        &BfsParams {
+            window,
+            ..roads_params()
+        },
+    )
 }
 
 /// bfs on Roads with slipstream-style pre-execution (Figure 2).
 pub fn bfs_roads_slipstream() -> UseCase {
-    bfs(roads_graph(), "roads", &BfsParams { variant: BfsVariant::Slipstream, ..roads_params() })
+    bfs(
+        roads_graph(),
+        "roads",
+        &BfsParams {
+            variant: BfsVariant::Slipstream,
+            ..roads_params()
+        },
+    )
 }
 
 /// bfs on the power-law input ("Youtube" in §4.2).
@@ -60,7 +91,15 @@ pub fn bfs_youtube() -> UseCase {
     static UC: OnceLock<UseCase> = OnceLock::new();
     UC.get_or_init(|| {
         let g = powerlaw_graph(300_000, 3, 13);
-        bfs(&g, "youtube", &BfsParams { source: 0, start_level: 2, ..BfsParams::default() })
+        bfs(
+            &g,
+            "youtube",
+            &BfsParams {
+                source: 0,
+                start_level: 2,
+                ..BfsParams::default()
+            },
+        )
     })
     .clone()
 }
@@ -93,7 +132,121 @@ pub fn leslie_scale() -> UseCase {
 
 /// All five custom-prefetcher use-cases, in Figure 17 order.
 pub fn prefetch_suite() -> Vec<UseCase> {
-    vec![libquantum_scale(), bwaves_scale(), lbm_scale(), milc_scale(), leslie_scale()]
+    vec![
+        libquantum_scale(),
+        bwaves_scale(),
+        lbm_scale(),
+        milc_scale(),
+        leslie_scale(),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Keyed factories (the planner's currency). Each factory's key is the
+// canonical content key of the parameters it bakes in, so the executor
+// can deduplicate identical runs requested by different experiments.
+// ---------------------------------------------------------------------------
+
+/// Identity tag of the cached "Roads" input graph (construction
+/// parameters pinned in [`bfs_roads`]).
+const ROADS_TAG: &str = "roads(1000x1000+2000,seed7,shuf11@0.05)";
+
+/// Identity tag of the cached "Youtube" input graph.
+const YOUTUBE_TAG: &str = "youtube(pl300000m3,seed13)";
+
+/// Factory for an astar use-case with explicit parameters.
+pub fn astar_factory(params: AstarParams) -> UseCaseFactory {
+    let name = match params.variant {
+        AstarVariant::Custom => "astar",
+        AstarVariant::Slipstream => "astar-slipstream",
+        AstarVariant::Alt => "astar-alt",
+    };
+    UseCaseFactory::new(name, params.key(), move || astar(&params))
+}
+
+/// Factory for [`astar_custom`].
+pub fn astar_custom_factory() -> UseCaseFactory {
+    UseCaseFactory::new("astar", AstarParams::default().key(), || {
+        static UC: OnceLock<UseCase> = OnceLock::new();
+        UC.get_or_init(astar_custom).clone()
+    })
+}
+
+/// Factory for [`bfs_roads`].
+pub fn bfs_roads_factory() -> UseCaseFactory {
+    UseCaseFactory::new("bfs-roads", roads_params().key(ROADS_TAG), bfs_roads)
+}
+
+/// Factory for bfs on Roads with a specific component window
+/// (Figure 14).
+pub fn bfs_roads_window_factory(window: usize) -> UseCaseFactory {
+    let params = BfsParams {
+        window,
+        ..roads_params()
+    };
+    UseCaseFactory::new("bfs-roads", params.key(ROADS_TAG), move || {
+        bfs(roads_graph(), "roads", &params)
+    })
+}
+
+/// Factory for [`bfs_roads_slipstream`].
+pub fn bfs_roads_slipstream_factory() -> UseCaseFactory {
+    let params = BfsParams {
+        variant: BfsVariant::Slipstream,
+        ..roads_params()
+    };
+    UseCaseFactory::new(
+        "bfs-roads-slipstream",
+        params.key(ROADS_TAG),
+        bfs_roads_slipstream,
+    )
+}
+
+/// Factory for [`bfs_youtube`].
+pub fn bfs_youtube_factory() -> UseCaseFactory {
+    let params = BfsParams {
+        source: 0,
+        start_level: 2,
+        ..BfsParams::default()
+    };
+    UseCaseFactory::new("bfs-youtube", params.key(YOUTUBE_TAG), bfs_youtube)
+}
+
+/// Factory for [`libquantum_scale`].
+pub fn libquantum_factory() -> UseCaseFactory {
+    UseCaseFactory::new("libquantum", "libquantum[n1500000_c4]", libquantum_scale)
+}
+
+/// Factory for [`bwaves_scale`].
+pub fn bwaves_factory() -> UseCaseFactory {
+    UseCaseFactory::new("bwaves", "bwaves[96x96x256]", bwaves_scale)
+}
+
+/// Factory for [`lbm_scale`].
+pub fn lbm_factory() -> UseCaseFactory {
+    UseCaseFactory::new("lbm", "lbm[n262144_p9]", lbm_scale)
+}
+
+/// Factory for [`milc_scale`].
+pub fn milc_factory() -> UseCaseFactory {
+    UseCaseFactory::new("milc", "milc[n524288_s4]", milc_scale)
+}
+
+/// Factory for [`leslie_scale`].
+pub fn leslie_factory() -> UseCaseFactory {
+    UseCaseFactory::new("leslie", "leslie[192x192]", leslie_scale)
+}
+
+/// Factories for the five custom-prefetcher use-cases, in Figure 17
+/// order.
+pub fn prefetch_suite_factories() -> Vec<UseCaseFactory> {
+    vec![
+        libquantum_factory(),
+        bwaves_factory(),
+        lbm_factory(),
+        milc_factory(),
+        leslie_factory(),
+    ]
 }
 
 #[cfg(test)]

@@ -44,6 +44,17 @@ pub enum AstarVariant {
     Alt,
 }
 
+impl AstarVariant {
+    /// Canonical label (used in use-case content keys).
+    pub fn label(&self) -> &'static str {
+        match self {
+            AstarVariant::Custom => "custom",
+            AstarVariant::Slipstream => "slipstream",
+            AstarVariant::Alt => "alt",
+        }
+    }
+}
+
 /// Workload parameters.
 #[derive(Clone, Debug)]
 pub struct AstarParams {
@@ -87,6 +98,27 @@ impl Default for AstarParams {
     }
 }
 
+impl AstarParams {
+    /// Canonical content key covering every field: parameter sets with
+    /// equal keys build identical use-cases (the experiment planner's
+    /// run deduplication relies on this).
+    pub fn key(&self) -> String {
+        format!(
+            "astar[{}x{}_b{}_f{}_s{}_seed{:x}_scope{}_t1w{}_{}{}]",
+            self.grid_w,
+            self.grid_h,
+            self.block_pct,
+            self.fills,
+            self.num_seeds,
+            self.seed,
+            self.scope,
+            self.t1_width,
+            self.variant.label(),
+            if self.store_inference { "" } else { "_noinf" }
+        )
+    }
+}
+
 /// Exported symbol names for the astar kernel's snoop points.
 mod sym {
     pub const FILLNUM: &str = "fillnum_pc";
@@ -113,7 +145,7 @@ pub fn astar(params: &AstarParams) -> UseCase {
             for x in 0..w {
                 let idx = (y * w + x) as u64;
                 let border = x == 0 || y == 0 || x == w - 1 || y == h - 1;
-                let blocked = border || rng.gen_range(0..100) < params.block_pct;
+                let blocked = border || rng.gen_range(0u32..100) < params.block_pct;
                 if blocked {
                     m.write(MAPARP_BASE + idx, 1, 1);
                 }
@@ -368,7 +400,7 @@ pub fn astar_reference(params: &AstarParams) -> Vec<u32> {
         for x in 0..w {
             let idx = y * w + x;
             let border = x == 0 || y == 0 || x == w - 1 || y == h - 1;
-            if border || rng.gen_range(0..100) < params.block_pct {
+            if border || rng.gen_range(0u32..100) < params.block_pct {
                 maparp[idx] = 1;
             }
         }
@@ -382,8 +414,16 @@ pub fn astar_reference(params: &AstarParams) -> Vec<u32> {
             seeds.push(idx);
         }
     }
-    let offsets: [i64; 8] =
-        [-(w as i64) - 1, -(w as i64), -(w as i64) + 1, -1, 1, w as i64 - 1, w as i64, w as i64 + 1];
+    let offsets: [i64; 8] = [
+        -(w as i64) - 1,
+        -(w as i64),
+        -(w as i64) + 1,
+        -1,
+        1,
+        w as i64 - 1,
+        w as i64,
+        w as i64 + 1,
+    ];
     let mut waymap = vec![0u32; ncells];
     for fill in 1..=params.fills {
         let fillnum = fill as u32;
@@ -414,7 +454,12 @@ mod tests {
     use pfm_fabric::ObserveKind;
 
     fn small() -> AstarParams {
-        AstarParams { grid_w: 24, grid_h: 24, fills: 2, ..AstarParams::default() }
+        AstarParams {
+            grid_w: 24,
+            grid_h: 24,
+            fills: 2,
+            ..AstarParams::default()
+        }
     }
 
     #[test]
@@ -444,7 +489,13 @@ mod tests {
         let uc = astar(&small());
         assert_eq!(uc.fst.len(), 16, "8 waymap + 8 maparp branches");
         assert!(uc.rst.values().any(|e| e.begin_roi));
-        assert!(uc.rst.values().filter(|e| e.observe == Some(ObserveKind::DestValue)).count() >= 5);
+        assert!(
+            uc.rst
+                .values()
+                .filter(|e| e.observe == Some(ObserveKind::DestValue))
+                .count()
+                >= 5
+        );
         assert_eq!(uc.component().name(), "astar-custom-bp");
     }
 
@@ -461,7 +512,13 @@ mod tests {
         let mut p = small();
         p.variant = AstarVariant::Alt;
         let uc = astar(&p);
-        assert!(uc.rst.values().filter(|e| e.observe == Some(ObserveKind::StoreValue)).count() >= 9);
+        assert!(
+            uc.rst
+                .values()
+                .filter(|e| e.observe == Some(ObserveKind::StoreValue))
+                .count()
+                >= 9
+        );
         assert_eq!(uc.component().name(), "astar-alt");
     }
 

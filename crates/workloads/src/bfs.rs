@@ -35,6 +35,16 @@ pub enum BfsVariant {
     Slipstream,
 }
 
+impl BfsVariant {
+    /// Canonical label (used in use-case content keys).
+    pub fn label(&self) -> &'static str {
+        match self {
+            BfsVariant::Custom => "custom",
+            BfsVariant::Slipstream => "slipstream",
+        }
+    }
+}
+
 /// Workload parameters.
 #[derive(Clone, Debug)]
 pub struct BfsParams {
@@ -52,7 +62,28 @@ pub struct BfsParams {
 
 impl Default for BfsParams {
     fn default() -> BfsParams {
-        BfsParams { source: 0, start_level: 0, window: 64, variant: BfsVariant::Custom }
+        BfsParams {
+            source: 0,
+            start_level: 0,
+            window: 64,
+            variant: BfsVariant::Custom,
+        }
+    }
+}
+
+impl BfsParams {
+    /// Canonical content key covering every field, scoped under a
+    /// graph identity tag (the params alone don't pin the input graph;
+    /// the caller supplies a tag that does).
+    pub fn key(&self, graph_tag: &str) -> String {
+        format!(
+            "bfs[{}_src{}_lvl{}_win{}_{}]",
+            graph_tag,
+            self.source,
+            self.start_level,
+            self.window,
+            self.variant.label()
+        )
     }
 }
 
@@ -290,8 +321,10 @@ mod tests {
     #[test]
     fn slipstream_variant_prunes_loop_branch() {
         let g = road_graph(8, 8, 0, 0);
-        let mut p = BfsParams::default();
-        p.variant = BfsVariant::Slipstream;
+        let p = BfsParams {
+            variant: BfsVariant::Slipstream,
+            ..BfsParams::default()
+        };
         let uc = bfs(&g, "t", &p);
         assert_eq!(uc.fst.len(), 1, "only the visited branch is pre-executed");
         assert!(uc.name.contains("slipstream"));

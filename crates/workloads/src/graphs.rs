@@ -161,7 +161,11 @@ pub fn shuffle_labels_fraction(g: &Csr, seed: u64, fraction: f64) -> Csr {
     let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
     for u in 0..n {
         let nu = perm[u] as usize;
-        adj[nu] = g.neighbors_of(u).iter().map(|&v| perm[v as usize]).collect();
+        adj[nu] = g
+            .neighbors_of(u)
+            .iter()
+            .map(|&v| perm[v as usize])
+            .collect();
     }
     Csr::from_adj(adj)
 }
@@ -218,7 +222,10 @@ mod tests {
         // Degrees must be irregular (TAGE-hostile trip counts).
         let distinct: std::collections::HashSet<usize> =
             (0..100).map(|u| g.neighbors_of(u).len()).collect();
-        assert!(distinct.len() >= 4, "expected varied degrees, got {distinct:?}");
+        assert!(
+            distinct.len() >= 4,
+            "expected varied degrees, got {distinct:?}"
+        );
     }
 
     #[test]
@@ -229,7 +236,10 @@ mod tests {
         degrees.sort_unstable();
         let max = *degrees.last().unwrap();
         let median = degrees[1000];
-        assert!(max > 10 * median, "expected hubs: max {max}, median {median}");
+        assert!(
+            max > 10 * median,
+            "expected hubs: max {max}, median {median}"
+        );
     }
 
     #[test]
@@ -237,7 +247,10 @@ mod tests {
         let g = road_graph(20, 20, 10, 0);
         let parents = g.bfs_parents(0);
         let visited = parents.iter().filter(|&&p| p >= 0).count();
-        assert!(visited > 300, "percolated lattice stays mostly connected, got {visited}");
+        assert!(
+            visited > 300,
+            "percolated lattice stays mostly connected, got {visited}"
+        );
         assert_eq!(parents[0], 0);
     }
 

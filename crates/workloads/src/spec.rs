@@ -375,7 +375,11 @@ pub fn leslie(rows: u64, cols: u64) -> UseCase {
         let base_pc = program.symbol(&format!("base_pc_{roi}")).unwrap();
         let count_pc = program.symbol(&format!("count_pc_{roi}")).unwrap();
         let load_pc = program.symbol(&format!("load_pc_{roi}")).unwrap();
-        let entry = if roi == 0 { RstEntry::dest().begin() } else { RstEntry::dest() };
+        let entry = if roi == 0 {
+            RstEntry::dest().begin()
+        } else {
+            RstEntry::dest()
+        };
         rst.insert(base_pc, entry);
         rst.insert(count_pc, RstEntry::dest());
         rst.insert(load_pc, RstEntry::dest());

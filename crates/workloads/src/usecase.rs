@@ -48,7 +48,14 @@ impl UseCase {
         rst: HashMap<u64, RstEntry>,
         component: ComponentFactory,
     ) -> UseCase {
-        UseCase { name: name.into(), program, memory, fst, rst, component }
+        UseCase {
+            name: name.into(),
+            program,
+            memory,
+            fst,
+            rst,
+            component,
+        }
     }
 
     /// A fresh functional machine over this workload.
@@ -65,6 +72,71 @@ impl UseCase {
     /// component.
     pub fn fabric(&self, params: FabricParams) -> Fabric {
         Fabric::new(params, self.fst.clone(), self.rst.clone(), self.component())
+    }
+}
+
+// Use-cases cross thread boundaries in the parallel experiment
+// executor; keep the bundle (and therefore every component factory)
+// thread-safe by construction.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<UseCase>()
+};
+
+/// A named, keyed, thread-safe recipe for building a [`UseCase`].
+///
+/// Experiment plans describe runs declaratively; the actual (often
+/// expensive) use-case construction — graph generation, memory-image
+/// assembly — happens inside the executor's worker threads, so the
+/// factory must be `Send + Sync`. The `key` is a canonical content
+/// key: two factories with the same key MUST build behaviourally
+/// identical use-cases (the run deduplicator relies on it), and
+/// factories building different workloads MUST have different keys.
+#[derive(Clone)]
+pub struct UseCaseFactory {
+    name: Arc<str>,
+    key: Arc<str>,
+    build: Arc<dyn Fn() -> UseCase + Send + Sync>,
+}
+
+impl UseCaseFactory {
+    /// Wraps a builder under a display name and canonical content key.
+    pub fn new(
+        name: impl Into<String>,
+        key: impl Into<String>,
+        build: impl Fn() -> UseCase + Send + Sync + 'static,
+    ) -> UseCaseFactory {
+        UseCaseFactory {
+            name: name.into().into(),
+            key: key.into().into(),
+            build: Arc::new(build),
+        }
+    }
+
+    /// Display name of the built use-case (e.g. `astar`, `libquantum`)
+    /// — matches `UseCase::name`, available without building.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Canonical content key (distinguishes parameterizations that
+    /// share a display name, e.g. astar at different scopes).
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// Builds a fresh use-case.
+    pub fn build(&self) -> UseCase {
+        (self.build)()
+    }
+}
+
+impl std::fmt::Debug for UseCaseFactory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UseCaseFactory")
+            .field("name", &self.name)
+            .field("key", &self.key)
+            .finish()
     }
 }
 

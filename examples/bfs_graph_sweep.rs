@@ -19,8 +19,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let youtube = powerlaw_graph(300_000, 3, 13);
 
     let cases = [
-        (bfs(&roads, "roads", &BfsParams { source: 5, start_level: 400, ..BfsParams::default() }), "Roads"),
-        (bfs(&youtube, "youtube", &BfsParams { start_level: 2, ..BfsParams::default() }), "Youtube"),
+        (
+            bfs(
+                &roads,
+                "roads",
+                &BfsParams {
+                    source: 5,
+                    start_level: 400,
+                    ..BfsParams::default()
+                },
+            ),
+            "Roads",
+        ),
+        (
+            bfs(
+                &youtube,
+                "youtube",
+                &BfsParams {
+                    start_level: 2,
+                    ..BfsParams::default()
+                },
+            ),
+            "Youtube",
+        ),
     ];
 
     for (uc, tag) in cases {

@@ -55,7 +55,10 @@ impl CustomComponent for LcgRunahead {
                 self.state = self.state.wrapping_mul(self.mul).wrapping_add(self.add);
                 self.inner_left = (self.state >> 60) + 1; // trip in 1..=16
             }
-            io.push_pred(PredPacket { pc: self.branch_pc, taken: self.inner_left > 1 });
+            io.push_pred(PredPacket {
+                pc: self.branch_pc,
+                taken: self.inner_left > 1,
+            });
             self.inner_left -= 1;
         }
     }
@@ -110,8 +113,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let run = |fabric: Option<Fabric>| -> Result<(f64, f64), Box<dyn std::error::Error>> {
         let machine = Machine::new(program.clone(), SpecMemory::new());
-        let mut core =
-            Core::new(CoreConfig::micro21(), machine, Hierarchy::new(HierarchyConfig::micro21()));
+        let mut core = Core::new(
+            CoreConfig::micro21(),
+            machine,
+            Hierarchy::new(HierarchyConfig::micro21()),
+        );
         match fabric {
             Some(mut f) => core.run(&mut f, u64::MAX, 100_000_000)?,
             None => core.run(&mut NoPfm, u64::MAX, 100_000_000)?,

@@ -7,7 +7,12 @@ use pfm_sim::{run_baseline, run_pfm, RunConfig};
 use pfm_workloads::{astar, AstarParams, AstarVariant};
 
 fn small_astar() -> pfm_workloads::UseCase {
-    astar(&AstarParams { grid_w: 64, grid_h: 64, fills: 2, ..AstarParams::default() })
+    astar(&AstarParams {
+        grid_w: 64,
+        grid_h: 64,
+        fills: 2,
+        ..AstarParams::default()
+    })
 }
 
 fn rc() -> RunConfig {
@@ -22,8 +27,16 @@ fn astar_pfm_beats_baseline_and_slashes_mpki() {
     let rc = rc();
     let base = run_baseline(&uc, &rc).unwrap();
     let pfm = run_pfm(&uc, FabricParams::paper_default(), &rc).unwrap();
-    assert!(base.stats.mpki() > 20.0, "baseline astar must be mispredict-bound, MPKI {}", base.stats.mpki());
-    assert!(pfm.stats.mpki() < 5.0, "custom predictor must remove the bottleneck, MPKI {}", pfm.stats.mpki());
+    assert!(
+        base.stats.mpki() > 20.0,
+        "baseline astar must be mispredict-bound, MPKI {}",
+        base.stats.mpki()
+    );
+    assert!(
+        pfm.stats.mpki() < 5.0,
+        "custom predictor must remove the bottleneck, MPKI {}",
+        pfm.stats.mpki()
+    );
     assert!(
         pfm.speedup_over(&base) > 50.0,
         "expected a large speedup, got {:.1}%",
@@ -36,14 +49,20 @@ fn architectural_state_is_identical_with_and_without_pfm() {
     // The fabric only intervenes microarchitecturally (§2.4): the
     // memory image after the run must be bit-identical.
     let uc = small_astar();
-    let rc = RunConfig { max_instrs: u64::MAX, max_cycles: 80_000_000, ..rc() };
+    let rc = RunConfig {
+        max_instrs: u64::MAX,
+        max_cycles: 80_000_000,
+        ..rc()
+    };
 
     let mut base_core = pfm_core::Core::new(
         rc.core.clone(),
         uc.machine(),
         pfm_mem::Hierarchy::new(rc.hier.clone()),
     );
-    base_core.run(&mut pfm_core::NoPfm, u64::MAX, rc.max_cycles).unwrap();
+    base_core
+        .run(&mut pfm_core::NoPfm, u64::MAX, rc.max_cycles)
+        .unwrap();
 
     let mut fabric = uc.fabric(FabricParams::paper_default());
     let mut pfm_core_run = pfm_core::Core::new(
@@ -51,15 +70,23 @@ fn architectural_state_is_identical_with_and_without_pfm() {
         uc.machine(),
         pfm_mem::Hierarchy::new(rc.hier.clone()),
     );
-    pfm_core_run.run(&mut fabric, u64::MAX, rc.max_cycles).unwrap();
+    pfm_core_run
+        .run(&mut fabric, u64::MAX, rc.max_cycles)
+        .unwrap();
 
     assert!(base_core.finished() && pfm_core_run.finished());
     assert_eq!(base_core.stats().retired, pfm_core_run.stats().retired);
     // Compare the waymap image cell by cell.
     let w = 64 * 64;
     for idx in 0..w {
-        let a = base_core.machine().mem().read_committed(pfm_workloads::astar::WAYMAP_BASE + 8 * idx, 8);
-        let b = pfm_core_run.machine().mem().read_committed(pfm_workloads::astar::WAYMAP_BASE + 8 * idx, 8);
+        let a = base_core
+            .machine()
+            .mem()
+            .read_committed(pfm_workloads::astar::WAYMAP_BASE + 8 * idx, 8);
+        let b = pfm_core_run
+            .machine()
+            .mem()
+            .read_committed(pfm_workloads::astar::WAYMAP_BASE + 8 * idx, 8);
         assert_eq!(a, b, "waymap divergence at cell {idx}");
     }
 }
@@ -90,7 +117,10 @@ fn narrow_fabric_degrades_gracefully() {
     let base = run_baseline(&uc, &rc).unwrap();
     let wide = run_pfm(&uc, FabricParams::paper_default().clk_w(4, 4).delay(0), &rc).unwrap();
     let narrow = run_pfm(&uc, FabricParams::paper_default().clk_w(4, 2).delay(0), &rc).unwrap();
-    assert!(wide.ipc() >= narrow.ipc(), "wider component cannot be slower");
+    assert!(
+        wide.ipc() >= narrow.ipc(),
+        "wider component cannot be slower"
+    );
     // Both must still beat the baseline comfortably at this scale.
     assert!(narrow.speedup_over(&base) > 10.0);
 }
@@ -112,7 +142,12 @@ fn proceed_and_drop_policy_runs_without_stalling_fetch() {
 #[test]
 fn slipstream_variant_lands_between_baseline_and_pfm() {
     let rc = rc();
-    let custom = astar(&AstarParams { grid_w: 64, grid_h: 64, fills: 2, ..AstarParams::default() });
+    let custom = astar(&AstarParams {
+        grid_w: 64,
+        grid_h: 64,
+        fills: 2,
+        ..AstarParams::default()
+    });
     let slip = astar(&AstarParams {
         grid_w: 64,
         grid_h: 64,
@@ -124,7 +159,10 @@ fn slipstream_variant_lands_between_baseline_and_pfm() {
     let pfm = run_pfm(&custom, FabricParams::paper_default(), &rc).unwrap();
     let ss = run_pfm(&slip, FabricParams::paper_default(), &rc).unwrap();
     assert!(ss.ipc() > base.ipc(), "pre-execution still helps");
-    assert!(ss.ipc() < pfm.ipc(), "but custom knowledge of the ROI helps much more");
+    assert!(
+        ss.ipc() < pfm.ipc(),
+        "but custom knowledge of the ROI helps much more"
+    );
 }
 
 #[test]
@@ -139,7 +177,10 @@ fn port_policy_sweep_is_flat_for_astar() {
     }
     let max = ipcs.iter().cloned().fold(f64::MIN, f64::max);
     let min = ipcs.iter().cloned().fold(f64::MAX, f64::min);
-    assert!((max - min) / max < 0.08, "port sensitivity too high: {ipcs:?}");
+    assert!(
+        (max - min) / max < 0.08,
+        "port sensitivity too high: {ipcs:?}"
+    );
 }
 
 #[test]
@@ -148,6 +189,9 @@ fn deterministic_runs() {
     let rc = rc();
     let a = run_pfm(&uc, FabricParams::paper_default(), &rc).unwrap();
     let b = run_pfm(&uc, FabricParams::paper_default(), &rc).unwrap();
-    assert_eq!(a.stats.cycles, b.stats.cycles, "the simulator must be deterministic");
+    assert_eq!(
+        a.stats.cycles, b.stats.cycles,
+        "the simulator must be deterministic"
+    );
     assert_eq!(a.stats.mispredicts, b.stats.mispredicts);
 }

@@ -13,7 +13,15 @@ fn rc() -> RunConfig {
 
 fn small_roads() -> pfm_workloads::UseCase {
     let g = shuffle_labels_fraction(&road_graph(200, 200, 100, 7), 3, 0.05);
-    bfs(&g, "roads", &BfsParams { source: 5, start_level: 60, ..BfsParams::default() })
+    bfs(
+        &g,
+        "roads",
+        &BfsParams {
+            source: 5,
+            start_level: 60,
+            ..BfsParams::default()
+        },
+    )
 }
 
 #[test]
@@ -22,11 +30,22 @@ fn bfs_component_removes_both_bottlenecks() {
     let rc = rc();
     let base = run_baseline(&uc, &rc).unwrap();
     let pfm = run_pfm(&uc, FabricParams::paper_default(), &rc).unwrap();
-    assert!(base.stats.mpki() > 10.0, "baseline bfs MPKI {}", base.stats.mpki());
+    assert!(
+        base.stats.mpki() > 10.0,
+        "baseline bfs MPKI {}",
+        base.stats.mpki()
+    );
     assert!(pfm.stats.mpki() < 5.0, "pfm bfs MPKI {}", pfm.stats.mpki());
-    assert!(pfm.speedup_over(&base) > 30.0, "speedup {:.0}%", pfm.speedup_over(&base));
+    assert!(
+        pfm.speedup_over(&base) > 30.0,
+        "speedup {:.0}%",
+        pfm.speedup_over(&base)
+    );
     let f = pfm.fabric.unwrap();
-    assert!(f.loads_injected > 1_000, "the component must run ahead with loads");
+    assert!(
+        f.loads_injected > 1_000,
+        "the component must run ahead with loads"
+    );
 }
 
 #[test]
@@ -39,7 +58,10 @@ fn bfs_oracles_order_as_in_fig12() {
     let both = run_baseline(&uc, &rc.clone().perfect_bp().perfect_dcache()).unwrap();
     assert!(pbp.ipc() > base.ipc());
     assert!(pd.ipc() > pbp.ipc(), "memory dominates branches for bfs");
-    assert!(both.ipc() > pd.ipc(), "both bottlenecks must be attacked simultaneously");
+    assert!(
+        both.ipc() > pd.ipc(),
+        "both bottlenecks must be attacked simultaneously"
+    );
 }
 
 #[test]
@@ -47,9 +69,15 @@ fn libquantum_prefetcher_erases_dram_misses() {
     let uc = libquantum(400_000, 2);
     let rc = rc();
     let base = run_baseline(&uc, &rc).unwrap();
-    let p = FabricParams::paper_default().clk_w(4, 1).delay(0).port(PortPolicy::All);
+    let p = FabricParams::paper_default()
+        .clk_w(4, 1)
+        .delay(0)
+        .port(PortPolicy::All);
     let pfm = run_pfm(&uc, p, &rc).unwrap();
-    assert!(base.hier.dram_accesses > 1_000, "baseline must miss to DRAM");
+    assert!(
+        base.hier.dram_accesses > 1_000,
+        "baseline must miss to DRAM"
+    );
     assert!(
         pfm.hier.dram_accesses < base.hier.dram_accesses / 10,
         "prefetcher should erase demand DRAM misses: {} -> {}",
@@ -67,7 +95,10 @@ fn prefetchers_are_resistant_to_c_and_w() {
     let base = run_baseline(&uc, &rc).unwrap();
     let mut speedups = Vec::new();
     for (c, w) in [(1, 1), (4, 1), (8, 1)] {
-        let p = FabricParams::paper_default().clk_w(c, w).delay(0).port(PortPolicy::All);
+        let p = FabricParams::paper_default()
+            .clk_w(c, w)
+            .delay(0)
+            .port(PortPolicy::All);
         let r = run_pfm(&uc, p, &rc).unwrap();
         speedups.push(r.speedup_over(&base));
     }
@@ -81,10 +112,16 @@ fn lbm_cluster_prefetching_works_as_a_set() {
     let uc = lbm(80_000, 9);
     let rc = rc();
     let base = run_baseline(&uc, &rc).unwrap();
-    let p = FabricParams::paper_default().clk_w(4, 4).delay(0).port(PortPolicy::All);
+    let p = FabricParams::paper_default()
+        .clk_w(4, 4)
+        .delay(0)
+        .port(PortPolicy::All);
     let pfm = run_pfm(&uc, p, &rc).unwrap();
     let f = pfm.fabric.unwrap();
-    assert!(f.prefetches_injected > 10_000, "cluster prefetches must flow");
+    assert!(
+        f.prefetches_injected > 10_000,
+        "cluster prefetches must flow"
+    );
     assert!(pfm.ipc() > base.ipc());
 }
 
@@ -93,8 +130,19 @@ fn fabric_loads_never_modify_architectural_state() {
     // §2.4 security: run bfs with PFM, re-run functionally, compare
     // the parent array.
     let g = shuffle_labels_fraction(&road_graph(60, 60, 20, 7), 3, 0.05);
-    let uc = bfs(&g, "roads", &BfsParams { source: 5, ..BfsParams::default() });
-    let rc = RunConfig { max_instrs: u64::MAX, max_cycles: 60_000_000, ..rc() };
+    let uc = bfs(
+        &g,
+        "roads",
+        &BfsParams {
+            source: 5,
+            ..BfsParams::default()
+        },
+    );
+    let rc = RunConfig {
+        max_instrs: u64::MAX,
+        max_cycles: 60_000_000,
+        ..rc()
+    };
     let pfm = run_pfm(&uc, FabricParams::paper_default(), &rc).unwrap();
     assert!(pfm.stats.retired > 0);
     let mut m = uc.machine();

@@ -1,0 +1,180 @@
+//! Offline vendored subset of the `proptest` crate API.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! patches `proptest` with this small, dependency-free (save the
+//! vendored `rand`) re-implementation of the surface the repo's
+//! property tests use: the [`proptest!`] macro (both `arg in strategy`
+//! and `arg: Type` parameter forms, with an optional
+//! `#![proptest_config(..)]`), integer/float range strategies, tuple
+//! strategies, [`strategy::Just`], [`prop_oneof!`],
+//! [`collection::vec`], [`arbitrary::any`], `prop_map`, and the
+//! `prop_assert*` macros.
+//!
+//! Semantics: each test runs `ProptestConfig::cases` deterministic
+//! random cases (seeded from the test's module path + case index, so
+//! failures reproduce exactly across runs and machines). There is no
+//! shrinking — on failure the case index is reported and the original
+//! panic is re-raised.
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The `prop::` facade (`use proptest::prelude::*` makes
+/// `prop::collection::vec(..)` available, mirroring upstream).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Common imports for property tests.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests. See the crate docs for supported forms.
+#[macro_export]
+macro_rules! proptest {
+    // Entry: optional config attribute, then test fns.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@fns ($cfg) $($rest)*);
+    };
+    (@fns ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident( $($params:tt)* ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut prop_rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                        || {
+                            $crate::proptest!(@bind prop_rng, $($params)*);
+                            $body
+                        },
+                    ));
+                    if let Err(payload) = outcome {
+                        eprintln!(
+                            "proptest: {} failed at case {}/{} (deterministic seed; rerun reproduces)",
+                            stringify!($name),
+                            case,
+                            config.cases
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+    // Parameter binding: `name in strategy` form.
+    (@bind $rng:ident $(,)?) => {};
+    (@bind $rng:ident, $arg:ident in $strat:expr) => {
+        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+    };
+    (@bind $rng:ident, $arg:ident in $strat:expr, $($rest:tt)*) => {
+        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $crate::proptest!(@bind $rng, $($rest)*);
+    };
+    // Parameter binding: `name: Type` form (uses `any::<Type>()`).
+    (@bind $rng:ident, $arg:ident: $ty:ty) => {
+        let $arg = $crate::strategy::Strategy::generate(
+            &$crate::arbitrary::any::<$ty>(),
+            &mut $rng,
+        );
+    };
+    (@bind $rng:ident, $arg:ident: $ty:ty, $($rest:tt)*) => {
+        let $arg = $crate::strategy::Strategy::generate(
+            &$crate::arbitrary::any::<$ty>(),
+            &mut $rng,
+        );
+        $crate::proptest!(@bind $rng, $($rest)*);
+    };
+    // Entry without a config attribute: default configuration.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@fns ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Uniformly chooses between several strategies with the same value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Shape {
+        Dot,
+        Line(u8),
+    }
+
+    fn shape() -> impl Strategy<Value = Shape> {
+        prop_oneof![Just(Shape::Dot), (1u8..9).prop_map(Shape::Line)]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_types_bind(x in 3u64..10, flip: bool, v in prop::collection::vec(0i64..5, 2..6)) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(flip || !flip);
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&e| (0..5).contains(&e)));
+        }
+
+        #[test]
+        fn oneof_and_map_cover_all_arms(shapes in prop::collection::vec(shape(), 40..60)) {
+            prop_assert!(shapes.iter().any(|s| *s == Shape::Dot));
+            prop_assert!(shapes.iter().any(|s| matches!(s, Shape::Line(n) if (1..9).contains(n))));
+        }
+
+        #[test]
+        fn exact_vec_len(v in prop::collection::vec(0u32..4, 3)) {
+            prop_assert_eq!(v.len(), 3);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::test_runner::TestRng::for_case("t", 0);
+        let mut b = crate::test_runner::TestRng::for_case("t", 0);
+        let s = crate::collection::vec(0u64..100, 5..9);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        let mut c = crate::test_runner::TestRng::for_case("t", 1);
+        assert_ne!(s.generate(&mut a), s.generate(&mut c));
+    }
+}

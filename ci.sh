@@ -11,6 +11,10 @@ cargo fmt --all --check
 echo "== cargo clippy (-D warnings) =="
 cargo clippy --release --all-targets -- -D warnings
 
+echo "== pfm-lint (workspace invariants) =="
+cargo run -q --release -p pfm-lint -- --workspace
+cargo test -q --release -p pfm-lint
+
 echo "== cargo build --release =="
 cargo build --release
 

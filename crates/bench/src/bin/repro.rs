@@ -15,12 +15,37 @@
 use pfm_sim::experiments::{plan_for, ALL_IDS};
 use pfm_sim::{run_plans, ExecOptions, RunConfig};
 
+/// Exits with a contextual message on stderr; used for conditions the
+/// user cannot distinguish from a hang otherwise (broken pipe aside,
+/// any failure here is a bug or an environment problem worth naming).
+fn fail(context: &str, err: impl std::fmt::Display) -> ! {
+    eprintln!("repro: {context}: {err}");
+    std::process::exit(1);
+}
+
+/// Resolves an experiment id to its plan, exiting with context when the
+/// planner does not recognise it (ids are validated against `ALL_IDS`
+/// before this point, so a miss means the menu and planner disagree).
+fn plan_or_exit(id: &str, rc: &RunConfig) -> pfm_sim::plan::ExperimentPlan {
+    match plan_for(id, rc) {
+        Some(p) => p,
+        None => fail(
+            &format!("experiment `{id}` is listed but has no plan"),
+            "planner/menu mismatch",
+        ),
+    }
+}
+
 fn print_menu(out: &mut impl std::io::Write) {
     let rc = RunConfig::test_scale();
-    writeln!(out, "available experiments:").unwrap();
+    if let Err(e) = writeln!(out, "available experiments:") {
+        fail("cannot write experiment menu", e);
+    }
     for id in ALL_IDS {
-        let plan = plan_for(id, &rc).expect("every listed id has a plan");
-        writeln!(out, "  {id:<10} {}", plan.title).unwrap();
+        let plan = plan_or_exit(id, &rc);
+        if let Err(e) = writeln!(out, "  {id:<10} {}", plan.title) {
+            fail("cannot write experiment menu", e);
+        }
     }
 }
 
@@ -84,7 +109,7 @@ fn main() {
     let plans: Vec<_> = ALL_IDS
         .iter()
         .filter(|id| all || ids.iter().any(|w| w == *id))
-        .map(|id| plan_for(id, &rc).expect("every listed id has a plan"))
+        .map(|id| plan_or_exit(id, &rc))
         .collect();
 
     let opts = ExecOptions {

@@ -22,7 +22,7 @@
 //! loop-induction variable retire.
 
 use pfm_fabric::{CustomComponent, FabricIo, FabricLoad, ObsPacket, PredPacket};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
 /// Neighbors per worklist index (the 2D grid's 8-neighborhood).
@@ -137,7 +137,7 @@ pub struct AstarPredictor {
     iters: VecDeque<IterEntry>,
 
     /// index1 -> inserting iteration (hardware: an 8*scope-entry CAM).
-    cam: HashMap<u64, u64>,
+    cam: BTreeMap<u64, u64>,
 
     stats: AstarComponentStats,
 }
@@ -170,7 +170,7 @@ impl AstarPredictor {
             emit_w_done: false,
             base_iter: 0,
             iters: VecDeque::new(),
-            cam: HashMap::new(),
+            cam: BTreeMap::new(),
             stats: AstarComponentStats::default(),
         }
     }
@@ -343,6 +343,7 @@ impl AstarPredictor {
             let idx1 = (index as i64 + self.cfg.offsets[k]) as u64;
             let g = self.t1_iter * NEIGHBORS as u64 + k as u64;
             let (w_issued, m_issued) = {
+                // pfm-lint: allow(hygiene): t1_iter is kept in-window by the T1 walk
                 let e = self.entry(self.t1_iter).expect("in window");
                 (e.w_issued[k], e.m_issued[k])
             };
@@ -656,7 +657,7 @@ mod tests {
             value: 1000,
         });
         // Tick until all loads issued, answering as they appear.
-        let mut answered = std::collections::HashSet::new();
+        let mut answered = std::collections::BTreeSet::new();
         for _ in 0..40 {
             h.tick(&mut c, 8);
             let pending: Vec<_> = h
@@ -765,7 +766,7 @@ mod tests {
             id: t0s[1].id,
             value: 1002,
         });
-        let mut answered = std::collections::HashSet::new();
+        let mut answered = std::collections::BTreeSet::new();
         for _ in 0..80 {
             h.tick(&mut c, 8);
             let pending: Vec<_> = h
@@ -839,7 +840,7 @@ mod tests {
             id: t0s[1].id,
             value: 1002,
         });
-        let mut answered = std::collections::HashSet::new();
+        let mut answered = std::collections::BTreeSet::new();
         for _ in 0..80 {
             h.tick(&mut c, 8);
             let pending: Vec<_> = h

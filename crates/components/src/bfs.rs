@@ -15,7 +15,7 @@
 //!   neighbor (the paper's presence rule).
 
 use pfm_fabric::{CustomComponent, FabricIo, FabricLoad, ObsPacket, PredPacket};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Static configuration for the bfs component.
 #[derive(Clone, Debug)]
@@ -121,13 +121,13 @@ pub struct BfsComponent {
 
     /// Emitted-but-recently-unretired neighbor multiset (the paper's
     /// neighbor queue search).
-    seen: HashMap<u32, u32>,
+    seen: BTreeMap<u32, u32>,
     /// Per-node emitted neighbors, decremented `window` nodes after
     /// retirement.
     seen_log: VecDeque<(u64, Vec<u32>)>,
 
     next_id: u64,
-    tags: HashMap<u64, LoadTag>,
+    tags: BTreeMap<u64, LoadTag>,
     gen: u64,
 
     stats: BfsComponentStats,
@@ -174,10 +174,10 @@ impl BfsComponent {
             emit_loop_done: false,
             base_u: 0,
             window: VecDeque::new(),
-            seen: HashMap::new(),
+            seen: BTreeMap::new(),
             seen_log: VecDeque::new(),
             next_id: 0,
-            tags: HashMap::new(),
+            tags: BTreeMap::new(),
             gen: 0,
             stats: BfsComponentStats::default(),
         }
@@ -264,6 +264,7 @@ impl BfsComponent {
             if u + margin >= self.commit_u {
                 break;
             }
+            // pfm-lint: allow(hygiene): front() just returned Some
             let (_, nbrs) = self.seen_log.pop_front().expect("non-empty");
             for v in nbrs {
                 if let Some(c) = self.seen.get_mut(&v) {

@@ -233,6 +233,7 @@ impl Engine {
             };
             let mut flat: Vec<u64> = Vec::with_capacity(n_streams);
             for b in 0..self.bases.len() {
+                // pfm-lint: allow(hygiene): set emission starts only once every base is ready
                 let base = self.bases[b].expect("ready") as i64;
                 for &soff in offsets {
                     flat.push((base + soff + off) as u64);

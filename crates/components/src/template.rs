@@ -21,7 +21,7 @@
 //! dedicated [`crate::bfs::BfsComponent`] still exists.
 
 use pfm_fabric::{CustomComponent, FabricIo, FabricLoad, ObsPacket, PredPacket};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// How a derived lane turns its loaded value into a branch predicate.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -129,10 +129,10 @@ pub struct TemplateComponent {
     window: VecDeque<IterState>,
 
     /// Sticky entered-set (the generalized index1_CAM).
-    entered: HashMap<u64, u64>,
+    entered: BTreeMap<u64, u64>,
 
     next_id: u64,
-    tags: HashMap<u64, (u64, usize)>, // id -> (iter, lane or usize::MAX for T0)
+    tags: BTreeMap<u64, (u64, usize)>, // id -> (iter, lane or usize::MAX for T0)
 }
 
 impl std::fmt::Debug for TemplateComponent {
@@ -162,9 +162,9 @@ impl TemplateComponent {
             emit_iter: 0,
             emit_lane: 0,
             window: VecDeque::new(),
-            entered: HashMap::new(),
+            entered: BTreeMap::new(),
             next_id: 0,
-            tags: HashMap::new(),
+            tags: BTreeMap::new(),
         }
     }
 

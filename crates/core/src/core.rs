@@ -29,6 +29,32 @@ use pfm_mem::cache::line_of;
 use pfm_mem::{AccessKind, Hierarchy, HitLevel};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
+/// Brackets an Agent hook invocation with the debug-build
+/// non-interference cross-check (PAPER.md §3: Agents observe the
+/// retired stream and intervene microarchitecturally, but never change
+/// architectural state). Architectural state — integer/FP registers,
+/// the PC, and the committed-memory write generation — is checksummed
+/// before and after the hook; any drift aborts the run. The
+/// fault-injection seam runs inside the bracket so the check's own
+/// alarm is testable (see `PfmHooks::debug_inject_arch_fault`).
+/// Compiles to the bare hook call in release builds.
+macro_rules! checked_hook {
+    ($core:expr, $hooks:expr, $name:literal, $call:expr) => {{
+        #[cfg(debug_assertions)]
+        let before = $core.machine.arch_checksum();
+        #[cfg(debug_assertions)]
+        $hooks.debug_inject_arch_fault(&mut $core.machine);
+        let out = $call;
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            before,
+            $core.machine.arch_checksum(),
+            concat!("agent hook `", $name, "` mutated architectural state")
+        );
+        out
+    }};
+}
+
 /// Instruction timing state.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum InstState {
@@ -250,13 +276,18 @@ impl Core {
         self.lane_busy_prev = self.lane_busy;
         self.lane_busy = [false; NUM_LANES];
 
-        hooks.begin_cycle(self.cycle, self.lane_busy_prev);
+        checked_hook!(
+            self,
+            hooks,
+            "begin_cycle",
+            hooks.begin_cycle(self.cycle, self.lane_busy_prev)
+        );
         self.retire(hooks);
         self.complete(hooks);
         self.issue(hooks);
         self.dispatch();
         self.fetch(hooks)?;
-        hooks.end_cycle(self.cycle);
+        checked_hook!(self, hooks, "end_cycle", hooks.end_cycle(self.cycle));
         Ok(())
     }
 
@@ -265,7 +296,7 @@ impl Core {
     // ------------------------------------------------------------------
 
     fn retire(&mut self, hooks: &mut dyn PfmHooks) {
-        if hooks.retire_stalled() {
+        if checked_hook!(self, hooks, "retire_stalled", hooks.retire_stalled()) {
             self.stats.retire_agent_stall_cycles += 1;
             return;
         }
@@ -274,6 +305,7 @@ impl Core {
             if head.state != InstState::Completed || head.complete_cycle >= self.cycle {
                 break;
             }
+            // pfm-lint: allow(hygiene): front() just returned Some
             let inst = self.rob.pop_front().expect("head exists");
             let seq = inst.step.seq;
 
@@ -281,6 +313,7 @@ impl Core {
             // access (does not stall retire).
             if inst.is_store() {
                 self.machine.mem_mut().commit_store(seq);
+                // pfm-lint: allow(hygiene): is_store() implies a memory access
                 let m = inst.step.mem.expect("store has a memory access");
                 self.hierarchy.access(m.addr, AccessKind::Store, self.cycle);
                 self.stats.stores += 1;
@@ -356,7 +389,7 @@ impl Core {
                 }),
                 lane_busy: self.lane_busy_prev,
             };
-            let directive = hooks.on_retire(&info);
+            let directive = checked_hook!(self, hooks, "on_retire", hooks.on_retire(&info));
 
             if inst.step.halted {
                 self.finished = true;
@@ -383,7 +416,12 @@ impl Core {
         if let Some(loads) = self.fabric_load_events.remove(&self.cycle) {
             for (id, addr, size) in loads {
                 let value = self.machine.mem().read_committed(addr, size);
-                hooks.load_result(id, FabricLoadResult::Hit { value }, self.cycle);
+                checked_hook!(
+                    self,
+                    hooks,
+                    "load_result",
+                    hooks.load_result(id, FabricLoadResult::Hit { value }, self.cycle)
+                );
             }
         }
 
@@ -409,6 +447,7 @@ impl Core {
                 // Memory-disambiguation check: a younger load that
                 // already executed and overlaps this store's bytes
                 // violated the dependence.
+                // pfm-lint: allow(hygiene): stores always carry a memory range
                 let range = self.rob[pos].mem_range().expect("store range");
                 let mut violator = None;
                 for d in self.rob.iter().skip(pos + 1) {
@@ -434,6 +473,7 @@ impl Core {
             if mispredicted {
                 // Resolve: repair predictor history, notify the fabric,
                 // redirect fetch.
+                // pfm-lint: allow(hygiene): seq was found in the ROB this cycle
                 let pos = self.rob_pos(seq).expect("still present");
                 let actual = self.rob[pos].step.taken;
                 let is_cond = self.rob[pos].info.is_cond_branch;
@@ -448,7 +488,12 @@ impl Core {
                     self.ras.restore(snap);
                 }
                 self.stats.squash_mispredict += 1;
-                hooks.on_squash(SquashKind::Mispredict, seq + 1, self.cycle);
+                checked_hook!(
+                    self,
+                    hooks,
+                    "on_squash",
+                    hooks.on_squash(SquashKind::Mispredict, seq + 1, self.cycle)
+                );
                 if self.fetch_blocked_on == Some(seq) {
                     self.fetch_blocked_on = None;
                     self.fetch_stall_until = self.fetch_stall_until.max(self.cycle + 1);
@@ -503,6 +548,7 @@ impl Core {
             // Compute completion time.
             let complete_at = match d.info.class {
                 ExecClass::Load => {
+                    // pfm-lint: allow(hygiene): loads always carry a memory access
                     let m = d.step.mem.expect("load has an access");
                     // Store-to-load forwarding: an older in-flight store
                     // with a known (executed) address that overlaps.
@@ -563,7 +609,9 @@ impl Core {
         // fabric ("when the corresponding issue port is not busy").
         let mut free_ls = lane_free[1];
         while free_ls > 0 {
-            let Some(req) = hooks.pop_load() else { break };
+            let Some(req) = checked_hook!(self, hooks, "pop_load", hooks.pop_load()) else {
+                break;
+            };
             free_ls -= 1;
             if req.is_prefetch {
                 self.stats.fabric_prefetches += 1;
@@ -579,7 +627,12 @@ impl Core {
                     .or_default()
                     .push((req.id, req.addr, req.size));
             } else {
-                hooks.load_result(req.id, FabricLoadResult::Miss, cycle);
+                checked_hook!(
+                    self,
+                    hooks,
+                    "load_result",
+                    hooks.load_result(req.id, FabricLoadResult::Miss, cycle)
+                );
             }
         }
     }
@@ -607,6 +660,7 @@ impl Core {
             {
                 break;
             }
+            // pfm-lint: allow(hygiene): the loop guard checked front() is Some
             let mut d = self.front.pop_front().expect("head exists");
             // Rename: source producers from the last-writer map.
             for (i, src) in d.info.srcs.iter().enumerate() {
@@ -694,7 +748,12 @@ impl Core {
             let info = rec.inst.info();
 
             // Fetch Agent.
-            let over = hooks.fetch_inst(rec.seq, rec.pc, info.is_cond_branch);
+            let over = checked_hook!(
+                self,
+                hooks,
+                "fetch_inst",
+                hooks.fetch_inst(rec.seq, rec.pc, info.is_cond_branch)
+            );
             if over == FetchOverride::Stall {
                 self.stats.fetch_fabric_stall_cycles += 1;
                 self.peeked = Some(rec);
@@ -854,7 +913,12 @@ impl Core {
         self.fetch_stall_until = self.cycle + 1;
         self.last_fetch_line = u64::MAX;
 
-        hooks.on_squash(kind, boundary, self.cycle);
+        checked_hook!(
+            self,
+            hooks,
+            "on_squash",
+            hooks.on_squash(kind, boundary, self.cycle)
+        );
     }
 }
 
@@ -1186,5 +1250,92 @@ mod tests {
         );
         let err = core.run(&mut NoPfm, u64::MAX, 10_000).unwrap_err();
         assert!(matches!(err, SimError::CycleLimit(_)));
+    }
+
+    #[test]
+    fn arch_checksum_tracks_registers_pc_and_committed_memory() {
+        let mut a = Asm::new(0x1000);
+        a.halt();
+        let mut m = Machine::new(a.finish().unwrap(), SpecMemory::new());
+        let base = m.arch_checksum();
+
+        let saved = m.reg(T6);
+        m.set_reg(T6, saved.wrapping_add(0xdead));
+        assert_ne!(m.arch_checksum(), base, "register writes must show");
+        m.set_reg(T6, saved);
+        assert_eq!(
+            m.arch_checksum(),
+            base,
+            "restoring the register restores the checksum"
+        );
+
+        let pc = m.pc();
+        m.set_pc(pc.wrapping_add(4));
+        assert_ne!(m.arch_checksum(), base, "pc changes must show");
+        m.set_pc(pc);
+        assert_eq!(m.arch_checksum(), base);
+
+        // Committed-memory writes bump the generation counter, so even
+        // a write of the value already present changes the checksum.
+        m.mem_mut().committed_mut().write_u8(0x5000, 0);
+        assert_ne!(m.arch_checksum(), base, "committed writes must show");
+    }
+
+    /// The misbehaving component for the non-interference cross-check:
+    /// it abuses the debug fault-injection seam to corrupt a register
+    /// from inside a hook bracket, which must trip the `debug_assert`.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "mutated architectural state")]
+    fn rogue_hook_trips_noninterference_check() {
+        struct Rogue;
+        impl PfmHooks for Rogue {
+            fn debug_inject_arch_fault(&mut self, machine: &mut Machine) {
+                let v = machine.reg(T6);
+                machine.set_reg(T6, v.wrapping_add(1));
+            }
+        }
+        let mut a = Asm::new(0x1000);
+        a.li(A0, 1);
+        a.halt();
+        let machine = Machine::new(a.finish().unwrap(), SpecMemory::new());
+        let mut core = Core::new(
+            CoreConfig::micro21(),
+            machine,
+            Hierarchy::new(HierarchyConfig::micro21()),
+        );
+        let _ = core.run(&mut Rogue, u64::MAX, 10_000);
+    }
+
+    /// Same seam, but the "fault" leaves architectural state untouched:
+    /// the bracket must stay silent and the run must complete normally.
+    #[cfg(debug_assertions)]
+    #[test]
+    fn benign_seam_override_passes_noninterference_check() {
+        struct Benign {
+            probes: u64,
+        }
+        impl PfmHooks for Benign {
+            fn debug_inject_arch_fault(&mut self, machine: &mut Machine) {
+                // Reads are observation, not interference.
+                let _ = machine.reg(T6);
+                self.probes += 1;
+            }
+        }
+        let mut a = Asm::new(0x1000);
+        a.li(A0, 5);
+        a.addi(A0, A0, 2);
+        a.halt();
+        let machine = Machine::new(a.finish().unwrap(), SpecMemory::new());
+        let mut core = Core::new(
+            CoreConfig::micro21(),
+            machine,
+            Hierarchy::new(HierarchyConfig::micro21()),
+        );
+        let mut hooks = Benign { probes: 0 };
+        core.run(&mut hooks, u64::MAX, 10_000).unwrap();
+        assert!(core.finished());
+        assert_eq!(core.machine().reg(A0), 7);
+        assert!(hooks.probes > 0, "seam must have been exercised");
     }
 }

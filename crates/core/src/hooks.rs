@@ -135,6 +135,21 @@ pub trait PfmHooks {
     /// load. `Hit` arrives when the data does; `Miss` arrives at
     /// access time so the MLB can buffer and replay.
     fn load_result(&mut self, _id: u64, _result: FabricLoadResult, _cycle: u64) {}
+
+    /// Fault-injection seam for the non-interference cross-check.
+    ///
+    /// The hook API deliberately gives Agents no access to the
+    /// [`pfm_isa::Machine`], so a well-typed hook *cannot* change
+    /// architectural state. The cross-check in `Core` still checksums
+    /// architectural state around every hook invocation in debug builds
+    /// (guarding against interior-mutability leaks and future API
+    /// widening), and this method is how its own alarm is tested: the
+    /// core calls it, inside the checksummed bracket, in debug builds
+    /// only. Production hooks keep the no-op default; a deliberately
+    /// misbehaving test hook overrides it to mutate state and must trip
+    /// the `debug_assert`.
+    #[doc(hidden)]
+    fn debug_inject_arch_fault(&mut self, _machine: &mut pfm_isa::Machine) {}
 }
 
 /// Baseline: no reconfigurable fabric attached.

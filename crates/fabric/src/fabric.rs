@@ -10,7 +10,7 @@ use pfm_core::hooks::{
     FabricLoadResult, FetchOverride, PfmHooks, RetireDirective, RetireInfo, SquashKind,
 };
 use pfm_core::NUM_LANES;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// How deep the Fetch Agent scans IntQ-F for a PC-matching prediction
 /// before concluding the stream is misaligned.
@@ -89,8 +89,8 @@ struct PendingObs {
 /// Retire and Load Agents.
 pub struct Fabric {
     params: FabricParams,
-    fst: HashSet<u64>,
-    rst: HashMap<u64, RstEntry>,
+    fst: BTreeSet<u64>,
+    rst: BTreeMap<u64, RstEntry>,
     component: Box<dyn CustomComponent>,
 
     enabled: bool,
@@ -116,7 +116,7 @@ pub struct Fabric {
     obs_ex: VecDeque<LoadResponse>,
     /// Missed loads with their earliest-replay cycle.
     mlb: VecDeque<(FabricLoad, u64)>,
-    inflight_loads: HashMap<u64, FabricLoad>,
+    inflight_loads: BTreeMap<u64, FabricLoad>,
 
     // Squash protocol.
     squash_pending: bool,
@@ -141,8 +141,8 @@ impl Fabric {
     /// executable"), and custom component.
     pub fn new(
         params: FabricParams,
-        fst: HashSet<u64>,
-        rst: HashMap<u64, RstEntry>,
+        fst: BTreeSet<u64>,
+        rst: BTreeMap<u64, RstEntry>,
         component: Box<dyn CustomComponent>,
     ) -> Fabric {
         Fabric {
@@ -166,7 +166,7 @@ impl Fabric {
             load_delay: VecDeque::new(),
             obs_ex: VecDeque::new(),
             mlb: VecDeque::new(),
-            inflight_loads: HashMap::new(),
+            inflight_loads: BTreeMap::new(),
             squash_pending: false,
             squash_done_at: None,
             stats: FabricStats::default(),
@@ -361,6 +361,7 @@ impl PfmHooks for Fabric {
                     self.intq_f.pop_front();
                     self.stats.preds_dropped += 1;
                 }
+                // pfm-lint: allow(hygiene): `found` indexes into intq_f
                 let p = self.intq_f.pop_front().expect("match exists");
                 self.delivered.push_back((seq, p));
                 self.stall_streak = 0;
@@ -603,9 +604,9 @@ mod tests {
     }
 
     fn fabric_with(component: Scripted, params: FabricParams) -> Fabric {
-        let mut rst = HashMap::new();
+        let mut rst = BTreeMap::new();
         rst.insert(0x1000, RstEntry::dest().begin());
-        let mut fst = HashSet::new();
+        let mut fst = BTreeSet::new();
         fst.insert(0x2000);
         Fabric::new(params, fst, rst, Box::new(component))
     }
@@ -792,10 +793,10 @@ mod tests {
     fn observation_packets_respect_prf_ports() {
         let mut params = FabricParams::paper_default();
         params.port_policy = crate::params::PortPolicy::Ls1;
-        let mut rst = HashMap::new();
+        let mut rst = BTreeMap::new();
         rst.insert(0x1000, RstEntry::dest().begin());
         rst.insert(0x3000, RstEntry::dest());
-        let mut f = Fabric::new(params, HashSet::new(), rst, Box::new(Scripted::new()));
+        let mut f = Fabric::new(params, BTreeSet::new(), rst, Box::new(Scripted::new()));
         f.on_retire(&retire_info(0x1000, 1));
         f.on_squash(SquashKind::RoiBegin, 2, 1);
         for c in 2..40 {

@@ -29,7 +29,7 @@
 //!
 //! ```
 //! use pfm_fabric::{CustomComponent, FabricIo, Fabric, FabricParams, PredPacket, RstEntry};
-//! use std::collections::{HashMap, HashSet};
+//! use std::collections::{BTreeMap, BTreeSet};
 //!
 //! struct AlwaysTaken { pc: u64 }
 //! impl CustomComponent for AlwaysTaken {
@@ -41,9 +41,9 @@
 //!     fn name(&self) -> &'static str { "always-taken" }
 //! }
 //!
-//! let mut fst = HashSet::new();
+//! let mut fst = BTreeSet::new();
 //! fst.insert(0x2000);
-//! let mut rst = HashMap::new();
+//! let mut rst = BTreeMap::new();
 //! rst.insert(0x1000, RstEntry::dest().begin());
 //! let fabric = Fabric::new(FabricParams::paper_default(), fst, rst,
 //!                          Box::new(AlwaysTaken { pc: 0x2000 }));

@@ -8,7 +8,7 @@ use pfm_fabric::{
     CustomComponent, Fabric, FabricIo, FabricLoad, FabricParams, PredPacket, RstEntry,
 };
 use proptest::prelude::*;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// A component that emits a scripted, numbered prediction stream.
 struct Numbered {
@@ -49,9 +49,9 @@ fn retire_info(pc: u64, seq: u64) -> RetireInfo<'static> {
 }
 
 fn enabled_fabric(params: FabricParams, pc: u64, limit: u64) -> Fabric {
-    let mut rst = HashMap::new();
+    let mut rst = BTreeMap::new();
     rst.insert(0x10, RstEntry::dest().begin());
-    let mut fst = HashSet::new();
+    let mut fst = BTreeSet::new();
     fst.insert(pc);
     let mut f = Fabric::new(params, fst, rst, Box::new(Numbered { next: 0, limit, pc }));
     f.on_retire(&retire_info(0x10, 1));
@@ -166,19 +166,19 @@ proptest! {
             .map(|i| FabricLoad { id: i as u64, addr: 0x1000 + i as u64 * 64, size: 8, is_prefetch: false })
             .rev()
             .collect();
-        let mut rst = HashMap::new();
+        let mut rst = BTreeMap::new();
         rst.insert(0x10, RstEntry::dest().begin());
         let mut f = Fabric::new(
             FabricParams::paper_default().clk_w(1, 4).delay(0).queue(64),
-            HashSet::new(),
+            BTreeSet::new(),
             rst,
             Box::new(Loader { to_push: loads }),
         );
         f.on_retire(&retire_info(0x10, 1));
         f.on_squash(SquashKind::RoiBegin, 2, 1);
         // Every load misses once, then hits on its first replay.
-        let mut missed_once: HashSet<u64> = HashSet::new();
-        let mut completed: HashSet<u64> = HashSet::new();
+        let mut missed_once: BTreeSet<u64> = BTreeSet::new();
+        let mut completed: BTreeSet<u64> = BTreeSet::new();
         for cycle in 2..200_000 {
             f.begin_cycle(cycle, [false; NUM_LANES]);
             for _ in 0..2 {

@@ -21,7 +21,7 @@
 use crate::inst::{AluOp, BranchCond, FAluOp, Inst, MemWidth, INST_BYTES};
 use crate::program::Program;
 use crate::reg::{FReg, Reg};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A forward-referencable code label.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -61,7 +61,7 @@ pub struct Asm {
     labels: Vec<Option<u64>>,
     /// (instruction index) -> label to patch into its target.
     patches: Vec<(usize, Label)>,
-    symbols: HashMap<String, u64>,
+    symbols: BTreeMap<String, u64>,
 }
 
 impl Asm {
@@ -72,7 +72,7 @@ impl Asm {
             insts: Vec::new(),
             labels: Vec::new(),
             patches: Vec::new(),
-            symbols: HashMap::new(),
+            symbols: BTreeMap::new(),
         }
     }
 
@@ -92,6 +92,20 @@ impl Asm {
         }
         self.labels[label.0] = Some(self.here());
         Ok(())
+    }
+
+    /// Binds `label` like [`Asm::bind`], panicking on a double bind.
+    ///
+    /// Static kernel builders use this for labels they create and bind
+    /// exactly once: a rebind there is a builder bug, not a recoverable
+    /// condition, and the panic carries the label index.
+    ///
+    /// # Panics
+    /// Panics if the label was already bound.
+    pub fn place(&mut self, label: Label) {
+        if let Err(e) = self.bind(label) {
+            panic!("Asm::place: {e}");
+        }
     }
 
     /// The address of the next appended instruction.

@@ -158,6 +158,34 @@ impl Machine {
         &mut self.mem
     }
 
+    /// A cheap fingerprint of architectural state: every register file
+    /// entry, the PC, and the committed memory's write-generation
+    /// counter, folded FNV-style.
+    ///
+    /// Two equal checksums bracketing a fabric Agent hook invocation
+    /// certify the hook did not change architectural state — the PFM
+    /// non-interference contract (observe retired stream, intervene
+    /// microarchitecturally only). The timing core cross-checks this in
+    /// debug builds around every hook call.
+    pub fn arch_checksum(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut fold = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(FNV_PRIME);
+        };
+        for &r in &self.regs {
+            fold(r);
+        }
+        for &f in &self.fregs {
+            fold(f);
+        }
+        fold(self.pc);
+        fold(self.mem.committed().generation());
+        h
+    }
+
     /// Executes one instruction at the current PC.
     ///
     /// # Errors

@@ -35,6 +35,10 @@ const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
 #[derive(Clone, Debug, Default)]
 pub struct SparseMem {
     pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    /// Monotonic write-generation counter: bumped on every byte write.
+    /// Lets observers (the core's non-interference cross-check) detect
+    /// *any* committed-state mutation without hashing the whole image.
+    generation: u64,
 }
 
 impl SparseMem {
@@ -46,6 +50,13 @@ impl SparseMem {
     /// Number of resident 4 KiB pages.
     pub fn resident_pages(&self) -> usize {
         self.pages.len()
+    }
+
+    /// Monotonic write-generation counter; increments on every byte
+    /// written. Two equal generations bracket a window with no
+    /// committed-memory mutation.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Reads one byte.
@@ -65,6 +76,7 @@ impl SparseMem {
             .entry(addr >> PAGE_SHIFT)
             .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
         page[(addr & PAGE_MASK) as usize] = value;
+        self.generation += 1;
     }
 
     /// Reads `size` bytes (1, 2, 4, or 8) little-endian, zero-extended.
@@ -208,6 +220,7 @@ impl SpecMemory {
             .pending
             .first()
             .copied()
+            // pfm-lint: allow(hygiene): caller contract; the panic is documented
             .expect("no pending store to commit");
         assert_eq!(st.seq, seq, "stores must commit in program order");
         self.pending.remove(0);

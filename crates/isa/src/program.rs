@@ -2,7 +2,7 @@
 //! address space plus symbolic metadata.
 
 use crate::inst::{Inst, INST_BYTES};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Errors produced while building or querying a [`Program`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -32,12 +32,12 @@ impl std::error::Error for ProgramError {}
 pub struct Program {
     base: u64,
     insts: Vec<Inst>,
-    symbols: HashMap<String, u64>,
+    symbols: BTreeMap<String, u64>,
 }
 
 impl Program {
     /// Creates a program from raw parts.
-    pub fn new(base: u64, insts: Vec<Inst>, symbols: HashMap<String, u64>) -> Program {
+    pub fn new(base: u64, insts: Vec<Inst>, symbols: BTreeMap<String, u64>) -> Program {
         Program {
             base,
             insts,
@@ -95,8 +95,22 @@ impl Program {
             .ok_or_else(|| ProgramError::UnknownSymbol(name.to_string()))
     }
 
-    /// All exported symbols.
-    pub fn symbols(&self) -> &HashMap<String, u64> {
+    /// Like [`Program::symbol`], panicking when the symbol is missing.
+    ///
+    /// Kernel builders resolving symbols they just exported use this;
+    /// absence there is a builder bug, not a runtime condition.
+    ///
+    /// # Panics
+    /// Panics if `name` was never exported.
+    pub fn require_symbol(&self, name: &str) -> u64 {
+        match self.symbol(name) {
+            Ok(v) => v,
+            Err(e) => panic!("Program::require_symbol: {e}"),
+        }
+    }
+
+    /// All exported symbols, in name order.
+    pub fn symbols(&self) -> &BTreeMap<String, u64> {
         &self.symbols
     }
 }
@@ -107,7 +121,7 @@ mod tests {
     use crate::inst::Inst;
 
     fn prog() -> Program {
-        let mut syms = HashMap::new();
+        let mut syms = BTreeMap::new();
         syms.insert("start".to_string(), 0x1000);
         Program::new(0x1000, vec![Inst::Nop, Inst::Halt], syms)
     }

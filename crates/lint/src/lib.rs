@@ -1,0 +1,154 @@
+//! `pfm-lint`: the PFM workspace invariant checker.
+//!
+//! Enforces the two properties the simulator's correctness argument
+//! leans on but the type system cannot see, plus one hygiene rule:
+//!
+//! 1. **determinism** — every simulation run must be internally
+//!    deterministic (PR 1's deduplicating executor collapses equal run
+//!    specs into one execution, so nondeterminism silently corrupts
+//!    whole result tables). Unordered hash iteration, wall-clock reads
+//!    and entropy-seeded RNGs are flagged inside the sim crates.
+//! 2. **non-interference** — fabric Agents observe the retired stream
+//!    and intervene microarchitecturally *without changing
+//!    architectural state* (PAPER.md §3). Agent crates must not call
+//!    register/memory/PC mutators.
+//! 3. **hygiene** — no `unwrap()`/`expect()` in non-test library code.
+//!
+//! Violations print as `file:line: family/rule: message`. A violation
+//! that is deliberate carries a `// pfm-lint: allow(<rule>)` comment on
+//! the same line or the line above.
+//!
+//! The checker is dependency-free (the workspace is offline): a
+//! hand-rolled lexer strips comments and literals, and the rules are
+//! conservative token-pattern heuristics. See DESIGN.md § Invariants.
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{check, FileContext, Finding};
+
+use std::path::{Path, PathBuf};
+
+/// Directory names whose contents no rule family applies to (test,
+/// example and bench code is exempt; `pfm-lint`'s own fixtures live
+/// under `tests/` too).
+const EXEMPT_DIRS: &[&str] = &["tests", "examples", "benches", "fixtures"];
+
+/// Directory names never walked: build output, vendored dependency
+/// stubs (third-party code mirrored for the offline workspace) and VCS
+/// metadata.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git"];
+
+/// Classifies a path relative to the workspace root.
+///
+/// Returns `None` for files that should not be linted at all (exempt
+/// directories are skipped during the walk, so this only sees library
+/// and binary sources).
+pub fn classify(root: &Path, path: &Path) -> FileContext {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let display = rel.display().to_string();
+    let comps: Vec<String> = rel
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    let crate_name = match comps.first().map(String::as_str) {
+        Some("crates") => comps.get(1).cloned(),
+        Some("src") => Some("pfm".to_string()),
+        _ => None,
+    };
+    let exempt = comps.iter().any(|c| EXEMPT_DIRS.contains(&c.as_str()));
+    FileContext {
+        display,
+        crate_name,
+        exempt,
+    }
+}
+
+/// Lints one source string under an explicit context. This is the seam
+/// the fixture tests use.
+pub fn lint_source(source: &str, ctx: &FileContext) -> Vec<Finding> {
+    check(&lexer::lex(source), ctx)
+}
+
+/// Lints one file on disk, classified relative to `root`.
+pub fn lint_file(root: &Path, path: &Path) -> Result<Vec<Finding>, String> {
+    let source = std::fs::read_to_string(path)
+        .map_err(|e| format!("{}: cannot read: {e}", path.display()))?;
+    Ok(lint_source(&source, &classify(root, path)))
+}
+
+/// Recursively collects `.rs` files under `dir`, skipping build
+/// output, vendored stubs, and exempt (test/example/bench) trees.
+pub fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("{}: cannot read dir: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: cannot read dir entry: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str())
+                || EXEMPT_DIRS.contains(&name.as_str())
+                || name.starts_with('.')
+            {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Walks upward from `start` to the enclosing workspace root (the
+/// first ancestor whose `Cargo.toml` contains a `[workspace]` table).
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// Lints the whole workspace rooted at `root`; findings come back
+/// sorted by file then line.
+pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, String> {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files)?;
+    files.sort();
+    let mut findings = Vec::new();
+    for f in &files {
+        findings.extend(lint_file(root, f)?);
+    }
+    findings.sort();
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_crate_and_exempt_paths() {
+        let root = Path::new("/ws");
+        let c = classify(root, Path::new("/ws/crates/fabric/src/fabric.rs"));
+        assert_eq!(c.crate_name.as_deref(), Some("fabric"));
+        assert!(!c.exempt);
+
+        let c = classify(root, Path::new("/ws/crates/fabric/tests/proptests.rs"));
+        assert!(c.exempt);
+
+        let c = classify(root, Path::new("/ws/src/lib.rs"));
+        assert_eq!(c.crate_name.as_deref(), Some("pfm"));
+
+        let c = classify(root, Path::new("/ws/crates/sim/examples/smoke.rs"));
+        assert!(c.exempt);
+    }
+}

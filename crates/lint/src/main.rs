@@ -1,0 +1,97 @@
+//! CLI entry point for `pfm-lint`.
+//!
+//! ```text
+//! pfm-lint --workspace        # lint every .rs file in the workspace
+//! pfm-lint PATH [PATH ...]    # lint specific files or directories
+//! ```
+//!
+//! Exit status: 0 when clean, 1 when findings were reported, 2 on
+//! usage or IO errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pfm_lint::{collect_rs_files, find_workspace_root, lint_file, lint_workspace, Finding};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: pfm-lint --workspace | PATH [PATH ...]");
+    ExitCode::from(2)
+}
+
+fn report(findings: &[Finding]) -> ExitCode {
+    for f in findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        eprintln!("pfm-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("pfm-lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage();
+    }
+
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("pfm-lint: cannot determine current dir: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match find_workspace_root(&cwd) {
+        Some(r) => r,
+        None => cwd.clone(),
+    };
+
+    if args.iter().any(|a| a == "--workspace") {
+        if args.len() != 1 {
+            return usage();
+        }
+        return match lint_workspace(&root) {
+            Ok(findings) => report(&findings),
+            Err(e) => {
+                eprintln!("pfm-lint: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    if args.iter().any(|a| a.starts_with("--")) {
+        return usage();
+    }
+
+    let mut files: Vec<PathBuf> = Vec::new();
+    for a in &args {
+        let p = PathBuf::from(a);
+        if p.is_dir() {
+            if let Err(e) = collect_rs_files(&p, &mut files) {
+                eprintln!("pfm-lint: {e}");
+                return ExitCode::from(2);
+            }
+        } else {
+            files.push(p);
+        }
+    }
+    files.sort();
+
+    let mut findings = Vec::new();
+    for f in &files {
+        // Classify relative to the enclosing workspace so rule scoping
+        // (sim crates, agent crates) matches `--workspace` runs.
+        match lint_file(&root, f) {
+            Ok(fs) => findings.extend(fs),
+            Err(e) => {
+                eprintln!("pfm-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    findings.sort();
+    report(&findings)
+}

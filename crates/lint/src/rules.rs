@@ -1,0 +1,438 @@
+//! The three rule families enforced by `pfm-lint`.
+//!
+//! * **determinism** — inside the simulation crates, flag unordered
+//!   `HashMap`/`HashSet` iteration, wall-clock reads, and entropy-seeded
+//!   RNGs. PR 1's deduplicating executor collapses behaviourally equal
+//!   runs into one simulation, which is only sound if every run is
+//!   internally deterministic.
+//! * **noninterference** — `crates/fabric` and `crates/components` may
+//!   observe the retired stream and emit packets through the sanctioned
+//!   `FabricIo` API, but must never call an architectural-state mutator
+//!   (register writes, committed-memory stores, PC redirects).
+//! * **hygiene** — no `unwrap()`/`expect()` in non-test library code;
+//!   invariants get a justified `// pfm-lint: allow(hygiene)`, IO paths
+//!   get real error plumbing.
+//!
+//! All rules are token-pattern matchers over [`crate::lexer::Lexed`];
+//! they are deliberately conservative, single-file heuristics (no type
+//! information), documented in DESIGN.md.
+
+use crate::lexer::Lexed;
+
+/// Crates whose sources drive simulation results; determinism rules
+/// apply here.
+pub const SIM_CRATES: &[&str] = &["isa", "mem", "bpred", "core", "fabric", "components", "sim"];
+
+/// Crates that implement fabric Agents; the non-interference rule
+/// applies here. Everything else is allowed to mutate architectural
+/// state (the core *retires* instructions; that is its job).
+pub const AGENT_CRATES: &[&str] = &["fabric", "components"];
+
+/// Architectural-state mutators that Agent crates must not call. The
+/// sanctioned intervention surface is `FabricIo` (`push_pred`,
+/// `push_load`) only.
+pub const ARCH_MUTATORS: &[&str] = &[
+    "set_pc",
+    "set_reg",
+    "set_freg_bits",
+    "mem_mut",
+    "committed_mut",
+    "write_spec",
+    "commit_store",
+    "squash_after",
+    "write_u8",
+];
+
+/// Unordered-iteration methods on hash collections.
+const HASH_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+];
+
+/// Entropy-seeded RNG constructors/handles.
+const RNG_IDENTS: &[&str] = &["thread_rng", "ThreadRng", "from_entropy", "OsRng"];
+
+/// Where a source file sits in the workspace; decides which rule
+/// families run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileContext {
+    /// Path string used in diagnostics.
+    pub display: String,
+    /// Workspace crate the file belongs to (`fabric`, `sim`, ...; the
+    /// root package is `pfm`). `None` for files outside the workspace.
+    pub crate_name: Option<String>,
+    /// True for test/example/bench sources, which every rule family
+    /// exempts.
+    pub exempt: bool,
+}
+
+/// A single diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Path string used in diagnostics.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Rule family (`determinism`, `noninterference`, `hygiene`).
+    pub family: &'static str,
+    /// Specific rule within the family (e.g. `hash-iter`).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}/{}: {}",
+            self.file, self.line, self.family, self.rule, self.message
+        )
+    }
+}
+
+/// Runs every applicable rule family over one lexed file.
+pub fn check(lexed: &Lexed, ctx: &FileContext) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if ctx.exempt {
+        return findings;
+    }
+    let in_sim = ctx
+        .crate_name
+        .as_deref()
+        .is_some_and(|c| SIM_CRATES.contains(&c));
+    let in_agent = ctx
+        .crate_name
+        .as_deref()
+        .is_some_and(|c| AGENT_CRATES.contains(&c));
+
+    if in_sim {
+        determinism(lexed, ctx, &mut findings);
+    }
+    if in_agent {
+        noninterference(lexed, ctx, &mut findings);
+    }
+    hygiene(lexed, ctx, &mut findings);
+
+    findings.sort();
+    findings.dedup();
+    findings
+}
+
+/// Pushes `finding` unless an allow annotation suppresses it.
+fn emit(
+    lexed: &Lexed,
+    findings: &mut Vec<Finding>,
+    ctx: &FileContext,
+    line: u32,
+    family: &'static str,
+    rule: &'static str,
+    message: String,
+) {
+    if lexed.allowed(family, rule, line) {
+        return;
+    }
+    findings.push(Finding {
+        file: ctx.display.clone(),
+        line,
+        family,
+        rule,
+        message,
+    });
+}
+
+/// Collects names declared with a `HashMap`/`HashSet` type anywhere in
+/// the file: struct fields and typed bindings (`name: HashMap<..>`,
+/// possibly behind `&`/`&mut`/a `std::collections::` path) and
+/// inferred bindings (`let name = HashMap::new()`).
+fn hash_names(lexed: &Lexed) -> Vec<String> {
+    let toks = &lexed.tokens;
+    let t = |i: usize| toks.get(i).map(|t| t.text.as_str());
+    let mut names = Vec::new();
+    for i in 0..toks.len() {
+        let is_hash = matches!(t(i), Some("HashMap") | Some("HashSet"));
+        if !is_hash {
+            continue;
+        }
+        // Walk left over a type-path / reference prefix to find either
+        // `name :` (typed binding or field) or `name =` (let binding).
+        let mut j = i;
+        // `std :: collections ::` path segments (each is `seg : :`).
+        while j >= 3
+            && t(j - 1) == Some(":")
+            && t(j - 2) == Some(":")
+            && matches!(t(j - 3), Some("std") | Some("collections"))
+        {
+            j -= 3;
+        }
+        // Reference / lifetime / mut prefix (`& 'a mut`).
+        loop {
+            let is_lifetime = j >= 2
+                && t(j - 2) == Some("'")
+                && t(j - 1).is_some_and(|w| w.chars().all(|c| c.is_alphanumeric() || c == '_'));
+            if is_lifetime {
+                j -= 2;
+            } else if j >= 1 && matches!(t(j - 1), Some("&") | Some("mut")) {
+                j -= 1;
+            } else {
+                break;
+            }
+        }
+        // `j` now points at the first token of the type expression; the
+        // token before it should be `:` or `=` preceded by the name.
+        if j >= 2 && matches!(t(j - 1), Some(":") | Some("=")) {
+            if let Some(name) = t(j - 2) {
+                if name
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphabetic() || c == '_')
+                    && !names.iter().any(|n| n == name)
+                {
+                    names.push(name.to_string());
+                }
+            }
+        }
+    }
+    names
+}
+
+/// determinism/hash-iter, determinism/wall-clock, determinism/rng.
+fn determinism(lexed: &Lexed, ctx: &FileContext, findings: &mut Vec<Finding>) {
+    let names = hash_names(lexed);
+    let toks = &lexed.tokens;
+    let t = |i: usize| toks.get(i).map(|t| t.text.as_str());
+
+    for i in 0..toks.len() {
+        if lexed.in_test_region(i) {
+            continue;
+        }
+        let line = toks[i].line;
+
+        // `name.iter()` / `.keys()` / `.values()` / `.drain()` ...
+        if names.iter().any(|n| n == &toks[i].text)
+            && t(i + 1) == Some(".")
+            && t(i + 3) == Some("(")
+        {
+            if let Some(m) = t(i + 2) {
+                if HASH_ITER_METHODS.contains(&m) {
+                    emit(
+                        lexed,
+                        findings,
+                        ctx,
+                        line,
+                        "determinism",
+                        "hash-iter",
+                        format!(
+                            "unordered iteration over hash collection `{}` (`.{}()`); \
+                             use BTreeMap/BTreeSet or sort before iterating",
+                            toks[i].text, m
+                        ),
+                    );
+                }
+            }
+        }
+
+        // `for k in &map {` (with optional `mut`/`self.` in between).
+        if t(i) == Some("in") {
+            let mut j = i + 1;
+            while matches!(t(j), Some("&") | Some("mut") | Some("self") | Some(".")) {
+                j += 1;
+            }
+            if let Some(name) = t(j) {
+                if names.iter().any(|n| n == name) && t(j + 1) == Some("{") {
+                    emit(
+                        lexed,
+                        findings,
+                        ctx,
+                        toks[j].line,
+                        "determinism",
+                        "hash-iter",
+                        format!(
+                            "for-loop over hash collection `{name}` has unordered \
+                             iteration; use BTreeMap/BTreeSet or sort first"
+                        ),
+                    );
+                }
+            }
+        }
+
+        // `Instant::now` / `SystemTime`.
+        if t(i) == Some("Instant")
+            && t(i + 1) == Some(":")
+            && t(i + 2) == Some(":")
+            && t(i + 3) == Some("now")
+        {
+            emit(
+                lexed,
+                findings,
+                ctx,
+                line,
+                "determinism",
+                "wall-clock",
+                "`Instant::now` in a simulation crate; wall-clock reads are \
+                 nondeterministic"
+                    .to_string(),
+            );
+        }
+        if t(i) == Some("SystemTime") {
+            emit(
+                lexed,
+                findings,
+                ctx,
+                line,
+                "determinism",
+                "wall-clock",
+                "`SystemTime` in a simulation crate; wall-clock reads are \
+                 nondeterministic"
+                    .to_string(),
+            );
+        }
+
+        // Entropy-seeded RNGs.
+        if let Some(w) = t(i) {
+            if RNG_IDENTS.contains(&w) {
+                emit(
+                    lexed,
+                    findings,
+                    ctx,
+                    line,
+                    "determinism",
+                    "rng",
+                    format!("`{w}` in a simulation crate; seed RNGs explicitly"),
+                );
+            }
+        }
+    }
+}
+
+/// noninterference/arch-mutation: Agent crates must not call
+/// architectural-state mutators.
+fn noninterference(lexed: &Lexed, ctx: &FileContext, findings: &mut Vec<Finding>) {
+    let toks = &lexed.tokens;
+    let t = |i: usize| toks.get(i).map(|t| t.text.as_str());
+    for i in 0..toks.len() {
+        if lexed.in_test_region(i) {
+            continue;
+        }
+        let Some(w) = t(i) else { continue };
+        if !ARCH_MUTATORS.contains(&w) || t(i + 1) != Some("(") {
+            continue;
+        }
+        // Only method/path calls count; `fn set_pc(` is a definition.
+        let is_call = i > 0
+            && (t(i - 1) == Some(".")
+                || (i >= 2 && t(i - 1) == Some(":") && t(i - 2) == Some(":")));
+        if !is_call {
+            continue;
+        }
+        emit(
+            lexed,
+            findings,
+            ctx,
+            toks[i].line,
+            "noninterference",
+            "arch-mutation",
+            format!(
+                "Agent crate calls architectural-state mutator `{w}`; fabric \
+                 components may only observe and emit `FabricIo` packets"
+            ),
+        );
+    }
+}
+
+/// hygiene/unwrap, hygiene/expect: no `.unwrap()`/`.expect(...)` in
+/// non-test library code.
+fn hygiene(lexed: &Lexed, ctx: &FileContext, findings: &mut Vec<Finding>) {
+    let toks = &lexed.tokens;
+    let t = |i: usize| toks.get(i).map(|t| t.text.as_str());
+    for i in 0..toks.len() {
+        if lexed.in_test_region(i) {
+            continue;
+        }
+        let Some(w) = t(i) else { continue };
+        let rule = match w {
+            "unwrap" => "unwrap",
+            "expect" => "expect",
+            _ => continue,
+        };
+        if i == 0 || t(i - 1) != Some(".") || t(i + 1) != Some("(") {
+            continue;
+        }
+        emit(
+            lexed,
+            findings,
+            ctx,
+            toks[i].line,
+            "hygiene",
+            rule,
+            format!(
+                "`.{w}()` in non-test code; plumb the error with context or \
+                 justify with `// pfm-lint: allow(hygiene)`"
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn ctx(crate_name: &str) -> FileContext {
+        FileContext {
+            display: "test.rs".into(),
+            crate_name: Some(crate_name.into()),
+            exempt: false,
+        }
+    }
+
+    fn rules_of(src: &str, c: &str) -> Vec<String> {
+        check(&lex(src), &ctx(c))
+            .into_iter()
+            .map(|f| format!("{}/{}", f.family, f.rule))
+            .collect()
+    }
+
+    #[test]
+    fn flags_hash_iteration_in_sim_crates() {
+        let src = "struct S { m: HashMap<u64, u64> }\nimpl S { fn f(&self) { for k in &self.m { let _ = k; } } }";
+        assert_eq!(rules_of(src, "fabric"), vec!["determinism/hash-iter"]);
+        // Same source outside the sim crates is fine.
+        assert!(rules_of(src, "lint").is_empty());
+    }
+
+    #[test]
+    fn flags_iter_methods_but_not_point_lookups() {
+        let src = "fn f() { let mut m = HashMap::new(); m.insert(1, 2); let _ = m.get(&1); }";
+        assert!(rules_of(src, "core").is_empty());
+        let src = "fn f() { let m: HashMap<u32, u32> = HashMap::new(); for v in m.values() { let _ = v; } }";
+        assert_eq!(rules_of(src, "core"), vec!["determinism/hash-iter"]);
+    }
+
+    #[test]
+    fn noninterference_only_in_agent_crates() {
+        let src = "fn f(m: &mut Machine) { m.set_reg(1, 2); }";
+        assert_eq!(
+            rules_of(src, "components"),
+            vec!["noninterference/arch-mutation"]
+        );
+        assert!(rules_of(src, "isa").is_empty());
+    }
+
+    #[test]
+    fn hygiene_everywhere_except_tests() {
+        let src = "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod tests { fn t() { y.unwrap(); } }";
+        assert_eq!(rules_of(src, "workloads"), vec!["hygiene/unwrap"]);
+    }
+
+    #[test]
+    fn allow_annotation_suppresses() {
+        let src = "fn f() {\n  // pfm-lint: allow(hygiene)\n  x.unwrap();\n}";
+        assert!(rules_of(src, "sim").is_empty());
+    }
+}

@@ -1,0 +1,206 @@
+//! Fixture-corpus tests: each rule family against known-bad,
+//! known-allowed and known-clean sources, plus the workspace
+//! self-check (the tree `pfm-lint` ships in must itself be clean).
+
+use pfm_lint::{lint_source, FileContext, Finding};
+use std::path::Path;
+
+/// A source inside a simulation crate (determinism + hygiene apply).
+fn sim_ctx() -> FileContext {
+    FileContext {
+        display: "crates/core/src/fixture.rs".to_string(),
+        crate_name: Some("core".to_string()),
+        exempt: false,
+    }
+}
+
+/// A source inside an Agent crate (all three families apply).
+fn agent_ctx() -> FileContext {
+    FileContext {
+        display: "crates/fabric/src/fixture.rs".to_string(),
+        crate_name: Some("fabric".to_string()),
+        exempt: false,
+    }
+}
+
+/// A source outside the sim crates (only hygiene applies).
+fn tool_ctx() -> FileContext {
+    FileContext {
+        display: "crates/bench/src/fixture.rs".to_string(),
+        crate_name: Some("bench".to_string()),
+        exempt: false,
+    }
+}
+
+fn rules(findings: &[Finding]) -> Vec<(&'static str, &'static str)> {
+    findings.iter().map(|f| (f.family, f.rule)).collect()
+}
+
+#[test]
+fn hash_iter_patterns_are_flagged() {
+    let src = include_str!("fixtures/hash_iter_bad.rs");
+    let findings = lint_source(src, &sim_ctx());
+    let hash_iter = findings
+        .iter()
+        .filter(|f| f.rule == "hash-iter")
+        .collect::<Vec<_>>();
+    // .iter(), for-in &map, for-in &set, .keys(), .values(), .drain()
+    assert_eq!(
+        hash_iter.len(),
+        6,
+        "expected all six hazards flagged, got: {findings:#?}"
+    );
+    assert!(findings.iter().all(|f| f.family == "determinism"));
+}
+
+#[test]
+fn hash_iter_is_crate_scoped() {
+    // The same hazards outside the sim crates are not determinism
+    // findings (the dedup-executor argument only covers sim results).
+    let src = include_str!("fixtures/hash_iter_bad.rs");
+    let findings = lint_source(src, &tool_ctx());
+    assert!(
+        findings.iter().all(|f| f.family != "determinism"),
+        "tool crates are out of determinism scope: {findings:#?}"
+    );
+}
+
+#[test]
+fn allow_annotations_suppress_hash_iter() {
+    let src = include_str!("fixtures/hash_iter_allowed.rs");
+    let findings = lint_source(src, &sim_ctx());
+    assert!(
+        findings.is_empty(),
+        "allow(<rule>) on the same or previous line must suppress: {findings:#?}"
+    );
+}
+
+#[test]
+fn wall_clock_reads_are_flagged() {
+    let src = include_str!("fixtures/wall_clock_bad.rs");
+    let findings = lint_source(src, &sim_ctx());
+    let r = rules(&findings);
+    assert!(
+        r.contains(&("determinism", "wall-clock")),
+        "expected wall-clock findings: {findings:#?}"
+    );
+    assert!(findings.iter().any(|f| f.message.contains("Instant::now")));
+}
+
+#[test]
+fn entropy_rng_is_flagged() {
+    let src = include_str!("fixtures/rng_bad.rs");
+    let findings = lint_source(src, &sim_ctx());
+    assert!(
+        rules(&findings).contains(&("determinism", "rng")),
+        "expected rng findings: {findings:#?}"
+    );
+}
+
+#[test]
+fn arch_mutators_are_flagged_in_agent_crates() {
+    let src = include_str!("fixtures/arch_mutation_bad.rs");
+    let findings = lint_source(src, &agent_ctx());
+    let arch = findings
+        .iter()
+        .filter(|f| f.rule == "arch-mutation")
+        .collect::<Vec<_>>();
+    // set_reg, set_pc, mem_mut, commit_store, set_freg_bits.
+    assert_eq!(
+        arch.len(),
+        5,
+        "expected all five mutator calls flagged: {findings:#?}"
+    );
+    assert!(arch.iter().all(|f| f.family == "noninterference"));
+}
+
+#[test]
+fn arch_mutators_are_fine_outside_agent_crates() {
+    // The core itself retires stores and writes registers; only the
+    // Agent crates are barred from the mutator surface.
+    let src = include_str!("fixtures/arch_mutation_bad.rs");
+    let findings = lint_source(src, &sim_ctx());
+    assert!(
+        findings.iter().all(|f| f.rule != "arch-mutation"),
+        "non-agent crates may mutate architectural state: {findings:#?}"
+    );
+}
+
+#[test]
+fn unwrap_and_expect_are_flagged() {
+    let src = include_str!("fixtures/hygiene_bad.rs");
+    let findings = lint_source(src, &tool_ctx());
+    let r = rules(&findings);
+    assert!(r.contains(&("hygiene", "unwrap")), "{findings:#?}");
+    assert!(r.contains(&("hygiene", "expect")), "{findings:#?}");
+    assert_eq!(findings.len(), 2);
+}
+
+#[test]
+fn clean_fixture_is_clean_everywhere() {
+    let src = include_str!("fixtures/clean.rs");
+    for ctx in [sim_ctx(), agent_ctx(), tool_ctx()] {
+        let findings = lint_source(src, &ctx);
+        assert!(
+            findings.is_empty(),
+            "clean fixture flagged under {}: {findings:#?}",
+            ctx.display
+        );
+    }
+}
+
+#[test]
+fn exempt_sources_are_never_flagged() {
+    let src = include_str!("fixtures/hash_iter_bad.rs");
+    let ctx = FileContext {
+        exempt: true,
+        ..sim_ctx()
+    };
+    assert!(lint_source(src, &ctx).is_empty());
+}
+
+#[test]
+fn seeded_fabric_violation_is_caught() {
+    // The acceptance probe: a freshly seeded `for k in &hash_map` in
+    // crates/fabric must produce a finding (the CLI then exits 1).
+    let src = "use std::collections::HashMap;\n\
+               fn f(hash_map: &HashMap<u64, u64>) -> u64 {\n\
+                   let mut acc = 0;\n\
+                   for k in hash_map { acc += k.1; }\n\
+                   acc\n\
+               }\n";
+    let findings = lint_source(src, &agent_ctx());
+    assert_eq!(rules(&findings), vec![("determinism", "hash-iter")]);
+    assert_eq!(findings[0].line, 4);
+}
+
+#[test]
+fn diagnostic_format_is_stable() {
+    let src = include_str!("fixtures/hygiene_bad.rs");
+    let findings = lint_source(src, &tool_ctx());
+    let line = findings[0].to_string();
+    assert!(
+        line.starts_with("crates/bench/src/fixture.rs:4: hygiene/unwrap: "),
+        "unexpected diagnostic shape: {line}"
+    );
+}
+
+#[test]
+fn workspace_self_check_is_clean() {
+    // pfm-lint must hold its own workspace to its own standard.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint has a workspace root two levels up")
+        .to_path_buf();
+    let findings = pfm_lint::lint_workspace(&root).expect("workspace walk succeeds");
+    assert!(
+        findings.is_empty(),
+        "workspace is not lint-clean:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

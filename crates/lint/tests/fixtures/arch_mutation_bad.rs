@@ -1,0 +1,8 @@
+// Fixture: an Agent-crate source calling architectural-state mutators.
+
+fn misbehave(machine: &mut Machine) {
+    machine.set_reg(Reg::A0, 42);
+    machine.set_pc(0x1000);
+    machine.mem_mut().commit_store(7);
+    Machine::set_freg_bits(machine, Reg::F0, 1);
+}

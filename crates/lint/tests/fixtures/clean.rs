@@ -1,0 +1,29 @@
+// Fixture: code every rule family accepts — ordered collections,
+// point lookups into hash maps, and panics confined to cfg(test).
+use std::collections::{BTreeMap, HashMap};
+
+fn ordered_walk(m: &BTreeMap<u64, u64>) -> u64 {
+    let mut total = 0;
+    for (_k, v) in m.iter() {
+        total += v;
+    }
+    total
+}
+
+fn point_lookup(h: &HashMap<u64, u64>, k: u64) -> Option<u64> {
+    h.get(&k).copied()
+}
+
+fn string_iter(s: &str) -> usize {
+    // `.iter()`-adjacent names on non-hash receivers are fine.
+    s.chars().count()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v: Vec<u64> = vec![1];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

@@ -1,0 +1,21 @@
+// Fixture: the same hazards, each deliberately acknowledged with an
+// allow annotation (same line or the line above).
+use std::collections::HashMap;
+
+fn sum_values(m: &HashMap<u64, u64>) -> u64 {
+    let mut total = 0;
+    // pfm-lint: allow(hash-iter): order-independent fold
+    for (_k, v) in m.iter() {
+        total += v;
+    }
+    total
+}
+
+fn count(map: &HashMap<u64, u64>) -> usize {
+    let mut n = 0;
+    for _k in map.keys() // pfm-lint: allow(determinism/hash-iter): counting only
+    {
+        n += 1;
+    }
+    n
+}

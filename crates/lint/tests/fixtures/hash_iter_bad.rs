@@ -1,0 +1,35 @@
+// Fixture: every hash-iteration pattern the determinism family flags.
+use std::collections::{HashMap, HashSet};
+
+fn sum_values(m: &HashMap<u64, u64>) -> u64 {
+    let mut total = 0;
+    for (_k, v) in m.iter() {
+        total += v;
+    }
+    total
+}
+
+fn walk(map: HashMap<u64, u64>, set: HashSet<u64>) -> u64 {
+    let mut acc = 0;
+    for k in &map {
+        acc += k.0;
+    }
+    for s in &set {
+        acc += s;
+    }
+    for k in map.keys() {
+        acc += k;
+    }
+    for v in map.values() {
+        acc += v;
+    }
+    acc
+}
+
+fn drain_all(mut pending: HashMap<u64, u64>) -> u64 {
+    let mut acc = 0;
+    for (_, v) in pending.drain() {
+        acc += v;
+    }
+    acc
+}

@@ -1,0 +1,9 @@
+// Fixture: panicking shortcuts in non-test library code.
+
+fn first(v: &[u64]) -> u64 {
+    *v.first().unwrap()
+}
+
+fn second(v: &[u64]) -> u64 {
+    *v.get(1).expect("has two elements")
+}

@@ -1,0 +1,10 @@
+// Fixture: entropy-seeded randomness inside a sim crate.
+
+fn roll() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}
+
+fn reseed() -> SmallRng {
+    SmallRng::from_entropy()
+}

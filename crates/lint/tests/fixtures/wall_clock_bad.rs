@@ -1,0 +1,8 @@
+// Fixture: wall-clock reads inside a sim crate.
+use std::time::{Instant, SystemTime};
+
+fn stamp() -> u64 {
+    let t0 = Instant::now();
+    let _wall = SystemTime::now();
+    t0.elapsed().as_nanos() as u64
+}

@@ -89,6 +89,7 @@ impl MshrFile {
                 .iter()
                 .map(|e| e.ready)
                 .min()
+                // pfm-lint: allow(hygiene): the full-stall path implies entries is non-empty
                 .expect("non-empty");
             return Err(earliest);
         }

@@ -58,6 +58,7 @@ impl Tlb {
                 .enumerate()
                 .min_by_key(|(_, e)| e.1)
                 .map(|(i, _)| i)
+                // pfm-lint: allow(hygiene): eviction only runs when entries is full
                 .expect("non-empty");
             self.entries.swap_remove(victim);
         }

@@ -123,6 +123,7 @@ pub fn execute(specs: &[RunSpec], opts: &ExecOptions) -> (RunSet, ExecReport) {
     let unique = dedup_specs(specs);
     let jobs = opts.jobs.max(1).min(unique.len().max(1));
     let total = unique.len();
+    // pfm-lint: allow(determinism): feeds the wall-clock report only, never results
     let started = Instant::now();
 
     // One pre-allocated slot per unique run; each is written exactly
@@ -140,6 +141,7 @@ pub fn execute(specs: &[RunSpec], opts: &ExecOptions) -> (RunSet, ExecReport) {
                     break;
                 }
                 let spec = &unique[idx];
+                // pfm-lint: allow(determinism): feeds the wall-clock report only, never results
                 let t0 = Instant::now();
                 let result = spec.execute();
                 let secs = t0.elapsed().as_secs_f64();
@@ -154,6 +156,7 @@ pub fn execute(specs: &[RunSpec], opts: &ExecOptions) -> (RunSet, ExecReport) {
                 }
                 slots[idx]
                     .set((result, secs))
+                    // pfm-lint: allow(hygiene): each idx is claimed by exactly one worker
                     .expect("run slot written twice");
             });
         }
@@ -162,6 +165,7 @@ pub fn execute(specs: &[RunSpec], opts: &ExecOptions) -> (RunSet, ExecReport) {
     let mut runs = RunSet::default();
     let mut reports = Vec::with_capacity(total);
     for (spec, slot) in unique.iter().zip(slots) {
+        // pfm-lint: allow(hygiene): every slot was filled by the scoped workers
         let (result, seconds) = slot.into_inner().expect("run slot never written");
         reports.push(RunReport {
             key: spec.key().to_string(),

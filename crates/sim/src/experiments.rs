@@ -150,6 +150,7 @@ pub fn plan_fig8(rc: &RunConfig) -> ExperimentPlan {
 }
 
 fn snoop_rows(r: &RunResult) -> Vec<Row> {
+    // pfm-lint: allow(hygiene): snoop rows are only assembled from PFM runs
     let f = r.fabric.expect("pfm run");
     vec![
         Row {
@@ -458,6 +459,7 @@ pub fn plan_fig18(rc: &RunConfig) -> ExperimentPlan {
                         "libquantum" => d.name == "libq",
                         other => d.name == other,
                     })
+                    // pfm-lint: allow(hygiene): sweep names match the design table
                     .expect("design exists")
             };
             sweep

@@ -18,7 +18,7 @@ use pfm_fabric::RstEntry;
 use pfm_isa::{Asm, SpecMemory};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// Base address of the `waymap` array (8 bytes per cell).
@@ -200,14 +200,14 @@ pub fn astar(params: &AstarParams) -> UseCase {
     a.li(S8, 0); // step
     a.li(S9, params.fills as i64);
 
-    a.bind(outer).unwrap();
+    a.place(outer);
     // ---- fill() prologue: fillnum++, seed the input worklist ----
     a.export(sym::FILLNUM);
     a.addi(S0, S0, 1);
     a.li(T0, 0);
     a.li(T1, params.num_seeds as i64);
     a.li(T2, SEEDS_BASE as i64);
-    a.bind(seed_loop).unwrap();
+    a.place(seed_loop);
     a.slli(T3, T0, 2);
     a.add(T4, T2, T3);
     a.lwu(T5, T4, 0); // seed index
@@ -223,7 +223,7 @@ pub fn astar(params: &AstarParams) -> UseCase {
     a.mv(S4, A7); // output = WL1
     a.mv(S5, T1); // bound1l = num_seeds
 
-    a.bind(fill_loop).unwrap();
+    a.place(fill_loop);
     a.beq(S5, X0, fill_done);
     a.call(makebound2);
     // Swap worklists; the output length becomes the input length.
@@ -234,13 +234,13 @@ pub fn astar(params: &AstarParams) -> UseCase {
     a.addi(S8, S8, 1);
     a.j(fill_loop);
 
-    a.bind(fill_done).unwrap();
+    a.place(fill_done);
     a.addi(S9, S9, -1);
     a.bne(S9, X0, outer);
     a.j(end);
 
     // ---- makebound2() ----
-    a.bind(makebound2).unwrap();
+    a.place(makebound2);
     a.export(sym::WL_BASE);
     a.mv(A0, S3); // snooped: input worklist base
     a.export(sym::WL_LEN);
@@ -251,7 +251,7 @@ pub fn astar(params: &AstarParams) -> UseCase {
     a.li(T0, 0); // i = 0
     let loop_top = a.label();
     let loop_done = a.label();
-    a.bind(loop_top).unwrap();
+    a.place(loop_top);
     a.bge(T0, A1, loop_done);
     a.slli(T3, T0, 2);
     a.add(T3, A0, T3);
@@ -278,29 +278,29 @@ pub fn astar(params: &AstarParams) -> UseCase {
         a.add(T3, S1, T3);
         a.sw(S0, T3, 0); // waymap[index1].fillnum = fillnum
         a.sw(S8, T3, 4); // waymap[index1].num = step
-        a.bind(skip).unwrap();
+        a.place(skip);
     }
 
     a.export(sym::INDUCTION);
     a.addi(T0, T0, 1); // i++ (snooped: commit-head advance)
     a.j(loop_top);
-    a.bind(loop_done).unwrap();
+    a.place(loop_done);
     a.ret();
 
-    a.bind(end).unwrap();
+    a.place(end);
     a.halt();
 
-    let program = a.finish().expect("astar kernel assembles");
+    let program = crate::assembled("astar", a.finish());
 
     // ---- snoop tables + component ----
-    let fillnum_pc = program.symbol(sym::FILLNUM).unwrap();
-    let wl_base_pc = program.symbol(sym::WL_BASE).unwrap();
-    let wl_len_pc = program.symbol(sym::WL_LEN).unwrap();
-    let yoffset_pc = program.symbol(sym::YOFFSET).unwrap();
-    let induction_pc = program.symbol(sym::INDUCTION).unwrap();
-    let seed_store_pc = program.symbol(sym::SEED_STORE).unwrap();
+    let fillnum_pc = program.require_symbol(sym::FILLNUM);
+    let wl_base_pc = program.require_symbol(sym::WL_BASE);
+    let wl_len_pc = program.require_symbol(sym::WL_LEN);
+    let yoffset_pc = program.require_symbol(sym::YOFFSET);
+    let induction_pc = program.require_symbol(sym::INDUCTION);
+    let seed_store_pc = program.require_symbol(sym::SEED_STORE);
 
-    let mut fst = HashSet::new();
+    let mut fst = BTreeSet::new();
     for &pc in &waymap_branch_pcs {
         fst.insert(pc);
     }
@@ -310,7 +310,7 @@ pub fn astar(params: &AstarParams) -> UseCase {
         }
     }
 
-    let mut rst = HashMap::new();
+    let mut rst = BTreeMap::new();
     rst.insert(fillnum_pc, RstEntry::dest().begin());
     rst.insert(wl_base_pc, RstEntry::dest());
     rst.insert(wl_len_pc, RstEntry::dest());

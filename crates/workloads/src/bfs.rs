@@ -10,7 +10,7 @@ use pfm_components::slipstream::slipstream_bfs;
 use pfm_components::BfsComponent;
 use pfm_fabric::RstEntry;
 use pfm_isa::{Asm, SpecMemory};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// CSR offsets array base (8 bytes per entry).
@@ -160,7 +160,7 @@ pub fn bfs(graph: &Csr, input: &str, params: &BfsParams) -> UseCase {
     a.export(sym::ROI);
     a.li(S5, init_len); // frontier_len (also marks the ROI begin)
 
-    a.bind(level_loop).unwrap();
+    a.place(level_loop);
     a.beq(S5, X0, bfs_done);
     a.export(sym::FR_BASE);
     a.mv(A0, A6); // snooped: frontier base
@@ -169,7 +169,7 @@ pub fn bfs(graph: &Csr, input: &str, params: &BfsParams) -> UseCase {
     a.li(S6, 0); // next_len = 0
     a.li(T0, 0); // i = 0
 
-    a.bind(outer_top).unwrap();
+    a.place(outer_top);
     a.bge(T0, A1, outer_done);
     a.slli(T3, T0, 2);
     a.add(T3, A0, T3);
@@ -180,7 +180,7 @@ pub fn bfs(graph: &Csr, input: &str, params: &BfsParams) -> UseCase {
     a.ld(A2, T5, 8); // b = offsets[u+1]
     a.mv(A3, T6); // j = a
 
-    a.bind(inner_top).unwrap();
+    a.place(inner_top);
     a.export(sym::LOOP_BRANCH);
     a.bgeu(A3, A2, inner_done); // taken => exit neighbor loop
     a.slli(T5, A3, 2);
@@ -196,15 +196,15 @@ pub fn bfs(graph: &Csr, input: &str, params: &BfsParams) -> UseCase {
     a.add(T3, A7, T3);
     a.sw(A4, T3, 0); // next_frontier[next_len] = v
     a.addi(S6, S6, 1);
-    a.bind(skip_visit).unwrap();
+    a.place(skip_visit);
     a.addi(A3, A3, 1); // j++
     a.j(inner_top);
-    a.bind(inner_done).unwrap();
+    a.place(inner_done);
     a.export(sym::INDUCTION);
     a.addi(T0, T0, 1); // i++ (snooped: frees the component's window)
     a.j(outer_top);
 
-    a.bind(outer_done).unwrap();
+    a.place(outer_done);
     // Swap frontiers.
     a.mv(T3, A6);
     a.mv(A6, A7);
@@ -212,26 +212,26 @@ pub fn bfs(graph: &Csr, input: &str, params: &BfsParams) -> UseCase {
     a.mv(S5, S6);
     a.j(level_loop);
 
-    a.bind(bfs_done).unwrap();
+    a.place(bfs_done);
     a.halt();
 
-    let program = a.finish().expect("bfs kernel assembles");
+    let program = crate::assembled("bfs", a.finish());
 
     // ---- snoop tables + component ----
-    let roi_pc = program.symbol(sym::ROI).unwrap();
-    let frontier_base_pc = program.symbol(sym::FR_BASE).unwrap();
-    let frontier_len_pc = program.symbol(sym::FR_LEN).unwrap();
-    let induction_pc = program.symbol(sym::INDUCTION).unwrap();
-    let loop_branch_pc = program.symbol(sym::LOOP_BRANCH).unwrap();
-    let visited_branch_pc = program.symbol(sym::VISITED_BRANCH).unwrap();
+    let roi_pc = program.require_symbol(sym::ROI);
+    let frontier_base_pc = program.require_symbol(sym::FR_BASE);
+    let frontier_len_pc = program.require_symbol(sym::FR_LEN);
+    let induction_pc = program.require_symbol(sym::INDUCTION);
+    let loop_branch_pc = program.require_symbol(sym::LOOP_BRANCH);
+    let visited_branch_pc = program.require_symbol(sym::VISITED_BRANCH);
 
-    let mut fst = HashSet::new();
+    let mut fst = BTreeSet::new();
     fst.insert(visited_branch_pc);
     if params.variant == BfsVariant::Custom {
         fst.insert(loop_branch_pc);
     }
 
-    let mut rst = HashMap::new();
+    let mut rst = BTreeMap::new();
     rst.insert(roi_pc, RstEntry::dest().begin());
     rst.insert(frontier_base_pc, RstEntry::dest());
     rst.insert(frontier_len_pc, RstEntry::dest());

@@ -52,6 +52,7 @@ impl Csr {
         let mut levels = vec![vec![src as u32]];
         loop {
             let mut next = Vec::new();
+            // pfm-lint: allow(hygiene): levels starts non-empty and only grows
             for &u in levels.last().expect("non-empty") {
                 for &v in self.neighbors_of(u as usize) {
                     if parent[v as usize] < 0 {

@@ -17,6 +17,19 @@ pub mod graphs;
 pub mod spec;
 pub mod usecase;
 
+/// Finishes a static kernel, panicking with the kernel name when
+/// assembly fails: workload kernels are fixed programs, so an unbound
+/// label there is a builder bug, not a runtime condition.
+pub(crate) fn assembled(
+    kernel: &str,
+    r: Result<pfm_isa::Program, pfm_isa::asm::AsmError>,
+) -> pfm_isa::Program {
+    match r {
+        Ok(p) => p,
+        Err(e) => panic!("{kernel}: kernel failed to assemble: {e}"),
+    }
+}
+
 pub use astar::{astar, astar_reference, AstarParams, AstarVariant};
 pub use bfs::{bfs, BfsParams, BfsVariant};
 pub use graphs::{powerlaw_graph, road_graph, Csr};

@@ -17,7 +17,7 @@ use pfm_components::{CustomPrefetcher, EngineConfig};
 use pfm_fabric::RstEntry;
 use pfm_isa::reg::names::*;
 use pfm_isa::{Asm, SpecMemory};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// Data array base for the prefetch kernels.
@@ -29,7 +29,7 @@ fn usecase(
     name: &str,
     program: pfm_isa::Program,
     mem: SpecMemory,
-    rst: HashMap<u64, RstEntry>,
+    rst: BTreeMap<u64, RstEntry>,
     engines: Vec<EngineConfig>,
     comp_name: &'static str,
 ) -> UseCase {
@@ -37,7 +37,7 @@ fn usecase(
         let engines = engines.clone();
         Arc::new(move || Box::new(CustomPrefetcher::new(comp_name, engines.clone())))
     };
-    UseCase::new(name, program, mem, HashSet::new(), rst, factory)
+    UseCase::new(name, program, mem, BTreeSet::new(), rst, factory)
 }
 
 /// libquantum: `for i in 0..n { B = node[i]; if (B & control) ... }`
@@ -61,13 +61,13 @@ pub fn libquantum(n: u64, calls: u64) -> UseCase {
     a.li(S9, calls as i64);
     a.li(A2, 0x2); // control mask
     a.li(A3, 0x10); // target mask
-    a.bind(call_loop).unwrap();
+    a.place(call_loop);
     a.export("base_pc");
     a.mv(A0, S1); // snooped: base
     a.export("count_pc");
     a.li(A1, n as i64); // snooped: count
     a.li(T0, 0);
-    a.bind(body).unwrap();
+    a.place(body);
     a.bge(T0, A1, done);
     a.slli(T3, T0, 4);
     a.add(T3, A0, T3);
@@ -84,19 +84,19 @@ pub fn libquantum(n: u64, calls: u64) -> UseCase {
     a.beq(T5, X0, skip);
     a.xor(T4, T4, A3);
     a.sd(T4, T3, 0);
-    a.bind(skip).unwrap();
+    a.place(skip);
     a.addi(T0, T0, 1);
     a.j(body);
-    a.bind(done).unwrap();
+    a.place(done);
     a.addi(S9, S9, -1);
     a.bne(S9, X0, call_loop);
     a.halt();
-    let program = a.finish().expect("libquantum assembles");
+    let program = crate::assembled("libquantum", a.finish());
 
-    let base_pc = program.symbol("base_pc").unwrap();
-    let count_pc = program.symbol("count_pc").unwrap();
-    let load_pc = program.symbol("load_pc").unwrap();
-    let mut rst = HashMap::new();
+    let base_pc = program.require_symbol("base_pc");
+    let count_pc = program.require_symbol("count_pc");
+    let load_pc = program.require_symbol("load_pc");
+    let mut rst = BTreeMap::new();
     rst.insert(base_pc, RstEntry::dest().begin());
     rst.insert(count_pc, RstEntry::dest());
     rst.insert(load_pc, RstEntry::dest());
@@ -132,11 +132,11 @@ pub fn bwaves(ni: u64, nj: u64, nk: u64) -> UseCase {
     let dj = a.label();
     let dk = a.label();
     a.li(T0, 0); // i
-    a.bind(li).unwrap();
+    a.place(li);
     a.li(T1, 0); // j
-    a.bind(lj).unwrap();
+    a.place(lj);
     a.li(T2, 0); // k
-    a.bind(lk).unwrap();
+    a.place(lk);
     // X[(i*nj*nk + j*nk + k)*8] — sequential.
     a.li(T3, (nj * nk) as i64);
     a.mul(T3, T0, T3);
@@ -165,24 +165,24 @@ pub fn bwaves(ni: u64, nj: u64, nk: u64) -> UseCase {
     a.li(T4, nk as i64);
     a.blt(T2, T4, lk);
     a.j(dk);
-    a.bind(dk).unwrap();
+    a.place(dk);
     a.addi(T1, T1, 1);
     a.li(T4, nj as i64);
     a.blt(T1, T4, lj);
     a.j(dj);
-    a.bind(dj).unwrap();
+    a.place(dj);
     a.addi(T0, T0, 1);
     a.li(T4, ni as i64);
     a.blt(T0, T4, li);
     a.j(di);
-    a.bind(di).unwrap();
+    a.place(di);
     a.halt();
-    let program = a.finish().expect("bwaves assembles");
+    let program = crate::assembled("bwaves", a.finish());
 
-    let base_pc = program.symbol("base_pc").unwrap();
-    let count_pc = program.symbol("count_pc").unwrap();
-    let load_pc = program.symbol("load_pc").unwrap();
-    let mut rst = HashMap::new();
+    let base_pc = program.require_symbol("base_pc");
+    let count_pc = program.require_symbol("count_pc");
+    let load_pc = program.require_symbol("load_pc");
+    let mut rst = BTreeMap::new();
     rst.insert(base_pc, RstEntry::dest().begin());
     rst.insert(count_pc, RstEntry::dest());
     rst.insert(load_pc, RstEntry::dest());
@@ -217,7 +217,7 @@ pub fn lbm(n: u64, planes: u64) -> UseCase {
     let done = a.label();
     a.li(T0, 0);
     a.li(A3, 160); // 20 doubles per cell, as in lbm's struct-of-cells
-    a.bind(body).unwrap();
+    a.place(body);
     a.bge(T0, A1, done);
     a.mul(T3, T0, A3);
     a.add(T3, A0, T3);
@@ -240,14 +240,14 @@ pub fn lbm(n: u64, planes: u64) -> UseCase {
     a.fsd(FT0, T3, 0);
     a.addi(T0, T0, 1);
     a.j(body);
-    a.bind(done).unwrap();
+    a.place(done);
     a.halt();
-    let program = a.finish().expect("lbm assembles");
+    let program = crate::assembled("lbm", a.finish());
 
-    let base_pc = program.symbol("base_pc").unwrap();
-    let count_pc = program.symbol("count_pc").unwrap();
-    let load_pc = program.symbol("load_pc").unwrap();
-    let mut rst = HashMap::new();
+    let base_pc = program.require_symbol("base_pc");
+    let count_pc = program.require_symbol("count_pc");
+    let load_pc = program.require_symbol("load_pc");
+    let mut rst = BTreeMap::new();
     rst.insert(base_pc, RstEntry::dest().begin());
     rst.insert(count_pc, RstEntry::dest());
     rst.insert(load_pc, RstEntry::dest());
@@ -279,7 +279,7 @@ pub fn milc(n: u64, streams: u64) -> UseCase {
     let body = a.label();
     let done = a.label();
     a.li(T0, 0);
-    a.bind(body).unwrap();
+    a.place(body);
     a.bge(T0, A1, done);
     a.slli(T3, T0, 4);
     a.add(T3, A0, T3);
@@ -298,14 +298,14 @@ pub fn milc(n: u64, streams: u64) -> UseCase {
     a.fsd(FT2, T3, 8);
     a.addi(T0, T0, 1);
     a.j(body);
-    a.bind(done).unwrap();
+    a.place(done);
     a.halt();
-    let program = a.finish().expect("milc assembles");
+    let program = crate::assembled("milc", a.finish());
 
-    let base_pc = program.symbol("base_pc").unwrap();
-    let count_pc = program.symbol("count_pc").unwrap();
-    let load_pc = program.symbol("load_pc").unwrap();
-    let mut rst = HashMap::new();
+    let base_pc = program.require_symbol("base_pc");
+    let count_pc = program.require_symbol("count_pc");
+    let load_pc = program.require_symbol("load_pc");
+    let mut rst = BTreeMap::new();
     rst.insert(base_pc, RstEntry::dest().begin());
     rst.insert(count_pc, RstEntry::dest());
     rst.insert(load_pc, RstEntry::dest());
@@ -329,7 +329,7 @@ pub fn leslie(rows: u64, cols: u64) -> UseCase {
     let mem = SpecMemory::new();
     let mut a = Asm::new(0x1000);
     let mut engines = Vec::new();
-    let mut rst = HashMap::new();
+    let mut rst = BTreeMap::new();
     let inner_stride: i64 = 192; // three lines apart: hostile to next-N-line
     let row_stride: i64 = cols as i64 * inner_stride + 256;
 
@@ -347,9 +347,9 @@ pub fn leslie(rows: u64, cols: u64) -> UseCase {
         let lc = a.label();
         let dr = a.label();
         a.li(T0, 0); // row
-        a.bind(lr).unwrap();
+        a.place(lr);
         a.li(T1, 0); // col
-        a.bind(lc).unwrap();
+        a.place(lc);
         a.li(T3, row_stride);
         a.mul(T3, T0, T3);
         a.li(T4, inner_stride);
@@ -366,15 +366,15 @@ pub fn leslie(rows: u64, cols: u64) -> UseCase {
         a.li(T4, rows as i64);
         a.blt(T0, T4, lr);
         a.j(dr);
-        a.bind(dr).unwrap();
+        a.place(dr);
     }
     a.halt();
-    let program = a.finish().expect("leslie assembles");
+    let program = crate::assembled("leslie", a.finish());
 
     for roi in 0..3u64 {
-        let base_pc = program.symbol(&format!("base_pc_{roi}")).unwrap();
-        let count_pc = program.symbol(&format!("count_pc_{roi}")).unwrap();
-        let load_pc = program.symbol(&format!("load_pc_{roi}")).unwrap();
+        let base_pc = program.require_symbol(&format!("base_pc_{roi}"));
+        let count_pc = program.require_symbol(&format!("count_pc_{roi}"));
+        let load_pc = program.require_symbol(&format!("load_pc_{roi}"));
         let entry = if roi == 0 {
             RstEntry::dest().begin()
         } else {

@@ -4,7 +4,7 @@
 
 use pfm_fabric::{CustomComponent, Fabric, FabricParams, RstEntry};
 use pfm_isa::{Machine, Program, SpecMemory};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// Factory for fresh component instances (each simulation run gets its
@@ -21,9 +21,9 @@ pub struct UseCase {
     /// Initial data memory.
     pub memory: SpecMemory,
     /// Fetch Snoop Table contents.
-    pub fst: HashSet<u64>,
+    pub fst: BTreeSet<u64>,
     /// Retire Snoop Table contents.
-    pub rst: HashMap<u64, RstEntry>,
+    pub rst: BTreeMap<u64, RstEntry>,
     component: ComponentFactory,
 }
 
@@ -44,8 +44,8 @@ impl UseCase {
         name: impl Into<String>,
         program: Program,
         memory: SpecMemory,
-        fst: HashSet<u64>,
-        rst: HashMap<u64, RstEntry>,
+        fst: BTreeSet<u64>,
+        rst: BTreeMap<u64, RstEntry>,
         component: ComponentFactory,
     ) -> UseCase {
         UseCase {
@@ -163,8 +163,8 @@ mod tests {
             "test",
             a.finish().unwrap(),
             SpecMemory::new(),
-            HashSet::new(),
-            HashMap::new(),
+            BTreeSet::new(),
+            BTreeMap::new(),
             Arc::new(|| Box::new(Dummy)),
         );
         let m1 = uc.machine();

@@ -17,7 +17,7 @@ use pfm_fabric::{
 use pfm_isa::reg::names::*;
 use pfm_isa::{Asm, Machine, SpecMemory};
 use pfm_mem::{Hierarchy, HierarchyConfig};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A minimal custom component built from application knowledge, the
 /// way §4's designs are: the kernel's inner-loop trip counts come from
@@ -106,9 +106,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Snoop tables: begin the ROI at the seed (whose destination value
     // arms the component) and override the hot branch.
-    let mut rst = HashMap::new();
+    let mut rst = BTreeMap::new();
     rst.insert(seed, RstEntry::dest().begin());
-    let mut fst = HashSet::new();
+    let mut fst = BTreeSet::new();
     fst.insert(branch);
 
     let run = |fabric: Option<Fabric>| -> Result<(f64, f64), Box<dyn std::error::Error>> {

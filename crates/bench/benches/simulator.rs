@@ -4,9 +4,49 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use pfm_bpred::{Predictor, PredictorKind};
 use pfm_core::{Core, CoreConfig, NoPfm};
+use pfm_isa::mem::SparseMem;
 use pfm_isa::reg::names::*;
 use pfm_isa::{Asm, Machine, SpecMemory};
+use pfm_mem::cache::{Cache, CacheConfig};
 use pfm_mem::{AccessKind, Hierarchy, HierarchyConfig};
+
+fn bench_sparse_mem(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sparse_mem");
+    g.throughput(Throughput::Elements(1));
+    // 1 MiB resident working set, then a strided read mix that stays
+    // mostly on one page (the simulator's access pattern) with a page
+    // switch every 512 reads.
+    let mut m = SparseMem::new();
+    for a in (0..1u64 << 20).step_by(8) {
+        m.write(a, 8, a);
+    }
+    let mut i = 0u64;
+    g.bench_function("read8_mostly_same_page", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let addr = ((i >> 9) << 12 | (i & 0x1FF) * 8) & ((1 << 20) - 8);
+            m.read_cached(addr, 8)
+        })
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.throughput(Throughput::Elements(1));
+    let mut l1 = Cache::new(CacheConfig::new(32 * 1024, 8, 3));
+    let mut i = 0u64;
+    g.bench_function("access_strided", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let addr = (i * 64) & 0xF_FFFF;
+            if !l1.access(addr, false) {
+                l1.fill(addr, false);
+            }
+        })
+    });
+    g.finish();
+}
 
 fn bench_tage(c: &mut Criterion) {
     let mut g = c.benchmark_group("tage_scl");
@@ -67,5 +107,12 @@ fn bench_core(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_tage, bench_hierarchy, bench_core);
+criterion_group!(
+    benches,
+    bench_sparse_mem,
+    bench_cache,
+    bench_tage,
+    bench_hierarchy,
+    bench_core
+);
 criterion_main!(benches);

@@ -10,10 +10,11 @@
 //! repro --quick fig12        # smaller instruction budget
 //! repro --all --jobs 4       # four worker threads
 //! repro --list               # what can be regenerated
+//! repro --bench              # simulator MKIPS throughput benchmark
 //! ```
 
 use pfm_sim::experiments::{plan_for, ALL_IDS};
-use pfm_sim::{run_plans, ExecOptions, RunConfig};
+use pfm_sim::{run_bench, run_plans, ExecOptions, RunConfig};
 
 /// Exits with a contextual message on stderr; used for conditions the
 /// user cannot distinguish from a hang otherwise (broken pipe aside,
@@ -54,6 +55,7 @@ fn main() {
     let mut quick = false;
     let mut all = false;
     let mut list = false;
+    let mut bench = false;
     let mut jobs: Option<usize> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut bad_args: Vec<String> = Vec::new();
@@ -64,6 +66,7 @@ fn main() {
             "--quick" => quick = true,
             "--all" => all = true,
             "--list" => list = true,
+            "--bench" => bench = true,
             "--jobs" => match it.next().and_then(|n| n.parse().ok()) {
                 Some(n) => jobs = Some(n),
                 None => bad_args.push("--jobs <N>".to_string()),
@@ -87,7 +90,7 @@ fn main() {
         eprintln!("unknown argument(s): {}", bad_args.join(", "));
         eprintln!();
         print_menu(&mut std::io::stderr());
-        eprintln!("\nflags: --all --quick --list --jobs <N>");
+        eprintln!("\nflags: --all --quick --list --bench --jobs <N>");
         std::process::exit(1);
     }
 
@@ -103,6 +106,21 @@ fn main() {
     let mut rc = RunConfig::paper_scale();
     if quick {
         rc.max_instrs = 300_000;
+    }
+
+    if bench {
+        let opts = ExecOptions {
+            jobs: jobs.unwrap_or_else(|| ExecOptions::default().jobs),
+            progress: true,
+        };
+        let report = run_bench(&rc, &opts);
+        println!("{}", report.render());
+        const OUT: &str = "BENCH_sim_throughput.json";
+        if let Err(e) = std::fs::write(OUT, report.to_json()) {
+            fail(&format!("cannot write {OUT}"), e);
+        }
+        eprintln!("wrote {OUT}");
+        return;
     }
 
     // Paper order regardless of argument order, as before the planner.

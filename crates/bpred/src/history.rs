@@ -87,6 +87,11 @@ pub struct Folded {
     comp: u32,
     orig_len: u32,
     comp_len: u32,
+    /// `orig_len % comp_len`, precomputed: `update` runs once per fold
+    /// per branch (24 times per prediction in TAGE).
+    out_shift: u32,
+    /// `(1 << comp_len) - 1`, precomputed likewise.
+    mask: u32,
 }
 
 impl Folded {
@@ -100,6 +105,8 @@ impl Folded {
             comp: 0,
             orig_len,
             comp_len,
+            out_shift: orig_len % comp_len,
+            mask: (1 << comp_len) - 1,
         }
     }
 
@@ -116,9 +123,9 @@ impl Folded {
         let incoming = hist.bit(0) as u32;
         let outgoing = hist.bit(self.orig_len as u64) as u32;
         self.comp = (self.comp << 1) | incoming;
-        self.comp ^= outgoing << (self.orig_len % self.comp_len);
+        self.comp ^= outgoing << self.out_shift;
         self.comp ^= self.comp >> self.comp_len;
-        self.comp &= (1 << self.comp_len) - 1;
+        self.comp &= self.mask;
     }
 }
 

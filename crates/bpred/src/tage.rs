@@ -14,6 +14,30 @@ pub const TAG_BITS: [u32; NUM_TABLES] = [8, 8, 9, 10, 11, 12, 12, 13];
 
 const LOG_TAGGED: u32 = 11; // 2^11 entries per tagged table
 const LOG_BIMODAL: u32 = 14; // 2^14-entry bimodal base
+
+/// Per-table PC shift used in index hashing, `LOG_TAGGED - (t % 4)`.
+/// Precomputed: `table_index` runs eight times per prediction.
+const IDX_SHIFT: [u64; NUM_TABLES] = {
+    let mut s = [0u64; NUM_TABLES];
+    let mut t = 0;
+    while t < NUM_TABLES {
+        s[t] = LOG_TAGGED as u64 - (t as u64 % 4);
+        t += 1;
+    }
+    s
+};
+
+/// Per-table tag mask, `(1 << TAG_BITS[t]) - 1`, precomputed for the
+/// same reason.
+const TAG_MASK: [u32; NUM_TABLES] = {
+    let mut m = [0u32; NUM_TABLES];
+    let mut t = 0;
+    while t < NUM_TABLES {
+        m[t] = (1 << TAG_BITS[t]) - 1;
+        t += 1;
+    }
+    m
+};
 const CTR_MAX: i8 = 3;
 const CTR_MIN: i8 = -4;
 const U_MAX: u8 = 3;
@@ -118,14 +142,14 @@ impl Tage {
     fn table_index(&self, pc: u64, t: usize) -> u32 {
         let pc = pc >> 2;
         let h = self.idx_folds[t].value() as u64;
-        ((pc ^ (pc >> (LOG_TAGGED as u64 - (t as u64 % 4))) ^ h) & ((1 << LOG_TAGGED) - 1)) as u32
+        ((pc ^ (pc >> IDX_SHIFT[t]) ^ h) & ((1 << LOG_TAGGED) - 1)) as u32
     }
 
     #[inline]
     fn table_tag(&self, pc: u64, t: usize) -> u16 {
         let pc = pc >> 2;
         let tag = pc as u32 ^ self.tag_folds_a[t].value() ^ (self.tag_folds_b[t].value() << 1);
-        (tag & ((1 << TAG_BITS[t]) - 1)) as u16
+        (tag & TAG_MASK[t]) as u16
     }
 
     /// Snapshots speculative history state (cheap; a few dozen words).

@@ -22,12 +22,17 @@ use crate::hooks::{
 };
 use crate::stats::SimStats;
 use pfm_bpred::{BranchKind, Btb, Checkpoint, Prediction, Predictor, Ras};
+use pfm_isa::fxhash::{FxHashMap, FxHashSet};
 use pfm_isa::inst::{ExecClass, Inst};
 use pfm_isa::machine::{ExecError, Machine, StepOut};
 use pfm_isa::InstInfo;
 use pfm_mem::cache::line_of;
 use pfm_mem::{AccessKind, Hierarchy, HitLevel};
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
+
+/// Number of slots in the unified architectural register space
+/// ([`pfm_isa::RegRef::index`]: 32 integer + 32 FP).
+const NUM_ARCH_REGS: usize = 64;
 
 /// Brackets an Agent hook invocation with the debug-build
 /// non-interference cross-check (PAPER.md §3: Agents observe the
@@ -151,12 +156,30 @@ pub struct Core {
     rob: VecDeque<DynInst>,
     replay: VecDeque<StepOut>,
     peeked: Option<StepOut>,
-    events: BTreeMap<u64, Vec<u64>>,
-    fabric_load_events: BTreeMap<u64, Vec<(u64, u64, u64)>>, // cycle -> (id, addr, size)
-    inflight_incomplete: HashSet<u64>,
-    last_writer: HashMap<usize, u64>,
+    // The event maps are keyed by absolute cycle and only ever point-
+    // looked-up (insert at schedule, remove at that cycle) — never
+    // iterated, so the hash function cannot influence simulated order.
+    // Drained buckets park in a pool for reuse; a cycle's bucket keeps
+    // push order, which is what makes completion order deterministic.
+    events: FxHashMap<u64, Vec<u64>>,
+    event_pool: Vec<Vec<u64>>,
+    fabric_load_events: FxHashMap<u64, Vec<(u64, u64, u64)>>, // cycle -> (id, addr, size)
+    fabric_load_pool: Vec<Vec<(u64, u64, u64)>>,
+    inflight_incomplete: FxHashSet<u64>,
+    last_writer: [Option<u64>; NUM_ARCH_REGS],
+    /// Reused squash scratch: avoids a fresh allocation per squash.
+    squash_scratch: Vec<StepOut>,
 
+    /// Issue-queue occupancy as of the last dispatch (deliberately
+    /// *stale* during a cycle: issue() frees IQ entries mid-cycle, but
+    /// dispatch sees them freed only next cycle, modeling a one-cycle
+    /// IQ-deallocate delay).
     iq_count: usize,
+    /// True number of `Waiting` instructions, maintained incrementally
+    /// (dispatch +1, issue -1, squash recount). `iq_count` is refreshed
+    /// from this at the end of every dispatch, replacing what used to
+    /// be an O(ROB) recount per cycle.
+    waiting_count: usize,
     lq_count: usize,
     sq_count: usize,
     dest_count: usize,
@@ -200,11 +223,15 @@ impl Core {
             rob: VecDeque::new(),
             replay: VecDeque::new(),
             peeked: None,
-            events: BTreeMap::new(),
-            fabric_load_events: BTreeMap::new(),
-            inflight_incomplete: HashSet::new(),
-            last_writer: HashMap::new(),
+            events: FxHashMap::default(),
+            event_pool: Vec::new(),
+            fabric_load_events: FxHashMap::default(),
+            fabric_load_pool: Vec::new(),
+            inflight_incomplete: FxHashSet::default(),
+            last_writer: [None; NUM_ARCH_REGS],
+            squash_scratch: Vec::new(),
             iq_count: 0,
+            waiting_count: 0,
             lq_count: 0,
             sq_count: 0,
             dest_count: 0,
@@ -365,8 +392,8 @@ impl Core {
 
             // Rename-table cleanup.
             if let Some((reg, _)) = inst.step.wrote {
-                if self.last_writer.get(&reg.index()) == Some(&seq) {
-                    self.last_writer.remove(&reg.index());
+                if self.last_writer[reg.index()] == Some(seq) {
+                    self.last_writer[reg.index()] = None;
                 }
             }
             self.inflight_incomplete.remove(&seq);
@@ -413,8 +440,8 @@ impl Core {
 
     fn complete(&mut self, hooks: &mut dyn PfmHooks) {
         // Fabric load data returns.
-        if let Some(loads) = self.fabric_load_events.remove(&self.cycle) {
-            for (id, addr, size) in loads {
+        if let Some(mut loads) = self.fabric_load_events.remove(&self.cycle) {
+            for (id, addr, size) in loads.drain(..) {
                 let value = self.machine.mem().read_committed(addr, size);
                 checked_hook!(
                     self,
@@ -423,12 +450,13 @@ impl Core {
                     hooks.load_result(id, FabricLoadResult::Hit { value }, self.cycle)
                 );
             }
+            self.fabric_load_pool.push(loads);
         }
 
-        let Some(seqs) = self.events.remove(&self.cycle) else {
+        let Some(mut seqs) = self.events.remove(&self.cycle) else {
             return;
         };
-        for seq in seqs {
+        for seq in seqs.drain(..) {
             let Some(pos) = self.rob_pos(seq) else {
                 continue;
             };
@@ -500,6 +528,7 @@ impl Core {
                 }
             }
         }
+        self.event_pool.push(seqs);
     }
 
     // ------------------------------------------------------------------
@@ -523,7 +552,6 @@ impl Core {
         let mut issued = 0usize;
         let cycle = self.cycle;
 
-        let mut scheduled: Vec<(u64, u64)> = Vec::new(); // (complete_cycle, seq)
         for pos in 0..self.rob.len() {
             if issued >= self.config.issue_width {
                 break;
@@ -599,10 +627,13 @@ impl Core {
             d.state = InstState::Issued;
             d.issue_cycle = cycle;
             d.complete_cycle = complete_at;
-            scheduled.push((complete_at, d.step.seq));
-        }
-        for (at, seq) in scheduled {
-            self.events.entry(at).or_default().push(seq);
+            let seq = d.step.seq;
+            self.waiting_count -= 1;
+            let pool = &mut self.event_pool;
+            self.events
+                .entry(complete_at)
+                .or_insert_with(|| pool.pop().unwrap_or_default())
+                .push(seq);
         }
 
         // Load Agent: offer leftover load/store issue slots to the
@@ -622,9 +653,10 @@ impl Core {
             let outcome = self.hierarchy.access(req.addr, AccessKind::Load, cycle);
             if outcome.level == HitLevel::L1 {
                 let at = cycle + outcome.latency;
+                let pool = &mut self.fabric_load_pool;
                 self.fabric_load_events
                     .entry(at)
-                    .or_default()
+                    .or_insert_with(|| pool.pop().unwrap_or_default())
                     .push((req.id, req.addr, req.size));
             } else {
                 checked_hook!(
@@ -666,10 +698,10 @@ impl Core {
             for (i, src) in d.info.srcs.iter().enumerate() {
                 d.srcs[i] = src
                     .filter(|r| !r.is_zero())
-                    .and_then(|r| self.last_writer.get(&r.index()).copied());
+                    .and_then(|r| self.last_writer[r.index()]);
             }
             if let Some((reg, _)) = d.step.wrote {
-                self.last_writer.insert(reg.index(), d.step.seq);
+                self.last_writer[reg.index()] = Some(d.step.seq);
                 self.dest_count += 1;
                 d.has_dst = true;
             }
@@ -680,16 +712,21 @@ impl Core {
                 self.sq_count += 1;
             }
             self.iq_count += 1;
+            self.waiting_count += 1;
             d.state = InstState::Waiting;
             self.inflight_incomplete.insert(d.step.seq);
             self.rob.push_back(d);
         }
         // IQ entries free at issue; approximate by counting Waiting.
-        self.iq_count = self
-            .rob
-            .iter()
-            .filter(|d| d.state == InstState::Waiting)
-            .count();
+        // `waiting_count` tracks that exactly, so the refresh is O(1).
+        debug_assert_eq!(
+            self.waiting_count,
+            self.rob
+                .iter()
+                .filter(|d| d.state == InstState::Waiting)
+                .count()
+        );
+        self.iq_count = self.waiting_count;
     }
 
     // ------------------------------------------------------------------
@@ -856,15 +893,14 @@ impl Core {
     /// Rolls all timing state for instructions with `seq >= boundary`
     /// back to fetch (their records re-enter via the replay queue).
     fn squash_from(&mut self, boundary: u64, kind: SquashKind, hooks: &mut dyn PfmHooks) {
-        // Split the ROB.
+        // Split the ROB. Everything at `cut` and beyond is squashed,
+        // but the tail is walked in place and truncated rather than
+        // moved out, so a squash allocates nothing.
         let cut = self.rob.partition_point(|d| d.step.seq < boundary);
-        let squashed_rob: Vec<DynInst> = self.rob.split_off(cut).into();
-        let squashed_front: Vec<DynInst> = self.front.drain(..).collect();
-        let peeked = self.peeked.take();
 
         // Repair predictor/RAS speculative state using the oldest
         // squashed control instruction's checkpoint.
-        for d in squashed_rob.iter().chain(squashed_front.iter()) {
+        for d in self.rob.iter().skip(cut).chain(self.front.iter()) {
             if let Some(cp) = &d.checkpoint {
                 self.bp.restore(cp);
                 break;
@@ -875,39 +911,53 @@ impl Core {
             }
         }
 
-        // Records back to replay, in order.
-        let mut records: Vec<StepOut> = squashed_rob
-            .iter()
-            .map(|d| d.step)
-            .chain(squashed_front.iter().map(|d| d.step))
-            .chain(peeked)
-            .collect();
-        let mut merged: Vec<StepOut> = records.drain(..).chain(self.replay.drain(..)).collect();
-        merged.sort_by_key(|r| r.seq);
-        debug_assert!(merged.windows(2).all(|w| w[0].seq < w[1].seq));
-        self.replay = merged.into();
-
-        // Bookkeeping rebuilds.
-        for d in squashed_rob.iter().chain(squashed_front.iter()) {
+        // Records back to replay, in order, via the reusable scratch
+        // buffer. Squashed bookkeeping rides along in the same pass.
+        let mut scratch = std::mem::take(&mut self.squash_scratch);
+        scratch.clear();
+        for d in self.rob.iter().skip(cut).chain(self.front.iter()) {
+            scratch.push(d.step);
             self.inflight_incomplete.remove(&d.step.seq);
             if d.step.halted {
                 self.halt_fetched = false;
             }
         }
-        self.last_writer.clear();
+        scratch.extend(self.peeked.take());
+        self.rob.truncate(cut);
+        self.front.clear();
+        // The squashed records are in program order and all older than
+        // anything still in the replay queue (replay drains oldest-
+        // first before the machine produces fresh records), so they
+        // prepend without a sort or merge.
+        debug_assert!(scratch.windows(2).all(|w| w[0].seq < w[1].seq));
+        debug_assert!(
+            match (scratch.last(), self.replay.front()) {
+                (Some(s), Some(r)) => s.seq < r.seq,
+                _ => true,
+            },
+            "squashed records must be older than queued replays"
+        );
+        for r in scratch.drain(..).rev() {
+            self.replay.push_front(r);
+        }
+        self.squash_scratch = scratch;
+
+        // Bookkeeping rebuilds over the surviving window (single pass).
+        self.last_writer = [None; NUM_ARCH_REGS];
+        self.lq_count = 0;
+        self.sq_count = 0;
+        self.dest_count = 0;
+        self.waiting_count = 0;
         for d in &self.rob {
             if let Some((reg, _)) = d.step.wrote {
-                self.last_writer.insert(reg.index(), d.step.seq);
+                self.last_writer[reg.index()] = Some(d.step.seq);
             }
+            self.lq_count += usize::from(d.is_load());
+            self.sq_count += usize::from(d.is_store());
+            self.dest_count += usize::from(d.has_dst);
+            self.waiting_count += usize::from(d.state == InstState::Waiting);
         }
-        self.lq_count = self.rob.iter().filter(|d| d.is_load()).count();
-        self.sq_count = self.rob.iter().filter(|d| d.is_store()).count();
-        self.dest_count = self.rob.iter().filter(|d| d.has_dst).count();
-        self.iq_count = self
-            .rob
-            .iter()
-            .filter(|d| d.state == InstState::Waiting)
-            .count();
+        self.iq_count = self.waiting_count;
 
         self.fetch_blocked_on = None;
         self.fetch_stall_until = self.cycle + 1;

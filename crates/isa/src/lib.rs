@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod asm;
+pub mod fxhash;
 pub mod inst;
 pub mod machine;
 pub mod mem;

@@ -8,19 +8,52 @@
 //! *do not search the store queue* and therefore see only committed
 //! state. [`SpecMemory`] models this split:
 //!
-//! * speculative writes go into a per-byte overlay tagged with the
+//! * speculative writes go into a per-word overlay tagged with the
 //!   store's program-order sequence number,
 //! * core loads read overlay-then-committed (correct, because the
 //!   functional stream is executed in program order),
 //! * fabric loads read only the committed image,
 //! * at store retirement the overlay entry is folded into the committed
 //!   image; on a pipeline squash younger overlay entries are dropped.
+//!
+//! ## Fast-path invariants
+//!
+//! Both structures sit on the simulator's hottest path (one or more
+//! accesses per simulated load/store), so they avoid hashing wherever
+//! possible:
+//!
+//! * [`SparseMem`] stores pages in an arena (`Vec<Box<page>>`) with a
+//!   hash index from page number to arena slot, plus a one-entry
+//!   *last-page cache* of the most recent slot. The cache holds arena
+//!   indices, not pointers, so it stays valid across `Clone` and map
+//!   growth; pages are never deallocated, so a cached slot can go stale
+//!   only by pointing at the wrong page number, which the tag compare
+//!   catches.
+//! * Aligned-in-page accesses (any access that does not cross a 4 KiB
+//!   boundary — all 1/2/4/8-byte accesses with natural alignment, and
+//!   most without) take a single page lookup instead of one per byte.
+//! * `generation` counts *bytes written*, exactly as if every write
+//!   were byte-at-a-time; the multi-byte fast paths bump it by the
+//!   access size so the core's `checked_hook!` non-interference
+//!   bracketing observes identical values on either path.
+//! * The overlay is keyed by aligned 8-byte word with per-entry lane
+//!   masks. Entries in a word's stack are in program (seq) order:
+//!   reads apply oldest→youngest so the youngest byte wins, commits
+//!   take the stack front (commit is oldest-first), squashes pop the
+//!   stack back (squash is youngest-first) — the same order contract
+//!   the old per-byte stacks had, at one lookup per word instead of
+//!   one per byte.
 
-use std::collections::HashMap;
+use crate::fxhash::FxHashMap;
+use std::collections::VecDeque;
 
 const PAGE_SHIFT: u64 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
+
+/// Sentinel page number for an empty last-page cache: real page
+/// numbers are `addr >> 12` and can never reach `u64::MAX`.
+const NO_PAGE: u64 = u64::MAX;
 
 /// A sparse, paged, byte-addressable memory. Unwritten bytes read zero.
 ///
@@ -32,24 +65,46 @@ const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
 /// assert_eq!(m.read(0x8004, 4), 0xdead_beef);
 /// assert_eq!(m.read(0x9000, 8), 0); // untouched page
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct SparseMem {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
-    /// Monotonic write-generation counter: bumped on every byte write.
-    /// Lets observers (the core's non-interference cross-check) detect
-    /// *any* committed-state mutation without hashing the whole image.
+    /// Page number → arena slot. Point lookups only (never iterated).
+    index: FxHashMap<u64, u32>,
+    /// Page storage; slots are stable for the life of the memory.
+    arena: Vec<Box<[u8; PAGE_SIZE]>>,
+    /// Last-page cache tag ([`NO_PAGE`] when empty) and arena slot.
+    /// Updated by `&mut self` paths; `&self` reads may still *hit* it.
+    last_page: u64,
+    last_slot: u32,
+    /// Monotonic write-generation counter: bumped once per byte
+    /// written. Lets observers (the core's non-interference
+    /// cross-check) detect *any* committed-state mutation without
+    /// hashing the whole image.
     generation: u64,
+}
+
+impl Default for SparseMem {
+    /// Equivalent to [`SparseMem::new`]; hand-written because the
+    /// last-page cache's empty tag is [`NO_PAGE`], not zero.
+    fn default() -> SparseMem {
+        SparseMem::new()
+    }
 }
 
 impl SparseMem {
     /// Creates an empty memory.
     pub fn new() -> SparseMem {
-        SparseMem::default()
+        SparseMem {
+            index: FxHashMap::default(),
+            arena: Vec::new(),
+            last_page: NO_PAGE,
+            last_slot: 0,
+            generation: 0,
+        }
     }
 
     /// Number of resident 4 KiB pages.
     pub fn resident_pages(&self) -> usize {
-        self.pages.len()
+        self.arena.len()
     }
 
     /// Monotonic write-generation counter; increments on every byte
@@ -59,11 +114,53 @@ impl SparseMem {
         self.generation
     }
 
+    /// Arena slot for `page`, if resident. Read-only: hits the
+    /// last-page cache but cannot refresh it.
+    #[inline]
+    fn slot_of(&self, page: u64) -> Option<u32> {
+        if page == self.last_page {
+            return Some(self.last_slot);
+        }
+        self.index.get(&page).copied()
+    }
+
+    /// Arena slot for `page`, refreshing the last-page cache on a hit.
+    #[inline]
+    fn slot_of_mut(&mut self, page: u64) -> Option<u32> {
+        if page == self.last_page {
+            return Some(self.last_slot);
+        }
+        let slot = *self.index.get(&page)?;
+        self.last_page = page;
+        self.last_slot = slot;
+        Some(slot)
+    }
+
+    /// Arena slot for `page`, allocating a zero page on first touch.
+    #[inline]
+    fn slot_of_alloc(&mut self, page: u64) -> u32 {
+        if page == self.last_page {
+            return self.last_slot;
+        }
+        let slot = match self.index.get(&page) {
+            Some(&s) => s,
+            None => {
+                let s = self.arena.len() as u32;
+                self.arena.push(Box::new([0u8; PAGE_SIZE]));
+                self.index.insert(page, s);
+                s
+            }
+        };
+        self.last_page = page;
+        self.last_slot = slot;
+        slot
+    }
+
     /// Reads one byte.
     #[inline]
     pub fn read_u8(&self, addr: u64) -> u8 {
-        match self.pages.get(&(addr >> PAGE_SHIFT)) {
-            Some(p) => p[(addr & PAGE_MASK) as usize],
+        match self.slot_of(addr >> PAGE_SHIFT) {
+            Some(s) => self.arena[s as usize][(addr & PAGE_MASK) as usize],
             None => 0,
         }
     }
@@ -71,11 +168,8 @@ impl SparseMem {
     /// Writes one byte, allocating the page on demand.
     #[inline]
     pub fn write_u8(&mut self, addr: u64, value: u8) {
-        let page = self
-            .pages
-            .entry(addr >> PAGE_SHIFT)
-            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
-        page[(addr & PAGE_MASK) as usize] = value;
+        let slot = self.slot_of_alloc(addr >> PAGE_SHIFT);
+        self.arena[slot as usize][(addr & PAGE_MASK) as usize] = value;
         self.generation += 1;
     }
 
@@ -85,6 +179,35 @@ impl SparseMem {
     /// Panics if `size` is not one of 1, 2, 4, 8.
     pub fn read(&self, addr: u64, size: u64) -> u64 {
         assert!(matches!(size, 1 | 2 | 4 | 8), "bad access size {size}");
+        let off = (addr & PAGE_MASK) as usize;
+        if off + size as usize <= PAGE_SIZE {
+            // Fast path: the access stays inside one page — one lookup.
+            return match self.slot_of(addr >> PAGE_SHIFT) {
+                Some(s) => le_load(&self.arena[s as usize][off..off + size as usize]),
+                None => 0,
+            };
+        }
+        self.read_slow(addr, size)
+    }
+
+    /// Same as [`SparseMem::read`], but refreshes the last-page cache —
+    /// use from call sites that hold `&mut` (the hot execute loop).
+    #[inline]
+    pub fn read_cached(&mut self, addr: u64, size: u64) -> u64 {
+        assert!(matches!(size, 1 | 2 | 4 | 8), "bad access size {size}");
+        let off = (addr & PAGE_MASK) as usize;
+        if off + size as usize <= PAGE_SIZE {
+            return match self.slot_of_mut(addr >> PAGE_SHIFT) {
+                Some(s) => le_load(&self.arena[s as usize][off..off + size as usize]),
+                None => 0,
+            };
+        }
+        self.read_slow(addr, size)
+    }
+
+    /// Page-crossing fallback: byte loop (at most two pages).
+    #[cold]
+    fn read_slow(&self, addr: u64, size: u64) -> u64 {
         let mut v = 0u64;
         for i in 0..size {
             v |= (self.read_u8(addr.wrapping_add(i)) as u64) << (8 * i);
@@ -99,10 +222,33 @@ impl SparseMem {
     /// Panics if `size` is not one of 1, 2, 4, 8.
     pub fn write(&mut self, addr: u64, size: u64, value: u64) {
         assert!(matches!(size, 1 | 2 | 4 | 8), "bad access size {size}");
-        for i in 0..size {
-            self.write_u8(addr.wrapping_add(i), (value >> (8 * i)) as u8);
+        self.write_bytes(addr, &value.to_le_bytes()[..size as usize]);
+    }
+
+    /// Writes a little-endian byte run of any length, allocating pages
+    /// on demand. `generation` advances by `bytes.len()`, exactly as if
+    /// each byte were written individually.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        let off = (addr & PAGE_MASK) as usize;
+        if off + bytes.len() <= PAGE_SIZE {
+            // Fast path: one lookup for the whole run.
+            let slot = self.slot_of_alloc(addr >> PAGE_SHIFT);
+            self.arena[slot as usize][off..off + bytes.len()].copy_from_slice(bytes);
+            self.generation += bytes.len() as u64;
+            return;
+        }
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u64), *b);
         }
     }
+}
+
+/// Little-endian zero-extended load of a 1–8 byte slice.
+#[inline]
+fn le_load(bytes: &[u8]) -> u64 {
+    let mut buf = [0u8; 8];
+    buf[..bytes.len()].copy_from_slice(bytes);
+    u64::from_le_bytes(buf)
 }
 
 /// A pending speculative store registered with [`SpecMemory`].
@@ -118,6 +264,16 @@ pub struct PendingStore {
     pub value: u64,
 }
 
+/// One store's contribution to an aligned 8-byte overlay word:
+/// `mask` has `0xFF` in every lane the store wrote, and `data` holds
+/// the store bytes in those lanes (zero elsewhere).
+#[derive(Clone, Copy, Debug)]
+struct OverlayEntry {
+    seq: u64,
+    data: u64,
+    mask: u64,
+}
+
 /// Committed memory plus a speculative store overlay.
 ///
 /// Sequence numbers must be registered in strictly increasing order
@@ -127,11 +283,30 @@ pub struct PendingStore {
 #[derive(Clone, Debug, Default)]
 pub struct SpecMemory {
     committed: SparseMem,
-    /// Per-byte stacks of (seq, value); each Vec is sorted by seq
-    /// because writes arrive in program order.
-    overlay: HashMap<u64, Vec<(u64, u8)>>,
+    /// Aligned word (`addr >> 3`) → stack of store contributions in
+    /// seq order. Point lookups only (never iterated).
+    overlay: FxHashMap<u64, Vec<OverlayEntry>>,
     /// All unretired stores by seq, for commit/squash bookkeeping.
-    pending: Vec<PendingStore>,
+    pending: VecDeque<PendingStore>,
+}
+
+/// The two aligned words an access touches, with the low word's bit
+/// offset: `(word0, bit_off, spills_into_word1)`.
+#[inline]
+fn word_span(addr: u64, size: u64) -> (u64, u32, bool) {
+    let word = addr >> 3;
+    let bit_off = ((addr & 7) * 8) as u32;
+    (word, bit_off, bit_off as u64 + size * 8 > 64)
+}
+
+/// `0xFF` in each of the low `size` lanes.
+#[inline]
+fn size_mask(size: u64) -> u64 {
+    if size == 8 {
+        u64::MAX
+    } else {
+        (1u64 << (size * 8)) - 1
+    }
 }
 
 impl SpecMemory {
@@ -165,20 +340,38 @@ impl SpecMemory {
         self.pending.len()
     }
 
-    /// Speculative read: youngest overlay byte wins, falling back to the
-    /// committed image. This is the view core instructions see.
-    pub fn read_spec(&self, addr: u64, size: u64) -> u64 {
-        assert!(matches!(size, 1 | 2 | 4 | 8), "bad access size {size}");
-        let mut v = 0u64;
-        for i in 0..size {
-            let a = addr.wrapping_add(i);
-            let byte = match self.overlay.get(&a).and_then(|s| s.last()) {
-                Some(&(_, b)) => b,
-                None => self.committed.read_u8(a),
-            };
-            v |= (byte as u64) << (8 * i);
+    /// The committed value of aligned word `word` with all pending
+    /// overlay entries applied oldest→youngest (youngest byte wins).
+    #[inline]
+    fn word_spec(&mut self, word: u64) -> u64 {
+        let mut v = self.committed.read_cached(word << 3, 8);
+        if let Some(stack) = self.overlay.get(&word) {
+            for e in stack {
+                v = (v & !e.mask) | e.data;
+            }
         }
         v
+    }
+
+    /// Speculative read: youngest overlay byte wins, falling back to the
+    /// committed image. This is the view core instructions see.
+    ///
+    /// Takes `&mut self` to keep the committed image's last-page cache
+    /// warm; the architectural state is not modified.
+    pub fn read_spec(&mut self, addr: u64, size: u64) -> u64 {
+        assert!(matches!(size, 1 | 2 | 4 | 8), "bad access size {size}");
+        if self.overlay.is_empty() {
+            // Fast path: no stores in flight — a plain committed read.
+            return self.committed.read_cached(addr, size);
+        }
+        let (word, bit_off, spills) = word_span(addr, size);
+        let lo = self.word_spec(word);
+        let mut v = lo >> bit_off;
+        if spills {
+            let hi = self.word_spec(word + 1);
+            v |= hi << (64 - bit_off);
+        }
+        v & size_mask(size)
     }
 
     /// Committed read: ignores all unretired stores. This is the view
@@ -194,20 +387,68 @@ impl SpecMemory {
     /// (stores must arrive in program order).
     pub fn write_spec(&mut self, seq: u64, addr: u64, size: u64, value: u64) {
         assert!(matches!(size, 1 | 2 | 4 | 8), "bad access size {size}");
-        if let Some(last) = self.pending.last() {
+        if let Some(last) = self.pending.back() {
             assert!(seq > last.seq, "stores must be registered in program order");
         }
-        for i in 0..size {
-            let a = addr.wrapping_add(i);
-            let byte = (value >> (8 * i)) as u8;
-            self.overlay.entry(a).or_default().push((seq, byte));
+        let value = value & size_mask(size);
+        let (word, bit_off, spills) = word_span(addr, size);
+        self.overlay.entry(word).or_default().push(OverlayEntry {
+            seq,
+            data: value << bit_off,
+            mask: size_mask(size) << bit_off,
+        });
+        if spills {
+            self.overlay
+                .entry(word + 1)
+                .or_default()
+                .push(OverlayEntry {
+                    seq,
+                    data: value >> (64 - bit_off),
+                    mask: size_mask(size) >> (64 - bit_off),
+                });
         }
-        self.pending.push(PendingStore {
+        self.pending.push_back(PendingStore {
             seq,
             addr,
             size,
             value,
         });
+    }
+
+    /// Removes `seq`'s entry for `word` from the stack `end` it is
+    /// required to sit at (front for commit, back for squash), and
+    /// returns it.
+    #[inline]
+    fn take_entry(&mut self, word: u64, seq: u64, front: bool) -> OverlayEntry {
+        // write_spec registered this word for `seq`, and only
+        // commit/squash (which take it exactly once) remove entries,
+        // so the stack must be present.
+        // pfm-lint: allow(hygiene): see the invariant above
+        let stack = self.overlay.get_mut(&word).expect("overlay word present");
+        let e = if front {
+            debug_assert_eq!(stack.first().map(|e| e.seq), Some(seq));
+            stack.remove(0)
+        } else {
+            debug_assert_eq!(stack.last().map(|e| e.seq), Some(seq));
+            // pfm-lint: allow(hygiene): non-empty per the same argument
+            stack.pop().expect("overlay stack non-empty")
+        };
+        if stack.is_empty() {
+            self.overlay.remove(&word);
+        }
+        e
+    }
+
+    /// Folds one overlay entry's lanes into the committed image.
+    /// The lanes a single store wrote within a word are contiguous.
+    fn fold_entry(&mut self, word: u64, e: OverlayEntry) {
+        let lane0 = e.mask.trailing_zeros() / 8;
+        let lanes = e.mask.count_ones() / 8;
+        let bytes = e.data.to_le_bytes();
+        self.committed.write_bytes(
+            (word << 3) + lane0 as u64,
+            &bytes[lane0 as usize..(lane0 + lanes) as usize],
+        );
     }
 
     /// Commits the oldest pending store, which must have sequence number
@@ -218,23 +459,21 @@ impl SpecMemory {
     pub fn commit_store(&mut self, seq: u64) {
         let st = self
             .pending
-            .first()
+            .front()
             .copied()
             // pfm-lint: allow(hygiene): caller contract; the panic is documented
             .expect("no pending store to commit");
         assert_eq!(st.seq, seq, "stores must commit in program order");
-        self.pending.remove(0);
-        for i in 0..st.size {
-            let a = st.addr.wrapping_add(i);
-            if let Some(stack) = self.overlay.get_mut(&a) {
-                // The committing store's byte is the oldest entry.
-                debug_assert_eq!(stack.first().map(|e| e.0), Some(seq));
-                let (_, byte) = stack.remove(0);
-                self.committed.write_u8(a, byte);
-                if stack.is_empty() {
-                    self.overlay.remove(&a);
-                }
-            }
+        self.pending.pop_front();
+        // The committing store's entries sit at the front of each word
+        // stack: commits are oldest-first, so every older store that
+        // touched these words has already removed its entries.
+        let (word, _, spills) = word_span(st.addr, st.size);
+        let e = self.take_entry(word, seq, true);
+        self.fold_entry(word, e);
+        if spills {
+            let e = self.take_entry(word + 1, seq, true);
+            self.fold_entry(word + 1, e);
         }
     }
 
@@ -242,20 +481,17 @@ impl SpecMemory {
     /// greater than `seq` (youngest-first rollback after a pipeline
     /// squash).
     pub fn squash_after(&mut self, seq: u64) {
-        while let Some(last) = self.pending.last().copied() {
+        while let Some(last) = self.pending.back().copied() {
             if last.seq <= seq {
                 break;
             }
-            self.pending.pop();
-            for i in 0..last.size {
-                let a = last.addr.wrapping_add(i);
-                if let Some(stack) = self.overlay.get_mut(&a) {
-                    debug_assert_eq!(stack.last().map(|e| e.0), Some(last.seq));
-                    stack.pop();
-                    if stack.is_empty() {
-                        self.overlay.remove(&a);
-                    }
-                }
+            self.pending.pop_back();
+            // The squashed store is the youngest, so its entries sit at
+            // the back of each word stack.
+            let (word, _, spills) = word_span(last.addr, last.size);
+            self.take_entry(word, last.seq, false);
+            if spills {
+                self.take_entry(word + 1, last.seq, false);
             }
         }
     }
@@ -292,6 +528,7 @@ mod tests {
         let addr = 0x1FFC; // spans 0x1000-page boundary at 0x2000
         m.write(addr, 8, 0x1122334455667788);
         assert_eq!(m.read(addr, 8), 0x1122334455667788);
+        assert_eq!(m.read_cached(addr, 8), 0x1122334455667788);
         assert_eq!(m.resident_pages(), 2);
     }
 
@@ -301,6 +538,30 @@ mod tests {
         m.write(0x100, 4, 0x0A0B0C0D);
         assert_eq!(m.read_u8(0x100), 0x0D);
         assert_eq!(m.read_u8(0x103), 0x0A);
+    }
+
+    #[test]
+    fn generation_counts_bytes_on_every_path() {
+        let mut m = SparseMem::new();
+        m.write(0x100, 8, 1); // intra-page fast path
+        assert_eq!(m.generation(), 8);
+        m.write(0x1FFC, 8, 2); // page-crossing byte loop
+        assert_eq!(m.generation(), 16);
+        m.write_u8(0x0, 3);
+        assert_eq!(m.generation(), 17);
+        m.write_bytes(0x200, &[1, 2, 3]);
+        assert_eq!(m.generation(), 20);
+    }
+
+    #[test]
+    fn last_page_cache_survives_clone() {
+        let mut m = SparseMem::new();
+        m.write(0x8000, 8, 0xabcd);
+        let mut c = m.clone();
+        // Writes to the clone must not alias the original's pages.
+        c.write(0x8000, 8, 0x1234);
+        assert_eq!(m.read(0x8000, 8), 0xabcd);
+        assert_eq!(c.read(0x8000, 8), 0x1234);
     }
 
     #[test]
@@ -343,6 +604,32 @@ mod tests {
         m.write_spec(2, 0x404, 4, 0xBBBB_BBBB);
         // Low half from store 1, high half from store 2.
         assert_eq!(m.read_spec(0x400, 8), 0xBBBB_BBBB_AAAA_AAAA);
+    }
+
+    #[test]
+    fn unaligned_store_spans_two_words() {
+        let mut m = SpecMemory::new();
+        m.committed_mut().write(0x500, 8, 0x1111_1111_1111_1111);
+        m.committed_mut().write(0x508, 8, 0x2222_2222_2222_2222);
+        // 8-byte store at 0x505 covers bytes 5..13.
+        m.write_spec(1, 0x505, 8, 0xAABB_CCDD_EEFF_0011);
+        assert_eq!(m.read_spec(0x505, 8), 0xAABB_CCDD_EEFF_0011);
+        // Unwritten neighbours still read committed.
+        assert_eq!(m.read_spec(0x500, 4), 0x1111_1111);
+        assert_eq!(m.read_spec(0x508, 8) >> 40, 0x22_2222);
+        m.commit_store(1);
+        assert_eq!(m.read_committed(0x505, 8), 0xAABB_CCDD_EEFF_0011);
+        assert_eq!(m.read_committed(0x500, 4), 0x1111_1111);
+    }
+
+    #[test]
+    fn unaligned_squash_unwinds_both_words() {
+        let mut m = SpecMemory::new();
+        m.write_spec(1, 0x605, 8, u64::MAX);
+        m.squash_after(0);
+        assert_eq!(m.read_spec(0x600, 8), 0);
+        assert_eq!(m.read_spec(0x608, 8), 0);
+        assert_eq!(m.pending_stores(), 0);
     }
 
     #[test]

@@ -116,6 +116,9 @@ impl CacheStats {
 #[derive(Clone, Debug)]
 pub struct Cache {
     config: CacheConfig,
+    /// `sets() - 1`, precomputed: set selection is on the per-access
+    /// hot path and `sets()` costs a 64-bit division.
+    set_mask: u64,
     lines: Vec<Line>,
     stamp: u64,
     stats: CacheStats,
@@ -127,6 +130,7 @@ impl Cache {
         let n = (config.sets() as usize) * config.ways;
         Cache {
             config,
+            set_mask: config.sets() - 1,
             lines: vec![Line::default(); n],
             stamp: 0,
             stats: CacheStats::default(),
@@ -145,13 +149,14 @@ impl Cache {
 
     #[inline]
     fn set_range(&self, addr: u64) -> (usize, usize) {
-        let set = ((addr >> LINE_SHIFT) & (self.config.sets() - 1)) as usize;
+        let set = ((addr >> LINE_SHIFT) & self.set_mask) as usize;
         let start = set * self.config.ways;
         (start, start + self.config.ways)
     }
 
     /// Demand access. Returns whether the line is present; updates LRU
     /// and dirty state on hit, and records statistics.
+    #[inline]
     pub fn access(&mut self, addr: u64, is_write: bool) -> bool {
         let tag = addr >> LINE_SHIFT;
         let (lo, hi) = self.set_range(addr);
@@ -173,6 +178,7 @@ impl Cache {
     }
 
     /// Non-mutating presence probe (no LRU update, no stats).
+    #[inline]
     pub fn probe(&self, addr: u64) -> bool {
         let tag = addr >> LINE_SHIFT;
         let (lo, hi) = self.set_range(addr);
@@ -211,9 +217,8 @@ impl Cache {
         };
         let evicted = if set[victim].valid && set[victim].dirty {
             self.stats.writebacks += 1;
-            let sets = self.config.sets();
-            let set_idx = (addr >> LINE_SHIFT) & (sets - 1);
-            Some(((set[victim].tag & !(sets - 1)) | set_idx) << LINE_SHIFT)
+            let set_idx = (addr >> LINE_SHIFT) & self.set_mask;
+            Some(((set[victim].tag & !self.set_mask) | set_idx) << LINE_SHIFT)
         } else {
             None
         };

@@ -170,6 +170,8 @@ pub struct Hierarchy {
     mshrs: MshrFile,
     l1_prefetcher: Option<NextNLine>,
     l2_prefetcher: Option<Vldp>,
+    /// Reused prefetch-target buffer (the demand-miss path is hot).
+    pf_targets: Vec<u64>,
     tlb: Tlb,
     stats: HierarchyStats,
 }
@@ -202,6 +204,7 @@ impl Hierarchy {
             } else {
                 None
             },
+            pf_targets: Vec::new(),
             tlb: Tlb::new(config.tlb_entries, config.tlb_walk_latency),
             config,
             stats: HierarchyStats::default(),
@@ -356,19 +359,24 @@ impl Hierarchy {
             let _ = self.mshrs.alloc(addr, cycle + latency);
         }
 
-        // Trigger prefetchers on demand misses only.
+        // Trigger prefetchers on demand misses only. The target buffer
+        // is owned by the hierarchy and reused across misses;
+        // `prefetch_fill` never re-enters this path, so taking it for
+        // the duration of the loop is safe.
         if !is_prefetch {
-            let mut targets: Vec<u64> = Vec::new();
+            let mut targets = std::mem::take(&mut self.pf_targets);
+            targets.clear();
             if let Some(pf) = self.l1_prefetcher.as_mut() {
-                targets.extend(pf.observe(addr, true));
+                pf.observe_into(addr, true, &mut targets);
             }
             if let Some(pf) = self.l2_prefetcher.as_mut() {
-                targets.extend(pf.observe(addr, true));
+                pf.observe_into(addr, true, &mut targets);
             }
-            for t in targets {
+            for &t in &targets {
                 self.stats.prefetches_issued += 1;
                 self.prefetch_fill(t, cycle);
             }
+            self.pf_targets = targets;
         }
 
         AccessOutcome {

@@ -9,8 +9,10 @@ use crate::cache::{line_of, LINE_BYTES};
 pub trait Prefetcher {
     /// Observes a demand access (`addr` is the byte address; `miss`
     /// indicates whether it missed at the level the prefetcher guards)
-    /// and returns the line-aligned addresses to prefetch.
-    fn observe(&mut self, addr: u64, miss: bool) -> Vec<u64>;
+    /// and appends the line-aligned addresses to prefetch onto `out`.
+    /// Taking an out-buffer keeps the per-miss hot path allocation-free
+    /// — the hierarchy reuses one target buffer across all misses.
+    fn observe_into(&mut self, addr: u64, miss: bool, out: &mut Vec<u64>);
     /// Human-readable name for stats output.
     fn name(&self) -> &'static str;
 }
@@ -35,15 +37,13 @@ impl NextNLine {
 }
 
 impl Prefetcher for NextNLine {
-    fn observe(&mut self, addr: u64, miss: bool) -> Vec<u64> {
+    fn observe_into(&mut self, addr: u64, miss: bool, out: &mut Vec<u64>) {
         let line = line_of(addr);
         if !miss || line == self.last_line {
-            return Vec::new();
+            return;
         }
         self.last_line = line;
-        (1..=self.n)
-            .map(|i| line.wrapping_add(i * LINE_BYTES))
-            .collect()
+        out.extend((1..=self.n).map(|i| line.wrapping_add(i * LINE_BYTES)));
     }
 
     fn name(&self) -> &'static str {
@@ -152,9 +152,9 @@ impl Vldp {
 }
 
 impl Prefetcher for Vldp {
-    fn observe(&mut self, addr: u64, miss: bool) -> Vec<u64> {
+    fn observe_into(&mut self, addr: u64, miss: bool, out: &mut Vec<u64>) {
         if !miss {
-            return Vec::new();
+            return;
         }
         self.stamp += 1;
         let page = addr >> VLDP_PAGE_SHIFT;
@@ -190,7 +190,7 @@ impl Prefetcher for Vldp {
                     lru: self.stamp,
                 };
                 // First touch of a page: nothing to predict from yet.
-                return Vec::new();
+                return;
             }
         };
 
@@ -198,15 +198,15 @@ impl Prefetcher for Vldp {
         let delta = block - entry.last_block;
         if delta == 0 {
             self.dhb[slot].lru = self.stamp;
-            return Vec::new();
+            return;
         }
 
         // Train: each history length that was available should have
-        // predicted `delta`.
+        // predicted `delta`. (`entry` is a copy, so slicing its history
+        // borrows nothing from `self`.)
         for len in 1..=entry.num_deltas.min(VLDP_HISTORY) {
-            let hist: Vec<i64> =
-                entry.deltas[..entry.num_deltas][entry.num_deltas - len..].to_vec();
-            self.dpt_update(len, &hist, delta);
+            let hist = &entry.deltas[..entry.num_deltas][entry.num_deltas - len..];
+            self.dpt_update(len, hist, delta);
         }
 
         // Shift the new delta into the history.
@@ -221,12 +221,13 @@ impl Prefetcher for Vldp {
         e.last_block = block;
         e.lru = self.stamp;
 
-        // Predict a chain of up to `degree` future blocks.
-        let mut out = Vec::new();
-        let mut hist: Vec<i64> = self.dhb[slot].deltas[..self.dhb[slot].num_deltas].to_vec();
+        // Predict a chain of up to `degree` future blocks. The rolling
+        // history lives in a fixed array — no per-miss allocation.
+        let mut hist = self.dhb[slot].deltas;
+        let mut hist_len = self.dhb[slot].num_deltas;
         let mut cur = block;
         for _ in 0..self.degree {
-            let Some(d) = self.dpt_predict(&hist) else {
+            let Some(d) = self.dpt_predict(&hist[..hist_len]) else {
                 break;
             };
             cur += d;
@@ -234,14 +235,14 @@ impl Prefetcher for Vldp {
                 break;
             }
             out.push((cur as u64) << crate::cache::LINE_SHIFT);
-            if hist.len() == VLDP_HISTORY {
+            if hist_len == VLDP_HISTORY {
                 hist.rotate_left(1);
                 hist[VLDP_HISTORY - 1] = d;
             } else {
-                hist.push(d);
+                hist[hist_len] = d;
+                hist_len += 1;
             }
         }
-        out
     }
 
     fn name(&self) -> &'static str {
@@ -253,19 +254,34 @@ impl Prefetcher for Vldp {
 mod tests {
     use super::*;
 
+    /// Collects one observation's proposals into a fresh Vec.
+    fn observe(p: &mut impl Prefetcher, addr: u64, miss: bool) -> Vec<u64> {
+        let mut out = Vec::new();
+        p.observe_into(addr, miss, &mut out);
+        out
+    }
+
     #[test]
     fn next_n_line_prefetches_sequential_lines() {
         let mut p = NextNLine::new(2);
-        let out = p.observe(0x1010, true);
+        let out = observe(&mut p, 0x1010, true);
         assert_eq!(out, vec![0x1040, 0x1080]);
     }
 
     #[test]
     fn next_n_line_ignores_hits_and_repeats() {
         let mut p = NextNLine::new(2);
-        assert!(p.observe(0x1000, false).is_empty());
-        assert_eq!(p.observe(0x1000, true).len(), 2);
-        assert!(p.observe(0x1004, true).is_empty()); // same line again
+        assert!(observe(&mut p, 0x1000, false).is_empty());
+        assert_eq!(observe(&mut p, 0x1000, true).len(), 2);
+        assert!(observe(&mut p, 0x1004, true).is_empty()); // same line again
+    }
+
+    #[test]
+    fn observe_into_appends_without_clearing() {
+        let mut p = NextNLine::new(1);
+        let mut out = vec![0xdead];
+        p.observe_into(0x1000, true, &mut out);
+        assert_eq!(out, vec![0xdead, 0x1040]);
     }
 
     #[test]
@@ -274,7 +290,7 @@ mod tests {
         let stride = 2 * LINE_BYTES;
         let mut predicted = Vec::new();
         for i in 0..16u64 {
-            predicted = p.observe(0x10_0000 + i * stride, true);
+            predicted = observe(&mut p, 0x10_0000 + i * stride, true);
         }
         // After warmup it should predict the next strided line.
         assert_eq!(predicted, vec![line_of(0x10_0000 + 16 * stride)]);
@@ -290,7 +306,7 @@ mod tests {
         for i in 0..40 {
             let delta = if i % 2 == 0 { 1 } else { 3 };
             block += delta;
-            last_pred = p.observe(block * LINE_BYTES, true);
+            last_pred = observe(&mut p, block * LINE_BYTES, true);
         }
         // Last observed delta was +3 (i=39 odd), so next should be +1.
         assert_eq!(last_pred, vec![(block + 1) * LINE_BYTES]);
@@ -299,14 +315,14 @@ mod tests {
     #[test]
     fn vldp_first_touch_is_silent() {
         let mut p = Vldp::new(2);
-        assert!(p.observe(0x20_0000, true).is_empty());
+        assert!(observe(&mut p, 0x20_0000, true).is_empty());
     }
 
     #[test]
     fn vldp_ignores_hits() {
         let mut p = Vldp::new(2);
-        p.observe(0x30_0000, true);
-        assert!(p.observe(0x30_0040, false).is_empty());
+        observe(&mut p, 0x30_0000, true);
+        assert!(observe(&mut p, 0x30_0040, false).is_empty());
     }
 
     #[test]

@@ -16,6 +16,11 @@ pub struct Tlb {
     capacity: usize,
     walk_latency: u64,
     stamp: u64,
+    /// Slot of the most recent translation: accesses cluster on one
+    /// page, so checking here first skips the linear scan on the
+    /// common path. Purely an access-order cache — LRU stamps and
+    /// eviction decisions are identical with or without it.
+    mru: usize,
     /// Translation hits.
     pub hits: u64,
     /// Translation misses (page walks).
@@ -35,6 +40,7 @@ impl Tlb {
             capacity,
             walk_latency,
             stamp: 0,
+            mru: 0,
             hits: 0,
             misses: 0,
         }
@@ -45,8 +51,17 @@ impl Tlb {
     pub fn translate(&mut self, addr: u64) -> u64 {
         let page = addr >> PAGE_SHIFT;
         self.stamp += 1;
-        if let Some(e) = self.entries.iter_mut().find(|e| e.0 == page) {
-            e.1 = self.stamp;
+        // Same-page fast path via the MRU slot.
+        if let Some(e) = self.entries.get_mut(self.mru) {
+            if e.0 == page {
+                e.1 = self.stamp;
+                self.hits += 1;
+                return 0;
+            }
+        }
+        if let Some(i) = self.entries.iter().position(|e| e.0 == page) {
+            self.entries[i].1 = self.stamp;
+            self.mru = i;
             self.hits += 1;
             return 0;
         }
@@ -63,6 +78,7 @@ impl Tlb {
             self.entries.swap_remove(victim);
         }
         self.entries.push((page, self.stamp));
+        self.mru = self.entries.len() - 1;
         self.walk_latency
     }
 }

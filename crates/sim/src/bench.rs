@@ -1,0 +1,240 @@
+//! Simulator-throughput benchmark harness (`repro --bench`).
+//!
+//! Runs the full use-case suite — every distinct workload the
+//! experiment plans simulate, in both baseline and PFM modes — and
+//! reports simulation speed as MKIPS (million retired instructions per
+//! host-second). This bounds how much paper-scale experimentation a
+//! wall-clock budget buys, and makes hot-loop regressions visible as a
+//! number rather than a vague "repro feels slow".
+//!
+//! Throughput is *host* timing and therefore not deterministic; the
+//! harness reuses the executor's wall-clock plumbing and never touches
+//! simulated statistics, so it cannot perturb results (the golden-stats
+//! test pins those separately).
+
+use crate::exec::{execute, ExecOptions};
+use crate::plan::RunSpec;
+use crate::runner::RunConfig;
+use crate::usecases;
+
+/// Throughput of one (use-case, mode) run.
+#[derive(Clone, Debug)]
+pub struct BenchRow {
+    /// Use-case name, e.g. `astar`.
+    pub name: String,
+    /// `baseline` or `pfm`.
+    pub mode: &'static str,
+    /// Instructions retired by the run.
+    pub retired: u64,
+    /// Host seconds the run took.
+    pub seconds: f64,
+}
+
+impl BenchRow {
+    /// Million retired instructions per host-second.
+    pub fn mkips(&self) -> f64 {
+        self.retired as f64 / self.seconds.max(1e-9) / 1e6
+    }
+}
+
+/// A completed throughput benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchReport {
+    /// Per-run throughput, suite order (baseline then pfm per
+    /// use-case).
+    pub rows: Vec<BenchRow>,
+    /// End-to-end wall-clock seconds for the whole suite.
+    pub wall_seconds: f64,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Instruction budget per run.
+    pub max_instrs: u64,
+}
+
+impl BenchReport {
+    /// Total instructions retired across the suite.
+    pub fn total_retired(&self) -> u64 {
+        self.rows.iter().map(|r| r.retired).sum()
+    }
+
+    /// Suite-level MKIPS: total retired over *wall* seconds, so worker
+    /// overlap counts (this is the number that predicts `repro --all`
+    /// turnaround).
+    pub fn aggregate_mkips(&self) -> f64 {
+        self.total_retired() as f64 / self.wall_seconds.max(1e-9) / 1e6
+    }
+
+    /// Human-readable table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "simulator throughput ({} instrs/run, {} job(s))\n",
+            self.max_instrs, self.jobs
+        ));
+        out.push_str(&format!(
+            "{:<22} {:<9} {:>12} {:>9} {:>8}\n",
+            "use case", "mode", "retired", "seconds", "MKIPS"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<22} {:<9} {:>12} {:>9.3} {:>8.2}\n",
+                r.name,
+                r.mode,
+                r.retired,
+                r.seconds,
+                r.mkips()
+            ));
+        }
+        out.push_str(&format!(
+            "total: {} instrs in {:.2}s wall = {:.2} MKIPS aggregate",
+            self.total_retired(),
+            self.wall_seconds,
+            self.aggregate_mkips()
+        ));
+        out
+    }
+
+    /// JSON document for `BENCH_sim_throughput.json` (hand-rolled — the
+    /// workspace deliberately has no serialization dependency).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"max_instrs\": {},\n", self.max_instrs));
+        out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
+        out.push_str(&format!("  \"wall_seconds\": {:.6},\n", self.wall_seconds));
+        out.push_str(&format!("  \"total_retired\": {},\n", self.total_retired()));
+        out.push_str(&format!(
+            "  \"aggregate_mkips\": {:.4},\n",
+            self.aggregate_mkips()
+        ));
+        out.push_str("  \"runs\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": {}, \"mode\": \"{}\", \"retired\": {}, \
+                 \"seconds\": {:.6}, \"mkips\": {:.4}}}{}\n",
+                json_string(&r.name),
+                r.mode,
+                r.retired,
+                r.seconds,
+                r.mkips(),
+                if i + 1 < self.rows.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (names are ASCII identifiers today;
+/// this keeps the writer correct if that ever changes).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Runs the throughput suite: one baseline and one PFM run per
+/// use-case in [`usecases::throughput_suite_factories`], executed by
+/// the normal deduplicating executor.
+pub fn run_bench(rc: &RunConfig, opts: &ExecOptions) -> BenchReport {
+    let mut specs = Vec::new();
+    let mut modes: Vec<&'static str> = Vec::new();
+    for uc in usecases::throughput_suite_factories() {
+        specs.push(RunSpec::baseline(uc.clone(), rc));
+        modes.push("baseline");
+        specs.push(RunSpec::pfm(
+            uc,
+            pfm_fabric::FabricParams::paper_default(),
+            rc,
+        ));
+        modes.push("pfm");
+    }
+    let (runs, report) = execute(&specs, opts);
+
+    // The suite has no duplicate specs, so executor report order ==
+    // spec order; pair timings with results by key anyway.
+    let rows = report
+        .runs
+        .iter()
+        .zip(&modes)
+        .map(|(r, mode)| {
+            let result = runs.get(&r.key);
+            BenchRow {
+                name: r.name.clone(),
+                mode,
+                retired: result.stats.retired,
+                seconds: r.seconds,
+            }
+        })
+        .collect();
+
+    BenchReport {
+        rows,
+        wall_seconds: report.wall_seconds,
+        jobs: report.jobs,
+        max_instrs: rc.max_instrs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_covers_suite_and_reports_positive_throughput() {
+        let rc = RunConfig {
+            max_instrs: 5_000,
+            ..RunConfig::test_scale()
+        };
+        let report = run_bench(&rc, &ExecOptions::serial());
+        assert_eq!(
+            report.rows.len(),
+            2 * usecases::throughput_suite_factories().len()
+        );
+        for row in &report.rows {
+            assert!(row.retired > 0, "{} retired nothing", row.name);
+            assert!(row.mkips() > 0.0);
+        }
+        assert!(report.aggregate_mkips() > 0.0);
+        assert!(report.total_retired() >= 5_000 * report.rows.len() as u64 / 2);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let report = BenchReport {
+            rows: vec![BenchRow {
+                name: "astar".to_string(),
+                mode: "baseline",
+                retired: 1000,
+                seconds: 0.5,
+            }],
+            wall_seconds: 0.5,
+            jobs: 1,
+            max_instrs: 1000,
+        };
+        let j = report.to_json();
+        assert!(j.starts_with("{\n"));
+        assert!(j.ends_with("}\n"));
+        assert!(j.contains("\"name\": \"astar\""));
+        assert!(j.contains("\"aggregate_mkips\": 0.0020"));
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "unbalanced braces"
+        );
+    }
+
+    #[test]
+    fn json_string_escapes_specials() {
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("x\ny"), "\"x\\u000ay\"");
+    }
+}

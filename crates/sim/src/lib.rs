@@ -23,12 +23,14 @@
 
 #![warn(missing_docs)]
 
+pub mod bench;
 pub mod exec;
 pub mod experiments;
 pub mod plan;
 pub mod runner;
 pub mod usecases;
 
+pub use bench::{run_bench, BenchReport, BenchRow};
 pub use exec::{run_plans, ExecOptions, ExecReport};
 pub use experiments::{Experiment, Row};
 pub use plan::{ExperimentPlan, RunSet, RunSpec};

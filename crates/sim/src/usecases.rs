@@ -249,6 +249,32 @@ pub fn prefetch_suite_factories() -> Vec<UseCaseFactory> {
     ]
 }
 
+/// Every distinct use-case the experiment suite simulates, one factory
+/// each. This is the workload mix behind both the golden-stats
+/// regression test and the `repro --bench` throughput harness, so the
+/// two measure exactly the code paths the experiments exercise.
+pub fn throughput_suite_factories() -> Vec<UseCaseFactory> {
+    vec![
+        astar_custom_factory(),
+        astar_factory(AstarParams {
+            variant: AstarVariant::Slipstream,
+            ..AstarParams::default()
+        }),
+        astar_factory(AstarParams {
+            variant: AstarVariant::Alt,
+            ..AstarParams::default()
+        }),
+        bfs_roads_factory(),
+        bfs_roads_slipstream_factory(),
+        bfs_youtube_factory(),
+        libquantum_factory(),
+        bwaves_factory(),
+        lbm_factory(),
+        milc_factory(),
+        leslie_factory(),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

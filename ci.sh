@@ -21,11 +21,14 @@ cargo build --release
 echo "== cargo test =="
 cargo test -q --release
 
+echo "== repro --chaos-smoke (graceful degradation under faults) =="
+cargo build -q --release -p pfm-bench
+repro_bin="$PWD/target/release/repro"
+"$repro_bin" --chaos-smoke --quick --jobs 4 > /dev/null
+
 echo "== repro --bench smoke (simulator MKIPS) =="
 # Runs in a temp dir: the smoke's quick-scale JSON must not clobber the
 # committed paper-scale BENCH_sim_throughput.json at the repo root.
-cargo build -q --release -p pfm-bench
-repro_bin="$PWD/target/release/repro"
 smoke_dir="$(mktemp -d)"
 (cd "$smoke_dir" && "$repro_bin" --bench --quick --jobs 4 2>/dev/null | grep -E "MKIPS")
 rm -rf "$smoke_dir"

@@ -20,7 +20,9 @@ macro_rules! fig_bench {
             g.warm_up_time(Duration::from_millis(300));
             g.measurement_time(Duration::from_secs(2));
             let rc = tiny();
-            g.bench_function($id, |b| b.iter(|| $exp(&rc).rows.len()));
+            g.bench_function($id, |b| {
+                b.iter(|| $exp(&rc).expect("experiment runs").rows.len())
+            });
             g.finish();
         }
     };
@@ -46,7 +48,12 @@ fig_bench!(
 fn bench_table4(c: &mut Criterion) {
     let mut g = c.benchmark_group("figures");
     g.bench_function("table4_fpga_estimates", |b| {
-        b.iter(|| experiments::table4().rows.len())
+        b.iter(|| {
+            experiments::table4()
+                .expect("table4 has no runs")
+                .rows
+                .len()
+        })
     });
     g.finish();
 }

@@ -11,9 +11,16 @@
 //! repro --all --jobs 4       # four worker threads
 //! repro --list               # what can be regenerated
 //! repro --bench              # simulator MKIPS throughput benchmark
+//! repro --chaos              # fault-injection suite (checksum proof)
+//! repro --chaos-smoke        # CI-sized chaos subset
+//! repro --all --keep-going   # don't stop claiming runs on failure
 //! ```
+//!
+//! A failed, panicked or hung run never aborts the process: the
+//! executor isolates it, the remaining experiments still assemble, and
+//! `repro` prints a failure table and exits non-zero.
 
-use pfm_sim::experiments::{plan_for, ALL_IDS};
+use pfm_sim::experiments::{plan_for, ALL_IDS, EXTRA_IDS};
 use pfm_sim::{run_bench, run_plans, ExecOptions, RunConfig};
 
 /// Exits with a contextual message on stderr; used for conditions the
@@ -24,16 +31,14 @@ fn fail(context: &str, err: impl std::fmt::Display) -> ! {
     std::process::exit(1);
 }
 
-/// Resolves an experiment id to its plan, exiting with context when the
-/// planner does not recognise it (ids are validated against `ALL_IDS`
-/// before this point, so a miss means the menu and planner disagree).
+/// Resolves an experiment id to its plan, exiting with the planner's
+/// typed error when it does not recognise it (ids are validated
+/// against `ALL_IDS`/`EXTRA_IDS` before this point, so a miss means
+/// the menu and planner disagree).
 fn plan_or_exit(id: &str, rc: &RunConfig) -> pfm_sim::plan::ExperimentPlan {
     match plan_for(id, rc) {
-        Some(p) => p,
-        None => fail(
-            &format!("experiment `{id}` is listed but has no plan"),
-            "planner/menu mismatch",
-        ),
+        Ok(p) => p,
+        Err(e) => fail("cannot plan experiment", e),
     }
 }
 
@@ -42,9 +47,9 @@ fn print_menu(out: &mut impl std::io::Write) {
     if let Err(e) = writeln!(out, "available experiments:") {
         fail("cannot write experiment menu", e);
     }
-    for id in ALL_IDS {
+    for id in ALL_IDS.into_iter().chain(EXTRA_IDS) {
         let plan = plan_or_exit(id, &rc);
-        if let Err(e) = writeln!(out, "  {id:<10} {}", plan.title) {
+        if let Err(e) = writeln!(out, "  {id:<12} {}", plan.title) {
             fail("cannot write experiment menu", e);
         }
     }
@@ -56,6 +61,7 @@ fn main() {
     let mut all = false;
     let mut list = false;
     let mut bench = false;
+    let mut keep_going = false;
     let mut jobs: Option<usize> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut bad_args: Vec<String> = Vec::new();
@@ -67,6 +73,9 @@ fn main() {
             "--all" => all = true,
             "--list" => list = true,
             "--bench" => bench = true,
+            "--keep-going" => keep_going = true,
+            "--chaos" => ids.push("chaos".to_string()),
+            "--chaos-smoke" => ids.push("chaos-smoke".to_string()),
             "--jobs" => match it.next().and_then(|n| n.parse().ok()) {
                 Some(n) => jobs = Some(n),
                 None => bad_args.push("--jobs <N>".to_string()),
@@ -77,7 +86,9 @@ fn main() {
                         Ok(n) => jobs = Some(n),
                         Err(_) => bad_args.push(other.to_string()),
                     }
-                } else if other.starts_with("--") || !ALL_IDS.contains(&other) {
+                } else if other.starts_with("--")
+                    || !(ALL_IDS.contains(&other) || EXTRA_IDS.contains(&other))
+                {
                     bad_args.push(other.to_string());
                 } else {
                     ids.push(other.to_string());
@@ -90,7 +101,9 @@ fn main() {
         eprintln!("unknown argument(s): {}", bad_args.join(", "));
         eprintln!();
         print_menu(&mut std::io::stderr());
-        eprintln!("\nflags: --all --quick --list --bench --jobs <N>");
+        eprintln!(
+            "\nflags: --all --quick --list --bench --chaos --chaos-smoke --keep-going --jobs <N>"
+        );
         std::process::exit(1);
     }
 
@@ -99,7 +112,7 @@ fn main() {
         return;
     }
 
-    if ids.is_empty() {
+    if ids.is_empty() && !all {
         all = true;
     }
 
@@ -112,6 +125,7 @@ fn main() {
         let opts = ExecOptions {
             jobs: jobs.unwrap_or_else(|| ExecOptions::default().jobs),
             progress: true,
+            keep_going,
         };
         let report = run_bench(&rc, &opts);
         println!("{}", report.render());
@@ -123,16 +137,20 @@ fn main() {
         return;
     }
 
-    // Paper order regardless of argument order, as before the planner.
+    // Paper order regardless of argument order, as before the planner;
+    // the chaos family (never part of `--all`) runs after the paper
+    // set, in EXTRA_IDS order.
     let plans: Vec<_> = ALL_IDS
         .iter()
         .filter(|id| all || ids.iter().any(|w| w == *id))
+        .chain(EXTRA_IDS.iter().filter(|id| ids.iter().any(|w| w == *id)))
         .map(|id| plan_or_exit(id, &rc))
         .collect();
 
     let opts = ExecOptions {
         jobs: jobs.unwrap_or_else(|| ExecOptions::default().jobs),
         progress: true,
+        keep_going,
     };
     let unique: usize = {
         let specs: Vec<_> = plans
@@ -149,8 +167,27 @@ fn main() {
     );
 
     let (experiments, report) = run_plans(plans, &opts);
+    let mut broken = 0usize;
     for exp in &experiments {
-        println!("{}", exp.render());
+        match exp {
+            Ok(exp) => println!("{}", exp.render()),
+            Err(e) => {
+                broken += 1;
+                eprintln!("repro: experiment not assembled: {e}");
+            }
+        }
+    }
+    let table = report.failure_table();
+    if !table.is_empty() {
+        eprintln!("{table}");
     }
     println!("plan: {}", report.summary());
+    if broken > 0 || !report.failures.is_empty() || report.skipped > 0 {
+        eprintln!(
+            "repro: {} of {} experiment(s) incomplete",
+            broken,
+            experiments.len()
+        );
+        std::process::exit(1);
+    }
 }

@@ -340,7 +340,11 @@ impl AstarPredictor {
                 return; // head index not returned yet (in-order consume)
             };
             let k = self.t1_k;
-            let idx1 = (index as i64 + self.cfg.offsets[k]) as u64;
+            // Wrapping address arithmetic throughout: `index` is a load
+            // response, and a faulty fabric (the chaos harness) can
+            // return garbage. Hardware adders wrap; the wild address
+            // simply misses in the cache.
+            let idx1 = (index as i64).wrapping_add(self.cfg.offsets[k]) as u64;
             let g = self.t1_iter * NEIGHBORS as u64 + k as u64;
             let (w_issued, m_issued) = {
                 // pfm-lint: allow(hygiene): t1_iter is kept in-window by the T1 walk
@@ -349,7 +353,7 @@ impl AstarPredictor {
             };
             if !w_issued {
                 let wid = self.make_id(KIND_T1, g << 1);
-                let waddr = self.cfg.waymap_base + 8 * idx1;
+                let waddr = self.cfg.waymap_base.wrapping_add(idx1.wrapping_mul(8));
                 if !io.push_load(FabricLoad {
                     id: wid,
                     addr: waddr,
@@ -366,7 +370,7 @@ impl AstarPredictor {
             }
             if !m_issued {
                 let mid = self.make_id(KIND_T1, (g << 1) | 1);
-                let maddr = self.cfg.maparp_base + idx1;
+                let maddr = self.cfg.maparp_base.wrapping_add(idx1);
                 if !io.push_load(FabricLoad {
                     id: mid,
                     addr: maddr,

@@ -390,7 +390,11 @@ impl BfsComponent {
                 let a_id = self.alloc_id(LoadTag::OffsetA { slot: self.t1_u });
                 if !io.push_load(FabricLoad {
                     id: a_id,
-                    addr: base + 8 * u,
+                    // Wrapping address math here and below: `u`, `a`
+                    // and `v` come from load responses, and a faulty
+                    // fabric (the chaos harness) can return garbage.
+                    // Hardware adders wrap; wild addresses just miss.
+                    addr: base.wrapping_add(u.wrapping_mul(8)),
                     size: 8,
                     is_prefetch: false,
                 }) {
@@ -407,7 +411,7 @@ impl BfsComponent {
                 let b_id = self.alloc_id(LoadTag::OffsetB { slot: self.t1_u });
                 if !io.push_load(FabricLoad {
                     id: b_id,
-                    addr: base + 8 * (u + 1),
+                    addr: base.wrapping_add(u.wrapping_add(1).wrapping_mul(8)),
                     size: 8,
                     is_prefetch: false,
                 }) {
@@ -437,7 +441,10 @@ impl BfsComponent {
                 continue;
             }
             let j = e.nbr_issued;
-            let addr = self.cfg.neighbors_base + 4 * (a + j);
+            let addr = self
+                .cfg
+                .neighbors_base
+                .wrapping_add(a.wrapping_add(j).wrapping_mul(4));
             let id = self.alloc_id(LoadTag::Neighbor { slot: self.t2_u, j });
             if !io.push_load(FabricLoad {
                 id,
@@ -469,7 +476,10 @@ impl BfsComponent {
             let Some(Some(v)) = e.neighbors.get(j as usize).copied() else {
                 return;
             };
-            let addr = self.cfg.properties_base + 8 * v as u64;
+            let addr = self
+                .cfg
+                .properties_base
+                .wrapping_add((v as u64).wrapping_mul(8));
             let id = self.alloc_id(LoadTag::Property { slot: self.t3_u, j });
             if !io.push_load(FabricLoad {
                 id,

@@ -236,7 +236,9 @@ impl Engine {
                 // pfm-lint: allow(hygiene): set emission starts only once every base is ready
                 let base = self.bases[b].expect("ready") as i64;
                 for &soff in offsets {
-                    flat.push((base + soff + off) as u64);
+                    // Wrapping: `base` is an observed value, and a
+                    // faulty fabric (the chaos harness) can garble it.
+                    flat.push(base.wrapping_add(soff).wrapping_add(off) as u64);
                 }
             }
             while self.set_pos < flat.len() {

@@ -199,7 +199,9 @@ impl TemplateComponent {
     }
 
     fn derived_key(&self, index: u64, lane: &LaneSpec) -> u64 {
-        (index as i64 + lane.offset) as u64
+        // Wrapping: `index` is a load response, and a faulty fabric
+        // (the chaos harness) can return garbage. Hardware adders wrap.
+        (index as i64).wrapping_add(lane.offset) as u64
     }
 
     fn retire(&mut self) {
@@ -299,9 +301,9 @@ impl TemplateComponent {
                     .is_some_and(|s| s.issued[lane_idx]);
                 if !already {
                     let key = self.derived_key(index, &lane);
-                    let addr = (lane.table_base as i64
-                        + (key as i64) * lane.elem_scale as i64
-                        + lane.elem_offset) as u64;
+                    let addr = (lane.table_base as i64)
+                        .wrapping_add((key as i64).wrapping_mul(lane.elem_scale as i64))
+                        .wrapping_add(lane.elem_offset) as u64;
                     self.next_id += 1;
                     let id = (self.call_gen << 40) | self.next_id;
                     if !io.push_load(FabricLoad {

@@ -123,6 +123,17 @@ pub enum SimError {
     /// The run exceeded the cycle limit without retiring `Halt` or the
     /// requested instruction count (deadlock guard).
     CycleLimit(u64),
+    /// The forward-progress watchdog fired: no instruction committed
+    /// for the configured number of cycles (see [`Core::run_watched`]).
+    /// Distinguishes "the pipeline is wedged" from the blunt
+    /// [`SimError::CycleLimit`] cap long before the cap is reached.
+    Watchdog {
+        /// Cycle at which the last instruction committed (0 if none
+        /// ever did).
+        last_commit_cycle: u64,
+        /// Commit-free cycles elapsed when the watchdog fired.
+        stalled_cycles: u64,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -130,6 +141,14 @@ impl std::fmt::Display for SimError {
         match self {
             SimError::Exec(e) => write!(f, "functional execution failed: {e}"),
             SimError::CycleLimit(c) => write!(f, "cycle limit {c} reached (possible deadlock)"),
+            SimError::Watchdog {
+                last_commit_cycle,
+                stalled_cycles,
+            } => write!(
+                f,
+                "forward-progress watchdog: no commit for {stalled_cycles} cycles \
+                 (last commit at cycle {last_commit_cycle})"
+            ),
         }
     }
 }
@@ -193,8 +212,24 @@ pub struct Core {
     lane_busy: [bool; NUM_LANES],
     lane_busy_prev: [bool; NUM_LANES],
 
+    /// Running FNV fold over the committed instruction stream (PC,
+    /// branch outcome, destination write, store), capped at
+    /// `checksum_cap` retired instructions. Unlike the live
+    /// [`Machine::arch_checksum`] — which includes speculated-ahead
+    /// state — this fingerprints exactly what retired, so two runs of
+    /// the same workload are comparable even when wide retire
+    /// overshoots an instruction budget by different amounts.
+    commit_checksum: u64,
+    /// Retired instructions folded into `commit_checksum` (set to the
+    /// run's instruction budget by [`Core::run_watched`]).
+    checksum_cap: u64,
+
     stats: SimStats,
 }
+
+/// FNV-1a constants for the commit-stream checksum.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
 
 impl std::fmt::Debug for Core {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -242,6 +277,8 @@ impl Core {
             last_fetch_line: u64::MAX,
             lane_busy: [false; NUM_LANES],
             lane_busy_prev: [false; NUM_LANES],
+            commit_checksum: FNV_OFFSET,
+            checksum_cap: u64::MAX,
             stats: SimStats::default(),
         }
     }
@@ -266,6 +303,46 @@ impl Core {
         self.finished
     }
 
+    /// Checksum of the committed instruction stream (the first
+    /// `checksum_cap` retired instructions — see the field docs). The
+    /// chaos harness compares this between fault-free and
+    /// fault-injected runs: equal checksums certify the faults never
+    /// reached architectural state.
+    pub fn commit_checksum(&self) -> u64 {
+        self.commit_checksum
+    }
+
+    /// Folds one retired instruction's architectural effects into the
+    /// commit-stream checksum. Tags keep absent/present fields from
+    /// aliasing (e.g. a store of 0 vs. no store).
+    fn fold_commit(&mut self, step: &StepOut) {
+        let mut h = self.commit_checksum;
+        let mut fold = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(FNV_PRIME);
+        };
+        fold(step.pc);
+        fold(step.next_pc);
+        fold(u64::from(step.taken));
+        match step.wrote {
+            Some((reg, value)) => {
+                fold(1 + reg.index() as u64);
+                fold(value);
+            }
+            None => fold(0),
+        }
+        match step.mem {
+            Some(m) if m.is_store => {
+                fold(1);
+                fold(m.addr);
+                fold(m.size);
+                fold(m.value);
+            }
+            _ => fold(0),
+        }
+        self.commit_checksum = h;
+    }
+
     /// Current cycle.
     pub fn cycle(&self) -> u64 {
         self.cycle
@@ -284,11 +361,52 @@ impl Core {
         max_instrs: u64,
         max_cycles: u64,
     ) -> Result<(), SimError> {
+        self.run_watched(hooks, max_instrs, max_cycles, None)
+    }
+
+    /// Like [`Core::run`], with a forward-progress watchdog: if no
+    /// instruction commits for `commit_watchdog` consecutive cycles the
+    /// run is aborted. A hung pipeline (e.g. a custom component that
+    /// stalls fetch forever with its chicken switch disabled) is
+    /// detected within the watchdog budget instead of burning the full
+    /// `max_cycles` cap.
+    ///
+    /// # Errors
+    /// Returns [`SimError::Exec`] on functional faults,
+    /// [`SimError::CycleLimit`] if `max_cycles` elapses, and
+    /// [`SimError::Watchdog`] if the commit watchdog fires first.
+    pub fn run_watched(
+        &mut self,
+        hooks: &mut dyn PfmHooks,
+        max_instrs: u64,
+        max_cycles: u64,
+        commit_watchdog: Option<u64>,
+    ) -> Result<(), SimError> {
+        // Cap the commit checksum at the instruction budget so two
+        // runs of the same workload fold the same prefix of the
+        // retired stream even if their final (wide) retire groups
+        // overshoot the budget by different amounts.
+        self.checksum_cap = self.checksum_cap.min(max_instrs);
+        let mut last_retired = self.stats.retired;
+        let mut last_commit_cycle = self.cycle;
         while !self.finished && self.stats.retired < max_instrs {
             if self.cycle >= max_cycles {
                 return Err(SimError::CycleLimit(max_cycles));
             }
+            if let Some(wd) = commit_watchdog {
+                let stalled_cycles = self.cycle - last_commit_cycle;
+                if stalled_cycles >= wd {
+                    return Err(SimError::Watchdog {
+                        last_commit_cycle,
+                        stalled_cycles,
+                    });
+                }
+            }
             self.tick(hooks)?;
+            if self.stats.retired != last_retired {
+                last_retired = self.stats.retired;
+                last_commit_cycle = self.cycle;
+            }
         }
         Ok(())
     }
@@ -399,6 +517,9 @@ impl Core {
             self.inflight_incomplete.remove(&seq);
 
             self.stats.retired += 1;
+            if self.stats.retired <= self.checksum_cap {
+                self.fold_commit(&inst.step);
+            }
 
             // Retire Agent observation.
             let info = RetireInfo {
@@ -1300,6 +1421,42 @@ mod tests {
         );
         let err = core.run(&mut NoPfm, u64::MAX, 10_000).unwrap_err();
         assert!(matches!(err, SimError::CycleLimit(_)));
+    }
+
+    #[test]
+    fn commit_watchdog_detects_a_wedged_fetch_long_before_the_cycle_cap() {
+        // A hook that stalls fetch forever (a component that never
+        // supplies its promised prediction, chicken switch off).
+        struct StallForever;
+        impl PfmHooks for StallForever {
+            fn fetch_inst(&mut self, _: u64, _: u64, _: bool) -> FetchOverride {
+                FetchOverride::Stall
+            }
+        }
+        let mut a = Asm::new(0x1000);
+        let top = a.label();
+        a.bind(top).unwrap();
+        a.j(top);
+        let machine = Machine::new(a.finish().unwrap(), SpecMemory::new());
+        let mut core = Core::new(
+            CoreConfig::micro21(),
+            machine,
+            Hierarchy::new(HierarchyConfig::micro21()),
+        );
+        let err = core
+            .run_watched(&mut StallForever, u64::MAX, u64::MAX, Some(500))
+            .unwrap_err();
+        match err {
+            SimError::Watchdog {
+                last_commit_cycle,
+                stalled_cycles,
+            } => {
+                assert_eq!(last_commit_cycle, 0, "nothing ever committed");
+                assert!(stalled_cycles >= 500);
+                assert!(core.cycle() < 2_000, "fired promptly, not at the cap");
+            }
+            other => panic!("expected Watchdog, got {other:?}"),
+        }
     }
 
     #[test]

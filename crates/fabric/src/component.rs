@@ -1,6 +1,7 @@
 //! The custom-component interface: what an RF-synthesized
 //! microarchitectural component sees each RF cycle.
 
+use crate::faults::FaultStats;
 use crate::packets::{FabricLoad, LoadResponse, ObsPacket, PredPacket};
 use std::collections::VecDeque;
 
@@ -173,6 +174,13 @@ pub trait CustomComponent {
     /// One-line internal-state dump for stall debugging.
     fn debug_state(&self) -> String {
         String::new()
+    }
+
+    /// Injected-fault counters, if this component is a chaos-harness
+    /// wrapper (see [`crate::faults::FaultyComponent`]). Real
+    /// components inject no faults and report `None`.
+    fn fault_stats(&self) -> Option<FaultStats> {
+        None
     }
 }
 

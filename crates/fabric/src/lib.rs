@@ -54,10 +54,12 @@
 
 pub mod component;
 pub mod fabric;
+pub mod faults;
 pub mod packets;
 pub mod params;
 
 pub use component::{CustomComponent, FabricIo};
 pub use fabric::{Fabric, FabricStats};
+pub use faults::{FaultPlan, FaultRng, FaultScenario, FaultStats, FaultyComponent};
 pub use packets::{FabricLoad, LoadResponse, ObsPacket, ObserveKind, PredPacket, RstEntry};
 pub use params::{FabricParams, PortPolicy, StallPolicy};

@@ -13,6 +13,10 @@
 //!    architectural state* (PAPER.md §3). Agent crates must not call
 //!    register/memory/PC mutators.
 //! 3. **hygiene** — no `unwrap()`/`expect()` in non-test library code.
+//! 4. **robustness** — `catch_unwind` only inside the executor's
+//!    isolation boundary (`crates/sim/src/exec.rs`), and no
+//!    panic-family macros in Agent library code: a buggy component
+//!    must degrade gracefully, not take the simulator down.
 //!
 //! Violations print as `file:line: family/rule: message`. A violation
 //! that is deliberate carries a `// pfm-lint: allow(<rule>)` comment on

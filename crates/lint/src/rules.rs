@@ -12,6 +12,12 @@
 //! * **hygiene** — no `unwrap()`/`expect()` in non-test library code;
 //!   invariants get a justified `// pfm-lint: allow(hygiene)`, IO paths
 //!   get real error plumbing.
+//! * **robustness** — panic isolation is centralized: `catch_unwind`
+//!   may appear only in the executor (`crates/sim/src/exec.rs`), so a
+//!   panicking run always surfaces as a typed `RunOutcome` instead of
+//!   being swallowed ad hoc; and Agent library code must not use
+//!   panic-family macros — a buggy component degrades gracefully (emits
+//!   nothing) rather than taking the simulator down.
 //!
 //! All rules are token-pattern matchers over [`crate::lexer::Lexed`];
 //! they are deliberately conservative, single-file heuristics (no type
@@ -56,6 +62,14 @@ const HASH_ITER_METHODS: &[&str] = &[
 
 /// Entropy-seeded RNG constructors/handles.
 const RNG_IDENTS: &[&str] = &["thread_rng", "ThreadRng", "from_entropy", "OsRng"];
+
+/// The one file allowed to call `catch_unwind`: the parallel executor,
+/// where panic isolation turns a dying run into a typed
+/// `RunOutcome::Panicked` instead of a dead process.
+pub const UNWIND_BOUNDARY: &str = "crates/sim/src/exec.rs";
+
+/// Panic-family macros barred from Agent-crate library code.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 
 /// Where a source file sits in the workspace; decides which rule
 /// families run.
@@ -118,6 +132,7 @@ pub fn check(lexed: &Lexed, ctx: &FileContext) -> Vec<Finding> {
         noninterference(lexed, ctx, &mut findings);
     }
     hygiene(lexed, ctx, &mut findings);
+    robustness(lexed, ctx, in_agent, &mut findings);
 
     findings.sort();
     findings.dedup();
@@ -378,6 +393,50 @@ fn hygiene(lexed: &Lexed, ctx: &FileContext, findings: &mut Vec<Finding>) {
     }
 }
 
+/// robustness/catch-unwind, robustness/panic: panic isolation lives in
+/// the executor alone, and Agent library code must degrade gracefully
+/// rather than panic.
+fn robustness(lexed: &Lexed, ctx: &FileContext, in_agent: bool, findings: &mut Vec<Finding>) {
+    let toks = &lexed.tokens;
+    let t = |i: usize| toks.get(i).map(|t| t.text.as_str());
+    let at_boundary = ctx.display.ends_with(UNWIND_BOUNDARY);
+    for i in 0..toks.len() {
+        if lexed.in_test_region(i) {
+            continue;
+        }
+        let Some(w) = t(i) else { continue };
+        if w == "catch_unwind" && !at_boundary {
+            emit(
+                lexed,
+                findings,
+                ctx,
+                toks[i].line,
+                "robustness",
+                "catch-unwind",
+                format!(
+                    "`catch_unwind` outside the executor; panic isolation is \
+                     centralized in `{UNWIND_BOUNDARY}` so a dying run always \
+                     surfaces as a typed RunOutcome"
+                ),
+            );
+        }
+        if in_agent && PANIC_MACROS.contains(&w) && t(i + 1) == Some("!") {
+            emit(
+                lexed,
+                findings,
+                ctx,
+                toks[i].line,
+                "robustness",
+                "panic",
+                format!(
+                    "`{w}!` in Agent library code; a buggy component must degrade \
+                     gracefully (emit nothing), not take the simulator down"
+                ),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -434,5 +493,30 @@ mod tests {
     fn allow_annotation_suppresses() {
         let src = "fn f() {\n  // pfm-lint: allow(hygiene)\n  x.unwrap();\n}";
         assert!(rules_of(src, "sim").is_empty());
+    }
+
+    #[test]
+    fn catch_unwind_is_flagged_outside_the_executor() {
+        let src = "fn f() { let _ = std::panic::catch_unwind(|| 1); }";
+        assert_eq!(rules_of(src, "sim"), vec!["robustness/catch-unwind"]);
+        // The executor itself is the sanctioned isolation boundary.
+        let boundary = FileContext {
+            display: UNWIND_BOUNDARY.to_string(),
+            crate_name: Some("sim".to_string()),
+            exempt: false,
+        };
+        assert!(check(&lex(src), &boundary).is_empty());
+    }
+
+    #[test]
+    fn panic_macros_only_flagged_in_agent_crates() {
+        let src = "fn f(x: u64) { if x == 0 { panic!(\"boom\") } }";
+        assert_eq!(rules_of(src, "components"), vec!["robustness/panic"]);
+        // The core may panic on internal invariants; only Agents are
+        // held to the graceful-degradation bar.
+        assert!(rules_of(src, "core").is_empty());
+        // `std::panic::...` paths are not macro invocations.
+        let path = "fn g() { std::panic::set_hook(Box::new(|_| {})); }";
+        assert!(rules_of(path, "fabric").is_empty());
     }
 }

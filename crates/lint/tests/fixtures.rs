@@ -137,6 +137,60 @@ fn unwrap_and_expect_are_flagged() {
 }
 
 #[test]
+fn catch_unwind_is_flagged_outside_the_executor() {
+    let src = include_str!("fixtures/catch_unwind_bad.rs");
+    let findings = lint_source(src, &sim_ctx());
+    let hits = findings
+        .iter()
+        .filter(|f| f.rule == "catch-unwind")
+        .collect::<Vec<_>>();
+    // The `use` plus both call sites.
+    assert_eq!(hits.len(), 3, "expected all three sites: {findings:#?}");
+    assert!(hits.iter().all(|f| f.family == "robustness"));
+}
+
+#[test]
+fn catch_unwind_is_sanctioned_at_the_executor_boundary() {
+    let src = include_str!("fixtures/catch_unwind_bad.rs");
+    let ctx = FileContext {
+        display: "crates/sim/src/exec.rs".to_string(),
+        crate_name: Some("sim".to_string()),
+        exempt: false,
+    };
+    let findings = lint_source(src, &ctx);
+    assert!(
+        findings.iter().all(|f| f.rule != "catch-unwind"),
+        "the executor owns panic isolation: {findings:#?}"
+    );
+}
+
+#[test]
+fn panic_macros_are_flagged_in_agent_crates() {
+    let src = include_str!("fixtures/panic_bad.rs");
+    let findings = lint_source(src, &agent_ctx());
+    let hits = findings
+        .iter()
+        .filter(|f| f.rule == "panic")
+        .collect::<Vec<_>>();
+    // panic!, todo!, unimplemented!, unreachable! — the annotated
+    // fifth site is suppressed by its allow(robustness).
+    assert_eq!(hits.len(), 4, "expected four macro sites: {findings:#?}");
+    assert!(hits.iter().all(|f| f.family == "robustness"));
+}
+
+#[test]
+fn panic_macros_are_fine_outside_agent_crates() {
+    // The core and the tools may panic on internal invariants; only
+    // fabric components are held to the graceful-degradation bar.
+    let src = include_str!("fixtures/panic_bad.rs");
+    let findings = lint_source(src, &tool_ctx());
+    assert!(
+        findings.iter().all(|f| f.rule != "panic"),
+        "tool crates are out of robustness/panic scope: {findings:#?}"
+    );
+}
+
+#[test]
 fn clean_fixture_is_clean_everywhere() {
     let src = include_str!("fixtures/clean.rs");
     for ctx in [sim_ctx(), agent_ctx(), tool_ctx()] {

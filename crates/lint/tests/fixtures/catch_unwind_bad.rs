@@ -1,0 +1,12 @@
+//! Robustness fixture: `catch_unwind` anywhere but the executor's
+//! isolation boundary hides failures from the run report.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+pub fn swallow(f: impl FnOnce() -> u64 + std::panic::UnwindSafe) -> u64 {
+    catch_unwind(f).unwrap_or(0)
+}
+
+pub fn swallow_ref(f: &mut dyn FnMut() -> u64) -> u64 {
+    catch_unwind(AssertUnwindSafe(|| f())).unwrap_or(0)
+}

@@ -1,0 +1,17 @@
+//! Robustness fixture: panic-family macros in Agent library code. A
+//! buggy component must degrade gracefully, not kill the simulator.
+
+pub fn lookup(x: u64) -> u64 {
+    if x == 0 {
+        panic!("zero is not a vertex");
+    }
+    match x {
+        1 => todo!(),
+        2 => unimplemented!(),
+        3 => unreachable!(),
+        _ => {
+            // pfm-lint: allow(robustness): fixture-sanctioned invariant
+            panic!("justified and annotated");
+        }
+    }
+}

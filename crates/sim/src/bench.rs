@@ -160,19 +160,21 @@ pub fn run_bench(rc: &RunConfig, opts: &ExecOptions) -> BenchReport {
     let (runs, report) = execute(&specs, opts);
 
     // The suite has no duplicate specs, so executor report order ==
-    // spec order; pair timings with results by key anyway.
+    // spec order; pair timings with results by key anyway. A run that
+    // failed has no throughput — it is dropped from the table (the
+    // executor's failure report covers it).
     let rows = report
         .runs
         .iter()
         .zip(&modes)
-        .map(|(r, mode)| {
-            let result = runs.get(&r.key);
-            BenchRow {
+        .filter_map(|(r, mode)| {
+            let result = runs.get(&r.key).ok()?;
+            Some(BenchRow {
                 name: r.name.clone(),
                 mode,
                 retired: result.stats.retired,
                 seconds: r.seconds,
-            }
+            })
         })
         .collect();
 

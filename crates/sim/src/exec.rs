@@ -1,4 +1,4 @@
-//! Deduplicating parallel executor for [`RunSpec`]s.
+//! Deduplicating, panic-isolating parallel executor for [`RunSpec`]s.
 //!
 //! The executor is the "execute" stage of plan → execute → assemble:
 //! it collapses the requested specs to the unique set by content key
@@ -6,12 +6,30 @@
 //! threads. Every run is independent and internally deterministic, so
 //! results are identical for any `--jobs` value — the worker count
 //! only changes wall-clock time.
+//!
+//! Hardening (the chaos harness depends on all three):
+//! * every run executes behind `catch_unwind`, so a panicking
+//!   component or workload factory produces a [`RunOutcome::Panicked`]
+//!   entry instead of killing the suite;
+//! * a run that trips the forward-progress watchdog is retried once at
+//!   a raised cap (an extreme-but-legitimate stall looks identical to
+//!   a hang until given more rope), then recorded as
+//!   [`RunOutcome::TimedOut`];
+//! * after the first failure, workers stop claiming new runs unless
+//!   [`ExecOptions::keep_going`] is set; abandoned runs surface as
+//!   [`crate::plan::PlanError::MissingRun`] at assembly time, and the
+//!   [`ExecReport`] carries a failure table either way.
 
 use crate::experiments::Experiment;
-use crate::plan::{ExperimentPlan, RunSet, RunSpec};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::plan::{ExperimentPlan, PlanError, RunOutcome, RunSet, RunSpec};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
+
+/// Watchdog multiplier for the executor's single bounded retry of a
+/// watchdog-failed run.
+pub const RETRY_WATCHDOG_FACTOR: u64 = 32;
 
 /// Executor knobs.
 #[derive(Clone, Debug)]
@@ -20,6 +38,10 @@ pub struct ExecOptions {
     pub jobs: usize,
     /// Emit per-run progress lines on stderr.
     pub progress: bool,
+    /// Keep claiming new runs after a failure (the `--keep-going`
+    /// behavior). When false, in-flight runs finish but no new runs
+    /// start once any run fails.
+    pub keep_going: bool,
 }
 
 impl ExecOptions {
@@ -29,6 +51,7 @@ impl ExecOptions {
         ExecOptions {
             jobs: 1,
             progress: false,
+            keep_going: false,
         }
     }
 }
@@ -39,6 +62,7 @@ impl Default for ExecOptions {
         ExecOptions {
             jobs,
             progress: false,
+            keep_going: false,
         }
     }
 }
@@ -50,11 +74,24 @@ pub struct RunReport {
     pub key: String,
     /// Use-case name.
     pub name: String,
-    /// Simulation time in seconds.
+    /// Simulation time in seconds (including any retry).
     pub seconds: f64,
 }
 
-/// What the executor did: dedup factor and per-run timings.
+/// One failed run, for the report table.
+#[derive(Clone, Debug)]
+pub struct FailureReport {
+    /// Content key of the run.
+    pub key: String,
+    /// Use-case name.
+    pub name: String,
+    /// Human-readable outcome ([`RunOutcome::describe`]).
+    pub outcome: String,
+    /// Watchdog retries performed.
+    pub retries: u32,
+}
+
+/// What the executor did: dedup factor, per-run timings, failures.
 #[derive(Clone, Debug, Default)]
 pub struct ExecReport {
     /// Runs requested across all plans (before dedup).
@@ -65,8 +102,15 @@ pub struct ExecReport {
     pub jobs: usize,
     /// End-to-end wall-clock seconds.
     pub wall_seconds: f64,
-    /// Per-run timings, in plan (first-seen) order.
+    /// Per-run timings for executed runs, in plan (first-seen) order.
     pub runs: Vec<RunReport>,
+    /// Runs that did not complete, in plan order.
+    pub failures: Vec<FailureReport>,
+    /// Unique runs never started (abandoned after a failure without
+    /// `keep_going`).
+    pub skipped: usize,
+    /// Watchdog retries performed across all runs.
+    pub retried: usize,
 }
 
 impl ExecReport {
@@ -88,7 +132,7 @@ impl ExecReport {
 
     /// One-line summary, e.g. for `repro`.
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "{} runs requested, {} unique ({} deduped), {} job(s), {:.1}s wall ({:.1}s simulated)",
             self.requested,
             self.unique,
@@ -96,7 +140,42 @@ impl ExecReport {
             self.jobs,
             self.wall_seconds,
             self.sim_seconds()
-        )
+        );
+        if !self.failures.is_empty() || self.skipped > 0 {
+            s.push_str(&format!(
+                "; {} FAILED, {} skipped, {} retried",
+                self.failures.len(),
+                self.skipped,
+                self.retried
+            ));
+        }
+        s
+    }
+
+    /// Multi-line failure table (empty string when everything passed).
+    pub fn failure_table(&self) -> String {
+        if self.failures.is_empty() {
+            return String::new();
+        }
+        let mut out = String::from("failed runs:\n");
+        for f in &self.failures {
+            let retry = if f.retries > 0 {
+                format!(" [retried {}x]", f.retries)
+            } else {
+                String::new()
+            };
+            out.push_str(&format!(
+                "  {:<22} {}{}\n      key: {}\n",
+                f.name, f.outcome, retry, f.key
+            ));
+        }
+        out.push_str(&format!(
+            "  {} failed / {} executed / {} skipped",
+            self.failures.len(),
+            self.runs.len(),
+            self.skipped
+        ));
+        out
     }
 }
 
@@ -113,12 +192,59 @@ pub fn dedup_specs(specs: &[RunSpec]) -> Vec<RunSpec> {
     unique
 }
 
-/// Executes the unique subset of `specs` and returns the completed
-/// runs plus a report.
+/// Extracts a printable message from a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Executes one spec in isolation: panics are caught, and a
+/// watchdog-tripped run gets one retry at a raised cap. Returns the
+/// outcome and the number of retries performed.
+fn run_isolated(spec: &RunSpec) -> (RunOutcome, u32) {
+    match catch_unwind(AssertUnwindSafe(|| spec.execute())) {
+        Err(payload) => (RunOutcome::Panicked(panic_message(payload)), 0),
+        Ok(Ok(r)) => (RunOutcome::Ok(r), 0),
+        Ok(Err(e)) if e.is_watchdog() => {
+            let raised = spec.raised_watchdog(RETRY_WATCHDOG_FACTOR);
+            match catch_unwind(AssertUnwindSafe(|| spec.execute_with_watchdog(raised))) {
+                Err(payload) => (RunOutcome::Panicked(panic_message(payload)), 1),
+                Ok(Ok(r)) => (RunOutcome::Ok(r), 1),
+                Ok(Err(e2)) if e2.is_hang() => (
+                    RunOutcome::TimedOut {
+                        error: e2,
+                        retries: 1,
+                    },
+                    1,
+                ),
+                Ok(Err(e2)) => (RunOutcome::Failed(e2), 1),
+            }
+        }
+        Ok(Err(e)) if e.is_hang() => (
+            RunOutcome::TimedOut {
+                error: e,
+                retries: 0,
+            },
+            0,
+        ),
+        Ok(Err(e)) => (RunOutcome::Failed(e), 0),
+    }
+}
+
+/// Executes the unique subset of `specs` and returns the outcomes
+/// plus a report.
 ///
 /// Work is distributed over `opts.jobs` scoped threads by an atomic
 /// work index; each unique spec is executed exactly once. Determinism
-/// is per-run, so the schedule cannot affect any statistic.
+/// is per-run, so the schedule cannot affect any statistic. A failing
+/// run never takes the process down: it is recorded as its
+/// [`RunOutcome`] and (without [`ExecOptions::keep_going`]) stops
+/// workers from claiming further runs.
 pub fn execute(specs: &[RunSpec], opts: &ExecOptions) -> (RunSet, ExecReport) {
     let unique = dedup_specs(specs);
     let jobs = opts.jobs.max(1).min(unique.len().max(1));
@@ -127,15 +253,20 @@ pub fn execute(specs: &[RunSpec], opts: &ExecOptions) -> (RunSet, ExecReport) {
     let started = Instant::now();
 
     // One pre-allocated slot per unique run; each is written exactly
-    // once by whichever worker claims that index.
-    let slots: Vec<OnceLock<(Result<crate::runner::RunResult, pfm_core::SimError>, f64)>> =
-        (0..total).map(|_| OnceLock::new()).collect();
+    // once by whichever worker claims that index. Slots of abandoned
+    // runs stay empty.
+    type Slot = OnceLock<(RunOutcome, u32, f64)>;
+    let slots: Vec<Slot> = (0..total).map(|_| OnceLock::new()).collect();
     let next = AtomicUsize::new(0);
     let done = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
 
     std::thread::scope(|scope| {
         for _ in 0..jobs {
             scope.spawn(|| loop {
+                if !opts.keep_going && abort.load(Ordering::Relaxed) {
+                    break;
+                }
                 let idx = next.fetch_add(1, Ordering::Relaxed);
                 if idx >= total {
                     break;
@@ -143,19 +274,23 @@ pub fn execute(specs: &[RunSpec], opts: &ExecOptions) -> (RunSet, ExecReport) {
                 let spec = &unique[idx];
                 // pfm-lint: allow(determinism): feeds the wall-clock report only, never results
                 let t0 = Instant::now();
-                let result = spec.execute();
+                let (outcome, retries) = run_isolated(spec);
                 let secs = t0.elapsed().as_secs_f64();
+                if !outcome.is_ok() {
+                    abort.store(true, Ordering::Relaxed);
+                }
                 if opts.progress {
                     let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    let status = if outcome.is_ok() { "" } else { "FAIL " };
                     eprintln!(
-                        "  [{n}/{total}] {} ({:.1}s)  {}",
+                        "  [{n}/{total}] {status}{} ({:.1}s)  {}",
                         spec.name(),
                         secs,
                         spec.key()
                     );
                 }
                 slots[idx]
-                    .set((result, secs))
+                    .set((outcome, retries, secs))
                     // pfm-lint: allow(hygiene): each idx is claimed by exactly one worker
                     .expect("run slot written twice");
             });
@@ -164,15 +299,29 @@ pub fn execute(specs: &[RunSpec], opts: &ExecOptions) -> (RunSet, ExecReport) {
 
     let mut runs = RunSet::default();
     let mut reports = Vec::with_capacity(total);
+    let mut failures = Vec::new();
+    let mut skipped = 0;
+    let mut retried = 0;
     for (spec, slot) in unique.iter().zip(slots) {
-        // pfm-lint: allow(hygiene): every slot was filled by the scoped workers
-        let (result, seconds) = slot.into_inner().expect("run slot never written");
+        let Some((outcome, retries, seconds)) = slot.into_inner() else {
+            skipped += 1; // abandoned after an earlier failure
+            continue;
+        };
+        retried += retries as usize;
         reports.push(RunReport {
             key: spec.key().to_string(),
             name: spec.name().to_string(),
             seconds,
         });
-        runs.insert(spec.key().to_string(), result);
+        if !outcome.is_ok() {
+            failures.push(FailureReport {
+                key: spec.key().to_string(),
+                name: spec.name().to_string(),
+                outcome: outcome.describe(),
+                retries,
+            });
+        }
+        runs.insert(spec.key().to_string(), outcome);
     }
 
     let report = ExecReport {
@@ -181,14 +330,22 @@ pub fn execute(specs: &[RunSpec], opts: &ExecOptions) -> (RunSet, ExecReport) {
         jobs,
         wall_seconds: started.elapsed().as_secs_f64(),
         runs: reports,
+        failures,
+        skipped,
+        retried,
     };
     (runs, report)
 }
 
-/// Plans → finished experiments: gathers every plan's specs, executes
+/// Plans → assembled experiments: gathers every plan's specs, executes
 /// the deduplicated union, and assembles each experiment from the
-/// shared [`RunSet`].
-pub fn run_plans(plans: Vec<ExperimentPlan>, opts: &ExecOptions) -> (Vec<Experiment>, ExecReport) {
+/// shared [`RunSet`]. An experiment whose runs failed (or were
+/// abandoned) assembles to its [`PlanError`]; the others still
+/// assemble — partial results survive individual failures.
+pub fn run_plans(
+    plans: Vec<ExperimentPlan>,
+    opts: &ExecOptions,
+) -> (Vec<Result<Experiment, PlanError>>, ExecReport) {
     let specs: Vec<RunSpec> = plans
         .iter()
         .flat_map(|p| p.specs().iter().cloned())
@@ -222,6 +379,8 @@ mod tests {
         assert_eq!(report.unique, 1);
         assert_eq!(report.deduped(), 2);
         assert_eq!(runs.len(), 1);
+        assert!(report.failures.is_empty());
+        assert!(report.failure_table().is_empty());
     }
 
     #[test]
@@ -237,6 +396,7 @@ mod tests {
         assert_eq!(a.stats, b.stats);
         assert_eq!(a.hier, b.hier);
         assert_eq!(a.fabric, b.fabric);
+        assert_eq!(a.arch_checksum, b.arch_checksum);
     }
 
     #[test]
@@ -257,12 +417,13 @@ mod tests {
             &ExecOptions {
                 jobs: 3,
                 progress: false,
+                keep_going: false,
             },
         );
         assert_eq!(report.unique, 3);
         for spec in &specs {
-            let a = serial.get(spec.key());
-            let b = parallel.get(spec.key());
+            let a = serial.get(spec.key()).unwrap();
+            let b = parallel.get(spec.key()).unwrap();
             assert_eq!(a.stats, b.stats, "core stats diverged for {}", spec.key());
             assert_eq!(
                 a.hier,

@@ -15,10 +15,10 @@
 //! over the baseline core, which sits at 0%.
 
 use crate::exec::{self, ExecOptions};
-use crate::plan::{ExperimentPlan, RunHandle, SpecSet};
+use crate::plan::{ExperimentPlan, PlanError, RunHandle, SpecSet};
 use crate::runner::{RunConfig, RunResult};
 use crate::usecases;
-use pfm_fabric::{FabricParams, PortPolicy, StallPolicy};
+use pfm_fabric::{FabricParams, FaultPlan, FaultScenario, PortPolicy, StallPolicy};
 use pfm_fpga::{power, table4_designs, EnergyModel};
 use pfm_workloads::{AstarParams, AstarVariant, UseCaseFactory};
 
@@ -81,7 +81,10 @@ fn speedup_row(label: impl Into<String>, r: &RunResult, base: &RunResult) -> Row
 
 /// Plans and executes a single experiment serially (the eager
 /// back-compat path).
-fn run_one(plan: ExperimentPlan) -> Experiment {
+///
+/// # Errors
+/// Returns the [`PlanError`] of a failed run or assembly.
+fn run_one(plan: ExperimentPlan) -> Result<Experiment, PlanError> {
     let (runs, _) = exec::execute(plan.specs(), &ExecOptions::serial());
     plan.assemble(&runs)
 }
@@ -111,12 +114,12 @@ pub fn plan_fig2(rc: &RunConfig) -> ExperimentPlan {
         "astar: PFM 154%, slipstream 18%; bfs: PFM up to 125%, slipstream smaller",
         s,
         move |runs| {
-            vec![
-                speedup_row("astar PFM", pfm.of(runs), base.of(runs)),
-                speedup_row("astar Slipstream2.0", ss.of(runs), base.of(runs)),
-                speedup_row("bfs PFM", bpfm.of(runs), bbase.of(runs)),
-                speedup_row("bfs Slipstream2.0", bss.of(runs), bbase.of(runs)),
-            ]
+            Ok(vec![
+                speedup_row("astar PFM", pfm.of(runs)?, base.of(runs)?),
+                speedup_row("astar Slipstream2.0", ss.of(runs)?, base.of(runs)?),
+                speedup_row("bfs PFM", bpfm.of(runs)?, bbase.of(runs)?),
+                speedup_row("bfs Slipstream2.0", bss.of(runs)?, bbase.of(runs)?),
+            ])
         },
     )
 }
@@ -140,10 +143,10 @@ pub fn plan_fig8(rc: &RunConfig) -> ExperimentPlan {
         "clk4_w1/clk8_w1 slowdowns; clk4_w2 99%, clk4_w3 155%, clk4_w4 163%; perfBP 162%",
         s,
         move |runs| {
-            let base = base.of(runs);
+            let base = base.of(runs)?;
             sweep
                 .iter()
-                .map(|(label, h)| speedup_row(label.clone(), h.of(runs), base))
+                .map(|(label, h)| Ok(speedup_row(label.clone(), h.of(runs)?, base)))
                 .collect()
         },
     )
@@ -175,7 +178,7 @@ pub fn plan_table2(rc: &RunConfig) -> ExperimentPlan {
         "astar: FST and RST snoop percentages",
         "RST 20.3% of retired in ROI; FST 15.5% of fetched in ROI",
         s,
-        move |runs| snoop_rows(r.of(runs)),
+        move |runs| Ok(snoop_rows(r.of(runs)?)),
     )
 }
 
@@ -217,10 +220,10 @@ fn plan_dqp(
         sweep.push((format!("(c) {}", pp.label()), s.pfm(&uc, p, rc)));
     }
     ExperimentPlan::new(id, title, paper, s, move |runs| {
-        let base = base.of(runs);
+        let base = base.of(runs)?;
         sweep
             .iter()
-            .map(|(label, h)| speedup_row(label.clone(), h.of(runs), base))
+            .map(|(label, h)| Ok(speedup_row(label.clone(), h.of(runs)?, base)))
             .collect()
     })
 }
@@ -259,10 +262,10 @@ pub fn plan_fig10(rc: &RunConfig) -> ExperimentPlan {
         "8 entries adequate for most of the speedup potential",
         s,
         move |runs| {
-            let base = base.of(runs);
+            let base = base.of(runs)?;
             sweep
                 .iter()
-                .map(|(label, h)| speedup_row(label.clone(), h.of(runs), base))
+                .map(|(label, h)| Ok(speedup_row(label.clone(), h.of(runs)?, base)))
                 .collect()
         },
     )
@@ -298,7 +301,7 @@ pub fn plan_fig12(rc: &RunConfig) -> ExperimentPlan {
         move |runs| {
             sweep
                 .iter()
-                .map(|(label, h, base)| speedup_row(label.clone(), h.of(runs), base.of(runs)))
+                .map(|(label, h, base)| Ok(speedup_row(label.clone(), h.of(runs)?, base.of(runs)?)))
                 .collect()
         },
     )
@@ -313,7 +316,7 @@ pub fn plan_table3(rc: &RunConfig) -> ExperimentPlan {
         "bfs: FST and RST snoop percentages",
         "RST 31% of retired in ROI; FST 13% of fetched in ROI",
         s,
-        move |runs| snoop_rows(r.of(runs)),
+        move |runs| Ok(snoop_rows(r.of(runs)?)),
     )
 }
 
@@ -346,10 +349,10 @@ pub fn plan_fig14(rc: &RunConfig) -> ExperimentPlan {
         "performance scales with the queue sizes",
         s,
         move |runs| {
-            let base = base.of(runs);
+            let base = base.of(runs)?;
             sweep
                 .iter()
-                .map(|(label, h)| speedup_row(label.clone(), h.of(runs), base))
+                .map(|(label, h)| Ok(speedup_row(label.clone(), h.of(runs)?, base)))
                 .collect()
         },
     )
@@ -374,7 +377,7 @@ pub fn plan_fig17(rc: &RunConfig) -> ExperimentPlan {
         move |runs| {
             sweep
                 .iter()
-                .map(|(label, h, base)| speedup_row(label.clone(), h.of(runs), base.of(runs)))
+                .map(|(label, h, base)| Ok(speedup_row(label.clone(), h.of(runs)?, base.of(runs)?)))
                 .collect()
         },
     )
@@ -389,7 +392,7 @@ pub fn plan_table4() -> ExperimentPlan {
         "astar(4wide) 6249 LUT/3523 FF/500 MHz/251 mW; astar-alt 1064/700/17.5 BRAM/498; prefetchers 150-300 LUT, 628-731 MHz",
         SpecSet::default(),
         |_| {
-            table4_designs()
+            Ok(table4_designs()
                 .iter()
                 .map(|d| {
                     let r = d.resources();
@@ -403,7 +406,7 @@ pub fn plan_table4() -> ExperimentPlan {
                         ),
                     }
                 })
-                .collect()
+                .collect())
         },
     )
 }
@@ -465,19 +468,19 @@ pub fn plan_fig18(rc: &RunConfig) -> ExperimentPlan {
             sweep
                 .iter()
                 .map(|(name, clk_ratio, bh, ph)| {
-                    let base = bh.of(runs);
-                    let pfm = ph.of(runs);
+                    let base = bh.of(runs)?;
+                    let pfm = ph.of(runs)?;
                     let n = model.normalized_pfm_energy(
                         (&base.stats, &base.hier),
                         (&pfm.stats, &pfm.hier),
                         design_for(name),
                         *clk_ratio,
                     );
-                    Row {
+                    Ok(Row {
                         label: name.clone(),
                         value: n,
                         extra: format!("speedup +{:.0}%", pfm.speedup_over(base)),
-                    }
+                    })
                 })
                 .collect()
         },
@@ -532,19 +535,130 @@ pub fn plan_ablations(rc: &RunConfig) -> ExperimentPlan {
         "(not in the paper: DESIGN.md ablation list)",
         s,
         move |runs| {
-            vec![
-                speedup_row("astar + inference", on.of(runs), base.of(runs)),
-                speedup_row("astar - inference", off.of(runs), base.of(runs)),
-                speedup_row("astar mlb=2", tiny.of(runs), base.of(runs)),
-                speedup_row("astar proceed+drop", pd.of(runs), base.of(runs)),
+            Ok(vec![
+                speedup_row("astar + inference", on.of(runs)?, base.of(runs)?),
+                speedup_row("astar - inference", off.of(runs)?, base.of(runs)?),
+                speedup_row("astar mlb=2", tiny.of(runs)?, base.of(runs)?),
+                speedup_row("astar proceed+drop", pd.of(runs)?, base.of(runs)?),
                 speedup_row(
                     "libq baseline -VLDP",
-                    libq_novldp.of(runs),
-                    libq_base.of(runs),
+                    libq_novldp.of(runs)?,
+                    libq_base.of(runs)?,
                 ),
-                speedup_row("libq custom pf", libq_custom.of(runs), libq_base.of(runs)),
-            ]
+                speedup_row("libq custom pf", libq_custom.of(runs)?, libq_base.of(runs)?),
+            ])
         },
+    )
+}
+
+/// Seed shared by every chaos-family fault plan. Fixed (not
+/// wall-clock, not per-invocation) so chaos runs are reproducible
+/// bit-for-bit and the executor can dedup the overlap between `chaos`
+/// and `chaos-smoke`.
+const CHAOS_SEED: u64 = 0xC4A0_5EED;
+
+/// The use-cases the full `chaos` experiment exercises: every workload
+/// family in the paper (astar, bfs, and the custom-prefetcher suite).
+fn chaos_suite() -> Vec<UseCaseFactory> {
+    let mut suite = vec![
+        usecases::astar_custom_factory(),
+        usecases::bfs_roads_factory(),
+    ];
+    suite.extend(usecases::prefetch_suite_factories());
+    suite
+}
+
+/// Shared chaos-family planner: for each use-case, one fault-free PFM
+/// run plus one fault-injected run per [`FaultScenario`]. Assembly
+/// enforces the paper's §3 graceful-degradation guarantee — a
+/// misbehaving reconfigurable component may cost performance but can
+/// never corrupt architectural state — by requiring every faulty run's
+/// committed checksum to be bit-identical to its fault-free
+/// counterpart ([`PlanError::ArchMismatch`] otherwise).
+fn plan_chaos_over(
+    id: &'static str,
+    title: &'static str,
+    suite: Vec<UseCaseFactory>,
+    rc: &RunConfig,
+) -> ExperimentPlan {
+    let mut s = SpecSet::default();
+    // (row label, scenario name, faulty run, that use-case's fault-free run)
+    let mut sweep: Vec<(String, &'static str, RunHandle, RunHandle)> = Vec::new();
+    for uc in suite {
+        let params = FabricParams::paper_default();
+        let clean = s.pfm(&uc, params.clone(), rc);
+        for sc in FaultScenario::ALL {
+            let h = s.chaos(&uc, params.clone(), FaultPlan::new(sc, CHAOS_SEED), rc);
+            sweep.push((
+                format!("{} {}", uc.name(), sc.name()),
+                sc.name(),
+                h,
+                clean.clone(),
+            ));
+        }
+    }
+    ExperimentPlan::new(
+        id,
+        title,
+        "(not in the paper: graceful-degradation proof — faults may cost performance, never correctness)",
+        s,
+        move |runs| {
+            sweep
+                .iter()
+                .map(|(label, scenario, fh, ch)| {
+                    let faulty = fh.of(runs)?;
+                    let clean = ch.of(runs)?;
+                    if faulty.arch_checksum != clean.arch_checksum {
+                        return Err(PlanError::ArchMismatch {
+                            name: label.clone(),
+                            scenario,
+                            expected: clean.arch_checksum,
+                            actual: faulty.arch_checksum,
+                        });
+                    }
+                    let f = faulty.faults.unwrap_or_default();
+                    Ok(Row {
+                        label: label.clone(),
+                        value: faulty.speedup_over(clean),
+                        extra: format!(
+                            "checksum OK  injected {:>5}  (inv {} garb {} wild {} drop {} delay {} dup {} stuck {} spike {})",
+                            f.injected(),
+                            f.inverted,
+                            f.garbled,
+                            f.wild,
+                            f.dropped,
+                            f.delayed,
+                            f.duplicated,
+                            f.stuck_ticks,
+                            f.spike_ticks,
+                        ),
+                    })
+                })
+                .collect()
+        },
+    )
+}
+
+/// Chaos plan: every use-case × every fault scenario, asserting
+/// committed architectural state stays bit-identical to the fault-free
+/// run (value = % IPC change under faults).
+pub fn plan_chaos(rc: &RunConfig) -> ExperimentPlan {
+    plan_chaos_over(
+        "chaos",
+        "graceful degradation under injected fabric faults (value = % IPC change)",
+        chaos_suite(),
+        rc,
+    )
+}
+
+/// CI-sized chaos smoke: one use-case (libquantum) × every fault
+/// scenario.
+pub fn plan_chaos_smoke(rc: &RunConfig) -> ExperimentPlan {
+    plan_chaos_over(
+        "chaos-smoke",
+        "chaos smoke: libquantum × every fault scenario (value = % IPC change)",
+        vec![usecases::libquantum_factory()],
+        rc,
     )
 }
 
@@ -566,23 +680,35 @@ pub const ALL_IDS: [&str; 13] = [
     "ablations",
 ];
 
-/// The plan for one experiment id, or `None` for an unknown id.
-pub fn plan_for(id: &str, rc: &RunConfig) -> Option<ExperimentPlan> {
+/// Extra (non-paper) experiment ids `plan_for` also knows: the chaos
+/// fault-injection family. Not part of [`ALL_IDS`] so `repro --all`
+/// keeps its paper scale; requested explicitly via `repro chaos` /
+/// `repro --chaos` / `repro --chaos-smoke`.
+pub const EXTRA_IDS: [&str; 2] = ["chaos", "chaos-smoke"];
+
+/// The plan for one experiment id.
+///
+/// # Errors
+/// [`PlanError::UnknownExperiment`] for an id outside [`ALL_IDS`] and
+/// [`EXTRA_IDS`].
+pub fn plan_for(id: &str, rc: &RunConfig) -> Result<ExperimentPlan, PlanError> {
     match id {
-        "fig2" => Some(plan_fig2(rc)),
-        "fig8" => Some(plan_fig8(rc)),
-        "table2" => Some(plan_table2(rc)),
-        "fig9" => Some(plan_fig9(rc)),
-        "fig10" => Some(plan_fig10(rc)),
-        "fig12" => Some(plan_fig12(rc)),
-        "table3" => Some(plan_table3(rc)),
-        "fig13" => Some(plan_fig13(rc)),
-        "fig14" => Some(plan_fig14(rc)),
-        "fig17" => Some(plan_fig17(rc)),
-        "table4" => Some(plan_table4()),
-        "fig18" => Some(plan_fig18(rc)),
-        "ablations" => Some(plan_ablations(rc)),
-        _ => None,
+        "fig2" => Ok(plan_fig2(rc)),
+        "fig8" => Ok(plan_fig8(rc)),
+        "table2" => Ok(plan_table2(rc)),
+        "fig9" => Ok(plan_fig9(rc)),
+        "fig10" => Ok(plan_fig10(rc)),
+        "fig12" => Ok(plan_fig12(rc)),
+        "table3" => Ok(plan_table3(rc)),
+        "fig13" => Ok(plan_fig13(rc)),
+        "fig14" => Ok(plan_fig14(rc)),
+        "fig17" => Ok(plan_fig17(rc)),
+        "table4" => Ok(plan_table4()),
+        "fig18" => Ok(plan_fig18(rc)),
+        "ablations" => Ok(plan_ablations(rc)),
+        "chaos" => Ok(plan_chaos(rc)),
+        "chaos-smoke" => Ok(plan_chaos_smoke(rc)),
+        _ => Err(PlanError::UnknownExperiment { id: id.to_string() }),
     }
 }
 
@@ -605,75 +731,117 @@ pub fn plans_all(rc: &RunConfig) -> Vec<ExperimentPlan> {
 }
 
 /// Figure 2: speedups of PFM and Slipstream 2.0 on astar and bfs.
-pub fn fig2(rc: &RunConfig) -> Experiment {
+///
+/// # Errors
+/// The [`PlanError`] of a failed run or assembly (likewise for every
+/// eager wrapper below).
+pub fn fig2(rc: &RunConfig) -> Result<Experiment, PlanError> {
     run_one(plan_fig2(rc))
 }
 
 /// Figure 8: astar speedup for different C and W parameters.
-pub fn fig8(rc: &RunConfig) -> Experiment {
+///
+/// # Errors
+/// See [`fig2`].
+pub fn fig8(rc: &RunConfig) -> Result<Experiment, PlanError> {
     run_one(plan_fig8(rc))
 }
 
 /// Table 2: astar FST and RST snoop percentages.
-pub fn table2(rc: &RunConfig) -> Experiment {
+///
+/// # Errors
+/// See [`fig2`].
+pub fn table2(rc: &RunConfig) -> Result<Experiment, PlanError> {
     run_one(plan_table2(rc))
 }
 
 /// Figure 9: astar sensitivity to D (delay), Q (queues) and P (ports).
-pub fn fig9(rc: &RunConfig) -> Experiment {
+///
+/// # Errors
+/// See [`fig2`].
+pub fn fig9(rc: &RunConfig) -> Result<Experiment, PlanError> {
     run_one(plan_fig9(rc))
 }
 
 /// Figure 10: astar speedup vs. index_queue entries (speculative scope).
-pub fn fig10(rc: &RunConfig) -> Experiment {
+///
+/// # Errors
+/// See [`fig2`].
+pub fn fig10(rc: &RunConfig) -> Result<Experiment, PlanError> {
     run_one(plan_fig10(rc))
 }
 
 /// Figure 12: bfs oracles and C/W sweep (Roads and Youtube inputs).
-pub fn fig12(rc: &RunConfig) -> Experiment {
+///
+/// # Errors
+/// See [`fig2`].
+pub fn fig12(rc: &RunConfig) -> Result<Experiment, PlanError> {
     run_one(plan_fig12(rc))
 }
 
 /// Table 3: bfs FST and RST snoop percentages.
-pub fn table3(rc: &RunConfig) -> Experiment {
+///
+/// # Errors
+/// See [`fig2`].
+pub fn table3(rc: &RunConfig) -> Result<Experiment, PlanError> {
     run_one(plan_table3(rc))
 }
 
 /// Figure 13: bfs sensitivity to D, Q and P.
-pub fn fig13(rc: &RunConfig) -> Experiment {
+///
+/// # Errors
+/// See [`fig2`].
+pub fn fig13(rc: &RunConfig) -> Result<Experiment, PlanError> {
     run_one(plan_fig13(rc))
 }
 
 /// Figure 14: bfs speedup vs. the component's queue entries.
-pub fn fig14(rc: &RunConfig) -> Experiment {
+///
+/// # Errors
+/// See [`fig2`].
+pub fn fig14(rc: &RunConfig) -> Result<Experiment, PlanError> {
     run_one(plan_fig14(rc))
 }
 
 /// Figure 17: custom prefetcher speedups for different C and W.
-pub fn fig17(rc: &RunConfig) -> Experiment {
+///
+/// # Errors
+/// See [`fig2`].
+pub fn fig17(rc: &RunConfig) -> Result<Experiment, PlanError> {
     run_one(plan_fig17(rc))
 }
 
 /// Table 4: FPGA resource, frequency and power estimates per design.
-pub fn table4() -> Experiment {
+///
+/// # Errors
+/// See [`fig2`] (table 4 performs no runs, so only assembly can fail).
+pub fn table4() -> Result<Experiment, PlanError> {
     run_one(plan_table4())
 }
 
 /// Figure 18: PFM (core + RF) energy normalized to the baseline core.
-pub fn fig18(rc: &RunConfig) -> Experiment {
+///
+/// # Errors
+/// See [`fig2`].
+pub fn fig18(rc: &RunConfig) -> Result<Experiment, PlanError> {
     run_one(plan_fig18(rc))
 }
 
 /// Ablations of the design choices DESIGN.md calls out: store
 /// inference, the missed-load buffer, the fetch stall policy, and the
 /// baseline VLDP prefetcher.
-pub fn ablations(rc: &RunConfig) -> Experiment {
+///
+/// # Errors
+/// See [`fig2`].
+pub fn ablations(rc: &RunConfig) -> Result<Experiment, PlanError> {
     run_one(plan_ablations(rc))
 }
 
 /// Every regenerable experiment, in paper order, executed through the
-/// deduplicating executor (shared baselines run once).
-pub fn all(rc: &RunConfig) -> Vec<Experiment> {
+/// deduplicating executor (shared baselines run once). Each experiment
+/// assembles independently: one failed run yields `Err` for the
+/// experiments that needed it, not a panic for the suite.
+pub fn all(rc: &RunConfig) -> Vec<Result<Experiment, PlanError>> {
     let (experiments, _) = exec::run_plans(plans_all(rc), &ExecOptions::default());
     experiments
 }
@@ -684,7 +852,7 @@ mod tests {
 
     #[test]
     fn table4_renders_all_rows() {
-        let t = table4();
+        let t = table4().unwrap();
         assert_eq!(t.rows.len(), 6);
         let s = t.render();
         assert!(s.contains("astar-alt"));
@@ -694,7 +862,7 @@ mod tests {
     #[test]
     fn table2_snoop_rates_in_paper_ballpark() {
         let rc = RunConfig::test_scale();
-        let t = table2(&rc);
+        let t = table2(&rc).unwrap();
         let rst = t.rows[0].value;
         let fst = t.rows[1].value;
         assert!(rst > 5.0 && rst < 45.0, "RST {rst}%");
@@ -748,10 +916,45 @@ mod tests {
     #[test]
     fn all_ids_resolve_to_plans() {
         let rc = RunConfig::test_scale();
-        for id in ALL_IDS {
-            let plan = plan_for(id, &rc).unwrap_or_else(|| panic!("no plan for {id}"));
+        for id in ALL_IDS.into_iter().chain(EXTRA_IDS) {
+            let plan = plan_for(id, &rc).unwrap();
             assert_eq!(plan.id, id);
         }
-        assert!(plan_for("fig99", &rc).is_none());
+        match plan_for("fig99", &rc) {
+            Err(PlanError::UnknownExperiment { id }) => assert_eq!(id, "fig99"),
+            other => panic!("expected UnknownExperiment, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chaos_plans_pair_every_scenario_with_a_shared_clean_run() {
+        // Pure planning assertion — nothing is simulated here. The
+        // smoke plan covers one use-case: 1 fault-free PFM run plus one
+        // chaos run per scenario, all under distinct keys.
+        let rc = RunConfig::test_scale();
+        let smoke = plan_chaos_smoke(&rc);
+        assert_eq!(
+            smoke.specs().len(),
+            1 + pfm_fabric::FaultScenario::ALL.len()
+        );
+        let mut keys: Vec<_> = smoke.specs().iter().map(|s| s.key().to_string()).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), smoke.specs().len(), "chaos specs never dedup");
+
+        // The full chaos plan shares its fault-free runs (and therefore
+        // dedups against a plain PFM run of the same use-case).
+        let full = plan_chaos(&rc);
+        assert!(full.specs().len() > smoke.specs().len());
+        let smoke_clean = smoke
+            .specs()
+            .iter()
+            .find(|s| !s.key().contains("chaos("))
+            .map(|s| s.key().to_string())
+            .unwrap();
+        assert!(
+            full.specs().iter().any(|s| s.key() == smoke_clean),
+            "smoke's clean run must dedup into the full chaos plan"
+        );
     }
 }

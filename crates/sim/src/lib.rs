@@ -31,7 +31,9 @@ pub mod runner;
 pub mod usecases;
 
 pub use bench::{run_bench, BenchReport, BenchRow};
-pub use exec::{run_plans, ExecOptions, ExecReport};
+pub use exec::{run_plans, ExecOptions, ExecReport, FailureReport};
 pub use experiments::{Experiment, Row};
-pub use plan::{ExperimentPlan, RunSet, RunSpec};
-pub use runner::{run_baseline, run_pfm, RunConfig, RunResult};
+pub use plan::{ExperimentPlan, PlanError, RunOutcome, RunSet, RunSpec};
+pub use runner::{
+    run_baseline, run_chaos, run_pfm, RunConfig, RunError, RunResult, DEFAULT_COMMIT_WATCHDOG,
+};

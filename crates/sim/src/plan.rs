@@ -7,27 +7,98 @@
 //!
 //! 1. **Plan.** Each experiment builds an [`ExperimentPlan`]: a list
 //!    of keyed [`RunSpec`]s (use-case factory + run configuration +
-//!    optional fabric parameters) plus a pure assembly closure.
+//!    optional fabric parameters + optional fault plan) plus a pure
+//!    assembly closure.
 //! 2. **Execute.** The executor collects the specs of every requested
 //!    experiment, deduplicates them by [`RunSpec::key`] (the shared
 //!    astar baseline is requested by six experiments but simulated
-//!    once), and runs the unique set across worker threads.
+//!    once), and runs the unique set across worker threads, isolating
+//!    each run behind `catch_unwind` and recording a typed
+//!    [`RunOutcome`].
 //! 3. **Assemble.** Each plan's closure maps the completed
 //!    [`RunResult`]s to [`Row`]s — no simulation happens here, so
-//!    assembly is cheap, deterministic, and order-independent.
+//!    assembly is cheap, deterministic, and order-independent. Lookup
+//!    failures are typed [`PlanError`]s, not panics, so one failed run
+//!    fails its experiments, never the whole suite.
 //!
 //! Dedup correctness rests on the canonical content keys introduced
 //! across the stack: `UseCaseFactory::key` (pfm-workloads),
-//! `CoreConfig::key` (pfm-core), `HierarchyConfig::key` (pfm-mem) and
-//! `FabricParams::key` (pfm-fabric) each cover *every* field of their
-//! layer, so equal keys imply behaviourally identical runs.
+//! `CoreConfig::key` (pfm-core), `HierarchyConfig::key` (pfm-mem),
+//! `FabricParams::key` (pfm-fabric) and `FaultPlan::key` (chaos runs)
+//! each cover *every* field of their layer, so equal keys imply
+//! behaviourally identical runs.
 
 use crate::experiments::{Experiment, Row};
-use crate::runner::{run_baseline, run_pfm, RunConfig, RunResult};
-use pfm_core::SimError;
-use pfm_fabric::FabricParams;
+use crate::runner::{run_baseline, run_chaos, run_pfm, RunConfig, RunError, RunResult};
+use pfm_fabric::{FabricParams, FaultPlan};
 use pfm_workloads::UseCaseFactory;
 use std::collections::HashMap;
+
+/// A typed planning/assembly failure. Everything the old panicking
+/// paths could hit is representable here, so `repro` can report and
+/// exit non-zero instead of aborting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanError {
+    /// No experiment with this id exists.
+    UnknownExperiment {
+        /// The requested id.
+        id: String,
+    },
+    /// An assembly closure asked for a run that was never executed
+    /// (not planned, or abandoned after an earlier failure without
+    /// `--keep-going`).
+    MissingRun {
+        /// The requested run key.
+        key: String,
+    },
+    /// An assembly closure asked for a run that was executed but did
+    /// not produce a result.
+    RunFailed {
+        /// The requested run key.
+        key: String,
+        /// Human-readable outcome (failure, panic, timeout).
+        outcome: String,
+    },
+    /// A chaos run's committed architectural checksum differed from
+    /// its fault-free counterpart — the graceful-degradation invariant
+    /// is broken.
+    ArchMismatch {
+        /// Use-case name.
+        name: String,
+        /// Fault scenario injected.
+        scenario: &'static str,
+        /// Checksum of the fault-free run.
+        expected: u64,
+        /// Checksum of the faulty run.
+        actual: u64,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::UnknownExperiment { id } => write!(f, "unknown experiment id `{id}`"),
+            PlanError::MissingRun { key } => {
+                write!(f, "run `{key}` was not part of the executed plan")
+            }
+            PlanError::RunFailed { key, outcome } => {
+                write!(f, "run `{key}` did not complete: {outcome}")
+            }
+            PlanError::ArchMismatch {
+                name,
+                scenario,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "ARCHITECTURAL STATE CORRUPTED: {name} under {scenario} committed checksum \
+                 {actual:#018x}, fault-free run committed {expected:#018x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
 
 /// One fully-specified, deduplicatable simulation run.
 #[derive(Clone, Debug)]
@@ -35,6 +106,7 @@ pub struct RunSpec {
     usecase: UseCaseFactory,
     rc: RunConfig,
     fabric: Option<FabricParams>,
+    fault: Option<FaultPlan>,
     key: String,
 }
 
@@ -46,6 +118,7 @@ impl RunSpec {
             usecase,
             rc: rc.clone(),
             fabric: None,
+            fault: None,
             key,
         }
     }
@@ -57,6 +130,33 @@ impl RunSpec {
             usecase,
             rc: rc.clone(),
             fabric: Some(params),
+            fault: None,
+            key,
+        }
+    }
+
+    /// A chaos run: PFM with the component wrapped in the deterministic
+    /// fault injector. The fault plan is part of the key, so chaos runs
+    /// never dedup against fault-free runs (and distinct scenarios,
+    /// seeds and rates never dedup against each other).
+    pub fn chaos(
+        usecase: UseCaseFactory,
+        params: FabricParams,
+        plan: FaultPlan,
+        rc: &RunConfig,
+    ) -> RunSpec {
+        let key = format!(
+            "{}|{}|{}|{}",
+            usecase.key(),
+            params.key(),
+            rc.key(),
+            plan.key()
+        );
+        RunSpec {
+            usecase,
+            rc: rc.clone(),
+            fabric: Some(params),
+            fault: Some(plan),
             key,
         }
     }
@@ -72,53 +172,136 @@ impl RunSpec {
         self.usecase.name()
     }
 
+    /// The configured forward-progress watchdog, scaled by `factor`
+    /// (the executor's raised retry cap).
+    pub(crate) fn raised_watchdog(&self, factor: u64) -> Option<u64> {
+        self.rc.commit_watchdog.map(|w| w.saturating_mul(factor))
+    }
+
     /// Builds the use-case and performs the run. Deterministic:
     /// calling this any number of times, on any thread, yields
     /// identical statistics.
     ///
     /// # Errors
-    /// Propagates simulator errors (functional faults, cycle-limit
-    /// deadlocks).
-    pub fn execute(&self) -> Result<RunResult, SimError> {
+    /// Returns the structured [`RunError`] (functional fault, cycle
+    /// cap, or forward-progress watchdog).
+    pub fn execute(&self) -> Result<RunResult, RunError> {
+        self.execute_with_watchdog(self.rc.commit_watchdog)
+    }
+
+    /// [`RunSpec::execute`] with the forward-progress watchdog
+    /// overridden (the executor's bounded-retry seam).
+    pub(crate) fn execute_with_watchdog(
+        &self,
+        commit_watchdog: Option<u64>,
+    ) -> Result<RunResult, RunError> {
         let uc = self.usecase.build();
-        match &self.fabric {
-            None => run_baseline(&uc, &self.rc),
-            Some(params) => run_pfm(&uc, params.clone(), &self.rc),
+        let mut rc = self.rc.clone();
+        rc.commit_watchdog = commit_watchdog;
+        match (&self.fabric, self.fault) {
+            (None, _) => run_baseline(&uc, &rc),
+            (Some(params), None) => run_pfm(&uc, params.clone(), &rc),
+            (Some(params), Some(plan)) => run_chaos(&uc, params.clone(), plan, &rc),
         }
     }
 }
 
-/// Completed runs, indexed by [`RunSpec::key`].
+/// How one executed run ended. The executor's outcome lattice:
+/// `Ok` ⊐ `Failed` (structured simulator error) ⊐ `TimedOut` (hang
+/// caught by watchdog/cap, after bounded retry) ⊐ `Panicked` (caught
+/// unwind — the run died, the suite did not).
+// Ok(RunResult) dwarfs the error variants, but it is also the
+// overwhelmingly common case — boxing every successful result to
+// shrink the rare failures would be a pessimization.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug)]
+pub enum RunOutcome {
+    /// The run completed and produced statistics.
+    Ok(RunResult),
+    /// The run failed with a structured, non-hang simulator error.
+    Failed(RunError),
+    /// The run panicked; the payload message was captured.
+    Panicked(String),
+    /// The run hung (forward-progress watchdog or cycle cap), possibly
+    /// after a retry at a raised watchdog cap.
+    TimedOut {
+        /// The final hang error.
+        error: RunError,
+        /// Retries performed before giving up.
+        retries: u32,
+    },
+}
+
+impl RunOutcome {
+    /// The completed result, if the run succeeded.
+    pub fn as_ok(&self) -> Option<&RunResult> {
+        match self {
+            RunOutcome::Ok(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Whether the run completed.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, RunOutcome::Ok(_))
+    }
+
+    /// One-line human-readable description (failure tables, errors).
+    pub fn describe(&self) -> String {
+        match self {
+            RunOutcome::Ok(_) => "ok".to_string(),
+            RunOutcome::Failed(e) => format!("failed: {e}"),
+            RunOutcome::Panicked(msg) => format!("panicked: {msg}"),
+            RunOutcome::TimedOut { error, retries } => {
+                format!("timed out ({retries} retry(ies)): {error}")
+            }
+        }
+    }
+}
+
+/// Executed runs, indexed by [`RunSpec::key`]. Holds the full
+/// [`RunOutcome`] of every run the executor touched, successful or
+/// not.
 #[derive(Debug, Default)]
 pub struct RunSet {
-    runs: HashMap<String, Result<RunResult, String>>,
+    runs: HashMap<String, RunOutcome>,
 }
 
 impl RunSet {
-    pub(crate) fn insert(&mut self, key: String, result: Result<RunResult, SimError>) {
-        self.runs.insert(key, result.map_err(|e| e.to_string()));
+    pub(crate) fn insert(&mut self, key: String, outcome: RunOutcome) {
+        self.runs.insert(key, outcome);
     }
 
     /// The completed run for `key`.
     ///
-    /// # Panics
-    /// Panics if the run is missing from the executed set or failed —
-    /// both are programming errors in an experiment plan, exactly as a
-    /// failed eager run was before the planner existed.
-    pub fn get(&self, key: &str) -> &RunResult {
+    /// # Errors
+    /// [`PlanError::MissingRun`] if the run was never executed,
+    /// [`PlanError::RunFailed`] if it was executed but did not produce
+    /// a result.
+    pub fn get(&self, key: &str) -> Result<&RunResult, PlanError> {
         match self.runs.get(key) {
-            Some(Ok(r)) => r,
-            Some(Err(e)) => panic!("simulation failed for {key}: {e}"),
-            None => panic!("run {key} was not part of the executed plan"),
+            Some(RunOutcome::Ok(r)) => Ok(r),
+            Some(outcome) => Err(PlanError::RunFailed {
+                key: key.to_string(),
+                outcome: outcome.describe(),
+            }),
+            None => Err(PlanError::MissingRun {
+                key: key.to_string(),
+            }),
         }
     }
 
-    /// Number of completed (or failed) runs.
+    /// The raw outcome for `key`, if the executor touched it.
+    pub fn outcome(&self, key: &str) -> Option<&RunOutcome> {
+        self.runs.get(key)
+    }
+
+    /// Number of executed runs (any outcome).
     pub fn len(&self) -> usize {
         self.runs.len()
     }
 
-    /// Whether no runs completed.
+    /// Whether no runs executed.
     pub fn is_empty(&self) -> bool {
         self.runs.is_empty()
     }
@@ -132,9 +315,9 @@ pub struct RunHandle(String);
 impl RunHandle {
     /// The completed run this handle refers to.
     ///
-    /// # Panics
-    /// Panics if the run is missing or failed (see [`RunSet::get`]).
-    pub fn of<'a>(&self, runs: &'a RunSet) -> &'a RunResult {
+    /// # Errors
+    /// See [`RunSet::get`].
+    pub fn of<'a>(&self, runs: &'a RunSet) -> Result<&'a RunResult, PlanError> {
         runs.get(&self.0)
     }
 
@@ -162,6 +345,17 @@ impl SpecSet {
         self.push(RunSpec::pfm(uc.clone(), params, rc))
     }
 
+    /// Requests a chaos (fault-injected PFM) run.
+    pub fn chaos(
+        &mut self,
+        uc: &UseCaseFactory,
+        params: FabricParams,
+        plan: FaultPlan,
+        rc: &RunConfig,
+    ) -> RunHandle {
+        self.push(RunSpec::chaos(uc.clone(), params, plan, rc))
+    }
+
     fn push(&mut self, spec: RunSpec) -> RunHandle {
         let handle = RunHandle(spec.key().to_string());
         self.specs.push(spec);
@@ -174,7 +368,7 @@ impl SpecSet {
     }
 }
 
-type AssembleFn = Box<dyn FnOnce(&RunSet) -> Vec<Row> + Send>;
+type AssembleFn = Box<dyn FnOnce(&RunSet) -> Result<Vec<Row>, PlanError> + Send>;
 
 /// A planned (not yet executed) experiment: requested runs + pure
 /// assembly.
@@ -196,7 +390,7 @@ impl ExperimentPlan {
         title: &'static str,
         paper: &'static str,
         specs: SpecSet,
-        assemble: impl FnOnce(&RunSet) -> Vec<Row> + Send + 'static,
+        assemble: impl FnOnce(&RunSet) -> Result<Vec<Row>, PlanError> + Send + 'static,
     ) -> ExperimentPlan {
         ExperimentPlan {
             id,
@@ -216,16 +410,16 @@ impl ExperimentPlan {
     /// Maps completed runs to the final experiment. Pure: no
     /// simulation happens here.
     ///
-    /// # Panics
-    /// Panics if `runs` is missing one of the plan's specs or that run
-    /// failed.
-    pub fn assemble(self, runs: &RunSet) -> Experiment {
-        Experiment {
+    /// # Errors
+    /// Returns the assembly closure's [`PlanError`] if a needed run is
+    /// missing, failed, or violated the chaos invariant.
+    pub fn assemble(self, runs: &RunSet) -> Result<Experiment, PlanError> {
+        Ok(Experiment {
             id: self.id,
             title: self.title,
             paper: self.paper,
-            rows: (self.assemble)(runs),
-        }
+            rows: (self.assemble)(runs)?,
+        })
     }
 }
 
@@ -242,6 +436,7 @@ impl std::fmt::Debug for ExperimentPlan {
 mod tests {
     use super::*;
     use crate::usecases;
+    use pfm_fabric::FaultScenario;
 
     #[test]
     fn identical_specs_share_keys_and_distinct_specs_do_not() {
@@ -266,8 +461,56 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "was not part of the executed plan")]
-    fn runset_panics_on_missing_key() {
-        RunSet::default().get("nope");
+    fn fault_plans_are_visible_in_spec_keys() {
+        let rc = RunConfig::test_scale();
+        let uc = usecases::astar_custom_factory();
+        let params = FabricParams::paper_default();
+        let pfm = RunSpec::pfm(uc.clone(), params.clone(), &rc);
+        let mut keys = vec![pfm.key().to_string()];
+        for sc in FaultScenario::ALL {
+            let plan = FaultPlan::new(sc, 7);
+            keys.push(
+                RunSpec::chaos(uc.clone(), params.clone(), plan, &rc)
+                    .key()
+                    .to_string(),
+            );
+            let reseeded = FaultPlan::new(sc, 8);
+            keys.push(
+                RunSpec::chaos(uc.clone(), params.clone(), reseeded, &rc)
+                    .key()
+                    .to_string(),
+            );
+        }
+        let mut sorted = keys.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), keys.len(), "chaos specs must never dedup");
+    }
+
+    #[test]
+    fn runset_reports_missing_and_failed_runs_as_typed_errors() {
+        let mut runs = RunSet::default();
+        match runs.get("nope") {
+            Err(PlanError::MissingRun { key }) => assert_eq!(key, "nope"),
+            other => panic!("expected MissingRun, got {other:?}"),
+        }
+        runs.insert(
+            "hung".to_string(),
+            RunOutcome::TimedOut {
+                error: crate::runner::RunError::Watchdog {
+                    last_commit_cycle: 10,
+                    stalled_cycles: 500,
+                    retired: 3,
+                },
+                retries: 1,
+            },
+        );
+        match runs.get("hung") {
+            Err(PlanError::RunFailed { key, outcome }) => {
+                assert_eq!(key, "hung");
+                assert!(outcome.contains("watchdog"), "outcome: {outcome}");
+            }
+            other => panic!("expected RunFailed, got {other:?}"),
+        }
     }
 }

@@ -1,20 +1,33 @@
 //! Single-run driver: wires a [`UseCase`] into the core, optionally
-//! attaches the PFM fabric, runs, and collects every statistic the
-//! experiments need.
+//! attaches the PFM fabric (or its chaos-harness fault injector), runs
+//! under a forward-progress watchdog, and collects every statistic the
+//! experiments need — including the committed architectural checksum
+//! the chaos family compares against fault-free runs.
 
 use pfm_bpred::PredictorKind;
 use pfm_core::{Core, CoreConfig, NoPfm, SimError, SimStats};
-use pfm_fabric::{FabricParams, FabricStats};
+use pfm_fabric::{Fabric, FabricParams, FabricStats, FaultPlan, FaultStats};
 use pfm_mem::{Hierarchy, HierarchyConfig, HierarchyStats};
 use pfm_workloads::UseCase;
+
+/// Default forward-progress watchdog: abort a run if no instruction
+/// commits for this many cycles. Far above any legitimate stall (the
+/// fabric's own fetch-stall chicken switch trips at 100 k cycles, DRAM
+/// round trips are hundreds), far below the hard cycle cap — so hangs
+/// surface in seconds, not after the full 200 M-cycle budget.
+pub const DEFAULT_COMMIT_WATCHDOG: u64 = 1_000_000;
 
 /// Run-level configuration.
 #[derive(Clone, Debug)]
 pub struct RunConfig {
     /// Stop after this many retired instructions.
     pub max_instrs: u64,
-    /// Hard cycle cap (deadlock guard).
+    /// Hard cycle cap (deadlock guard of last resort).
     pub max_cycles: u64,
+    /// Forward-progress watchdog: abort with [`RunError::Watchdog`] if
+    /// no instruction commits for this many consecutive cycles.
+    /// `None` disables it (the hard cap still applies).
+    pub commit_watchdog: Option<u64>,
     /// Core configuration.
     pub core: CoreConfig,
     /// Memory hierarchy configuration.
@@ -30,6 +43,7 @@ impl RunConfig {
         RunConfig {
             max_instrs: 1_500_000,
             max_cycles: 200_000_000,
+            commit_watchdog: Some(DEFAULT_COMMIT_WATCHDOG),
             core: CoreConfig::micro21(),
             hier: HierarchyConfig::micro21(),
         }
@@ -55,14 +69,20 @@ impl RunConfig {
         self
     }
 
-    /// Canonical content key covering the budget, the core and the
-    /// hierarchy. Two configs with equal keys time identically; the
-    /// experiment planner's run deduplication relies on this.
+    /// Canonical content key covering the budget, the watchdog, the
+    /// core and the hierarchy. Two configs with equal keys time
+    /// identically; the experiment planner's run deduplication relies
+    /// on this.
     pub fn key(&self) -> String {
+        let wd = match self.commit_watchdog {
+            Some(n) => format!("wd{n}"),
+            None => "wdoff".to_string(),
+        };
         format!(
-            "n{}_c{}_{}_{}",
+            "n{}_c{}_{}_{}_{}",
             self.max_instrs,
             self.max_cycles,
+            wd,
             self.core.key(),
             self.hier.key()
         )
@@ -75,6 +95,97 @@ impl Default for RunConfig {
     }
 }
 
+/// A failed simulation run, with enough structure for callers to
+/// distinguish "the workload faulted", "the deadlock guard of last
+/// resort tripped", and "the forward-progress watchdog caught a hang".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunError {
+    /// The functional machine faulted (bad PC, etc.).
+    Exec(String),
+    /// The hard cycle cap elapsed before the workload finished.
+    CycleLimit {
+        /// The cap that was reached.
+        max_cycles: u64,
+        /// Instructions retired when it tripped.
+        retired: u64,
+    },
+    /// The forward-progress watchdog fired: no instruction committed
+    /// for `stalled_cycles` consecutive cycles.
+    Watchdog {
+        /// Cycle of the last commit (0 if nothing ever committed).
+        last_commit_cycle: u64,
+        /// Commit-free cycles elapsed when the watchdog fired.
+        stalled_cycles: u64,
+        /// Instructions retired when it fired.
+        retired: u64,
+    },
+}
+
+impl RunError {
+    /// Whether this failure is a hang (watchdog or cycle cap) rather
+    /// than a functional fault. Hangs are what the executor retries at
+    /// a raised watchdog cap.
+    pub fn is_hang(&self) -> bool {
+        matches!(
+            self,
+            RunError::CycleLimit { .. } | RunError::Watchdog { .. }
+        )
+    }
+
+    /// Whether this failure is specifically the forward-progress
+    /// watchdog (eligible for one retry at a raised cap: a legitimate
+    /// but extreme stall looks identical to a hang until given more
+    /// rope).
+    pub fn is_watchdog(&self) -> bool {
+        matches!(self, RunError::Watchdog { .. })
+    }
+
+    fn from_sim(e: SimError, retired: u64) -> RunError {
+        match e {
+            SimError::Exec(e) => RunError::Exec(e.to_string()),
+            SimError::CycleLimit(max_cycles) => RunError::CycleLimit {
+                max_cycles,
+                retired,
+            },
+            SimError::Watchdog {
+                last_commit_cycle,
+                stalled_cycles,
+            } => RunError::Watchdog {
+                last_commit_cycle,
+                stalled_cycles,
+                retired,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Exec(e) => write!(f, "functional execution failed: {e}"),
+            RunError::CycleLimit {
+                max_cycles,
+                retired,
+            } => write!(
+                f,
+                "cycle cap {max_cycles} reached after {retired} retired instructions \
+                 (possible deadlock)"
+            ),
+            RunError::Watchdog {
+                last_commit_cycle,
+                stalled_cycles,
+                retired,
+            } => write!(
+                f,
+                "watchdog: no commit for {stalled_cycles} cycles (last commit at cycle \
+                 {last_commit_cycle}, {retired} retired)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
 /// Everything measured by one simulation run.
 #[derive(Clone, Debug)]
 pub struct RunResult {
@@ -86,6 +197,15 @@ pub struct RunResult {
     pub hier: HierarchyStats,
     /// Agent statistics (PFM runs only).
     pub fabric: Option<FabricStats>,
+    /// Injected-fault counters (chaos runs only).
+    pub faults: Option<FaultStats>,
+    /// Checksum of the committed instruction stream (PCs, branch
+    /// outcomes, register writes, stores), folded over the first
+    /// `max_instrs` retired instructions. The graceful-degradation
+    /// invariant: bit-identical across fault-free and faulty runs of
+    /// the same workload and instruction budget, because fabric
+    /// interventions are microarchitectural only.
+    pub arch_checksum: u64,
 }
 
 impl RunResult {
@@ -101,50 +221,66 @@ impl RunResult {
     }
 }
 
-/// Runs the use-case on the baseline core (no fabric attached).
-///
-/// # Errors
-/// Propagates simulator errors (functional faults, cycle-limit
-/// deadlocks).
-pub fn run_baseline(uc: &UseCase, rc: &RunConfig) -> Result<RunResult, SimError> {
+/// Drives `core` under `rc`'s budgets and watchdog, then packages the
+/// result (shared by the baseline, PFM and chaos entry points).
+fn drive(uc: &UseCase, mut fabric: Option<Fabric>, rc: &RunConfig) -> Result<RunResult, RunError> {
     let mut core = Core::new(
         rc.core.clone(),
         uc.machine(),
         Hierarchy::new(rc.hier.clone()),
     );
-    core.run(&mut NoPfm, rc.max_instrs, rc.max_cycles)?;
+    let outcome = match fabric.as_mut() {
+        Some(f) => core.run_watched(f, rc.max_instrs, rc.max_cycles, rc.commit_watchdog),
+        None => core.run_watched(&mut NoPfm, rc.max_instrs, rc.max_cycles, rc.commit_watchdog),
+    };
+    outcome.map_err(|e| RunError::from_sim(e, core.stats().retired))?;
     Ok(RunResult {
         name: uc.name.clone(),
         stats: core.stats().clone(),
         hier: *core.hierarchy().stats(),
-        fabric: None,
+        faults: fabric.as_ref().and_then(|f| f.component().fault_stats()),
+        fabric: fabric.map(|f| *f.stats()),
+        arch_checksum: core.commit_checksum(),
     })
+}
+
+/// Runs the use-case on the baseline core (no fabric attached).
+///
+/// # Errors
+/// Returns a structured [`RunError`]: functional fault, cycle cap, or
+/// forward-progress watchdog.
+pub fn run_baseline(uc: &UseCase, rc: &RunConfig) -> Result<RunResult, RunError> {
+    drive(uc, None, rc)
 }
 
 /// Runs the use-case with the PFM fabric attached.
 ///
 /// # Errors
-/// Propagates simulator errors (functional faults, cycle-limit
-/// deadlocks).
-pub fn run_pfm(uc: &UseCase, params: FabricParams, rc: &RunConfig) -> Result<RunResult, SimError> {
-    let mut fabric = uc.fabric(params);
-    let mut core = Core::new(
-        rc.core.clone(),
-        uc.machine(),
-        Hierarchy::new(rc.hier.clone()),
-    );
-    core.run(&mut fabric, rc.max_instrs, rc.max_cycles)?;
-    Ok(RunResult {
-        name: uc.name.clone(),
-        stats: core.stats().clone(),
-        hier: *core.hierarchy().stats(),
-        fabric: Some(*fabric.stats()),
-    })
+/// Returns a structured [`RunError`]: functional fault, cycle cap, or
+/// forward-progress watchdog.
+pub fn run_pfm(uc: &UseCase, params: FabricParams, rc: &RunConfig) -> Result<RunResult, RunError> {
+    drive(uc, Some(uc.fabric(params)), rc)
+}
+
+/// Runs the use-case with the PFM fabric attached and its component
+/// wrapped in the deterministic fault injector (the chaos harness).
+///
+/// # Errors
+/// Returns a structured [`RunError`]: functional fault, cycle cap, or
+/// forward-progress watchdog.
+pub fn run_chaos(
+    uc: &UseCase,
+    params: FabricParams,
+    plan: FaultPlan,
+    rc: &RunConfig,
+) -> Result<RunResult, RunError> {
+    drive(uc, Some(uc.fabric_faulty(params, plan)), rc)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pfm_fabric::FaultScenario;
     use pfm_workloads::{astar, AstarParams};
 
     #[test]
@@ -163,5 +299,34 @@ mod tests {
         assert!(base.stats.retired > 0);
         assert!(pfm.stats.retired > 0);
         assert!(pfm.fabric.is_some());
+        assert_eq!(
+            base.arch_checksum, pfm.arch_checksum,
+            "PFM interventions are microarchitectural only"
+        );
+    }
+
+    #[test]
+    fn chaos_run_reports_fault_stats() {
+        let p = AstarParams {
+            grid_w: 32,
+            grid_h: 32,
+            fills: 1,
+            ..AstarParams::default()
+        };
+        let uc = astar(&p);
+        let rc = RunConfig::test_scale();
+        let plan = FaultPlan::new(FaultScenario::InvertPred, 1).with_rate(1000);
+        let r = run_chaos(&uc, FabricParams::paper_default(), plan, &rc).unwrap();
+        let f = r.faults.expect("chaos run must report fault stats");
+        assert!(f.inverted > 0, "rate-1000 inversion must fire");
+    }
+
+    #[test]
+    fn run_config_key_covers_the_watchdog() {
+        let rc = RunConfig::test_scale();
+        let mut off = RunConfig::test_scale();
+        off.commit_watchdog = None;
+        assert_ne!(rc.key(), off.key());
+        assert!(rc.key().contains("wd1000000"));
     }
 }

@@ -144,12 +144,13 @@ fn golden_stats_are_bit_identical() {
         &ExecOptions {
             jobs: 4,
             progress: false,
+            keep_going: false,
         },
     );
 
     let mut actual = Vec::new();
     for (spec, (name, mode)) in specs.iter().zip(&expected) {
-        let r = runs.get(spec.key());
+        let r = runs.get(spec.key()).expect("golden run completes");
         actual.push((name.clone(), *mode, checksum(r)));
     }
 

@@ -2,7 +2,7 @@
 //! "configuration bitstream" (snoop tables + custom component) shipped
 //! with it.
 
-use pfm_fabric::{CustomComponent, Fabric, FabricParams, RstEntry};
+use pfm_fabric::{CustomComponent, Fabric, FabricParams, FaultPlan, FaultyComponent, RstEntry};
 use pfm_isa::{Machine, Program, SpecMemory};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -72,6 +72,18 @@ impl UseCase {
     /// component.
     pub fn fabric(&self, params: FabricParams) -> Fabric {
         Fabric::new(params, self.fst.clone(), self.rst.clone(), self.component())
+    }
+
+    /// A fresh fabric whose component is wrapped in the deterministic
+    /// fault injector (the chaos harness: same snoop tables, same inner
+    /// component, adversarially perturbed packet streams).
+    pub fn fabric_faulty(&self, params: FabricParams, plan: FaultPlan) -> Fabric {
+        Fabric::new(
+            params,
+            self.fst.clone(),
+            self.rst.clone(),
+            Box::new(FaultyComponent::new(self.component(), plan)),
+        )
     }
 }
 

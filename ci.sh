@@ -15,6 +15,15 @@ echo "== pfm-lint (workspace invariants) =="
 cargo run -q --release -p pfm-lint -- --workspace
 cargo test -q --release -p pfm-lint
 
+echo "== repro --analyze (static analysis of registered use cases) =="
+cargo build -q --release -p pfm-bench
+"$PWD/target/release/repro" --analyze > /dev/null
+# The analyzer must have teeth: a corrupted watch PC must fail.
+if "$PWD/target/release/pfm-analyze" --corrupt-watch astar > /dev/null 2>&1; then
+    echo "pfm-analyze failed to flag a corrupted watch PC" >&2
+    exit 1
+fi
+
 echo "== cargo build --release =="
 cargo build --release
 
@@ -22,7 +31,6 @@ echo "== cargo test =="
 cargo test -q --release
 
 echo "== repro --chaos-smoke (graceful degradation under faults) =="
-cargo build -q --release -p pfm-bench
 repro_bin="$PWD/target/release/repro"
 "$repro_bin" --chaos-smoke --quick --jobs 4 > /dev/null
 

@@ -1,0 +1,393 @@
+//! Basic-block control-flow graph over an assembled [`Program`].
+//!
+//! The ISA's control transfers are fully decodable except `jalr`.
+//! Construction therefore distinguishes three edge classes:
+//!
+//! * **direct** — conditional-branch taken paths and `jal` targets,
+//!   which are absolute addresses patched in by the assembler;
+//! * **return** — `jalr x0, 0(ra)` (the assembler's `ret` idiom): the
+//!   analysis has no call stack, so a return block gets an edge to the
+//!   *return site of every call in the program* (`pc + 4` of each
+//!   linking `jal`). This over-approximates real control flow, which
+//!   is the safe direction for every check built on top;
+//! * **unknown** — any other `jalr` (computed jumps). These are kept
+//!   as explicit [`EdgeKind::Unknown`] edges to nowhere rather than
+//!   silently dropped, so downstream checks can refuse to certify a
+//!   program whose control flow they cannot see.
+//!
+//! Targets that decode fine but land outside the program, and blocks
+//! that can run off the end of the instruction range, are recorded on
+//! the block ([`Block::escapes`]) for the check suite.
+
+use pfm_isa::inst::INST_BYTES;
+use pfm_isa::{ControlTarget, Inst, Program};
+use std::collections::BTreeMap;
+
+/// Index of a basic block in [`Cfg::blocks`].
+pub type BlockId = usize;
+
+/// Why control can leave a block.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EdgeKind {
+    /// Straight-line fall-through to the next block.
+    Fall,
+    /// Taken path of a conditional branch or an unconditional `jal`.
+    Direct,
+    /// `jal` with a link register: a call. The target function is
+    /// entered; the matching return comes back via a `Return` edge.
+    Call,
+    /// `jalr x0, 0(ra)`: one of the conservative edges from a return
+    /// to a call's return site.
+    Return,
+    /// An indirect jump whose target is statically unknown. The edge
+    /// has no destination; its presence is what matters.
+    Unknown,
+}
+
+/// A way control can escape the analyzed instruction range.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Escape {
+    /// A direct target points outside the program (or between slots).
+    BadTarget(u64),
+    /// The block's last instruction falls through past the end of the
+    /// program (no `halt`, jump or branch stops it).
+    FallsOffEnd,
+}
+
+/// A maximal straight-line run of instructions.
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// PC of the first instruction.
+    pub start: u64,
+    /// PC one past the last instruction.
+    pub end: u64,
+    /// Outgoing edges; `Unknown` edges carry no destination block.
+    pub succs: Vec<(Option<BlockId>, EdgeKind)>,
+    /// Ways control escapes the program range from this block.
+    pub escapes: Vec<Escape>,
+}
+
+impl Block {
+    /// PCs of the block's instructions.
+    pub fn pcs(&self) -> impl Iterator<Item = u64> {
+        (self.start..self.end).step_by(INST_BYTES as usize)
+    }
+}
+
+/// The control-flow graph of one assembled program.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// Blocks in ascending start-address order; block 0 is the entry.
+    pub blocks: Vec<Block>,
+    /// Start PC → block id.
+    by_start: BTreeMap<u64, BlockId>,
+    /// Predecessors, aligned with `blocks`.
+    pub preds: Vec<Vec<BlockId>>,
+}
+
+/// Whether `pc` names an instruction slot of `prog`.
+fn in_range(prog: &Program, pc: u64) -> bool {
+    pc >= prog.base() && pc < prog.end() && (pc - prog.base()).is_multiple_of(INST_BYTES)
+}
+
+impl Cfg {
+    /// Builds the CFG. Never fails: malformed control flow becomes
+    /// `Unknown` edges and [`Escape`] records for the check suite.
+    pub fn build(prog: &Program) -> Cfg {
+        let base = prog.base();
+        let end = prog.end();
+
+        // Return sites: pc+4 of every linking jal. A `ret` can resume
+        // at any of them as far as this stackless analysis knows.
+        let mut return_sites: Vec<u64> = Vec::new();
+        // Pass 1: block leaders.
+        let mut leaders: Vec<u64> = vec![base];
+        let mut pc = base;
+        while pc < end {
+            if let Ok(inst) = prog.fetch(pc) {
+                let next = pc + INST_BYTES;
+                match inst.control_target() {
+                    ControlTarget::Direct(t) => {
+                        if in_range(prog, t) {
+                            leaders.push(t);
+                        }
+                        if next < end {
+                            leaders.push(next);
+                        }
+                        if matches!(inst, Inst::Jal { rd, .. } if !rd.is_zero()) {
+                            return_sites.push(next);
+                        }
+                    }
+                    ControlTarget::Indirect => {
+                        if next < end {
+                            leaders.push(next);
+                        }
+                    }
+                    ControlTarget::None => {
+                        if matches!(inst, Inst::Halt) && next < end {
+                            leaders.push(next);
+                        }
+                    }
+                }
+            }
+            pc += INST_BYTES;
+        }
+        leaders.sort_unstable();
+        leaders.dedup();
+
+        // Pass 2: carve blocks between consecutive leaders.
+        let mut blocks = Vec::with_capacity(leaders.len());
+        let mut by_start = BTreeMap::new();
+        for (i, &start) in leaders.iter().enumerate() {
+            let block_end = leaders
+                .get(i + 1)
+                .copied()
+                .unwrap_or(end)
+                .min(Self::straight_run_end(prog, start, end));
+            by_start.insert(start, i);
+            blocks.push(Block {
+                start,
+                end: block_end,
+                succs: Vec::new(),
+                escapes: Vec::new(),
+            });
+        }
+
+        let mut cfg = Cfg {
+            preds: vec![Vec::new(); blocks.len()],
+            blocks,
+            by_start,
+        };
+
+        // Pass 3: edges off each block's terminator.
+        for id in 0..cfg.blocks.len() {
+            let last_pc = cfg.blocks[id].end - INST_BYTES;
+            let next_pc = cfg.blocks[id].end;
+            let Ok(inst) = prog.fetch(last_pc) else {
+                continue;
+            };
+            let mut succs: Vec<(Option<BlockId>, EdgeKind)> = Vec::new();
+            let mut escapes: Vec<Escape> = Vec::new();
+            let fall_through = |succs: &mut Vec<(Option<BlockId>, EdgeKind)>,
+                                escapes: &mut Vec<Escape>,
+                                kind: EdgeKind| {
+                if next_pc < end {
+                    succs.push((cfg.by_start.get(&next_pc).copied(), kind));
+                } else {
+                    escapes.push(Escape::FallsOffEnd);
+                }
+            };
+            match inst.control_target() {
+                ControlTarget::Direct(t) => {
+                    let kind = match inst {
+                        Inst::Jal { rd, .. } if !rd.is_zero() => EdgeKind::Call,
+                        _ => EdgeKind::Direct,
+                    };
+                    if in_range(prog, t) {
+                        succs.push((cfg.by_start.get(&t).copied(), kind));
+                    } else {
+                        escapes.push(Escape::BadTarget(t));
+                    }
+                    // A conditional branch also falls through. A call
+                    // continues at its return site, but only via a
+                    // callee's Return edge; the site was already made
+                    // a leader above.
+                    if matches!(inst, Inst::Branch { .. }) {
+                        fall_through(&mut succs, &mut escapes, EdgeKind::Fall);
+                    }
+                }
+                ControlTarget::Indirect => {
+                    if inst.is_ret() {
+                        for &site in &return_sites {
+                            succs.push((cfg.by_start.get(&site).copied(), EdgeKind::Return));
+                        }
+                        if return_sites.is_empty() {
+                            // A return with no call anywhere: control
+                            // leaves the program (ra is whatever the
+                            // environment set).
+                            succs.push((None, EdgeKind::Unknown));
+                        }
+                    } else {
+                        succs.push((None, EdgeKind::Unknown));
+                    }
+                }
+                ControlTarget::None => {
+                    if !matches!(inst, Inst::Halt) {
+                        fall_through(&mut succs, &mut escapes, EdgeKind::Fall);
+                    }
+                }
+            }
+            for &(dst, _) in &succs {
+                if let Some(d) = dst {
+                    if !cfg.preds[d].contains(&id) {
+                        cfg.preds[d].push(id);
+                    }
+                }
+            }
+            cfg.blocks[id].succs = succs;
+            cfg.blocks[id].escapes = escapes;
+        }
+        cfg
+    }
+
+    /// End of the straight-line run from `start`: one past the first
+    /// control transfer or halt, capped at the program end.
+    fn straight_run_end(prog: &Program, start: u64, end: u64) -> u64 {
+        let mut pc = start;
+        while pc < end {
+            match prog.fetch(pc) {
+                Ok(inst)
+                    if inst.control_target() != ControlTarget::None
+                        || matches!(inst, Inst::Halt) =>
+                {
+                    return pc + INST_BYTES;
+                }
+                Ok(_) => pc += INST_BYTES,
+                Err(_) => return pc,
+            }
+        }
+        end
+    }
+
+    /// The block containing `pc`, if `pc` is inside the program.
+    pub fn block_of(&self, pc: u64) -> Option<BlockId> {
+        let (_, &id) = self.by_start.range(..=pc).next_back()?;
+        if pc < self.blocks[id].end {
+            Some(id)
+        } else {
+            None
+        }
+    }
+
+    /// Block ids reachable from the entry block, in no particular
+    /// order; `Unknown` edges contribute nothing (they have no
+    /// destination).
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.blocks.len()];
+        if self.blocks.is_empty() {
+            return seen;
+        }
+        let mut work = vec![0];
+        seen[0] = true;
+        while let Some(b) = work.pop() {
+            for &(dst, _) in &self.blocks[b].succs {
+                if let Some(d) = dst {
+                    if !seen[d] {
+                        seen[d] = true;
+                        work.push(d);
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// Whether any reachable block ends in an indirect jump the
+    /// analysis cannot follow (its successor set is incomplete).
+    pub fn has_unknown_edges(&self) -> bool {
+        let seen = self.reachable();
+        self.blocks
+            .iter()
+            .enumerate()
+            .any(|(i, b)| seen[i] && b.succs.iter().any(|&(_, k)| k == EdgeKind::Unknown))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfm_isa::reg::names::*;
+    use pfm_isa::Asm;
+
+    /// li a0, 3; loop: addi a0, a0, -1; bne a0, x0, loop; halt
+    fn counted_loop() -> Program {
+        let mut a = Asm::new(0x1000);
+        let top = a.label();
+        a.li(A0, 3);
+        a.place(top);
+        a.addi(A0, A0, -1);
+        a.bne(A0, X0, top);
+        a.halt();
+        a.finish().expect("assembles")
+    }
+
+    #[test]
+    fn loop_program_has_three_blocks() {
+        let prog = counted_loop();
+        let cfg = Cfg::build(&prog);
+        // [li] [addi; bne] [halt]
+        assert_eq!(cfg.blocks.len(), 3);
+        assert_eq!(cfg.blocks[0].start, 0x1000);
+        assert_eq!(cfg.blocks[1].succs.len(), 2, "taken + fall-through");
+        assert!(cfg.blocks[2].succs.is_empty(), "halt is terminal");
+        assert!(!cfg.has_unknown_edges());
+        assert!(cfg.reachable().iter().all(|&r| r));
+    }
+
+    #[test]
+    fn block_of_maps_interior_pcs() {
+        let prog = counted_loop();
+        let cfg = Cfg::build(&prog);
+        assert_eq!(cfg.block_of(0x1000), Some(0));
+        assert_eq!(cfg.block_of(0x1004), Some(1));
+        assert_eq!(cfg.block_of(0x1008), Some(1));
+        assert_eq!(cfg.block_of(0x100c), Some(2));
+        assert_eq!(cfg.block_of(0x2000), None);
+    }
+
+    #[test]
+    fn call_and_ret_are_linked_via_return_edges() {
+        let mut a = Asm::new(0);
+        let f = a.label();
+        a.call(f); // 0x0: call f, return site 0x4
+        a.halt(); // 0x4
+        a.place(f);
+        a.ret(); // 0x8
+        let prog = a.finish().expect("assembles");
+        let cfg = Cfg::build(&prog);
+        let callee = cfg.block_of(0x8).expect("callee block");
+        let site = cfg.block_of(0x4).expect("return-site block");
+        assert!(cfg.blocks[callee]
+            .succs
+            .iter()
+            .any(|&(d, k)| d == Some(site) && k == EdgeKind::Return));
+        assert!(!cfg.has_unknown_edges());
+    }
+
+    #[test]
+    fn computed_jalr_is_an_unknown_edge_not_a_dropped_one() {
+        let mut a = Asm::new(0);
+        a.li(A0, 0x100);
+        a.jalr(X0, A0, 0);
+        a.halt();
+        let prog = a.finish().expect("assembles");
+        let cfg = Cfg::build(&prog);
+        let jb = cfg.block_of(0x4).expect("jalr block");
+        assert_eq!(cfg.blocks[jb].succs, vec![(None, EdgeKind::Unknown)]);
+        assert!(cfg.has_unknown_edges());
+    }
+
+    #[test]
+    fn missing_halt_is_a_fall_off_end_escape() {
+        let mut a = Asm::new(0);
+        a.li(A0, 1);
+        a.addi(A0, A0, 1);
+        let prog = a.finish().expect("assembles");
+        let cfg = Cfg::build(&prog);
+        assert_eq!(cfg.blocks.len(), 1);
+        assert_eq!(cfg.blocks[0].escapes, vec![Escape::FallsOffEnd]);
+    }
+
+    #[test]
+    fn out_of_range_target_is_an_escape() {
+        let mut a = Asm::new(0);
+        a.push(pfm_isa::Inst::Jal {
+            rd: X0,
+            target: 0x8000,
+        });
+        a.halt();
+        let prog = a.finish().expect("assembles");
+        let cfg = Cfg::build(&prog);
+        assert_eq!(cfg.blocks[0].escapes, vec![Escape::BadTarget(0x8000)]);
+    }
+}

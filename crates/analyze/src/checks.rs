@@ -1,0 +1,184 @@
+//! The check suite: everything `pfm-analyze` can say about one
+//! assembled program, as a flat list of [`Finding`]s.
+
+use crate::cfg::{Cfg, Escape};
+use crate::dataflow::InitAnalysis;
+use crate::dom::{natural_loops, Dominators, NaturalLoop};
+use crate::{Finding, WatchEntry};
+use pfm_fabric::WatchKind;
+use pfm_isa::inst::INST_BYTES;
+use pfm_isa::Program;
+
+/// 4 KiB page granularity shared with `SparseMem`.
+const PAGE_SHIFT: u64 = 12;
+
+/// Runs every program-level check. `watch` is the merged watchlist
+/// (component configs, FST and RST entries, tagged by origin) and
+/// `data_pages` the base addresses of the initialized data image's
+/// resident pages (see `SparseMem::resident_page_addrs`).
+pub fn run(
+    prog: &Program,
+    cfg: &Cfg,
+    dom: &Dominators,
+    init: &InitAnalysis,
+    watch: &[WatchEntry],
+    data_pages: &[u64],
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let loops = natural_loops(cfg, dom);
+    let reachable = cfg.reachable();
+
+    // Uninitialized-register reads (forward dataflow).
+    for u in &init.uninit_reads {
+        findings.push(Finding {
+            check: "uninit-read",
+            pc: Some(u.pc),
+            origin: String::new(),
+            message: format!(
+                "{} is read at {:#x} but not written on every path reaching it",
+                u.reg, u.pc
+            ),
+        });
+    }
+
+    // Unreachable blocks, and range escapes on the reachable ones.
+    for (id, block) in cfg.blocks.iter().enumerate() {
+        if !reachable[id] {
+            findings.push(Finding {
+                check: "unreachable-block",
+                pc: Some(block.start),
+                origin: String::new(),
+                message: format!(
+                    "block {:#x}..{:#x} is unreachable from the entry",
+                    block.start, block.end
+                ),
+            });
+            continue;
+        }
+        for esc in &block.escapes {
+            match esc {
+                Escape::FallsOffEnd => findings.push(Finding {
+                    check: "fall-off-end",
+                    pc: Some(block.end - INST_BYTES),
+                    origin: String::new(),
+                    message: format!(
+                        "control falls past the end of the program after {:#x} \
+                         (no halt, branch or jump)",
+                        block.end - INST_BYTES
+                    ),
+                }),
+                Escape::BadTarget(t) => findings.push(Finding {
+                    check: "bad-fetch-target",
+                    pc: Some(block.end - INST_BYTES),
+                    origin: String::new(),
+                    message: format!(
+                        "{:#x} transfers control to {t:#x}, outside the program \
+                         range {:#x}..{:#x}",
+                        block.end - INST_BYTES,
+                        prog.base(),
+                        prog.end()
+                    ),
+                }),
+            }
+        }
+    }
+
+    // Code image vs initialized data image, at page granularity.
+    if prog.end() > prog.base() {
+        let code_lo = prog.base() >> PAGE_SHIFT;
+        let code_hi = (prog.end() - 1) >> PAGE_SHIFT;
+        for &page in data_pages {
+            let p = page >> PAGE_SHIFT;
+            if p >= code_lo && p <= code_hi {
+                findings.push(Finding {
+                    check: "code-data-overlap",
+                    pc: Some(page),
+                    origin: String::new(),
+                    message: format!(
+                        "initialized data page {page:#x} overlaps the code \
+                         region {:#x}..{:#x}",
+                        prog.base(),
+                        prog.end()
+                    ),
+                });
+            }
+        }
+    }
+
+    // Agent-watchlist validation.
+    for entry in watch {
+        if let Some(msg) = watch_mismatch(prog, cfg, &loops, entry) {
+            findings.push(Finding {
+                check: "watch-mismatch",
+                pc: Some(entry.pc),
+                origin: entry.origin.clone(),
+                message: msg,
+            });
+        }
+    }
+
+    findings.sort_by(|a, b| (a.pc, a.check).cmp(&(b.pc, b.check)));
+    findings
+}
+
+/// Why one watchlist entry does not hold against the program, if it
+/// does not.
+fn watch_mismatch(
+    prog: &Program,
+    cfg: &Cfg,
+    loops: &[NaturalLoop],
+    entry: &WatchEntry,
+) -> Option<String> {
+    let Ok(inst) = prog.fetch(entry.pc) else {
+        return Some(format!(
+            "watched PC {:#x} (expected {}) is outside the program range {:#x}..{:#x}",
+            entry.pc,
+            entry.kind,
+            prog.base(),
+            prog.end()
+        ));
+    };
+    let expected = entry.kind;
+    let ok = match expected {
+        WatchKind::CondBranch => inst.is_cond_branch(),
+        WatchKind::Load => inst.is_load(),
+        WatchKind::Store => inst.is_store(),
+        WatchKind::DestValue => inst.info().dst.is_some(),
+        WatchKind::LoopBranch => inst.is_cond_branch() && is_loop_branch(cfg, loops, entry.pc),
+    };
+    if ok {
+        return None;
+    }
+    Some(format!(
+        "watched PC {:#x} expects a {} but the program has `{inst}`{}",
+        entry.pc,
+        expected,
+        if expected == WatchKind::LoopBranch && inst.is_cond_branch() {
+            " outside any natural loop it controls"
+        } else {
+            ""
+        }
+    ))
+}
+
+/// Whether the conditional branch at `pc` controls a natural loop: it
+/// sits inside a loop and either forms the back edge or has an exit
+/// edge leaving the loop body.
+fn is_loop_branch(cfg: &Cfg, loops: &[NaturalLoop], pc: u64) -> bool {
+    let Some(block) = cfg.block_of(pc) else {
+        return false;
+    };
+    // A branch always terminates its block, so `pc` must be the last
+    // instruction — otherwise the CFG was built over different code.
+    if pc + INST_BYTES != cfg.blocks[block].end {
+        return false;
+    }
+    loops.iter().any(|l| {
+        l.contains(block)
+            && (block == l.latch
+                || cfg.blocks[block]
+                    .succs
+                    .iter()
+                    .any(|&(dst, _)| dst.is_none_or(|d| !l.contains(d))))
+    })
+}

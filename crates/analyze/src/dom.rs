@@ -1,0 +1,270 @@
+//! Dominator tree and natural-loop detection over a [`Cfg`].
+//!
+//! Uses the Cooper–Harvey–Kennedy iterative algorithm on a reverse
+//! post-order: simple, allocation-light and plenty fast at kernel
+//! scale (tens of blocks). Unreachable blocks have no dominator and
+//! belong to no loop; the unreachable-block *check* reports them
+//! separately, so here they are simply skipped.
+
+use crate::cfg::{BlockId, Cfg};
+
+/// Immediate-dominator table: `idom[b]` is `b`'s immediate dominator,
+/// `None` for the entry block and for unreachable blocks.
+#[derive(Clone, Debug)]
+pub struct Dominators {
+    idom: Vec<Option<BlockId>>,
+    /// Reverse post-order position of each block (usize::MAX when
+    /// unreachable); the intersection walk climbs by this ordering.
+    rpo_pos: Vec<usize>,
+}
+
+impl Dominators {
+    /// Computes dominators for every block reachable from the entry.
+    pub fn compute(cfg: &Cfg) -> Dominators {
+        let n = cfg.blocks.len();
+        let rpo = reverse_post_order(cfg);
+        let mut rpo_pos = vec![usize::MAX; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_pos[b] = i;
+        }
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        if n == 0 {
+            return Dominators { idom, rpo_pos };
+        }
+        idom[0] = Some(0); // sentinel: the entry dominates itself
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &cfg.preds[b] {
+                    if idom[p].is_none() {
+                        continue; // predecessor not yet processed
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_pos, p, cur),
+                    });
+                }
+                if new_idom.is_some() && idom[b] != new_idom {
+                    idom[b] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        idom[0] = None; // drop the sentinel for the public view
+        Dominators { idom, rpo_pos }
+    }
+
+    /// Whether `a` dominates `b` (reflexively). Unreachable blocks
+    /// dominate nothing and are dominated by nothing.
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.rpo_pos[a] == usize::MAX || self.rpo_pos[b] == usize::MAX {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur] {
+                Some(d) => cur = d,
+                None => return false,
+            }
+        }
+    }
+
+    /// The immediate dominator of `b` (`None` for the entry and for
+    /// unreachable blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom[b]
+    }
+}
+
+/// Reverse post-order of the blocks reachable from the entry.
+fn reverse_post_order(cfg: &Cfg) -> Vec<BlockId> {
+    let n = cfg.blocks.len();
+    let mut state = vec![0u8; n]; // 0 unseen, 1 on stack, 2 done
+    let mut post = Vec::with_capacity(n);
+    if n == 0 {
+        return post;
+    }
+    // Iterative DFS with an explicit work stack (block, next-succ).
+    let mut stack: Vec<(BlockId, usize)> = vec![(0, 0)];
+    state[0] = 1;
+    while let Some((b, i)) = stack.pop() {
+        let succs = &cfg.blocks[b].succs;
+        if i < succs.len() {
+            stack.push((b, i + 1));
+            if let (Some(d), _) = succs[i] {
+                if state[d] == 0 {
+                    state[d] = 1;
+                    stack.push((d, 0));
+                }
+            }
+        } else {
+            state[b] = 2;
+            post.push(b);
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// Two-finger idom intersection along the RPO ordering.
+fn intersect(
+    idom: &[Option<BlockId>],
+    rpo_pos: &[usize],
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while rpo_pos[a] > rpo_pos[b] {
+            a = idom[a].unwrap_or(0);
+        }
+        while rpo_pos[b] > rpo_pos[a] {
+            b = idom[b].unwrap_or(0);
+        }
+    }
+    a
+}
+
+/// A natural loop: the target of a back edge plus everything that can
+/// reach the back edge's source without passing through the header.
+#[derive(Clone, Debug)]
+pub struct NaturalLoop {
+    /// The loop header (dominates every block in the loop).
+    pub header: BlockId,
+    /// Source of the back edge (`latch → header`).
+    pub latch: BlockId,
+    /// All member blocks, header and latch included, sorted.
+    pub body: Vec<BlockId>,
+}
+
+impl NaturalLoop {
+    /// Whether `b` is inside this loop.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.body.binary_search(&b).is_ok()
+    }
+}
+
+/// Finds every natural loop: one per back edge `u → v` where `v`
+/// dominates `u`.
+pub fn natural_loops(cfg: &Cfg, dom: &Dominators) -> Vec<NaturalLoop> {
+    let mut loops = Vec::new();
+    for (u, block) in cfg.blocks.iter().enumerate() {
+        for &(dst, _) in &block.succs {
+            let Some(v) = dst else { continue };
+            if !dom.dominates(v, u) {
+                continue;
+            }
+            // Collect the body by walking predecessors from the latch,
+            // stopping at the header.
+            let mut body = vec![v];
+            let mut work = vec![u];
+            while let Some(b) = work.pop() {
+                if body.contains(&b) {
+                    continue;
+                }
+                body.push(b);
+                for &p in &cfg.preds[b] {
+                    work.push(p);
+                }
+            }
+            body.sort_unstable();
+            loops.push(NaturalLoop {
+                header: v,
+                latch: u,
+                body,
+            });
+        }
+    }
+    loops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfm_isa::reg::names::*;
+    use pfm_isa::{Asm, Program};
+
+    /// Diamond: entry branches, both arms rejoin, then a counted loop.
+    fn diamond_then_loop() -> Program {
+        let mut a = Asm::new(0);
+        let arm = a.label();
+        let join = a.label();
+        let top = a.label();
+        a.li(A0, 4); // b0
+        a.bne(A0, X0, arm);
+        a.li(A1, 1); // b1: fall arm
+        a.j(join);
+        a.place(arm);
+        a.li(A1, 2); // b2: taken arm
+        a.place(join);
+        a.place(top);
+        a.addi(A0, A0, -1); // b3: loop body == header
+        a.bne(A0, X0, top);
+        a.halt(); // b4
+        a.finish().expect("assembles")
+    }
+
+    #[test]
+    fn dominators_of_diamond() {
+        let prog = diamond_then_loop();
+        let cfg = Cfg::build(&prog);
+        let dom = Dominators::compute(&cfg);
+        let b = |pc| cfg.block_of(pc).expect("block");
+        let entry = b(0x0);
+        let fall = b(0x8);
+        let taken = b(0x10);
+        let join = b(0x14);
+        assert!(dom.dominates(entry, join));
+        assert!(!dom.dominates(fall, join), "join reachable around fall");
+        assert!(!dom.dominates(taken, join));
+        assert_eq!(dom.idom(join), Some(entry));
+        assert_eq!(dom.idom(entry), None);
+    }
+
+    #[test]
+    fn loop_detection_finds_the_back_edge() {
+        let prog = diamond_then_loop();
+        let cfg = Cfg::build(&prog);
+        let dom = Dominators::compute(&cfg);
+        let loops = natural_loops(&cfg, &dom);
+        assert_eq!(loops.len(), 1);
+        let l = &loops[0];
+        let header = cfg.block_of(0x14).expect("loop header block");
+        assert_eq!(l.header, header);
+        assert_eq!(l.latch, header, "single-block loop latches on itself");
+        assert_eq!(l.body, vec![header]);
+    }
+
+    #[test]
+    fn straight_line_program_has_no_loops() {
+        let mut a = Asm::new(0);
+        a.li(A0, 1);
+        a.halt();
+        let prog = a.finish().expect("assembles");
+        let cfg = Cfg::build(&prog);
+        let dom = Dominators::compute(&cfg);
+        assert!(natural_loops(&cfg, &dom).is_empty());
+    }
+
+    #[test]
+    fn unreachable_blocks_are_outside_the_dom_relation() {
+        let mut a = Asm::new(0);
+        let end = a.label();
+        a.j(end); // b0
+        a.li(A0, 7); // b1: unreachable
+        a.place(end);
+        a.halt(); // b2
+        let prog = a.finish().expect("assembles");
+        let cfg = Cfg::build(&prog);
+        let dom = Dominators::compute(&cfg);
+        let dead = cfg.block_of(0x4).expect("dead block");
+        let live = cfg.block_of(0x8).expect("halt block");
+        assert!(!dom.dominates(0, dead));
+        assert!(!dom.dominates(dead, live));
+        assert!(dom.dominates(0, live));
+    }
+}

@@ -1,0 +1,72 @@
+//! `pfm-analyze`: static analysis of every registered use case.
+//!
+//! Builds each use case in the throughput-suite registry, merges its
+//! watchlist (custom component + FST + RST), and runs the `pfm-analyze`
+//! check suite — CFG construction, dominators/loops, dataflow, and
+//! watchlist validation — over the assembled kernel. Exits non-zero if
+//! any program has findings.
+//!
+//! ```text
+//! pfm-analyze                    # human-readable report
+//! pfm-analyze --json             # machine-readable (schema pfm-analyze/1)
+//! pfm-analyze --corrupt-watch astar   # test seam: must fail
+//! ```
+//!
+//! `--corrupt-watch <name>` redirects the named use case's first
+//! watchlist entry to a bogus PC before analysis; CI uses it to prove
+//! the analyzer has teeth (a clean report under corruption would mean
+//! the cross-check is vacuous).
+
+use pfm_analyze::report_to_json;
+use pfm_sim::analyze::analyze_all;
+
+fn main() {
+    let mut json = false;
+    let mut corrupt: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--corrupt-watch" => match it.next() {
+                Some(name) => corrupt = Some(name),
+                None => {
+                    eprintln!("pfm-analyze: --corrupt-watch needs a use-case name");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("pfm-analyze: unknown argument `{other}`");
+                eprintln!("usage: pfm-analyze [--json] [--corrupt-watch <usecase>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let report = analyze_all(corrupt.as_deref());
+    if let Some(name) = &corrupt {
+        if !report.iter().any(|(n, _)| n == name) {
+            eprintln!("pfm-analyze: no registered use case named `{name}`");
+            std::process::exit(2);
+        }
+    }
+
+    let total: usize = report.iter().map(|(_, f)| f.len()).sum();
+    if json {
+        println!("{}", report_to_json(&report));
+    } else {
+        for (name, findings) in &report {
+            if findings.is_empty() {
+                println!("{name}: clean");
+            } else {
+                println!("{name}: {} finding(s)", findings.len());
+                for f in findings {
+                    println!("  {f}");
+                }
+            }
+        }
+        println!("analyzed {} program(s), {} finding(s)", report.len(), total);
+    }
+    if total > 0 {
+        std::process::exit(1);
+    }
+}

@@ -11,6 +11,7 @@
 //! repro --all --jobs 4       # four worker threads
 //! repro --list               # what can be regenerated
 //! repro --bench              # simulator MKIPS throughput benchmark
+//! repro --analyze            # static analysis of every use case
 //! repro --chaos              # fault-injection suite (checksum proof)
 //! repro --chaos-smoke        # CI-sized chaos subset
 //! repro --all --keep-going   # don't stop claiming runs on failure
@@ -61,6 +62,7 @@ fn main() {
     let mut all = false;
     let mut list = false;
     let mut bench = false;
+    let mut analyze = false;
     let mut keep_going = false;
     let mut jobs: Option<usize> = None;
     let mut ids: Vec<String> = Vec::new();
@@ -73,6 +75,7 @@ fn main() {
             "--all" => all = true,
             "--list" => list = true,
             "--bench" => bench = true,
+            "--analyze" => analyze = true,
             "--keep-going" => keep_going = true,
             "--chaos" => ids.push("chaos".to_string()),
             "--chaos-smoke" => ids.push("chaos-smoke".to_string()),
@@ -102,13 +105,41 @@ fn main() {
         eprintln!();
         print_menu(&mut std::io::stderr());
         eprintln!(
-            "\nflags: --all --quick --list --bench --chaos --chaos-smoke --keep-going --jobs <N>"
+            "\nflags: --all --quick --list --bench --analyze --chaos --chaos-smoke \
+             --keep-going --jobs <N>"
         );
         std::process::exit(1);
     }
 
     if list {
         print_menu(&mut std::io::stdout());
+        return;
+    }
+
+    // Static analysis gate: cross-check every registered use case's
+    // configuration against its assembled kernel (same suite as the
+    // `pfm-analyze` binary). Any finding is a failure.
+    if analyze {
+        let report = pfm_sim::analyze::analyze_all(None);
+        let mut total = 0usize;
+        for (name, findings) in &report {
+            if findings.is_empty() {
+                println!("analyze {name}: clean");
+            } else {
+                total += findings.len();
+                println!("analyze {name}: {} finding(s)", findings.len());
+                for f in findings {
+                    println!("  {f}");
+                }
+            }
+        }
+        if total > 0 {
+            fail(
+                "static analysis found defects",
+                format!("{total} finding(s) across {} program(s)", report.len()),
+            );
+        }
+        println!("analyze: {} program(s) clean", report.len());
         return;
     }
 

@@ -21,7 +21,7 @@
 //! CAM contributions) are freed as the Retire Agent observes the
 //! loop-induction variable retire.
 
-use pfm_fabric::{CustomComponent, FabricIo, FabricLoad, ObsPacket, PredPacket};
+use pfm_fabric::{CustomComponent, FabricIo, FabricLoad, ObsPacket, PredPacket, WatchKind};
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
@@ -493,6 +493,22 @@ impl CustomComponent for AstarPredictor {
 
     fn name(&self) -> &'static str {
         "astar-custom-bp"
+    }
+
+    fn watchlist(&self) -> Vec<(u64, WatchKind)> {
+        let mut w = vec![
+            (self.cfg.fillnum_pc, WatchKind::DestValue),
+            (self.cfg.wl_base_pc, WatchKind::DestValue),
+            (self.cfg.wl_len_pc, WatchKind::DestValue),
+            (self.cfg.induction_pc, WatchKind::DestValue),
+        ];
+        for &pc in &self.cfg.waymap_branch_pcs {
+            w.push((pc, WatchKind::CondBranch));
+        }
+        for &pc in &self.cfg.maparp_branch_pcs {
+            w.push((pc, WatchKind::CondBranch));
+        }
+        w
     }
 }
 

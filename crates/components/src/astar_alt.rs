@@ -13,7 +13,7 @@
 //! one (125% vs 154% IPC improvement in the paper).
 
 use crate::astar::NEIGHBORS;
-use pfm_fabric::{CustomComponent, FabricIo, ObsPacket, PredPacket};
+use pfm_fabric::{CustomComponent, FabricIo, ObsPacket, PredPacket, WatchKind};
 use std::collections::VecDeque;
 
 const MIRROR_LOG2: usize = 16; // 64K entries per table (§5 scale: two 32KB-class tables)
@@ -233,6 +233,24 @@ impl CustomComponent for AstarAltPredictor {
 
     fn name(&self) -> &'static str {
         "astar-alt"
+    }
+
+    fn watchlist(&self) -> Vec<(u64, WatchKind)> {
+        let mut w = vec![
+            (self.cfg.fillnum_pc, WatchKind::DestValue),
+            (self.cfg.call_marker_pc, WatchKind::DestValue),
+            (self.cfg.induction_pc, WatchKind::DestValue),
+        ];
+        for &pc in &self.cfg.worklist_store_pcs {
+            w.push((pc, WatchKind::Store));
+        }
+        for &pc in &self.cfg.waymap_branch_pcs {
+            w.push((pc, WatchKind::CondBranch));
+        }
+        for &pc in &self.cfg.maparp_branch_pcs {
+            w.push((pc, WatchKind::CondBranch));
+        }
+        w
     }
 }
 

@@ -14,7 +14,7 @@
 //!   searching the neighbor window for prior instances of the same
 //!   neighbor (the paper's presence rule).
 
-use pfm_fabric::{CustomComponent, FabricIo, FabricLoad, ObsPacket, PredPacket};
+use pfm_fabric::{CustomComponent, FabricIo, FabricLoad, ObsPacket, PredPacket, WatchKind};
 use std::collections::{BTreeMap, VecDeque};
 
 /// Static configuration for the bfs component.
@@ -590,6 +590,19 @@ impl CustomComponent for BfsComponent {
 
     fn debug_state(&self) -> String {
         format!("{self:?}")
+    }
+
+    fn watchlist(&self) -> Vec<(u64, WatchKind)> {
+        vec![
+            (self.cfg.frontier_base_pc, WatchKind::DestValue),
+            (self.cfg.frontier_len_pc, WatchKind::DestValue),
+            (self.cfg.induction_pc, WatchKind::DestValue),
+            // The trip-count predictor's target controls the neighbor
+            // loop; the dominator analysis must agree it is loop
+            // control, not just any branch.
+            (self.cfg.loop_branch_pc, WatchKind::LoopBranch),
+            (self.cfg.visited_branch_pc, WatchKind::CondBranch),
+        ]
     }
 }
 

@@ -16,7 +16,7 @@
 //!   distance.
 //! * *leslie*: multiple engines, one per ROI.
 
-use pfm_fabric::{CustomComponent, FabricIo, FabricLoad, ObsPacket};
+use pfm_fabric::{CustomComponent, FabricIo, FabricLoad, ObsPacket, WatchKind};
 
 /// The paper's epoch-based adaptive prefetch-distance controller: the
 /// number of retired delinquent-load instances per epoch is a proxy for
@@ -322,6 +322,18 @@ impl CustomComponent for CustomPrefetcher {
 
     fn name(&self) -> &'static str {
         self.name
+    }
+
+    fn watchlist(&self) -> Vec<(u64, WatchKind)> {
+        let mut w = Vec::new();
+        for e in &self.engines {
+            for &pc in &e.cfg.base_pcs {
+                w.push((pc, WatchKind::DestValue));
+            }
+            w.push((e.cfg.count_pc, WatchKind::DestValue));
+            w.push((e.cfg.load_pc, WatchKind::Load));
+        }
+        w
     }
 }
 

@@ -20,7 +20,7 @@
 //! neighbor loop) need the nested-walk extension, which is why the
 //! dedicated [`crate::bfs::BfsComponent`] still exists.
 
-use pfm_fabric::{CustomComponent, FabricIo, FabricLoad, ObsPacket, PredPacket};
+use pfm_fabric::{CustomComponent, FabricIo, FabricLoad, ObsPacket, PredPacket, WatchKind};
 use std::collections::{BTreeMap, VecDeque};
 
 /// How a derived lane turns its loaded value into a branch predicate.
@@ -395,6 +395,19 @@ impl CustomComponent for TemplateComponent {
 
     fn name(&self) -> &'static str {
         "templated-runahead"
+    }
+
+    fn watchlist(&self) -> Vec<(u64, WatchKind)> {
+        let mut w = vec![
+            (self.spec.tag_pc, WatchKind::DestValue),
+            (self.spec.wl_base_pc, WatchKind::DestValue),
+            (self.spec.wl_len_pc, WatchKind::DestValue),
+            (self.spec.induction_pc, WatchKind::DestValue),
+        ];
+        for lane in &self.spec.lanes {
+            w.push((lane.branch_pc, WatchKind::CondBranch));
+        }
+        w
     }
 }
 

@@ -152,6 +152,49 @@ impl<'a> FabricIo<'a> {
     }
 }
 
+/// What kind of instruction a component expects at a PC it watches.
+///
+/// A component's configuration names specific PCs in the retired
+/// stream (branch PCs a predictor covers, the load a prefetcher
+/// shadows, values an agent snoops). Each such PC carries an implicit
+/// contract with the assembled kernel — `pfm-analyze` checks the
+/// contract statically via [`CustomComponent::watchlist`]:
+///
+/// * [`WatchKind::CondBranch`] — must decode to a conditional branch.
+/// * [`WatchKind::LoopBranch`] — a conditional branch that controls a
+///   natural loop (it is the back-edge, or it exits the loop body).
+/// * [`WatchKind::Load`] — must decode to a load (integer or FP).
+/// * [`WatchKind::Store`] — must decode to a store (integer or FP).
+/// * [`WatchKind::DestValue`] — must decode to an instruction with a
+///   destination register (there is a value to snoop at retire).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WatchKind {
+    /// A conditional branch the component predicts or observes.
+    CondBranch,
+    /// A conditional branch controlling a natural loop.
+    LoopBranch,
+    /// A load instruction (prefetch target).
+    Load,
+    /// A store instruction whose value is observed.
+    Store,
+    /// Any instruction with a destination register whose value is
+    /// observed at retire.
+    DestValue,
+}
+
+impl core::fmt::Display for WatchKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            WatchKind::CondBranch => "cond-branch",
+            WatchKind::LoopBranch => "loop-branch",
+            WatchKind::Load => "load",
+            WatchKind::Store => "store",
+            WatchKind::DestValue => "dest-value",
+        };
+        f.write_str(s)
+    }
+}
+
 /// An application-specific microarchitectural component synthesized to
 /// the reconfigurable fabric.
 ///
@@ -181,6 +224,16 @@ pub trait CustomComponent {
     /// components inject no faults and report `None`.
     fn fault_stats(&self) -> Option<FaultStats> {
         None
+    }
+
+    /// Every PC this component's configuration watches, with the
+    /// instruction kind the PC is assumed to name. `pfm-analyze`
+    /// cross-checks each entry against the assembled kernel; a config
+    /// edit or kernel edit that breaks the assumption becomes a finding
+    /// instead of a silently dead use case. Components with no PC
+    /// assumptions (or none worth checking) return an empty list.
+    fn watchlist(&self) -> Vec<(u64, WatchKind)> {
+        Vec::new()
     }
 }
 

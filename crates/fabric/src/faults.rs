@@ -534,6 +534,11 @@ impl CustomComponent for FaultyComponent {
         s.rng_draws = self.rng.draws();
         Some(s)
     }
+
+    fn watchlist(&self) -> Vec<(u64, crate::component::WatchKind)> {
+        // Fault injection perturbs timing, never the PC contract.
+        self.inner.watchlist()
+    }
 }
 
 #[cfg(test)]

@@ -58,7 +58,7 @@ pub mod faults;
 pub mod packets;
 pub mod params;
 
-pub use component::{CustomComponent, FabricIo};
+pub use component::{CustomComponent, FabricIo, WatchKind};
 pub use fabric::{Fabric, FabricStats};
 pub use faults::{FaultPlan, FaultRng, FaultScenario, FaultStats, FaultyComponent};
 pub use packets::{FabricLoad, LoadResponse, ObsPacket, ObserveKind, PredPacket, RstEntry};

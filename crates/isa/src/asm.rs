@@ -526,6 +526,11 @@ impl Asm {
             fs2,
         })
     }
+    /// `fd = bits(rs1)` — move integer register bits into an FP
+    /// register (`fmv.d.x`); `fmv_d_x(fd, X0)` zeroes `fd`.
+    pub fn fmv_d_x(&mut self, fd: FReg, rs1: Reg) -> &mut Asm {
+        self.push(Inst::FMvToF { fd, rs1 })
+    }
 
     // ---- misc ----
 

@@ -287,6 +287,25 @@ pub enum ExecClass {
     Other,
 }
 
+/// Statically-decoded control-transfer target of an instruction.
+///
+/// Distinguishes "no control transfer at all" from "a transfer whose
+/// target is not statically known" — a distinction [`Inst::direct_target`]
+/// cannot express (it returns `None` for both), which matters to CFG
+/// construction: an indirect jump must become an explicit unknown edge,
+/// not silently disappear.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ControlTarget {
+    /// Not a control-transfer instruction; execution falls through.
+    None,
+    /// Direct transfer to a statically-known absolute address
+    /// (the taken path of a conditional branch, or a `jal`).
+    Direct(u64),
+    /// Indirect transfer (`jalr`): the target is a register value and
+    /// cannot be resolved statically.
+    Indirect,
+}
+
 /// Static decode information for an instruction.
 #[derive(Clone, Copy, Debug)]
 pub struct InstInfo {
@@ -426,12 +445,40 @@ impl Inst {
     }
 
     /// Statically-known direct target for branches and `jal`, if any.
+    ///
+    /// Returns `None` for both non-control instructions *and* indirect
+    /// jumps; callers that must tell those apart (CFG construction)
+    /// should use [`Inst::control_target`] instead.
     #[inline]
     pub fn direct_target(&self) -> Option<u64> {
-        match *self {
-            Inst::Branch { target, .. } | Inst::Jal { target, .. } => Some(target),
+        match self.control_target() {
+            ControlTarget::Direct(t) => Some(t),
             _ => None,
         }
+    }
+
+    /// The control-transfer target of this instruction, with `jalr`
+    /// reported as an explicit [`ControlTarget::Indirect`] case rather
+    /// than folded into "no target".
+    #[inline]
+    pub fn control_target(&self) -> ControlTarget {
+        match *self {
+            Inst::Branch { target, .. } | Inst::Jal { target, .. } => ControlTarget::Direct(target),
+            Inst::Jalr { .. } => ControlTarget::Indirect,
+            _ => ControlTarget::None,
+        }
+    }
+
+    /// Whether this instruction is a function return in the assembler's
+    /// calling convention: `jalr x0, 0(ra)` (see `Asm::ret`). CFG
+    /// construction treats returns differently from arbitrary indirect
+    /// jumps (edges to every call's return site instead of unknown).
+    #[inline]
+    pub fn is_ret(&self) -> bool {
+        matches!(
+            self,
+            Inst::Jalr { rd, base, offset: 0 } if rd.is_zero() && *base == Reg::RA
+        )
     }
 }
 
@@ -609,6 +656,63 @@ mod tests {
             fs2: FT2,
         };
         assert_eq!(fd.info().latency, 12);
+    }
+
+    #[test]
+    fn control_target_separates_indirect_from_none() {
+        let b = Inst::Branch {
+            cond: BranchCond::Ne,
+            rs1: A0,
+            rs2: X0,
+            target: 0x40,
+        };
+        assert_eq!(b.control_target(), ControlTarget::Direct(0x40));
+        let j = Inst::Jal {
+            rd: X0,
+            target: 0x80,
+        };
+        assert_eq!(j.control_target(), ControlTarget::Direct(0x80));
+        let jr = Inst::Jalr {
+            rd: X0,
+            base: A0,
+            offset: 0,
+        };
+        // The load-bearing distinction: an indirect jump is *not* the
+        // same as "no control transfer", even though both have no
+        // statically-known direct target.
+        assert_eq!(jr.control_target(), ControlTarget::Indirect);
+        assert_eq!(jr.direct_target(), None);
+        assert_eq!(Inst::Nop.control_target(), ControlTarget::None);
+        assert_eq!(Inst::Nop.direct_target(), None);
+    }
+
+    #[test]
+    fn ret_is_recognised_by_shape() {
+        let ret = Inst::Jalr {
+            rd: X0,
+            base: RA,
+            offset: 0,
+        };
+        assert!(ret.is_ret());
+        // Computed jumps and offset returns are plain indirect jumps.
+        let tail = Inst::Jalr {
+            rd: X0,
+            base: A0,
+            offset: 0,
+        };
+        assert!(!tail.is_ret());
+        let link = Inst::Jalr {
+            rd: RA,
+            base: RA,
+            offset: 0,
+        };
+        assert!(!link.is_ret());
+        let off = Inst::Jalr {
+            rd: X0,
+            base: RA,
+            offset: 8,
+        };
+        assert!(!off.is_ret());
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub mod program;
 pub mod reg;
 
 pub use asm::Asm;
-pub use inst::{ExecClass, Inst, InstInfo};
+pub use inst::{ControlTarget, ExecClass, Inst, InstInfo};
 pub use machine::{Machine, StepOut};
 pub use mem::{SparseMem, SpecMemory};
 pub use program::Program;

@@ -107,6 +107,21 @@ impl SparseMem {
         self.arena.len()
     }
 
+    /// Base addresses of every resident 4 KiB page, sorted ascending.
+    ///
+    /// A page is resident once any byte in it has been written, so this
+    /// is a conservative page-granular map of the initialized data
+    /// image — what `pfm-analyze` checks the code region against for
+    /// overlap. Off the hot path (one call per analysis, not per
+    /// access).
+    pub fn resident_page_addrs(&self) -> Vec<u64> {
+        // pfm-lint: allow(hash-iter): sorted before return, so the
+        // result is independent of hash-iteration order.
+        let mut pages: Vec<u64> = self.index.keys().map(|p| p << PAGE_SHIFT).collect();
+        pages.sort_unstable();
+        pages
+    }
+
     /// Monotonic write-generation counter; increments on every byte
     /// written. Two equal generations bracket a window with no
     /// committed-memory mutation.
@@ -530,6 +545,15 @@ mod tests {
         assert_eq!(m.read(addr, 8), 0x1122334455667788);
         assert_eq!(m.read_cached(addr, 8), 0x1122334455667788);
         assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn resident_page_addrs_sorted_and_page_granular() {
+        let mut m = SparseMem::new();
+        m.write_u8(0x9005, 1);
+        m.write_u8(0x1000, 1);
+        m.write(0x1FFC, 8, 0); // crosses into the 0x2000 page
+        assert_eq!(m.resident_page_addrs(), vec![0x1000, 0x2000, 0x9000]);
     }
 
     #[test]

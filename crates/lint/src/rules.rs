@@ -49,6 +49,14 @@ pub const ARCH_MUTATORS: &[&str] = &[
     "write_u8",
 ];
 
+/// Crates whose configuration structs name snoop PCs; the
+/// provenance/raw-hex-pc rule applies here. A PC spelled as a hex
+/// literal is positional trivia that silently goes stale when the
+/// kernel changes; PCs must be derived from assembler symbols
+/// (`Program::require_symbol`) so `pfm-analyze` can hold them to the
+/// watchlist contract.
+pub const PC_CONFIG_CRATES: &[&str] = &["components", "workloads", "sim"];
+
 /// Unordered-iteration methods on hash collections.
 const HASH_ITER_METHODS: &[&str] = &[
     "iter",
@@ -125,11 +133,19 @@ pub fn check(lexed: &Lexed, ctx: &FileContext) -> Vec<Finding> {
         .as_deref()
         .is_some_and(|c| AGENT_CRATES.contains(&c));
 
+    let in_pc_config = ctx
+        .crate_name
+        .as_deref()
+        .is_some_and(|c| PC_CONFIG_CRATES.contains(&c));
+
     if in_sim {
         determinism(lexed, ctx, &mut findings);
     }
     if in_agent {
         noninterference(lexed, ctx, &mut findings);
+    }
+    if in_pc_config {
+        provenance(lexed, ctx, &mut findings);
     }
     hygiene(lexed, ctx, &mut findings);
     robustness(lexed, ctx, in_agent, &mut findings);
@@ -360,6 +376,68 @@ fn noninterference(lexed: &Lexed, ctx: &FileContext, findings: &mut Vec<Finding>
     }
 }
 
+/// provenance/raw-hex-pc: a hex literal assigned (or bound) to a
+/// `*_pc`/`*_pcs` name in configuration-bearing crates. Watch PCs
+/// written as raw addresses drift silently when the kernel is edited;
+/// they must come out of the assembled program's symbol table.
+fn provenance(lexed: &Lexed, ctx: &FileContext, findings: &mut Vec<Finding>) {
+    let toks = &lexed.tokens;
+    let t = |i: usize| toks.get(i).map(|t| t.text.as_str());
+    for i in 0..toks.len() {
+        if lexed.in_test_region(i) {
+            continue;
+        }
+        let Some(name) = t(i) else { continue };
+        if !(name.ends_with("_pc") || name.ends_with("_pcs")) {
+            continue;
+        }
+        // `name: <init>` (struct literal / typed let) or `name = <init>`
+        // — but not `name::`, `name ==`, or a type position with no
+        // initializer (no hex literal will follow before the
+        // terminator in that case anyway).
+        let sep = t(i + 1);
+        if !matches!(sep, Some(":") | Some("=")) || t(i + 2) == sep {
+            continue;
+        }
+        // Scan the initializer expression: stop at `;` or a top-level
+        // `,`/`}`, descending into brackets so `vec![sym, 0x40]` is
+        // still caught. The window cap keeps pathological files cheap.
+        let mut depth = 0i32;
+        for j in (i + 2)..toks.len().min(i + 2 + 64) {
+            let Some(w) = t(j) else { break };
+            match w {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" => depth -= 1,
+                ";" => break,
+                "," | "}" if depth <= 0 => break,
+                "}" => depth -= 1,
+                _ => {
+                    if w.starts_with("0x") || w.starts_with("0X") {
+                        emit(
+                            lexed,
+                            findings,
+                            ctx,
+                            toks[j].line,
+                            "provenance",
+                            "raw-hex-pc",
+                            format!(
+                                "raw hex PC literal `{w}` assigned to `{name}`; \
+                                 derive watch PCs from assembler symbols \
+                                 (`Program::require_symbol`) or justify with \
+                                 `// pfm-lint: allow(raw-hex-pc)`"
+                            ),
+                        );
+                        break;
+                    }
+                }
+            }
+            if depth < 0 {
+                break;
+            }
+        }
+    }
+}
+
 /// hygiene/unwrap, hygiene/expect: no `.unwrap()`/`.expect(...)` in
 /// non-test library code.
 fn hygiene(lexed: &Lexed, ctx: &FileContext, findings: &mut Vec<Finding>) {
@@ -493,6 +571,35 @@ mod tests {
     fn allow_annotation_suppresses() {
         let src = "fn f() {\n  // pfm-lint: allow(hygiene)\n  x.unwrap();\n}";
         assert!(rules_of(src, "sim").is_empty());
+    }
+
+    #[test]
+    fn raw_hex_pc_flagged_only_in_config_crates() {
+        let src = "fn f() { let cfg = Config { load_pc: 0x1040, n: 4 }; }";
+        assert_eq!(rules_of(src, "components"), vec!["provenance/raw-hex-pc"]);
+        // The core crate has no watch-PC configs; rule does not apply.
+        assert!(rules_of(src, "core").is_empty());
+    }
+
+    #[test]
+    fn raw_hex_pc_sees_assignments_and_vec_elements() {
+        let src = "fn f() { base_pcs = vec![sym, 0x2000]; }";
+        assert_eq!(rules_of(src, "workloads"), vec!["provenance/raw-hex-pc"]);
+        let ok = "fn f() { let load_pc = program.require_symbol(\"load_pc\"); }";
+        assert!(rules_of(ok, "workloads").is_empty());
+        // A struct *definition*'s type annotation is not an initializer.
+        let def = "struct C { load_pc: u64, base_pcs: Vec<u64> }";
+        assert!(rules_of(def, "components").is_empty());
+    }
+
+    #[test]
+    fn raw_hex_pc_skips_comparisons_paths_and_allows() {
+        let cmp = "fn f() { if load_pc == 0x1040 { g(); } }";
+        assert!(rules_of(cmp, "sim").is_empty());
+        let path = "fn f() { let x = boot_pc::OFFSET; }";
+        assert!(rules_of(path, "sim").is_empty());
+        let allowed = "fn f() {\n  // pfm-lint: allow(raw-hex-pc)\n  let boot_pc = 0x1000;\n}";
+        assert!(rules_of(allowed, "sim").is_empty());
     }
 
     #[test]

@@ -190,6 +190,49 @@ fn panic_macros_are_fine_outside_agent_crates() {
     );
 }
 
+/// A source inside a PC-config crate (provenance applies).
+fn config_ctx() -> FileContext {
+    FileContext {
+        display: "crates/components/src/fixture.rs".to_string(),
+        crate_name: Some("components".to_string()),
+        exempt: false,
+    }
+}
+
+#[test]
+fn raw_hex_pcs_are_flagged() {
+    let src = include_str!("fixtures/raw_hex_pc_bad.rs");
+    let findings = lint_source(src, &config_ctx());
+    let hits = findings
+        .iter()
+        .filter(|f| f.rule == "raw-hex-pc")
+        .collect::<Vec<_>>();
+    // struct-literal field, vec! element, let binding, reassignment;
+    // the allow-annotated boot vector and the symbol-derived/compare
+    // sites stay silent.
+    assert_eq!(
+        hits.len(),
+        4,
+        "expected the four seeded sites: {findings:#?}"
+    );
+    assert!(hits.iter().all(|f| f.family == "provenance"));
+    assert!(hits.iter().any(|f| f.message.contains("`load_pc`")));
+    assert!(hits.iter().any(|f| f.message.contains("require_symbol")));
+}
+
+#[test]
+fn raw_hex_pcs_are_out_of_scope_for_tool_crates() {
+    // bench/lint tooling may name PCs numerically (e.g. CLI parsing
+    // or fixture tables); only configuration-bearing crates are held
+    // to symbol provenance.
+    let src = include_str!("fixtures/raw_hex_pc_bad.rs");
+    let findings = lint_source(src, &tool_ctx());
+    assert!(
+        findings.iter().all(|f| f.rule != "raw-hex-pc"),
+        "tool crates are out of provenance scope: {findings:#?}"
+    );
+}
+
 #[test]
 fn clean_fixture_is_clean_everywhere() {
     let src = include_str!("fixtures/clean.rs");

@@ -1,0 +1,40 @@
+//! Fixture: raw hex PC literals assigned to `*_pc`/`*_pcs` names.
+//! Each violation site is a watch PC spelled positionally instead of
+//! derived from the assembled program's symbol table.
+
+pub struct EngineConfig {
+    pub load_pc: u64,
+    pub base_pcs: Vec<u64>,
+}
+
+pub fn bad_struct_literal() -> EngineConfig {
+    EngineConfig {
+        load_pc: 0x1040,              // violation 1
+        base_pcs: vec![sym(), 0x2000], // violation 2 (inside vec!)
+    }
+}
+
+pub fn bad_let_and_assignment() -> u64 {
+    let induction_pc = 0x1014; // violation 3
+    let mut branch_pcs = Vec::new();
+    branch_pcs = vec![0x1100]; // violation 4
+    induction_pc + branch_pcs[0]
+}
+
+pub fn allowed_boot_vector() -> u64 {
+    // pfm-lint: allow(raw-hex-pc): the reset vector is an ISA constant.
+    let boot_pc = 0x1000;
+    boot_pc
+}
+
+pub fn clean_symbol_derived(program: &Program) -> u64 {
+    let load_pc = program.require_symbol("load_pc");
+    if load_pc == 0x1040 {
+        // comparisons are not assignments
+    }
+    load_pc
+}
+
+fn sym() -> u64 {
+    0
+}

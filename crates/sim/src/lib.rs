@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod bench;
 pub mod exec;
 pub mod experiments;

@@ -108,16 +108,16 @@ const GOLDEN: &[(&str, &str, u64)] = &[
     ("bfs-roads-slipstream", "pfm", 0x2145bcef98d5967c),
     ("bfs-youtube", "baseline", 0xcc9036f48c6d2cad),
     ("bfs-youtube", "pfm", 0xcd347456d2a1d589),
-    ("libquantum", "baseline", 0x92164b87a0972be1),
-    ("libquantum", "pfm", 0xa1181e4c30d9c587),
+    ("libquantum", "baseline", 0x6e1a23d3c44e67b6),
+    ("libquantum", "pfm", 0xd74629ee54d25f42),
     ("bwaves", "baseline", 0xa2c1ac7ad2aa7efb),
     ("bwaves", "pfm", 0x5240d278391daa16),
     ("lbm", "baseline", 0xa73ed1c544a065fb),
     ("lbm", "pfm", 0x5478d30cfcbf7473),
     ("milc", "baseline", 0x2874c375a3bbaee9),
     ("milc", "pfm", 0x566d57fd6ad7b09f),
-    ("leslie", "baseline", 0x72c6d73e038ddbbe),
-    ("leslie", "pfm", 0x8e9130443f0f3996),
+    ("leslie", "baseline", 0xb26c506d32b12e9f),
+    ("leslie", "pfm", 0x633c84d6ffb482e8),
 ];
 
 #[test]

@@ -127,6 +127,19 @@ mod sym {
     pub const WL_LEN: &str = "wl_len_pc";
     pub const YOFFSET: &str = "yoffset_pc";
     pub const INDUCTION: &str = "induction_pc";
+
+    /// Per-neighbor snoop points (`k` is the neighbor index).
+    pub fn waymap_branch(k: usize) -> String {
+        format!("waymap_branch_pc_{k}")
+    }
+    /// Per-neighbor `maparp` branch.
+    pub fn maparp_branch(k: usize) -> String {
+        format!("maparp_branch_pc_{k}")
+    }
+    /// Per-neighbor output-worklist store.
+    pub fn out_store(k: usize) -> String {
+        format!("out_store_pc_{k}")
+    }
 }
 
 /// Builds the astar use-case.
@@ -187,10 +200,6 @@ pub fn astar(params: &AstarParams) -> UseCase {
     let fill_done = a.label();
     let makebound2 = a.label();
     let end = a.label();
-
-    let mut waymap_branch_pcs = [0u64; NEIGHBORS];
-    let mut maparp_branch_pcs = [0u64; NEIGHBORS];
-    let mut out_store_pcs = Vec::new();
 
     a.li(S1, WAYMAP_BASE as i64);
     a.li(S2, MAPARP_BASE as i64);
@@ -263,15 +272,15 @@ pub fn astar(params: &AstarParams) -> UseCase {
         a.slli(T3, T2, 3);
         a.add(T3, S1, T3);
         a.lwu(T4, T3, 0); // waymap[index1].fillnum
-        waymap_branch_pcs[k] = a.here();
+        a.export(&sym::waymap_branch(k));
         a.beq(T4, S0, skip); // taken => already visited
         a.add(T5, S2, T2);
         a.lbu(T5, T5, 0); // maparp[index1]
-        maparp_branch_pcs[k] = a.here();
+        a.export(&sym::maparp_branch(k));
         a.bne(T5, X0, skip); // taken => blocked
         a.slli(T3, S6, 2);
         a.add(T3, S4, T3);
-        out_store_pcs.push(a.here());
+        a.export(&sym::out_store(k));
         a.sw(T2, T3, 0); // bound2p[bound2l] = index1
         a.addi(S6, S6, 1);
         a.slli(T3, T2, 3);
@@ -299,6 +308,17 @@ pub fn astar(params: &AstarParams) -> UseCase {
     let yoffset_pc = program.require_symbol(sym::YOFFSET);
     let induction_pc = program.require_symbol(sym::INDUCTION);
     let seed_store_pc = program.require_symbol(sym::SEED_STORE);
+    // Per-neighbor snoop PCs come back out of the assembled program's
+    // symbol table, not positional bookkeeping during assembly: a
+    // kernel edit that moves a branch moves its symbol with it.
+    let mut waymap_branch_pcs = [0u64; NEIGHBORS];
+    let mut maparp_branch_pcs = [0u64; NEIGHBORS];
+    let mut out_store_pcs = Vec::with_capacity(NEIGHBORS);
+    for k in 0..NEIGHBORS {
+        waymap_branch_pcs[k] = program.require_symbol(&sym::waymap_branch(k));
+        maparp_branch_pcs[k] = program.require_symbol(&sym::maparp_branch(k));
+        out_store_pcs.push(program.require_symbol(&sym::out_store(k)));
+    }
 
     let mut fst = BTreeSet::new();
     for &pc in &waymap_branch_pcs {

@@ -61,6 +61,7 @@ pub fn libquantum(n: u64, calls: u64) -> UseCase {
     a.li(S9, calls as i64);
     a.li(A2, 0x2); // control mask
     a.li(A3, 0x10); // target mask
+    a.li(S6, 0); // bookkeeping accumulator
     a.place(call_loop);
     a.export("base_pc");
     a.mv(A0, S1); // snooped: base
@@ -346,6 +347,7 @@ pub fn leslie(rows: u64, cols: u64) -> UseCase {
         let lr = a.label();
         let lc = a.label();
         let dr = a.label();
+        a.fmv_d_x(FT1, X0); // zero the accumulator before first use
         a.li(T0, 0); // row
         a.place(lr);
         a.li(T1, 0); // col

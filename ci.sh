@@ -30,6 +30,12 @@ cargo build --release
 echo "== cargo test =="
 cargo test -q --release
 
+echo "== functional/detailed equivalence gate (two-speed smoke) =="
+# Truncated-budget gate: the functional executor must retire the exact
+# committed stream the detailed core retires, for every use case in
+# both baseline and PFM modes.
+cargo test -q --release -p pfm-sim --test functional_equivalence
+
 echo "== repro --chaos-smoke (graceful degradation under faults) =="
 repro_bin="$PWD/target/release/repro"
 "$repro_bin" --chaos-smoke --quick --jobs 4 > /dev/null
@@ -38,7 +44,7 @@ echo "== repro --bench smoke (simulator MKIPS) =="
 # Runs in a temp dir: the smoke's quick-scale JSON must not clobber the
 # committed paper-scale BENCH_sim_throughput.json at the repo root.
 smoke_dir="$(mktemp -d)"
-(cd "$smoke_dir" && "$repro_bin" --bench --quick --jobs 4 2>/dev/null | grep -E "MKIPS")
+(cd "$smoke_dir" && "$repro_bin" --bench --functional --quick --jobs 4 2>/dev/null | grep -E "MKIPS")
 rm -rf "$smoke_dir"
 
 echo "CI OK"

@@ -11,6 +11,8 @@
 //! repro --all --jobs 4       # four worker threads
 //! repro --list               # what can be regenerated
 //! repro --bench              # simulator MKIPS throughput benchmark
+//! repro --bench --functional # + functional-executor batch and speedup
+//! repro --sampled libquantum # sampled run: fast-forward + detailed intervals
 //! repro --analyze            # static analysis of every use case
 //! repro --chaos              # fault-injection suite (checksum proof)
 //! repro --chaos-smoke        # CI-sized chaos subset
@@ -22,7 +24,7 @@
 //! `repro` prints a failure table and exits non-zero.
 
 use pfm_sim::experiments::{plan_for, ALL_IDS, EXTRA_IDS};
-use pfm_sim::{run_bench, run_plans, ExecOptions, RunConfig};
+use pfm_sim::{run_bench, run_plans, run_sampled, ExecOptions, RunConfig, SampledConfig};
 
 /// Exits with a contextual message on stderr; used for conditions the
 /// user cannot distinguish from a hang otherwise (broken pipe aside,
@@ -62,6 +64,8 @@ fn main() {
     let mut all = false;
     let mut list = false;
     let mut bench = false;
+    let mut functional = false;
+    let mut sampled: Option<String> = None;
     let mut analyze = false;
     let mut keep_going = false;
     let mut jobs: Option<usize> = None;
@@ -75,10 +79,15 @@ fn main() {
             "--all" => all = true,
             "--list" => list = true,
             "--bench" => bench = true,
+            "--functional" => functional = true,
             "--analyze" => analyze = true,
             "--keep-going" => keep_going = true,
             "--chaos" => ids.push("chaos".to_string()),
             "--chaos-smoke" => ids.push("chaos-smoke".to_string()),
+            "--sampled" => match it.next() {
+                Some(name) => sampled = Some(name),
+                None => bad_args.push("--sampled <usecase>".to_string()),
+            },
             "--jobs" => match it.next().and_then(|n| n.parse().ok()) {
                 Some(n) => jobs = Some(n),
                 None => bad_args.push("--jobs <N>".to_string()),
@@ -105,8 +114,8 @@ fn main() {
         eprintln!();
         print_menu(&mut std::io::stderr());
         eprintln!(
-            "\nflags: --all --quick --list --bench --analyze --chaos --chaos-smoke \
-             --keep-going --jobs <N>"
+            "\nflags: --all --quick --list --bench --functional --sampled <usecase> \
+             --analyze --chaos --chaos-smoke --keep-going --jobs <N>"
         );
         std::process::exit(1);
     }
@@ -158,13 +167,55 @@ fn main() {
             progress: true,
             keep_going,
         };
-        let report = run_bench(&rc, &opts);
+        let report = run_bench(&rc, &opts, functional);
         println!("{}", report.render());
         const OUT: &str = "BENCH_sim_throughput.json";
         if let Err(e) = std::fs::write(OUT, report.to_json()) {
             fail(&format!("cannot write {OUT}"), e);
         }
         eprintln!("wrote {OUT}");
+        return;
+    }
+
+    // Sampled mode: functional fast-forward with evenly spaced machine
+    // snapshots, then parallel detailed intervals assembled into a mean
+    // IPC with a 95% confidence interval.
+    if let Some(name) = sampled {
+        let factory = pfm_sim::usecases::throughput_suite_factories()
+            .into_iter()
+            .find(|f| f.name() == name);
+        let factory = match factory {
+            Some(f) => f,
+            None => {
+                let known: Vec<String> = pfm_sim::usecases::throughput_suite_factories()
+                    .iter()
+                    .map(|f| f.name().to_string())
+                    .collect();
+                fail(
+                    "unknown use case for --sampled",
+                    format!("`{name}` (known: {})", known.join(", ")),
+                )
+            }
+        };
+        let cfg = if quick {
+            SampledConfig {
+                total_instrs: 2_000_000,
+                interval_instrs: 100_000,
+                warmup_instrs: 20_000,
+                ..SampledConfig::paper_scale()
+            }
+        } else {
+            SampledConfig::paper_scale()
+        };
+        let opts = ExecOptions {
+            jobs: jobs.unwrap_or_else(|| ExecOptions::default().jobs),
+            progress: true,
+            keep_going,
+        };
+        match run_sampled(&factory, &cfg, &rc, &opts) {
+            Ok(report) => print!("{}", report.render()),
+            Err(e) => fail("sampled run failed", e),
+        }
         return;
     }
 

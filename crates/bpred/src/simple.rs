@@ -1,5 +1,7 @@
 //! Simple baseline conditional predictors: bimodal and gshare.
 
+use pfm_isa::snap::{Dec, Enc, SnapError};
+
 /// A bimodal (per-PC 2-bit counter) predictor.
 #[derive(Clone, Debug)]
 pub struct Bimodal {
@@ -35,6 +37,34 @@ impl Bimodal {
         } else {
             (*c - 1).max(-2)
         };
+    }
+
+    /// Serializes the counter table.
+    pub fn snapshot_encode(&self, e: &mut Enc) {
+        e.usize(self.ctrs.len());
+        for &c in &self.ctrs {
+            e.u8(c as u8);
+        }
+    }
+
+    /// Decodes a predictor serialized by [`Bimodal::snapshot_encode`].
+    pub fn snapshot_decode(d: &mut Dec<'_>) -> Result<Bimodal, SnapError> {
+        let n = d.usize()?;
+        if n == 0 || !n.is_power_of_two() {
+            return Err(SnapError::Corrupt("bimodal table size"));
+        }
+        let mut ctrs = vec![0i8; n];
+        for c in &mut ctrs {
+            let v = d.u8()? as i8;
+            if !(-2..=1).contains(&v) {
+                return Err(SnapError::Corrupt("bimodal counter range"));
+            }
+            *c = v;
+        }
+        Ok(Bimodal {
+            ctrs,
+            mask: (n - 1) as u64,
+        })
     }
 }
 
@@ -112,6 +142,73 @@ impl Gshare {
         } else {
             (*c - 1).max(-2)
         };
+    }
+
+    /// Serializes the counter table, history configuration and
+    /// speculative history.
+    pub fn snapshot_encode(&self, e: &mut Enc) {
+        e.usize(self.ctrs.len());
+        e.u32(self.hist_bits);
+        e.u64(self.hist);
+        for &c in &self.ctrs {
+            e.u8(c as u8);
+        }
+    }
+
+    /// Decodes a predictor serialized by [`Gshare::snapshot_encode`].
+    pub fn snapshot_decode(d: &mut Dec<'_>) -> Result<Gshare, SnapError> {
+        let n = d.usize()?;
+        if n == 0 || !n.is_power_of_two() {
+            return Err(SnapError::Corrupt("gshare table size"));
+        }
+        let hist_bits = d.u32()?;
+        if hist_bits == 0 || hist_bits >= 64 {
+            return Err(SnapError::Corrupt("gshare history width"));
+        }
+        let hist = d.u64()?;
+        let mut ctrs = vec![0i8; n];
+        for c in &mut ctrs {
+            let v = d.u8()? as i8;
+            if !(-2..=1).contains(&v) {
+                return Err(SnapError::Corrupt("gshare counter range"));
+            }
+            *c = v;
+        }
+        Ok(Gshare {
+            ctrs,
+            mask: (n - 1) as u64,
+            hist_bits,
+            hist,
+        })
+    }
+}
+
+impl GshareMeta {
+    /// Serializes the per-prediction metadata.
+    pub fn snapshot_encode(&self, e: &mut Enc) {
+        e.usize(self.idx);
+        e.bool(self.taken);
+    }
+
+    /// Decodes metadata serialized by [`GshareMeta::snapshot_encode`].
+    pub fn snapshot_decode(d: &mut Dec<'_>) -> Result<GshareMeta, SnapError> {
+        let idx = d.usize()?;
+        let taken = d.bool()?;
+        Ok(GshareMeta { idx, taken })
+    }
+}
+
+impl GshareCheckpoint {
+    /// Serializes the speculative-history checkpoint.
+    pub fn snapshot_encode(&self, e: &mut Enc) {
+        e.u64(self.hist);
+    }
+
+    /// Decodes a checkpoint serialized by
+    /// [`GshareCheckpoint::snapshot_encode`].
+    pub fn snapshot_decode(d: &mut Dec<'_>) -> Result<GshareCheckpoint, SnapError> {
+        let hist = d.u64()?;
+        Ok(GshareCheckpoint { hist })
     }
 }
 

@@ -235,6 +235,26 @@ pub trait CustomComponent {
     fn watchlist(&self) -> Vec<(u64, WatchKind)> {
         Vec::new()
     }
+
+    /// Serializes the component's dynamic state for a machine snapshot
+    /// (see `pfm_isa::snap`). The bytes must be a deterministic
+    /// function of the state — same state, same bytes — and must round
+    /// trip through [`CustomComponent::restore_state`] bit-identically.
+    /// Components that do not support snapshots return `None`; a fabric
+    /// snapshot then fails with [`pfm_isa::snap::SnapError::Unsupported`]
+    /// rather than silently losing state.
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores dynamic state captured by
+    /// [`CustomComponent::snapshot_state`] into a freshly constructed
+    /// component (same configuration). Returns `false` if the bytes are
+    /// unrecognized or snapshots are unsupported.
+    fn restore_state(&mut self, bytes: &[u8]) -> bool {
+        let _ = bytes;
+        false
+    }
 }
 
 #[cfg(test)]

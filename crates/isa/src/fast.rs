@@ -1,0 +1,695 @@
+//! Pre-decoded functional-only execution — the fast speed of the
+//! two-speed simulator.
+//!
+//! [`FastExec`] decodes a program once into a dense array of [`Op`]s —
+//! operands, immediates and the handler discriminant resolved up front
+//! — and executes it in a tight interpreter loop with no per-cycle
+//! structures, no speculation and no timing model. Stores commit
+//! immediately (exactly like [`Machine::run`]), so architectural state
+//! evolves identically to the detailed core's committed view.
+//!
+//! Two invariants tie the fast path to the detailed model:
+//!
+//! * **The committed stream is bit-identical.** The interpreter folds
+//!   every retired instruction into the same FNV-1a commit-stream
+//!   checksum the cycle core computes at retirement
+//!   (`Core::fold_commit`): PC, next PC, taken flag, destination
+//!   write, store effects — in that order. The functional/detailed
+//!   equivalence gate pins this for every use case.
+//! * **Snapshots are interchangeable.** [`FastExec::snapshot`] emits
+//!   the same byte layout as [`Machine::snapshot`], so a fast-forward
+//!   position can seed a detailed interval via [`Machine::restore`]
+//!   (the sampled-run mode in `pfm-sim`).
+//!
+//! Immediates are pre-cast to `u64` at decode; `x0` is kept hardwired
+//! to zero by never writing slot 0, so reads skip the zero test.
+
+use crate::inst::{AluOp, BranchCond, FAluOp, Inst, MemWidth, INST_BYTES};
+use crate::machine::{alu, extend, ExecError, Machine};
+use crate::mem::SpecMemory;
+use crate::program::{Program, ProgramError};
+use crate::reg::{FReg, Reg, NUM_FP_REGS, NUM_INT_REGS};
+use crate::snap::{self, Enc, FNV_OFFSET, FNV_PRIME};
+
+/// One pre-decoded instruction. Register operands are raw indices
+/// (guaranteed in range by construction from [`Inst`]), immediates and
+/// offsets are pre-cast to the `u64` arithmetic domain.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Alu {
+        op: AluOp,
+        rd: u8,
+        rs1: u8,
+        rs2: u8,
+    },
+    AluImm {
+        op: AluOp,
+        rd: u8,
+        rs1: u8,
+        imm: u64,
+    },
+    Li {
+        rd: u8,
+        imm: u64,
+    },
+    Load {
+        width: MemWidth,
+        signed: bool,
+        rd: u8,
+        base: u8,
+        offset: u64,
+    },
+    Store {
+        width: MemWidth,
+        src: u8,
+        base: u8,
+        offset: u64,
+    },
+    Branch {
+        cond: BranchCond,
+        rs1: u8,
+        rs2: u8,
+        target: u64,
+    },
+    Jal {
+        rd: u8,
+        target: u64,
+    },
+    Jalr {
+        rd: u8,
+        base: u8,
+        offset: u64,
+    },
+    FLoad {
+        fd: u8,
+        base: u8,
+        offset: u64,
+    },
+    FStore {
+        fs: u8,
+        base: u8,
+        offset: u64,
+    },
+    FAlu {
+        op: FAluOp,
+        fd: u8,
+        fs1: u8,
+        fs2: u8,
+    },
+    FMvToF {
+        fd: u8,
+        rs1: u8,
+    },
+    FMvToX {
+        rd: u8,
+        fs1: u8,
+    },
+    Nop,
+    Halt,
+}
+
+fn compile(inst: Inst) -> Op {
+    match inst {
+        Inst::Alu { op, rd, rs1, rs2 } => Op::Alu {
+            op,
+            rd: rd.num(),
+            rs1: rs1.num(),
+            rs2: rs2.num(),
+        },
+        Inst::AluImm { op, rd, rs1, imm } => Op::AluImm {
+            op,
+            rd: rd.num(),
+            rs1: rs1.num(),
+            imm: imm as u64,
+        },
+        Inst::Li { rd, imm } => Op::Li {
+            rd: rd.num(),
+            imm: imm as u64,
+        },
+        Inst::Load {
+            width,
+            signed,
+            rd,
+            base,
+            offset,
+        } => Op::Load {
+            width,
+            signed,
+            rd: rd.num(),
+            base: base.num(),
+            offset: offset as u64,
+        },
+        Inst::Store {
+            width,
+            src,
+            base,
+            offset,
+        } => Op::Store {
+            width,
+            src: src.num(),
+            base: base.num(),
+            offset: offset as u64,
+        },
+        Inst::Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+        } => Op::Branch {
+            cond,
+            rs1: rs1.num(),
+            rs2: rs2.num(),
+            target,
+        },
+        Inst::Jal { rd, target } => Op::Jal {
+            rd: rd.num(),
+            target,
+        },
+        Inst::Jalr { rd, base, offset } => Op::Jalr {
+            rd: rd.num(),
+            base: base.num(),
+            offset: offset as u64,
+        },
+        Inst::FLoad { fd, base, offset } => Op::FLoad {
+            fd: fd.num(),
+            base: base.num(),
+            offset: offset as u64,
+        },
+        Inst::FStore { fs, base, offset } => Op::FStore {
+            fs: fs.num(),
+            base: base.num(),
+            offset: offset as u64,
+        },
+        Inst::FAlu { op, fd, fs1, fs2 } => Op::FAlu {
+            op,
+            fd: fd.num(),
+            fs1: fs1.num(),
+            fs2: fs2.num(),
+        },
+        Inst::FMvToF { fd, rs1 } => Op::FMvToF {
+            fd: fd.num(),
+            rs1: rs1.num(),
+        },
+        Inst::FMvToX { rd, fs1 } => Op::FMvToX {
+            rd: rd.num(),
+            fs1: fs1.num(),
+        },
+        Inst::Nop => Op::Nop,
+        Inst::Halt => Op::Halt,
+    }
+}
+
+#[inline(always)]
+fn fold(h: &mut u64, v: u64) {
+    *h ^= v;
+    *h = h.wrapping_mul(FNV_PRIME);
+}
+
+/// The pre-decoded functional executor.
+///
+/// ```
+/// use pfm_isa::{Asm, FastExec, SpecMemory};
+/// use pfm_isa::reg::names::*;
+/// let mut a = Asm::new(0x1000);
+/// a.li(A0, 2);
+/// a.add(A0, A0, A0);
+/// a.halt();
+/// let mut fx = FastExec::new(a.finish().unwrap(), SpecMemory::new());
+/// fx.run(100).unwrap();
+/// assert!(fx.halted());
+/// assert_eq!(fx.retired(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FastExec {
+    base: u64,
+    ops: Box<[Op]>,
+    program: Program,
+    regs: [u64; NUM_INT_REGS],
+    fregs: [u64; NUM_FP_REGS],
+    pc: u64,
+    next_seq: u64,
+    halted: bool,
+    mem: SpecMemory,
+    checksum: u64,
+    retired: u64,
+    loads: u64,
+    stores: u64,
+}
+
+impl FastExec {
+    /// Pre-decodes `program` and positions the executor at its base
+    /// address over the given data memory.
+    ///
+    /// # Panics
+    /// Panics if `mem` has unretired speculative stores (fresh
+    /// use-case memories never do; the functional path commits every
+    /// store immediately, so none ever accumulate).
+    pub fn new(program: Program, mem: SpecMemory) -> FastExec {
+        assert_eq!(
+            mem.pending_stores(),
+            0,
+            "functional execution starts from committed state"
+        );
+        let ops: Vec<Op> = program.insts().iter().map(|&i| compile(i)).collect();
+        FastExec {
+            base: program.base(),
+            ops: ops.into_boxed_slice(),
+            pc: program.base(),
+            program,
+            regs: [0; NUM_INT_REGS],
+            fregs: [0; NUM_FP_REGS],
+            next_seq: 1,
+            halted: false,
+            mem,
+            checksum: FNV_OFFSET,
+            retired: 0,
+            loads: 0,
+            stores: 0,
+        }
+    }
+
+    /// Executes up to `max_steps` instructions (or until `Halt`),
+    /// returning the number retired by this call.
+    ///
+    /// # Errors
+    /// [`ExecError::Program`] if the PC leaves the program; state up
+    /// to the faulting instruction is retained.
+    pub fn run(&mut self, max_steps: u64) -> Result<u64, ExecError> {
+        let base = self.base;
+        let len = self.ops.len() as u64;
+        let ops = &self.ops;
+        let regs = &mut self.regs;
+        let fregs = &mut self.fregs;
+        let mem = self.mem.committed_mut();
+        let mut pc = self.pc;
+        let mut h = self.checksum;
+        let mut loads = 0u64;
+        let mut stores = 0u64;
+        let mut n = 0u64;
+        let mut halted = self.halted;
+        let mut fault = None;
+
+        while n < max_steps && !halted {
+            let off = pc.wrapping_sub(base);
+            let idx = off / INST_BYTES;
+            if !off.is_multiple_of(INST_BYTES) || idx >= len {
+                fault = Some(pc);
+                break;
+            }
+            let fall = pc + INST_BYTES;
+            let mut next = fall;
+            let mut taken = false;
+            // `1 + RegRef::index()` and value, exactly as the core's
+            // commit fold encodes destination writes.
+            let mut wrote: Option<(u64, u64)> = None;
+            let mut store: Option<(u64, u64, u64)> = None;
+            match ops[idx as usize] {
+                Op::Alu { op, rd, rs1, rs2 } => {
+                    let v = alu(op, regs[rs1 as usize], regs[rs2 as usize]);
+                    if rd != 0 {
+                        regs[rd as usize] = v;
+                        wrote = Some((1 + rd as u64, v));
+                    }
+                }
+                Op::AluImm { op, rd, rs1, imm } => {
+                    let v = alu(op, regs[rs1 as usize], imm);
+                    if rd != 0 {
+                        regs[rd as usize] = v;
+                        wrote = Some((1 + rd as u64, v));
+                    }
+                }
+                Op::Li { rd, imm } => {
+                    if rd != 0 {
+                        regs[rd as usize] = imm;
+                        wrote = Some((1 + rd as u64, imm));
+                    }
+                }
+                Op::Load {
+                    width,
+                    signed,
+                    rd,
+                    base,
+                    offset,
+                } => {
+                    let addr = regs[base as usize].wrapping_add(offset);
+                    let raw = mem.read_cached(addr, width.bytes());
+                    let v = extend(raw, width, signed);
+                    if rd != 0 {
+                        regs[rd as usize] = v;
+                        wrote = Some((1 + rd as u64, v));
+                    }
+                    loads += 1;
+                }
+                Op::Store {
+                    width,
+                    src,
+                    base,
+                    offset,
+                } => {
+                    let addr = regs[base as usize].wrapping_add(offset);
+                    let size = width.bytes();
+                    let v = regs[src as usize];
+                    mem.write(addr, size, v);
+                    store = Some((addr, size, v));
+                    stores += 1;
+                }
+                Op::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    target,
+                } => {
+                    taken = cond.eval(regs[rs1 as usize], regs[rs2 as usize]);
+                    if taken {
+                        next = target;
+                    }
+                }
+                Op::Jal { rd, target } => {
+                    if rd != 0 {
+                        regs[rd as usize] = fall;
+                        wrote = Some((1 + rd as u64, fall));
+                    }
+                    taken = true;
+                    next = target;
+                }
+                Op::Jalr { rd, base, offset } => {
+                    let target = regs[base as usize].wrapping_add(offset) & !1u64;
+                    if rd != 0 {
+                        regs[rd as usize] = fall;
+                        wrote = Some((1 + rd as u64, fall));
+                    }
+                    taken = true;
+                    next = target;
+                }
+                Op::FLoad { fd, base, offset } => {
+                    let addr = regs[base as usize].wrapping_add(offset);
+                    let bits = mem.read_cached(addr, 8);
+                    fregs[fd as usize] = bits;
+                    wrote = Some((1 + NUM_INT_REGS as u64 + fd as u64, bits));
+                    loads += 1;
+                }
+                Op::FStore { fs, base, offset } => {
+                    let addr = regs[base as usize].wrapping_add(offset);
+                    let bits = fregs[fs as usize];
+                    mem.write(addr, 8, bits);
+                    store = Some((addr, 8, bits));
+                    stores += 1;
+                }
+                Op::FAlu { op, fd, fs1, fs2 } => {
+                    let a = f64::from_bits(fregs[fs1 as usize]);
+                    let b = f64::from_bits(fregs[fs2 as usize]);
+                    let r = match op {
+                        FAluOp::Fadd => a + b,
+                        FAluOp::Fsub => a - b,
+                        FAluOp::Fmul => a * b,
+                        FAluOp::Fdiv => a / b,
+                        FAluOp::Fmin => a.min(b),
+                        FAluOp::Fmax => a.max(b),
+                    };
+                    let bits = r.to_bits();
+                    fregs[fd as usize] = bits;
+                    wrote = Some((1 + NUM_INT_REGS as u64 + fd as u64, bits));
+                }
+                Op::FMvToF { fd, rs1 } => {
+                    let bits = regs[rs1 as usize];
+                    fregs[fd as usize] = bits;
+                    wrote = Some((1 + NUM_INT_REGS as u64 + fd as u64, bits));
+                }
+                Op::FMvToX { rd, fs1 } => {
+                    let bits = fregs[fs1 as usize];
+                    if rd != 0 {
+                        regs[rd as usize] = bits;
+                        wrote = Some((1 + rd as u64, bits));
+                    }
+                }
+                Op::Nop => {}
+                Op::Halt => {
+                    halted = true;
+                }
+            }
+
+            // Commit-stream fold, field order identical to the detailed
+            // core's retirement fold.
+            fold(&mut h, pc);
+            fold(&mut h, next);
+            fold(&mut h, u64::from(taken));
+            match wrote {
+                Some((ri, v)) => {
+                    fold(&mut h, ri);
+                    fold(&mut h, v);
+                }
+                None => fold(&mut h, 0),
+            }
+            match store {
+                Some((addr, size, v)) => {
+                    fold(&mut h, 1);
+                    fold(&mut h, addr);
+                    fold(&mut h, size);
+                    fold(&mut h, v);
+                }
+                None => fold(&mut h, 0),
+            }
+
+            pc = next;
+            n += 1;
+        }
+
+        self.pc = pc;
+        self.checksum = h;
+        self.retired += n;
+        self.next_seq += n;
+        self.loads += loads;
+        self.stores += stores;
+        self.halted = halted;
+        match fault {
+            Some(pc) => Err(ExecError::Program(ProgramError::BadPc(pc))),
+            None => Ok(n),
+        }
+    }
+
+    /// Instructions retired since construction.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Whether `Halt` has executed.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Current PC.
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// Committed-stream checksum over every retired instruction —
+    /// bit-identical to the detailed core's `commit_checksum` after
+    /// retiring the same stream.
+    pub fn commit_checksum(&self) -> u64 {
+        self.checksum
+    }
+
+    /// Loads retired since construction.
+    pub fn loads(&self) -> u64 {
+        self.loads
+    }
+
+    /// Stores retired since construction.
+    pub fn stores(&self) -> u64 {
+        self.stores
+    }
+
+    /// Reads an integer register.
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.num() as usize]
+    }
+
+    /// Reads a floating-point register as raw bits.
+    pub fn freg_bits(&self, r: FReg) -> u64 {
+        self.fregs[r.num() as usize]
+    }
+
+    /// A cheap fingerprint of architectural state, identical to
+    /// [`Machine::arch_checksum`] over the same state.
+    pub fn arch_checksum(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        for &r in &self.regs {
+            fold(&mut h, r);
+        }
+        for &f in &self.fregs {
+            fold(&mut h, f);
+        }
+        fold(&mut h, self.pc);
+        fold(&mut h, self.mem.committed().generation());
+        h
+    }
+
+    /// An architectural snapshot in the same byte layout as
+    /// [`Machine::snapshot`] — restorable via [`Machine::restore`] to
+    /// seed a detailed interval from this fast-forward position.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        snap::write_version(&mut e);
+        for &r in &self.regs {
+            e.u64(r);
+        }
+        for &f in &self.fregs {
+            e.u64(f);
+        }
+        e.u64(self.pc);
+        e.u64(self.next_seq);
+        e.bool(self.halted);
+        self.mem.snapshot_encode(&mut e);
+        e.finish()
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// A [`Machine`] positioned at this executor's exact architectural
+    /// state (for interoperability tests and detailed continuation).
+    pub fn to_machine(&self) -> Machine {
+        // The snapshot layouts are locked together by construction
+        // (and by the cross-layout test below), so this cannot fail.
+        Machine::restore(self.program.clone(), &self.snapshot())
+            // pfm-lint: allow(hygiene): layout equality is a construction invariant
+            .expect("FastExec snapshot is Machine-layout")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::reg::names::*;
+
+    fn program(f: impl FnOnce(&mut Asm)) -> Program {
+        let mut a = Asm::new(0x1000);
+        f(&mut a);
+        a.finish().unwrap()
+    }
+
+    /// A representative kernel: integer loop, loads/stores of every
+    /// width, FP pipeline, calls, divisions, unaligned access.
+    fn mixed_kernel(a: &mut Asm) {
+        let top = a.label();
+        let func = a.label();
+        let done = a.label();
+        a.li(A0, 0x8000);
+        a.li(A1, 16);
+        a.li(A2, 0);
+        a.bind(top).unwrap();
+        a.sd(A1, A0, 0);
+        a.lw(A3, A0, 0);
+        a.sb(A3, A0, 9);
+        a.lbu(A4, A0, 9);
+        a.add(A2, A2, A4);
+        a.call(func);
+        a.addi(A1, A1, -1);
+        a.bne(A1, X0, top);
+        a.j(done);
+        a.bind(func).unwrap();
+        a.li(T0, 2.5f64.to_bits() as i64);
+        a.sd(T0, A0, 16);
+        a.fld(FT0, A0, 16);
+        a.fadd(FT1, FT0, FT0);
+        a.fsd(FT1, A0, 24);
+        a.div(T1, A2, A1);
+        a.rem(T2, A2, A1);
+        a.ret();
+        a.bind(done).unwrap();
+        a.halt();
+    }
+
+    #[test]
+    fn matches_machine_stream_and_state() {
+        let p = program(mixed_kernel);
+        let mut m = Machine::new(p.clone(), SpecMemory::new());
+        let mut fx = FastExec::new(p, SpecMemory::new());
+        let steps = m.run(10_000).unwrap();
+        let fast_steps = fx.run(10_000).unwrap();
+        assert_eq!(steps, fast_steps);
+        assert!(m.halted() && fx.halted());
+        assert_eq!(m.arch_checksum(), fx.arch_checksum());
+        for i in 0..32 {
+            assert_eq!(m.reg(Reg::new(i)), fx.reg(Reg::new(i)), "x{i}");
+            assert_eq!(
+                m.freg_bits(FReg::new(i)),
+                fx.freg_bits(FReg::new(i)),
+                "f{i}"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_slicing_is_invisible() {
+        let p = program(mixed_kernel);
+        let mut whole = FastExec::new(p.clone(), SpecMemory::new());
+        whole.run(10_000).unwrap();
+        let mut sliced = FastExec::new(p, SpecMemory::new());
+        while !sliced.halted() {
+            sliced.run(7).unwrap();
+        }
+        assert_eq!(whole.retired(), sliced.retired());
+        assert_eq!(whole.commit_checksum(), sliced.commit_checksum());
+        assert_eq!(whole.arch_checksum(), sliced.arch_checksum());
+        assert_eq!(whole.loads(), sliced.loads());
+        assert_eq!(whole.stores(), sliced.stores());
+    }
+
+    #[test]
+    fn snapshot_restores_into_machine_midstream() {
+        let p = program(mixed_kernel);
+        let mut fx = FastExec::new(p.clone(), SpecMemory::new());
+        fx.run(50).unwrap();
+        assert!(!fx.halted());
+        let m = fx.to_machine();
+        assert_eq!(m.pc(), fx.pc());
+        assert_eq!(m.arch_checksum(), fx.arch_checksum());
+
+        // Continue both to completion: identical final state.
+        let mut m = m;
+        m.run(10_000).unwrap();
+        fx.run(10_000).unwrap();
+        assert_eq!(m.arch_checksum(), fx.arch_checksum());
+    }
+
+    #[test]
+    fn bad_pc_is_reported_with_state_retained() {
+        let p = program(|a| {
+            a.li(A0, 7);
+            a.nop();
+        });
+        let mut fx = FastExec::new(p, SpecMemory::new());
+        let err = fx.run(10).unwrap_err();
+        assert!(matches!(err, ExecError::Program(ProgramError::BadPc(_))));
+        assert_eq!(fx.retired(), 2);
+        assert_eq!(fx.reg(A0), 7);
+    }
+
+    #[test]
+    fn halted_run_retires_nothing() {
+        let p = program(|a| {
+            a.halt();
+        });
+        let mut fx = FastExec::new(p, SpecMemory::new());
+        assert_eq!(fx.run(10).unwrap(), 1);
+        assert_eq!(fx.run(10).unwrap(), 0);
+        assert_eq!(fx.retired(), 1);
+    }
+
+    #[test]
+    fn x0_writes_are_discarded() {
+        let p = program(|a| {
+            a.li(X0, 42);
+            a.addi(A0, X0, 1);
+            a.halt();
+        });
+        let mut fx = FastExec::new(p, SpecMemory::new());
+        fx.run(10).unwrap();
+        assert_eq!(fx.reg(X0), 0);
+        assert_eq!(fx.reg(A0), 1);
+    }
+}

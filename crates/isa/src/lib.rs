@@ -40,16 +40,20 @@
 #![warn(missing_docs)]
 
 pub mod asm;
+pub mod fast;
 pub mod fxhash;
 pub mod inst;
 pub mod machine;
 pub mod mem;
 pub mod program;
 pub mod reg;
+pub mod snap;
 
 pub use asm::Asm;
+pub use fast::FastExec;
 pub use inst::{ControlTarget, ExecClass, Inst, InstInfo};
 pub use machine::{Machine, StepOut};
 pub use mem::{SparseMem, SpecMemory};
 pub use program::Program;
 pub use reg::{FReg, Reg, RegRef};
+pub use snap::{Dec, Enc, SnapError};

@@ -12,6 +12,7 @@ use crate::inst::{AluOp, FAluOp, Inst, MemWidth};
 use crate::mem::SpecMemory;
 use crate::program::{Program, ProgramError};
 use crate::reg::{FReg, Reg, RegRef, NUM_FP_REGS, NUM_INT_REGS};
+use crate::snap::{Dec, Enc, SnapError};
 
 /// A functional memory access performed by one instruction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -365,6 +366,178 @@ impl Machine {
         }
         Ok(n)
     }
+
+    /// Serializes the architectural state — registers, PC, sequence
+    /// counter, halt flag, data memory — as snapshot fields (no
+    /// version header; composed into larger snapshots by the core).
+    ///
+    /// The program itself is not serialized: it is immutable and
+    /// identified by the run spec, so the decoder takes it as input.
+    pub fn snapshot_encode(&self, e: &mut Enc) {
+        for &r in &self.regs {
+            e.u64(r);
+        }
+        for &f in &self.fregs {
+            e.u64(f);
+        }
+        e.u64(self.pc);
+        e.u64(self.next_seq);
+        e.bool(self.halted);
+        self.mem.snapshot_encode(e);
+    }
+
+    /// Reconstructs a machine serialized by
+    /// [`Machine::snapshot_encode`] over `program`.
+    ///
+    /// # Errors
+    /// Typed [`SnapError`] on truncated or invalid input.
+    pub fn snapshot_decode(program: Program, d: &mut Dec<'_>) -> Result<Machine, SnapError> {
+        let mut regs = [0u64; NUM_INT_REGS];
+        for r in &mut regs {
+            *r = d.u64()?;
+        }
+        if regs[0] != 0 {
+            return Err(SnapError::Corrupt("x0 not zero"));
+        }
+        let mut fregs = [0u64; NUM_FP_REGS];
+        for f in &mut fregs {
+            *f = d.u64()?;
+        }
+        let pc = d.u64()?;
+        let next_seq = d.u64()?;
+        if next_seq == 0 {
+            return Err(SnapError::Corrupt("sequence counter"));
+        }
+        let halted = d.bool()?;
+        let mem = SpecMemory::snapshot_decode(d)?;
+        Ok(Machine {
+            regs,
+            fregs,
+            pc,
+            mem,
+            program,
+            next_seq,
+            halted,
+        })
+    }
+
+    /// A standalone architectural snapshot: version header plus
+    /// [`Machine::snapshot_encode`] fields.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        crate::snap::write_version(&mut e);
+        self.snapshot_encode(&mut e);
+        e.finish()
+    }
+
+    /// Restores a machine from [`Machine::snapshot`] bytes.
+    ///
+    /// # Errors
+    /// Typed [`SnapError`] on version mismatch or invalid input.
+    pub fn restore(program: Program, bytes: &[u8]) -> Result<Machine, SnapError> {
+        let mut d = Dec::new(bytes);
+        crate::snap::read_version(&mut d)?;
+        let m = Machine::snapshot_decode(program, &mut d)?;
+        d.finish()?;
+        Ok(m)
+    }
+}
+
+impl StepOut {
+    /// Serializes everything but the instruction itself (re-fetched
+    /// from the program at decode, keyed by `pc`).
+    pub fn snapshot_encode(&self, e: &mut Enc) {
+        e.u64(self.seq);
+        e.u64(self.pc);
+        e.u64(self.next_pc);
+        e.bool(self.taken);
+        match self.mem {
+            None => e.u8(0),
+            Some(m) => {
+                e.u8(1);
+                e.bool(m.is_store);
+                e.u64(m.addr);
+                e.u64(m.size);
+                e.u64(m.value);
+            }
+        }
+        match self.wrote {
+            None => e.u8(0),
+            Some((RegRef::Int(r), v)) => {
+                e.u8(1);
+                e.u8(r.num());
+                e.u64(v);
+            }
+            Some((RegRef::Fp(f), v)) => {
+                e.u8(2);
+                e.u8(f.num());
+                e.u64(v);
+            }
+        }
+        e.bool(self.halted);
+    }
+
+    /// Reconstructs a record serialized by
+    /// [`StepOut::snapshot_encode`], re-fetching the instruction from
+    /// `program`.
+    ///
+    /// # Errors
+    /// Typed [`SnapError`] on truncated input, a PC outside the
+    /// program, or an out-of-range register number.
+    pub fn snapshot_decode(program: &Program, d: &mut Dec<'_>) -> Result<StepOut, SnapError> {
+        let seq = d.u64()?;
+        let pc = d.u64()?;
+        let inst = program
+            .fetch(pc)
+            .map_err(|_| SnapError::Corrupt("step pc outside program"))?;
+        let next_pc = d.u64()?;
+        let taken = d.bool()?;
+        let mem = match d.u8()? {
+            0 => None,
+            1 => {
+                let m = MemOp {
+                    is_store: d.bool()?,
+                    addr: d.u64()?,
+                    size: d.u64()?,
+                    value: d.u64()?,
+                };
+                if !matches!(m.size, 1 | 2 | 4 | 8) {
+                    return Err(SnapError::Corrupt("mem op size"));
+                }
+                Some(m)
+            }
+            _ => return Err(SnapError::Corrupt("mem op tag")),
+        };
+        let wrote = match d.u8()? {
+            0 => None,
+            1 => {
+                let n = d.u8()?;
+                if n as usize >= NUM_INT_REGS {
+                    return Err(SnapError::Corrupt("int register number"));
+                }
+                Some((RegRef::Int(Reg::new(n)), d.u64()?))
+            }
+            2 => {
+                let n = d.u8()?;
+                if n as usize >= NUM_FP_REGS {
+                    return Err(SnapError::Corrupt("fp register number"));
+                }
+                Some((RegRef::Fp(FReg::new(n)), d.u64()?))
+            }
+            _ => return Err(SnapError::Corrupt("dest write tag")),
+        };
+        let halted = d.bool()?;
+        Ok(StepOut {
+            seq,
+            pc,
+            inst,
+            next_pc,
+            taken,
+            mem,
+            wrote,
+            halted,
+        })
+    }
 }
 
 fn wrote_int(rd: Reg, v: u64) -> Option<(RegRef, u64)> {
@@ -375,7 +548,7 @@ fn wrote_int(rd: Reg, v: u64) -> Option<(RegRef, u64)> {
     }
 }
 
-fn extend(raw: u64, width: MemWidth, signed: bool) -> u64 {
+pub(crate) fn extend(raw: u64, width: MemWidth, signed: bool) -> u64 {
     if !signed {
         return raw;
     }
@@ -387,7 +560,7 @@ fn extend(raw: u64, width: MemWidth, signed: bool) -> u64 {
     }
 }
 
-fn alu(op: AluOp, a: u64, b: u64) -> u64 {
+pub(crate) fn alu(op: AluOp, a: u64, b: u64) -> u64 {
     match op {
         AluOp::Add => a.wrapping_add(b),
         AluOp::Sub => a.wrapping_sub(b),

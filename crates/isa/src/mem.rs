@@ -45,6 +45,7 @@
 //!   one per byte.
 
 use crate::fxhash::FxHashMap;
+use crate::snap::{Dec, Enc, SnapError};
 use std::collections::VecDeque;
 
 const PAGE_SHIFT: u64 = 12;
@@ -255,6 +256,57 @@ impl SparseMem {
         for (i, b) in bytes.iter().enumerate() {
             self.write_u8(addr.wrapping_add(i as u64), *b);
         }
+    }
+
+    /// Serializes the image: the write-generation counter plus every
+    /// resident page (in ascending page-number order) as raw bytes.
+    ///
+    /// The encoding is canonical — equal images always produce equal
+    /// bytes — so snapshot content keys are stable regardless of the
+    /// order pages were first touched in.
+    pub fn snapshot_encode(&self, e: &mut Enc) {
+        e.u64(self.generation);
+        // Sorted before encoding, so the byte stream is independent of
+        // hash-iteration order.
+        // pfm-lint: allow(snapshot-hash-iter)
+        let mut pages: Vec<u64> = self.index.keys().copied().collect();
+        pages.sort_unstable();
+        e.usize(pages.len());
+        for p in pages {
+            e.u64(p);
+            e.bytes(&self.arena[self.index[&p] as usize][..]);
+        }
+    }
+
+    /// Reconstructs an image serialized by [`SparseMem::snapshot_encode`].
+    ///
+    /// The restored image is behaviourally identical to the original:
+    /// same bytes at every address, same generation counter. (Arena
+    /// slot order — a pure implementation detail — is normalized to
+    /// page order.)
+    ///
+    /// # Errors
+    /// Typed [`SnapError`] on truncated or non-canonical input.
+    pub fn snapshot_decode(d: &mut Dec<'_>) -> Result<SparseMem, SnapError> {
+        let generation = d.u64()?;
+        let n = d.seq_len()?;
+        let mut mem = SparseMem::new();
+        let mut prev: Option<u64> = None;
+        for _ in 0..n {
+            let page = d.u64()?;
+            if prev.is_some_and(|p| page <= p) {
+                return Err(SnapError::Corrupt("page order"));
+            }
+            prev = Some(page);
+            let bytes = d.bytes(PAGE_SIZE)?;
+            let mut data = Box::new([0u8; PAGE_SIZE]);
+            data.copy_from_slice(bytes);
+            let slot = mem.arena.len() as u32;
+            mem.arena.push(data);
+            mem.index.insert(page, slot);
+        }
+        mem.generation = generation;
+        Ok(mem)
     }
 }
 
@@ -509,6 +561,93 @@ impl SpecMemory {
                 self.take_entry(word + 1, last.seq, false);
             }
         }
+    }
+
+    /// Serializes the committed image, the speculative overlay
+    /// (in ascending word order) and the pending-store queue.
+    pub fn snapshot_encode(&self, e: &mut Enc) {
+        self.committed.snapshot_encode(e);
+        // Sorted before encoding, so the byte stream is independent of
+        // hash-iteration order.
+        // pfm-lint: allow(snapshot-hash-iter)
+        let mut words: Vec<u64> = self.overlay.keys().copied().collect();
+        words.sort_unstable();
+        e.usize(words.len());
+        for w in words {
+            e.u64(w);
+            let stack = &self.overlay[&w];
+            e.usize(stack.len());
+            for entry in stack {
+                e.u64(entry.seq);
+                e.u64(entry.data);
+                e.u64(entry.mask);
+            }
+        }
+        e.usize(self.pending.len());
+        for st in &self.pending {
+            e.u64(st.seq);
+            e.u64(st.addr);
+            e.u64(st.size);
+            e.u64(st.value);
+        }
+    }
+
+    /// Reconstructs a memory serialized by
+    /// [`SpecMemory::snapshot_encode`], including any in-flight
+    /// speculative stores.
+    ///
+    /// # Errors
+    /// Typed [`SnapError`] on truncated or structurally invalid input.
+    pub fn snapshot_decode(d: &mut Dec<'_>) -> Result<SpecMemory, SnapError> {
+        let committed = SparseMem::snapshot_decode(d)?;
+        let mut overlay = FxHashMap::default();
+        let words = d.seq_len()?;
+        let mut prev: Option<u64> = None;
+        for _ in 0..words {
+            let w = d.u64()?;
+            if prev.is_some_and(|p| w <= p) {
+                return Err(SnapError::Corrupt("overlay word order"));
+            }
+            prev = Some(w);
+            let depth = d.seq_len()?;
+            if depth == 0 {
+                return Err(SnapError::Corrupt("empty overlay stack"));
+            }
+            let mut stack = Vec::with_capacity(depth);
+            for _ in 0..depth {
+                stack.push(OverlayEntry {
+                    seq: d.u64()?,
+                    data: d.u64()?,
+                    mask: d.u64()?,
+                });
+            }
+            overlay.insert(w, stack);
+        }
+        let mut pending = VecDeque::new();
+        let n = d.seq_len()?;
+        for _ in 0..n {
+            let st = PendingStore {
+                seq: d.u64()?,
+                addr: d.u64()?,
+                size: d.u64()?,
+                value: d.u64()?,
+            };
+            if !matches!(st.size, 1 | 2 | 4 | 8) {
+                return Err(SnapError::Corrupt("pending store size"));
+            }
+            if pending
+                .back()
+                .is_some_and(|p: &PendingStore| st.seq <= p.seq)
+            {
+                return Err(SnapError::Corrupt("pending store order"));
+            }
+            pending.push_back(st);
+        }
+        Ok(SpecMemory {
+            committed,
+            overlay,
+            pending,
+        })
     }
 }
 

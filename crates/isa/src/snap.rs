@@ -1,0 +1,383 @@
+//! Deterministic, dependency-free snapshot serialization.
+//!
+//! Snapshots capture machine state — architectural registers, sparse
+//! memory pages, and (in higher layers) warm microarchitectural state —
+//! as a flat little-endian byte stream. The format is deliberately
+//! minimal:
+//!
+//! * integers are fixed-width little-endian,
+//! * sequences are a `u64` element count followed by the elements,
+//! * optionals are a `u8` tag (0 = absent) followed by the payload,
+//! * there is no self-description; encoder and decoder must agree on
+//!   the layout (the [`SNAP_VERSION`] header at the top of every
+//!   top-level snapshot guards against skew).
+//!
+//! Determinism is a hard requirement: the same state must always
+//! produce the same bytes, because [`content_key`] over those bytes is
+//! used as a run-dedup key by the sampled-run planner. Snapshot
+//! encoders therefore must not iterate hash-ordered containers without
+//! sorting, and must not capture wall-clock time (`pfm-lint` enforces
+//! both via the `snapshot-hash-iter` / `snapshot-wall-clock` rules).
+
+/// Version tag written at the head of every top-level snapshot. Bump
+/// on any layout change; decoders reject mismatches instead of
+/// misinterpreting bytes.
+pub const SNAP_VERSION: u32 = 1;
+
+/// FNV-1a offset basis shared by every checksum in the workspace
+/// (content keys, commit-stream folds, architectural fingerprints).
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime shared by every checksum in the workspace.
+pub const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// Stable content key of a snapshot byte stream: FNV-1a over the bytes
+/// (plus the length, so prefixes never collide with their extension).
+///
+/// Equal keys are treated as equal snapshots by the run-plan dedup
+/// layer, exactly like the configuration content keys elsewhere in the
+/// stack.
+pub fn content_key(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h ^= bytes.len() as u64;
+    h.wrapping_mul(FNV_PRIME)
+}
+
+/// A failed snapshot decode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapError {
+    /// The byte stream ended before the expected field.
+    Truncated,
+    /// A decoded value is structurally impossible (bad tag, register
+    /// out of range, trailing bytes, ...). The message names the field.
+    Corrupt(&'static str),
+    /// The snapshot was produced by an incompatible format version.
+    Version {
+        /// Version found in the byte stream.
+        found: u32,
+    },
+    /// The state owner cannot be snapshotted (e.g. a custom fabric
+    /// component without snapshot support).
+    Unsupported(&'static str),
+}
+
+impl std::fmt::Display for SnapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapError::Truncated => write!(f, "snapshot truncated"),
+            SnapError::Corrupt(what) => write!(f, "snapshot corrupt: {what}"),
+            SnapError::Version { found } => write!(
+                f,
+                "snapshot version {found} incompatible with {SNAP_VERSION}"
+            ),
+            SnapError::Unsupported(what) => write!(f, "snapshot unsupported: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+/// Snapshot encoder: appends fixed-layout little-endian fields to a
+/// byte buffer.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// An empty encoder.
+    pub fn new() -> Enc {
+        Enc::default()
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `i64` (two's-complement, as `u64`).
+    pub fn i64(&mut self, v: i64) {
+        self.u64(v as u64);
+    }
+
+    /// Appends a `usize` as `u64`.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Appends a `bool` as one byte (0 or 1).
+    pub fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    /// Appends raw bytes with no length prefix (fixed-size payloads).
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Number of bytes encoded so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been encoded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the encoder and returns the byte stream.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Snapshot decoder: reads fields in the same order [`Enc`] wrote
+/// them, with bounds and validity checks (a corrupt stream produces a
+/// typed [`SnapError`], never a panic).
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// A decoder over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Reads `n` raw bytes.
+    ///
+    /// # Errors
+    /// [`SnapError::Truncated`] if fewer than `n` bytes remain.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
+        if self.remaining() < n {
+            return Err(SnapError::Truncated);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    /// [`SnapError::Truncated`] at end of stream.
+    pub fn u8(&mut self) -> Result<u8, SnapError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    /// [`SnapError::Truncated`] at end of stream.
+    pub fn u32(&mut self) -> Result<u32, SnapError> {
+        let b = self.bytes(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    /// [`SnapError::Truncated`] at end of stream.
+    pub fn u64(&mut self) -> Result<u64, SnapError> {
+        let b = self.bytes(8)?;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(b);
+        Ok(u64::from_le_bytes(raw))
+    }
+
+    /// Reads an `i64` (two's-complement).
+    ///
+    /// # Errors
+    /// [`SnapError::Truncated`] at end of stream.
+    pub fn i64(&mut self) -> Result<i64, SnapError> {
+        Ok(self.u64()? as i64)
+    }
+
+    /// Reads a `usize` encoded as `u64`.
+    ///
+    /// # Errors
+    /// [`SnapError::Truncated`] at end of stream, or
+    /// [`SnapError::Corrupt`] if the value does not fit `usize`.
+    pub fn usize(&mut self) -> Result<usize, SnapError> {
+        usize::try_from(self.u64()?).map_err(|_| SnapError::Corrupt("usize overflow"))
+    }
+
+    /// Reads a sequence length and sanity-checks it against the bytes
+    /// remaining (every element occupies at least one byte, so a valid
+    /// length can never exceed `remaining`). This bounds allocations on
+    /// corrupt input.
+    ///
+    /// # Errors
+    /// [`SnapError::Truncated`] at end of stream, or
+    /// [`SnapError::Corrupt`] if the length is impossible.
+    pub fn seq_len(&mut self) -> Result<usize, SnapError> {
+        let n = self.usize()?;
+        if n > self.remaining() {
+            return Err(SnapError::Corrupt("sequence length exceeds stream"));
+        }
+        Ok(n)
+    }
+
+    /// Reads a `bool`, rejecting anything but 0 or 1.
+    ///
+    /// # Errors
+    /// [`SnapError::Truncated`] at end of stream, or
+    /// [`SnapError::Corrupt`] on a non-boolean byte.
+    pub fn bool(&mut self) -> Result<bool, SnapError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(SnapError::Corrupt("bool tag")),
+        }
+    }
+
+    /// Asserts the stream is fully consumed (top-level decode only).
+    ///
+    /// # Errors
+    /// [`SnapError::Corrupt`] if bytes remain.
+    pub fn finish(&self) -> Result<(), SnapError> {
+        if self.remaining() != 0 {
+            return Err(SnapError::Corrupt("trailing bytes"));
+        }
+        Ok(())
+    }
+}
+
+/// Writes the [`SNAP_VERSION`] header.
+pub fn write_version(e: &mut Enc) {
+    e.u32(SNAP_VERSION);
+}
+
+/// Reads and validates the [`SNAP_VERSION`] header.
+///
+/// # Errors
+/// [`SnapError::Version`] on mismatch, [`SnapError::Truncated`] at end
+/// of stream.
+pub fn read_version(d: &mut Dec<'_>) -> Result<(), SnapError> {
+    let found = d.u32()?;
+    if found != SNAP_VERSION {
+        return Err(SnapError::Version { found });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut e = Enc::new();
+        e.u8(0xAB);
+        e.u32(0xDEAD_BEEF);
+        e.u64(u64::MAX - 1);
+        e.i64(-42);
+        e.bool(true);
+        e.bool(false);
+        e.usize(7);
+        e.bytes(&[1, 2, 3]);
+        assert!(!e.is_empty());
+        let bytes = e.finish();
+
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.u8().unwrap(), 0xAB);
+        assert_eq!(d.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(d.i64().unwrap(), -42);
+        assert!(d.bool().unwrap());
+        assert!(!d.bool().unwrap());
+        assert_eq!(d.usize().unwrap(), 7);
+        assert_eq!(d.bytes(3).unwrap(), &[1, 2, 3]);
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_typed() {
+        let mut e = Enc::new();
+        e.u32(1);
+        let bytes = e.finish();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.u64().unwrap_err(), SnapError::Truncated);
+        let mut d = Dec::new(&bytes);
+        d.u32().unwrap();
+        assert_eq!(d.u8().unwrap_err(), SnapError::Truncated);
+    }
+
+    #[test]
+    fn corrupt_bool_and_trailing_bytes_are_typed() {
+        let bytes = [2u8, 0];
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.bool().unwrap_err(), SnapError::Corrupt("bool tag"));
+        assert_eq!(
+            d.finish().unwrap_err(),
+            SnapError::Corrupt("trailing bytes")
+        );
+    }
+
+    #[test]
+    fn seq_len_bounds_corrupt_counts() {
+        let mut e = Enc::new();
+        e.u64(u64::MAX); // impossible element count
+        let bytes = e.finish();
+        let mut d = Dec::new(&bytes);
+        assert!(matches!(d.seq_len().unwrap_err(), SnapError::Corrupt(_)));
+    }
+
+    #[test]
+    fn version_header_roundtrip_and_mismatch() {
+        let mut e = Enc::new();
+        write_version(&mut e);
+        let bytes = e.finish();
+        read_version(&mut Dec::new(&bytes)).unwrap();
+
+        let mut e = Enc::new();
+        e.u32(SNAP_VERSION + 9);
+        let bytes = e.finish();
+        assert_eq!(
+            read_version(&mut Dec::new(&bytes)).unwrap_err(),
+            SnapError::Version {
+                found: SNAP_VERSION + 9
+            }
+        );
+    }
+
+    #[test]
+    fn content_key_is_stable_and_length_sensitive() {
+        assert_eq!(content_key(b"abc"), content_key(b"abc"));
+        assert_ne!(content_key(b"abc"), content_key(b"abd"));
+        assert_ne!(content_key(b""), content_key(b"\0"));
+        assert_ne!(content_key(b"a"), content_key(b"a\0"));
+    }
+
+    #[test]
+    fn errors_render() {
+        for e in [
+            SnapError::Truncated,
+            SnapError::Corrupt("x"),
+            SnapError::Version { found: 3 },
+            SnapError::Unsupported("y"),
+        ] {
+            assert!(!format!("{e}").is_empty());
+        }
+    }
+}

@@ -4,7 +4,11 @@
 //!   `HashMap`/`HashSet` iteration, wall-clock reads, and entropy-seeded
 //!   RNGs. PR 1's deduplicating executor collapses behaviourally equal
 //!   runs into one simulation, which is only sound if every run is
-//!   internally deterministic.
+//!   internally deterministic. The family's *snapshot* rules go
+//!   further and workspace-wide: inside snapshot/serialization
+//!   functions, hash-ordered iteration (including the `Fx` variants)
+//!   and wall-clock capture are forbidden — snapshot bytes must be
+//!   canonical.
 //! * **noninterference** — `crates/fabric` and `crates/components` may
 //!   observe the retired stream and emit packets through the sanctioned
 //!   `FabricIo` API, but must never call an architectural-state mutator
@@ -67,6 +71,21 @@ const HASH_ITER_METHODS: &[&str] = &[
     "drain",
     "into_iter",
 ];
+
+/// Hash-container type names the determinism rule matches (`std` only:
+/// a seeded `FxHashMap` iterates reproducibly within one process, which
+/// is all run-level determinism needs).
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+
+/// Hash-container type names the *snapshot* rules match. Snapshot
+/// bytes must be canonical across processes and machine restarts, so
+/// even a deterministic-per-process hasher's bucket order (the Fx
+/// variants) is forbidden in serialization paths.
+const SNAPSHOT_HASH_TYPES: &[&str] = &["HashMap", "HashSet", "FxHashMap", "FxHashSet"];
+
+/// Function-name substrings marking a snapshot/serialization code path
+/// (the region the snapshot rules confine themselves to).
+const SNAPSHOT_FN_MARKERS: &[&str] = &["snapshot", "encode", "decode", "restore", "serialize"];
 
 /// Entropy-seeded RNG constructors/handles.
 const RNG_IDENTS: &[&str] = &["thread_rng", "ThreadRng", "from_entropy", "OsRng"];
@@ -147,6 +166,10 @@ pub fn check(lexed: &Lexed, ctx: &FileContext) -> Vec<Finding> {
     if in_pc_config {
         provenance(lexed, ctx, &mut findings);
     }
+    // Snapshot codecs exist in most layers (isa, mem, bpred, core,
+    // fabric, components) and their callers in tool crates, so the
+    // snapshot rules are workspace-wide, not crate-scoped.
+    snapshot_determinism(lexed, ctx, &mut findings);
     hygiene(lexed, ctx, &mut findings);
     robustness(lexed, ctx, in_agent, &mut findings);
 
@@ -177,27 +200,31 @@ fn emit(
     });
 }
 
-/// Collects names declared with a `HashMap`/`HashSet` type anywhere in
-/// the file: struct fields and typed bindings (`name: HashMap<..>`,
+/// Collects names declared with one of the `types` anywhere in the
+/// file: struct fields and typed bindings (`name: HashMap<..>`,
 /// possibly behind `&`/`&mut`/a `std::collections::` path) and
 /// inferred bindings (`let name = HashMap::new()`).
-fn hash_names(lexed: &Lexed) -> Vec<String> {
+fn hash_names_of(lexed: &Lexed, types: &[&str]) -> Vec<String> {
     let toks = &lexed.tokens;
     let t = |i: usize| toks.get(i).map(|t| t.text.as_str());
     let mut names = Vec::new();
     for i in 0..toks.len() {
-        let is_hash = matches!(t(i), Some("HashMap") | Some("HashSet"));
+        let is_hash = t(i).is_some_and(|w| types.contains(&w));
         if !is_hash {
             continue;
         }
         // Walk left over a type-path / reference prefix to find either
         // `name :` (typed binding or field) or `name =` (let binding).
         let mut j = i;
-        // `std :: collections ::` path segments (each is `seg : :`).
+        // `std :: collections ::` / `crate :: fxhash ::` path segments
+        // (each is `seg : :`).
         while j >= 3
             && t(j - 1) == Some(":")
             && t(j - 2) == Some(":")
-            && matches!(t(j - 3), Some("std") | Some("collections"))
+            && matches!(
+                t(j - 3),
+                Some("std") | Some("collections") | Some("crate") | Some("fxhash")
+            )
         {
             j -= 3;
         }
@@ -234,7 +261,7 @@ fn hash_names(lexed: &Lexed) -> Vec<String> {
 
 /// determinism/hash-iter, determinism/wall-clock, determinism/rng.
 fn determinism(lexed: &Lexed, ctx: &FileContext, findings: &mut Vec<Finding>) {
-    let names = hash_names(lexed);
+    let names = hash_names_of(lexed, HASH_TYPES);
     let toks = &lexed.tokens;
     let t = |i: usize| toks.get(i).map(|t| t.text.as_str());
 
@@ -335,6 +362,170 @@ fn determinism(lexed: &Lexed, ctx: &FileContext, findings: &mut Vec<Finding>) {
                     "determinism",
                     "rng",
                     format!("`{w}` in a simulation crate; seed RNGs explicitly"),
+                );
+            }
+        }
+    }
+}
+
+/// Finds half-open token ranges covering the bodies of functions whose
+/// name marks a snapshot/serialization path (`fn *snapshot*`,
+/// `*encode*`, `*decode*`, `*restore*`, `*serialize*`), by brace
+/// matching over the token stream (the same technique as
+/// `find_test_ranges`). Bodiless trait declarations (`fn f(...);`) have
+/// no range.
+fn snapshot_fn_ranges(lexed: &Lexed) -> Vec<(usize, usize)> {
+    let toks = &lexed.tokens;
+    let t = |i: usize| toks.get(i).map(|t| t.text.as_str());
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if t(i) != Some("fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name) = t(i + 1) else { break };
+        let lower = name.to_ascii_lowercase();
+        if !SNAPSHOT_FN_MARKERS.iter().any(|m| lower.contains(m)) {
+            i += 2;
+            continue;
+        }
+        // Scan the signature for the body's opening brace; a `;` first
+        // means a trait method without a default body.
+        let mut j = i + 2;
+        let mut open = None;
+        while j < toks.len() {
+            match t(j) {
+                Some(";") => break,
+                Some("{") => {
+                    open = Some(j);
+                    break;
+                }
+                _ => j += 1,
+            }
+        }
+        let Some(open) = open else {
+            i = j + 1;
+            continue;
+        };
+        let mut depth = 1usize;
+        let mut e = open + 1;
+        while e < toks.len() && depth > 0 {
+            match t(e) {
+                Some("{") => depth += 1,
+                Some("}") => depth -= 1,
+                _ => {}
+            }
+            e += 1;
+        }
+        ranges.push((open, e));
+        i = e;
+    }
+    ranges
+}
+
+/// determinism/snapshot-hash-iter, determinism/snapshot-wall-clock:
+/// snapshot/serialization paths must emit *canonical* bytes — equal
+/// state, equal bytes, on any machine. Inside snapshot-named function
+/// bodies (workspace-wide, not just the sim crates) this forbids
+/// iterating hash-ordered containers (including the per-process
+/// deterministic `Fx` variants — their bucket order is still not part
+/// of the state) and capturing wall-clock time into the encoded
+/// stream.
+fn snapshot_determinism(lexed: &Lexed, ctx: &FileContext, findings: &mut Vec<Finding>) {
+    let regions = snapshot_fn_ranges(lexed);
+    if regions.is_empty() {
+        return;
+    }
+    let names = hash_names_of(lexed, SNAPSHOT_HASH_TYPES);
+    let toks = &lexed.tokens;
+    let t = |i: usize| toks.get(i).map(|t| t.text.as_str());
+    for &(start, end) in &regions {
+        for i in start..end.min(toks.len()) {
+            if lexed.in_test_region(i) {
+                continue;
+            }
+            let line = toks[i].line;
+
+            // `name.iter()` / `.keys()` / `.values()` / `.drain()` ...
+            if names.iter().any(|n| n == &toks[i].text)
+                && t(i + 1) == Some(".")
+                && t(i + 3) == Some("(")
+            {
+                if let Some(m) = t(i + 2) {
+                    if HASH_ITER_METHODS.contains(&m) {
+                        emit(
+                            lexed,
+                            findings,
+                            ctx,
+                            line,
+                            "determinism",
+                            "snapshot-hash-iter",
+                            format!(
+                                "snapshot path iterates hash-ordered container `{}` \
+                                 (`.{}()`); snapshot bytes must be canonical — sort \
+                                 the keys first or use a BTree container",
+                                toks[i].text, m
+                            ),
+                        );
+                    }
+                }
+            }
+
+            // `for k in &map {` (with optional `mut`/`self.` between).
+            if t(i) == Some("in") {
+                let mut j = i + 1;
+                while matches!(t(j), Some("&") | Some("mut") | Some("self") | Some(".")) {
+                    j += 1;
+                }
+                if let Some(name) = t(j) {
+                    if names.iter().any(|n| n == name) && t(j + 1) == Some("{") {
+                        emit(
+                            lexed,
+                            findings,
+                            ctx,
+                            toks[j].line,
+                            "determinism",
+                            "snapshot-hash-iter",
+                            format!(
+                                "snapshot path for-loops over hash-ordered container \
+                                 `{name}`; snapshot bytes must be canonical — sort the \
+                                 keys first or use a BTree container"
+                            ),
+                        );
+                    }
+                }
+            }
+
+            // Wall-clock capture inside a snapshot path.
+            if t(i) == Some("Instant")
+                && t(i + 1) == Some(":")
+                && t(i + 2) == Some(":")
+                && t(i + 3) == Some("now")
+            {
+                emit(
+                    lexed,
+                    findings,
+                    ctx,
+                    line,
+                    "determinism",
+                    "snapshot-wall-clock",
+                    "`Instant::now` in a snapshot path; snapshot bytes must be a \
+                     function of machine state, never of when they were taken"
+                        .to_string(),
+                );
+            }
+            if t(i) == Some("SystemTime") {
+                emit(
+                    lexed,
+                    findings,
+                    ctx,
+                    line,
+                    "determinism",
+                    "snapshot-wall-clock",
+                    "`SystemTime` in a snapshot path; snapshot bytes must be a \
+                     function of machine state, never of when they were taken"
+                        .to_string(),
                 );
             }
         }

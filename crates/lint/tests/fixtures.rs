@@ -234,6 +234,66 @@ fn raw_hex_pcs_are_out_of_scope_for_tool_crates() {
 }
 
 #[test]
+fn snapshot_hash_iter_is_workspace_wide_and_sees_fx_containers() {
+    // Unlike the crate-scoped basic rule, the snapshot rules fire even
+    // in tool crates, and FxHashMap is in scope: canonical snapshot
+    // bytes must not depend on any hasher's bucket order.
+    let src = include_str!("fixtures/snapshot_hash_iter_bad.rs");
+    let findings = lint_source(src, &tool_ctx());
+    let r = rules(&findings);
+    assert_eq!(
+        r,
+        vec![
+            ("determinism", "snapshot-hash-iter"),
+            ("determinism", "snapshot-hash-iter"),
+        ],
+        "expected exactly the two unsorted walks in snapshot_encode: {findings:#?}"
+    );
+    // The for-in over the Fx map, then the .keys() walk of the std map.
+    assert_eq!(findings[0].line, 16);
+    assert_eq!(findings[1].line, 20);
+}
+
+#[test]
+fn snapshot_hash_iter_allow_and_non_snapshot_paths_stay_silent() {
+    // The annotated sorted-encode site is suppressed, and tick() is
+    // outside every snapshot path, so a sim crate adds only the basic
+    // hash-iter finding for the std-hash walk in tick() — the Fx walk
+    // there stays invisible to the basic rule by design.
+    let src = include_str!("fixtures/snapshot_hash_iter_bad.rs");
+    let findings = lint_source(src, &sim_ctx());
+    let r = rules(&findings);
+    assert_eq!(
+        r.iter()
+            .filter(|(_, rule)| *rule == "snapshot-hash-iter")
+            .count(),
+        2,
+        "snapshot findings must not change under a sim ctx: {findings:#?}"
+    );
+    assert!(
+        !r.contains(&("determinism", "snapshot-wall-clock")),
+        "no wall-clock reads in this fixture: {findings:#?}"
+    );
+}
+
+#[test]
+fn snapshot_wall_clock_is_flagged_only_inside_snapshot_paths() {
+    let src = include_str!("fixtures/snapshot_wall_clock_bad.rs");
+    let findings = lint_source(src, &tool_ctx());
+    let r = rules(&findings);
+    assert_eq!(
+        r,
+        vec![
+            ("determinism", "snapshot-wall-clock"),
+            ("determinism", "snapshot-wall-clock"),
+        ],
+        "expected the Instant and SystemTime reads in encode(): {findings:#?}"
+    );
+    assert_eq!(findings[0].line, 14);
+    assert_eq!(findings[1].line, 16);
+}
+
+#[test]
 fn clean_fixture_is_clean_everywhere() {
     let src = include_str!("fixtures/clean.rs");
     for ctx in [sim_ctx(), agent_ctx(), tool_ctx()] {

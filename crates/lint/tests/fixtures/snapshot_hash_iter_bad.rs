@@ -1,0 +1,42 @@
+//! Known-bad: hash-ordered iteration inside snapshot/serialization
+//! functions. The snapshot rules apply workspace-wide and also match
+//! the Fx hash containers (their per-process bucket order is still not
+//! canonical), unlike the crate-scoped basic determinism rule.
+
+use crate::fxhash::FxHashMap;
+use std::collections::HashMap;
+
+pub struct State {
+    pages: FxHashMap<u64, u64>,
+    tags: HashMap<u64, u8>,
+}
+
+impl State {
+    pub fn snapshot_encode(&self, out: &mut Vec<u8>) {
+        for kv in &self.pages {
+            // bad: Fx bucket order leaks into the bytes
+            out.push(*kv.1 as u8);
+        }
+        for k in self.tags.keys() {
+            // bad: std hash order leaks into the bytes
+            out.push(*k as u8);
+        }
+    }
+
+    pub fn snapshot_encode_sorted(&self, out: &mut Vec<u8>) {
+        // good: sorted before encoding, justified at the site
+        // pfm-lint: allow(snapshot-hash-iter)
+        let mut keys: Vec<u64> = self.pages.keys().copied().collect();
+        keys.sort_unstable();
+        out.extend(keys.iter().map(|k| *k as u8));
+    }
+
+    pub fn tick(&mut self) {
+        // Outside a snapshot path the snapshot rules stay silent (the
+        // basic determinism rule owns non-snapshot code, and only in
+        // the sim crates).
+        for kv in &self.pages {
+            let _ = kv;
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Known-bad: wall-clock capture inside snapshot/serialization
+//! functions. Snapshot bytes must be a function of machine state, never
+//! of when they were taken — a timestamp in the stream breaks the
+//! canonical-bytes contract (and with it content-keyed deduplication).
+
+use std::time::{Instant, SystemTime};
+
+pub struct Header {
+    pub version: u32,
+}
+
+impl Header {
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let stamp = Instant::now(); // bad: nondeterministic bytes
+        let _ = stamp;
+        let epoch = SystemTime::now(); // bad: flagged via the type name
+        let _ = epoch;
+        out.extend_from_slice(&self.version.to_le_bytes());
+    }
+
+    pub fn observe(&self) -> u64 {
+        // Outside a snapshot path the snapshot rules stay silent; in a
+        // sim crate the basic determinism/wall-clock rule would own
+        // this site instead.
+        let t = Instant::now();
+        let _ = t;
+        0
+    }
+}

@@ -5,6 +5,8 @@
 //! when the data arrives. This keeps the model single-pass while still
 //! capturing hit/miss behaviour, eviction and prefetch pollution.
 
+use pfm_isa::snap::{Dec, Enc, SnapError};
+
 /// Base-2 logarithm of the cache line size (64-byte lines).
 pub const LINE_SHIFT: u64 = 6;
 /// Cache line size in bytes.
@@ -93,6 +95,26 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
+    /// Serializes the counters.
+    pub fn snapshot_encode(&self, e: &mut Enc) {
+        e.u64(self.hits);
+        e.u64(self.misses);
+        e.u64(self.prefetch_fills);
+        e.u64(self.prefetch_useful);
+        e.u64(self.writebacks);
+    }
+
+    /// Decodes counters serialized by [`CacheStats::snapshot_encode`].
+    pub fn snapshot_decode(d: &mut Dec<'_>) -> Result<CacheStats, SnapError> {
+        Ok(CacheStats {
+            hits: d.u64()?,
+            misses: d.u64()?,
+            prefetch_fills: d.u64()?,
+            prefetch_useful: d.u64()?,
+            writebacks: d.u64()?,
+        })
+    }
+
     /// Demand miss ratio in [0, 1]; zero when no accesses occurred.
     pub fn miss_ratio(&self) -> f64 {
         let total = self.hits + self.misses;
@@ -230,6 +252,43 @@ impl Cache {
             prefetched: from_prefetch,
         };
         evicted
+    }
+
+    /// Serializes the warm tag/LRU state and statistics. The geometry
+    /// is not serialized: it comes from the config passed to
+    /// [`Cache::snapshot_decode`].
+    pub fn snapshot_encode(&self, e: &mut Enc) {
+        e.usize(self.lines.len());
+        for l in &self.lines {
+            e.u64(l.tag);
+            e.bool(l.valid);
+            e.bool(l.dirty);
+            e.u64(l.lru);
+            e.bool(l.prefetched);
+        }
+        e.u64(self.stamp);
+        self.stats.snapshot_encode(e);
+    }
+
+    /// Decodes a cache serialized by [`Cache::snapshot_encode`] into a
+    /// cache with geometry `config`.
+    pub fn snapshot_decode(config: CacheConfig, d: &mut Dec<'_>) -> Result<Cache, SnapError> {
+        let mut c = Cache::new(config);
+        if d.usize()? != c.lines.len() {
+            return Err(SnapError::Corrupt("cache line count"));
+        }
+        for l in &mut c.lines {
+            *l = Line {
+                tag: d.u64()?,
+                valid: d.bool()?,
+                dirty: d.bool()?,
+                lru: d.u64()?,
+                prefetched: d.bool()?,
+            };
+        }
+        c.stamp = d.u64()?;
+        c.stats = CacheStats::snapshot_decode(d)?;
+        Ok(c)
     }
 
     /// Invalidates every line (used between experiment runs).

@@ -7,6 +7,11 @@
 //! wall-clock budget buys, and makes hot-loop regressions visible as a
 //! number rather than a vague "repro feels slow".
 //!
+//! With `--functional`, a second separately-timed batch retires the
+//! same suite on the pre-decoded functional executor and the report
+//! adds per-use-case functional MKIPS plus the aggregate speedup ratio
+//! — the number the two-speed design is judged by.
+//!
 //! Throughput is *host* timing and therefore not deterministic; the
 //! harness reuses the executor's wall-clock plumbing and never touches
 //! simulated statistics, so it cannot perturb results (the golden-stats
@@ -22,12 +27,17 @@ use crate::usecases;
 pub struct BenchRow {
     /// Use-case name, e.g. `astar`.
     pub name: String,
-    /// `baseline` or `pfm`.
+    /// `baseline`, `pfm` or `functional`.
     pub mode: &'static str,
     /// Instructions retired by the run.
     pub retired: u64,
     /// Host seconds the run took.
     pub seconds: f64,
+    /// Whether the workload ran to completion (halted) rather than
+    /// being cut off by the instruction budget — a run that exits
+    /// early reports honest but incomparable throughput, so the table
+    /// marks it instead of letting it masquerade as budget-limited.
+    pub completed: bool,
 }
 
 impl BenchRow {
@@ -40,11 +50,18 @@ impl BenchRow {
 /// A completed throughput benchmark.
 #[derive(Clone, Debug)]
 pub struct BenchReport {
-    /// Per-run throughput, suite order (baseline then pfm per
+    /// Per-run detailed throughput, suite order (baseline then pfm per
     /// use-case).
     pub rows: Vec<BenchRow>,
-    /// End-to-end wall-clock seconds for the whole suite.
+    /// Per-use-case functional throughput (empty unless the functional
+    /// batch was requested). Timed as a separate batch, so its wall
+    /// clock never overlaps the detailed rows'.
+    pub functional_rows: Vec<BenchRow>,
+    /// End-to-end wall-clock seconds for the detailed suite.
     pub wall_seconds: f64,
+    /// End-to-end wall-clock seconds for the functional batch (0 if
+    /// not requested).
+    pub functional_wall_seconds: f64,
     /// Worker threads used.
     pub jobs: usize,
     /// Instruction budget per run.
@@ -52,16 +69,35 @@ pub struct BenchReport {
 }
 
 impl BenchReport {
-    /// Total instructions retired across the suite.
+    /// Total instructions retired across the detailed suite.
     pub fn total_retired(&self) -> u64 {
         self.rows.iter().map(|r| r.retired).sum()
     }
 
-    /// Suite-level MKIPS: total retired over *wall* seconds, so worker
-    /// overlap counts (this is the number that predicts `repro --all`
-    /// turnaround).
+    /// Suite-level detailed MKIPS: total retired over *wall* seconds,
+    /// so worker overlap counts (this is the number that predicts
+    /// `repro --all` turnaround).
     pub fn aggregate_mkips(&self) -> f64 {
         self.total_retired() as f64 / self.wall_seconds.max(1e-9) / 1e6
+    }
+
+    /// Total instructions retired by the functional batch.
+    pub fn functional_total_retired(&self) -> u64 {
+        self.functional_rows.iter().map(|r| r.retired).sum()
+    }
+
+    /// Aggregate MKIPS of the functional batch.
+    pub fn functional_aggregate_mkips(&self) -> f64 {
+        self.functional_total_retired() as f64 / self.functional_wall_seconds.max(1e-9) / 1e6
+    }
+
+    /// Functional-over-detailed aggregate throughput ratio (the
+    /// two-speed acceptance number; 0 if no functional batch ran).
+    pub fn functional_speedup(&self) -> f64 {
+        if self.functional_rows.is_empty() {
+            return 0.0;
+        }
+        self.functional_aggregate_mkips() / self.aggregate_mkips().max(1e-12)
     }
 
     /// Human-readable table.
@@ -72,17 +108,18 @@ impl BenchReport {
             self.max_instrs, self.jobs
         ));
         out.push_str(&format!(
-            "{:<22} {:<9} {:>12} {:>9} {:>8}\n",
-            "use case", "mode", "retired", "seconds", "MKIPS"
+            "{:<22} {:<10} {:>12} {:>9} {:>9} {:>9}\n",
+            "use case", "mode", "retired", "seconds", "MKIPS", "completed"
         ));
-        for r in &self.rows {
+        for r in self.rows.iter().chain(&self.functional_rows) {
             out.push_str(&format!(
-                "{:<22} {:<9} {:>12} {:>9.3} {:>8.2}\n",
+                "{:<22} {:<10} {:>12} {:>9.3} {:>9.2} {:>9}\n",
                 r.name,
                 r.mode,
                 r.retired,
                 r.seconds,
-                r.mkips()
+                r.mkips(),
+                if r.completed { "yes" } else { "no" }
             ));
         }
         out.push_str(&format!(
@@ -91,6 +128,15 @@ impl BenchReport {
             self.wall_seconds,
             self.aggregate_mkips()
         ));
+        if !self.functional_rows.is_empty() {
+            out.push_str(&format!(
+                "\nfunctional: {} instrs in {:.2}s wall = {:.2} MKIPS ({:.1}x detailed)",
+                self.functional_total_retired(),
+                self.functional_wall_seconds,
+                self.functional_aggregate_mkips(),
+                self.functional_speedup()
+            ));
+        }
         out
     }
 
@@ -106,17 +152,37 @@ impl BenchReport {
             "  \"aggregate_mkips\": {:.4},\n",
             self.aggregate_mkips()
         ));
+        if !self.functional_rows.is_empty() {
+            out.push_str(&format!(
+                "  \"functional_wall_seconds\": {:.6},\n",
+                self.functional_wall_seconds
+            ));
+            out.push_str(&format!(
+                "  \"functional_total_retired\": {},\n",
+                self.functional_total_retired()
+            ));
+            out.push_str(&format!(
+                "  \"functional_aggregate_mkips\": {:.4},\n",
+                self.functional_aggregate_mkips()
+            ));
+            out.push_str(&format!(
+                "  \"functional_speedup\": {:.2},\n",
+                self.functional_speedup()
+            ));
+        }
         out.push_str("  \"runs\": [\n");
-        for (i, r) in self.rows.iter().enumerate() {
+        let all: Vec<&BenchRow> = self.rows.iter().chain(&self.functional_rows).collect();
+        for (i, r) in all.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"name\": {}, \"mode\": \"{}\", \"retired\": {}, \
-                 \"seconds\": {:.6}, \"mkips\": {:.4}}}{}\n",
+                 \"seconds\": {:.6}, \"mkips\": {:.4}, \"completed\": {}}}{}\n",
                 json_string(&r.name),
                 r.mode,
                 r.retired,
                 r.seconds,
                 r.mkips(),
-                if i + 1 < self.rows.len() { "," } else { "" }
+                r.completed,
+                if i + 1 < all.len() { "," } else { "" }
             ));
         }
         out.push_str("  ]\n}\n");
@@ -141,10 +207,41 @@ fn json_string(s: &str) -> String {
     out
 }
 
+/// Collects one batch of specs into bench rows, pairing executor
+/// timings with results by key. A run that failed has no throughput —
+/// it is dropped from the table (the executor's failure report covers
+/// it).
+fn run_batch(
+    specs: &[RunSpec],
+    modes: &[&'static str],
+    opts: &ExecOptions,
+) -> (Vec<BenchRow>, f64) {
+    let (runs, report) = execute(specs, opts);
+    let rows = report
+        .runs
+        .iter()
+        .zip(modes)
+        .filter_map(|(r, mode)| {
+            let result = runs.get(&r.key).ok()?;
+            Some(BenchRow {
+                name: r.name.clone(),
+                mode,
+                retired: result.stats.retired,
+                seconds: r.seconds,
+                completed: result.completed,
+            })
+        })
+        .collect();
+    (rows, report.wall_seconds)
+}
+
 /// Runs the throughput suite: one baseline and one PFM run per
 /// use-case in [`usecases::throughput_suite_factories`], executed by
-/// the normal deduplicating executor.
-pub fn run_bench(rc: &RunConfig, opts: &ExecOptions) -> BenchReport {
+/// the normal deduplicating executor. With `functional`, a second
+/// separately-timed batch retires the same suite on the functional
+/// executor (one run per use-case — fabric interventions are
+/// microarchitectural, so baseline and PFM share a committed stream).
+pub fn run_bench(rc: &RunConfig, opts: &ExecOptions, functional: bool) -> BenchReport {
     let mut specs = Vec::new();
     let mut modes: Vec<&'static str> = Vec::new();
     for uc in usecases::throughput_suite_factories() {
@@ -157,31 +254,25 @@ pub fn run_bench(rc: &RunConfig, opts: &ExecOptions) -> BenchReport {
         ));
         modes.push("pfm");
     }
-    let (runs, report) = execute(&specs, opts);
+    let (rows, wall_seconds) = run_batch(&specs, &modes, opts);
 
-    // The suite has no duplicate specs, so executor report order ==
-    // spec order; pair timings with results by key anyway. A run that
-    // failed has no throughput — it is dropped from the table (the
-    // executor's failure report covers it).
-    let rows = report
-        .runs
-        .iter()
-        .zip(&modes)
-        .filter_map(|(r, mode)| {
-            let result = runs.get(&r.key).ok()?;
-            Some(BenchRow {
-                name: r.name.clone(),
-                mode,
-                retired: result.stats.retired,
-                seconds: r.seconds,
-            })
-        })
-        .collect();
+    let (functional_rows, functional_wall_seconds) = if functional {
+        let fspecs: Vec<RunSpec> = usecases::throughput_suite_factories()
+            .into_iter()
+            .map(|uc| RunSpec::functional(uc, rc))
+            .collect();
+        let fmodes = vec!["functional"; fspecs.len()];
+        run_batch(&fspecs, &fmodes, opts)
+    } else {
+        (Vec::new(), 0.0)
+    };
 
     BenchReport {
         rows,
-        wall_seconds: report.wall_seconds,
-        jobs: report.jobs,
+        functional_rows,
+        wall_seconds,
+        functional_wall_seconds,
+        jobs: opts.jobs.max(1),
         max_instrs: rc.max_instrs,
     }
 }
@@ -196,17 +287,41 @@ mod tests {
             max_instrs: 5_000,
             ..RunConfig::test_scale()
         };
-        let report = run_bench(&rc, &ExecOptions::serial());
+        let report = run_bench(&rc, &ExecOptions::serial(), false);
         assert_eq!(
             report.rows.len(),
             2 * usecases::throughput_suite_factories().len()
         );
+        assert!(report.functional_rows.is_empty());
         for row in &report.rows {
             assert!(row.retired > 0, "{} retired nothing", row.name);
             assert!(row.mkips() > 0.0);
+            assert!(!row.completed, "5k instrs cannot finish {}", row.name);
         }
         assert!(report.aggregate_mkips() > 0.0);
         assert!(report.total_retired() >= 5_000 * report.rows.len() as u64 / 2);
+    }
+
+    #[test]
+    fn functional_batch_adds_rows_and_speedup() {
+        let rc = RunConfig {
+            max_instrs: 5_000,
+            ..RunConfig::test_scale()
+        };
+        let report = run_bench(&rc, &ExecOptions::serial(), true);
+        let n = usecases::throughput_suite_factories().len();
+        assert_eq!(report.functional_rows.len(), n);
+        for row in &report.functional_rows {
+            assert_eq!(row.mode, "functional");
+            assert!(row.retired > 0);
+        }
+        assert!(report.functional_aggregate_mkips() > 0.0);
+        assert!(report.functional_speedup() > 0.0);
+        let j = report.to_json();
+        assert!(j.contains("\"functional_aggregate_mkips\""));
+        assert!(j.contains("\"functional_speedup\""));
+        assert!(j.contains("\"mode\": \"functional\""));
+        assert!(report.render().contains("functional:"));
     }
 
     #[test]
@@ -217,8 +332,11 @@ mod tests {
                 mode: "baseline",
                 retired: 1000,
                 seconds: 0.5,
+                completed: false,
             }],
+            functional_rows: Vec::new(),
             wall_seconds: 0.5,
+            functional_wall_seconds: 0.0,
             jobs: 1,
             max_instrs: 1000,
         };
@@ -227,6 +345,11 @@ mod tests {
         assert!(j.ends_with("}\n"));
         assert!(j.contains("\"name\": \"astar\""));
         assert!(j.contains("\"aggregate_mkips\": 0.0020"));
+        assert!(j.contains("\"completed\": false"));
+        assert!(
+            !j.contains("functional_speedup"),
+            "no functional keys without a functional batch"
+        );
         assert_eq!(
             j.matches('{').count(),
             j.matches('}').count(),

@@ -29,6 +29,7 @@ pub mod exec;
 pub mod experiments;
 pub mod plan;
 pub mod runner;
+pub mod sampled;
 pub mod usecases;
 
 pub use bench::{run_bench, BenchReport, BenchRow};
@@ -36,5 +37,7 @@ pub use exec::{run_plans, ExecOptions, ExecReport, FailureReport};
 pub use experiments::{Experiment, Row};
 pub use plan::{ExperimentPlan, PlanError, RunOutcome, RunSet, RunSpec};
 pub use runner::{
-    run_baseline, run_chaos, run_pfm, RunConfig, RunError, RunResult, DEFAULT_COMMIT_WATCHDOG,
+    run_baseline, run_chaos, run_functional, run_pfm, RunConfig, RunError, RunResult,
+    DEFAULT_COMMIT_WATCHDOG,
 };
+pub use sampled::{run_sampled, IntervalRow, SampledConfig, SampledError, SampledReport};

@@ -29,10 +29,14 @@
 //! behaviourally identical runs.
 
 use crate::experiments::{Experiment, Row};
-use crate::runner::{run_baseline, run_chaos, run_pfm, RunConfig, RunError, RunResult};
+use crate::runner::{
+    run_baseline, run_chaos, run_functional, run_interval, run_pfm, RunConfig, RunError, RunResult,
+};
 use pfm_fabric::{FabricParams, FaultPlan};
+use pfm_isa::snap::content_key;
 use pfm_workloads::UseCaseFactory;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A typed planning/assembly failure. Everything the old panicking
 /// paths could hit is representable here, so `repro` can report and
@@ -100,6 +104,30 @@ impl std::fmt::Display for PlanError {
 
 impl std::error::Error for PlanError {}
 
+/// Which execution speed a [`RunSpec`] runs at. Detailed specs
+/// cycle-simulate on the out-of-order core; functional specs retire the
+/// same committed stream on the pre-decoded fast executor; interval
+/// specs restore an architectural snapshot and cycle-simulate a
+/// bounded detailed window (the sampled-run building block).
+#[derive(Clone, Debug)]
+enum Flavor {
+    /// Full detailed simulation from reset (baseline/PFM/chaos).
+    Detailed,
+    /// Functional-only execution on [`pfm_isa::FastExec`].
+    Functional,
+    /// Detailed simulation of one sampling interval, started from an
+    /// architectural snapshot.
+    Interval {
+        /// Machine snapshot captured by the functional fast-forward.
+        /// Shared (`Arc`) so cloning specs across executor threads does
+        /// not copy megabytes of memory pages.
+        snapshot: Arc<Vec<u8>>,
+        /// Detailed warm-up instructions retired (and diffed out)
+        /// before measurement starts.
+        warmup: u64,
+    },
+}
+
 /// One fully-specified, deduplicatable simulation run.
 #[derive(Clone, Debug)]
 pub struct RunSpec {
@@ -107,6 +135,7 @@ pub struct RunSpec {
     rc: RunConfig,
     fabric: Option<FabricParams>,
     fault: Option<FaultPlan>,
+    flavor: Flavor,
     key: String,
 }
 
@@ -119,6 +148,53 @@ impl RunSpec {
             rc: rc.clone(),
             fabric: None,
             fault: None,
+            flavor: Flavor::Detailed,
+            key,
+        }
+    }
+
+    /// A functional-only run: the same use-case and instruction budget,
+    /// retired on the pre-decoded fast executor instead of the detailed
+    /// core. Produces the same committed-stream checksum as its
+    /// detailed counterparts, at interpreter speed.
+    pub fn functional(usecase: UseCaseFactory, rc: &RunConfig) -> RunSpec {
+        let key = format!("{}|functional|{}", usecase.key(), rc.key());
+        RunSpec {
+            usecase,
+            rc: rc.clone(),
+            fabric: None,
+            fault: None,
+            flavor: Flavor::Functional,
+            key,
+        }
+    }
+
+    /// A detailed sampling interval: restore `snapshot` (captured at
+    /// retired-instruction `position` by the functional fast-forward),
+    /// retire `warmup` instructions to warm microarchitectural state,
+    /// then measure `rc.max_instrs` further instructions on the
+    /// baseline core. The snapshot's content hash is folded into the
+    /// key, so intervals at the same position of *different* workload
+    /// states never dedup.
+    pub fn interval(
+        usecase: UseCaseFactory,
+        snapshot: Arc<Vec<u8>>,
+        position: u64,
+        warmup: u64,
+        rc: &RunConfig,
+    ) -> RunSpec {
+        let key = format!(
+            "{}|interval@{position}+w{warmup}|snap{:016x}|{}",
+            usecase.key(),
+            content_key(&snapshot),
+            rc.key()
+        );
+        RunSpec {
+            usecase,
+            rc: rc.clone(),
+            fabric: None,
+            fault: None,
+            flavor: Flavor::Interval { snapshot, warmup },
             key,
         }
     }
@@ -131,6 +207,7 @@ impl RunSpec {
             rc: rc.clone(),
             fabric: Some(params),
             fault: None,
+            flavor: Flavor::Detailed,
             key,
         }
     }
@@ -157,6 +234,7 @@ impl RunSpec {
             rc: rc.clone(),
             fabric: Some(params),
             fault: Some(plan),
+            flavor: Flavor::Detailed,
             key,
         }
     }
@@ -198,6 +276,13 @@ impl RunSpec {
         let uc = self.usecase.build();
         let mut rc = self.rc.clone();
         rc.commit_watchdog = commit_watchdog;
+        match &self.flavor {
+            Flavor::Functional => return run_functional(&uc, &rc),
+            Flavor::Interval { snapshot, warmup } => {
+                return run_interval(&uc, snapshot, *warmup, &rc)
+            }
+            Flavor::Detailed => {}
+        }
         match (&self.fabric, self.fault) {
             (None, _) => run_baseline(&uc, &rc),
             (Some(params), None) => run_pfm(&uc, params.clone(), &rc),

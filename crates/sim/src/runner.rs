@@ -7,6 +7,7 @@
 use pfm_bpred::PredictorKind;
 use pfm_core::{Core, CoreConfig, NoPfm, SimError, SimStats};
 use pfm_fabric::{Fabric, FabricParams, FabricStats, FaultPlan, FaultStats};
+use pfm_isa::{FastExec, Machine};
 use pfm_mem::{Hierarchy, HierarchyConfig, HierarchyStats};
 use pfm_workloads::UseCase;
 
@@ -206,6 +207,11 @@ pub struct RunResult {
     /// the same workload and instruction budget, because fabric
     /// interventions are microarchitectural only.
     pub arch_checksum: u64,
+    /// Whether the workload ran to completion (halted) rather than
+    /// being cut off by the instruction budget. The bench report
+    /// surfaces this so an early-exiting run is never mistaken for a
+    /// budget-limited one.
+    pub completed: bool,
 }
 
 impl RunResult {
@@ -241,6 +247,7 @@ fn drive(uc: &UseCase, mut fabric: Option<Fabric>, rc: &RunConfig) -> Result<Run
         faults: fabric.as_ref().and_then(|f| f.component().fault_stats()),
         fabric: fabric.map(|f| *f.stats()),
         arch_checksum: core.commit_checksum(),
+        completed: core.finished(),
     })
 }
 
@@ -260,6 +267,84 @@ pub fn run_baseline(uc: &UseCase, rc: &RunConfig) -> Result<RunResult, RunError>
 /// forward-progress watchdog.
 pub fn run_pfm(uc: &UseCase, params: FabricParams, rc: &RunConfig) -> Result<RunResult, RunError> {
     drive(uc, Some(uc.fabric(params)), rc)
+}
+
+/// Runs the use-case functionally only, on the pre-decoded fast
+/// executor: no timing, no speculation, no memory hierarchy — just the
+/// committed architectural stream, at interpreter speed.
+///
+/// The result's `arch_checksum` is the same commit-stream fold the
+/// detailed core computes at retirement over the same `max_instrs`
+/// budget, so a functional run validates (and is validated by) its
+/// detailed counterparts. Timing statistics are zero by construction;
+/// only `retired`, `loads` and `stores` are populated.
+///
+/// # Errors
+/// [`RunError::Exec`] if the program leaves its address space.
+pub fn run_functional(uc: &UseCase, rc: &RunConfig) -> Result<RunResult, RunError> {
+    let mut fx = FastExec::new(uc.program.clone(), uc.memory.clone());
+    fx.run(rc.max_instrs)
+        .map_err(|e| RunError::Exec(e.to_string()))?;
+    let stats = SimStats {
+        retired: fx.retired(),
+        loads: fx.loads(),
+        stores: fx.stores(),
+        ..SimStats::default()
+    };
+    Ok(RunResult {
+        name: uc.name.clone(),
+        stats,
+        hier: HierarchyStats::default(),
+        fabric: None,
+        faults: None,
+        arch_checksum: fx.commit_checksum(),
+        completed: fx.halted(),
+    })
+}
+
+/// Runs one detailed sampling interval: restores the architectural
+/// snapshot (captured by the functional fast-forward) into a fresh
+/// cold-structure core, retires `warmup` instructions to warm caches,
+/// TLB and branch history (their statistics are diffed out), then
+/// measures `rc.max_instrs` further retired instructions.
+///
+/// The returned `stats` cover only the measured window. `hier` covers
+/// warm-up plus measurement (cache counters are reported for
+/// diagnosis, not assembled into IPC). `arch_checksum` is not
+/// comparable across positions and is reported as the core's fold from
+/// the restore point.
+///
+/// # Errors
+/// [`RunError::Exec`] if the snapshot fails to decode or the machine
+/// faults; watchdog/cycle-cap errors as in the other entry points.
+pub fn run_interval(
+    uc: &UseCase,
+    snapshot: &[u8],
+    warmup: u64,
+    rc: &RunConfig,
+) -> Result<RunResult, RunError> {
+    let machine = Machine::restore(uc.program.clone(), snapshot)
+        .map_err(|e| RunError::Exec(format!("snapshot restore: {e}")))?;
+    let mut core = Core::new(rc.core.clone(), machine, Hierarchy::new(rc.hier.clone()));
+    core.run_watched(&mut NoPfm, warmup, rc.max_cycles, rc.commit_watchdog)
+        .map_err(|e| RunError::from_sim(e, core.stats().retired))?;
+    let warm = core.stats().clone();
+    core.run_watched(
+        &mut NoPfm,
+        warmup.saturating_add(rc.max_instrs),
+        rc.max_cycles,
+        rc.commit_watchdog,
+    )
+    .map_err(|e| RunError::from_sim(e, core.stats().retired))?;
+    Ok(RunResult {
+        name: uc.name.clone(),
+        stats: core.stats().delta_since(&warm),
+        hier: *core.hierarchy().stats(),
+        fabric: None,
+        faults: None,
+        arch_checksum: core.commit_checksum(),
+        completed: core.finished(),
+    })
 }
 
 /// Runs the use-case with the PFM fabric attached and its component

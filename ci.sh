@@ -18,11 +18,31 @@ cargo test -q --release -p pfm-lint
 echo "== repro --analyze (static analysis of registered use cases) =="
 cargo build -q --release -p pfm-bench
 "$PWD/target/release/repro" --analyze > /dev/null
-# The analyzer must have teeth: a corrupted watch PC must fail.
-if "$PWD/target/release/pfm-analyze" --corrupt-watch astar > /dev/null 2>&1; then
+# The analyzer must have teeth: a corrupted watch PC must fail, and it
+# must be flagged by the watch cross-checks specifically (mismatch
+# against the kernel, and a gap in the derived watch set).
+corrupt_out="$("$PWD/target/release/pfm-analyze" --corrupt-watch astar 2>&1)" && {
     echo "pfm-analyze failed to flag a corrupted watch PC" >&2
     exit 1
-fi
+}
+echo "$corrupt_out" | grep -q "derived-watch-gap" || {
+    echo "corrupted watch PC did not surface as a derived-watch-gap" >&2
+    exit 1
+}
+
+echo "== repro --derive (derived vs hand-built watchlists) =="
+# Interface inference must fully cover every registered component's
+# hand-built watchlist (or record a typed divergence) — zero gaps.
+"$PWD/target/release/repro" --derive > /dev/null
+# The pfm-analyze/2 profile report round-trips through the atomic -o
+# writer.
+derive_dir="$(mktemp -d)"
+"$PWD/target/release/pfm-analyze" --profile all --json -o "$derive_dir/profiles.json" 2>/dev/null
+grep -q '"schema":"pfm-analyze/2"' "$derive_dir/profiles.json" || {
+    echo "pfm-analyze --profile -o did not write a pfm-analyze/2 report" >&2
+    exit 1
+}
+rm -rf "$derive_dir"
 
 echo "== cargo build --release =="
 cargo build --release

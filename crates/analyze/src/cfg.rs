@@ -94,6 +94,18 @@ impl Cfg {
     /// Builds the CFG. Never fails: malformed control flow becomes
     /// `Unknown` edges and [`Escape`] records for the check suite.
     pub fn build(prog: &Program) -> Cfg {
+        Cfg::build_with(prog, &BTreeMap::new())
+    }
+
+    /// Builds the CFG with a map of *resolved* indirect jumps: `jalr`
+    /// PCs whose target address constant propagation proved (see
+    /// `absint::resolved_jalr_targets`). A resolved `jalr` gets a
+    /// `Direct` edge (or a `Call` edge plus a return site when it
+    /// links), instead of the `Unknown` edge `build` leaves; every
+    /// unresolved `jalr` still degrades to `Unknown`. A resolved `ret`
+    /// (proven-constant `ra`) gets the same single `Direct` edge;
+    /// unresolved rets keep their conservative `Return` edges.
+    pub fn build_with(prog: &Program, resolved: &BTreeMap<u64, u64>) -> Cfg {
         let base = prog.base();
         let end = prog.end();
 
@@ -121,6 +133,14 @@ impl Cfg {
                     ControlTarget::Indirect => {
                         if next < end {
                             leaders.push(next);
+                        }
+                        if let Some(&t) = resolved.get(&pc) {
+                            if in_range(prog, t) {
+                                leaders.push(t);
+                            }
+                            if matches!(inst, Inst::Jalr { rd, .. } if !rd.is_zero()) {
+                                return_sites.push(next);
+                            }
                         }
                     }
                     ControlTarget::None => {
@@ -197,7 +217,17 @@ impl Cfg {
                     }
                 }
                 ControlTarget::Indirect => {
-                    if inst.is_ret() {
+                    if let Some(&t) = resolved.get(&last_pc) {
+                        let kind = match inst {
+                            Inst::Jalr { rd, .. } if !rd.is_zero() => EdgeKind::Call,
+                            _ => EdgeKind::Direct,
+                        };
+                        if in_range(prog, t) {
+                            succs.push((cfg.by_start.get(&t).copied(), kind));
+                        } else {
+                            escapes.push(Escape::BadTarget(t));
+                        }
+                    } else if inst.is_ret() {
                         for &site in &return_sites {
                             succs.push((cfg.by_start.get(&site).copied(), EdgeKind::Return));
                         }

@@ -4,18 +4,22 @@
 use crate::cfg::{Cfg, Escape};
 use crate::dataflow::InitAnalysis;
 use crate::dom::{natural_loops, Dominators, NaturalLoop};
+use crate::profile::{kind_rank, ProgramProfile};
 use crate::{Finding, WatchEntry};
 use pfm_fabric::WatchKind;
 use pfm_isa::inst::INST_BYTES;
 use pfm_isa::Program;
+use std::collections::BTreeSet;
 
 /// 4 KiB page granularity shared with `SparseMem`.
 const PAGE_SHIFT: u64 = 12;
 
 /// Runs every program-level check. `watch` is the merged watchlist
-/// (component configs, FST and RST entries, tagged by origin) and
+/// (component configs, FST and RST entries, tagged by origin),
 /// `data_pages` the base addresses of the initialized data image's
-/// resident pages (see `SparseMem::resident_page_addrs`).
+/// resident pages (see `SparseMem::resident_page_addrs`), and
+/// `profile` the interface-inference result whose coverage gaps
+/// become `derived-watch-gap` findings.
 pub fn run(
     prog: &Program,
     cfg: &Cfg,
@@ -23,6 +27,7 @@ pub fn run(
     init: &InitAnalysis,
     watch: &[WatchEntry],
     data_pages: &[u64],
+    profile: &ProgramProfile,
 ) -> Vec<Finding> {
     let mut findings = Vec::new();
     let loops = natural_loops(cfg, dom);
@@ -105,14 +110,45 @@ pub fn run(
         }
     }
 
-    // Agent-watchlist validation.
+    // Agent-watchlist validation. A repeated (pc, kind) within one
+    // origin is its own defect (the component would double-subscribe
+    // the fabric port) and is not re-validated.
+    let mut seen: BTreeSet<(&str, u64, u8)> = BTreeSet::new();
     for entry in watch {
+        if !seen.insert((entry.origin.as_str(), entry.pc, kind_rank(entry.kind))) {
+            findings.push(Finding {
+                check: "duplicate-watch",
+                pc: Some(entry.pc),
+                origin: entry.origin.clone(),
+                message: format!(
+                    "({:#x}, {}) appears more than once in this watchlist",
+                    entry.pc, entry.kind
+                ),
+            });
+            continue;
+        }
         if let Some(msg) = watch_mismatch(prog, cfg, &loops, entry) {
             findings.push(Finding {
                 check: "watch-mismatch",
                 pc: Some(entry.pc),
                 origin: entry.origin.clone(),
                 message: msg,
+            });
+        }
+    }
+
+    // Derived-watch cross-validation: hand watch entries the derived
+    // set neither contains nor explains as a typed divergence.
+    for cov in &profile.coverage {
+        for &(pc, kind) in &cov.gaps {
+            findings.push(Finding {
+                check: "derived-watch-gap",
+                pc: Some(pc),
+                origin: cov.origin.clone(),
+                message: format!(
+                    "watched ({pc:#x}, {kind}) is not in the derived watch set \
+                     and has no typed divergence explaining it"
+                ),
             });
         }
     }

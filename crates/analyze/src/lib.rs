@@ -35,13 +35,17 @@
 //! safe direction for every check above. See DESIGN.md § Static
 //! Analysis.
 
+pub mod absint;
 pub mod cfg;
 pub mod checks;
 pub mod dataflow;
 pub mod dom;
+pub mod profile;
+pub mod scev;
 
 use pfm_fabric::WatchKind;
 use pfm_isa::Program;
+use std::collections::BTreeMap;
 
 /// One watched PC with the instruction kind its owner assumes, plus a
 /// human-readable origin ("component astar-custom-bp", "fst", "rst")
@@ -96,25 +100,68 @@ pub struct Analysis {
     pub init: dataflow::InitAnalysis,
     /// Liveness solution.
     pub liveness: dataflow::Liveness,
+    /// Constant-propagation solution (over the final CFG).
+    pub constprop: absint::ConstProp,
+    /// Unique-reaching-definition solution (over the final CFG).
+    pub rdefs: absint::ReachingDefs,
+    /// Computed `jalr`s constant propagation resolved; the CFG's
+    /// former `Unknown` edges for these PCs are `Direct`/`Call` edges.
+    pub resolved_jalrs: BTreeMap<u64, u64>,
+    /// Interface inference: derived loops, streams, branches, watch
+    /// set and hand-watchlist coverage.
+    pub profile: profile::ProgramProfile,
     /// Check-suite results, sorted by PC then check name.
     pub findings: Vec<Finding>,
 }
 
 /// Analyzes one assembled program against a merged watchlist and the
 /// page map of its initialized data image.
+///
+/// Runs a bounded resolve-rebuild loop first: constant propagation
+/// over the current CFG may prove computed `jalr` targets, which turn
+/// `Unknown` edges into `Direct`/`Call` edges, which can make more
+/// code reachable and more constants provable. The resolved set is
+/// *sticky* — a target proven in an earlier round is kept even when
+/// the expanded CFG's conservative joins (a `ret`'s
+/// return-to-every-call-site edges flowing into a return site, say)
+/// blur the base register again; re-deriving from scratch each round
+/// would oscillate on exactly the kernels that need resolution. The
+/// set only grows, so the fixpoint is reached in a handful of rounds;
+/// four is far beyond anything a real kernel needs.
 pub fn analyze(prog: &Program, watch: &[WatchEntry], data_pages: &[u64]) -> Analysis {
-    let cfg = cfg::Cfg::build(prog);
+    let mut resolved: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut cfg = cfg::Cfg::build(prog);
+    let mut constprop = absint::ConstProp::solve(prog, &cfg);
+    for _ in 0..4 {
+        let next = absint::resolved_jalr_targets(prog, &cfg, &constprop);
+        let mut grew = false;
+        for (pc, target) in next {
+            grew |= !resolved.contains_key(&pc);
+            resolved.entry(pc).or_insert(target);
+        }
+        if !grew {
+            break;
+        }
+        cfg = cfg::Cfg::build_with(prog, &resolved);
+        constprop = absint::ConstProp::solve(prog, &cfg);
+    }
     let dom = dom::Dominators::compute(&cfg);
     let loops = dom::natural_loops(&cfg, &dom);
     let init = dataflow::InitAnalysis::solve(prog, &cfg);
     let liveness = dataflow::Liveness::solve(prog, &cfg);
-    let findings = checks::run(prog, &cfg, &dom, &init, watch, data_pages);
+    let rdefs = absint::ReachingDefs::solve(prog, &cfg);
+    let profile = profile::derive(prog, &cfg, &loops, &constprop, &rdefs, &resolved, watch);
+    let findings = checks::run(prog, &cfg, &dom, &init, watch, data_pages, &profile);
     Analysis {
         cfg,
         dom,
         loops,
         init,
         liveness,
+        constprop,
+        rdefs,
+        resolved_jalrs: resolved,
+        profile,
         findings,
     }
 }

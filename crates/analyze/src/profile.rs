@@ -1,0 +1,1294 @@
+//! Interface inference: turns the per-loop affine analysis
+//! ([`crate::scev`]) into a [`ProgramProfile`] — the statically derived
+//! interface a fabric component would need to accelerate the program.
+//!
+//! For every natural loop the profile records its induction variables,
+//! trip-count structure (exit branches compared against constants,
+//! invariants or loaded data) and every in-loop memory access,
+//! classified as *constant-stride*, *indirect* (`A[B[i]]` chains and
+//! single-load pointer chases) or *irregular*. From those, a **derived
+//! watch set** falls out mechanically: the PCs a component watching
+//! this loop would have to snoop (loads, stores, branches, induction
+//! steps, stream bases, loop bounds, branch comparands), each tagged
+//! with the [`WatchKind`] the program decodes to at that PC.
+//!
+//! The derived set is cross-validated against the hand-built
+//! components' `watchlist()` claims ([`Coverage`]): every hand entry is
+//! either covered by a derived entry, explained as a typed divergence
+//! (`snoop-only-value`: a value-producing PC the component snoops for
+//! bookkeeping that no derived stream/bound/branch consumes), or
+//! reported as a `derived-watch-gap` finding by [`crate::checks`].
+//!
+//! Prefetch distances are a documented heuristic (how many iterations
+//! ahead a stride prefetcher should run to cover a nominal memory
+//! latency at a nominal issue width); they are advisory output and are
+//! never compared against hand-tuned engine configs.
+
+use crate::absint::{ConstProp, ReachingDefs, NREGS};
+use crate::cfg::{BlockId, Cfg};
+use crate::dom::NaturalLoop;
+use crate::scev::{merge_loops, reg_lin, transfer, Lin, LoopScev, SVal, Sym};
+use crate::WatchEntry;
+use pfm_fabric::WatchKind;
+use pfm_isa::inst::INST_BYTES;
+use pfm_isa::{Inst, Program};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Nominal round-trip memory latency, in cycles, behind the prefetch
+/// distance heuristic.
+pub const MEM_LATENCY_CYCLES: u64 = 200;
+/// Nominal core issue width behind the prefetch distance heuristic.
+pub const ISSUE_WIDTH: u64 = 4;
+
+/// Total order over [`WatchKind`] (the fabric type carries no `Ord`),
+/// used to key derived-watch sets.
+pub fn kind_rank(kind: WatchKind) -> u8 {
+    match kind {
+        WatchKind::CondBranch => 0,
+        WatchKind::LoopBranch => 1,
+        WatchKind::Load => 2,
+        WatchKind::Store => 3,
+        WatchKind::DestValue => 4,
+    }
+}
+
+/// One induction variable of one loop, by flat register slot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IvProfile {
+    /// Flat register slot ([`pfm_isa::RegRef::index`]).
+    pub reg: usize,
+    /// Per-iteration step.
+    pub step: i64,
+    /// PCs of the `r = r + c` update instructions.
+    pub step_pcs: Vec<u64>,
+}
+
+/// What an exit branch compares its induction-variable side against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BoundKind {
+    /// A compile-time constant.
+    Const,
+    /// A loop-invariant register.
+    Invariant,
+    /// A value loaded this iteration (data-dependent trip count).
+    Data,
+    /// Something the affine domain cannot name.
+    Opaque,
+}
+
+/// One trip-count-controlling comparison of a loop.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BoundProfile {
+    /// PC of the exit branch.
+    pub branch_pc: u64,
+    /// What the bound side is.
+    pub kind: BoundKind,
+    /// Concrete bound value when provable.
+    pub value: Option<u64>,
+    /// Defining PC of the bound (the `li`/`mv`/load to snoop).
+    pub def_pc: Option<u64>,
+}
+
+/// Trip structure of one merged natural loop.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LoopProfile {
+    /// Header block's first PC.
+    pub header_pc: u64,
+    /// Last PC of each latch block.
+    pub latch_pcs: Vec<u64>,
+    /// Static instruction count of the merged body.
+    pub body_insts: u64,
+    /// Induction variables.
+    pub ivs: Vec<IvProfile>,
+    /// Exit-branch bounds.
+    pub bounds: Vec<BoundProfile>,
+}
+
+/// Address-pattern classification of one in-loop memory access.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StreamClass {
+    /// Affine in the loop's induction variables: advances by `stride`
+    /// bytes per iteration (0 = loop-invariant address).
+    Strided {
+        /// Bytes per iteration.
+        stride: i64,
+        /// Concrete base address when the invariant part is provable.
+        base: Option<u64>,
+        /// Defining PCs of the invariant base registers.
+        base_defs: Vec<u64>,
+    },
+    /// Depends on one load's value: `A[B[i]]` or a pointer chase.
+    Indirect {
+        /// PC of the feeding load.
+        feeder: u64,
+        /// Byte scale applied to the loaded value.
+        scale: i64,
+        /// Concrete additive part when provable.
+        addend: Option<u64>,
+        /// Defining PCs of the invariant base registers.
+        base_defs: Vec<u64>,
+    },
+    /// Not expressible in the affine domain.
+    Irregular,
+}
+
+/// Symbolic description of a value (branch operand or stored data).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValueDesc {
+    /// A proven constant.
+    Const(u64),
+    /// The loop's induction variable in register slot `reg`.
+    Iv {
+        /// Flat register slot.
+        reg: usize,
+    },
+    /// A loop-invariant register.
+    Invariant {
+        /// Flat register slot.
+        reg: usize,
+        /// Its unique defining PC, when there is one.
+        def_pc: Option<u64>,
+    },
+    /// `scale * load(feeder) + addend`.
+    Loaded {
+        /// PC of the feeding load.
+        feeder: u64,
+        /// Multiplier on the loaded value.
+        scale: i64,
+        /// Additive part when provable.
+        addend: Option<u64>,
+    },
+    /// Not expressible in the affine domain.
+    Opaque,
+}
+
+/// Advisory prefetch parameters for a strided load.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Prefetch {
+    /// Iterations ahead to fetch.
+    pub distance: u64,
+    /// `stride * distance` bytes ahead of the demand address.
+    pub ahead_bytes: i64,
+}
+
+/// One classified in-loop memory access.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamProfile {
+    /// PC of the load/store.
+    pub pc: u64,
+    /// Header PC of the innermost loop containing it.
+    pub loop_header_pc: u64,
+    /// Whether it is a store.
+    pub is_store: bool,
+    /// Access width in bytes.
+    pub width: u64,
+    /// Address classification.
+    pub class: StreamClass,
+    /// Stored value description (stores only).
+    pub value: Option<ValueDesc>,
+    /// Advisory prefetch parameters (strided loads only).
+    pub prefetch: Option<Prefetch>,
+}
+
+/// One classified in-loop conditional branch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BranchProfile {
+    /// PC of the branch.
+    pub pc: u64,
+    /// Header PC of the innermost loop containing it.
+    pub loop_header_pc: u64,
+    /// Condition mnemonic (`eq`, `ne`, `lt`, `ge`, `ltu`, `geu`).
+    pub cond: &'static str,
+    /// Taken-target address.
+    pub taken_target: u64,
+    /// Whether any successor leaves the loop body.
+    pub is_exit: bool,
+    /// Whether the branch's block is a latch.
+    pub is_latch: bool,
+    /// Whether either operand depends on a value loaded this iteration.
+    pub data_dependent: bool,
+    /// Operand descriptions `[rs1, rs2]`.
+    pub operands: [ValueDesc; 2],
+}
+
+/// One derived watch entry: a PC a component accelerating this program
+/// would snoop, with the kind the program decodes to there.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DerivedWatch {
+    /// The PC.
+    pub pc: u64,
+    /// The watch kind.
+    pub kind: WatchKind,
+    /// Why the derivation emitted it (`induction-step`, `loop-bound`,
+    /// `branch-comparand`, `stream-base`, `store-value`, or the
+    /// `<class>-<op>` of a stream / `loop-branch` / `data-branch` /
+    /// `cond-branch`).
+    pub reason: &'static str,
+}
+
+/// A hand watch entry the derivation intentionally does not produce,
+/// with a typed explanation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Divergence {
+    /// The hand-watched PC.
+    pub pc: u64,
+    /// The hand-claimed kind.
+    pub kind: WatchKind,
+    /// Divergence class (currently only `snoop-only-value`).
+    pub class: &'static str,
+    /// Human-readable explanation.
+    pub explanation: String,
+}
+
+/// Cross-validation of one component's `watchlist()` against the
+/// derived watch set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Coverage {
+    /// The watchlist origin (e.g. `component astar-custom`).
+    pub origin: String,
+    /// Hand entries present in the derived set.
+    pub covered: usize,
+    /// Hand entries absent but explained.
+    pub divergences: Vec<Divergence>,
+    /// Hand entries absent and unexplained (each becomes a
+    /// `derived-watch-gap` finding).
+    pub gaps: Vec<(u64, WatchKind)>,
+}
+
+/// Everything interface inference derived for one program.
+#[derive(Clone, Debug)]
+pub struct ProgramProfile {
+    /// Per-loop trip structure.
+    pub loops: Vec<LoopProfile>,
+    /// Classified in-loop memory accesses, sorted by PC.
+    pub streams: Vec<StreamProfile>,
+    /// Classified in-loop conditional branches, sorted by PC.
+    pub branches: Vec<BranchProfile>,
+    /// The derived watch set, sorted by (PC, kind).
+    pub watch: Vec<DerivedWatch>,
+    /// Computed jumps constant propagation resolved (`jalr` PC →
+    /// target).
+    pub resolved_jalrs: Vec<(u64, u64)>,
+    /// Per-component watchlist cross-validation.
+    pub coverage: Vec<Coverage>,
+}
+
+fn cond_name(c: pfm_isa::inst::BranchCond) -> &'static str {
+    use pfm_isa::inst::BranchCond::*;
+    match c {
+        Eq => "eq",
+        Ne => "ne",
+        Lt => "lt",
+        Ge => "ge",
+        Ltu => "ltu",
+        Geu => "geu",
+    }
+}
+
+/// Flat register slot → architectural name.
+pub fn slot_name(r: usize) -> String {
+    if r < 32 {
+        format!("x{r}")
+    } else {
+        format!("f{}", r - 32)
+    }
+}
+
+/// The load terms of a linear form.
+fn load_terms(l: &Lin) -> Vec<(u64, i64)> {
+    l.terms
+        .iter()
+        .filter_map(|&(s, c)| match s {
+            Sym::Load(pc) => Some((pc, c)),
+            Sym::Entry(_) => None,
+        })
+        .collect()
+}
+
+/// Defining PCs of a form's invariant entry registers, via the unique
+/// reaching definition at the loop header (included even when the
+/// value is also a proven constant — the def is what a component
+/// snoops).
+fn base_defs_of(l: &Lin, scev: &LoopScev, rdefs: &ReachingDefs, header: BlockId) -> Vec<u64> {
+    let mut out: Vec<u64> = l
+        .terms
+        .iter()
+        .filter_map(|&(s, _)| match s {
+            Sym::Entry(r) if scev.is_invariant(r as usize) => rdefs.def_of(header, r as usize),
+            _ => None,
+        })
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Subtracts the single load term from `l`, leaving the additive part.
+fn minus_load(l: &Lin, feeder: u64, scale: i64) -> Lin {
+    l.sub(&Lin {
+        k: 0,
+        terms: vec![(Sym::Load(feeder), scale)],
+    })
+}
+
+/// Describes a value symbolically (branch operands, stored data).
+fn desc_of(v: &SVal, scev: &LoopScev, rdefs: &ReachingDefs, header: BlockId) -> ValueDesc {
+    let SVal::Lin(l) = v else {
+        return ValueDesc::Opaque;
+    };
+    if let Some(c) = l.as_const() {
+        return ValueDesc::Const(c as u64);
+    }
+    if l.k == 0 && l.terms.len() == 1 {
+        if let (Sym::Entry(r), 1) = l.terms[0] {
+            let r = r as usize;
+            if scev.iv_step(r).is_some() {
+                return ValueDesc::Iv { reg: r };
+            }
+            if scev.is_invariant(r) {
+                return ValueDesc::Invariant {
+                    reg: r,
+                    def_pc: rdefs.def_of(header, r),
+                };
+            }
+        }
+    }
+    let loads = load_terms(l);
+    if loads.len() == 1 {
+        let entries_invariant = l.terms.iter().all(|&(s, _)| match s {
+            Sym::Load(_) => true,
+            Sym::Entry(r) => scev.is_invariant(r as usize),
+        });
+        if entries_invariant {
+            let (feeder, scale) = loads[0];
+            let addend = minus_load(l, feeder, scale).eval_known(&scev.known);
+            return ValueDesc::Loaded {
+                feeder,
+                scale,
+                addend,
+            };
+        }
+    }
+    ValueDesc::Opaque
+}
+
+/// Classifies one in-loop address form. `body_load_defs` / `body_other_defs`
+/// count the loop body's definitions per register slot, for the
+/// pointer-chase case (a register whose only in-body definition is one
+/// load).
+fn classify_addr(
+    addr: &SVal,
+    scev: &LoopScev,
+    rdefs: &ReachingDefs,
+    header: BlockId,
+    body_load_defs: &[Vec<u64>],
+    body_other_defs: &[u32],
+) -> StreamClass {
+    let SVal::Lin(l) = addr else {
+        return StreamClass::Irregular;
+    };
+    let loads = load_terms(l);
+    if loads.len() > 1 {
+        return StreamClass::Irregular;
+    }
+    if loads.len() == 1 {
+        let entries_invariant = l.terms.iter().all(|&(s, _)| match s {
+            Sym::Load(_) => true,
+            Sym::Entry(r) => scev.is_invariant(r as usize),
+        });
+        if !entries_invariant {
+            return StreamClass::Irregular;
+        }
+        let (feeder, scale) = loads[0];
+        let addend = minus_load(l, feeder, scale).eval_known(&scev.known);
+        return StreamClass::Indirect {
+            feeder,
+            scale,
+            addend,
+            base_defs: base_defs_of(l, scev, rdefs, header),
+        };
+    }
+    // Pure entry terms: strided iff every term is an IV or invariant —
+    // except a single load-carried register (pointer chase), which is
+    // indirect through its own feeding load.
+    if l.terms.len() == 1 {
+        let (Sym::Entry(r), c) = l.terms[0] else {
+            unreachable!("load terms were filtered above")
+        };
+        let r = r as usize;
+        if scev.iv_step(r).is_none()
+            && !scev.is_invariant(r)
+            && body_load_defs[r].len() == 1
+            && body_other_defs[r] == 0
+        {
+            return StreamClass::Indirect {
+                feeder: body_load_defs[r][0],
+                scale: c,
+                addend: None,
+                base_defs: Vec::new(),
+            };
+        }
+    }
+    let mut stride: i64 = 0;
+    for &(s, c) in &l.terms {
+        let Sym::Entry(r) = s else {
+            unreachable!("load terms were filtered above")
+        };
+        let r = r as usize;
+        if let Some(step) = scev.iv_step(r) {
+            stride = stride.wrapping_add(c.wrapping_mul(step));
+        } else if !scev.is_invariant(r) {
+            return StreamClass::Irregular;
+        }
+    }
+    let invariant_part = Lin {
+        k: l.k,
+        terms: l
+            .terms
+            .iter()
+            .filter(|&&(s, _)| match s {
+                Sym::Entry(r) => scev.iv_step(r as usize).is_none(),
+                Sym::Load(_) => false,
+            })
+            .copied()
+            .collect(),
+    };
+    StreamClass::Strided {
+        stride,
+        base: invariant_part.eval_known(&scev.known),
+        base_defs: base_defs_of(l, scev, rdefs, header),
+    }
+}
+
+fn add_watch(
+    map: &mut BTreeMap<(u64, u8), DerivedWatch>,
+    pc: u64,
+    kind: WatchKind,
+    reason: &'static str,
+) {
+    map.entry((pc, kind_rank(kind)))
+        .or_insert(DerivedWatch { pc, kind, reason });
+}
+
+/// Runs interface inference over one program. `loops` must come from
+/// the same `cfg`; `resolved` is the computed-jump map the CFG was
+/// built with; `watch` is the merged watchlist whose `component *`
+/// origins get coverage entries.
+pub fn derive(
+    prog: &Program,
+    cfg: &Cfg,
+    loops: &[NaturalLoop],
+    cp: &ConstProp,
+    rdefs: &ReachingDefs,
+    resolved: &BTreeMap<u64, u64>,
+    watch: &[WatchEntry],
+) -> ProgramProfile {
+    let merged = merge_loops(loops);
+    let scevs: Vec<LoopScev> = merged
+        .iter()
+        .map(|ml| LoopScev::run(prog, cfg, cp, ml))
+        .collect();
+
+    // Innermost-loop attribution: the smallest merged body containing
+    // each block.
+    let mut innermost: Vec<Option<usize>> = vec![None; cfg.blocks.len()];
+    for (b, slot) in innermost.iter_mut().enumerate() {
+        let mut best: Option<usize> = None;
+        for (li, ml) in merged.iter().enumerate() {
+            if ml.contains(b) && best.is_none_or(|p| ml.body.len() < merged[p].body.len()) {
+                best = Some(li);
+            }
+        }
+        *slot = best;
+    }
+
+    let mut loops_out = Vec::new();
+    let mut streams = Vec::new();
+    let mut branches = Vec::new();
+    for (li, (ml, scev)) in merged.iter().zip(&scevs).enumerate() {
+        let header_pc = cfg.blocks[ml.header].start;
+        let body_insts: u64 = ml
+            .body
+            .iter()
+            .map(|&b| (cfg.blocks[b].end - cfg.blocks[b].start) / INST_BYTES)
+            .sum();
+
+        // Per-register definition census of the body (pointer chase).
+        let mut body_load_defs: Vec<Vec<u64>> = vec![Vec::new(); NREGS];
+        let mut body_other_defs: Vec<u32> = vec![0; NREGS];
+        for &b in &ml.body {
+            for pc in cfg.blocks[b].pcs() {
+                let Ok(inst) = prog.fetch(pc) else { continue };
+                if let Some(dst) = inst.info().dst {
+                    if matches!(inst, Inst::Load { .. } | Inst::FLoad { .. }) {
+                        body_load_defs[dst.index()].push(pc);
+                    } else {
+                        body_other_defs[dst.index()] += 1;
+                    }
+                }
+            }
+        }
+
+        let mut bounds = Vec::new();
+        for &b in &ml.body {
+            if innermost[b] != Some(li) {
+                continue;
+            }
+            let Some(inb) = scev.instates.get(&b) else {
+                continue;
+            };
+            let mut st = inb.clone();
+            for pc in cfg.blocks[b].pcs() {
+                let Ok(inst) = prog.fetch(pc) else { continue };
+                if let Some(ma) = inst.mem_access() {
+                    let addr = match reg_lin(&st, ma.base.into()) {
+                        SVal::Top => SVal::Top,
+                        SVal::Lin(l) => SVal::Lin(l.add(&Lin::konst(ma.offset))),
+                    };
+                    let class = classify_addr(
+                        &addr,
+                        scev,
+                        rdefs,
+                        ml.header,
+                        &body_load_defs,
+                        &body_other_defs,
+                    );
+                    let value = ma
+                        .value
+                        .map(|src| desc_of(&reg_lin(&st, src), scev, rdefs, ml.header));
+                    let prefetch = match (&class, ma.is_store) {
+                        (StreamClass::Strided { stride, .. }, false) if *stride != 0 => {
+                            let distance = (MEM_LATENCY_CYCLES * ISSUE_WIDTH / body_insts.max(1))
+                                .clamp(4, 256);
+                            Some(Prefetch {
+                                distance,
+                                ahead_bytes: stride.wrapping_mul(distance as i64),
+                            })
+                        }
+                        _ => None,
+                    };
+                    streams.push(StreamProfile {
+                        pc,
+                        loop_header_pc: header_pc,
+                        is_store: ma.is_store,
+                        width: ma.width.bytes(),
+                        class,
+                        value,
+                        prefetch,
+                    });
+                }
+                if let Some((cond, r1, r2, target)) = inst.cond_branch_parts() {
+                    let lhs = reg_lin(&st, r1.into());
+                    let rhs = reg_lin(&st, r2.into());
+                    let terminator = pc + INST_BYTES == cfg.blocks[b].end;
+                    let is_latch = terminator && ml.latches.contains(&b);
+                    let is_exit = terminator
+                        && cfg.blocks[b]
+                            .succs
+                            .iter()
+                            .any(|&(d, _)| d.is_none_or(|d| !ml.contains(d)));
+                    let has_load =
+                        |v: &SVal| matches!(v, SVal::Lin(l) if !load_terms(l).is_empty());
+                    let data_dependent = has_load(&lhs) || has_load(&rhs);
+                    let operands = [
+                        desc_of(&lhs, scev, rdefs, ml.header),
+                        desc_of(&rhs, scev, rdefs, ml.header),
+                    ];
+                    if is_exit {
+                        if let Some(bound) = bound_of(pc, &lhs, &rhs, &operands, scev) {
+                            bounds.push(bound);
+                        }
+                    }
+                    branches.push(BranchProfile {
+                        pc,
+                        loop_header_pc: header_pc,
+                        cond: cond_name(cond),
+                        taken_target: target,
+                        is_exit,
+                        is_latch,
+                        data_dependent,
+                        operands,
+                    });
+                }
+                transfer(&inst, pc, &mut st, &scev.known);
+            }
+        }
+
+        loops_out.push(LoopProfile {
+            header_pc,
+            latch_pcs: ml
+                .latches
+                .iter()
+                .map(|&b| cfg.blocks[b].end - INST_BYTES)
+                .collect(),
+            body_insts,
+            ivs: scev
+                .ivs
+                .iter()
+                .map(|iv| IvProfile {
+                    reg: iv.reg,
+                    step: iv.step,
+                    step_pcs: iv.step_pcs.clone(),
+                })
+                .collect(),
+            bounds,
+        });
+    }
+    streams.sort_by_key(|s| s.pc);
+    branches.sort_by_key(|b| b.pc);
+
+    // ---- the derived watch set ----
+    let mut wmap: BTreeMap<(u64, u8), DerivedWatch> = BTreeMap::new();
+    for lp in &loops_out {
+        for iv in &lp.ivs {
+            for &pc in &iv.step_pcs {
+                add_watch(&mut wmap, pc, WatchKind::DestValue, "induction-step");
+            }
+        }
+        for bd in &lp.bounds {
+            if let Some(d) = bd.def_pc {
+                add_watch(&mut wmap, d, WatchKind::DestValue, "loop-bound");
+            }
+        }
+    }
+    for br in &branches {
+        let (kind, reason) = if br.is_exit || br.is_latch {
+            (WatchKind::LoopBranch, "loop-branch")
+        } else if br.data_dependent {
+            (WatchKind::CondBranch, "data-branch")
+        } else {
+            (WatchKind::CondBranch, "cond-branch")
+        };
+        add_watch(&mut wmap, br.pc, kind, reason);
+        for op in &br.operands {
+            if let ValueDesc::Invariant {
+                def_pc: Some(d), ..
+            } = op
+            {
+                add_watch(&mut wmap, *d, WatchKind::DestValue, "branch-comparand");
+            }
+        }
+    }
+    for s in &streams {
+        let (kind, reason) = match (&s.class, s.is_store) {
+            (StreamClass::Strided { .. }, false) => (WatchKind::Load, "strided-load"),
+            (StreamClass::Strided { .. }, true) => (WatchKind::Store, "strided-store"),
+            (StreamClass::Indirect { .. }, false) => (WatchKind::Load, "indirect-load"),
+            (StreamClass::Indirect { .. }, true) => (WatchKind::Store, "indirect-store"),
+            (StreamClass::Irregular, false) => (WatchKind::Load, "irregular-load"),
+            (StreamClass::Irregular, true) => (WatchKind::Store, "irregular-store"),
+        };
+        add_watch(&mut wmap, s.pc, kind, reason);
+        let base_defs = match &s.class {
+            StreamClass::Strided { base_defs, .. } | StreamClass::Indirect { base_defs, .. } => {
+                base_defs.as_slice()
+            }
+            StreamClass::Irregular => &[],
+        };
+        for &d in base_defs {
+            add_watch(&mut wmap, d, WatchKind::DestValue, "stream-base");
+        }
+        if let Some(ValueDesc::Invariant {
+            def_pc: Some(d), ..
+        }) = &s.value
+        {
+            add_watch(&mut wmap, *d, WatchKind::DestValue, "store-value");
+        }
+    }
+    let watch_out: Vec<DerivedWatch> = wmap.values().cloned().collect();
+
+    // ---- coverage of hand-built component watchlists ----
+    let derived_keys: BTreeSet<(u64, u8)> = wmap.keys().copied().collect();
+    let mut coverage: Vec<Coverage> = Vec::new();
+    for entry in watch {
+        if !entry.origin.starts_with("component") {
+            continue;
+        }
+        let idx = match coverage.iter().position(|c| c.origin == entry.origin) {
+            Some(i) => i,
+            None => {
+                coverage.push(Coverage {
+                    origin: entry.origin.clone(),
+                    covered: 0,
+                    divergences: Vec::new(),
+                    gaps: Vec::new(),
+                });
+                coverage.len() - 1
+            }
+        };
+        let cov = &mut coverage[idx];
+        let covered = derived_keys.contains(&(entry.pc, kind_rank(entry.kind)))
+            || (entry.kind == WatchKind::CondBranch
+                && derived_keys.contains(&(entry.pc, kind_rank(WatchKind::LoopBranch))));
+        if covered {
+            cov.covered += 1;
+            continue;
+        }
+        if entry.kind == WatchKind::DestValue {
+            if let Ok(inst) = prog.fetch(entry.pc) {
+                if inst.info().dst.is_some() {
+                    cov.divergences.push(Divergence {
+                        pc: entry.pc,
+                        kind: entry.kind,
+                        class: "snoop-only-value",
+                        explanation: format!(
+                            "`{inst}` at {:#x} produces a value no derived stream, \
+                             bound or branch consumes; the component snoops it for \
+                             internal bookkeeping",
+                            entry.pc
+                        ),
+                    });
+                    continue;
+                }
+            }
+        }
+        cov.gaps.push((entry.pc, entry.kind));
+    }
+
+    ProgramProfile {
+        loops: loops_out,
+        streams,
+        branches,
+        watch: watch_out,
+        resolved_jalrs: resolved.iter().map(|(&k, &v)| (k, v)).collect(),
+        coverage,
+    }
+}
+
+/// Extracts a [`BoundProfile`] from an exit branch: one side affine in
+/// the loop's IVs, the other the bound.
+fn bound_of(
+    pc: u64,
+    lhs: &SVal,
+    rhs: &SVal,
+    operands: &[ValueDesc; 2],
+    scev: &LoopScev,
+) -> Option<BoundProfile> {
+    let iv_affine = |v: &SVal| -> bool {
+        let SVal::Lin(l) = v else { return false };
+        if l.terms.is_empty() {
+            return false;
+        }
+        let mut has_iv = false;
+        for &(s, _) in &l.terms {
+            let Sym::Entry(r) = s else { return false };
+            if scev.iv_step(r as usize).is_some() {
+                has_iv = true;
+            } else if !scev.is_invariant(r as usize) {
+                return false;
+            }
+        }
+        has_iv
+    };
+    let other = if iv_affine(lhs) {
+        &operands[1]
+    } else if iv_affine(rhs) {
+        &operands[0]
+    } else {
+        return None;
+    };
+    let (kind, value, def_pc) = match other {
+        ValueDesc::Const(v) => (BoundKind::Const, Some(*v), None),
+        ValueDesc::Invariant { reg, def_pc } => (BoundKind::Invariant, scev.known[*reg], *def_pc),
+        ValueDesc::Loaded { feeder, .. } => (BoundKind::Data, None, Some(*feeder)),
+        _ => (BoundKind::Opaque, None, None),
+    };
+    Some(BoundProfile {
+        branch_pc: pc,
+        kind,
+        value,
+        def_pc,
+    })
+}
+
+impl ProgramProfile {
+    /// Looks up a stream by PC.
+    pub fn stream_at(&self, pc: u64) -> Option<&StreamProfile> {
+        self.streams.iter().find(|s| s.pc == pc)
+    }
+
+    /// Looks up a branch by PC.
+    pub fn branch_at(&self, pc: u64) -> Option<&BranchProfile> {
+        self.branches.iter().find(|b| b.pc == pc)
+    }
+
+    /// Whether the derived watch set contains `(pc, kind)` (a derived
+    /// `LoopBranch` covers a claimed `CondBranch`).
+    pub fn covers(&self, pc: u64, kind: WatchKind) -> bool {
+        self.watch.iter().any(|w| {
+            w.pc == pc
+                && (kind_rank(w.kind) == kind_rank(kind)
+                    || (kind == WatchKind::CondBranch && w.kind == WatchKind::LoopBranch))
+        })
+    }
+
+    /// One-line PC-free summary, stable under code motion — what the
+    /// cross-kernel snapshot test pins.
+    pub fn summary(&self) -> String {
+        let (mut strided, mut indirect, mut irregular) = (0usize, 0usize, 0usize);
+        for s in &self.streams {
+            match s.class {
+                StreamClass::Strided { .. } => strided += 1,
+                StreamClass::Indirect { .. } => indirect += 1,
+                StreamClass::Irregular => irregular += 1,
+            }
+        }
+        let covered: usize = self.coverage.iter().map(|c| c.covered).sum();
+        let divergences: usize = self.coverage.iter().map(|c| c.divergences.len()).sum();
+        let gaps: usize = self.coverage.iter().map(|c| c.gaps.len()).sum();
+        format!(
+            "loops={} strided={} indirect={} irregular={} branches={} watch={} \
+             resolved_jalrs={} covered={} divergences={} gaps={}",
+            self.loops.len(),
+            strided,
+            indirect,
+            irregular,
+            self.branches.len(),
+            self.watch.len(),
+            self.resolved_jalrs.len(),
+            covered,
+            divergences,
+            gaps
+        )
+    }
+}
+
+// ---- JSON rendering (schema `pfm-analyze/2`) ----
+
+fn hex(pc: u64) -> String {
+    format!("\"{pc:#x}\"")
+}
+
+fn opt_hex(pc: Option<u64>) -> String {
+    match pc {
+        Some(pc) => hex(pc),
+        None => "null".to_string(),
+    }
+}
+
+fn opt_num(v: Option<u64>) -> String {
+    match v {
+        Some(v) => v.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+fn desc_json(d: &ValueDesc) -> String {
+    match d {
+        ValueDesc::Const(v) => format!("{{\"kind\":\"const\",\"value\":{v}}}"),
+        ValueDesc::Iv { reg } => {
+            format!("{{\"kind\":\"iv\",\"reg\":\"{}\"}}", slot_name(*reg))
+        }
+        ValueDesc::Invariant { reg, def_pc } => format!(
+            "{{\"kind\":\"invariant\",\"reg\":\"{}\",\"def\":{}}}",
+            slot_name(*reg),
+            opt_hex(*def_pc)
+        ),
+        ValueDesc::Loaded {
+            feeder,
+            scale,
+            addend,
+        } => format!(
+            "{{\"kind\":\"loaded\",\"feeder\":{},\"scale\":{scale},\"addend\":{}}}",
+            hex(*feeder),
+            opt_num(*addend)
+        ),
+        ValueDesc::Opaque => "{\"kind\":\"opaque\"}".to_string(),
+    }
+}
+
+fn class_json(c: &StreamClass) -> String {
+    let defs = |base_defs: &[u64]| {
+        base_defs
+            .iter()
+            .map(|&d| hex(d))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    match c {
+        StreamClass::Strided {
+            stride,
+            base,
+            base_defs,
+        } => format!(
+            "{{\"kind\":\"strided\",\"stride\":{stride},\"base\":{},\"base_defs\":[{}]}}",
+            opt_hex(*base),
+            defs(base_defs)
+        ),
+        StreamClass::Indirect {
+            feeder,
+            scale,
+            addend,
+            base_defs,
+        } => format!(
+            "{{\"kind\":\"indirect\",\"feeder\":{},\"scale\":{scale},\"addend\":{},\
+             \"base_defs\":[{}]}}",
+            hex(*feeder),
+            opt_num(*addend),
+            defs(base_defs)
+        ),
+        StreamClass::Irregular => "{\"kind\":\"irregular\"}".to_string(),
+    }
+}
+
+fn join<T>(items: &[T], f: impl Fn(&T) -> String) -> String {
+    items.iter().map(f).collect::<Vec<_>>().join(",")
+}
+
+/// Renders one profile as a JSON object body (no name).
+pub fn profile_to_json(p: &ProgramProfile) -> String {
+    let loops = join(&p.loops, |l| {
+        format!(
+            "{{\"header\":{},\"latches\":[{}],\"body_insts\":{},\"ivs\":[{}],\"bounds\":[{}]}}",
+            hex(l.header_pc),
+            join(&l.latch_pcs, |&pc| hex(pc)),
+            l.body_insts,
+            join(&l.ivs, |iv| format!(
+                "{{\"reg\":\"{}\",\"step\":{},\"step_pcs\":[{}]}}",
+                slot_name(iv.reg),
+                iv.step,
+                join(&iv.step_pcs, |&pc| hex(pc))
+            )),
+            join(&l.bounds, |b| {
+                let kind = match b.kind {
+                    BoundKind::Const => "const",
+                    BoundKind::Invariant => "invariant",
+                    BoundKind::Data => "data",
+                    BoundKind::Opaque => "opaque",
+                };
+                format!(
+                    "{{\"branch\":{},\"kind\":\"{kind}\",\"value\":{},\"def\":{}}}",
+                    hex(b.branch_pc),
+                    opt_num(b.value),
+                    opt_hex(b.def_pc)
+                )
+            })
+        )
+    });
+    let streams = join(&p.streams, |s| {
+        format!(
+            "{{\"pc\":{},\"loop\":{},\"op\":\"{}\",\"width\":{},\"class\":{},\
+             \"value\":{},\"prefetch\":{}}}",
+            hex(s.pc),
+            hex(s.loop_header_pc),
+            if s.is_store { "store" } else { "load" },
+            s.width,
+            class_json(&s.class),
+            s.value.as_ref().map_or("null".to_string(), desc_json),
+            s.prefetch.map_or("null".to_string(), |pf| format!(
+                "{{\"distance\":{},\"ahead_bytes\":{}}}",
+                pf.distance, pf.ahead_bytes
+            ))
+        )
+    });
+    let branches = join(&p.branches, |b| {
+        format!(
+            "{{\"pc\":{},\"loop\":{},\"cond\":\"{}\",\"taken\":{},\"exit\":{},\
+             \"latch\":{},\"data\":{},\"operands\":[{},{}]}}",
+            hex(b.pc),
+            hex(b.loop_header_pc),
+            b.cond,
+            hex(b.taken_target),
+            b.is_exit,
+            b.is_latch,
+            b.data_dependent,
+            desc_json(&b.operands[0]),
+            desc_json(&b.operands[1])
+        )
+    });
+    let watch = join(&p.watch, |w| {
+        format!(
+            "{{\"pc\":{},\"kind\":\"{}\",\"reason\":\"{}\"}}",
+            hex(w.pc),
+            w.kind,
+            w.reason
+        )
+    });
+    let jalrs = join(&p.resolved_jalrs, |&(pc, target)| {
+        format!("{{\"pc\":{},\"target\":{}}}", hex(pc), hex(target))
+    });
+    let coverage = join(&p.coverage, |c| {
+        format!(
+            "{{\"origin\":\"{}\",\"covered\":{},\"divergences\":[{}],\"gaps\":[{}]}}",
+            crate::json_escape(&c.origin),
+            c.covered,
+            join(&c.divergences, |d| format!(
+                "{{\"pc\":{},\"kind\":\"{}\",\"class\":\"{}\",\"explanation\":\"{}\"}}",
+                hex(d.pc),
+                d.kind,
+                d.class,
+                crate::json_escape(&d.explanation)
+            )),
+            join(&c.gaps, |&(pc, kind)| format!(
+                "{{\"pc\":{},\"kind\":\"{kind}\"}}",
+                hex(pc)
+            ))
+        )
+    });
+    format!(
+        "\"loops\":[{loops}],\"streams\":[{streams}],\"branches\":[{branches}],\
+         \"watch\":[{watch}],\"resolved_jalrs\":[{jalrs}],\"coverage\":[{coverage}]"
+    )
+}
+
+/// Renders a whole multi-program profile report as JSON (schema
+/// `pfm-analyze/2`, pinned by a snapshot test):
+///
+/// ```json
+/// {"schema":"pfm-analyze/2",
+///  "programs":[{"name":"...","loops":[...],"streams":[...],
+///               "branches":[...],"watch":[...],
+///               "resolved_jalrs":[...],"coverage":[...]}]}
+/// ```
+pub fn profile_report_to_json(programs: &[(String, ProgramProfile)]) -> String {
+    let mut out = String::from("{\"schema\":\"pfm-analyze/2\",\"programs\":[");
+    for (i, (name, p)) in programs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",{}}}",
+            crate::json_escape(name),
+            profile_to_json(p)
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfm_isa::reg::names::*;
+    use pfm_isa::Asm;
+
+    fn profile_of(prog: &Program, watch: &[WatchEntry]) -> ProgramProfile {
+        crate::analyze(prog, watch, &[]).profile
+    }
+
+    #[test]
+    fn counted_loop_is_a_strided_stream_with_base_and_bound() {
+        let mut a = Asm::new(0x1000);
+        let top = a.label();
+        a.li(T0, 0); // 0x1000
+        a.li(A1, 100); // 0x1004: bound def
+        a.li(A0, 0x8000); // 0x1008: base def
+        a.place(top);
+        a.slli(T1, T0, 2); // 0x100c
+        a.add(T1, A0, T1); // 0x1010
+        a.lwu(T2, T1, 0); // 0x1014: the stream
+        a.addi(T0, T0, 1); // 0x1018: induction step
+        a.blt(T0, A1, top); // 0x101c: exit + latch
+        a.halt();
+        let prog = a.finish().expect("assembles");
+        let p = profile_of(&prog, &[]);
+        assert_eq!(p.loops.len(), 1);
+        let s = p.stream_at(0x1014).expect("stream");
+        assert_eq!(
+            s.class,
+            StreamClass::Strided {
+                stride: 4,
+                base: Some(0x8000),
+                base_defs: vec![0x1008],
+            }
+        );
+        assert_eq!(s.width, 4);
+        let pf = s.prefetch.expect("strided load gets a distance");
+        assert_eq!(pf.ahead_bytes, 4 * pf.distance as i64);
+        let b = &p.loops[0].bounds[0];
+        assert_eq!(b.kind, BoundKind::Invariant);
+        assert_eq!(b.value, Some(100));
+        assert_eq!(b.def_pc, Some(0x1004));
+        // Derived watches: load, loop branch, induction step, base, bound.
+        assert!(p.covers(0x1014, WatchKind::Load));
+        assert!(p.covers(0x101c, WatchKind::LoopBranch));
+        assert!(p.covers(0x1018, WatchKind::DestValue));
+        assert!(p.covers(0x1008, WatchKind::DestValue));
+        assert!(p.covers(0x1004, WatchKind::DestValue));
+    }
+
+    #[test]
+    fn dependent_load_is_indirect_with_feeder_and_addend() {
+        // A[B[i]]: lwu t2 = B[i]; ld t4 = A[8*t2].
+        let mut a = Asm::new(0x1000);
+        let top = a.label();
+        a.li(T0, 0);
+        a.li(A1, 64);
+        a.li(A0, 0x8000); // B
+        a.li(A2, 0x20000); // A
+        a.place(top);
+        a.slli(T1, T0, 2);
+        a.add(T1, A0, T1);
+        a.lwu(T2, T1, 0); // 0x1018: feeder
+        a.slli(T3, T2, 3);
+        a.add(T3, A2, T3);
+        a.ld(T4, T3, 0); // 0x1024: indirect
+        a.addi(T0, T0, 1);
+        a.blt(T0, A1, top);
+        a.halt();
+        let prog = a.finish().expect("assembles");
+        let p = profile_of(&prog, &[]);
+        let s = p.stream_at(0x1024).expect("stream");
+        assert_eq!(
+            s.class,
+            StreamClass::Indirect {
+                feeder: 0x1018,
+                scale: 8,
+                addend: Some(0x20000),
+                base_defs: vec![0x100c],
+            }
+        );
+        assert!(
+            s.prefetch.is_none(),
+            "indirect loads get no stride distance"
+        );
+    }
+
+    #[test]
+    fn pointer_chase_is_indirect_through_its_own_load() {
+        // p = *(p + 8) until p == 0.
+        let mut a = Asm::new(0x1000);
+        let top = a.label();
+        let done = a.label();
+        a.li(A0, 0x8000);
+        a.place(top);
+        a.beq(A0, X0, done);
+        a.ld(A0, A0, 8); // 0x1008: the chase
+        a.j(top);
+        a.place(done);
+        a.halt();
+        let prog = a.finish().expect("assembles");
+        let p = profile_of(&prog, &[]);
+        let s = p.stream_at(0x1008).expect("stream");
+        assert_eq!(
+            s.class,
+            StreamClass::Indirect {
+                feeder: 0x1008,
+                scale: 1,
+                addend: None,
+                base_defs: vec![],
+            }
+        );
+    }
+
+    #[test]
+    fn data_dependent_branch_and_store_value_are_described() {
+        // Tag-store shape: load a value, branch on it, store a tag.
+        let mut a = Asm::new(0x1000);
+        let top = a.label();
+        let skip = a.label();
+        a.li(T0, 0);
+        a.li(A1, 32);
+        a.li(A0, 0x8000);
+        a.li(S0, 7); // 0x100c: the tag
+        a.place(top);
+        a.slli(T1, T0, 3);
+        a.add(T1, A0, T1);
+        a.ld(T2, T1, 0); // 0x1018: feeder
+        a.bne(T2, S0, skip); // 0x101c: data branch vs invariant
+        a.sd(S0, T1, 0); // 0x1020: tag store
+        a.place(skip);
+        a.addi(T0, T0, 1);
+        a.blt(T0, A1, top);
+        a.halt();
+        let prog = a.finish().expect("assembles");
+        let p = profile_of(&prog, &[]);
+        let br = p.branch_at(0x101c).expect("branch");
+        assert!(br.data_dependent);
+        assert!(!br.is_exit && !br.is_latch);
+        assert_eq!(
+            br.operands[0],
+            ValueDesc::Loaded {
+                feeder: 0x1018,
+                scale: 1,
+                addend: Some(0),
+            }
+        );
+        assert_eq!(
+            br.operands[1],
+            ValueDesc::Invariant {
+                reg: 8, // s0 = x8
+                def_pc: Some(0x100c),
+            }
+        );
+        let st = p.stream_at(0x1020).expect("store");
+        assert!(st.is_store);
+        assert_eq!(
+            st.value,
+            Some(ValueDesc::Invariant {
+                reg: 8,
+                def_pc: Some(0x100c),
+            })
+        );
+        // The tag def is watched both as comparand and store value.
+        assert!(p.covers(0x100c, WatchKind::DestValue));
+        assert!(p.covers(0x101c, WatchKind::CondBranch));
+    }
+
+    #[test]
+    fn coverage_splits_hits_divergences_and_gaps() {
+        let mut a = Asm::new(0x1000);
+        let top = a.label();
+        a.li(T0, 0);
+        a.li(A1, 16);
+        a.li(A3, 99); // 0x1008: written, never read (snoop-only)
+        a.li(A0, 0x8000);
+        a.place(top);
+        a.slli(T1, T0, 2);
+        a.add(T1, A0, T1);
+        a.lwu(T2, T1, 0); // 0x1018
+        a.addi(T0, T0, 1); // 0x101c
+        a.blt(T0, A1, top);
+        a.halt();
+        let prog = a.finish().expect("assembles");
+        let entry = |pc, kind| WatchEntry {
+            pc,
+            kind,
+            origin: "component test".to_string(),
+        };
+        let watch = vec![
+            entry(0x1018, WatchKind::Load),      // covered
+            entry(0x101c, WatchKind::DestValue), // covered (induction)
+            entry(0x1008, WatchKind::DestValue), // snoop-only divergence
+            entry(0x2000, WatchKind::Load),      // out of range: gap
+        ];
+        let p = profile_of(&prog, &watch);
+        assert_eq!(p.coverage.len(), 1);
+        let c = &p.coverage[0];
+        assert_eq!(c.covered, 2);
+        assert_eq!(c.divergences.len(), 1);
+        assert_eq!(c.divergences[0].class, "snoop-only-value");
+        assert_eq!(c.gaps, vec![(0x2000, WatchKind::Load)]);
+        assert_eq!(
+            p.summary(),
+            "loops=1 strided=1 indirect=0 irregular=0 branches=1 watch=5 \
+             resolved_jalrs=0 covered=2 divergences=1 gaps=1"
+        );
+    }
+
+    #[test]
+    fn profile_json_is_wellformed_and_versioned() {
+        let mut a = Asm::new(0x1000);
+        let top = a.label();
+        a.li(T0, 0);
+        a.li(A1, 8);
+        a.place(top);
+        a.slli(T1, T0, 3);
+        a.lwu(T2, T1, 0);
+        a.addi(T0, T0, 1);
+        a.blt(T0, A1, top);
+        a.halt();
+        let prog = a.finish().expect("assembles");
+        let p = profile_of(&prog, &[]);
+        let json = profile_report_to_json(&[("k".to_string(), p)]);
+        assert!(json.starts_with("{\"schema\":\"pfm-analyze/2\",\"programs\":["));
+        assert!(json.contains("\"name\":\"k\""));
+        assert!(json.contains("\"streams\":["));
+        assert!(json.contains("\"kind\":\"strided\""));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces"
+        );
+    }
+}

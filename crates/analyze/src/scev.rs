@@ -1,0 +1,650 @@
+//! SCEV-style per-loop affine analysis over the natural loops.
+//!
+//! For one loop, every register is tracked as a *linear form*
+//! `k + Σ coeff·sym` ([`Lin`]), where a symbol is either the value a
+//! register held when the current iteration entered the loop header
+//! ([`Sym::Entry`]) or the value a specific load produced this
+//! iteration ([`Sym::Load`]). The domain is deliberately tiny — it
+//! only has to capture the paper kernels' address arithmetic (shifted
+//! induction variables plus invariant bases, and `A[B[i]]` chains
+//! through one load) — and collapses to [`SVal::Top`] the moment a
+//! value stops being affine.
+//!
+//! Widening: the loop header's in-state is *pinned* to the symbolic
+//! entry state, and any other body block whose recomputed in-state
+//! disagrees with what an earlier round computed is widened to `Top`
+//! in the disagreeing registers. Every in-state therefore changes at
+//! most twice per register (unset → first value → `Top`), so the
+//! fixpoint terminates without an ordering argument. Values fed by the
+//! back edge (loop-carried except through the identity) widen to
+//! `Top`; straight-line diamonds converge in one round.
+//!
+//! From the fixpoint fall the loop's induction variables — registers
+//! whose value at every latch is exactly `entry(r) + step` — and its
+//! invariants (`entry(r)` unchanged). [`crate::profile`] walks the
+//! final in-states to classify memory streams and branches.
+
+use crate::absint::{CVal, ConstProp, NREGS};
+use crate::cfg::{BlockId, Cfg};
+use crate::dom::NaturalLoop;
+use pfm_isa::{Inst, Program, RegRef};
+use std::collections::BTreeMap;
+
+/// A symbolic unknown in a linear form.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Sym {
+    /// The value register slot `.0` ([`RegRef::index`]) held when the
+    /// current loop iteration entered the header.
+    Entry(u8),
+    /// The value the load at PC `.0` produced this iteration.
+    Load(u64),
+}
+
+/// A linear form `k + Σ coeff·sym` over 64-bit wrapping arithmetic.
+/// Terms are sorted by symbol and never carry a zero coefficient.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Lin {
+    /// Constant part.
+    pub k: i64,
+    /// Symbolic terms, sorted by [`Sym`], coefficients non-zero.
+    pub terms: Vec<(Sym, i64)>,
+}
+
+impl Lin {
+    /// The constant `k`.
+    pub fn konst(k: i64) -> Lin {
+        Lin {
+            k,
+            terms: Vec::new(),
+        }
+    }
+
+    /// The bare symbol `s`.
+    pub fn sym(s: Sym) -> Lin {
+        Lin {
+            k: 0,
+            terms: vec![(s, 1)],
+        }
+    }
+
+    /// Whether the form is a pure constant, and its value.
+    pub fn as_const(&self) -> Option<i64> {
+        self.terms.is_empty().then_some(self.k)
+    }
+
+    /// Sum of two forms (wrapping).
+    pub fn add(&self, other: &Lin) -> Lin {
+        let mut terms = Vec::with_capacity(self.terms.len() + other.terms.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.terms.len() || j < other.terms.len() {
+            match (self.terms.get(i), other.terms.get(j)) {
+                (Some(&(sa, ca)), Some(&(sb, cb))) if sa == sb => {
+                    let c = ca.wrapping_add(cb);
+                    if c != 0 {
+                        terms.push((sa, c));
+                    }
+                    i += 1;
+                    j += 1;
+                }
+                (Some(&(sa, ca)), Some(&(sb, _))) if sa < sb => {
+                    terms.push((sa, ca));
+                    i += 1;
+                }
+                (Some(_), Some(&(sb, cb))) => {
+                    terms.push((sb, cb));
+                    j += 1;
+                }
+                (Some(&(sa, ca)), None) => {
+                    terms.push((sa, ca));
+                    i += 1;
+                }
+                (None, Some(&(sb, cb))) => {
+                    terms.push((sb, cb));
+                    j += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        Lin {
+            k: self.k.wrapping_add(other.k),
+            terms,
+        }
+    }
+
+    /// Difference of two forms (wrapping).
+    pub fn sub(&self, other: &Lin) -> Lin {
+        self.add(&other.scale(-1))
+    }
+
+    /// The form multiplied by a constant (wrapping).
+    pub fn scale(&self, c: i64) -> Lin {
+        if c == 0 {
+            return Lin::konst(0);
+        }
+        Lin {
+            k: self.k.wrapping_mul(c),
+            terms: self
+                .terms
+                .iter()
+                .filter_map(|&(s, co)| {
+                    let co = co.wrapping_mul(c);
+                    (co != 0).then_some((s, co))
+                })
+                .collect(),
+        }
+    }
+
+    /// Evaluates the form to a concrete value if every symbol is an
+    /// `Entry` register with a `known` constant (loads never evaluate).
+    pub fn eval_known(&self, known: &[Option<u64>; NREGS]) -> Option<u64> {
+        let mut acc = self.k as u64;
+        for &(s, c) in &self.terms {
+            let Sym::Entry(r) = s else { return None };
+            let v = known[r as usize]?;
+            acc = acc.wrapping_add((c as u64).wrapping_mul(v));
+        }
+        Some(acc)
+    }
+}
+
+/// One register's affine lattice value.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SVal {
+    /// Not affine in the entry state and this iteration's loads.
+    Top,
+    /// A linear form.
+    Lin(Lin),
+}
+
+impl SVal {
+    /// Lattice join: equal forms survive, anything else is `Top`.
+    pub fn join(&self, other: &SVal) -> SVal {
+        if self == other {
+            self.clone()
+        } else {
+            SVal::Top
+        }
+    }
+}
+
+/// Per-block register state: one [`SVal`] per [`RegRef::index`] slot.
+pub type SState = Vec<SVal>;
+
+/// The affine value of register slot `r`, folding x0's zero.
+pub fn reg_lin(st: &[SVal], r: RegRef) -> SVal {
+    if r.is_zero() {
+        SVal::Lin(Lin::konst(0))
+    } else {
+        st[r.index()].clone()
+    }
+}
+
+/// The symbolic header-entry state: `entry(r)` for every register.
+fn entry_sstate() -> SState {
+    (0..NREGS)
+        .map(|r| {
+            if r == 0 {
+                SVal::Lin(Lin::konst(0))
+            } else {
+                SVal::Lin(Lin::sym(Sym::Entry(r as u8)))
+            }
+        })
+        .collect()
+}
+
+/// A concrete value for `v` if it is a constant form, or an all-entry
+/// form whose registers have `known` header constants.
+fn sval_known(v: &SVal, known: &[Option<u64>; NREGS]) -> Option<u64> {
+    match v {
+        SVal::Top => None,
+        SVal::Lin(l) => l.eval_known(known),
+    }
+}
+
+fn set_slot(st: &mut [SVal], idx: usize, v: SVal) {
+    if idx != 0 {
+        st[idx] = v;
+    }
+}
+
+/// Applies one instruction to an affine state. `known` carries the
+/// constant-propagation facts at the loop header, used to fold
+/// multiplication and shift *amounts* without erasing the symbolic
+/// provenance of the scaled side.
+pub fn transfer(inst: &Inst, pc: u64, st: &mut [SVal], known: &[Option<u64>; NREGS]) {
+    use pfm_isa::inst::AluOp;
+    let binop = |op: AluOp, a: &SVal, b: &SVal| -> SVal {
+        match op {
+            AluOp::Add => match (a, b) {
+                (SVal::Lin(la), SVal::Lin(lb)) => SVal::Lin(la.add(lb)),
+                _ => SVal::Top,
+            },
+            AluOp::Sub => match (a, b) {
+                (SVal::Lin(la), SVal::Lin(lb)) => SVal::Lin(la.sub(lb)),
+                _ => SVal::Top,
+            },
+            AluOp::Sll => match (a, sval_known(b, known)) {
+                (SVal::Lin(la), Some(sh)) => {
+                    SVal::Lin(la.scale(1i64.wrapping_shl((sh & 63) as u32)))
+                }
+                _ => SVal::Top,
+            },
+            AluOp::Mul => match (a, b, sval_known(a, known), sval_known(b, known)) {
+                (SVal::Lin(la), _, _, Some(c)) => SVal::Lin(la.scale(c as i64)),
+                (_, SVal::Lin(lb), Some(c), _) => SVal::Lin(lb.scale(c as i64)),
+                _ => SVal::Top,
+            },
+            _ => match (sval_known(a, known), sval_known(b, known)) {
+                (Some(x), Some(y)) => SVal::Lin(Lin::konst(op.eval(x, y) as i64)),
+                _ => SVal::Top,
+            },
+        }
+    };
+    match *inst {
+        Inst::Alu { op, rd, rs1, rs2 } => {
+            let v = binop(op, &reg_lin(st, rs1.into()), &reg_lin(st, rs2.into()));
+            set_slot(st, RegRef::from(rd).index(), v);
+        }
+        Inst::AluImm { op, rd, rs1, imm } => {
+            let v = binop(op, &reg_lin(st, rs1.into()), &SVal::Lin(Lin::konst(imm)));
+            set_slot(st, RegRef::from(rd).index(), v);
+        }
+        Inst::Li { rd, imm } => set_slot(st, RegRef::from(rd).index(), SVal::Lin(Lin::konst(imm))),
+        Inst::Load { rd, .. } => {
+            set_slot(
+                st,
+                RegRef::from(rd).index(),
+                SVal::Lin(Lin::sym(Sym::Load(pc))),
+            );
+        }
+        Inst::FLoad { fd, .. } => {
+            st[RegRef::from(fd).index()] = SVal::Lin(Lin::sym(Sym::Load(pc)));
+        }
+        Inst::Jal { rd, .. } | Inst::Jalr { rd, .. } => {
+            let v = SVal::Lin(Lin::konst((pc + pfm_isa::inst::INST_BYTES) as i64));
+            set_slot(st, RegRef::from(rd).index(), v);
+        }
+        Inst::FAlu { fd, .. } => st[RegRef::from(fd).index()] = SVal::Top,
+        Inst::FMvToF { fd, rs1 } => {
+            st[RegRef::from(fd).index()] = reg_lin(st, rs1.into());
+        }
+        Inst::FMvToX { rd, fs1 } => {
+            let v = reg_lin(st, fs1.into());
+            set_slot(st, RegRef::from(rd).index(), v);
+        }
+        Inst::Store { .. } | Inst::FStore { .. } | Inst::Branch { .. } | Inst::Nop | Inst::Halt => {
+        }
+    }
+}
+
+/// Natural loops grouped by header: the bodies of all back edges into
+/// one header are unioned, the latches collected. This is the loop
+/// granularity SCEV runs at (a `continue` statement is one loop, not
+/// two).
+#[derive(Clone, Debug)]
+pub struct MergedLoop {
+    /// The shared header block.
+    pub header: BlockId,
+    /// Every latch (source of a back edge into the header).
+    pub latches: Vec<BlockId>,
+    /// Union of the per-back-edge bodies, sorted.
+    pub body: Vec<BlockId>,
+}
+
+impl MergedLoop {
+    /// Whether `b` is in the merged body.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.body.binary_search(&b).is_ok()
+    }
+}
+
+/// Groups `natural_loops` output by header, sorted by header id.
+pub fn merge_loops(loops: &[NaturalLoop]) -> Vec<MergedLoop> {
+    let mut by_header: BTreeMap<BlockId, MergedLoop> = BTreeMap::new();
+    for l in loops {
+        let m = by_header.entry(l.header).or_insert_with(|| MergedLoop {
+            header: l.header,
+            latches: Vec::new(),
+            body: Vec::new(),
+        });
+        m.latches.push(l.latch);
+        m.body.extend_from_slice(&l.body);
+    }
+    let mut out: Vec<MergedLoop> = by_header.into_values().collect();
+    for m in &mut out {
+        m.latches.sort_unstable();
+        m.latches.dedup();
+        m.body.sort_unstable();
+        m.body.dedup();
+    }
+    out
+}
+
+/// An induction variable of one loop.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Iv {
+    /// Register slot ([`RegRef::index`]).
+    pub reg: usize,
+    /// Per-iteration step (identical at every latch, non-zero).
+    pub step: i64,
+    /// PCs of the update instructions (`r = r + c`, c ≠ 0) in the body.
+    pub step_pcs: Vec<u64>,
+}
+
+/// The affine solution for one merged loop.
+#[derive(Clone, Debug)]
+pub struct LoopScev {
+    /// The loop header.
+    pub header: BlockId,
+    /// The loop latches.
+    pub latches: Vec<BlockId>,
+    /// The merged body, sorted.
+    pub body: Vec<BlockId>,
+    /// Constant-propagation facts at the header entry: registers whose
+    /// `entry(r)` symbol has a proven concrete value.
+    pub known: [Option<u64>; NREGS],
+    /// Final in-states of every analyzed body block.
+    pub instates: BTreeMap<BlockId, SState>,
+    /// Induction variables, sorted by register slot.
+    pub ivs: Vec<Iv>,
+    /// Per-slot: the register is unchanged across one iteration
+    /// (`entry(r)` at every latch).
+    pub invariant: [bool; NREGS],
+}
+
+impl LoopScev {
+    /// Runs the per-loop fixpoint.
+    pub fn run(prog: &Program, cfg: &Cfg, cp: &ConstProp, ml: &MergedLoop) -> LoopScev {
+        let mut known = [None; NREGS];
+        if let Some(Some(hdr)) = cp.inb.get(ml.header) {
+            for (r, slot) in known.iter_mut().enumerate() {
+                if let CVal::Const(v) = hdr[r] {
+                    *slot = Some(v);
+                }
+            }
+        }
+
+        let mut instates: BTreeMap<BlockId, SState> = BTreeMap::new();
+        let mut outstates: BTreeMap<BlockId, SState> = BTreeMap::new();
+        instates.insert(ml.header, entry_sstate());
+        loop {
+            let mut changed = false;
+            for &b in &ml.body {
+                // Header in-state stays pinned to the symbolic entry.
+                if b != ml.header {
+                    let mut acc: Option<SState> = None;
+                    for &p in &cfg.preds[b] {
+                        let contrib: Option<&SState> = if ml.contains(p) {
+                            // Skip body preds not yet computed.
+                            match outstates.get(&p) {
+                                Some(s) => Some(s),
+                                None => continue,
+                            }
+                        } else {
+                            // Side entry from outside the body: no
+                            // relation to this loop's entry state.
+                            None
+                        };
+                        acc = Some(match (acc, contrib) {
+                            (None, Some(s)) => s.clone(),
+                            (None, None) => vec![SVal::Top; NREGS],
+                            (Some(mut a), contrib) => {
+                                for (i, slot) in a.iter_mut().enumerate() {
+                                    let other = contrib.map_or(&SVal::Top, |s| &s[i]);
+                                    *slot = slot.join(other);
+                                }
+                                a
+                            }
+                        });
+                    }
+                    let Some(mut joined) = acc else { continue };
+                    if let Some(old) = instates.get(&b) {
+                        if *old != joined {
+                            // Widen: any disagreement with an earlier
+                            // round goes to Top and stays there.
+                            for (slot, o) in joined.iter_mut().zip(old.iter()) {
+                                if slot != o {
+                                    *slot = SVal::Top;
+                                }
+                            }
+                            if instates.get(&b) != Some(&joined) {
+                                instates.insert(b, joined);
+                                changed = true;
+                            }
+                        }
+                    } else {
+                        instates.insert(b, joined);
+                        changed = true;
+                    }
+                }
+                let Some(input) = instates.get(&b) else {
+                    continue;
+                };
+                let mut st = input.clone();
+                for pc in cfg.blocks[b].pcs() {
+                    if let Ok(inst) = prog.fetch(pc) {
+                        transfer(&inst, pc, &mut st, &known);
+                    }
+                }
+                if outstates.get(&b) != Some(&st) {
+                    outstates.insert(b, st);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Induction variables and invariants from the latch out-states.
+        let mut ivs = Vec::new();
+        let mut invariant = [false; NREGS];
+        for r in 1..NREGS {
+            let mut step: Option<i64> = None;
+            let mut ok = !ml.latches.is_empty();
+            for latch in &ml.latches {
+                let Some(out) = outstates.get(latch) else {
+                    ok = false;
+                    break;
+                };
+                let SVal::Lin(l) = &out[r] else {
+                    ok = false;
+                    break;
+                };
+                if l.terms != vec![(Sym::Entry(r as u8), 1)] {
+                    ok = false;
+                    break;
+                }
+                match step {
+                    None => step = Some(l.k),
+                    Some(s) if s == l.k => {}
+                    _ => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            match step {
+                Some(0) => invariant[r] = true,
+                Some(s) => ivs.push(Iv {
+                    reg: r,
+                    step: s,
+                    step_pcs: Vec::new(),
+                }),
+                None => {}
+            }
+        }
+
+        // Step-update PCs: body instructions computing `r + c` into an
+        // induction variable `r` from `r` itself.
+        for &b in &ml.body {
+            let Some(input) = instates.get(&b) else {
+                continue;
+            };
+            let mut st = input.clone();
+            for pc in cfg.blocks[b].pcs() {
+                let Ok(inst) = prog.fetch(pc) else { continue };
+                let before = st.clone();
+                transfer(&inst, pc, &mut st, &known);
+                let info = inst.info();
+                let Some(dst) = info.dst else { continue };
+                let reads_dst = info.srcs.iter().flatten().any(|s| s.index() == dst.index());
+                if !reads_dst {
+                    continue;
+                }
+                if let Some(iv) = ivs.iter_mut().find(|iv| iv.reg == dst.index()) {
+                    let SVal::Lin(l) = &st[dst.index()] else {
+                        continue;
+                    };
+                    if l.k != 0 && l.terms == vec![(Sym::Entry(dst.index() as u8), 1)] {
+                        // The pre-update value must still be on the
+                        // entry chain (not a re-derived temporary).
+                        if matches!(&before[dst.index()], SVal::Lin(p)
+                            if p.terms == vec![(Sym::Entry(dst.index() as u8), 1)])
+                        {
+                            iv.step_pcs.push(pc);
+                        }
+                    }
+                }
+            }
+        }
+        for iv in &mut ivs {
+            iv.step_pcs.sort_unstable();
+            iv.step_pcs.dedup();
+        }
+
+        LoopScev {
+            header: ml.header,
+            latches: ml.latches.clone(),
+            body: ml.body.clone(),
+            known,
+            instates,
+            ivs,
+            invariant,
+        }
+    }
+
+    /// The per-iteration step of `reg` if it is an induction variable.
+    pub fn iv_step(&self, reg: usize) -> Option<i64> {
+        self.ivs.iter().find(|iv| iv.reg == reg).map(|iv| iv.step)
+    }
+
+    /// Whether `reg` is invariant across one iteration.
+    pub fn is_invariant(&self, reg: usize) -> bool {
+        self.invariant.get(reg).copied().unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::{natural_loops, Dominators};
+    use pfm_isa::reg::names::*;
+    use pfm_isa::Asm;
+
+    fn analyze_first_loop(prog: &Program) -> (Cfg, LoopScev) {
+        let cfg = Cfg::build(prog);
+        let dom = Dominators::compute(&cfg);
+        let loops = natural_loops(&cfg, &dom);
+        let merged = merge_loops(&loops);
+        assert!(!merged.is_empty(), "program must contain a loop");
+        let cp = ConstProp::solve(prog, &cfg);
+        let scev = LoopScev::run(prog, &cfg, &cp, &merged[0]);
+        (cfg, scev)
+    }
+
+    #[test]
+    fn counted_loop_iv_and_invariant() {
+        let mut a = Asm::new(0x1000);
+        let top = a.label();
+        a.li(T0, 0);
+        a.li(A1, 100);
+        a.li(A0, 0x8000);
+        a.place(top);
+        a.slli(T1, T0, 2);
+        a.add(T1, A0, T1);
+        a.lwu(T2, T1, 0);
+        a.addi(T0, T0, 1);
+        a.blt(T0, A1, top);
+        a.halt();
+        let prog = a.finish().expect("assembles");
+        let (_cfg, scev) = analyze_first_loop(&prog);
+        let t0 = RegRef::from(T0).index();
+        assert_eq!(scev.iv_step(t0), Some(1));
+        assert!(scev.is_invariant(RegRef::from(A0).index()));
+        assert!(scev.is_invariant(RegRef::from(A1).index()));
+        let iv = scev.ivs.iter().find(|iv| iv.reg == t0).expect("t0 iv");
+        assert_eq!(iv.step_pcs, vec![0x1018], "the addi is the update");
+        // T2 is loop-varying (loaded), not an IV, not invariant.
+        let t2 = RegRef::from(T2).index();
+        assert_eq!(scev.iv_step(t2), None);
+        assert!(!scev.is_invariant(t2));
+    }
+
+    #[test]
+    fn doubling_register_is_not_an_induction_variable() {
+        let mut a = Asm::new(0);
+        let top = a.label();
+        a.li(A0, 1);
+        a.li(T0, 0);
+        a.li(A1, 16);
+        a.place(top);
+        a.add(A0, A0, A0); // doubles: affine-looking but not an IV
+        a.addi(T0, T0, 1);
+        a.blt(T0, A1, top);
+        a.halt();
+        let prog = a.finish().expect("assembles");
+        let (_cfg, scev) = analyze_first_loop(&prog);
+        assert_eq!(scev.iv_step(RegRef::from(A0).index()), None);
+        assert!(!scev.is_invariant(RegRef::from(A0).index()));
+        assert_eq!(scev.iv_step(RegRef::from(T0).index()), Some(1));
+    }
+
+    #[test]
+    fn conditionally_updated_register_widens_to_top() {
+        let mut a = Asm::new(0);
+        let top = a.label();
+        let skip = a.label();
+        a.li(T0, 0);
+        a.li(A1, 8);
+        a.li(S6, 0);
+        a.place(top);
+        a.beq(T0, A1, skip); // pretend-data-dependent
+        a.addi(S6, S6, 1);
+        a.place(skip);
+        a.addi(T0, T0, 1);
+        a.blt(T0, A1, top);
+        a.halt();
+        let prog = a.finish().expect("assembles");
+        let (_cfg, scev) = analyze_first_loop(&prog);
+        let s6 = RegRef::from(S6).index();
+        assert_eq!(scev.iv_step(s6), None, "conditional increment");
+        assert!(!scev.is_invariant(s6));
+        assert_eq!(scev.iv_step(RegRef::from(T0).index()), Some(1));
+    }
+
+    #[test]
+    fn lin_algebra_wraps_and_normalizes() {
+        let a = Lin::sym(Sym::Entry(5));
+        let b = a.scale(4);
+        assert_eq!(b.terms, vec![(Sym::Entry(5), 4)]);
+        let z = b.sub(&b);
+        assert_eq!(z, Lin::konst(0), "terms cancel to nothing");
+        let w = Lin::konst(i64::MAX).add(&Lin::konst(1));
+        assert_eq!(w.k, i64::MIN, "wrapping constant part");
+        assert_eq!(a.scale(0), Lin::konst(0));
+        let mixed = a.add(&Lin::sym(Sym::Load(0x40)));
+        assert_eq!(
+            mixed.terms,
+            vec![(Sym::Entry(5), 1), (Sym::Load(0x40), 1)],
+            "entry symbols sort before load symbols"
+        );
+        let mut known = [None; NREGS];
+        known[5] = Some(10);
+        assert_eq!(b.eval_known(&known), Some(40));
+        assert_eq!(mixed.eval_known(&known), None, "loads never evaluate");
+    }
+}

@@ -1,0 +1,179 @@
+//! Property-based tests for the abstract-interpretation layer: lattice
+//! laws of the constant and affine domains, constant propagation
+//! against real execution on straight-line code, and stride soundness
+//! of the interface-inference profile on random counted loops.
+
+use pfm_analyze::absint::{CVal, ConstProp};
+use pfm_analyze::cfg::Cfg;
+use pfm_analyze::profile::StreamClass;
+use pfm_analyze::scev::{Lin, SVal, Sym};
+use pfm_isa::machine::Machine;
+use pfm_isa::mem::SpecMemory;
+use pfm_isa::reg::names::*;
+use pfm_isa::{Asm, RegRef};
+use proptest::prelude::*;
+
+fn cval() -> impl Strategy<Value = CVal> {
+    prop_oneof![Just(CVal::Top), any::<u64>().prop_map(CVal::Const)]
+}
+
+fn sym() -> impl Strategy<Value = Sym> {
+    prop_oneof![
+        (0u8..8).prop_map(Sym::Entry),
+        (0u64..4).prop_map(|i| Sym::Load(0x1000 + 4 * i)),
+    ]
+}
+
+fn lin() -> impl Strategy<Value = Lin> {
+    (any::<i32>(), prop::collection::vec((sym(), -4i64..5), 0..3)).prop_map(|(k, terms)| {
+        let mut l = Lin::konst(k as i64);
+        for (s, c) in terms {
+            l = l.add(&Lin::sym(s).scale(c));
+        }
+        l
+    })
+}
+
+fn sval() -> impl Strategy<Value = SVal> {
+    prop_oneof![Just(SVal::Top), lin().prop_map(SVal::Lin)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The constant lattice join is commutative.
+    #[test]
+    fn cval_join_commutes(a in cval(), b in cval()) {
+        prop_assert_eq!(a.join(b), b.join(a));
+    }
+
+    /// The constant lattice join is idempotent.
+    #[test]
+    fn cval_join_idempotent(a in cval()) {
+        prop_assert_eq!(a.join(a), a);
+    }
+
+    /// Top absorbs everything (widening is sticky).
+    #[test]
+    fn cval_join_top_absorbs(a in cval()) {
+        prop_assert_eq!(CVal::Top.join(a), CVal::Top);
+        prop_assert_eq!(a.join(CVal::Top), CVal::Top);
+    }
+
+    /// The join is an upper bound: joining either operand back in
+    /// changes nothing (monotonicity of the solver's accumulation).
+    #[test]
+    fn cval_join_is_upper_bound(a in cval(), b in cval()) {
+        let j = a.join(b);
+        prop_assert_eq!(j.join(a), j);
+        prop_assert_eq!(j.join(b), j);
+    }
+
+    /// The affine lattice join is commutative.
+    #[test]
+    fn sval_join_commutes(a in sval(), b in sval()) {
+        prop_assert_eq!(a.join(&b), b.join(&a));
+    }
+
+    /// The affine lattice join is idempotent.
+    #[test]
+    fn sval_join_idempotent(a in sval()) {
+        prop_assert_eq!(a.join(&a), a);
+    }
+
+    /// The affine join is an upper bound, and Top absorbs.
+    #[test]
+    fn sval_join_is_upper_bound(a in sval(), b in sval()) {
+        let j = a.join(&b);
+        prop_assert_eq!(j.join(&a), j.clone());
+        prop_assert_eq!(j.join(&b), j);
+        prop_assert_eq!(SVal::Top.join(&a), SVal::Top);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// On straight-line code, every constant the propagator proves is
+    /// the value the machine actually computes.
+    #[test]
+    fn straightline_constprop_matches_execution(
+        seed in any::<i32>(),
+        ops in prop::collection::vec((0usize..5, -64i64..64), 0..12),
+    ) {
+        let mut a = Asm::new(0x1000);
+        a.li(A0, seed as i64);
+        for &(op, imm) in &ops {
+            match op {
+                0 => a.addi(A0, A0, imm),
+                1 => a.andi(A0, A0, imm),
+                2 => a.ori(A0, A0, imm),
+                3 => a.xori(A0, A0, imm),
+                _ => a.slli(A0, A0, imm.rem_euclid(7)),
+            };
+        }
+        let halt_pc = a.here();
+        a.halt();
+        let prog = a.finish().expect("assembles");
+
+        let cfg = Cfg::build(&prog);
+        let cp = ConstProp::solve(&prog, &cfg);
+        let st = cp.state_at(&prog, &cfg, halt_pc).expect("halt is reachable");
+
+        let mut m = Machine::new(prog, SpecMemory::new());
+        m.run(10_000).expect("executes");
+        prop_assert!(m.halted());
+        prop_assert_eq!(st[RegRef::from(A0).index()], CVal::Const(m.reg(A0)));
+    }
+
+    /// On a random counted loop storing through `base + (i << k)`, the
+    /// profile's derived stride is exactly what execution does: every
+    /// predicted address holds the value the iteration stored.
+    #[test]
+    fn loop_store_stride_is_sound(
+        k in 0i64..4,
+        step in 1i64..5,
+        iters in 1u64..9,
+    ) {
+        let mut a = Asm::new(0x1000);
+        let top = a.label();
+        a.li(T0, 0);
+        a.li(A1, iters as i64 * step);
+        let base_def_pc = a.here();
+        a.li(A0, 0x8000);
+        a.place(top);
+        a.slli(T1, T0, k);
+        a.add(T1, A0, T1);
+        let store_pc = a.here();
+        a.sb(T0, T1, 0);
+        a.addi(T0, T0, step);
+        a.blt(T0, A1, top);
+        a.halt();
+        let prog = a.finish().expect("assembles");
+
+        let analysis = pfm_analyze::analyze(&prog, &[], &[]);
+        let s = analysis.profile.stream_at(store_pc).expect("store is profiled");
+        let stride = step << k;
+        prop_assert_eq!(
+            &s.class,
+            &StreamClass::Strided {
+                stride,
+                base: Some(0x8000),
+                base_defs: vec![base_def_pc],
+            }
+        );
+
+        let mut m = Machine::new(prog, SpecMemory::new());
+        m.run(100_000).expect("executes");
+        prop_assert!(m.halted());
+        for i in 0..iters {
+            let addr = 0x8000 + i * stride as u64;
+            prop_assert_eq!(
+                m.mem().read_committed(addr, 1),
+                (i * step as u64) & 0xff,
+                "iteration {} store must land at the predicted address",
+                i
+            );
+        }
+    }
+}

@@ -239,6 +239,173 @@ fn json_schema_snapshot() {
 }
 
 #[test]
+fn seeded_duplicate_watch_is_flagged_per_repeat() {
+    let prog = clean_kernel();
+    let pc = prog.require_symbol("visited_branch");
+    // Double subscription within one origin: one duplicate finding,
+    // and the repeat is not re-validated.
+    let wl = vec![
+        watch(pc, WatchKind::CondBranch),
+        watch(pc, WatchKind::CondBranch),
+    ];
+    let analysis = analyze(&prog, &wl, &[]);
+    assert_eq!(checks(&analysis.findings), vec!["duplicate-watch"]);
+    let f = &analysis.findings[0];
+    assert_eq!(f.pc, Some(pc));
+    assert_eq!(f.origin, "test-component");
+    assert!(f.message.contains("more than once"), "{}", f.message);
+    // Same (pc, kind) from a *different* origin is two subscribers,
+    // not a defect.
+    let wl = vec![
+        watch(pc, WatchKind::CondBranch),
+        WatchEntry {
+            pc,
+            kind: WatchKind::CondBranch,
+            origin: "other-component".to_string(),
+        },
+    ];
+    assert!(analyze(&prog, &wl, &[]).findings.is_empty());
+}
+
+#[test]
+fn disguised_nonaffine_ivs_are_rejected() {
+    // Two would-be induction variables: one doubles every iteration,
+    // one steps only on a data-dependent path. Neither is affine; only
+    // the plain counter survives as an IV.
+    let mut a = Asm::new(0x1000);
+    let top = a.label();
+    let skip = a.label();
+    a.li(T0, 1); // doubling impostor
+    a.li(T1, 0); // conditionally-stepped impostor
+    a.li(A0, 64); // bound
+    a.li(A1, 0x8000);
+    a.li(T2, 0); // the real counter
+    a.place(top);
+    a.add(T0, T0, T0); // t0 *= 2: step depends on t0 itself
+    a.ld(A3, A1, 0);
+    a.beq(A3, X0, skip);
+    a.addi(T1, T1, 1); // stepped on one path only
+    a.place(skip);
+    a.addi(T2, T2, 1);
+    a.blt(T2, A0, top);
+    a.halt();
+    let prog = a.finish().expect("assembles");
+    let p = analyze(&prog, &[], &[]).profile;
+    assert_eq!(p.loops.len(), 1);
+    let regs: Vec<usize> = p.loops[0].ivs.iter().map(|iv| iv.reg).collect();
+    assert_eq!(
+        regs,
+        vec![pfm_isa::RegRef::from(T2).index()],
+        "only the affine counter is an induction variable"
+    );
+}
+
+#[test]
+fn resolved_jalr_turns_unknown_edge_direct_and_reaches_the_target() {
+    // A computed jump over a dead gap: the raw CFG has an Unknown edge
+    // and cannot reach the landing pad; the constprop-resolve loop
+    // proves the target and recovers it, leaving only the genuinely
+    // dead gap flagged.
+    let mut a = Asm::new(0x1000);
+    a.li(A0, 0x100c); // 0x1000: target = landing pad
+    a.jalr(X0, A0, 0); // 0x1004: computed jump
+    a.li(A1, 7); // 0x1008: dead gap
+    a.li(A2, 9); // 0x100c: landing pad
+    a.halt(); // 0x1010
+    let prog = a.finish().expect("assembles");
+
+    let raw = pfm_analyze::cfg::Cfg::build(&prog);
+    assert!(
+        raw.has_unknown_edges(),
+        "the unresolved jalr must start as an Unknown edge"
+    );
+
+    let analysis = analyze(&prog, &[], &[]);
+    assert!(!analysis.cfg.has_unknown_edges());
+    assert_eq!(analysis.resolved_jalrs.get(&0x1004), Some(&0x100c));
+    assert_eq!(analysis.profile.resolved_jalrs, vec![(0x1004, 0x100c)]);
+    assert_eq!(checks(&analysis.findings), vec!["unreachable-block"]);
+    assert_eq!(analysis.findings[0].pc, Some(0x1008));
+}
+
+#[test]
+fn derived_watch_gap_flags_unexplained_component_watches() {
+    // A straight-line load (no loop) is invisible to interface
+    // inference: a component claiming it gets a typed gap finding.
+    let mut a = Asm::new(0x1000);
+    a.li(A0, 0x8000);
+    let load_pc = a.here();
+    a.ld(A1, A0, 0);
+    a.add(A2, A1, A1);
+    a.halt();
+    let prog = a.finish().expect("assembles");
+    let wl = vec![WatchEntry {
+        pc: load_pc,
+        kind: WatchKind::Load,
+        origin: "component straightline".to_string(),
+    }];
+    let analysis = analyze(&prog, &wl, &[]);
+    assert_eq!(checks(&analysis.findings), vec!["derived-watch-gap"]);
+    let f = &analysis.findings[0];
+    assert_eq!(f.origin, "component straightline");
+    assert!(f.message.contains("derived watch set"), "{}", f.message);
+    assert_eq!(
+        analysis.profile.coverage[0].gaps,
+        vec![(load_pc, WatchKind::Load)]
+    );
+}
+
+#[test]
+fn profile_json_schema_snapshot() {
+    // The exact bytes downstream tooling parses for the pfm-analyze/2
+    // (interface inference) schema; update deliberately.
+    let mut a = Asm::new(0x1000);
+    let top = a.label();
+    a.li(T0, 0); // 0x1000
+    a.li(A1, 8); // 0x1004
+    a.li(A0, 0x8000); // 0x1008
+    a.place(top);
+    a.slli(T1, T0, 2); // 0x100c
+    a.add(T1, A0, T1); // 0x1010
+    a.lwu(T2, T1, 0); // 0x1014
+    a.addi(T0, T0, 1); // 0x1018
+    a.blt(T0, A1, top); // 0x101c
+    a.halt();
+    let prog = a.finish().expect("assembles");
+    let wl = vec![WatchEntry {
+        pc: 0x1014,
+        kind: WatchKind::Load,
+        origin: "component snap".to_string(),
+    }];
+    let p = analyze(&prog, &wl, &[]).profile;
+    let json = pfm_analyze::profile::profile_report_to_json(&[("k".to_string(), p)]);
+    assert_eq!(
+        json,
+        "{\"schema\":\"pfm-analyze/2\",\"programs\":[{\"name\":\"k\",\
+         \"loops\":[{\"header\":\"0x100c\",\"latches\":[\"0x101c\"],\"body_insts\":5,\
+         \"ivs\":[{\"reg\":\"x5\",\"step\":1,\"step_pcs\":[\"0x1018\"]}],\
+         \"bounds\":[{\"branch\":\"0x101c\",\"kind\":\"invariant\",\"value\":8,\
+         \"def\":\"0x1004\"}]}],\
+         \"streams\":[{\"pc\":\"0x1014\",\"loop\":\"0x100c\",\"op\":\"load\",\"width\":4,\
+         \"class\":{\"kind\":\"strided\",\"stride\":4,\"base\":\"0x8000\",\
+         \"base_defs\":[\"0x1008\"]},\"value\":null,\
+         \"prefetch\":{\"distance\":160,\"ahead_bytes\":640}}],\
+         \"branches\":[{\"pc\":\"0x101c\",\"loop\":\"0x100c\",\"cond\":\"lt\",\
+         \"taken\":\"0x100c\",\"exit\":true,\"latch\":true,\"data\":false,\
+         \"operands\":[{\"kind\":\"opaque\"},\
+         {\"kind\":\"invariant\",\"reg\":\"x11\",\"def\":\"0x1004\"}]}],\
+         \"watch\":[{\"pc\":\"0x1004\",\"kind\":\"dest-value\",\"reason\":\"loop-bound\"},\
+         {\"pc\":\"0x1008\",\"kind\":\"dest-value\",\"reason\":\"stream-base\"},\
+         {\"pc\":\"0x1014\",\"kind\":\"load\",\"reason\":\"strided-load\"},\
+         {\"pc\":\"0x1018\",\"kind\":\"dest-value\",\"reason\":\"induction-step\"},\
+         {\"pc\":\"0x101c\",\"kind\":\"loop-branch\",\"reason\":\"loop-branch\"}],\
+         \"resolved_jalrs\":[],\
+         \"coverage\":[{\"origin\":\"component snap\",\"covered\":1,\
+         \"divergences\":[],\"gaps\":[]}]}]}"
+    );
+}
+
+#[test]
 fn empty_report_is_valid_json_too() {
     assert_eq!(
         report_to_json(&[]),

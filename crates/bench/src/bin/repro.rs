@@ -14,6 +14,7 @@
 //! repro --bench --functional # + functional-executor batch and speedup
 //! repro --sampled libquantum # sampled run: fast-forward + detailed intervals
 //! repro --analyze            # static analysis of every use case
+//! repro --derive             # derived-vs-configured watchlist gate
 //! repro --chaos              # fault-injection suite (checksum proof)
 //! repro --chaos-smoke        # CI-sized chaos subset
 //! repro --all --keep-going   # don't stop claiming runs on failure
@@ -67,6 +68,7 @@ fn main() {
     let mut functional = false;
     let mut sampled: Option<String> = None;
     let mut analyze = false;
+    let mut derive = false;
     let mut keep_going = false;
     let mut jobs: Option<usize> = None;
     let mut ids: Vec<String> = Vec::new();
@@ -81,6 +83,7 @@ fn main() {
             "--bench" => bench = true,
             "--functional" => functional = true,
             "--analyze" => analyze = true,
+            "--derive" => derive = true,
             "--keep-going" => keep_going = true,
             "--chaos" => ids.push("chaos".to_string()),
             "--chaos-smoke" => ids.push("chaos-smoke".to_string()),
@@ -115,7 +118,7 @@ fn main() {
         print_menu(&mut std::io::stderr());
         eprintln!(
             "\nflags: --all --quick --list --bench --functional --sampled <usecase> \
-             --analyze --chaos --chaos-smoke --keep-going --jobs <N>"
+             --analyze --derive --chaos --chaos-smoke --keep-going --jobs <N>"
         );
         std::process::exit(1);
     }
@@ -149,6 +152,35 @@ fn main() {
             );
         }
         println!("analyze: {} program(s) clean", report.len());
+        return;
+    }
+
+    // Interface-inference gate: derive every use case's watch set and
+    // stream/branch profile by abstract interpretation and require the
+    // configured component watchlists to be fully covered (or carry a
+    // typed divergence). Any coverage gap is a failure.
+    if derive {
+        let report = pfm_sim::analyze::derive_all(None);
+        let mut gaps = 0usize;
+        for (name, p) in &report {
+            println!("derive {name}: {}", p.summary());
+            for c in &p.coverage {
+                gaps += c.gaps.len();
+                for (pc, kind) in &c.gaps {
+                    println!("  gap: {} watches {kind} @ {pc:#x} — not derived", c.origin);
+                }
+            }
+        }
+        if gaps > 0 {
+            fail(
+                "interface inference left configured watch entries underived",
+                format!("{gaps} coverage gap(s) across {} program(s)", report.len()),
+            );
+        }
+        println!(
+            "derive: {} program(s), every configured watch entry derived or explained",
+            report.len()
+        );
         return;
     }
 

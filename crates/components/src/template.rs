@@ -53,7 +53,7 @@ impl Predicate {
 /// One derived load + prediction lane: for worklist element `x`, load
 /// `table_base + (x + offset) * elem_scale + elem_offset` and emit a
 /// prediction for `branch_pc`.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LaneSpec {
     /// Added to the worklist element before scaling (astar's neighbor
     /// offsets).
@@ -85,7 +85,7 @@ pub struct LaneSpec {
 
 /// The declarative component description (the artifact a generator
 /// would emit).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TemplateSpec {
     /// PC whose destination value is the sticky tag (astar's fillnum).
     pub tag_pc: u64,
@@ -453,6 +453,274 @@ pub fn astar_template(cfg: &crate::astar::AstarConfig) -> TemplateSpec {
     }
 }
 
+/// One branch the profile shows observing a derived load fed by the
+/// worklist walk: the raw material of a [`LaneSpec`].
+struct LaneCand {
+    branch_pc: u64,
+    taken: u64,
+    /// PC of the worklist load feeding this lane's derived load.
+    wl_load: u64,
+    elem_scale: i64,
+    /// `table_base + elem_scale * offset` (the gauge splits it).
+    addend: u64,
+    size: u64,
+    predicate: Predicate,
+    /// Defining PC of the tag comparand, `EqualsTag` lanes only.
+    tag_def: Option<u64>,
+}
+
+/// Maps a profiled branch to the lane predicate it would become: which
+/// load it observes directly (scale 1, addend 0) and how the *taken*
+/// direction reads the value.
+fn lane_predicate(
+    br: &pfm_analyze::profile::BranchProfile,
+) -> Option<(u64, Predicate, Option<u64>)> {
+    use pfm_analyze::profile::ValueDesc;
+    let direct = |v: &ValueDesc| match v {
+        ValueDesc::Loaded {
+            feeder,
+            scale: 1,
+            addend: Some(0),
+        } => Some(*feeder),
+        _ => None,
+    };
+    match br.cond {
+        "eq" | "ne" => {
+            let (load, other) = if let Some(f) = direct(&br.operands[0]) {
+                (f, &br.operands[1])
+            } else if let Some(f) = direct(&br.operands[1]) {
+                (f, &br.operands[0])
+            } else {
+                return None;
+            };
+            match (br.cond, other) {
+                (
+                    "eq",
+                    ValueDesc::Invariant {
+                        def_pc: Some(d), ..
+                    },
+                ) => Some((load, Predicate::EqualsTag, Some(*d))),
+                ("ne", ValueDesc::Const(0)) => Some((load, Predicate::NonZero, None)),
+                _ => None,
+            }
+        }
+        // `bge loaded, x0`: taken iff the value is non-negative. The
+        // mirrored form reads `0 >= loaded`, which is not this lane.
+        "ge" => {
+            let f = direct(&br.operands[0])?;
+            (br.operands[1] == ValueDesc::Const(0)).then_some((f, Predicate::NonNegative, None))
+        }
+        _ => None,
+    }
+}
+
+/// Derives a [`TemplateSpec`] from an interface-inference profile —
+/// §7's generator, fed by static analysis instead of a hand-read of
+/// the kernel. Returns `None` when the program does not match the
+/// template's shape (one strided worklist walk fanning out into
+/// indirect loads that feed in-loop predicate branches).
+///
+/// The recovered lane offsets use the sum-zero gauge: each lane
+/// position's addends across groups split as
+/// `table_base + elem_scale * offset` with the offsets summing to
+/// zero, which is exact for symmetric neighborhoods (astar's ±1 row /
+/// ±1 column ring) and rejects inconsistent splits.
+pub fn spec_from_profile(
+    profile: &pfm_analyze::profile::ProgramProfile,
+    scope: usize,
+) -> Option<TemplateSpec> {
+    use pfm_analyze::profile::{BoundKind, StreamClass, ValueDesc};
+
+    let mut cands: Vec<LaneCand> = Vec::new();
+    for br in &profile.branches {
+        if br.is_exit || br.is_latch || !br.data_dependent {
+            continue;
+        }
+        let Some((lane_load, predicate, tag_def)) = lane_predicate(br) else {
+            continue;
+        };
+        let Some(lane) = profile.stream_at(lane_load) else {
+            continue;
+        };
+        let StreamClass::Indirect {
+            feeder,
+            scale,
+            addend: Some(addend),
+            ..
+        } = &lane.class
+        else {
+            continue;
+        };
+        if lane.is_store || *scale <= 0 || lane.loop_header_pc != br.loop_header_pc {
+            continue;
+        }
+        let Some(wl) = profile.stream_at(*feeder) else {
+            continue;
+        };
+        let StreamClass::Strided { stride, .. } = &wl.class else {
+            continue;
+        };
+        // The feeder must walk the worklist in whole elements.
+        if wl.is_store
+            || *stride <= 0
+            || *stride as u64 != wl.width
+            || wl.loop_header_pc != br.loop_header_pc
+        {
+            continue;
+        }
+        cands.push(LaneCand {
+            branch_pc: br.pc,
+            taken: br.taken_target,
+            wl_load: *feeder,
+            elem_scale: *scale,
+            addend: *addend,
+            size: lane.width,
+            predicate,
+            tag_def,
+        });
+    }
+
+    // One worklist walk feeds every lane.
+    let wl_load = cands.first()?.wl_load;
+    if cands.iter().any(|c| c.wl_load != wl_load) {
+        return None;
+    }
+    cands.sort_by_key(|c| c.branch_pc);
+
+    // Lanes sharing a taken target form one short-circuit group;
+    // groups keep first-branch program order.
+    let mut groups: Vec<(u64, Vec<&LaneCand>)> = Vec::new();
+    for c in &cands {
+        match groups.iter_mut().find(|(t, _)| *t == c.taken) {
+            Some((_, g)) => g.push(c),
+            None => groups.push((c.taken, vec![c])),
+        }
+    }
+    let lanes_per_group = groups.first()?.1.len();
+    if groups.iter().any(|(_, g)| g.len() != lanes_per_group) {
+        return None;
+    }
+    for (target, g) in &groups {
+        // Taken must skip the whole group (the template's semantics).
+        if g.last().is_none_or(|last| *target <= last.branch_pc) {
+            return None;
+        }
+    }
+    // Per-position shape must agree across groups.
+    for i in 0..lanes_per_group {
+        let p0 = groups[0].1[i];
+        if groups.iter().any(|(_, g)| {
+            g[i].elem_scale != p0.elem_scale
+                || g[i].size != p0.size
+                || g[i].predicate != p0.predicate
+                || g[i].tag_def != p0.tag_def
+        }) {
+            return None;
+        }
+    }
+    // All EqualsTag positions must snoop the same tag def.
+    let mut tag_pc: Option<u64> = None;
+    for i in 0..lanes_per_group {
+        if let Some(d) = groups[0].1[i].tag_def {
+            if *tag_pc.get_or_insert(d) != d {
+                return None;
+            }
+        }
+    }
+    let tag_pc = tag_pc?;
+
+    // Split each position's addends into table base + scaled offset.
+    let group_count = groups.len() as i128;
+    let mut offsets: Vec<i64> = Vec::new();
+    let mut bases: Vec<u64> = Vec::new();
+    for i in 0..lanes_per_group {
+        let sum: i128 = groups.iter().map(|(_, g)| g[i].addend as i64 as i128).sum();
+        if sum % group_count != 0 {
+            return None;
+        }
+        let base = sum / group_count;
+        let scale = groups[0].1[i].elem_scale as i128;
+        for (gi, (_, g)) in groups.iter().enumerate() {
+            let diff = g[i].addend as i64 as i128 - base;
+            if diff % scale != 0 {
+                return None;
+            }
+            let off = i64::try_from(diff / scale).ok()?;
+            if i == 0 {
+                offsets.push(off);
+            } else if offsets[gi] != off {
+                return None;
+            }
+        }
+        bases.push(i64::try_from(base).ok()? as u64);
+    }
+
+    // Worklist base, length and commit head from the walk's loop.
+    let wl = profile.stream_at(wl_load)?;
+    let StreamClass::Strided { base_defs, .. } = &wl.class else {
+        return None;
+    };
+    let [wl_base_pc] = base_defs.as_slice() else {
+        return None;
+    };
+    let lp = profile
+        .loops
+        .iter()
+        .find(|l| l.header_pc == wl.loop_header_pc)?;
+    let [iv] = lp.ivs.as_slice() else {
+        return None;
+    };
+    let [induction_pc] = iv.step_pcs.as_slice() else {
+        return None;
+    };
+    let mut inv_bounds = lp.bounds.iter().filter(|b| b.kind == BoundKind::Invariant);
+    let bound = inv_bounds.next()?;
+    if inv_bounds.next().is_some() {
+        return None;
+    }
+    let wl_len_pc = bound.def_pc?;
+
+    // Store inference: every group writes the tag back through the
+    // same chain as its first lane (astar's visited-mark store).
+    let infer = groups.iter().all(|(_, g)| {
+        let lead = g[0];
+        profile.streams.iter().any(|s| {
+            s.is_store
+                && matches!(&s.class, StreamClass::Indirect { feeder, scale, addend: Some(a), .. }
+                    if *feeder == wl_load && *scale == lead.elem_scale && *a == lead.addend)
+                && matches!(&s.value,
+                    Some(ValueDesc::Invariant { def_pc: Some(d), .. }) if *d == tag_pc)
+        })
+    });
+
+    let mut lanes = Vec::new();
+    for (gi, (_, g)) in groups.iter().enumerate() {
+        for (i, c) in g.iter().enumerate() {
+            lanes.push(LaneSpec {
+                offset: offsets[gi],
+                table_base: bases[i],
+                elem_scale: c.elem_scale as u64,
+                elem_offset: 0,
+                size: c.size,
+                branch_pc: c.branch_pc,
+                predicate: c.predicate,
+                taken_skips_group: true,
+                group: gi as u32,
+                infer_store_on_all_not_taken: infer && i + 1 == g.len(),
+            });
+        }
+    }
+    Some(TemplateSpec {
+        tag_pc,
+        wl_base_pc: *wl_base_pc,
+        wl_len_pc,
+        induction_pc: *induction_pc,
+        wl_elem_size: wl.width,
+        lanes,
+        scope,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -656,6 +924,92 @@ mod tests {
         assert_eq!(
             template_preds, hand,
             "the template must reproduce the hand-built design"
+        );
+    }
+
+    #[test]
+    fn spec_from_profile_reads_an_astar_shaped_kernel() {
+        // A two-neighbor astar-shaped kernel: walk a worklist, probe
+        // waymap (tag test) and maparp (non-zero test) at offsets ±1,
+        // mark visited entries with the tag.
+        use pfm_isa::reg::names::*;
+        let mut a = pfm_isa::Asm::new(0x1000);
+        let top = a.label();
+        let done = a.label();
+        a.li(S1, 0x10_0000); // waymap
+        a.li(S2, 0x20_0000); // maparp
+        let tag_pc = a.here();
+        a.li(S0, 7); // tag
+        let wl_base_pc = a.here();
+        a.li(A0, 0x50_0000); // worklist base
+        let wl_len_pc = a.here();
+        a.li(A1, 4); // worklist length
+        a.li(T0, 0);
+        a.place(top);
+        a.bge(T0, A1, done);
+        a.slli(T3, T0, 2);
+        a.add(T3, A0, T3);
+        a.lwu(T1, T3, 0); // worklist element
+        let mut way_pcs = Vec::new();
+        let mut map_pcs = Vec::new();
+        for off in [1i64, -1] {
+            let skip = a.label();
+            a.addi(T2, T1, off);
+            a.slli(T3, T2, 3);
+            a.add(T3, S1, T3);
+            a.lwu(T4, T3, 0);
+            way_pcs.push(a.here());
+            a.beq(T4, S0, skip);
+            a.add(T5, S2, T2);
+            a.lbu(T5, T5, 0);
+            map_pcs.push(a.here());
+            a.bne(T5, X0, skip);
+            a.slli(T3, T2, 3);
+            a.add(T3, S1, T3);
+            a.sw(S0, T3, 0); // mark visited with the tag
+            a.place(skip);
+        }
+        let induction_pc = a.here();
+        a.addi(T0, T0, 1);
+        a.j(top);
+        a.place(done);
+        a.halt();
+        let prog = a.finish().expect("assembles");
+
+        let profile = pfm_analyze::analyze(&prog, &[], &[]).profile;
+        let spec = spec_from_profile(&profile, 8).expect("kernel matches the template");
+        let lane = |gi: usize, off: i64, way: bool| LaneSpec {
+            offset: off,
+            table_base: if way { 0x10_0000 } else { 0x20_0000 },
+            elem_scale: if way { 8 } else { 1 },
+            elem_offset: 0,
+            size: if way { 4 } else { 1 },
+            branch_pc: if way { way_pcs[gi] } else { map_pcs[gi] },
+            predicate: if way {
+                Predicate::EqualsTag
+            } else {
+                Predicate::NonZero
+            },
+            taken_skips_group: true,
+            group: gi as u32,
+            infer_store_on_all_not_taken: !way,
+        };
+        assert_eq!(
+            spec,
+            TemplateSpec {
+                tag_pc,
+                wl_base_pc,
+                wl_len_pc,
+                induction_pc,
+                wl_elem_size: 4,
+                lanes: vec![
+                    lane(0, 1, true),
+                    lane(0, 1, false),
+                    lane(1, -1, true),
+                    lane(1, -1, false),
+                ],
+                scope: 8,
+            }
         );
     }
 

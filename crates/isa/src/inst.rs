@@ -56,6 +56,54 @@ impl AluOp {
             AluOp::Mul | AluOp::Div | AluOp::Divu | AluOp::Rem | AluOp::Remu
         )
     }
+
+    /// Evaluates the operation over two 64-bit operand values with the
+    /// machine's exact semantics (wrapping arithmetic, shift amounts
+    /// masked to 6 bits, RISC-V divide-by-zero/overflow results). Both
+    /// executors and the static constant-propagation analysis fold
+    /// through this single definition, so they cannot drift apart.
+    #[inline]
+    pub fn eval(self, a: u64, b: u64) -> u64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Sll => a.wrapping_shl((b & 63) as u32),
+            AluOp::Slt => ((a as i64) < (b as i64)) as u64,
+            AluOp::Sltu => (a < b) as u64,
+            AluOp::Xor => a ^ b,
+            AluOp::Srl => a.wrapping_shr((b & 63) as u32),
+            AluOp::Sra => ((a as i64).wrapping_shr((b & 63) as u32)) as u64,
+            AluOp::Or => a | b,
+            AluOp::And => a & b,
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Div => {
+                if b == 0 {
+                    u64::MAX
+                } else if (a as i64) == i64::MIN && (b as i64) == -1 {
+                    a
+                } else {
+                    ((a as i64) / (b as i64)) as u64
+                }
+            }
+            AluOp::Divu => a.checked_div(b).unwrap_or(u64::MAX),
+            AluOp::Rem => {
+                if b == 0 {
+                    a
+                } else if (a as i64) == i64::MIN && (b as i64) == -1 {
+                    0
+                } else {
+                    ((a as i64) % (b as i64)) as u64
+                }
+            }
+            AluOp::Remu => {
+                if b == 0 {
+                    a
+                } else {
+                    a % b
+                }
+            }
+        }
+    }
 }
 
 /// Double-precision floating-point ALU operation.
@@ -306,6 +354,25 @@ pub enum ControlTarget {
     Indirect,
 }
 
+/// Statically-decoded shape of a memory access: the `base + offset`
+/// address expression plus width and direction, uniform across the
+/// integer and FP load/store forms. Static analyses walk address
+/// expressions through this instead of matching four `Inst` variants.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MemAccess {
+    /// Base address register.
+    pub base: Reg,
+    /// Signed displacement added to the base.
+    pub offset: i64,
+    /// Access width (FP accesses are always 8 bytes).
+    pub width: MemWidth,
+    /// Whether the access writes memory.
+    pub is_store: bool,
+    /// The register whose value a store writes (`None` for loads; the
+    /// loaded destination is in [`InstInfo::dst`]).
+    pub value: Option<RegRef>,
+}
+
 /// Static decode information for an instruction.
 #[derive(Clone, Copy, Debug)]
 pub struct InstInfo {
@@ -466,6 +533,68 @@ impl Inst {
             Inst::Branch { target, .. } | Inst::Jal { target, .. } => ControlTarget::Direct(target),
             Inst::Jalr { .. } => ControlTarget::Indirect,
             _ => ControlTarget::None,
+        }
+    }
+
+    /// The memory access this instruction performs, if any, in the
+    /// uniform [`MemAccess`] shape.
+    #[inline]
+    pub fn mem_access(&self) -> Option<MemAccess> {
+        match *self {
+            Inst::Load {
+                width,
+                base,
+                offset,
+                ..
+            } => Some(MemAccess {
+                base,
+                offset,
+                width,
+                is_store: false,
+                value: None,
+            }),
+            Inst::Store {
+                width,
+                src,
+                base,
+                offset,
+            } => Some(MemAccess {
+                base,
+                offset,
+                width,
+                is_store: true,
+                value: Some(src.into()),
+            }),
+            Inst::FLoad { base, offset, .. } => Some(MemAccess {
+                base,
+                offset,
+                width: MemWidth::B8,
+                is_store: false,
+                value: None,
+            }),
+            Inst::FStore { fs, base, offset } => Some(MemAccess {
+                base,
+                offset,
+                width: MemWidth::B8,
+                is_store: true,
+                value: Some(fs.into()),
+            }),
+            _ => None,
+        }
+    }
+
+    /// Condition, operand registers and taken target of a conditional
+    /// branch, or `None` for anything else.
+    #[inline]
+    pub fn cond_branch_parts(&self) -> Option<(BranchCond, Reg, Reg, u64)> {
+        match *self {
+            Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => Some((cond, rs1, rs2, target)),
+            _ => None,
         }
     }
 
@@ -713,6 +842,75 @@ mod tests {
             offset: 8,
         };
         assert!(!off.is_ret());
+    }
+
+    #[test]
+    fn mem_access_uniform_shape() {
+        let ld = Inst::Load {
+            width: MemWidth::B4,
+            signed: false,
+            rd: A0,
+            base: A1,
+            offset: 8,
+        };
+        let m = ld.mem_access().unwrap();
+        assert_eq!(
+            (m.base, m.offset, m.width, m.is_store),
+            (A1, 8, MemWidth::B4, false)
+        );
+        assert!(m.value.is_none());
+        let st = Inst::Store {
+            width: MemWidth::B8,
+            src: A2,
+            base: SP,
+            offset: -16,
+        };
+        let m = st.mem_access().unwrap();
+        assert!(m.is_store);
+        assert_eq!(m.value, Some(A2.into()));
+        let fs = Inst::FStore {
+            fs: FT0,
+            base: A1,
+            offset: 0,
+        };
+        let m = fs.mem_access().unwrap();
+        assert_eq!(m.width, MemWidth::B8, "FP accesses are 8 bytes");
+        assert_eq!(m.value, Some(FT0.into()));
+        assert!(Inst::Nop.mem_access().is_none());
+        assert!(Inst::Halt.mem_access().is_none());
+    }
+
+    #[test]
+    fn cond_branch_parts_roundtrip() {
+        let b = Inst::Branch {
+            cond: BranchCond::Geu,
+            rs1: A3,
+            rs2: A2,
+            target: 0x2000,
+        };
+        assert_eq!(
+            b.cond_branch_parts(),
+            Some((BranchCond::Geu, A3, A2, 0x2000))
+        );
+        assert!(Inst::Nop.cond_branch_parts().is_none());
+        assert!(Inst::Jal { rd: X0, target: 0 }
+            .cond_branch_parts()
+            .is_none());
+    }
+
+    #[test]
+    fn alu_eval_machine_semantics() {
+        assert_eq!(AluOp::Add.eval(u64::MAX, 1), 0, "wrapping add");
+        assert_eq!(AluOp::Sll.eval(1, 64), 1, "shift amount masked to 6 bits");
+        assert_eq!(AluOp::Sra.eval((-8i64) as u64, 2), (-2i64) as u64);
+        assert_eq!(AluOp::Div.eval(7, 0), u64::MAX);
+        assert_eq!(
+            AluOp::Div.eval(i64::MIN as u64, (-1i64) as u64),
+            i64::MIN as u64
+        );
+        assert_eq!(AluOp::Rem.eval(7, 0), 7);
+        assert_eq!(AluOp::Remu.eval(7, 0), 7);
+        assert_eq!(AluOp::Mul.eval(1 << 63, 2), 0, "wrapping mul");
     }
 
     #[test]

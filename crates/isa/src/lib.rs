@@ -51,7 +51,7 @@ pub mod snap;
 
 pub use asm::Asm;
 pub use fast::FastExec;
-pub use inst::{ControlTarget, ExecClass, Inst, InstInfo};
+pub use inst::{ControlTarget, ExecClass, Inst, InstInfo, MemAccess};
 pub use machine::{Machine, StepOut};
 pub use mem::{SparseMem, SpecMemory};
 pub use program::Program;

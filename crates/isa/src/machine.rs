@@ -561,45 +561,7 @@ pub(crate) fn extend(raw: u64, width: MemWidth, signed: bool) -> u64 {
 }
 
 pub(crate) fn alu(op: AluOp, a: u64, b: u64) -> u64 {
-    match op {
-        AluOp::Add => a.wrapping_add(b),
-        AluOp::Sub => a.wrapping_sub(b),
-        AluOp::Sll => a.wrapping_shl((b & 63) as u32),
-        AluOp::Slt => ((a as i64) < (b as i64)) as u64,
-        AluOp::Sltu => (a < b) as u64,
-        AluOp::Xor => a ^ b,
-        AluOp::Srl => a.wrapping_shr((b & 63) as u32),
-        AluOp::Sra => ((a as i64).wrapping_shr((b & 63) as u32)) as u64,
-        AluOp::Or => a | b,
-        AluOp::And => a & b,
-        AluOp::Mul => a.wrapping_mul(b),
-        AluOp::Div => {
-            if b == 0 {
-                u64::MAX
-            } else if (a as i64) == i64::MIN && (b as i64) == -1 {
-                a
-            } else {
-                ((a as i64) / (b as i64)) as u64
-            }
-        }
-        AluOp::Divu => a.checked_div(b).unwrap_or(u64::MAX),
-        AluOp::Rem => {
-            if b == 0 {
-                a
-            } else if (a as i64) == i64::MIN && (b as i64) == -1 {
-                0
-            } else {
-                ((a as i64) % (b as i64)) as u64
-            }
-        }
-        AluOp::Remu => {
-            if b == 0 {
-                a
-            } else {
-                a % b
-            }
-        }
-    }
+    op.eval(a, b)
 }
 
 #[cfg(test)]

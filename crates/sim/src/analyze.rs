@@ -91,6 +91,31 @@ pub fn analyze_all(corrupt_watch: Option<&str>) -> Vec<(String, Vec<pfm_analyze:
     report
 }
 
+/// Derives the interface-inference profile (`pfm-analyze/2`) for every
+/// registered use case and returns `(name, profile)` per program — the
+/// shape [`pfm_analyze::profile_report_to_json`] renders. The same
+/// `corrupt_watch` seam as [`analyze_all`]: the redirected PC cannot be
+/// matched by any derived watch entry, so the named use case's coverage
+/// records a gap (and `derived-watch-gap` fires through the check
+/// suite).
+pub fn derive_all(
+    corrupt_watch: Option<&str>,
+) -> Vec<(String, pfm_analyze::profile::ProgramProfile)> {
+    let mut report = Vec::new();
+    for factory in crate::usecases::throughput_suite_factories() {
+        let uc = factory.build();
+        let mut watch = watchlist_for(&uc);
+        if corrupt_watch == Some(uc.name.as_str()) {
+            if let Some(entry) = watch.first_mut() {
+                entry.pc = 0xdead_0000;
+            }
+        }
+        let analysis = analyze_usecase_with(&uc, &watch);
+        report.push((uc.name.clone(), analysis.profile));
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

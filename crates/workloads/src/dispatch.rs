@@ -1,0 +1,94 @@
+//! An *unregistered* computed-dispatch kernel: the handler's address
+//! is derived from the link register at run time and called through
+//! `jalr`, so a naive CFG sees only an `Unknown` edge and an
+//! unreachable handler. The kernel exists to exercise `pfm-analyze`'s
+//! constant-propagation resolve loop (which proves the target, turns
+//! the edge into a call and makes the handler's stride-8 store loop
+//! analyzable) and is deliberately not registered as a use case — the
+//! golden-stats corpus is frozen.
+
+use pfm_isa::reg::names::*;
+use pfm_isa::{Asm, Program};
+
+/// Exported symbol names.
+pub mod sym {
+    /// The instruction whose link value anchors the address
+    /// computation.
+    pub const ANCHOR: &str = "dispatch_anchor";
+    /// The computed `jalr` call site.
+    pub const JALR: &str = "dispatch_jalr";
+    /// First instruction of the handler the jump lands on.
+    pub const HANDLER: &str = "dispatch_handler";
+    /// The handler's strided store.
+    pub const STORE: &str = "dispatch_store";
+}
+
+/// Base address of the table the handler fills.
+pub const TABLE_BASE: u64 = 0x8000;
+/// Number of 8-byte entries the handler writes.
+pub const TABLE_ENTRIES: u64 = 8;
+
+/// Bytes from the anchor (the instruction after the anchoring call)
+/// to the handler: `mv`, `addi`, `jalr`, `halt`.
+const HANDLER_DELTA: i64 = 16;
+
+/// Builds the kernel: recover the current PC from a call's link
+/// value, offset it to the handler, call the handler through `jalr`,
+/// and let the handler fill [`TABLE_ENTRIES`] slots at [`TABLE_BASE`]
+/// with a stride-8 store loop.
+pub fn dispatch_program() -> Program {
+    let mut a = Asm::new(0x1000);
+    let anchor = a.label();
+    let hloop = a.label();
+
+    // `call` to the next instruction: its only effect is ra = anchor.
+    a.call(anchor);
+    a.place(anchor);
+    a.export(sym::ANCHOR);
+    a.mv(S1, RA); // s1 = anchor
+    a.addi(S1, S1, HANDLER_DELTA); // s1 = handler
+    a.export(sym::JALR);
+    a.jalr(RA, S1, 0); // computed call
+    a.halt();
+
+    a.export(sym::HANDLER);
+    a.li(T0, 0);
+    a.li(T1, TABLE_ENTRIES as i64);
+    a.li(A0, TABLE_BASE as i64);
+    a.place(hloop);
+    a.slli(T2, T0, 3);
+    a.add(T2, A0, T2);
+    a.export(sym::STORE);
+    a.sd(T0, T2, 0); // table[i] = i
+    a.addi(T0, T0, 1);
+    a.blt(T0, T1, hloop);
+    a.ret();
+
+    let program = crate::assembled("dispatch", a.finish());
+    let anchor_pc = program.require_symbol(sym::ANCHOR);
+    let handler_pc = program.require_symbol(sym::HANDLER);
+    assert_eq!(
+        handler_pc,
+        anchor_pc.wrapping_add(HANDLER_DELTA as u64),
+        "dispatch: HANDLER_DELTA is out of sync with the kernel layout"
+    );
+    program
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfm_isa::machine::Machine;
+    use pfm_isa::mem::SpecMemory;
+
+    #[test]
+    fn kernel_executes_and_fills_the_table() {
+        let prog = dispatch_program();
+        let mut m = Machine::new(prog, SpecMemory::new());
+        m.run(10_000).expect("executes");
+        assert!(m.halted(), "the computed call must return to the halt");
+        for i in 0..TABLE_ENTRIES {
+            assert_eq!(m.mem().read_committed(TABLE_BASE + 8 * i, 8), i);
+        }
+    }
+}

@@ -13,6 +13,7 @@
 
 pub mod astar;
 pub mod bfs;
+pub mod dispatch;
 pub mod graphs;
 pub mod spec;
 pub mod usecase;

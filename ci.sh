@@ -67,4 +67,69 @@ smoke_dir="$(mktemp -d)"
 (cd "$smoke_dir" && "$repro_bin" --bench --functional --quick --jobs 4 2>/dev/null | grep -E "MKIPS")
 rm -rf "$smoke_dir"
 
+echo "== result store warm-cache gate =="
+# Same smoke plan twice against a fresh store: the second run must be
+# 100% hits with zero simulations, and the assembled stats (everything
+# but the wall-clock plan line) must be bit-identical.
+store_dir="$(mktemp -d)"
+"$repro_bin" fig8 --quick --jobs 4 --store "$store_dir/store" \
+    > "$store_dir/cold.out" 2> "$store_dir/cold.log"
+"$repro_bin" fig8 --quick --jobs 4 --store "$store_dir/store" \
+    > "$store_dir/warm.out" 2> "$store_dir/warm.log"
+cold_misses="$(sed -n 's/.*store: [0-9]* hit(s), \([0-9]*\) miss(es).*/\1/p' "$store_dir/cold.out")"
+warm_plan="$(grep '^plan:' "$store_dir/warm.out")"
+[ -n "$cold_misses" ] && [ "$cold_misses" -gt 0 ] || {
+    echo "cold run did not miss the fresh store" >&2
+    exit 1
+}
+echo "$warm_plan" | grep -q "store: $cold_misses hit(s), 0 miss(es)" || {
+    echo "warm run was not 100% store hits: $warm_plan" >&2
+    exit 1
+}
+echo "$warm_plan" | grep -q "(0.0s simulated)" || {
+    echo "warm run still simulated: $warm_plan" >&2
+    exit 1
+}
+diff <(grep -v '^plan:' "$store_dir/cold.out") \
+     <(grep -v '^plan:' "$store_dir/warm.out") || {
+    echo "warm-cache stats differ from the cold run" >&2
+    exit 1
+}
+
+echo "== experiment service gate (--serve / --worker) =="
+# A daemon in front of a fresh store must shard a cold request across
+# at least two worker processes, answer the repeated request without
+# simulating, and return identical assembled stats.
+sock="$store_dir/repro.sock"
+"$repro_bin" --serve --store "$store_dir/serve-store" --socket "$sock" --jobs 4 \
+    > "$store_dir/serve.log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 100); do [ -S "$sock" ] && break; sleep 0.1; done
+[ -S "$sock" ] || { echo "daemon never bound $sock" >&2; exit 1; }
+"$repro_bin" fig8 --quick --connect --socket "$sock" \
+    > "$store_dir/serve-cold.out" 2> "$store_dir/serve-cold.log"
+"$repro_bin" fig8 --quick --connect --socket "$sock" \
+    > "$store_dir/serve-warm.out" 2> "$store_dir/serve-warm.log"
+"$repro_bin" --connect --shutdown --socket "$sock" > /dev/null 2>&1
+wait "$serve_pid"
+grep -Eq "sharding across ([2-9]|[0-9]{2,}) worker process" "$store_dir/serve-cold.log" || {
+    echo "cold request did not shard across >=2 worker processes" >&2
+    cat "$store_dir/serve-cold.log" >&2
+    exit 1
+}
+grep -q "0 simulated" "$store_dir/serve-warm.out" || {
+    echo "warm serve request still simulated" >&2
+    exit 1
+}
+grep -q "answering entirely from the store" "$store_dir/serve-warm.log" || {
+    echo "warm serve request probed past the store" >&2
+    exit 1
+}
+diff <(grep -v '^serve:' "$store_dir/serve-cold.out") \
+     <(grep -v '^serve:' "$store_dir/serve-warm.out") || {
+    echo "serve stats differ between cold and warm requests" >&2
+    exit 1
+}
+rm -rf "$store_dir"
+
 echo "CI OK"

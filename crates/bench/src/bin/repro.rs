@@ -9,7 +9,7 @@
 //! repro fig8 table2 fig18    # a subset
 //! repro --quick fig12        # smaller instruction budget
 //! repro --all --jobs 4       # four worker threads
-//! repro --list               # what can be regenerated
+//! repro --list               # what can be regenerated (+ store hit/miss)
 //! repro --bench              # simulator MKIPS throughput benchmark
 //! repro --bench --functional # + functional-executor batch and speedup
 //! repro --sampled libquantum # sampled run: fast-forward + detailed intervals
@@ -18,14 +18,30 @@
 //! repro --chaos              # fault-injection suite (checksum proof)
 //! repro --chaos-smoke        # CI-sized chaos subset
 //! repro --all --keep-going   # don't stop claiming runs on failure
+//! repro --store <dir>        # result store directory (default .pfm-store)
+//! repro --no-store           # disable the result store
+//! repro --store-stats        # print store contents and exit
+//! repro --serve              # experiment-service daemon (Unix socket)
+//! repro --connect [ids...]   # send a plan request to a running daemon
+//! repro --connect --shutdown # stop the daemon
+//! repro --socket <path>      # socket path for --serve/--connect
 //! ```
+//!
+//! Results are cached in a content-addressed store keyed by
+//! `(spec content key, code fingerprint)`: a warm invocation serves
+//! hits at memory speed and only simulates what the store has never
+//! seen. `--serve` puts a daemon in front of the same store, sharding
+//! cache-missing runs across `repro --worker` child processes.
 //!
 //! A failed, panicked or hung run never aborts the process: the
 //! executor isolates it, the remaining experiments still assemble, and
 //! `repro` prints a failure table and exits non-zero.
 
 use pfm_sim::experiments::{plan_for, ALL_IDS, EXTRA_IDS};
-use pfm_sim::{run_bench, run_plans, run_sampled, ExecOptions, RunConfig, SampledConfig};
+use pfm_sim::store::{find_workspace_root, CodeFingerprint, ResultStore};
+use pfm_sim::{run_bench, run_plans, run_sampled, service, ExecOptions, RunConfig, SampledConfig};
+use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Exits with a contextual message on stderr; used for conditions the
 /// user cannot distinguish from a hang otherwise (broken pipe aside,
@@ -46,21 +62,112 @@ fn plan_or_exit(id: &str, rc: &RunConfig) -> pfm_sim::plan::ExperimentPlan {
     }
 }
 
-fn print_menu(out: &mut impl std::io::Write) {
-    let rc = RunConfig::test_scale();
-    if let Err(e) = writeln!(out, "available experiments:") {
-        fail("cannot write experiment menu", e);
-    }
-    for id in ALL_IDS.into_iter().chain(EXTRA_IDS) {
-        let plan = plan_or_exit(id, &rc);
-        if let Err(e) = writeln!(out, "  {id:<12} {}", plan.title) {
+/// Prints the experiment menu. With a store attached, each
+/// experiment's runs are annotated hit/miss against it (at the scale
+/// `rc` implies), so the listing shows what an invocation would
+/// actually simulate.
+fn print_menu(out: &mut impl std::io::Write, store: Option<&ResultStore>, rc: &RunConfig) {
+    let mut w = |line: String| {
+        if let Err(e) = writeln!(out, "{line}") {
             fail("cannot write experiment menu", e);
+        }
+    };
+    w("available experiments:".to_string());
+    for id in ALL_IDS.into_iter().chain(EXTRA_IDS) {
+        let plan = plan_or_exit(id, rc);
+        match store {
+            None => w(format!("  {id:<12} {}", plan.title)),
+            Some(store) => {
+                let unique = pfm_sim::exec::dedup_specs(plan.specs());
+                let hits = unique.iter().filter(|s| store.contains(s.key())).count();
+                w(format!(
+                    "  {id:<12} {} [{hits}/{} cached]",
+                    plan.title,
+                    unique.len()
+                ));
+                for spec in &unique {
+                    let status = if store.contains(spec.key()) {
+                        "hit "
+                    } else {
+                        "miss"
+                    };
+                    w(format!("      {status} {}  {}", spec.name(), spec.key()));
+                }
+            }
         }
     }
 }
 
+/// How the CLI flags resolve to a store.
+enum StoreChoice {
+    /// `--no-store`.
+    Disabled,
+    /// Default: `<workspace root>/.pfm-store` when a workspace is
+    /// found, silently storeless otherwise.
+    Default,
+    /// `--store <dir>` (an unlocatable workspace is an error here —
+    /// the user asked for caching explicitly).
+    Explicit(PathBuf),
+}
+
+/// Opens the store the flags ask for. The code fingerprint always
+/// comes from the enclosing workspace's sources; without a workspace
+/// there is no sound fingerprint, so the default choice degrades to
+/// no store (with a note) and the explicit choice fails loudly.
+fn open_store(choice: &StoreChoice) -> Option<Arc<ResultStore>> {
+    let (dir, explicit) = match choice {
+        StoreChoice::Disabled => return None,
+        StoreChoice::Explicit(dir) => (dir.clone(), true),
+        StoreChoice::Default => match find_workspace_root() {
+            Some(root) => (root.join(".pfm-store"), false),
+            None => {
+                eprintln!("repro: no workspace root found; running without a result store");
+                return None;
+            }
+        },
+    };
+    let root = match find_workspace_root() {
+        Some(root) => root,
+        None => {
+            if explicit {
+                fail(
+                    "cannot fingerprint sources for --store",
+                    "no enclosing cargo workspace found",
+                );
+            }
+            return None;
+        }
+    };
+    let fp = match CodeFingerprint::of_workspace(&root) {
+        Ok(fp) => fp,
+        Err(e) => fail("cannot fingerprint workspace sources", e),
+    };
+    match ResultStore::open(&dir, fp) {
+        Ok(store) => Some(Arc::new(store)),
+        Err(e) => fail(&format!("cannot open result store at {}", dir.display()), e),
+    }
+}
+
+/// The socket a daemon/client pair agrees on when `--socket` is not
+/// given: `repro.sock` inside the store directory (explicit or the
+/// workspace default). `None` when no directory can be derived.
+fn default_socket(choice: &StoreChoice) -> Option<PathBuf> {
+    let dir = match choice {
+        StoreChoice::Explicit(dir) => dir.clone(),
+        StoreChoice::Default | StoreChoice::Disabled => find_workspace_root()?.join(".pfm-store"),
+    };
+    Some(dir.join("repro.sock"))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // Worker role first: the child must never parse user-facing flags
+    // or touch the store — its whole world is the stdin assignment.
+    if args.iter().any(|a| a == "--worker") {
+        std::process::exit(service::worker_main());
+    }
+
     let mut quick = false;
     let mut all = false;
     let mut list = false;
@@ -70,6 +177,12 @@ fn main() {
     let mut analyze = false;
     let mut derive = false;
     let mut keep_going = false;
+    let mut serve = false;
+    let mut connect = false;
+    let mut shutdown = false;
+    let mut store_stats = false;
+    let mut store_choice = StoreChoice::Default;
+    let mut socket: Option<PathBuf> = None;
     let mut jobs: Option<usize> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut bad_args: Vec<String> = Vec::new();
@@ -85,8 +198,21 @@ fn main() {
             "--analyze" => analyze = true,
             "--derive" => derive = true,
             "--keep-going" => keep_going = true,
+            "--serve" => serve = true,
+            "--connect" => connect = true,
+            "--shutdown" => shutdown = true,
+            "--store-stats" => store_stats = true,
+            "--no-store" => store_choice = StoreChoice::Disabled,
             "--chaos" => ids.push("chaos".to_string()),
             "--chaos-smoke" => ids.push("chaos-smoke".to_string()),
+            "--store" => match it.next() {
+                Some(dir) => store_choice = StoreChoice::Explicit(PathBuf::from(dir)),
+                None => bad_args.push("--store <dir>".to_string()),
+            },
+            "--socket" => match it.next() {
+                Some(path) => socket = Some(PathBuf::from(path)),
+                None => bad_args.push("--socket <path>".to_string()),
+            },
             "--sampled" => match it.next() {
                 Some(name) => sampled = Some(name),
                 None => bad_args.push("--sampled <usecase>".to_string()),
@@ -112,19 +238,78 @@ fn main() {
         }
     }
 
+    let rc_for_menu = service::run_config_for(quick);
     if !bad_args.is_empty() {
         eprintln!("unknown argument(s): {}", bad_args.join(", "));
         eprintln!();
-        print_menu(&mut std::io::stderr());
+        print_menu(&mut std::io::stderr(), None, &rc_for_menu);
         eprintln!(
             "\nflags: --all --quick --list --bench --functional --sampled <usecase> \
-             --analyze --derive --chaos --chaos-smoke --keep-going --jobs <N>"
+             --analyze --derive --chaos --chaos-smoke --keep-going --jobs <N> \
+             --store <dir> --no-store --store-stats --serve --connect --shutdown \
+             --socket <path>"
         );
         std::process::exit(1);
     }
 
+    // Client role: ship the request to a daemon and stream its answer.
+    // The daemon owns the store; the client needs only the socket.
+    if connect {
+        let sock = socket.clone().unwrap_or_else(|| {
+            default_socket(&store_choice)
+                .unwrap_or_else(|| fail("--connect needs a socket", "pass --socket <path>"))
+        });
+        let req = if shutdown {
+            service::Request::Shutdown
+        } else {
+            service::Request::Plan(service::PlanRequest {
+                ids: ids.clone(),
+                quick,
+                jobs: jobs.unwrap_or(0),
+            })
+        };
+        match service::request(&sock, &req) {
+            Ok(code) => std::process::exit(code),
+            Err(e) => fail(&format!("cannot reach daemon at {}", sock.display()), e),
+        }
+    }
+
+    let store = open_store(&store_choice);
+
+    if store_stats {
+        match &store {
+            Some(store) => print!("{}", store.render_stats()),
+            None => println!("store: disabled"),
+        }
+        return;
+    }
+
+    // Server role: bind the socket and answer plan requests until a
+    // client sends --shutdown.
+    if serve {
+        let sock = socket.clone().unwrap_or_else(|| {
+            default_socket(&store_choice)
+                .unwrap_or_else(|| fail("--serve needs a socket", "pass --socket <path>"))
+        });
+        if let Some(parent) = sock.parent() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                fail("cannot create socket directory", e);
+            }
+        }
+        let opts = service::ServeOptions {
+            socket: sock,
+            jobs: jobs.unwrap_or_else(|| ExecOptions::default().jobs),
+            store,
+            worker_exe: None,
+        };
+        if let Err(e) = service::serve(&opts) {
+            fail("experiment service failed", e);
+        }
+        return;
+    }
+
     if list {
-        print_menu(&mut std::io::stdout());
+        print_menu(&mut std::io::stdout(), store.as_deref(), &rc_for_menu);
         return;
     }
 
@@ -188,16 +373,14 @@ fn main() {
         all = true;
     }
 
-    let mut rc = RunConfig::paper_scale();
-    if quick {
-        rc.max_instrs = 300_000;
-    }
+    let rc = service::run_config_for(quick);
 
     if bench {
         let opts = ExecOptions {
             jobs: jobs.unwrap_or_else(|| ExecOptions::default().jobs),
             progress: true,
             keep_going,
+            store: None, // the benchmark times real simulation
         };
         let report = run_bench(&rc, &opts, functional);
         println!("{}", report.render());
@@ -243,6 +426,7 @@ fn main() {
             jobs: jobs.unwrap_or_else(|| ExecOptions::default().jobs),
             progress: true,
             keep_going,
+            store: None, // interval specs are internal to the sampler
         };
         match run_sampled(&factory, &cfg, &rc, &opts) {
             Ok(report) => print!("{}", report.render()),
@@ -265,6 +449,7 @@ fn main() {
         jobs: jobs.unwrap_or_else(|| ExecOptions::default().jobs),
         progress: true,
         keep_going,
+        store: store.clone(),
     };
     let unique: usize = {
         let specs: Vec<_> = plans

@@ -212,6 +212,40 @@ pub struct FaultStats {
 }
 
 impl FaultStats {
+    /// Serializes every counter, in declaration order.
+    pub fn snapshot_encode(&self, e: &mut pfm_isa::snap::Enc) {
+        e.u64(self.inverted);
+        e.u64(self.garbled);
+        e.u64(self.wild);
+        e.u64(self.dropped);
+        e.u64(self.delayed);
+        e.u64(self.duplicated);
+        e.u64(self.stuck_ticks);
+        e.u64(self.spike_ticks);
+        e.u64(self.rng_draws);
+    }
+
+    /// Decodes counters serialized by [`FaultStats::snapshot_encode`].
+    ///
+    /// # Errors
+    /// [`pfm_isa::snap::SnapError::Truncated`] if the stream ends
+    /// early.
+    pub fn snapshot_decode(
+        d: &mut pfm_isa::snap::Dec<'_>,
+    ) -> Result<FaultStats, pfm_isa::snap::SnapError> {
+        Ok(FaultStats {
+            inverted: d.u64()?,
+            garbled: d.u64()?,
+            wild: d.u64()?,
+            dropped: d.u64()?,
+            delayed: d.u64()?,
+            duplicated: d.u64()?,
+            stuck_ticks: d.u64()?,
+            spike_ticks: d.u64()?,
+            rng_draws: d.u64()?,
+        })
+    }
+
     /// Total discrete fault injections (episodic scenarios count ticks).
     pub fn injected(&self) -> u64 {
         self.inverted

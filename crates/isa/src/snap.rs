@@ -128,6 +128,23 @@ impl Enc {
         self.buf.extend_from_slice(b);
     }
 
+    /// Appends a length-prefixed byte sequence (`u64` count + bytes).
+    pub fn bytes_len(&mut self, b: &[u8]) {
+        self.usize(b.len());
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.bytes_len(s.as_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern (`u64`), so equal
+    /// values always produce equal bytes.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
     /// Number of bytes encoded so far.
     pub fn len(&self) -> usize {
         self.buf.len()
@@ -238,6 +255,34 @@ impl<'a> Dec<'a> {
         Ok(n)
     }
 
+    /// Reads a length-prefixed byte sequence written by
+    /// [`Enc::bytes_len`].
+    ///
+    /// # Errors
+    /// [`SnapError::Truncated`] at end of stream, or
+    /// [`SnapError::Corrupt`] if the length is impossible.
+    pub fn bytes_len(&mut self) -> Result<&'a [u8], SnapError> {
+        let n = self.seq_len()?;
+        self.bytes(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string written by [`Enc::str`].
+    ///
+    /// # Errors
+    /// [`SnapError::Truncated`] at end of stream, or
+    /// [`SnapError::Corrupt`] on an impossible length or invalid UTF-8.
+    pub fn str(&mut self) -> Result<&'a str, SnapError> {
+        std::str::from_utf8(self.bytes_len()?).map_err(|_| SnapError::Corrupt("string utf-8"))
+    }
+
+    /// Reads an `f64` stored as its IEEE-754 bit pattern.
+    ///
+    /// # Errors
+    /// [`SnapError::Truncated`] at end of stream.
+    pub fn f64(&mut self) -> Result<f64, SnapError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
     /// Reads a `bool`, rejecting anything but 0 or 1.
     ///
     /// # Errors
@@ -309,6 +354,34 @@ mod tests {
         assert_eq!(d.usize().unwrap(), 7);
         assert_eq!(d.bytes(3).unwrap(), &[1, 2, 3]);
         d.finish().unwrap();
+    }
+
+    #[test]
+    fn string_and_f64_roundtrip() {
+        let mut e = Enc::new();
+        e.str("astar|baseline|n1500000");
+        e.str("");
+        e.bytes_len(&[9, 8, 7]);
+        e.f64(-0.125);
+        let bytes = e.finish();
+
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.str().unwrap(), "astar|baseline|n1500000");
+        assert_eq!(d.str().unwrap(), "");
+        assert_eq!(d.bytes_len().unwrap(), &[9, 8, 7]);
+        assert_eq!(d.f64().unwrap(), -0.125);
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn invalid_utf8_string_is_typed() {
+        let mut e = Enc::new();
+        e.bytes_len(&[0xFF, 0xFE]);
+        let bytes = e.finish();
+        assert_eq!(
+            Dec::new(&bytes).str().unwrap_err(),
+            SnapError::Corrupt("string utf-8")
+        );
     }
 
     #[test]

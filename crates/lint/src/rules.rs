@@ -87,6 +87,20 @@ const SNAPSHOT_HASH_TYPES: &[&str] = &["HashMap", "HashSet", "FxHashMap", "FxHas
 /// (the region the snapshot rules confine themselves to).
 const SNAPSHOT_FN_MARKERS: &[&str] = &["snapshot", "encode", "decode", "restore", "serialize"];
 
+/// Function-name substrings marking store-key / code-fingerprint
+/// construction (the region the `store-key-purity` rule confines
+/// itself to). A result-store address must be a pure function of spec
+/// content and source bytes — anything environmental in the key makes
+/// cached results unreachable (or worse, wrongly reachable) on another
+/// machine or another day.
+const STORE_KEY_FN_MARKERS: &[&str] = &[
+    "fingerprint",
+    "store_key",
+    "cache_key",
+    "key_hash",
+    "digest",
+];
+
 /// Entropy-seeded RNG constructors/handles.
 const RNG_IDENTS: &[&str] = &["thread_rng", "ThreadRng", "from_entropy", "OsRng"];
 
@@ -168,8 +182,10 @@ pub fn check(lexed: &Lexed, ctx: &FileContext) -> Vec<Finding> {
     }
     // Snapshot codecs exist in most layers (isa, mem, bpred, core,
     // fabric, components) and their callers in tool crates, so the
-    // snapshot rules are workspace-wide, not crate-scoped.
+    // snapshot rules are workspace-wide, not crate-scoped. The same
+    // goes for store-key/fingerprint construction.
     snapshot_determinism(lexed, ctx, &mut findings);
+    store_key_purity(lexed, ctx, &mut findings);
     hygiene(lexed, ctx, &mut findings);
     robustness(lexed, ctx, in_agent, &mut findings);
 
@@ -375,6 +391,13 @@ fn determinism(lexed: &Lexed, ctx: &FileContext, findings: &mut Vec<Finding>) {
 /// `find_test_ranges`). Bodiless trait declarations (`fn f(...);`) have
 /// no range.
 fn snapshot_fn_ranges(lexed: &Lexed) -> Vec<(usize, usize)> {
+    marked_fn_ranges(lexed, SNAPSHOT_FN_MARKERS)
+}
+
+/// Finds half-open token ranges covering the bodies of functions whose
+/// name contains one of `markers` (case-insensitive), by brace
+/// matching over the token stream.
+fn marked_fn_ranges(lexed: &Lexed, markers: &[&str]) -> Vec<(usize, usize)> {
     let toks = &lexed.tokens;
     let t = |i: usize| toks.get(i).map(|t| t.text.as_str());
     let mut ranges = Vec::new();
@@ -386,7 +409,7 @@ fn snapshot_fn_ranges(lexed: &Lexed) -> Vec<(usize, usize)> {
         }
         let Some(name) = t(i + 1) else { break };
         let lower = name.to_ascii_lowercase();
-        if !SNAPSHOT_FN_MARKERS.iter().any(|m| lower.contains(m)) {
+        if !markers.iter().any(|m| lower.contains(m)) {
             i += 2;
             continue;
         }
@@ -527,6 +550,139 @@ fn snapshot_determinism(lexed: &Lexed, ctx: &FileContext, findings: &mut Vec<Fin
                      function of machine state, never of when they were taken"
                         .to_string(),
                 );
+            }
+        }
+    }
+}
+
+/// determinism/store-key-purity: store-key and code-fingerprint
+/// construction must be a pure function of its inputs. Inside
+/// key-named function bodies (workspace-wide) this forbids wall-clock
+/// reads (a key that embeds time never hits twice), environment
+/// variables (a key that embeds the environment is unreproducible on
+/// another machine), and hash-ordered iteration (a key folded in
+/// bucket order differs between runs even over equal content).
+fn store_key_purity(lexed: &Lexed, ctx: &FileContext, findings: &mut Vec<Finding>) {
+    let regions = marked_fn_ranges(lexed, STORE_KEY_FN_MARKERS);
+    if regions.is_empty() {
+        return;
+    }
+    let names = hash_names_of(lexed, SNAPSHOT_HASH_TYPES);
+    let toks = &lexed.tokens;
+    let t = |i: usize| toks.get(i).map(|t| t.text.as_str());
+    for &(start, end) in &regions {
+        for i in start..end.min(toks.len()) {
+            if lexed.in_test_region(i) {
+                continue;
+            }
+            let line = toks[i].line;
+
+            // Wall clocks: `Instant::now`, `SystemTime`.
+            if (t(i) == Some("Instant")
+                && t(i + 1) == Some(":")
+                && t(i + 2) == Some(":")
+                && t(i + 3) == Some("now"))
+                || t(i) == Some("SystemTime")
+            {
+                emit(
+                    lexed,
+                    findings,
+                    ctx,
+                    line,
+                    "determinism",
+                    "store-key-purity",
+                    "wall-clock read in store-key/fingerprint construction; a key \
+                     that embeds time can never hit the cache twice"
+                        .to_string(),
+                );
+            }
+
+            // Environment: `env::var`/`var_os`/`vars` calls and the
+            // `env!`/`option_env!` macros.
+            if t(i) == Some("env")
+                && t(i + 1) == Some(":")
+                && t(i + 2) == Some(":")
+                && matches!(t(i + 3), Some("var") | Some("var_os") | Some("vars"))
+            {
+                emit(
+                    lexed,
+                    findings,
+                    ctx,
+                    line,
+                    "determinism",
+                    "store-key-purity",
+                    format!(
+                        "`env::{}` in store-key/fingerprint construction; a key that \
+                         embeds the environment is unreproducible across machines",
+                        t(i + 3).unwrap_or("var")
+                    ),
+                );
+            }
+            if matches!(t(i), Some("env") | Some("option_env")) && t(i + 1) == Some("!") {
+                emit(
+                    lexed,
+                    findings,
+                    ctx,
+                    line,
+                    "determinism",
+                    "store-key-purity",
+                    format!(
+                        "`{}!` in store-key/fingerprint construction; a key that \
+                         embeds the build environment is unreproducible",
+                        t(i).unwrap_or("env")
+                    ),
+                );
+            }
+
+            // Hash-order iteration: `name.iter()` etc. over a
+            // hash-ordered container.
+            if names.iter().any(|n| n == &toks[i].text)
+                && t(i + 1) == Some(".")
+                && t(i + 3) == Some("(")
+            {
+                if let Some(m) = t(i + 2) {
+                    if HASH_ITER_METHODS.contains(&m) {
+                        emit(
+                            lexed,
+                            findings,
+                            ctx,
+                            line,
+                            "determinism",
+                            "store-key-purity",
+                            format!(
+                                "store-key/fingerprint construction iterates \
+                                 hash-ordered container `{}` (`.{}()`); fold keys in \
+                                 sorted order or use a BTree container",
+                                toks[i].text, m
+                            ),
+                        );
+                    }
+                }
+            }
+
+            // `for k in &map {` over a hash-ordered container.
+            if t(i) == Some("in") {
+                let mut j = i + 1;
+                while matches!(t(j), Some("&") | Some("mut") | Some("self") | Some(".")) {
+                    j += 1;
+                }
+                if let Some(name) = t(j) {
+                    if names.iter().any(|n| n == name) && t(j + 1) == Some("{") {
+                        emit(
+                            lexed,
+                            findings,
+                            ctx,
+                            toks[j].line,
+                            "determinism",
+                            "store-key-purity",
+                            format!(
+                                "store-key/fingerprint construction for-loops over \
+                                 hash-ordered container `{name}`; fold keys in sorted \
+                                 order or use a BTree container"
+                            ),
+                        );
+                    }
+                }
             }
         }
     }
@@ -791,6 +947,44 @@ mod tests {
         assert!(rules_of(path, "sim").is_empty());
         let allowed = "fn f() {\n  // pfm-lint: allow(raw-hex-pc)\n  let boot_pc = 0x1000;\n}";
         assert!(rules_of(allowed, "sim").is_empty());
+    }
+
+    #[test]
+    fn store_key_purity_flags_clocks_env_and_hash_iteration() {
+        // Wall clock inside a fingerprint constructor.
+        let src = "fn code_fingerprint() -> u64 { let t = SystemTime::now(); 0 }";
+        assert!(rules_of(src, "lint")
+            .iter()
+            .any(|r| r == "determinism/store-key-purity"));
+
+        // Environment variables inside a store-key builder.
+        let src = "fn store_key_hash(k: &str) -> u64 { let h = std::env::var(\"HOST\"); 0 }";
+        assert_eq!(
+            rules_of(src, "workloads"),
+            vec!["determinism/store-key-purity"]
+        );
+        let src = "fn cache_key() -> String { env!(\"PATH\").to_string() }";
+        assert_eq!(rules_of(src, "lint"), vec!["determinism/store-key-purity"]);
+
+        // Hash-order iteration inside a digest fold.
+        let src = "fn source_digest(m: &HashMap<String, u64>) -> u64 {\n  let mut h = 0;\n  for kv in m.iter() { h ^= kv.1; }\n  h\n}";
+        assert!(rules_of(src, "lint")
+            .iter()
+            .any(|r| r == "determinism/store-key-purity"));
+    }
+
+    #[test]
+    fn store_key_purity_ignores_pure_and_unmarked_code() {
+        // A pure FNV fold over sorted input is the sanctioned shape.
+        let src = "fn store_key_hash(key: &str, salt: u64) -> u64 {\n  let mut h = salt;\n  for b in key.bytes() { h ^= b as u64; h = h.wrapping_mul(3); }\n  h\n}";
+        assert!(rules_of(src, "sim").is_empty());
+        // The same impurities outside a key-construction fn are not
+        // this rule's business (other rules may still apply).
+        let src = "fn report() { let t = std::env::var(\"HOME\"); }";
+        assert!(rules_of(src, "lint").is_empty());
+        // An allow annotation suppresses.
+        let src = "fn fingerprint() -> u64 {\n  // pfm-lint: allow(store-key-purity)\n  let _ = std::env::var(\"CI\");\n  0\n}";
+        assert!(rules_of(src, "lint").is_empty());
     }
 
     #[test]

@@ -294,6 +294,49 @@ fn snapshot_wall_clock_is_flagged_only_inside_snapshot_paths() {
 }
 
 #[test]
+fn store_key_impurities_are_flagged_workspace_wide() {
+    // Like the snapshot rules, store-key purity applies even in tool
+    // crates: any code that builds cache keys or code fingerprints is
+    // held to the pure-function bar, wherever it lives.
+    let src = include_str!("fixtures/store_key_bad.rs");
+    let findings = lint_source(src, &tool_ctx());
+    let hits = findings
+        .iter()
+        .filter(|f| f.rule == "store-key-purity")
+        .collect::<Vec<_>>();
+    // Instant::now, SystemTime, env::var, env!, and the hash-order
+    // fold — the allow-annotated sorted fold and the sites outside
+    // key construction stay silent.
+    assert_eq!(hits.len(), 5, "expected five seeded sites: {findings:#?}");
+    assert!(hits.iter().all(|f| f.family == "determinism"));
+    assert!(hits.iter().any(|f| f.message.contains("embeds time")));
+    assert!(hits.iter().any(|f| f.message.contains("`env::var`")));
+    assert!(hits.iter().any(|f| f.message.contains("`env!`")));
+    assert!(hits
+        .iter()
+        .any(|f| f.message.contains("hash-ordered container `files`")));
+}
+
+#[test]
+fn store_key_purity_findings_are_context_independent() {
+    // A sim crate adds its own basic wall-clock/rng findings on top,
+    // but the store-key findings themselves must not change.
+    let src = include_str!("fixtures/store_key_bad.rs");
+    for ctx in [sim_ctx(), agent_ctx(), tool_ctx()] {
+        let findings = lint_source(src, &ctx);
+        assert_eq!(
+            findings
+                .iter()
+                .filter(|f| f.rule == "store-key-purity")
+                .count(),
+            5,
+            "store-key findings drifted under {}: {findings:#?}",
+            ctx.display
+        );
+    }
+}
+
+#[test]
 fn clean_fixture_is_clean_everywhere() {
     let src = include_str!("fixtures/clean.rs");
     for ctx in [sim_ctx(), agent_ctx(), tool_ctx()] {

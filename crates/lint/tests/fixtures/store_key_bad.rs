@@ -1,0 +1,51 @@
+//! Known-bad: impure store-key / code-fingerprint construction. A
+//! content-addressed result store is only sound if its keys are pure
+//! functions of the run spec and the code: a key that embeds time
+//! never hits twice, a key that embeds the environment is
+//! unreproducible on another machine, and a key folded in hash-bucket
+//! order differs between runs even over identical content.
+
+use std::collections::HashMap;
+use std::time::{Instant, SystemTime};
+
+pub struct Workspace {
+    files: HashMap<String, u64>,
+}
+
+impl Workspace {
+    pub fn source_digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let stamp = Instant::now(); // bad: key embeds time
+        let _ = stamp;
+        let built = SystemTime::now(); // bad: flagged via the type name
+        let _ = built;
+        let host = std::env::var("HOSTNAME"); // bad: env-dependent key
+        let _ = host;
+        let tool = env!("CARGO_PKG_VERSION"); // bad: build-env in key
+        let _ = tool;
+        for kv in self.files.iter() {
+            // bad: bucket order folds into the digest
+            h ^= *kv.1;
+        }
+        h
+    }
+
+    pub fn store_key_hash(&self, spec_key: &str) -> u64 {
+        // good: names are sorted before folding, justified at the site
+        // pfm-lint: allow(store-key-purity)
+        let mut names: Vec<&String> = self.files.keys().collect();
+        names.sort_unstable();
+        let mut h = names.len() as u64;
+        for b in spec_key.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    pub fn report(&self) {
+        // Outside key construction this rule stays silent (other
+        // rules may still own these sites in sim crates).
+        let _ = std::env::var("HOME");
+    }
+}

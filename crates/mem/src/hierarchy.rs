@@ -161,6 +161,40 @@ pub struct HierarchyStats {
     pub mshr_wait_cycles: u64,
 }
 
+impl HierarchyStats {
+    /// Serializes every counter, in declaration order.
+    pub fn snapshot_encode(&self, e: &mut Enc) {
+        e.u64(self.l1d_hits);
+        e.u64(self.l1d_misses);
+        e.u64(self.inflight_merges);
+        e.u64(self.l2_hits);
+        e.u64(self.l3_hits);
+        e.u64(self.dram_accesses);
+        e.u64(self.l1i_misses);
+        e.u64(self.prefetches_issued);
+        e.u64(self.mshr_wait_cycles);
+    }
+
+    /// Decodes counters serialized by
+    /// [`HierarchyStats::snapshot_encode`].
+    ///
+    /// # Errors
+    /// [`SnapError::Truncated`] if the stream ends early.
+    pub fn snapshot_decode(d: &mut Dec<'_>) -> Result<HierarchyStats, SnapError> {
+        Ok(HierarchyStats {
+            l1d_hits: d.u64()?,
+            l1d_misses: d.u64()?,
+            inflight_merges: d.u64()?,
+            l2_hits: d.u64()?,
+            l3_hits: d.u64()?,
+            dram_accesses: d.u64()?,
+            l1i_misses: d.u64()?,
+            prefetches_issued: d.u64()?,
+            mshr_wait_cycles: d.u64()?,
+        })
+    }
+}
+
 /// The memory hierarchy.
 pub struct Hierarchy {
     config: HierarchyConfig,

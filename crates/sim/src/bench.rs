@@ -242,6 +242,15 @@ fn run_batch(
 /// executor (one run per use-case — fabric interventions are
 /// microarchitectural, so baseline and PFM share a committed stream).
 pub fn run_bench(rc: &RunConfig, opts: &ExecOptions, functional: bool) -> BenchReport {
+    // The benchmark times real simulation. A result store would serve
+    // rows as zero-second cache hits and drop them from the timing
+    // table, so the suite always runs storeless whatever the caller's
+    // options say.
+    let opts = ExecOptions {
+        store: None,
+        ..opts.clone()
+    };
+    let opts = &opts;
     let mut specs = Vec::new();
     let mut modes: Vec<&'static str> = Vec::new();
     for uc in usecases::throughput_suite_factories() {
@@ -300,6 +309,62 @@ mod tests {
         }
         assert!(report.aggregate_mkips() > 0.0);
         assert!(report.total_retired() >= 5_000 * report.rows.len() as u64 / 2);
+    }
+
+    #[test]
+    fn completed_flag_tracks_kernel_halt_not_budget() {
+        // leslie halts at ~1.22M retired instructions — the only suite
+        // kernel that finishes under the paper budget. Its row must
+        // report completed at a budget above the halt point and
+        // not-completed below it (regression: the shipped JSON once
+        // showed every row as not-completed because it was generated
+        // at quick scale).
+        let uc = usecases::leslie_factory();
+        let over = RunSpec::functional(
+            uc.clone(),
+            &RunConfig {
+                max_instrs: 1_500_000,
+                ..RunConfig::test_scale()
+            },
+        )
+        .execute()
+        .unwrap();
+        assert!(over.completed, "leslie halts under a 1.5M budget");
+        assert!(over.stats.retired < 1_500_000);
+
+        let under = RunSpec::functional(
+            uc,
+            &RunConfig {
+                max_instrs: 300_000,
+                ..RunConfig::test_scale()
+            },
+        )
+        .execute()
+        .unwrap();
+        assert!(!under.completed, "300k instrs cannot finish leslie");
+        assert!(under.stats.retired >= 300_000);
+    }
+
+    #[test]
+    fn bench_ignores_an_attached_result_store() {
+        // Cache hits have no timing, so the benchmark must strip the
+        // store: a second run against the same options still produces
+        // a full, honestly-timed table.
+        let rc = RunConfig {
+            max_instrs: 2_000,
+            ..RunConfig::test_scale()
+        };
+        let dir = std::env::temp_dir().join(format!("pfm-bench-store-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = std::sync::Arc::new(
+            crate::store::ResultStore::open(&dir, crate::store::CodeFingerprint::fixed(3)).unwrap(),
+        );
+        let opts = ExecOptions::serial().with_store(store.clone());
+        let first = run_bench(&rc, &opts, false);
+        let second = run_bench(&rc, &opts, false);
+        assert_eq!(first.rows.len(), second.rows.len());
+        assert!(!second.rows.is_empty());
+        assert!(store.is_empty(), "bench must never write the store");
     }
 
     #[test]

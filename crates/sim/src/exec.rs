@@ -22,9 +22,10 @@
 
 use crate::experiments::Experiment;
 use crate::plan::{ExperimentPlan, PlanError, RunOutcome, RunSet, RunSpec};
+use crate::store::ResultStore;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// Watchdog multiplier for the executor's single bounded retry of a
@@ -42,6 +43,14 @@ pub struct ExecOptions {
     /// behavior). When false, in-flight runs finish but no new runs
     /// start once any run fails.
     pub keep_going: bool,
+    /// Content-addressed result store. When set, every unique spec is
+    /// probed before simulation — hits are served from the store at
+    /// memory speed, misses simulate and are appended for next time.
+    /// Caching is invisible to results: a hit carries the exact
+    /// outcome the simulation produced when it was recorded, and runs
+    /// are deterministic, so warm and cold runs assemble bit-identical
+    /// statistics.
+    pub store: Option<Arc<ResultStore>>,
 }
 
 impl ExecOptions {
@@ -52,7 +61,14 @@ impl ExecOptions {
             jobs: 1,
             progress: false,
             keep_going: false,
+            store: None,
         }
+    }
+
+    /// This options set with the given store attached.
+    pub fn with_store(mut self, store: Arc<ResultStore>) -> ExecOptions {
+        self.store = Some(store);
+        self
     }
 }
 
@@ -63,6 +79,7 @@ impl Default for ExecOptions {
             jobs,
             progress: false,
             keep_going: false,
+            store: None,
         }
     }
 }
@@ -111,6 +128,15 @@ pub struct ExecReport {
     pub skipped: usize,
     /// Watchdog retries performed across all runs.
     pub retried: usize,
+    /// A result store was attached for this execution.
+    pub store_enabled: bool,
+    /// Unique runs served from the result store without simulating.
+    pub store_hits: usize,
+    /// Unique runs that missed the store and had to simulate.
+    pub store_misses: usize,
+    /// Store appends that failed (results were still computed and
+    /// used; only the cache write was lost).
+    pub store_errors: usize,
 }
 
 impl ExecReport {
@@ -141,6 +167,15 @@ impl ExecReport {
             self.wall_seconds,
             self.sim_seconds()
         );
+        if self.store_enabled {
+            s.push_str(&format!(
+                "; store: {} hit(s), {} miss(es)",
+                self.store_hits, self.store_misses
+            ));
+            if self.store_errors > 0 {
+                s.push_str(&format!(", {} append error(s)", self.store_errors));
+            }
+        }
         if !self.failures.is_empty() || self.skipped > 0 {
             s.push_str(&format!(
                 "; {} FAILED, {} skipped, {} retried",
@@ -206,7 +241,7 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// Executes one spec in isolation: panics are caught, and a
 /// watchdog-tripped run gets one retry at a raised cap. Returns the
 /// outcome and the number of retries performed.
-fn run_isolated(spec: &RunSpec) -> (RunOutcome, u32) {
+pub(crate) fn run_isolated(spec: &RunSpec) -> (RunOutcome, u32) {
     match catch_unwind(AssertUnwindSafe(|| spec.execute())) {
         Err(payload) => (RunOutcome::Panicked(panic_message(payload)), 0),
         Ok(Ok(r)) => (RunOutcome::Ok(r), 0),
@@ -247,19 +282,47 @@ fn run_isolated(spec: &RunSpec) -> (RunOutcome, u32) {
 /// workers from claiming further runs.
 pub fn execute(specs: &[RunSpec], opts: &ExecOptions) -> (RunSet, ExecReport) {
     let unique = dedup_specs(specs);
-    let jobs = opts.jobs.max(1).min(unique.len().max(1));
     let total = unique.len();
     // pfm-lint: allow(determinism): feeds the wall-clock report only, never results
     let started = Instant::now();
 
-    // One pre-allocated slot per unique run; each is written exactly
-    // once by whichever worker claims that index. Slots of abandoned
-    // runs stay empty.
+    // Probe the result store first: hits resolve at memory speed and
+    // never occupy a worker; only the missing indices are scheduled.
+    // A hit carries the exact outcome recorded when the run was first
+    // simulated, so warm and cold executions are bit-identical.
     type Slot = OnceLock<(RunOutcome, u32, f64)>;
     let slots: Vec<Slot> = (0..total).map(|_| OnceLock::new()).collect();
+    let mut pending: Vec<usize> = Vec::with_capacity(total);
+    let mut store_hits = 0;
+    for (idx, spec) in unique.iter().enumerate() {
+        let cached = opts.store.as_deref().and_then(|s| s.get(spec.key()));
+        match cached {
+            Some(outcome) => {
+                store_hits += 1;
+                if opts.progress {
+                    eprintln!("  [cache] {} (hit)  {}", spec.name(), spec.key());
+                }
+                slots[idx]
+                    .set((outcome, 0, 0.0))
+                    // pfm-lint: allow(hygiene): idx is visited exactly once here
+                    .expect("run slot written twice");
+            }
+            None => pending.push(idx),
+        }
+    }
+    let store_misses = pending.len();
+    let jobs = opts.jobs.max(1).min(pending.len().max(1));
+
     let next = AtomicUsize::new(0);
     let done = AtomicUsize::new(0);
-    let abort = AtomicBool::new(false);
+    let store_errors = AtomicUsize::new(0);
+    // A cached failure fails the execution exactly like a fresh one:
+    // without keep_going, no new simulations start.
+    let cached_failure = slots
+        .iter()
+        .filter_map(|s| s.get())
+        .any(|(outcome, _, _)| !outcome.is_ok());
+    let abort = AtomicBool::new(cached_failure);
 
     std::thread::scope(|scope| {
         for _ in 0..jobs {
@@ -267,10 +330,10 @@ pub fn execute(specs: &[RunSpec], opts: &ExecOptions) -> (RunSet, ExecReport) {
                 if !opts.keep_going && abort.load(Ordering::Relaxed) {
                     break;
                 }
-                let idx = next.fetch_add(1, Ordering::Relaxed);
-                if idx >= total {
+                let at = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&idx) = pending.get(at) else {
                     break;
-                }
+                };
                 let spec = &unique[idx];
                 // pfm-lint: allow(determinism): feeds the wall-clock report only, never results
                 let t0 = Instant::now();
@@ -279,11 +342,20 @@ pub fn execute(specs: &[RunSpec], opts: &ExecOptions) -> (RunSet, ExecReport) {
                 if !outcome.is_ok() {
                     abort.store(true, Ordering::Relaxed);
                 }
+                if let Some(store) = opts.store.as_deref() {
+                    // Failures are as deterministic (and as cacheable)
+                    // as successes; a lost append only costs a future
+                    // re-simulation.
+                    if store.put(spec.key(), &outcome).is_err() {
+                        store_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
                 if opts.progress {
                     let n = done.fetch_add(1, Ordering::Relaxed) + 1;
                     let status = if outcome.is_ok() { "" } else { "FAIL " };
                     eprintln!(
-                        "  [{n}/{total}] {status}{} ({:.1}s)  {}",
+                        "  [{n}/{}] {status}{} ({:.1}s)  {}",
+                        pending.len(),
                         spec.name(),
                         secs,
                         spec.key()
@@ -302,17 +374,21 @@ pub fn execute(specs: &[RunSpec], opts: &ExecOptions) -> (RunSet, ExecReport) {
     let mut failures = Vec::new();
     let mut skipped = 0;
     let mut retried = 0;
-    for (spec, slot) in unique.iter().zip(slots) {
+    let simulated: std::collections::HashSet<usize> = pending.iter().copied().collect();
+    for (idx, (spec, slot)) in unique.iter().zip(slots).enumerate() {
         let Some((outcome, retries, seconds)) = slot.into_inner() else {
             skipped += 1; // abandoned after an earlier failure
             continue;
         };
         retried += retries as usize;
-        reports.push(RunReport {
-            key: spec.key().to_string(),
-            name: spec.name().to_string(),
-            seconds,
-        });
+        // Only simulated runs carry a timing row; hits are free.
+        if simulated.contains(&idx) {
+            reports.push(RunReport {
+                key: spec.key().to_string(),
+                name: spec.name().to_string(),
+                seconds,
+            });
+        }
         if !outcome.is_ok() {
             failures.push(FailureReport {
                 key: spec.key().to_string(),
@@ -333,6 +409,10 @@ pub fn execute(specs: &[RunSpec], opts: &ExecOptions) -> (RunSet, ExecReport) {
         failures,
         skipped,
         retried,
+        store_enabled: opts.store.is_some(),
+        store_hits,
+        store_misses,
+        store_errors: store_errors.into_inner(),
     };
     (runs, report)
 }
@@ -359,7 +439,9 @@ pub fn run_plans(
 mod tests {
     use super::*;
     use crate::runner::RunConfig;
+    use crate::store::CodeFingerprint;
     use crate::usecases;
+    use std::sync::atomic::AtomicU64;
 
     fn tiny_rc() -> RunConfig {
         RunConfig {
@@ -416,8 +498,7 @@ mod tests {
             &specs,
             &ExecOptions {
                 jobs: 3,
-                progress: false,
-                keep_going: false,
+                ..ExecOptions::serial()
             },
         );
         assert_eq!(report.unique, 3);
@@ -435,6 +516,134 @@ mod tests {
                 a.fabric,
                 b.fabric,
                 "fabric stats diverged for {}",
+                spec.key()
+            );
+        }
+    }
+
+    fn temp_store_dir(tag: &str) -> std::path::PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("pfm-exec-test-{}-{tag}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn warm_store_serves_identical_results_without_simulating() {
+        let rc = tiny_rc();
+        let specs = vec![
+            RunSpec::baseline(usecases::libquantum_factory(), &rc),
+            RunSpec::pfm(
+                usecases::libquantum_factory(),
+                pfm_fabric::FabricParams::paper_default(),
+                &rc,
+            ),
+        ];
+        let dir = temp_store_dir("warm");
+        let store = Arc::new(ResultStore::open(&dir, CodeFingerprint::fixed(7)).unwrap());
+        let opts = ExecOptions::serial().with_store(Arc::clone(&store));
+
+        // Cold: everything misses, simulates, and is appended.
+        let (cold, cold_report) = execute(&specs, &opts);
+        assert_eq!(cold_report.store_hits, 0);
+        assert_eq!(cold_report.store_misses, 2);
+        assert_eq!(cold_report.store_errors, 0);
+        assert_eq!(cold_report.runs.len(), 2);
+        assert_eq!(store.len(), 2);
+
+        // Warm, through a fresh handle (forces the on-disk path):
+        // everything hits, nothing simulates, stats are bit-identical.
+        let store2 = Arc::new(ResultStore::open(&dir, CodeFingerprint::fixed(7)).unwrap());
+        let opts2 = ExecOptions::serial().with_store(store2);
+        let (warm, warm_report) = execute(&specs, &opts2);
+        assert_eq!(warm_report.store_hits, 2);
+        assert_eq!(warm_report.store_misses, 0);
+        assert!(
+            warm_report.runs.is_empty(),
+            "hits must not produce timing rows"
+        );
+        for spec in &specs {
+            let a = cold.get(spec.key()).unwrap();
+            let b = warm.get(spec.key()).unwrap();
+            assert_eq!(a.stats, b.stats);
+            assert_eq!(a.hier, b.hier);
+            assert_eq!(a.fabric, b.fabric);
+            assert_eq!(a.arch_checksum, b.arch_checksum);
+            assert_eq!(a.completed, b.completed);
+        }
+        let summary = warm_report.summary();
+        assert!(
+            summary.contains("store: 2 hit(s), 0 miss(es)"),
+            "summary must carry hit/miss accounting: {summary}"
+        );
+    }
+
+    #[test]
+    fn stale_fingerprint_forces_resimulation() {
+        let rc = tiny_rc();
+        let specs = vec![RunSpec::baseline(usecases::libquantum_factory(), &rc)];
+        let dir = temp_store_dir("stale");
+        let store = Arc::new(ResultStore::open(&dir, CodeFingerprint::fixed(1)).unwrap());
+        let (_, r1) = execute(&specs, &ExecOptions::serial().with_store(store));
+        assert_eq!(r1.store_misses, 1);
+
+        // Same store dir, different code fingerprint: the old record
+        // must not be served.
+        let store = Arc::new(ResultStore::open(&dir, CodeFingerprint::fixed(2)).unwrap());
+        let (_, r2) = execute(&specs, &ExecOptions::serial().with_store(store));
+        assert_eq!(r2.store_hits, 0);
+        assert_eq!(r2.store_misses, 1);
+    }
+
+    #[test]
+    fn concurrent_executors_share_one_store_without_losing_records() {
+        // Two executors, each with its own handle on the same store
+        // directory, run overlapping spec sets in parallel. Every
+        // record must survive append interleaving: a fresh handle
+        // afterwards sees all keys with intact payloads.
+        let rc = tiny_rc();
+        let dir = temp_store_dir("concurrent");
+        let specs_a = vec![
+            RunSpec::baseline(usecases::libquantum_factory(), &rc),
+            RunSpec::baseline(usecases::lbm_factory(), &rc),
+        ];
+        let specs_b = vec![
+            RunSpec::baseline(usecases::libquantum_factory(), &rc),
+            RunSpec::pfm(
+                usecases::lbm_factory(),
+                pfm_fabric::FabricParams::paper_default(),
+                &rc,
+            ),
+        ];
+        let fp = CodeFingerprint::fixed(9);
+        std::thread::scope(|scope| {
+            for specs in [&specs_a, &specs_b] {
+                let dir = &dir;
+                scope.spawn(move || {
+                    let store = Arc::new(ResultStore::open(dir, fp).unwrap());
+                    let opts = ExecOptions {
+                        jobs: 2,
+                        ..ExecOptions::serial()
+                    }
+                    .with_store(store);
+                    execute(specs, &opts);
+                });
+            }
+        });
+
+        let store = ResultStore::open(&dir, fp).unwrap();
+        let report = store.open_report();
+        assert_eq!(report.skipped, 0, "no interleaved/damaged records");
+        // 3 unique keys across both executors; the shared key may have
+        // been written by both (duplicate appends are fine — identical
+        // payloads, last write wins).
+        assert_eq!(store.len(), 3);
+        for spec in specs_a.iter().chain(&specs_b) {
+            assert!(
+                store.get(spec.key()).is_some(),
+                "lost record for {}",
                 spec.key()
             );
         }

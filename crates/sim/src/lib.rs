@@ -30,6 +30,8 @@ pub mod experiments;
 pub mod plan;
 pub mod runner;
 pub mod sampled;
+pub mod service;
+pub mod store;
 pub mod usecases;
 
 pub use bench::{run_bench, BenchReport, BenchRow};
@@ -41,3 +43,4 @@ pub use runner::{
     DEFAULT_COMMIT_WATCHDOG,
 };
 pub use sampled::{run_sampled, IntervalRow, SampledConfig, SampledError, SampledReport};
+pub use store::{CodeFingerprint, ResultStore, STATS_SCHEMA_VERSION};

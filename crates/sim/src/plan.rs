@@ -33,7 +33,7 @@ use crate::runner::{
     run_baseline, run_chaos, run_functional, run_interval, run_pfm, RunConfig, RunError, RunResult,
 };
 use pfm_fabric::{FabricParams, FaultPlan};
-use pfm_isa::snap::content_key;
+use pfm_isa::snap::{content_key, Dec, Enc};
 use pfm_workloads::UseCaseFactory;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -318,6 +318,50 @@ pub enum RunOutcome {
 }
 
 impl RunOutcome {
+    /// Serializes the outcome (tag byte + payload) for the result
+    /// store and the worker-process protocol. Failures serialize too:
+    /// every run in this workspace is deterministic, so a watchdog
+    /// trip or panic replays identically and is as cacheable as a
+    /// success.
+    pub fn snapshot_encode(&self, e: &mut Enc) {
+        match self {
+            RunOutcome::Ok(r) => {
+                e.u8(0);
+                r.snapshot_encode(e);
+            }
+            RunOutcome::Failed(err) => {
+                e.u8(1);
+                err.snapshot_encode(e);
+            }
+            RunOutcome::Panicked(msg) => {
+                e.u8(2);
+                e.str(msg);
+            }
+            RunOutcome::TimedOut { error, retries } => {
+                e.u8(3);
+                error.snapshot_encode(e);
+                e.u32(*retries);
+            }
+        }
+    }
+
+    /// Decodes an outcome serialized by [`RunOutcome::snapshot_encode`].
+    ///
+    /// # Errors
+    /// [`pfm_isa::snap::SnapError`] on a truncated or corrupt stream.
+    pub fn snapshot_decode(d: &mut Dec<'_>) -> Result<RunOutcome, pfm_isa::snap::SnapError> {
+        match d.u8()? {
+            0 => Ok(RunOutcome::Ok(RunResult::snapshot_decode(d)?)),
+            1 => Ok(RunOutcome::Failed(RunError::snapshot_decode(d)?)),
+            2 => Ok(RunOutcome::Panicked(d.str()?.to_string())),
+            3 => Ok(RunOutcome::TimedOut {
+                error: RunError::snapshot_decode(d)?,
+                retries: d.u32()?,
+            }),
+            _ => Err(pfm_isa::snap::SnapError::Corrupt("RunOutcome tag")),
+        }
+    }
+
     /// The completed result, if the run succeeded.
     pub fn as_ok(&self) -> Option<&RunResult> {
         match self {

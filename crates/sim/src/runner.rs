@@ -7,6 +7,7 @@
 use pfm_bpred::PredictorKind;
 use pfm_core::{Core, CoreConfig, NoPfm, SimError, SimStats};
 use pfm_fabric::{Fabric, FabricParams, FabricStats, FaultPlan, FaultStats};
+use pfm_isa::snap::{Dec, Enc, SnapError};
 use pfm_isa::{FastExec, Machine};
 use pfm_mem::{Hierarchy, HierarchyConfig, HierarchyStats};
 use pfm_workloads::UseCase;
@@ -160,6 +161,57 @@ impl RunError {
     }
 }
 
+impl RunError {
+    /// Serializes the error (tag byte + fields) for the result store
+    /// and the worker-process protocol.
+    pub fn snapshot_encode(&self, e: &mut Enc) {
+        match self {
+            RunError::Exec(msg) => {
+                e.u8(0);
+                e.str(msg);
+            }
+            RunError::CycleLimit {
+                max_cycles,
+                retired,
+            } => {
+                e.u8(1);
+                e.u64(*max_cycles);
+                e.u64(*retired);
+            }
+            RunError::Watchdog {
+                last_commit_cycle,
+                stalled_cycles,
+                retired,
+            } => {
+                e.u8(2);
+                e.u64(*last_commit_cycle);
+                e.u64(*stalled_cycles);
+                e.u64(*retired);
+            }
+        }
+    }
+
+    /// Decodes an error serialized by [`RunError::snapshot_encode`].
+    ///
+    /// # Errors
+    /// [`SnapError`] on a truncated or corrupt stream.
+    pub fn snapshot_decode(d: &mut Dec<'_>) -> Result<RunError, SnapError> {
+        match d.u8()? {
+            0 => Ok(RunError::Exec(d.str()?.to_string())),
+            1 => Ok(RunError::CycleLimit {
+                max_cycles: d.u64()?,
+                retired: d.u64()?,
+            }),
+            2 => Ok(RunError::Watchdog {
+                last_commit_cycle: d.u64()?,
+                stalled_cycles: d.u64()?,
+                retired: d.u64()?,
+            }),
+            _ => Err(SnapError::Corrupt("RunError tag")),
+        }
+    }
+}
+
 impl std::fmt::Display for RunError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -215,6 +267,62 @@ pub struct RunResult {
 }
 
 impl RunResult {
+    /// Serializes the full result (all statistics layers) for the
+    /// result store and the worker-process protocol. The layout is
+    /// covered by [`crate::store::STATS_SCHEMA_VERSION`]: bump that
+    /// constant whenever this encoding (or any nested stats codec)
+    /// changes shape or meaning.
+    pub fn snapshot_encode(&self, e: &mut Enc) {
+        e.str(&self.name);
+        self.stats.snapshot_encode(e);
+        self.hier.snapshot_encode(e);
+        match &self.fabric {
+            Some(f) => {
+                e.u8(1);
+                f.snapshot_encode(e);
+            }
+            None => e.u8(0),
+        }
+        match &self.faults {
+            Some(f) => {
+                e.u8(1);
+                f.snapshot_encode(e);
+            }
+            None => e.u8(0),
+        }
+        e.u64(self.arch_checksum);
+        e.bool(self.completed);
+    }
+
+    /// Decodes a result serialized by [`RunResult::snapshot_encode`].
+    ///
+    /// # Errors
+    /// [`SnapError`] on a truncated or corrupt stream.
+    pub fn snapshot_decode(d: &mut Dec<'_>) -> Result<RunResult, SnapError> {
+        let name = d.str()?.to_string();
+        let stats = SimStats::snapshot_decode(d)?;
+        let hier = HierarchyStats::snapshot_decode(d)?;
+        let fabric = match d.u8()? {
+            0 => None,
+            1 => Some(FabricStats::snapshot_decode(d)?),
+            _ => return Err(SnapError::Corrupt("fabric stats tag")),
+        };
+        let faults = match d.u8()? {
+            0 => None,
+            1 => Some(FaultStats::snapshot_decode(d)?),
+            _ => return Err(SnapError::Corrupt("fault stats tag")),
+        };
+        Ok(RunResult {
+            name,
+            stats,
+            hier,
+            fabric,
+            faults,
+            arch_checksum: d.u64()?,
+            completed: d.bool()?,
+        })
+    }
+
     /// IPC of this run.
     pub fn ipc(&self) -> f64 {
         self.stats.ipc()

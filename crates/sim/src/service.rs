@@ -1,0 +1,760 @@
+//! Multi-process experiment service: a local Unix-socket daemon that
+//! answers plan requests from the result store and shards the
+//! cache-missing remainder across **worker processes**.
+//!
+//! Three roles share one binary (`repro`):
+//!
+//! * **server** ([`serve`]) — binds the socket, holds the
+//!   [`ResultStore`] handle, and for each request probes the store,
+//!   spawns `repro --worker` children for the misses, streams per-run
+//!   progress back to the client, appends fresh results to the store,
+//!   and finally sends the assembled experiment output. A fully-warm
+//!   request is answered without simulating at all.
+//! * **worker** ([`worker_main`]) — a spawned child process. It reads
+//!   one assignment frame from stdin (experiment ids + the content
+//!   keys it owns), re-plans those ids deterministically (planning is
+//!   pure, so every process derives identical [`RunSpec`]s from the
+//!   same ids), executes its assigned subset, and writes one framed
+//!   [`RunOutcome`] per run to stdout. Process isolation is strictly
+//!   stronger than the in-process `catch_unwind` executor: even an
+//!   abort or a stack overflow only costs the runs assigned to that
+//!   worker, which surface as [`RunOutcome::Panicked`].
+//! * **client** ([`request`]) — connects, sends one request frame,
+//!   prints streamed progress to stderr and experiment output to
+//!   stdout, and exits with the code the server reports.
+//!
+//! Every message on the socket and on the worker pipes is a
+//! checksummed frame ([`crate::store::write_frame`]) — the same
+//! container the store's record log uses — so a torn pipe or a
+//! crashed peer produces a typed error, never a misparse. Specs are
+//! never serialized; only experiment *ids* and content *keys* cross
+//! process boundaries, and the worker re-derives the specs from the
+//! same deterministic planner the server used.
+
+use crate::exec::{dedup_specs, run_isolated};
+use crate::experiments::{plan_for, ALL_IDS};
+use crate::plan::{ExperimentPlan, RunOutcome, RunSet, RunSpec};
+use crate::runner::RunConfig;
+use crate::store::{read_frame, write_frame, ResultStore};
+use pfm_isa::snap::{Dec, Enc};
+use std::collections::BTreeSet;
+use std::io::Write;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::sync::{Arc, Mutex};
+
+/// Instruction budget used by `--quick` everywhere (CLI, server,
+/// worker). One constant so all three roles plan identical specs.
+pub const QUICK_MAX_INSTRS: u64 = 300_000;
+
+/// The run configuration every role derives from the `quick` flag.
+/// Workers re-plan from `(ids, quick)` alone, so this mapping must be
+/// a pure function.
+pub fn run_config_for(quick: bool) -> RunConfig {
+    let mut rc = RunConfig::paper_scale();
+    if quick {
+        rc.max_instrs = QUICK_MAX_INSTRS;
+    }
+    rc
+}
+
+/// One plan request: which experiments, at which scale, with how much
+/// worker parallelism.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlanRequest {
+    /// Experiment ids; empty means the full paper set (`--all`).
+    pub ids: Vec<String>,
+    /// Use the `--quick` instruction budget.
+    pub quick: bool,
+    /// Maximum worker processes to shard misses across.
+    pub jobs: usize,
+}
+
+/// A client → server message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Plan, execute (store-first), assemble, stream back.
+    Plan(PlanRequest),
+    /// Stop the daemon after acknowledging.
+    Shutdown,
+}
+
+impl Request {
+    fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        match self {
+            Request::Plan(p) => {
+                e.u8(0);
+                e.bool(p.quick);
+                e.usize(p.jobs);
+                e.usize(p.ids.len());
+                for id in &p.ids {
+                    e.str(id);
+                }
+            }
+            Request::Shutdown => e.u8(1),
+        }
+        e.finish()
+    }
+
+    fn decode(bytes: &[u8]) -> std::io::Result<Request> {
+        let mut d = Dec::new(bytes);
+        let req = match d.u8().map_err(snap_io)? {
+            0 => {
+                let quick = d.bool().map_err(snap_io)?;
+                let jobs = d.usize().map_err(snap_io)?;
+                let n = d.seq_len().map_err(snap_io)?;
+                let mut ids = Vec::with_capacity(n);
+                for _ in 0..n {
+                    ids.push(d.str().map_err(snap_io)?.to_string());
+                }
+                Request::Plan(PlanRequest { ids, quick, jobs })
+            }
+            1 => Request::Shutdown,
+            _ => return Err(bad("request tag")),
+        };
+        d.finish().map_err(snap_io)?;
+        Ok(req)
+    }
+}
+
+/// A server → client message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServerMsg {
+    /// Progress line; the client prints it to stderr.
+    Progress(String),
+    /// Output text; the client prints it to stdout.
+    Output(String),
+    /// The request is complete; exit with this code.
+    Done {
+        /// Process exit code for the client.
+        exit_code: u8,
+    },
+    /// The request could not be served at all.
+    Error(String),
+}
+
+impl ServerMsg {
+    fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        match self {
+            ServerMsg::Progress(s) => {
+                e.u8(0);
+                e.str(s);
+            }
+            ServerMsg::Output(s) => {
+                e.u8(1);
+                e.str(s);
+            }
+            ServerMsg::Done { exit_code } => {
+                e.u8(2);
+                e.u8(*exit_code);
+            }
+            ServerMsg::Error(s) => {
+                e.u8(3);
+                e.str(s);
+            }
+        }
+        e.finish()
+    }
+
+    fn decode(bytes: &[u8]) -> std::io::Result<ServerMsg> {
+        let mut d = Dec::new(bytes);
+        let msg = match d.u8().map_err(snap_io)? {
+            0 => ServerMsg::Progress(d.str().map_err(snap_io)?.to_string()),
+            1 => ServerMsg::Output(d.str().map_err(snap_io)?.to_string()),
+            2 => ServerMsg::Done {
+                exit_code: d.u8().map_err(snap_io)?,
+            },
+            3 => ServerMsg::Error(d.str().map_err(snap_io)?.to_string()),
+            _ => return Err(bad("server message tag")),
+        };
+        d.finish().map_err(snap_io)?;
+        Ok(msg)
+    }
+}
+
+/// A worker → server message (over the child's stdout pipe).
+enum WorkerMsg {
+    /// Progress line to forward to the client.
+    Progress(String),
+    /// One finished run (boxed: an outcome is ~500 bytes of stats).
+    Result {
+        key: String,
+        outcome: Box<RunOutcome>,
+    },
+}
+
+impl WorkerMsg {
+    fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        match self {
+            WorkerMsg::Progress(s) => {
+                e.u8(0);
+                e.str(s);
+            }
+            WorkerMsg::Result { key, outcome } => {
+                e.u8(1);
+                e.str(key);
+                outcome.snapshot_encode(&mut e);
+            }
+        }
+        e.finish()
+    }
+
+    fn decode(bytes: &[u8]) -> std::io::Result<WorkerMsg> {
+        let mut d = Dec::new(bytes);
+        let msg = match d.u8().map_err(snap_io)? {
+            0 => WorkerMsg::Progress(d.str().map_err(snap_io)?.to_string()),
+            1 => WorkerMsg::Result {
+                key: d.str().map_err(snap_io)?.to_string(),
+                outcome: Box::new(RunOutcome::snapshot_decode(&mut d).map_err(snap_io)?),
+            },
+            _ => return Err(bad("worker message tag")),
+        };
+        d.finish().map_err(snap_io)?;
+        Ok(msg)
+    }
+}
+
+fn snap_io(e: pfm_isa::snap::SnapError) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+}
+
+fn bad(what: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string())
+}
+
+/// Plans `ids` (empty = full paper set) at the scale `quick` implies
+/// and returns the plans plus the deduplicated unique spec set.
+///
+/// # Errors
+/// The planner's error for an unknown id.
+pub fn plan_ids(
+    ids: &[String],
+    quick: bool,
+) -> Result<(Vec<ExperimentPlan>, Vec<RunSpec>), crate::plan::PlanError> {
+    let rc = run_config_for(quick);
+    let ids: Vec<&str> = if ids.is_empty() {
+        ALL_IDS.to_vec()
+    } else {
+        ids.iter().map(|s| s.as_str()).collect()
+    };
+    let mut plans = Vec::with_capacity(ids.len());
+    for id in ids {
+        plans.push(plan_for(id, &rc)?);
+    }
+    let specs: Vec<RunSpec> = plans
+        .iter()
+        .flat_map(|p| p.specs().iter().cloned())
+        .collect();
+    let unique = dedup_specs(&specs);
+    Ok((plans, unique))
+}
+
+// ---------------------------------------------------------------------
+// Worker role
+// ---------------------------------------------------------------------
+
+/// Entry point for `repro --worker`: reads one assignment frame from
+/// stdin (`quick`, experiment ids, assigned content keys), re-plans
+/// the ids, executes the assigned subset serially, and writes one
+/// framed outcome per run to stdout. Returns the process exit code.
+pub fn worker_main() -> i32 {
+    let mut stdin = std::io::stdin().lock();
+    let mut stdout = std::io::stdout().lock();
+    let frame = match read_frame(&mut stdin) {
+        Ok(Some(f)) => f,
+        Ok(None) => {
+            eprintln!("repro --worker: no assignment frame on stdin");
+            return 2;
+        }
+        Err(e) => {
+            eprintln!("repro --worker: bad assignment frame: {e}");
+            return 2;
+        }
+    };
+    let (quick, ids, keys) = match decode_assignment(&frame) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("repro --worker: bad assignment: {e}");
+            return 2;
+        }
+    };
+    let (_, unique) = match plan_ids(&ids, quick) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("repro --worker: cannot plan: {e}");
+            return 2;
+        }
+    };
+    let assigned: BTreeSet<&str> = keys.iter().map(|k| k.as_str()).collect();
+    for spec in unique.iter().filter(|s| assigned.contains(s.key())) {
+        let (outcome, _) = run_isolated(spec);
+        let progress = WorkerMsg::Progress(format!(
+            "{} {} ({})",
+            spec.name(),
+            outcome_word(&outcome),
+            spec.key()
+        ));
+        let result = WorkerMsg::Result {
+            key: spec.key().to_string(),
+            outcome: Box::new(outcome),
+        };
+        for msg in [progress, result] {
+            if write_frame(&mut stdout, &msg.encode()).is_err() {
+                // The server went away; nothing useful left to do.
+                return 3;
+            }
+        }
+        if stdout.flush().is_err() {
+            return 3;
+        }
+    }
+    0
+}
+
+fn outcome_word(outcome: &RunOutcome) -> &'static str {
+    if outcome.is_ok() {
+        "ok"
+    } else {
+        "FAILED"
+    }
+}
+
+fn encode_assignment(quick: bool, ids: &[String], keys: &[String]) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.bool(quick);
+    e.usize(ids.len());
+    for id in ids {
+        e.str(id);
+    }
+    e.usize(keys.len());
+    for k in keys {
+        e.str(k);
+    }
+    e.finish()
+}
+
+fn decode_assignment(bytes: &[u8]) -> std::io::Result<(bool, Vec<String>, Vec<String>)> {
+    let mut d = Dec::new(bytes);
+    let quick = d.bool().map_err(snap_io)?;
+    let n = d.seq_len().map_err(snap_io)?;
+    let mut ids = Vec::with_capacity(n);
+    for _ in 0..n {
+        ids.push(d.str().map_err(snap_io)?.to_string());
+    }
+    let n = d.seq_len().map_err(snap_io)?;
+    let mut keys = Vec::with_capacity(n);
+    for _ in 0..n {
+        keys.push(d.str().map_err(snap_io)?.to_string());
+    }
+    d.finish().map_err(snap_io)?;
+    Ok((quick, ids, keys))
+}
+
+// ---------------------------------------------------------------------
+// Server role
+// ---------------------------------------------------------------------
+
+/// Daemon configuration.
+pub struct ServeOptions {
+    /// Unix socket path to bind.
+    pub socket: PathBuf,
+    /// Default worker-process cap when a request asks for 0 jobs.
+    pub jobs: usize,
+    /// The store every request probes first (and fresh results are
+    /// appended to). Without one the daemon still works — everything
+    /// is a miss.
+    pub store: Option<Arc<ResultStore>>,
+    /// Command to spawn for workers (the `repro` binary). `None`
+    /// resolves `std::env::current_exe()` at spawn time.
+    pub worker_exe: Option<PathBuf>,
+}
+
+/// Runs the daemon: accepts connections serially until a client sends
+/// [`Request::Shutdown`]. Each plan request is answered store-first,
+/// with misses sharded round-robin across worker processes.
+///
+/// # Errors
+/// Socket bind/accept failures. Per-connection errors are logged to
+/// stderr and do not stop the daemon.
+pub fn serve(opts: &ServeOptions) -> std::io::Result<()> {
+    // A stale socket file from a dead daemon would make bind fail.
+    if opts.socket.exists() {
+        std::fs::remove_file(&opts.socket)?;
+    }
+    let listener = UnixListener::bind(&opts.socket)?;
+    eprintln!("repro --serve: listening on {}", opts.socket.display());
+    if let Some(store) = &opts.store {
+        eprintln!(
+            "repro --serve: store {} ({} cached result(s))",
+            store.dir().display(),
+            store.len()
+        );
+    }
+    let mut shutdown = false;
+    while !shutdown {
+        let (stream, _) = listener.accept()?;
+        match handle_connection(stream, opts) {
+            Ok(done) => shutdown = done,
+            Err(e) => eprintln!("repro --serve: connection failed: {e}"),
+        }
+    }
+    let _ = std::fs::remove_file(&opts.socket);
+    eprintln!("repro --serve: shut down");
+    Ok(())
+}
+
+/// Serves one connection; `Ok(true)` means the client asked the
+/// daemon to shut down.
+fn handle_connection(stream: UnixStream, opts: &ServeOptions) -> std::io::Result<bool> {
+    let mut reader = stream.try_clone()?;
+    let writer = Arc::new(Mutex::new(stream));
+    let Some(frame) = read_frame(&mut reader)? else {
+        return Ok(false); // client connected and vanished
+    };
+    let req = match Request::decode(&frame) {
+        Ok(r) => r,
+        Err(e) => {
+            send(&writer, &ServerMsg::Error(format!("bad request: {e}")))?;
+            return Ok(false);
+        }
+    };
+    match req {
+        Request::Shutdown => {
+            send(&writer, &ServerMsg::Done { exit_code: 0 })?;
+            Ok(true)
+        }
+        Request::Plan(plan) => {
+            handle_plan(&writer, &plan, opts)?;
+            Ok(false)
+        }
+    }
+}
+
+fn send(writer: &Arc<Mutex<UnixStream>>, msg: &ServerMsg) -> std::io::Result<()> {
+    let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+    write_frame(&mut *w, &msg.encode())?;
+    w.flush()
+}
+
+/// Answers one plan request: store probe, worker shard, store append,
+/// assemble, stream.
+fn handle_plan(
+    writer: &Arc<Mutex<UnixStream>>,
+    req: &PlanRequest,
+    opts: &ServeOptions,
+) -> std::io::Result<()> {
+    let (plans, unique) = match plan_ids(&req.ids, req.quick) {
+        Ok(p) => p,
+        Err(e) => {
+            send(writer, &ServerMsg::Error(format!("cannot plan: {e}")))?;
+            return Ok(());
+        }
+    };
+
+    // Store probe: hits resolve now, misses go to worker processes.
+    let mut runs = RunSet::default();
+    let mut misses: Vec<&RunSpec> = Vec::new();
+    for spec in &unique {
+        match opts.store.as_deref().and_then(|s| s.get(spec.key())) {
+            Some(outcome) => runs.insert(spec.key().to_string(), outcome),
+            None => misses.push(spec),
+        }
+    }
+    let hits = unique.len() - misses.len();
+    let jobs = if req.jobs == 0 { opts.jobs } else { req.jobs };
+    let workers = jobs.max(1).min(misses.len());
+    send(
+        writer,
+        &ServerMsg::Progress(format!(
+            "serve: {} experiment(s), {} unique run(s): {hits} store hit(s), {} miss(es){}",
+            plans.len(),
+            unique.len(),
+            misses.len(),
+            if misses.is_empty() {
+                " — answering entirely from the store".to_string()
+            } else {
+                format!(", sharding across {workers} worker process(es)")
+            }
+        )),
+    )?;
+
+    // Shard misses round-robin and run the worker fleet. Keys (not
+    // specs) cross the process boundary; workers re-plan from ids.
+    let mut simulated = 0usize;
+    if !misses.is_empty() {
+        let mut shards: Vec<Vec<String>> = vec![Vec::new(); workers];
+        for (i, spec) in misses.iter().enumerate() {
+            shards[i % workers].push(spec.key().to_string());
+        }
+        let exe = match &opts.worker_exe {
+            Some(p) => p.clone(),
+            None => std::env::current_exe()?,
+        };
+        let assignment_ids = req.ids.clone();
+        let outcomes: Mutex<Vec<(String, RunOutcome)>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for (widx, shard) in shards.iter().enumerate() {
+                let exe = &exe;
+                let ids = &assignment_ids;
+                let outcomes = &outcomes;
+                let writer = Arc::clone(writer);
+                let quick = req.quick;
+                scope.spawn(move || {
+                    let got = run_worker(exe, quick, ids, shard, widx, &writer);
+                    let mut all = outcomes.lock().unwrap_or_else(|e| e.into_inner());
+                    all.extend(got);
+                });
+            }
+        });
+        let collected = outcomes.into_inner().unwrap_or_else(|e| e.into_inner());
+        simulated = collected.len();
+        for (key, outcome) in collected {
+            if let Some(store) = opts.store.as_deref() {
+                if let Err(e) = store.put(&key, &outcome) {
+                    eprintln!("repro --serve: store append failed for {key}: {e}");
+                }
+            }
+            runs.insert(key, outcome);
+        }
+    }
+
+    // Assemble and stream. Partial failures render like local repro:
+    // assembled experiments print, broken ones report their error.
+    let mut broken = 0usize;
+    let mut failed = 0usize;
+    for plan in plans {
+        match plan.assemble(&runs) {
+            Ok(exp) => send(writer, &ServerMsg::Output(exp.render()))?,
+            Err(e) => {
+                broken += 1;
+                send(
+                    writer,
+                    &ServerMsg::Progress(format!("experiment not assembled: {e}")),
+                )?;
+            }
+        }
+    }
+    for spec in &unique {
+        if let Some(outcome) = runs.outcome(spec.key()) {
+            if !outcome.is_ok() {
+                failed += 1;
+            }
+        }
+    }
+    send(
+        writer,
+        &ServerMsg::Output(format!(
+            "serve: {} unique run(s), {hits} hit(s), {simulated} simulated, {failed} failed",
+            unique.len()
+        )),
+    )?;
+    let exit_code = u8::from(broken > 0 || failed > 0);
+    send(writer, &ServerMsg::Done { exit_code })
+}
+
+/// Spawns one worker child, feeds it its assignment, forwards its
+/// progress to the client, and returns its results. A worker that
+/// dies mid-shard yields [`RunOutcome::Panicked`] for every assigned
+/// key it never reported — process death is just another row in the
+/// outcome table.
+fn run_worker(
+    exe: &Path,
+    quick: bool,
+    ids: &[String],
+    keys: &[String],
+    widx: usize,
+    writer: &Arc<Mutex<UnixStream>>,
+) -> Vec<(String, RunOutcome)> {
+    let mut results: Vec<(String, RunOutcome)> = Vec::new();
+    let fail_rest = |results: &mut Vec<(String, RunOutcome)>, why: String| {
+        let have: BTreeSet<String> = results.iter().map(|(k, _)| k.clone()).collect();
+        for key in keys {
+            if !have.contains(key) {
+                results.push((key.clone(), RunOutcome::Panicked(why.clone())));
+            }
+        }
+    };
+
+    let child = Command::new(exe)
+        .arg("--worker")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn();
+    let mut child = match child {
+        Ok(c) => c,
+        Err(e) => {
+            fail_rest(&mut results, format!("worker {widx} failed to spawn: {e}"));
+            return results;
+        }
+    };
+
+    // Feed the assignment and close stdin so the worker sees EOF.
+    if let Some(mut stdin) = child.stdin.take() {
+        if write_frame(&mut stdin, &encode_assignment(quick, ids, keys)).is_err() {
+            let _ = child.kill();
+            let _ = child.wait();
+            fail_rest(
+                &mut results,
+                format!("worker {widx} rejected its assignment"),
+            );
+            return results;
+        }
+    }
+
+    if let Some(mut stdout) = child.stdout.take() {
+        loop {
+            match read_frame(&mut stdout) {
+                Ok(Some(frame)) => match WorkerMsg::decode(&frame) {
+                    Ok(WorkerMsg::Progress(line)) => {
+                        let _ = send(
+                            writer,
+                            &ServerMsg::Progress(format!("[worker {widx}] {line}")),
+                        );
+                    }
+                    Ok(WorkerMsg::Result { key, outcome }) => results.push((key, *outcome)),
+                    Err(e) => {
+                        fail_rest(
+                            &mut results,
+                            format!("worker {widx} sent an undecodable frame: {e}"),
+                        );
+                        let _ = child.kill();
+                        break;
+                    }
+                },
+                Ok(None) => break, // clean EOF
+                Err(e) => {
+                    fail_rest(
+                        &mut results,
+                        format!("worker {widx} pipe broke mid-frame: {e}"),
+                    );
+                    let _ = child.kill();
+                    break;
+                }
+            }
+        }
+    }
+
+    match child.wait() {
+        Ok(status) if status.success() => {
+            fail_rest(
+                &mut results,
+                format!("worker {widx} exited cleanly without reporting"),
+            );
+        }
+        Ok(status) => {
+            fail_rest(&mut results, format!("worker {widx} died: {status}"));
+        }
+        Err(e) => {
+            fail_rest(&mut results, format!("worker {widx} unwaitable: {e}"));
+        }
+    }
+    results
+}
+
+// ---------------------------------------------------------------------
+// Client role
+// ---------------------------------------------------------------------
+
+/// Sends one request to a running daemon and streams the response:
+/// progress to stderr, output to stdout. Returns the exit code the
+/// server reported.
+///
+/// # Errors
+/// Connection or protocol failures (a refused socket, a torn stream).
+pub fn request(socket: &Path, req: &Request) -> std::io::Result<i32> {
+    let mut stream = UnixStream::connect(socket)?;
+    write_frame(&mut stream, &req.encode())?;
+    stream.flush()?;
+    loop {
+        let Some(frame) = read_frame(&mut stream)? else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the stream before Done",
+            ));
+        };
+        match ServerMsg::decode(&frame)? {
+            ServerMsg::Progress(line) => eprintln!("{line}"),
+            ServerMsg::Output(text) => println!("{text}"),
+            ServerMsg::Error(e) => {
+                eprintln!("repro: server error: {e}");
+                return Ok(1);
+            }
+            ServerMsg::Done { exit_code } => return Ok(i32::from(exit_code)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_codec_roundtrips() {
+        let reqs = vec![
+            Request::Plan(PlanRequest {
+                ids: vec!["fig8".to_string(), "table2".to_string()],
+                quick: true,
+                jobs: 4,
+            }),
+            Request::Plan(PlanRequest {
+                ids: Vec::new(),
+                quick: false,
+                jobs: 0,
+            }),
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let bytes = req.encode();
+            assert_eq!(Request::decode(&bytes).unwrap(), req);
+        }
+        assert!(Request::decode(&[9]).is_err());
+    }
+
+    #[test]
+    fn server_msg_codec_roundtrips() {
+        let msgs = vec![
+            ServerMsg::Progress("p".to_string()),
+            ServerMsg::Output("o".to_string()),
+            ServerMsg::Done { exit_code: 1 },
+            ServerMsg::Error("e".to_string()),
+        ];
+        for msg in msgs {
+            let bytes = msg.encode();
+            assert_eq!(ServerMsg::decode(&bytes).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn assignment_codec_roundtrips() {
+        let ids = vec!["fig8".to_string()];
+        let keys = vec!["a|b|c".to_string(), "d|e|f".to_string()];
+        let bytes = encode_assignment(true, &ids, &keys);
+        let (quick, got_ids, got_keys) = decode_assignment(&bytes).unwrap();
+        assert!(quick);
+        assert_eq!(got_ids, ids);
+        assert_eq!(got_keys, keys);
+    }
+
+    #[test]
+    fn plan_ids_empty_means_full_paper_set() {
+        let (plans, unique) = plan_ids(&[], true).unwrap();
+        assert_eq!(plans.len(), ALL_IDS.len());
+        assert!(!unique.is_empty());
+        // Re-planning is deterministic: the worker sees exactly the
+        // keys the server sharded.
+        let (_, again) = plan_ids(&[], true).unwrap();
+        let a: Vec<&str> = unique.iter().map(|s| s.key()).collect();
+        let b: Vec<&str> = again.iter().map(|s| s.key()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn plan_ids_rejects_unknown_experiments() {
+        assert!(plan_ids(&["not-a-real-id".to_string()], true).is_err());
+    }
+}

@@ -198,6 +198,7 @@ fn executor_isolates_a_panicking_run_and_keeps_going() {
         jobs: 1,
         progress: false,
         keep_going: true,
+        store: None,
     };
     let (runs, report) = execute(&[boom.clone(), good.clone()], &opts);
     match runs.outcome(&boom_key) {

@@ -145,6 +145,7 @@ fn golden_stats_are_bit_identical() {
             jobs: 4,
             progress: false,
             keep_going: false,
+            store: None,
         },
     );
 

@@ -104,14 +104,24 @@ sock="$store_dir/repro.sock"
 "$repro_bin" --serve --store "$store_dir/serve-store" --socket "$sock" --jobs 4 \
     > "$store_dir/serve.log" 2>&1 &
 serve_pid=$!
+# Never leak the daemon: any exit from here on tears it down, and
+# every client call plus the shutdown wait is bounded, so a wedged
+# daemon fails the gate instead of hanging CI.
+trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
 for _ in $(seq 100); do [ -S "$sock" ] && break; sleep 0.1; done
 [ -S "$sock" ] || { echo "daemon never bound $sock" >&2; exit 1; }
-"$repro_bin" fig8 --quick --connect --socket "$sock" \
+timeout 120 "$repro_bin" fig8 --quick --connect --socket "$sock" \
     > "$store_dir/serve-cold.out" 2> "$store_dir/serve-cold.log"
-"$repro_bin" fig8 --quick --connect --socket "$sock" \
+timeout 120 "$repro_bin" fig8 --quick --connect --socket "$sock" \
     > "$store_dir/serve-warm.out" 2> "$store_dir/serve-warm.log"
-"$repro_bin" --connect --shutdown --socket "$sock" > /dev/null 2>&1
+timeout 30 "$repro_bin" --connect --shutdown --socket "$sock" > /dev/null 2>&1
+for _ in $(seq 100); do kill -0 "$serve_pid" 2>/dev/null || break; sleep 0.1; done
+if kill -0 "$serve_pid" 2>/dev/null; then
+    echo "daemon did not exit after --shutdown" >&2
+    exit 1
+fi
 wait "$serve_pid"
+trap - EXIT
 grep -Eq "sharding across ([2-9]|[0-9]{2,}) worker process" "$store_dir/serve-cold.log" || {
     echo "cold request did not shard across >=2 worker processes" >&2
     cat "$store_dir/serve-cold.log" >&2

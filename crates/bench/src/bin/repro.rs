@@ -105,44 +105,27 @@ enum StoreChoice {
     /// Default: `<workspace root>/.pfm-store` when a workspace is
     /// found, silently storeless otherwise.
     Default,
-    /// `--store <dir>` (an unlocatable workspace is an error here —
-    /// the user asked for caching explicitly).
+    /// `--store <dir>`.
     Explicit(PathBuf),
 }
 
-/// Opens the store the flags ask for. The code fingerprint always
-/// comes from the enclosing workspace's sources; without a workspace
-/// there is no sound fingerprint, so the default choice degrades to
-/// no store (with a note) and the explicit choice fails loudly.
+/// Opens the store the flags ask for. The code fingerprint is baked
+/// into the binary at build time (stats-schema version + a digest of
+/// the sources it was compiled from), so it needs no workspace at run
+/// time — only the *default* store location does.
 fn open_store(choice: &StoreChoice) -> Option<Arc<ResultStore>> {
-    let (dir, explicit) = match choice {
+    let dir = match choice {
         StoreChoice::Disabled => return None,
-        StoreChoice::Explicit(dir) => (dir.clone(), true),
+        StoreChoice::Explicit(dir) => dir.clone(),
         StoreChoice::Default => match find_workspace_root() {
-            Some(root) => (root.join(".pfm-store"), false),
+            Some(root) => root.join(".pfm-store"),
             None => {
                 eprintln!("repro: no workspace root found; running without a result store");
                 return None;
             }
         },
     };
-    let root = match find_workspace_root() {
-        Some(root) => root,
-        None => {
-            if explicit {
-                fail(
-                    "cannot fingerprint sources for --store",
-                    "no enclosing cargo workspace found",
-                );
-            }
-            return None;
-        }
-    };
-    let fp = match CodeFingerprint::of_workspace(&root) {
-        Ok(fp) => fp,
-        Err(e) => fail("cannot fingerprint workspace sources", e),
-    };
-    match ResultStore::open(&dir, fp) {
+    match ResultStore::open(&dir, CodeFingerprint::of_build()) {
         Ok(store) => Some(Arc::new(store)),
         Err(e) => fail(&format!("cannot open result store at {}", dir.display()), e),
     }

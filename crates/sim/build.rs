@@ -1,0 +1,109 @@
+//! Bakes the workspace source digest into the crate at build time.
+//!
+//! The digest half of a `CodeFingerprint` must describe the sources
+//! the *running binary was built from*, not whatever the tree contains
+//! when the binary happens to run: a stale binary walking an edited
+//! tree would compute the NEW digest while producing OLD-code results,
+//! caching them under a fingerprint they do not belong to — exactly
+//! the stale hit the store exists to rule out. So the fold runs here,
+//! before compilation, and `store::BAKED_SOURCE_DIGEST` carries it
+//! into the binary for the lifetime of that build.
+//!
+//! The fold must mirror `store::source_digest` byte for byte; the
+//! `baked_digest_matches_tree_digest` test pins the two together.
+
+use std::path::{Path, PathBuf};
+
+/// FNV-1a parameters (same constants as `pfm_isa::snap`, which a build
+/// script cannot depend on).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn env_dir(key: &str) -> std::io::Result<PathBuf> {
+    std::env::var(key)
+        .map(PathBuf::from)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::NotFound, format!("{key}: {e}")))
+}
+
+/// Recursively collects `.rs` files, skipping `target` build
+/// directories (mirrors `store::collect_rs_files`).
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let ty = entry.file_type()?;
+        if ty.is_dir() {
+            if entry.file_name() == "target" {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if ty.is_file() && path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// FNV-1a fold over the workspace's `.rs` sources in sorted
+/// relative-path order (mirrors `store::source_digest`).
+fn fold_sources(root: &Path) -> std::io::Result<u64> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    for top in ["src", "crates", "vendor"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
+        }
+    }
+    let mut keyed: Vec<(String, PathBuf)> = files
+        .into_iter()
+        .map(|p| {
+            let rel = p
+                .strip_prefix(root)
+                .map(|r| r.to_string_lossy().into_owned())
+                .unwrap_or_else(|_| p.to_string_lossy().into_owned());
+            (rel, p)
+        })
+        .collect();
+    keyed.sort();
+    let mut h = FNV_OFFSET;
+    let fold_bytes = |h: &mut u64, bytes: &[u8]| {
+        for &b in bytes {
+            *h ^= b as u64;
+            *h = h.wrapping_mul(FNV_PRIME);
+        }
+        *h ^= bytes.len() as u64;
+        *h = h.wrapping_mul(FNV_PRIME);
+    };
+    for (rel, path) in keyed {
+        let contents = std::fs::read(&path)?;
+        fold_bytes(&mut h, rel.as_bytes());
+        fold_bytes(&mut h, &contents);
+    }
+    Ok(h)
+}
+
+fn main() -> std::io::Result<()> {
+    // CARGO_MANIFEST_DIR = <workspace root>/crates/sim.
+    let manifest_dir = env_dir("CARGO_MANIFEST_DIR")?;
+    let root = manifest_dir
+        .parent()
+        .and_then(Path::parent)
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                "crates/sim has no workspace root two levels up",
+            )
+        })?;
+    // Cargo scans these trees recursively: editing any workspace
+    // source reruns this script and re-bakes the digest before the
+    // crate recompiles.
+    for top in ["src", "crates", "vendor"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            println!("cargo:rerun-if-changed={}", dir.display());
+        }
+    }
+    let h = fold_sources(root)?;
+    let out = env_dir("OUT_DIR")?.join("source_digest.rs");
+    std::fs::write(&out, format!("0x{h:016x}u64"))
+}

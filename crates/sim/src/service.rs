@@ -381,9 +381,21 @@ pub struct ServeOptions {
 /// Socket bind/accept failures. Per-connection errors are logged to
 /// stderr and do not stop the daemon.
 pub fn serve(opts: &ServeOptions) -> std::io::Result<()> {
-    // A stale socket file from a dead daemon would make bind fail.
+    // A stale socket file from a dead daemon would make bind fail —
+    // but a *live* daemon's socket must not be stolen (unlinking it
+    // would strand that daemon's clients, and its shutdown would then
+    // delete ours). Probe with a connect: only an unanswered socket
+    // is stale and safe to remove.
     if opts.socket.exists() {
-        std::fs::remove_file(&opts.socket)?;
+        match UnixStream::connect(&opts.socket) {
+            Ok(_) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::AddrInUse,
+                    format!("a daemon is already listening on {}", opts.socket.display()),
+                ));
+            }
+            Err(_) => std::fs::remove_file(&opts.socket)?,
+        }
     }
     let listener = UnixListener::bind(&opts.socket)?;
     eprintln!("repro --serve: listening on {}", opts.socket.display());
@@ -495,7 +507,7 @@ fn handle_plan(
             None => std::env::current_exe()?,
         };
         let assignment_ids = req.ids.clone();
-        let outcomes: Mutex<Vec<(String, RunOutcome)>> = Mutex::new(Vec::new());
+        let outcomes: Mutex<WorkerHarvest> = Mutex::new(WorkerHarvest::default());
         std::thread::scope(|scope| {
             for (widx, shard) in shards.iter().enumerate() {
                 let exe = &exe;
@@ -506,18 +518,28 @@ fn handle_plan(
                 scope.spawn(move || {
                     let got = run_worker(exe, quick, ids, shard, widx, &writer);
                     let mut all = outcomes.lock().unwrap_or_else(|e| e.into_inner());
-                    all.extend(got);
+                    all.reported.extend(got.reported);
+                    all.synthesized.extend(got.synthesized);
                 });
             }
         });
         let collected = outcomes.into_inner().unwrap_or_else(|e| e.into_inner());
-        simulated = collected.len();
-        for (key, outcome) in collected {
+        simulated = collected.reported.len();
+        // Only outcomes a worker actually reported over the protocol
+        // are cached: those are deterministic properties of
+        // (spec, code). Synthesized entries stand in for environmental
+        // failures (spawn failure, torn pipe, a killed worker) — they
+        // go to the client but never into the store, or one transient
+        // crash would poison every future warm run under this key.
+        for (key, outcome) in collected.reported {
             if let Some(store) = opts.store.as_deref() {
                 if let Err(e) = store.put(&key, &outcome) {
                     eprintln!("repro --serve: store append failed for {key}: {e}");
                 }
             }
+            runs.insert(key, outcome);
+        }
+        for (key, outcome) in collected.synthesized {
             runs.insert(key, outcome);
         }
     }
@@ -556,11 +578,22 @@ fn handle_plan(
     send(writer, &ServerMsg::Done { exit_code })
 }
 
+/// What one worker child produced, split by provenance: `reported`
+/// outcomes arrived over the stdio protocol (deterministic properties
+/// of the run, safe to cache), while `synthesized` entries were
+/// fabricated by the server for keys the worker never answered
+/// (environmental failures — safe to serve, never to cache).
+#[derive(Default)]
+struct WorkerHarvest {
+    reported: Vec<(String, RunOutcome)>,
+    synthesized: Vec<(String, RunOutcome)>,
+}
+
 /// Spawns one worker child, feeds it its assignment, forwards its
 /// progress to the client, and returns its results. A worker that
-/// dies mid-shard yields [`RunOutcome::Panicked`] for every assigned
-/// key it never reported — process death is just another row in the
-/// outcome table.
+/// dies mid-shard yields a synthesized [`RunOutcome::Panicked`] for
+/// every assigned key it never reported — process death is just
+/// another row in the outcome table.
 fn run_worker(
     exe: &Path,
     quick: bool,
@@ -568,14 +601,24 @@ fn run_worker(
     keys: &[String],
     widx: usize,
     writer: &Arc<Mutex<UnixStream>>,
-) -> Vec<(String, RunOutcome)> {
-    let mut results: Vec<(String, RunOutcome)> = Vec::new();
-    let fail_rest = |results: &mut Vec<(String, RunOutcome)>, why: String| {
-        let have: BTreeSet<String> = results.iter().map(|(k, _)| k.clone()).collect();
-        for key in keys {
-            if !have.contains(key) {
-                results.push((key.clone(), RunOutcome::Panicked(why.clone())));
-            }
+) -> WorkerHarvest {
+    let mut results = WorkerHarvest::default();
+    let fail_rest = |results: &mut WorkerHarvest, why: String| {
+        let have: BTreeSet<&str> = results
+            .reported
+            .iter()
+            .chain(&results.synthesized)
+            .map(|(k, _)| k.as_str())
+            .collect();
+        let missing: Vec<String> = keys
+            .iter()
+            .filter(|k| !have.contains(k.as_str()))
+            .cloned()
+            .collect();
+        for key in missing {
+            results
+                .synthesized
+                .push((key, RunOutcome::Panicked(why.clone())));
         }
     };
 
@@ -616,7 +659,9 @@ fn run_worker(
                             &ServerMsg::Progress(format!("[worker {widx}] {line}")),
                         );
                     }
-                    Ok(WorkerMsg::Result { key, outcome }) => results.push((key, *outcome)),
+                    Ok(WorkerMsg::Result { key, outcome }) => {
+                        results.reported.push((key, *outcome));
+                    }
                     Err(e) => {
                         fail_rest(
                             &mut results,

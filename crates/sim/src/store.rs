@@ -16,8 +16,14 @@
 //!   [`crate::runner::RunResult`] layout changes shape or meaning, and
 //! * a workspace **source digest** — an FNV-1a fold over every `.rs`
 //!   file under `src/`, `crates/` and `vendor/` (sorted by path, so
-//!   the digest is a pure function of the tree). Any edit that could
-//!   affect simulation semantics lands in the digest, so results
+//!   the digest is a pure function of the tree), **baked in at build
+//!   time** by this crate's build script ([`BAKED_SOURCE_DIGEST`]).
+//!   Baking matters: the digest must describe the sources the running
+//!   binary was *built from*, not whatever the tree contains at run
+//!   time — a stale binary walking an edited tree would label old-code
+//!   results with the new tree's digest, the exact stale hit this
+//!   scheme exists to rule out. Any edit that could affect simulation
+//!   semantics re-bakes the digest on the next build, so results
 //!   computed by older code become unreachable, not wrong.
 //!
 //! On-disk layout (all little-endian, dependency-free, built on the
@@ -61,6 +67,14 @@ pub const STATS_SCHEMA_VERSION: u32 = 1;
 /// frame layout, index layout). Records from other container versions
 /// are never read.
 pub const STORE_FORMAT_VERSION: u32 = 1;
+
+/// Source digest of the workspace tree this crate was compiled from,
+/// computed by the build script (`build.rs`, mirroring
+/// [`source_digest`]) and baked in as a constant. It travels with the
+/// binary: however stale the binary and however edited the tree, the
+/// fingerprint always names the code that actually produced the
+/// results.
+pub const BAKED_SOURCE_DIGEST: u64 = include!(concat!(env!("OUT_DIR"), "/source_digest.rs"));
 
 /// Log file header magic (`PFMSTORE` as little-endian u64).
 const LOG_MAGIC: u64 = u64::from_le_bytes(*b"PFMSTORE");
@@ -165,16 +179,17 @@ pub struct CodeFingerprint {
 }
 
 impl CodeFingerprint {
-    /// The fingerprint of the workspace rooted at `root` (as found by
-    /// [`find_workspace_root`]).
-    ///
-    /// # Errors
-    /// Propagates IO errors from reading the source tree.
-    pub fn of_workspace(root: &Path) -> std::io::Result<CodeFingerprint> {
-        Ok(CodeFingerprint {
+    /// The fingerprint of the sources this binary was built from: the
+    /// current stats-schema version plus the build-script-baked
+    /// [`BAKED_SOURCE_DIGEST`]. This is the fingerprint every CLI role
+    /// uses — deliberately *not* a run-time walk of the tree, which
+    /// would let a stale binary cache old-code results under an edited
+    /// tree's digest.
+    pub fn of_build() -> CodeFingerprint {
+        CodeFingerprint {
             stats_schema: STATS_SCHEMA_VERSION,
-            source_digest: source_digest(root)?,
-        })
+            source_digest: BAKED_SOURCE_DIGEST,
+        }
     }
 
     /// A fixed fingerprint for tests (current schema, caller-chosen
@@ -235,6 +250,10 @@ pub fn find_workspace_root() -> Option<PathBuf> {
 /// enumeration order, environment, or time. This is deliberately
 /// conservative: editing *any* source (even a test) re-keys the store;
 /// a wasted cold run is cheap, a stale hit is not.
+///
+/// The build script (`build.rs`) mirrors this fold to produce
+/// [`BAKED_SOURCE_DIGEST`]; the `baked_digest_matches_tree_digest`
+/// test pins the two implementations together.
 ///
 /// # Errors
 /// Propagates IO errors from the directory walk.
@@ -341,6 +360,11 @@ pub struct OpenReport {
     pub index_valid: bool,
     /// The side index was rebuilt (missing, corrupt, or stale).
     pub index_rebuilt: bool,
+    /// The log's header was damaged or from another container version;
+    /// the old file was rotated aside to `store.log.damaged` and a
+    /// fresh log started (appending after a bad header would make
+    /// every new record permanently unreadable).
+    pub log_rotated: bool,
 }
 
 struct Inner {
@@ -389,27 +413,33 @@ impl ResultStore {
 
         // Create the log with its header on first touch.
         if !log_path.exists() {
-            let mut header = Vec::with_capacity(LOG_HEADER_LEN as usize);
-            header.extend_from_slice(&LOG_MAGIC.to_le_bytes());
-            header.extend_from_slice(&STORE_FORMAT_VERSION.to_le_bytes());
-            std::fs::write(&log_path, header)?;
+            write_log_header(&log_path)?;
         }
-        let bytes = std::fs::read(&log_path)?;
+        let mut bytes = std::fs::read(&log_path)?;
         let mut report = OpenReport {
             log_bytes: bytes.len() as u64,
             ..OpenReport::default()
         };
 
-        // A log whose header is damaged (or from a future container
-        // version) contributes nothing; it will be healed by appends
-        // only if empty, so treat it as an empty record set.
+        // A log whose header is damaged (or from another container
+        // version) cannot safely take appends: every record written
+        // after the bad header would be unreadable on all future
+        // opens. Rotate the damaged file aside (preserving its bytes
+        // for post-mortem) and start a fresh log.
         let header_ok = bytes.len() >= LOG_HEADER_LEN as usize
             && bytes[0..8] == LOG_MAGIC.to_le_bytes()
             && bytes[8..12] == STORE_FORMAT_VERSION.to_le_bytes();
+        if !header_ok {
+            std::fs::rename(&log_path, dir.join("store.log.damaged"))?;
+            write_log_header(&log_path)?;
+            bytes = std::fs::read(&log_path)?;
+            report.log_rotated = true;
+            report.log_bytes = bytes.len() as u64;
+        }
 
         let mut entries: Vec<IdxEntry> = Vec::new();
         let mut map: BTreeMap<String, Vec<u8>> = BTreeMap::new();
-        if header_ok {
+        {
             // Try the side index first: if it verifies and covers the
             // whole log, records can be located without a scan. Every
             // record it points at is still individually verified.
@@ -553,6 +583,9 @@ impl ResultStore {
             "  log: {} bytes, {} record(s), {} damaged region(s) skipped\n",
             r.log_bytes, r.records, r.skipped
         ));
+        if r.log_rotated {
+            out.push_str("  note: damaged/foreign log rotated to store.log.damaged\n");
+        }
         out.push_str(&format!(
             "  index: {}\n",
             if r.index_valid {
@@ -688,6 +721,14 @@ fn scan_log(
     if pos < bytes.len() && !in_damage {
         report.skipped += 1;
     }
+}
+
+/// Writes a fresh log file containing only the header.
+fn write_log_header(path: &Path) -> std::io::Result<()> {
+    let mut header = Vec::with_capacity(LOG_HEADER_LEN as usize);
+    header.extend_from_slice(&LOG_MAGIC.to_le_bytes());
+    header.extend_from_slice(&STORE_FORMAT_VERSION.to_le_bytes());
+    std::fs::write(path, header)
 }
 
 /// Loads and fully verifies the side index; `None` means missing,
@@ -1038,6 +1079,48 @@ mod tests {
         let store = ResultStore::open(&dir, fp).unwrap();
         assert!(store.open_report().index_valid);
         assert_eq!(store.len(), 3);
+    }
+
+    #[test]
+    fn damaged_header_rotates_the_log_and_starts_fresh() {
+        let (dir, fp) = seeded_store("header");
+        let log = dir.join("store.log");
+        let mut bytes = std::fs::read(&log).unwrap();
+        bytes[0] ^= 0xff; // corrupt the log magic
+        std::fs::write(&log, &bytes).unwrap();
+
+        // The damaged file is rotated aside, not appended after: an
+        // append landing behind a bad header would be silently
+        // unreadable on every future open.
+        let store = ResultStore::open(&dir, fp).unwrap();
+        let report = store.open_report();
+        assert!(report.log_rotated, "bad header must be surfaced");
+        assert_eq!(report.records, 0);
+        assert!(store.is_empty());
+        assert!(
+            dir.join("store.log.damaged").exists(),
+            "damaged bytes are preserved for post-mortem"
+        );
+        assert!(store.render_stats().contains("rotated"));
+
+        // Appends now land after a fresh, valid header and survive
+        // reopen.
+        store
+            .put("k1", &RunOutcome::Ok(sample_result("astar", 100)))
+            .unwrap();
+        drop(store);
+        let store = ResultStore::open(&dir, fp).unwrap();
+        assert!(!store.open_report().log_rotated);
+        assert_eq!(store.get("k1").unwrap().as_ok().unwrap().stats.retired, 100);
+    }
+
+    #[test]
+    fn baked_digest_matches_tree_digest() {
+        // The build script's fold (build.rs) must mirror
+        // `source_digest` exactly; silent divergence would decouple
+        // the baked fingerprint from the sources it claims to name.
+        let root = find_workspace_root().expect("tests run inside the workspace");
+        assert_eq!(BAKED_SOURCE_DIGEST, source_digest(&root).unwrap());
     }
 
     #[test]

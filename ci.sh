@@ -60,6 +60,27 @@ echo "== repro --chaos-smoke (graceful degradation under faults) =="
 repro_bin="$PWD/target/release/repro"
 "$repro_bin" --chaos-smoke --quick --jobs 4 > /dev/null
 
+echo "== repro --context-switch (chaos-swap gate) =="
+# Mid-swap fault scenarios on the two-tenant plan: every arm —
+# fault-free scheduler and all four chaos scenarios — must report a
+# commit checksum bit-identical to the no-fabric baseline, and the
+# fault-free scheduler must not thrash (only corrupt-signature is
+# allowed to swap beyond the phase count).
+cs_out="$("$repro_bin" --context-switch --quick --jobs 4 --no-store)"
+cs_ok="$(echo "$cs_out" | grep -c "checksum OK" || true)"
+cs_bad="$(echo "$cs_out" | grep -c "checksum MISMATCH" || true)"
+[ "$cs_bad" -eq 0 ] && [ "$cs_ok" -ge 8 ] || {
+    echo "context-switch arms broke checksum parity ($cs_ok OK, $cs_bad mismatched):" >&2
+    echo "$cs_out" | grep "checksum" >&2
+    exit 1
+}
+sched_swaps="$(echo "$cs_out" \
+    | sed -n 's/^  sched modeled .* swaps \([0-9]*\) .*/\1/p')"
+[ -n "$sched_swaps" ] && [ "$sched_swaps" -ge 1 ] && [ "$sched_swaps" -le 16 ] || {
+    echo "fault-free scheduler thrash bound violated (swaps=$sched_swaps, want 1..16)" >&2
+    exit 1
+}
+
 echo "== repro --bench smoke (simulator MKIPS) =="
 # Runs in a temp dir: the smoke's quick-scale JSON must not clobber the
 # committed paper-scale BENCH_sim_throughput.json at the repo root.

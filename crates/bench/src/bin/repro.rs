@@ -17,6 +17,7 @@
 //! repro --derive             # derived-vs-configured watchlist gate
 //! repro --chaos              # fault-injection suite (checksum proof)
 //! repro --chaos-smoke        # CI-sized chaos subset
+//! repro --context-switch     # two tenants time-sharing the fabric slot
 //! repro --all --keep-going   # don't stop claiming runs on failure
 //! repro --store <dir>        # result store directory (default .pfm-store)
 //! repro --no-store           # disable the result store
@@ -188,6 +189,7 @@ fn main() {
             "--no-store" => store_choice = StoreChoice::Disabled,
             "--chaos" => ids.push("chaos".to_string()),
             "--chaos-smoke" => ids.push("chaos-smoke".to_string()),
+            "--context-switch" => ids.push("context-switch".to_string()),
             "--store" => match it.next() {
                 Some(dir) => store_choice = StoreChoice::Explicit(PathBuf::from(dir)),
                 None => bad_args.push("--store <dir>".to_string()),
@@ -228,9 +230,9 @@ fn main() {
         print_menu(&mut std::io::stderr(), None, &rc_for_menu);
         eprintln!(
             "\nflags: --all --quick --list --bench --functional --sampled <usecase> \
-             --analyze --derive --chaos --chaos-smoke --keep-going --jobs <N> \
-             --store <dir> --no-store --store-stats --serve --connect --shutdown \
-             --socket <path>"
+             --analyze --derive --chaos --chaos-smoke --context-switch --keep-going \
+             --jobs <N> --store <dir> --no-store --store-stats --serve --connect \
+             --shutdown --socket <path>"
         );
         std::process::exit(1);
     }
@@ -364,6 +366,7 @@ fn main() {
             progress: true,
             keep_going,
             store: None, // the benchmark times real simulation
+            ..ExecOptions::default()
         };
         let report = run_bench(&rc, &opts, functional);
         println!("{}", report.render());
@@ -410,6 +413,7 @@ fn main() {
             progress: true,
             keep_going,
             store: None, // interval specs are internal to the sampler
+            ..ExecOptions::default()
         };
         match run_sampled(&factory, &cfg, &rc, &opts) {
             Ok(report) => print!("{}", report.render()),
@@ -433,6 +437,7 @@ fn main() {
         progress: true,
         keep_going,
         store: store.clone(),
+        ..ExecOptions::default()
     };
     let unique: usize = {
         let specs: Vec<_> = plans

@@ -766,6 +766,34 @@ impl Core {
         // retired stream even if their final (wide) retire groups
         // overshoot the budget by different amounts.
         self.checksum_cap = self.checksum_cap.min(max_instrs);
+        self.run_watched_until(hooks, max_instrs, max_cycles, commit_watchdog)
+    }
+
+    /// Sets the retired-instruction cap of the commit-stream checksum
+    /// explicitly. Time-sliced runs (the context-switch scheduler)
+    /// call this once with the workload's full budget, then advance in
+    /// slices via [`Core::run_watched_until`] — whose intermediate
+    /// targets must not shrink the cap the way
+    /// [`Core::run_watched`]'s budget does, or the checksum would stop
+    /// folding at the first slice boundary.
+    pub fn set_checksum_cap(&mut self, cap: u64) {
+        self.checksum_cap = cap;
+    }
+
+    /// Like [`Core::run_watched`], but `max_instrs` is treated as an
+    /// intermediate absolute target that leaves the checksum cap
+    /// untouched (see [`Core::set_checksum_cap`]). `max_cycles` stays
+    /// an absolute cycle cap.
+    ///
+    /// # Errors
+    /// Same contract as [`Core::run_watched`].
+    pub fn run_watched_until(
+        &mut self,
+        hooks: &mut dyn PfmHooks,
+        max_instrs: u64,
+        max_cycles: u64,
+        commit_watchdog: Option<u64>,
+    ) -> Result<(), SimError> {
         let mut last_retired = self.stats.retired;
         let mut last_commit_cycle = self.cycle;
         while !self.finished && self.stats.retired < max_instrs {

@@ -211,6 +211,19 @@ pub trait CustomComponent {
     /// state with the core.
     fn on_squash(&mut self) {}
 
+    /// The fabric is about to evict this component (runtime swap or
+    /// unload): its remaining in-flight packets will be dropped
+    /// deterministically, so discard any transient state that assumed
+    /// they would be delivered. Called exactly once, before the
+    /// replacement component is installed.
+    fn on_drain(&mut self) {}
+
+    /// The partial-reconfiguration load bringing this component in was
+    /// aborted and is restarting from scratch: reset any state
+    /// initialized so far. Only reachable under the `swap-abort` fault
+    /// scenario.
+    fn on_swap_abort(&mut self) {}
+
     /// Short name for statistics output.
     fn name(&self) -> &'static str;
 

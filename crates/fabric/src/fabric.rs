@@ -4,6 +4,7 @@
 //! core's pipeline touch-points.
 
 use crate::component::{CustomComponent, FabricIo};
+use crate::faults::{FaultPlan, FaultRng, FaultScenario};
 use crate::packets::{FabricLoad, LoadResponse, ObsPacket, ObserveKind, PredPacket, RstEntry};
 use crate::params::{FabricParams, StallPolicy};
 use pfm_core::hooks::{
@@ -16,6 +17,39 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 /// How deep the Fetch Agent scans IntQ-F for a PC-matching prediction
 /// before concluding the stream is misaligned.
 const MATCH_SCAN_DEPTH: usize = 8;
+
+/// Runtime-reconfiguration state of the fabric's single component
+/// slot.
+///
+/// The swap protocol is `Resident → Draining → Loading → Resident`:
+/// [`Fabric::begin_swap`] installs the incoming configuration and
+/// starts the drain window (stale in-flight packets from the outgoing
+/// component sit in the queues until the window closes, then are
+/// dropped deterministically); the partial-reconfiguration load window
+/// follows; only then do the Agents resume intervening. While not
+/// `Resident` every Agent answers "no intervention", so residency can
+/// change IPC but never the committed architectural stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Residency {
+    /// No component is configured; the fabric is permanently inert
+    /// until [`Fabric::begin_swap`] loads one.
+    Empty,
+    /// A partial-reconfiguration bitstream is streaming in.
+    Loading {
+        /// Core cycles until the load completes.
+        remaining: u64,
+    },
+    /// The component is loaded and the Agents may intervene.
+    Resident,
+    /// The outgoing component's in-flight packets are quiescing; when
+    /// the window closes they are flushed and the load begins.
+    Draining {
+        /// Core cycles until the drain window closes.
+        remaining: u64,
+        /// Load window (core cycles) to start once drained.
+        load_cycles: u64,
+    },
+}
 
 /// Agent-side statistics (Table 2/3 snoop percentages and protocol
 /// health).
@@ -56,6 +90,19 @@ pub struct FabricStats {
     pub port_conflict_delays: u64,
     /// The watchdog disabled the component.
     pub watchdog_fired: bool,
+    /// Runtime component swaps started ([`Fabric::begin_swap`]).
+    pub swaps: u64,
+    /// Partial-reconfiguration loads restarted by the `swap-abort`
+    /// fault scenario.
+    pub swap_abort_restarts: u64,
+    /// Extra load cycles injected by the `swap-load-spike` fault
+    /// scenario.
+    pub swap_spike_cycles: u64,
+    /// Stale predictions consumed during Draining under the
+    /// `stale-drain` fault scenario.
+    pub stale_drain_leaks: u64,
+    /// Core cycles spent not Resident mid-swap (Draining + Loading).
+    pub reconfig_cycles: u64,
 }
 
 impl FabricStats {
@@ -76,6 +123,11 @@ impl FabricStats {
         e.u64(self.squash_packets);
         e.u64(self.port_conflict_delays);
         e.bool(self.watchdog_fired);
+        e.u64(self.swaps);
+        e.u64(self.swap_abort_restarts);
+        e.u64(self.swap_spike_cycles);
+        e.u64(self.stale_drain_leaks);
+        e.u64(self.reconfig_cycles);
     }
 
     /// Decodes counters serialized by [`FabricStats::snapshot_encode`].
@@ -99,6 +151,11 @@ impl FabricStats {
             squash_packets: d.u64()?,
             port_conflict_delays: d.u64()?,
             watchdog_fired: d.bool()?,
+            swaps: d.u64()?,
+            swap_abort_restarts: d.u64()?,
+            swap_spike_cycles: d.u64()?,
+            stale_drain_leaks: d.u64()?,
+            reconfig_cycles: d.u64()?,
         })
     }
 
@@ -242,6 +299,15 @@ pub struct Fabric {
     squash_pending: bool,
     squash_done_at: Option<u64>,
 
+    // Runtime reconfiguration.
+    residency: Residency,
+    /// `Loading { remaining }` value at which the load aborts and
+    /// restarts (set only under the `swap-abort` fault scenario).
+    swap_abort_at: Option<u64>,
+    /// Full load window of the in-progress swap, for abort restarts.
+    swap_restart_cycles: u64,
+    swap_faults: Option<(FaultPlan, FaultRng)>,
+
     stats: FabricStats,
 }
 
@@ -289,6 +355,10 @@ impl Fabric {
             inflight_loads: BTreeMap::new(),
             squash_pending: false,
             squash_done_at: None,
+            residency: Residency::Resident,
+            swap_abort_at: None,
+            swap_restart_cycles: 0,
+            swap_faults: None,
             stats: FabricStats::default(),
         }
     }
@@ -313,11 +383,196 @@ impl Fabric {
         self.component.as_ref()
     }
 
+    /// Current runtime-reconfiguration state of the component slot.
+    /// A freshly constructed fabric is `Resident` (the configuration
+    /// shipped with the executable, as in the single-tenant paper
+    /// model).
+    pub fn residency(&self) -> Residency {
+        self.residency
+    }
+
+    fn resident(&self) -> bool {
+        matches!(self.residency, Residency::Resident)
+    }
+
+    /// Arms seed-keyed mid-swap fault injection. Only the
+    /// [`FaultScenario::MID_SWAP`] scenarios have any effect here
+    /// (`corrupt-signature` perturbs the scheduling layer, not the
+    /// fabric); the single-component scenarios are injected by
+    /// [`crate::faults::FaultyComponent`] instead. Fabrics with armed
+    /// swap faults cannot be snapshotted.
+    pub fn set_swap_faults(&mut self, plan: FaultPlan) {
+        let rng = FaultRng::new(plan.seed);
+        self.swap_faults = Some((plan, rng));
+    }
+
+    /// Core cycles the drain window lasts: long enough for anything in
+    /// the outgoing component's D-stage pipe to surface in the queues,
+    /// so the flush at window close is a complete quiesce.
+    fn drain_window(&self) -> u64 {
+        (self.params.delay + 1) * self.params.clk_ratio.max(1)
+    }
+
+    /// Begins a runtime component swap: the outgoing component is
+    /// drained (its in-flight ObsQ/IntQ packets are dropped when the
+    /// drain window closes), then the incoming configuration —
+    /// FST/RST snoop tables plus the component — loads for
+    /// `load_cycles` core cycles (use `pfm_fpga::reconfig_cycles` for
+    /// a resource-derived estimate), after which the Agents resume.
+    ///
+    /// Returns `false` (and changes nothing) if a swap is already in
+    /// progress; callers re-request once the fabric is `Resident` or
+    /// `Empty` again.
+    pub fn begin_swap(
+        &mut self,
+        fst: BTreeSet<u64>,
+        rst: BTreeMap<u64, RstEntry>,
+        component: Box<dyn CustomComponent>,
+        load_cycles: u64,
+    ) -> bool {
+        let from_resident = match self.residency {
+            Residency::Resident => true,
+            Residency::Empty => false,
+            Residency::Draining { .. } | Residency::Loading { .. } => return false,
+        };
+        if from_resident {
+            self.component.on_drain();
+        }
+        self.component = component;
+        self.fst = fst;
+        self.rst = rst;
+        // The armed ROI context is evicted with the outgoing bitstream:
+        // the incoming tenant re-arms at its next `begin_roi` retire,
+        // which realigns core and component through the normal
+        // SquashYounger protocol. Enabling a freshly loaded component
+        // mid-region would hand the Fetch Agent an empty IntQ-F and
+        // stall fetch until the chicken switch fires.
+        self.enabled = false;
+        self.stats.swaps += 1;
+        self.swap_restart_cycles = load_cycles.max(1);
+        if from_resident {
+            self.residency = Residency::Draining {
+                remaining: self.drain_window(),
+                load_cycles: self.swap_restart_cycles,
+            };
+        } else {
+            self.start_loading();
+        }
+        true
+    }
+
+    /// Evicts the resident component: immediate drain-and-flush, then
+    /// `Empty`. The fabric stays inert until the next
+    /// [`Fabric::begin_swap`].
+    pub fn unload(&mut self) {
+        if self.resident() {
+            self.component.on_drain();
+        }
+        self.flush_transients();
+        self.enabled = false;
+        self.residency = Residency::Empty;
+    }
+
+    /// Starts the partial-reconfiguration load window, applying any
+    /// armed mid-swap faults (latency spike, scheduled abort point).
+    fn start_loading(&mut self) {
+        let mut remaining = self.swap_restart_cycles;
+        self.swap_abort_at = None;
+        if let Some((plan, rng)) = self.swap_faults.as_mut() {
+            match plan.scenario {
+                FaultScenario::SwapLoadSpike if rng.chance(plan.rate) => {
+                    let extra = (remaining / 2).max(1) * rng.jitter();
+                    remaining += extra;
+                    self.stats.swap_spike_cycles += extra;
+                }
+                FaultScenario::SwapAbort if rng.chance(plan.rate) => {
+                    // Abort somewhere strictly inside the load window.
+                    self.swap_abort_at = Some(1 + remaining * rng.jitter() / 9);
+                }
+                _ => {}
+            }
+        }
+        self.residency = Residency::Loading { remaining };
+    }
+
+    /// Advances the residency machine by one core cycle.
+    fn tick_residency(&mut self) {
+        match self.residency {
+            Residency::Resident | Residency::Empty => {}
+            Residency::Draining {
+                remaining,
+                load_cycles,
+            } => {
+                self.stats.reconfig_cycles += 1;
+                if remaining <= 1 {
+                    self.flush_transients();
+                    self.swap_restart_cycles = load_cycles;
+                    self.start_loading();
+                } else {
+                    self.residency = Residency::Draining {
+                        remaining: remaining - 1,
+                        load_cycles,
+                    };
+                }
+            }
+            Residency::Loading { remaining } => {
+                self.stats.reconfig_cycles += 1;
+                if self.swap_abort_at == Some(remaining) {
+                    // Fault: the load aborts and restarts from scratch
+                    // (once per swap, so forward progress holds).
+                    self.swap_abort_at = None;
+                    self.stats.swap_abort_restarts += 1;
+                    self.component.on_swap_abort();
+                    self.residency = Residency::Loading {
+                        remaining: self.swap_restart_cycles,
+                    };
+                } else if remaining <= 1 {
+                    self.residency = Residency::Resident;
+                } else {
+                    self.residency = Residency::Loading {
+                        remaining: remaining - 1,
+                    };
+                }
+            }
+        }
+    }
+
+    /// Deterministically drops every in-flight microarchitectural
+    /// packet: all Agent queues, delay pipes, the MLB, in-flight load
+    /// tracking, and the squash protocol. Used when a drain window
+    /// closes, on [`Fabric::unload`], and by the scheduling layer at
+    /// context-switch boundaries. Architectural state is untouched by
+    /// construction — nothing here ever reaches the commit stream.
+    pub fn flush_transients(&mut self) {
+        self.obs_q.clear();
+        self.pending_obs.clear();
+        self.intq_f.clear();
+        self.pred_delay.clear();
+        self.delivered.clear();
+        self.drop_late = 0;
+        self.stall_streak = 0;
+        self.intq_is.clear();
+        self.load_delay.clear();
+        self.obs_ex.clear();
+        self.mlb.clear();
+        self.inflight_loads.clear();
+        self.squash_pending = false;
+        self.squash_done_at = None;
+    }
+
+    fn stale_drain_leaking(&self) -> bool {
+        matches!(self.residency, Residency::Draining { .. })
+            && self
+                .swap_faults
+                .as_ref()
+                .is_some_and(|(p, _)| p.scenario == FaultScenario::StaleDrain)
+    }
+
     /// One-line dump of agent/queue state, for debugging stalls.
     #[doc(hidden)]
     pub fn debug_state(&self) -> String {
         format!(
-            "enabled={} intq_f={} pred_delay={} obs_q={} pending_obs={} intq_is={} load_delay={} obs_ex={} mlb={} inflight={} squash_pending={} delivered={} rf={}",
+            "enabled={} intq_f={} pred_delay={} obs_q={} pending_obs={} intq_is={} load_delay={} obs_ex={} mlb={} inflight={} squash_pending={} delivered={} rf={} residency={:?}",
             self.enabled,
             self.intq_f.len(),
             self.pred_delay.len(),
@@ -331,6 +586,7 @@ impl Fabric {
             self.squash_pending,
             self.delivered.len(),
             self.rf_cycle,
+            self.residency,
         )
     }
 
@@ -345,13 +601,34 @@ impl Fabric {
     ///
     /// # Errors
     /// [`SnapError::Unsupported`] if the component does not implement
-    /// snapshots.
+    /// snapshots, or if mid-swap fault injection is armed (the fault
+    /// RNG stream is not part of the snapshot format).
     pub fn snapshot_encode(&self, e: &mut Enc) -> Result<(), SnapError> {
+        if self.swap_faults.is_some() {
+            return Err(SnapError::Unsupported("swap fault injection armed"));
+        }
         let comp = self
             .component
             .snapshot_state()
             .ok_or(SnapError::Unsupported("component does not snapshot"))?;
         e.bool(self.enabled);
+        match self.residency {
+            Residency::Empty => e.u8(0),
+            Residency::Loading { remaining } => {
+                e.u8(1);
+                e.u64(remaining);
+            }
+            Residency::Resident => e.u8(2),
+            Residency::Draining {
+                remaining,
+                load_cycles,
+            } => {
+                e.u8(3);
+                e.u64(remaining);
+                e.u64(load_cycles);
+            }
+        }
+        e.u64(self.swap_restart_cycles);
         e.u64(self.cycle);
         e.u64(self.rf_cycle);
         e.usize(self.obs_q.len());
@@ -441,6 +718,19 @@ impl Fabric {
     ) -> Result<Fabric, SnapError> {
         let mut f = Fabric::new(params, fst, rst, component);
         f.enabled = d.bool()?;
+        f.residency = match d.u8()? {
+            0 => Residency::Empty,
+            1 => Residency::Loading {
+                remaining: d.u64()?,
+            },
+            2 => Residency::Resident,
+            3 => Residency::Draining {
+                remaining: d.u64()?,
+                load_cycles: d.u64()?,
+            },
+            _ => return Err(SnapError::Corrupt("residency tag")),
+        };
+        f.swap_restart_cycles = d.u64()?;
         f.cycle = d.u64()?;
         f.rf_cycle = d.u64()?;
         for _ in 0..d.seq_len()? {
@@ -617,6 +907,13 @@ impl Fabric {
             }
         }
 
+        // Mid-swap the component slot is inert: stale packets age in
+        // the queues (they are only popped by the Fetch Agent under
+        // the stale-drain fault) until the drain-window flush.
+        if !self.resident() {
+            return;
+        }
+
         // Squash packet at the head of ObsQ-R: roll the component back.
         if self.squash_done_at.is_none() && matches!(self.obs_q.front(), Some(ObsPacket::Squash)) {
             self.obs_q.pop_front();
@@ -663,6 +960,7 @@ impl PfmHooks for Fabric {
         self.cycle = cycle;
         self.lane_busy_latest = lane_busy;
         self.ports_used = 0;
+        self.tick_residency();
         self.drain_pending_obs();
         if cycle.is_multiple_of(self.params.clk_ratio) {
             self.rf_tick();
@@ -670,11 +968,20 @@ impl PfmHooks for Fabric {
     }
 
     fn fetch_inst(&mut self, seq: u64, pc: u64, is_cond_branch: bool) -> FetchOverride {
-        if !self.enabled {
+        let stale_leak = self.stale_drain_leaking();
+        if !self.resident() && !stale_leak {
+            return FetchOverride::Pass;
+        }
+        // The leak bypasses the ROI gate: the *outgoing* component was
+        // armed when the drain began, and it is its un-quiesced queue
+        // that keeps answering.
+        if !self.enabled && !stale_leak {
             return FetchOverride::Pass;
         }
         if !(is_cond_branch && self.fst.contains(&pc)) {
-            self.stats.fetched_in_roi += 1;
+            if self.resident() {
+                self.stats.fetched_in_roi += 1;
+            }
             return FetchOverride::Pass;
         }
 
@@ -682,6 +989,38 @@ impl PfmHooks for Fabric {
         // entries for branches the core skipped over.
         let scan = self.intq_f.len().min(MATCH_SCAN_DEPTH);
         let found = (0..scan).find(|&i| self.intq_f[i].pc == pc);
+        if stale_leak {
+            // Fault: predictions the outgoing component left in IntQ-F
+            // keep answering during the drain window instead of being
+            // quiesced. Prediction direction is microarchitectural, so
+            // the leak costs (or luckily saves) cycles only.
+            return match found {
+                Some(d) => {
+                    for _ in 0..d {
+                        self.intq_f.pop_front();
+                    }
+                    // pfm-lint: allow(hygiene): `found` indexes into intq_f
+                    let p = self.intq_f.pop_front().expect("match exists");
+                    self.stats.stale_drain_leaks += 1;
+                    FetchOverride::Use(p.taken)
+                }
+                None => {
+                    // No queued entry matches: the un-quiesced
+                    // component fabricates a late answer with
+                    // plan-rate probability — stale garbage for a
+                    // branch it was never asked about. Direction is
+                    // microarchitectural, so a wrong guess costs a
+                    // misprediction squash, nothing architectural.
+                    if let Some((plan, rng)) = self.swap_faults.as_mut() {
+                        if rng.chance(plan.rate) {
+                            self.stats.stale_drain_leaks += 1;
+                            return FetchOverride::Use(rng.chance(500));
+                        }
+                    }
+                    FetchOverride::Pass
+                }
+            };
+        }
         match found {
             Some(d) => {
                 for _ in 0..d {
@@ -738,6 +1077,13 @@ impl PfmHooks for Fabric {
 
     fn on_retire(&mut self, info: &RetireInfo<'_>) -> RetireDirective {
         self.lane_busy_latest = info.lane_busy;
+        if !self.resident() {
+            // Mid-swap the Retire Agent answers "no intervention": ROI
+            // markers retire unobserved (the snoop tables are part of
+            // the bitstream still loading). The incoming tenant arms at
+            // its next `begin_roi` retire once Resident.
+            return RetireDirective::Continue;
+        }
         if self.enabled {
             self.stats.retired_in_roi += 1;
             // Retire delivered-prediction bookkeeping (branch queue
@@ -802,11 +1148,14 @@ impl PfmHooks for Fabric {
     }
 
     fn retire_stalled(&mut self) -> bool {
+        if !self.resident() {
+            return false;
+        }
         self.squash_pending || self.pending_obs.len() >= self.params.queue_size
     }
 
     fn on_squash(&mut self, _kind: SquashKind, boundary: u64, _cycle: u64) {
-        if !self.enabled {
+        if !self.enabled || !self.resident() {
             return;
         }
         // Squash packet to the component (bypasses queue capacity: the
@@ -827,7 +1176,7 @@ impl PfmHooks for Fabric {
     }
 
     fn pop_load(&mut self) -> Option<FabricLoad> {
-        if !self.enabled {
+        if !self.enabled || !self.resident() {
             return None;
         }
         // MLB replay gets priority: the head entry replays once its
@@ -861,6 +1210,13 @@ impl PfmHooks for Fabric {
     }
 
     fn load_result(&mut self, id: u64, result: FabricLoadResult, _cycle: u64) {
+        if !self.resident() {
+            // A response for a load the outgoing component issued
+            // before the swap: dropped deterministically (the incoming
+            // component never saw the request).
+            self.inflight_loads.remove(&id);
+            return;
+        }
         match result {
             FabricLoadResult::Hit { value } => {
                 self.inflight_loads.remove(&id);
@@ -1284,6 +1640,251 @@ mod tests {
                 "cut {cut}: {err:?}"
             );
         }
+    }
+
+    fn swap_tables() -> (BTreeSet<u64>, BTreeMap<u64, RstEntry>) {
+        let mut rst = BTreeMap::new();
+        rst.insert(0x1000, RstEntry::dest().begin());
+        let mut fst = BTreeSet::new();
+        fst.insert(0x2000);
+        (fst, rst)
+    }
+
+    /// Enters the ROI and lets the component's queued predictions
+    /// reach IntQ-F.
+    fn warm_roi(f: &mut Fabric) {
+        f.on_retire(&retire_info(0x1000, 1));
+        f.on_squash(SquashKind::RoiBegin, 2, 1);
+        for c in 2..60 {
+            f.begin_cycle(c, [false; NUM_LANES]);
+        }
+    }
+
+    #[test]
+    fn swap_protocol_drains_flushes_and_loads() {
+        let mut comp = Scripted::new();
+        comp.preds.push(PredPacket {
+            pc: 0x2000,
+            taken: true,
+        });
+        let mut f = fabric_with(comp, FabricParams::paper_default().delay(1));
+        warm_roi(&mut f);
+        assert!(f.intq_f.len() + f.pred_delay.len() > 0, "stale pred queued");
+
+        let (fst, rst) = swap_tables();
+        assert!(f.begin_swap(fst, rst, Box::new(Scripted::new()), 24));
+        assert!(matches!(f.residency(), Residency::Draining { .. }));
+        assert_eq!(f.stats().swaps, 1);
+
+        // Agents answer "no intervention" mid-swap: the queued stale
+        // prediction must not be served, loads must not inject, and
+        // retirement must not stall.
+        assert_eq!(f.fetch_inst(100, 0x2000, true), FetchOverride::Pass);
+        assert!(f.pop_load().is_none());
+        assert!(!f.retire_stalled());
+
+        let mut cycles_to_resident = 0;
+        for c in 60..400 {
+            f.begin_cycle(c, [false; NUM_LANES]);
+            if f.residency() == Residency::Resident {
+                cycles_to_resident = c;
+                break;
+            }
+        }
+        assert!(cycles_to_resident > 0, "swap never completed");
+        // Drain window (delay+1)*clk = 8, then 24 load cycles.
+        assert_eq!(f.stats().reconfig_cycles, 8 + 24);
+        // The stale packets were flushed, not delivered to the new
+        // component's queues.
+        assert!(f.intq_f.is_empty() && f.pred_delay.is_empty());
+        // The swap evicted the armed ROI context: until the incoming
+        // tenant's `begin_roi` retires, the Agents stay inert even
+        // though the slot is Resident again.
+        assert!(!f.enabled());
+        assert_eq!(f.fetch_inst(200, 0x2000, true), FetchOverride::Pass);
+        // Re-arming at the next `begin_roi` realigns via the squash
+        // protocol, after which the fresh component answers again
+        // (empty queue + Stall policy = Stall, proving the gate
+        // lifted).
+        assert_eq!(
+            f.on_retire(&retire_info(0x1000, 10)),
+            RetireDirective::SquashYounger
+        );
+        assert_eq!(f.fetch_inst(200, 0x2000, true), FetchOverride::Stall);
+    }
+
+    #[test]
+    fn swap_rejected_while_one_is_in_progress() {
+        let mut f = fabric_with(Scripted::new(), FabricParams::paper_default());
+        let (fst, rst) = swap_tables();
+        assert!(f.begin_swap(fst, rst, Box::new(Scripted::new()), 10));
+        let (fst, rst) = swap_tables();
+        assert!(
+            !f.begin_swap(fst, rst, Box::new(Scripted::new()), 10),
+            "second swap must be rejected mid-swap"
+        );
+        assert_eq!(f.stats().swaps, 1);
+    }
+
+    #[test]
+    fn unload_empties_and_swap_from_empty_skips_drain() {
+        let mut f = fabric_with(Scripted::new(), FabricParams::paper_default());
+        warm_roi(&mut f);
+        f.unload();
+        assert_eq!(f.residency(), Residency::Empty);
+        assert_eq!(f.fetch_inst(100, 0x2000, true), FetchOverride::Pass);
+        let (fst, rst) = swap_tables();
+        assert!(f.begin_swap(fst, rst, Box::new(Scripted::new()), 5));
+        assert!(matches!(f.residency(), Residency::Loading { .. }));
+        for c in 100..140 {
+            f.begin_cycle(c, [false; NUM_LANES]);
+        }
+        assert_eq!(f.residency(), Residency::Resident);
+    }
+
+    #[test]
+    fn mid_swap_snapshot_roundtrips_in_draining_and_loading() {
+        for settle in [2u64, 12] {
+            // settle=2 lands in Draining (window 8), settle=12 in
+            // Loading.
+            let mut f = fabric_with(Scripted::new(), FabricParams::paper_default().delay(1));
+            warm_roi(&mut f);
+            let (fst, rst) = swap_tables();
+            assert!(f.begin_swap(fst, rst, Box::new(Scripted::new()), 24));
+            for c in 60..60 + settle {
+                f.begin_cycle(c, [false; NUM_LANES]);
+            }
+            if settle == 2 {
+                assert!(matches!(f.residency(), Residency::Draining { .. }));
+            } else {
+                assert!(matches!(f.residency(), Residency::Loading { .. }));
+            }
+            let bytes = f.snapshot().expect("mid-swap snapshot");
+            let (fst, rst) = swap_tables();
+            let mut g = Fabric::restore(
+                FabricParams::paper_default().delay(1),
+                fst,
+                rst,
+                Box::new(Scripted::new()),
+                &bytes,
+            )
+            .expect("restore");
+            assert_eq!(g.snapshot().unwrap(), bytes, "canonical re-encode");
+            assert_eq!(g.residency(), f.residency());
+            // Both complete the swap on the same cycle.
+            for c in 60 + settle..400 {
+                f.begin_cycle(c, [false; NUM_LANES]);
+                g.begin_cycle(c, [false; NUM_LANES]);
+                assert_eq!(f.residency(), g.residency(), "cycle {c}");
+                if f.residency() == Residency::Resident {
+                    break;
+                }
+            }
+            assert_eq!(f.residency(), Residency::Resident);
+            assert_eq!(g.stats(), f.stats());
+        }
+    }
+
+    #[test]
+    fn swap_abort_restarts_the_load_once() {
+        let mut clean = fabric_with(Scripted::new(), FabricParams::paper_default());
+        let mut faulty = fabric_with(Scripted::new(), FabricParams::paper_default());
+        faulty
+            .set_swap_faults(FaultPlan::new(FaultScenario::SwapAbort, 0xC4A0_5EED).with_rate(1000));
+        for f in [&mut clean, &mut faulty] {
+            let (fst, rst) = swap_tables();
+            assert!(f.begin_swap(fst, rst, Box::new(Scripted::new()), 40));
+            for c in 1..1000 {
+                f.begin_cycle(c, [false; NUM_LANES]);
+                if f.residency() == Residency::Resident {
+                    break;
+                }
+            }
+            assert_eq!(f.residency(), Residency::Resident, "swap must complete");
+        }
+        assert_eq!(faulty.stats().swap_abort_restarts, 1);
+        assert_eq!(clean.stats().swap_abort_restarts, 0);
+        assert!(faulty.stats().reconfig_cycles > clean.stats().reconfig_cycles);
+    }
+
+    #[test]
+    fn swap_load_spike_inflates_the_window() {
+        let mut f = fabric_with(Scripted::new(), FabricParams::paper_default());
+        f.set_swap_faults(
+            FaultPlan::new(FaultScenario::SwapLoadSpike, 0xC4A0_5EED).with_rate(1000),
+        );
+        let (fst, rst) = swap_tables();
+        assert!(f.begin_swap(fst, rst, Box::new(Scripted::new()), 40));
+        for c in 1..2000 {
+            f.begin_cycle(c, [false; NUM_LANES]);
+            if f.residency() == Residency::Resident {
+                break;
+            }
+        }
+        assert_eq!(f.residency(), Residency::Resident);
+        assert!(f.stats().swap_spike_cycles > 0);
+        assert_eq!(
+            f.stats().reconfig_cycles,
+            f.drain_window() + 40 + f.stats().swap_spike_cycles
+        );
+    }
+
+    #[test]
+    fn stale_drain_leaks_predictions_under_fault() {
+        let mut comp = Scripted::new();
+        comp.preds.push(PredPacket {
+            pc: 0x2000,
+            taken: true,
+        });
+        let mut f = fabric_with(comp, FabricParams::paper_default().delay(1));
+        f.set_swap_faults(FaultPlan::new(FaultScenario::StaleDrain, 7).with_rate(1000));
+        warm_roi(&mut f);
+        let (fst, rst) = swap_tables();
+        assert!(f.begin_swap(fst, rst, Box::new(Scripted::new()), 24));
+        assert!(matches!(f.residency(), Residency::Draining { .. }));
+        // The stale prediction answers during Draining instead of
+        // being quiesced.
+        assert_eq!(f.fetch_inst(100, 0x2000, true), FetchOverride::Use(true));
+        assert_eq!(f.stats().stale_drain_leaks, 1);
+        // Queue now empty: at rate 1000 the un-quiesced component
+        // fabricates a late answer for a branch it was never asked
+        // about — still never a Stall mid-swap.
+        assert!(matches!(
+            f.fetch_inst(101, 0x2000, true),
+            FetchOverride::Use(_)
+        ));
+        assert_eq!(f.stats().stale_drain_leaks, 2);
+    }
+
+    #[test]
+    fn snapshot_with_swap_faults_armed_is_unsupported() {
+        let mut f = fabric_with(Scripted::new(), FabricParams::paper_default());
+        f.set_swap_faults(FaultPlan::new(FaultScenario::SwapAbort, 1));
+        assert!(matches!(f.snapshot(), Err(SnapError::Unsupported(_))));
+    }
+
+    #[test]
+    fn swap_fault_trace_is_deterministic() {
+        let run = || {
+            let mut f = fabric_with(Scripted::new(), FabricParams::paper_default());
+            f.set_swap_faults(FaultPlan::new(FaultScenario::SwapAbort, 99).with_rate(700));
+            for round in 0..4u64 {
+                let (fst, rst) = swap_tables();
+                f.begin_swap(fst, rst, Box::new(Scripted::new()), 32);
+                let base = 1 + round * 1000;
+                for c in base..base + 999 {
+                    f.begin_cycle(c, [false; NUM_LANES]);
+                    if f.residency() == Residency::Resident {
+                        break;
+                    }
+                }
+            }
+            *f.stats()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert_eq!(a.swaps, 4);
     }
 
     #[test]

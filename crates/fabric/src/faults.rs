@@ -63,6 +63,24 @@ pub enum FaultScenario {
     /// Enter [`SPIKE_TICKS`]-tick windows during which every output is
     /// delayed by an extra [`SPIKE_EXTRA_DELAY`] ticks.
     LatencySpike,
+    /// Abort an in-progress component swap at a seed-keyed point of the
+    /// partial-reconfiguration load window; the load restarts from
+    /// scratch (injected by the fabric's residency machine, not by
+    /// [`FaultyComponent`]).
+    SwapAbort,
+    /// Inflate the partial-reconfiguration load latency of a swap by a
+    /// seed-keyed multiple of the load window (injected by the fabric's
+    /// residency machine).
+    SwapLoadSpike,
+    /// During the Draining phase of a swap, stale in-flight predictions
+    /// from the outgoing component keep answering the Fetch Agent
+    /// instead of being quiesced (injected by the fabric's residency
+    /// machine).
+    StaleDrain,
+    /// Corrupt the phase-detection scheduler's retired-stream signature
+    /// so it swaps the wrong component in (injected by the scheduling
+    /// layer; a no-op at the fabric).
+    CorruptSignature,
 }
 
 impl FaultScenario {
@@ -79,6 +97,20 @@ impl FaultScenario {
         FaultScenario::LatencySpike,
     ];
 
+    /// The mid-swap scenarios, in a fixed order (the `context-switch`
+    /// experiment family iterates this). Kept separate from [`ALL`]:
+    /// these perturb the residency machine / scheduler and are inert
+    /// inside [`FaultyComponent`], so the single-component chaos family
+    /// does not run them.
+    ///
+    /// [`ALL`]: FaultScenario::ALL
+    pub const MID_SWAP: [FaultScenario; 4] = [
+        FaultScenario::SwapAbort,
+        FaultScenario::SwapLoadSpike,
+        FaultScenario::StaleDrain,
+        FaultScenario::CorruptSignature,
+    ];
+
     /// Stable kebab-case name, used in run keys and report rows.
     pub fn name(self) -> &'static str {
         match self {
@@ -90,7 +122,18 @@ impl FaultScenario {
             FaultScenario::DuplicatePackets => "dup-packets",
             FaultScenario::StuckBusy => "stuck-busy",
             FaultScenario::LatencySpike => "latency-spike",
+            FaultScenario::SwapAbort => "swap-abort",
+            FaultScenario::SwapLoadSpike => "swap-load-spike",
+            FaultScenario::StaleDrain => "stale-drain",
+            FaultScenario::CorruptSignature => "corrupt-signature",
         }
+    }
+
+    /// Whether this scenario is injected by the fabric's residency
+    /// machine / the scheduling layer rather than by
+    /// [`FaultyComponent`].
+    pub fn is_mid_swap(self) -> bool {
+        FaultScenario::MID_SWAP.contains(&self)
     }
 }
 
@@ -545,6 +588,23 @@ impl CustomComponent for FaultyComponent {
         self.inner.on_squash();
     }
 
+    fn on_drain(&mut self) {
+        // The eviction drops every in-flight packet deterministically;
+        // held and pending queues would otherwise leak into whatever is
+        // loaded next.
+        self.in_obs.clear();
+        self.in_resp.clear();
+        self.held_obs.clear();
+        self.held_resp.clear();
+        self.out_preds.clear();
+        self.out_loads.clear();
+        self.inner.on_drain();
+    }
+
+    fn on_swap_abort(&mut self) {
+        self.inner.on_swap_abort();
+    }
+
     fn name(&self) -> &'static str {
         self.inner.name()
     }
@@ -655,6 +715,32 @@ mod tests {
         let mut r = FaultRng::new(1);
         let hits = (0..10_000).filter(|_| r.chance(250)).count();
         assert!((2_000..3_000).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn mid_swap_scenarios_are_disjoint_from_all() {
+        for sc in FaultScenario::MID_SWAP {
+            assert!(sc.is_mid_swap());
+            assert!(
+                !FaultScenario::ALL.contains(&sc),
+                "{} must not run in the single-component chaos family",
+                sc.name()
+            );
+        }
+        for sc in FaultScenario::ALL {
+            assert!(!sc.is_mid_swap());
+        }
+        let mut names: Vec<&str> = FaultScenario::ALL
+            .iter()
+            .chain(FaultScenario::MID_SWAP.iter())
+            .map(|s| s.name())
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(
+            names.len(),
+            FaultScenario::ALL.len() + FaultScenario::MID_SWAP.len()
+        );
     }
 
     #[test]

@@ -59,7 +59,7 @@ pub mod packets;
 pub mod params;
 
 pub use component::{CustomComponent, FabricIo, WatchKind};
-pub use fabric::{Fabric, FabricStats};
+pub use fabric::{Fabric, FabricStats, Residency};
 pub use faults::{FaultPlan, FaultRng, FaultScenario, FaultStats, FaultyComponent};
 pub use packets::{FabricLoad, LoadResponse, ObsPacket, ObserveKind, PredPacket, RstEntry};
 pub use params::{FabricParams, PortPolicy, StallPolicy};

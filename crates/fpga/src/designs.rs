@@ -241,6 +241,41 @@ pub fn milc() -> Design {
     }
 }
 
+/// bfs frontier-walker branch predictor (the roads/youtube component):
+/// frontier and neighbor queues, a visited-bitmap CAM slice, and the
+/// row-offset adders of the CSR walk. Not a Table 4 row — used by the
+/// runtime-reconfiguration scheduler for its swap-latency estimate.
+pub fn bfs() -> Design {
+    let p = vec![
+        Primitive::Queue {
+            entries: 64,
+            width: 32,
+        }, // frontier queue
+        Primitive::Queue {
+            entries: 128,
+            width: 33,
+        }, // neighbor/pred replay queue
+        Primitive::Cam {
+            entries: 32,
+            width: 18,
+        }, // recently-visited filter
+        Primitive::Adder { width: 40 }, // row-pointer address
+        Primitive::Adder { width: 32 }, // edge-offset walk
+        Primitive::Comparator { width: 32 },
+        Primitive::Fsm {
+            states: 6,
+            signals: 14,
+        },
+        Primitive::Registers { bits: 360 },
+    ];
+    Design {
+        name: "bfs",
+        primitives: p,
+        activity: 0.24,
+        io_groups: 2,
+    }
+}
+
 /// All Table 4 designs, in row order.
 pub fn table4_designs() -> Vec<Design> {
     vec![
@@ -297,6 +332,15 @@ mod tests {
                 assert_eq!(dsp, 0, "{} should use no DSPs", d.name);
             }
         }
+    }
+
+    #[test]
+    fn bfs_design_is_mid_sized_and_off_table4() {
+        let d = bfs();
+        let r = d.resources();
+        assert!(r.lut > libquantum().resources().lut);
+        assert!(r.lut < astar_4wide().resources().lut);
+        assert!(table4_designs().iter().all(|t| t.name != d.name));
     }
 
     #[test]

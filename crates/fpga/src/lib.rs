@@ -17,4 +17,6 @@ pub mod resource;
 pub use designs::{table4_designs, Design};
 pub use energy::EnergyModel;
 pub use power::{power, PowerEstimate};
-pub use resource::{estimate_design, Primitive, ResourceEstimate};
+pub use resource::{
+    estimate_design, reconfig_cycles, reconfig_frames, Primitive, ResourceEstimate,
+};

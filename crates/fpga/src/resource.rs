@@ -210,6 +210,39 @@ pub fn frequency_mhz(prims: &[Primitive], est: &ResourceEstimate) -> f64 {
     f.clamp(150.0, 737.0)
 }
 
+/// Configuration-frame payload covered by one partial-reconfiguration
+/// frame, expressed in LUT-equivalents (FFs, BRAM and DSP are folded
+/// into the same currency below). Virtex UltraScale+ CLB frames carry
+/// on the order of a hundred LUTs of configuration data each.
+const FRAME_LUT_EQUIV: u32 = 96;
+
+/// Core cycles spent streaming one configuration frame through the
+/// ICAP at its 32-bit port width, expressed at the simulated core
+/// clock (the ICAP runs slower than the core, so each frame costs many
+/// core cycles).
+const CYCLES_PER_FRAME: u64 = 64;
+
+/// Fixed partial-reconfiguration overhead in core cycles: descriptor
+/// fetch, ICAP handshake, and post-load initialization of the region.
+const RECONFIG_SETUP_CYCLES: u64 = 2_048;
+
+/// Number of partial-reconfiguration frames a design occupies, from
+/// its resource estimate. FF bits ride in the same CLB frames as the
+/// LUTs around them (8 FFs ≈ 1 LUT of frame payload); BRAM and DSP
+/// columns have their own, larger frames.
+pub fn reconfig_frames(est: &ResourceEstimate) -> u64 {
+    let lut_equiv = est.lut + est.ff / 8 + (est.bram.ceil() as u32) * 24 + est.dsp * 12;
+    u64::from(lut_equiv.div_ceil(FRAME_LUT_EQUIV).max(1))
+}
+
+/// Partial-reconfiguration latency, in core cycles, to load a design
+/// with this resource estimate into the fabric: per-frame ICAP
+/// streaming cost plus a fixed setup overhead. This is the latency the
+/// runtime scheduler charges when it swaps a resident component.
+pub fn reconfig_cycles(est: &ResourceEstimate) -> u64 {
+    reconfig_frames(est) * CYCLES_PER_FRAME + RECONFIG_SETUP_CYCLES
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,5 +307,35 @@ mod tests {
         let d = vec![Primitive::BramTable { bits: 262_144 }];
         let e = estimate_design(&d);
         assert!(frequency_mhz(&d, &e) <= 520.0);
+    }
+
+    #[test]
+    fn reconfig_latency_scales_with_design_size() {
+        let tiny = estimate_design(&[Primitive::Fsm {
+            states: 4,
+            signals: 8,
+        }]);
+        let big = estimate_design(&[
+            Primitive::Cam {
+                entries: 64,
+                width: 18,
+            },
+            Primitive::Registers { bits: 4000 },
+            Primitive::BramTable { bits: 262_144 },
+        ]);
+        assert!(reconfig_frames(&tiny) >= 1);
+        assert!(reconfig_frames(&big) > reconfig_frames(&tiny));
+        assert!(reconfig_cycles(&big) > reconfig_cycles(&tiny));
+        // Even an empty region pays the setup handshake.
+        assert!(reconfig_cycles(&tiny) > RECONFIG_SETUP_CYCLES);
+    }
+
+    #[test]
+    fn reconfig_latency_is_deterministic() {
+        let e = estimate_design(&[Primitive::Queue {
+            entries: 32,
+            width: 16,
+        }]);
+        assert_eq!(reconfig_cycles(&e), reconfig_cycles(&e));
     }
 }

@@ -21,8 +21,9 @@
 
 /// Version tag written at the head of every top-level snapshot. Bump
 /// on any layout change; decoders reject mismatches instead of
-/// misinterpreting bytes.
-pub const SNAP_VERSION: u32 = 1;
+/// misinterpreting bytes. (v2: fabric snapshots carry the runtime
+/// reconfiguration residency state.)
+pub const SNAP_VERSION: u32 = 2;
 
 /// FNV-1a offset basis shared by every checksum in the workspace
 /// (content keys, commit-stream folds, architectural fingerprints).

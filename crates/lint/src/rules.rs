@@ -101,6 +101,20 @@ const STORE_KEY_FN_MARKERS: &[&str] = &[
     "digest",
 ];
 
+/// Function-name substrings marking a runtime-reconfiguration path
+/// (the region the `swap-purity` rule confines itself to). Swap,
+/// drain, and phase-detection code decides *when* the fabric
+/// intervenes; it must never touch *what* the core commits, and its
+/// timing must come from the simulated clock, or the graceful-
+/// degradation gate (bit-identical checksums across every scheduling
+/// decision and mid-swap fault) stops holding by construction.
+pub const SWAP_FN_MARKERS: &[&str] = &["swap", "drain", "reconfigure", "phase_signature"];
+
+/// Crates the `swap-purity` rule applies in: the fabric (residency
+/// machine, drain/load windows) and the sim layer (scheduler,
+/// context-switch runner).
+pub const SWAP_PURITY_CRATES: &[&str] = &["fabric", "sim"];
+
 /// Entropy-seeded RNG constructors/handles.
 const RNG_IDENTS: &[&str] = &["thread_rng", "ThreadRng", "from_entropy", "OsRng"];
 
@@ -186,6 +200,13 @@ pub fn check(lexed: &Lexed, ctx: &FileContext) -> Vec<Finding> {
     // goes for store-key/fingerprint construction.
     snapshot_determinism(lexed, ctx, &mut findings);
     store_key_purity(lexed, ctx, &mut findings);
+    if ctx
+        .crate_name
+        .as_deref()
+        .is_some_and(|c| SWAP_PURITY_CRATES.contains(&c))
+    {
+        swap_purity(lexed, ctx, &mut findings);
+    }
     hygiene(lexed, ctx, &mut findings);
     robustness(lexed, ctx, in_agent, &mut findings);
 
@@ -682,6 +703,75 @@ fn store_key_purity(lexed: &Lexed, ctx: &FileContext, findings: &mut Vec<Finding
                             ),
                         );
                     }
+                }
+            }
+        }
+    }
+}
+
+/// robustness/swap-purity: runtime-reconfiguration paths (function
+/// names containing `swap`/`drain`/`reconfigure`/`phase_signature` in
+/// the fabric and sim crates) must not call architectural-state
+/// mutators or read the wall clock. A swap may change when Agents
+/// intervene, never what the core commits; and drain/load windows are
+/// measured in simulated cycles, so a host-time read would make swap
+/// latency (and with it every downstream IPC figure) machine-
+/// dependent.
+fn swap_purity(lexed: &Lexed, ctx: &FileContext, findings: &mut Vec<Finding>) {
+    let regions = marked_fn_ranges(lexed, SWAP_FN_MARKERS);
+    if regions.is_empty() {
+        return;
+    }
+    let toks = &lexed.tokens;
+    let t = |i: usize| toks.get(i).map(|t| t.text.as_str());
+    for &(start, end) in &regions {
+        for i in start..end.min(toks.len()) {
+            if lexed.in_test_region(i) {
+                continue;
+            }
+            let line = toks[i].line;
+
+            // Wall clocks: `Instant::now`, `SystemTime`.
+            if (t(i) == Some("Instant")
+                && t(i + 1) == Some(":")
+                && t(i + 2) == Some(":")
+                && t(i + 3) == Some("now"))
+                || t(i) == Some("SystemTime")
+            {
+                emit(
+                    lexed,
+                    findings,
+                    ctx,
+                    line,
+                    "robustness",
+                    "swap-purity",
+                    "wall-clock read in a reconfiguration path; drain and load \
+                     windows are simulated cycles, never host time"
+                        .to_string(),
+                );
+            }
+
+            // Architectural-state mutator calls (method or path form;
+            // `fn set_pc(` is a definition, not a call).
+            let Some(w) = t(i) else { continue };
+            if ARCH_MUTATORS.contains(&w) && t(i + 1) == Some("(") {
+                let is_call = i > start
+                    && (t(i - 1) == Some(".")
+                        || (i >= 2 && t(i - 1) == Some(":") && t(i - 2) == Some(":")));
+                if is_call {
+                    emit(
+                        lexed,
+                        findings,
+                        ctx,
+                        line,
+                        "robustness",
+                        "swap-purity",
+                        format!(
+                            "architectural-state mutator `{w}` in a reconfiguration \
+                             path; swaps and drains are microarchitectural and must \
+                             leave the committed stream bit-identical"
+                        ),
+                    );
                 }
             }
         }

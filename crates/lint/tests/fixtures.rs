@@ -375,6 +375,63 @@ fn seeded_fabric_violation_is_caught() {
 }
 
 #[test]
+fn swap_purity_flags_mutators_and_wall_clocks_in_reconfig_paths() {
+    let src = include_str!("fixtures/swap_purity_bad.rs");
+    // sim crate: the scheduler/runner side of the rule.
+    let findings = lint_source(src, &sched_ctx());
+    let swap = findings
+        .iter()
+        .filter(|f| f.rule == "swap-purity")
+        .collect::<Vec<_>>();
+    // set_pc, Instant::now, mem_mut, write_u8, SystemTime — and
+    // nothing from `unrelated_helper`, whose name carries no marker.
+    assert_eq!(
+        swap.len(),
+        5,
+        "expected all five hazards flagged, got: {findings:#?}"
+    );
+    assert!(swap.iter().all(|f| f.family == "robustness"));
+
+    // fabric crate: the rule applies there too (alongside
+    // noninterference, which also sees the mutators).
+    let findings = lint_source(src, &agent_ctx());
+    assert_eq!(
+        findings.iter().filter(|f| f.rule == "swap-purity").count(),
+        5
+    );
+}
+
+#[test]
+fn swap_purity_is_crate_scoped_and_allowable() {
+    // Outside fabric/sim the rule does not run at all.
+    let src = include_str!("fixtures/swap_purity_bad.rs");
+    let findings = lint_source(src, &tool_ctx());
+    assert!(findings.iter().all(|f| f.rule != "swap-purity"));
+
+    // A justified allow suppresses it.
+    let allowed = "fn drain_window(&self) -> u64 {\n\
+                   \x20 // pfm-lint: allow(swap-purity)\n\
+                   \x20 let t = Instant::now();\n\
+                   \x20 0\n\
+                   }\n";
+    let findings = lint_source(allowed, &sched_ctx());
+    assert!(
+        findings.iter().all(|f| f.rule != "swap-purity"),
+        "allow annotation must suppress: {findings:#?}"
+    );
+}
+
+/// A source inside the sim crate proper (where the scheduler and the
+/// context-switch runner live; `swap-purity` applies).
+fn sched_ctx() -> FileContext {
+    FileContext {
+        display: "crates/sim/src/fixture.rs".to_string(),
+        crate_name: Some("sim".to_string()),
+        exempt: false,
+    }
+}
+
+#[test]
 fn diagnostic_format_is_stable() {
     let src = include_str!("fixtures/hygiene_bad.rs");
     let findings = lint_source(src, &tool_ctx());

@@ -1,0 +1,30 @@
+//! Known-bad reconfiguration paths: architectural-state mutation and
+//! wall-clock reads inside swap/drain/phase-signature functions.
+
+pub fn begin_swap(core: &mut Core) {
+    // BAD: a swap is microarchitectural; it must not redirect the PC.
+    core.set_pc(0x1000);
+}
+
+pub fn drain_window(&self) -> u64 {
+    // BAD: drain length from host time.
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn reconfigure(machine: &mut Machine) {
+    // BAD: committed-memory store from a reconfiguration path.
+    machine.mem_mut().write_u8(0x2000, 1);
+}
+
+pub fn phase_signature(&mut self) -> u64 {
+    // BAD: wall-clock in the scheduler's signature.
+    let _stamp = SystemTime::now();
+    0
+}
+
+pub fn unrelated_helper(core: &mut Core) {
+    // Not in a marked function name: the *swap-purity* rule does not
+    // fire here (other families may).
+    core.set_pc(0x3000);
+}

@@ -28,8 +28,9 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
-/// Watchdog multiplier for the executor's single bounded retry of a
-/// watchdog-failed run.
+/// Default watchdog multiplier for the executor's single bounded retry
+/// of a watchdog-failed run (overridable per execution via
+/// [`ExecOptions::retry_watchdog_factor`]).
 pub const RETRY_WATCHDOG_FACTOR: u64 = 32;
 
 /// Executor knobs.
@@ -51,6 +52,11 @@ pub struct ExecOptions {
     /// are deterministic, so warm and cold runs assemble bit-identical
     /// statistics.
     pub store: Option<Arc<ResultStore>>,
+    /// Watchdog multiplier for the single bounded retry of a
+    /// watchdog-failed run. Values are clamped to at least 1 (a
+    /// factor of 1 retries at the original cap, i.e. effectively
+    /// disables the raised-cap rescue).
+    pub retry_watchdog_factor: u64,
 }
 
 impl ExecOptions {
@@ -62,6 +68,7 @@ impl ExecOptions {
             progress: false,
             keep_going: false,
             store: None,
+            retry_watchdog_factor: RETRY_WATCHDOG_FACTOR,
         }
     }
 
@@ -80,6 +87,7 @@ impl Default for ExecOptions {
             progress: false,
             keep_going: false,
             store: None,
+            retry_watchdog_factor: RETRY_WATCHDOG_FACTOR,
         }
     }
 }
@@ -176,12 +184,19 @@ impl ExecReport {
                 s.push_str(&format!(", {} append error(s)", self.store_errors));
             }
         }
+        if self.retried > 0 {
+            s.push_str(&format!(
+                "; {} watchdog retr{} across {} run(s)",
+                self.retried,
+                if self.retried == 1 { "y" } else { "ies" },
+                self.unique
+            ));
+        }
         if !self.failures.is_empty() || self.skipped > 0 {
             s.push_str(&format!(
-                "; {} FAILED, {} skipped, {} retried",
+                "; {} FAILED, {} skipped",
                 self.failures.len(),
                 self.skipped,
-                self.retried
             ));
         }
         s
@@ -238,15 +253,21 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// Executes one spec in isolation: panics are caught, and a
-/// watchdog-tripped run gets one retry at a raised cap. Returns the
-/// outcome and the number of retries performed.
+/// Executes one spec in isolation at the default retry factor (the
+/// worker-process entry point, which has no [`ExecOptions`]).
 pub(crate) fn run_isolated(spec: &RunSpec) -> (RunOutcome, u32) {
+    run_isolated_with(spec, RETRY_WATCHDOG_FACTOR)
+}
+
+/// Executes one spec in isolation: panics are caught, and a
+/// watchdog-tripped run gets one retry at a cap raised by `factor`.
+/// Returns the outcome and the number of retries performed.
+pub(crate) fn run_isolated_with(spec: &RunSpec, factor: u64) -> (RunOutcome, u32) {
     match catch_unwind(AssertUnwindSafe(|| spec.execute())) {
         Err(payload) => (RunOutcome::Panicked(panic_message(payload)), 0),
         Ok(Ok(r)) => (RunOutcome::Ok(r), 0),
         Ok(Err(e)) if e.is_watchdog() => {
-            let raised = spec.raised_watchdog(RETRY_WATCHDOG_FACTOR);
+            let raised = spec.raised_watchdog(factor.max(1));
             match catch_unwind(AssertUnwindSafe(|| spec.execute_with_watchdog(raised))) {
                 Err(payload) => (RunOutcome::Panicked(panic_message(payload)), 1),
                 Ok(Ok(r)) => (RunOutcome::Ok(r), 1),
@@ -337,16 +358,20 @@ pub fn execute(specs: &[RunSpec], opts: &ExecOptions) -> (RunSet, ExecReport) {
                 let spec = &unique[idx];
                 // pfm-lint: allow(determinism): feeds the wall-clock report only, never results
                 let t0 = Instant::now();
-                let (outcome, retries) = run_isolated(spec);
+                let (outcome, retries) = run_isolated_with(spec, opts.retry_watchdog_factor);
                 let secs = t0.elapsed().as_secs_f64();
                 if !outcome.is_ok() {
                     abort.store(true, Ordering::Relaxed);
                 }
                 if let Some(store) = opts.store.as_deref() {
-                    // Failures are as deterministic (and as cacheable)
-                    // as successes; a lost append only costs a future
-                    // re-simulation.
-                    if store.put(spec.key(), &outcome).is_err() {
+                    // Deterministic outcomes (success or structured
+                    // failure) are cacheable; a lost append only costs
+                    // a future re-simulation. Environmental outcomes
+                    // (TimedOut, a local panic) are NOT persisted:
+                    // caching a watchdog verdict would make one slow
+                    // machine's budget permanent for every warm run
+                    // after it.
+                    if !outcome.is_environmental() && store.put(spec.key(), &outcome).is_err() {
                         store_errors.fetch_add(1, Ordering::Relaxed);
                     }
                 }

@@ -662,6 +662,172 @@ pub fn plan_chaos_smoke(rc: &RunConfig) -> ExperimentPlan {
     )
 }
 
+/// Verifies the context-switch graceful-degradation invariant for one
+/// arm — every tenant's committed-stream checksum bit-identical to the
+/// no-fabric run's — then renders its aggregate row (plus per-phase
+/// rows when `phases` is set).
+fn ctx_rows(
+    label: &str,
+    scenario: &'static str,
+    r: &RunResult,
+    base: &RunResult,
+    phases: bool,
+) -> Result<Vec<Row>, PlanError> {
+    let missing = |key: &str| PlanError::RunFailed {
+        key: key.to_string(),
+        outcome: "run carries no context-switch statistics".to_string(),
+    };
+    let ctx = r.ctx.as_ref().ok_or_else(|| missing(&r.name))?;
+    let bctx = base.ctx.as_ref().ok_or_else(|| missing(&base.name))?;
+    for (t, bt) in ctx.tenants.iter().zip(&bctx.tenants) {
+        if t.checksum != bt.checksum {
+            return Err(PlanError::ArchMismatch {
+                name: format!("{} under {label}", t.name),
+                scenario,
+                expected: bt.checksum,
+                actual: t.checksum,
+            });
+        }
+    }
+    let f = r.fabric.unwrap_or_default();
+    let per_tenant = ctx
+        .tenants
+        .iter()
+        .enumerate()
+        .map(|(i, t)| format!("{} {:.3}", t.name, ctx.tenant_ipc(i)))
+        .collect::<Vec<_>>()
+        .join("  ");
+    let mut rows = vec![Row {
+        label: label.to_string(),
+        value: r.speedup_over(base),
+        extra: format!(
+            "checksum OK  IPC {:.3}  {per_tenant}  swaps {}  reconfig {} cycles  decisions {} \
+             (aborts {} spike {} stale-leaks {} corrupted {})",
+            r.ipc(),
+            ctx.swaps,
+            ctx.reconfig_cycles,
+            ctx.decisions,
+            f.swap_abort_restarts,
+            f.swap_spike_cycles,
+            f.stale_drain_leaks,
+            ctx.corrupted_decisions,
+        ),
+    }];
+    if phases {
+        for (i, p) in ctx.phases.iter().enumerate() {
+            let ipc = if p.cycles > 0 {
+                p.retired as f64 / p.cycles as f64
+            } else {
+                0.0
+            };
+            rows.push(Row {
+                label: format!("  p{i} {}", p.tenant),
+                value: ipc,
+                extra: format!("phase IPC  retired {}  cycles {}", p.retired, p.cycles),
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Context-switch plan: astar and bfs alternate on one core, sharing a
+/// single fabric slot. Four arms bracket the cost of runtime
+/// reconfiguration — no fabric at all, scheduled swaps at zero cost
+/// (oracle), scheduled swaps at the modeled partial-reconfiguration
+/// cost, and a slot pinned to a dead-wrong component — plus one
+/// mid-swap chaos arm per [`FaultScenario::MID_SWAP`] scenario at the
+/// modeled cost. Assembly enforces per-tenant committed-checksum
+/// bit-identity against the no-fabric arm for every other arm
+/// ([`PlanError::ArchMismatch`] otherwise): scheduling and mid-swap
+/// faults may cost IPC, never correctness.
+pub fn plan_context_switch(rc: &RunConfig) -> ExperimentPlan {
+    let a = usecases::astar_custom_factory();
+    let b = usecases::bfs_roads_factory();
+    let decoy = usecases::libquantum_factory();
+    let params = FabricParams::paper_default();
+    let mut s = SpecSet::default();
+
+    let base = s.context_switch(&a, &b, crate::runner::CtxMode::NoFabric, None, None, rc);
+    // (row label, static arm tag, run handle, render per-phase rows)
+    let mut arms: Vec<(String, &'static str, RunHandle, bool)> = vec![
+        (
+            "sched zero-cost".to_string(),
+            "sched0",
+            s.context_switch(
+                &a,
+                &b,
+                crate::runner::CtxMode::Sched { zero_cost: true },
+                Some(params.clone()),
+                None,
+                rc,
+            ),
+            true,
+        ),
+        (
+            "sched modeled".to_string(),
+            "sched",
+            s.context_switch(
+                &a,
+                &b,
+                crate::runner::CtxMode::Sched { zero_cost: false },
+                Some(params.clone()),
+                None,
+                rc,
+            ),
+            true,
+        ),
+        (
+            "pinned libquantum".to_string(),
+            "pinned",
+            s.context_switch(
+                &a,
+                &b,
+                crate::runner::CtxMode::Pinned {
+                    decoy: decoy.clone(),
+                },
+                Some(params.clone()),
+                None,
+                rc,
+            ),
+            true,
+        ),
+    ];
+    for sc in FaultScenario::MID_SWAP {
+        arms.push((
+            format!("chaos {}", sc.name()),
+            sc.name(),
+            s.context_switch(
+                &a,
+                &b,
+                crate::runner::CtxMode::Sched { zero_cost: false },
+                Some(params.clone()),
+                // Only ~8 swaps happen per run, so the default rate
+                // would often draw zero injections; 600‰ makes every
+                // mid-swap scenario actually fire while staying
+                // seed-deterministic.
+                Some(FaultPlan::new(sc, CHAOS_SEED).with_rate(600)),
+                rc,
+            ),
+            false,
+        ));
+    }
+
+    ExperimentPlan::new(
+        "context-switch",
+        "astar+bfs time-sharing the fabric slot (value = % IPC vs no-fabric)",
+        "(not in the paper: runtime reconfiguration under a phase-detection scheduler)",
+        s,
+        move |runs| {
+            let base_run = base.of(runs)?;
+            let mut rows = ctx_rows("no-fabric", "nofabric", base_run, base_run, true)?;
+            for (label, tag, h, phases) in &arms {
+                rows.extend(ctx_rows(label, tag, h.of(runs)?, base_run, *phases)?);
+            }
+            Ok(rows)
+        },
+    )
+}
+
 /// Every experiment id `plan_for` knows, in paper order (`ablations`
 /// last; it is extra material, not part of [`plans_all`]).
 pub const ALL_IDS: [&str; 13] = [
@@ -681,10 +847,11 @@ pub const ALL_IDS: [&str; 13] = [
 ];
 
 /// Extra (non-paper) experiment ids `plan_for` also knows: the chaos
-/// fault-injection family. Not part of [`ALL_IDS`] so `repro --all`
-/// keeps its paper scale; requested explicitly via `repro chaos` /
-/// `repro --chaos` / `repro --chaos-smoke`.
-pub const EXTRA_IDS: [&str; 2] = ["chaos", "chaos-smoke"];
+/// fault-injection family and the multi-tenant context-switch family.
+/// Not part of [`ALL_IDS`] so `repro --all` keeps its paper scale;
+/// requested explicitly via `repro chaos` / `repro --chaos` /
+/// `repro --chaos-smoke` / `repro --context-switch`.
+pub const EXTRA_IDS: [&str; 3] = ["chaos", "chaos-smoke", "context-switch"];
 
 /// The plan for one experiment id.
 ///
@@ -708,6 +875,7 @@ pub fn plan_for(id: &str, rc: &RunConfig) -> Result<ExperimentPlan, PlanError> {
         "ablations" => Ok(plan_ablations(rc)),
         "chaos" => Ok(plan_chaos(rc)),
         "chaos-smoke" => Ok(plan_chaos_smoke(rc)),
+        "context-switch" => Ok(plan_context_switch(rc)),
         _ => Err(PlanError::UnknownExperiment { id: id.to_string() }),
     }
 }
@@ -924,6 +1092,32 @@ mod tests {
             Err(PlanError::UnknownExperiment { id }) => assert_eq!(id, "fig99"),
             other => panic!("expected UnknownExperiment, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn context_switch_plan_has_four_arms_plus_midswap_chaos() {
+        // Pure planning assertion — nothing is simulated here.
+        let rc = RunConfig::test_scale();
+        let plan = plan_context_switch(&rc);
+        assert_eq!(plan.id, "context-switch");
+        assert_eq!(
+            plan.specs().len(),
+            4 + pfm_fabric::FaultScenario::MID_SWAP.len(),
+            "no-fabric, sched0, sched, pinned, plus one chaos arm per mid-swap scenario"
+        );
+        let mut keys: Vec<_> = plan.specs().iter().map(|s| s.key().to_string()).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), plan.specs().len(), "ctx arms must never dedup");
+        assert!(keys.iter().any(|k| k.contains("|nofabric|")));
+        assert!(keys.iter().any(|k| k.contains("|sched0|")));
+        assert!(keys.iter().any(|k| k.contains("|pin(")));
+        assert!(
+            keys.iter()
+                .filter(|k| k.contains("chaos("))
+                .all(|k| k.contains("|sched|")),
+            "chaos arms run at the modeled swap cost"
+        );
     }
 
     #[test]

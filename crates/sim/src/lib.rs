@@ -30,6 +30,7 @@ pub mod experiments;
 pub mod plan;
 pub mod runner;
 pub mod sampled;
+pub mod schedule;
 pub mod service;
 pub mod store;
 pub mod usecases;
@@ -39,8 +40,9 @@ pub use exec::{run_plans, ExecOptions, ExecReport, FailureReport};
 pub use experiments::{Experiment, Row};
 pub use plan::{ExperimentPlan, PlanError, RunOutcome, RunSet, RunSpec};
 pub use runner::{
-    run_baseline, run_chaos, run_functional, run_pfm, RunConfig, RunError, RunResult,
-    DEFAULT_COMMIT_WATCHDOG,
+    run_baseline, run_chaos, run_context_switch, run_functional, run_pfm, CtxMode, CtxStats,
+    RunConfig, RunError, RunResult, DEFAULT_COMMIT_WATCHDOG,
 };
 pub use sampled::{run_sampled, IntervalRow, SampledConfig, SampledError, SampledReport};
+pub use schedule::{ScheduledFabric, Tenant};
 pub use store::{CodeFingerprint, ResultStore, STATS_SCHEMA_VERSION};

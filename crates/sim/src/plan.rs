@@ -30,7 +30,8 @@
 
 use crate::experiments::{Experiment, Row};
 use crate::runner::{
-    run_baseline, run_chaos, run_functional, run_interval, run_pfm, RunConfig, RunError, RunResult,
+    run_baseline, run_chaos, run_context_switch, run_functional, run_interval, run_pfm, CtxMode,
+    RunConfig, RunError, RunResult,
 };
 use pfm_fabric::{FabricParams, FaultPlan};
 use pfm_isa::snap::{content_key, Dec, Enc};
@@ -125,6 +126,16 @@ enum Flavor {
         /// Detailed warm-up instructions retired (and diffed out)
         /// before measurement starts.
         warmup: u64,
+    },
+    /// Two tenants time-sharing one fabric slot: the spec's use-case
+    /// and `second` alternate on the core while the slot is managed
+    /// per `mode` (the spec's fabric params configure the shared slot,
+    /// its fault plan arms a mid-swap scenario).
+    ContextSwitch {
+        /// The second tenant.
+        second: UseCaseFactory,
+        /// How the shared slot is managed.
+        mode: CtxMode,
     },
 }
 
@@ -239,6 +250,40 @@ impl RunSpec {
         }
     }
 
+    /// A context-switch run: this use-case and `second` alternate on
+    /// one core, sharing a single fabric slot managed per `mode`.
+    /// `params` configures the shared slot (`None` only for
+    /// [`CtxMode::NoFabric`]); `fault` arms a seed-keyed mid-swap
+    /// scenario. Mode, params and fault plan are all part of the key,
+    /// so arms of the experiment never dedup against each other.
+    pub fn context_switch(
+        usecase: UseCaseFactory,
+        second: UseCaseFactory,
+        mode: CtxMode,
+        params: Option<FabricParams>,
+        fault: Option<FaultPlan>,
+        rc: &RunConfig,
+    ) -> RunSpec {
+        let mut key = format!(
+            "ctx({}+{})|{}|{}",
+            usecase.key(),
+            second.key(),
+            mode.key(params.as_ref()),
+            rc.key()
+        );
+        if let Some(plan) = fault {
+            key.push_str(&format!("|{}", plan.key()));
+        }
+        RunSpec {
+            usecase,
+            rc: rc.clone(),
+            fabric: params,
+            fault,
+            flavor: Flavor::ContextSwitch { second, mode },
+            key,
+        }
+    }
+
     /// Stable content key: two specs with equal keys simulate the
     /// exact same thing (and are executed once).
     pub fn key(&self) -> &str {
@@ -281,6 +326,10 @@ impl RunSpec {
             Flavor::Interval { snapshot, warmup } => {
                 return run_interval(&uc, snapshot, *warmup, &rc)
             }
+            Flavor::ContextSwitch { second, mode } => {
+                let b = second.build();
+                return run_context_switch(&uc, &b, mode, self.fabric.clone(), self.fault, &rc);
+            }
             Flavor::Detailed => {}
         }
         match (&self.fabric, self.fault) {
@@ -318,11 +367,22 @@ pub enum RunOutcome {
 }
 
 impl RunOutcome {
+    /// Whether the outcome reflects the *environment* rather than the
+    /// spec: a hang verdict depends on the watchdog budget and retry
+    /// factor in effect (a slower machine or tighter cap trips where
+    /// another would finish), and a panic payload can describe a local
+    /// condition of the host process. Environmental outcomes must
+    /// never be persisted to the result store — a warm re-run has to
+    /// re-simulate and reach its own verdict. `Ok` and structured
+    /// `Failed` are deterministic facts about the spec and cache fine.
+    pub fn is_environmental(&self) -> bool {
+        matches!(self, RunOutcome::Panicked(_) | RunOutcome::TimedOut { .. })
+    }
+
     /// Serializes the outcome (tag byte + payload) for the result
-    /// store and the worker-process protocol. Failures serialize too:
-    /// every run in this workspace is deterministic, so a watchdog
-    /// trip or panic replays identically and is as cacheable as a
-    /// success.
+    /// store and the worker-process protocol. Deterministic failures
+    /// serialize too: a structured simulator error replays identically
+    /// and is as cacheable as a success.
     pub fn snapshot_encode(&self, e: &mut Enc) {
         match self {
             RunOutcome::Ok(r) => {
@@ -483,6 +543,27 @@ impl SpecSet {
         rc: &RunConfig,
     ) -> RunHandle {
         self.push(RunSpec::chaos(uc.clone(), params, plan, rc))
+    }
+
+    /// Requests a context-switch run (two tenants sharing a fabric
+    /// slot).
+    pub fn context_switch(
+        &mut self,
+        a: &UseCaseFactory,
+        b: &UseCaseFactory,
+        mode: CtxMode,
+        params: Option<FabricParams>,
+        fault: Option<FaultPlan>,
+        rc: &RunConfig,
+    ) -> RunHandle {
+        self.push(RunSpec::context_switch(
+            a.clone(),
+            b.clone(),
+            mode,
+            params,
+            fault,
+            rc,
+        ))
     }
 
     fn push(&mut self, spec: RunSpec) -> RunHandle {

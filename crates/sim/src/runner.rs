@@ -4,13 +4,14 @@
 //! experiments need — including the committed architectural checksum
 //! the chaos family compares against fault-free runs.
 
+use crate::schedule::{load_cycles_for, ScheduledFabric, Tenant};
 use pfm_bpred::PredictorKind;
 use pfm_core::{Core, CoreConfig, NoPfm, SimError, SimStats};
 use pfm_fabric::{Fabric, FabricParams, FabricStats, FaultPlan, FaultStats};
-use pfm_isa::snap::{Dec, Enc, SnapError};
+use pfm_isa::snap::{Dec, Enc, SnapError, FNV_OFFSET, FNV_PRIME};
 use pfm_isa::{FastExec, Machine};
 use pfm_mem::{Hierarchy, HierarchyConfig, HierarchyStats};
-use pfm_workloads::UseCase;
+use pfm_workloads::{UseCase, UseCaseFactory};
 
 /// Default forward-progress watchdog: abort a run if no instruction
 /// commits for this many cycles. Far above any legitimate stall (the
@@ -239,6 +240,153 @@ impl std::fmt::Display for RunError {
 
 impl std::error::Error for RunError {}
 
+/// How the fabric slot is managed in a context-switch run.
+#[derive(Clone, Debug)]
+pub enum CtxMode {
+    /// No fabric at all: the pure-core lower bound.
+    NoFabric,
+    /// Phase-detection scheduler drives the swap protocol.
+    Sched {
+        /// Oracle arm: swaps skip the drain window and load in one
+        /// cycle, isolating the *scheduling-quality* ceiling from the
+        /// reconfiguration cost.
+        zero_cost: bool,
+    },
+    /// The slot is pinned to `decoy`'s configuration for the whole run
+    /// — the dead-wrong-component arm (no swaps ever happen).
+    Pinned {
+        /// The pinned (wrong) configuration.
+        decoy: UseCaseFactory,
+    },
+}
+
+impl CtxMode {
+    /// Canonical key fragment (spec dedup; `params` is the fabric
+    /// configuration, absent for [`CtxMode::NoFabric`]).
+    pub(crate) fn key(&self, params: Option<&FabricParams>) -> String {
+        let p = params.map(|p| p.key()).unwrap_or_default();
+        match self {
+            CtxMode::NoFabric => "nofabric".to_string(),
+            CtxMode::Sched { zero_cost: true } => format!("sched0|{p}"),
+            CtxMode::Sched { zero_cost: false } => format!("sched|{p}"),
+            CtxMode::Pinned { decoy } => format!("pin({})|{p}", decoy.key()),
+        }
+    }
+}
+
+/// One tenant's share of a context-switch run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Tenant (use-case) name.
+    pub name: String,
+    /// Instructions the tenant retired across all its slices.
+    pub retired: u64,
+    /// Core cycles the tenant consumed across all its slices.
+    pub cycles: u64,
+    /// Committed-stream checksum over the tenant's instruction budget.
+    /// The graceful-degradation invariant: bit-identical across every
+    /// scheduling mode and mid-swap fault of the same workload pair.
+    pub checksum: u64,
+    /// Whether the tenant's program ran to completion.
+    pub completed: bool,
+}
+
+/// One scheduling slice (phase) of a context-switch run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Tenant that ran the slice.
+    pub tenant: String,
+    /// Instructions retired in the slice.
+    pub retired: u64,
+    /// Cycles the slice took.
+    pub cycles: u64,
+}
+
+/// Everything a context-switch run measures beyond the aggregate
+/// [`SimStats`]: per-tenant and per-phase breakdowns plus the
+/// scheduler's swap accounting.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CtxStats {
+    /// Per-tenant totals, in tenant order.
+    pub tenants: Vec<TenantStats>,
+    /// Per-slice breakdown, in execution order.
+    pub phases: Vec<PhaseStats>,
+    /// Component swaps the scheduler performed.
+    pub swaps: u64,
+    /// Core cycles the fabric spent mid-swap (draining + loading).
+    pub reconfig_cycles: u64,
+    /// Scheduling decisions taken.
+    pub decisions: u64,
+    /// Decisions perturbed by an armed `corrupt-signature` fault.
+    pub corrupted_decisions: u64,
+}
+
+impl CtxStats {
+    /// Serializes the stats (covered by
+    /// [`crate::store::STATS_SCHEMA_VERSION`]).
+    pub fn snapshot_encode(&self, e: &mut Enc) {
+        e.usize(self.tenants.len());
+        for t in &self.tenants {
+            e.str(&t.name);
+            e.u64(t.retired);
+            e.u64(t.cycles);
+            e.u64(t.checksum);
+            e.bool(t.completed);
+        }
+        e.usize(self.phases.len());
+        for p in &self.phases {
+            e.str(&p.tenant);
+            e.u64(p.retired);
+            e.u64(p.cycles);
+        }
+        e.u64(self.swaps);
+        e.u64(self.reconfig_cycles);
+        e.u64(self.decisions);
+        e.u64(self.corrupted_decisions);
+    }
+
+    /// Decodes stats serialized by [`CtxStats::snapshot_encode`].
+    ///
+    /// # Errors
+    /// [`SnapError`] on a truncated or corrupt stream.
+    pub fn snapshot_decode(d: &mut Dec<'_>) -> Result<CtxStats, SnapError> {
+        let mut tenants = Vec::new();
+        for _ in 0..d.seq_len()? {
+            tenants.push(TenantStats {
+                name: d.str()?.to_string(),
+                retired: d.u64()?,
+                cycles: d.u64()?,
+                checksum: d.u64()?,
+                completed: d.bool()?,
+            });
+        }
+        let mut phases = Vec::new();
+        for _ in 0..d.seq_len()? {
+            phases.push(PhaseStats {
+                tenant: d.str()?.to_string(),
+                retired: d.u64()?,
+                cycles: d.u64()?,
+            });
+        }
+        Ok(CtxStats {
+            tenants,
+            phases,
+            swaps: d.u64()?,
+            reconfig_cycles: d.u64()?,
+            decisions: d.u64()?,
+            corrupted_decisions: d.u64()?,
+        })
+    }
+
+    /// IPC of one tenant (0.0 if it never ran).
+    pub fn tenant_ipc(&self, i: usize) -> f64 {
+        match self.tenants.get(i) {
+            Some(t) if t.cycles > 0 => t.retired as f64 / t.cycles as f64,
+            _ => 0.0,
+        }
+    }
+}
+
 /// Everything measured by one simulation run.
 #[derive(Clone, Debug)]
 pub struct RunResult {
@@ -264,6 +412,9 @@ pub struct RunResult {
     /// surfaces this so an early-exiting run is never mistaken for a
     /// budget-limited one.
     pub completed: bool,
+    /// Context-switch breakdown (multi-tenant runs only): per-tenant
+    /// and per-phase statistics plus the scheduler's swap accounting.
+    pub ctx: Option<CtxStats>,
 }
 
 impl RunResult {
@@ -292,6 +443,13 @@ impl RunResult {
         }
         e.u64(self.arch_checksum);
         e.bool(self.completed);
+        match &self.ctx {
+            Some(c) => {
+                e.u8(1);
+                c.snapshot_encode(e);
+            }
+            None => e.u8(0),
+        }
     }
 
     /// Decodes a result serialized by [`RunResult::snapshot_encode`].
@@ -312,14 +470,22 @@ impl RunResult {
             1 => Some(FaultStats::snapshot_decode(d)?),
             _ => return Err(SnapError::Corrupt("fault stats tag")),
         };
+        let arch_checksum = d.u64()?;
+        let completed = d.bool()?;
+        let ctx = match d.u8()? {
+            0 => None,
+            1 => Some(CtxStats::snapshot_decode(d)?),
+            _ => return Err(SnapError::Corrupt("ctx stats tag")),
+        };
         Ok(RunResult {
             name,
             stats,
             hier,
             fabric,
             faults,
-            arch_checksum: d.u64()?,
-            completed: d.bool()?,
+            arch_checksum,
+            completed,
+            ctx,
         })
     }
 
@@ -356,6 +522,7 @@ fn drive(uc: &UseCase, mut fabric: Option<Fabric>, rc: &RunConfig) -> Result<Run
         fabric: fabric.map(|f| *f.stats()),
         arch_checksum: core.commit_checksum(),
         completed: core.finished(),
+        ctx: None,
     })
 }
 
@@ -407,6 +574,7 @@ pub fn run_functional(uc: &UseCase, rc: &RunConfig) -> Result<RunResult, RunErro
         faults: None,
         arch_checksum: fx.commit_checksum(),
         completed: fx.halted(),
+        ctx: None,
     })
 }
 
@@ -452,6 +620,7 @@ pub fn run_interval(
         faults: None,
         arch_checksum: core.commit_checksum(),
         completed: core.finished(),
+        ctx: None,
     })
 }
 
@@ -468,6 +637,157 @@ pub fn run_chaos(
     rc: &RunConfig,
 ) -> Result<RunResult, RunError> {
     drive(uc, Some(uc.fabric_faulty(params, plan)), rc)
+}
+
+/// Slices each tenant's instruction budget into this many alternating
+/// scheduling quanta (a A/B/A/B/… round-robin of 2×`CTX_SLICES`
+/// slices).
+pub const CTX_SLICES: u64 = 4;
+
+/// Runs two tenants time-sharing one fabric slot: `a` and `b` each get
+/// half of `rc.max_instrs`, consumed in [`CTX_SLICES`] alternating
+/// slices per tenant. The fabric (absent, scheduled, or pinned — see
+/// [`CtxMode`]) is shared across the switches; each tenant's program
+/// runs on its own core/hierarchy pair, so the *only* coupling between
+/// them is the fabric slot — exactly the resource under study.
+///
+/// `fault` arms a [`FaultScenario::MID_SWAP`](pfm_fabric::FaultScenario)
+/// scenario (meaningful for [`CtxMode::Sched`]); whatever it does to
+/// the swap timeline, every tenant's committed-stream checksum must be
+/// bit-identical to the [`CtxMode::NoFabric`] run of the same pair.
+///
+/// # Errors
+/// Returns a structured [`RunError`]: functional fault, cycle cap, or
+/// forward-progress watchdog from either tenant's core.
+pub fn run_context_switch(
+    a: &UseCase,
+    b: &UseCase,
+    mode: &CtxMode,
+    params: Option<FabricParams>,
+    fault: Option<FaultPlan>,
+    rc: &RunConfig,
+) -> Result<RunResult, RunError> {
+    let budget = (rc.max_instrs / 2).max(1);
+    let slice = (budget / CTX_SLICES).max(1);
+
+    let mut core_a = Core::new(
+        rc.core.clone(),
+        a.machine(),
+        Hierarchy::new(rc.hier.clone()),
+    );
+    let mut core_b = Core::new(
+        rc.core.clone(),
+        b.machine(),
+        Hierarchy::new(rc.hier.clone()),
+    );
+    // Sliced runs advance the budget in steps; the checksum must cover
+    // the full per-tenant budget regardless of slicing, so every mode
+    // folds the exact same committed window.
+    core_a.set_checksum_cap(budget);
+    core_b.set_checksum_cap(budget);
+
+    let mut sched = match mode {
+        CtxMode::NoFabric => None,
+        CtxMode::Sched { zero_cost } => {
+            let fabric_params = params.unwrap_or_else(FabricParams::paper_default);
+            let tenants = vec![
+                Tenant::new(a.clone(), load_cycles_for(&a.name)),
+                Tenant::new(b.clone(), load_cycles_for(&b.name)),
+            ];
+            let mut sf = ScheduledFabric::new(tenants, fabric_params, *zero_cost);
+            if let Some(plan) = fault {
+                sf.arm_faults(plan);
+            }
+            Some(sf)
+        }
+        CtxMode::Pinned { decoy } => {
+            let fabric_params = params.unwrap_or_else(FabricParams::paper_default);
+            let tenants = vec![
+                Tenant::new(a.clone(), load_cycles_for(&a.name)),
+                Tenant::new(b.clone(), load_cycles_for(&b.name)),
+            ];
+            let decoy_uc = decoy.build();
+            Some(ScheduledFabric::pinned(tenants, &decoy_uc, fabric_params))
+        }
+    };
+
+    let mut phases = Vec::with_capacity(2 * CTX_SLICES as usize);
+    for s in 0..CTX_SLICES {
+        let target = if s == CTX_SLICES - 1 {
+            budget
+        } else {
+            slice * (s + 1)
+        };
+        for t in 0..2usize {
+            let (core, uc) = if t == 0 {
+                (&mut core_a, a)
+            } else {
+                (&mut core_b, b)
+            };
+            let before = core.stats().clone();
+            let outcome = match sched.as_mut() {
+                Some(sf) => {
+                    sf.switch_to(t);
+                    core.run_watched_until(sf, target, rc.max_cycles, rc.commit_watchdog)
+                }
+                None => {
+                    core.run_watched_until(&mut NoPfm, target, rc.max_cycles, rc.commit_watchdog)
+                }
+            };
+            outcome.map_err(|e| RunError::from_sim(e, core.stats().retired))?;
+            let d = core.stats().delta_since(&before);
+            phases.push(PhaseStats {
+                tenant: uc.name.clone(),
+                retired: d.retired,
+                cycles: d.cycles,
+            });
+        }
+    }
+
+    let tenant_stats = |core: &Core, uc: &UseCase| TenantStats {
+        name: uc.name.clone(),
+        retired: core.stats().retired,
+        cycles: core.stats().cycles,
+        checksum: core.commit_checksum(),
+        completed: core.finished(),
+    };
+    let tenants = vec![tenant_stats(&core_a, a), tenant_stats(&core_b, b)];
+    // The run-level checksum is an order-sensitive fold of the
+    // per-tenant commit-stream checksums, so a single u64 still gates
+    // the whole pair.
+    let mut checksum = FNV_OFFSET;
+    for t in &tenants {
+        checksum = (checksum ^ t.checksum).wrapping_mul(FNV_PRIME);
+    }
+    let completed = tenants.iter().all(|t| t.completed);
+    let stats = SimStats {
+        retired: tenants.iter().map(|t| t.retired).sum(),
+        cycles: tenants.iter().map(|t| t.cycles).sum(),
+        ..SimStats::default()
+    };
+    let fabric_stats = sched.as_ref().map(|sf| *sf.stats());
+    let ctx = CtxStats {
+        tenants,
+        phases,
+        swaps: fabric_stats.map_or(0, |f| f.swaps),
+        reconfig_cycles: fabric_stats.map_or(0, |f| f.reconfig_cycles),
+        decisions: sched.as_ref().map_or(0, ScheduledFabric::decisions),
+        corrupted_decisions: sched
+            .as_ref()
+            .map_or(0, ScheduledFabric::corrupted_decisions),
+    };
+    Ok(RunResult {
+        name: format!("ctx({}+{})", a.name, b.name),
+        stats,
+        // Each tenant runs on its own hierarchy; there is no meaningful
+        // single-hierarchy aggregate, so this layer stays zero.
+        hier: HierarchyStats::default(),
+        fabric: fabric_stats,
+        faults: None,
+        arch_checksum: checksum,
+        completed,
+        ctx: Some(ctx),
+    })
 }
 
 #[cfg(test)]

@@ -61,7 +61,7 @@ use std::sync::Mutex;
 /// [`RunOutcome`] layout. Part of every [`CodeFingerprint`]; bump on
 /// any change to the stats codecs so old records stop matching instead
 /// of decoding wrongly.
-pub const STATS_SCHEMA_VERSION: u32 = 1;
+pub const STATS_SCHEMA_VERSION: u32 = 2;
 
 /// Version of the store's on-disk container format (log header,
 /// frame layout, index layout). Records from other container versions
@@ -829,6 +829,7 @@ mod tests {
             faults: None,
             arch_checksum: 0xdead_beef_cafe_f00d ^ retired,
             completed: retired.is_multiple_of(2),
+            ctx: None,
         }
     }
 

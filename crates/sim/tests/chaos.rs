@@ -199,6 +199,7 @@ fn executor_isolates_a_panicking_run_and_keeps_going() {
         progress: false,
         keep_going: true,
         store: None,
+        ..ExecOptions::default()
     };
     let (runs, report) = execute(&[boom.clone(), good.clone()], &opts);
     match runs.outcome(&boom_key) {
@@ -220,6 +221,106 @@ fn executor_isolates_a_panicking_run_and_keeps_going() {
         report.summary().contains("1 skipped"),
         "{}",
         report.summary()
+    );
+}
+
+#[test]
+fn environmental_outcomes_are_never_persisted_to_the_store() {
+    use pfm_sim::store::{CodeFingerprint, ResultStore};
+
+    let rc = RunConfig {
+        commit_watchdog: Some(2_000),
+        ..tiny_rc()
+    };
+    let hang = RunSpec::pfm(
+        UseCaseFactory::new("wedge", "wedge-hang-fixture", wedged_usecase),
+        wedge_params(),
+        &rc,
+    );
+    let boom = RunSpec::baseline(
+        UseCaseFactory::new("boom", "boom-fixture", || {
+            panic!("component exploded in build()")
+        }),
+        &rc,
+    );
+    let dir = std::env::temp_dir().join(format!("pfm-chaos-env-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Arc::new(ResultStore::open(&dir, CodeFingerprint::fixed(3)).unwrap());
+    let opts = ExecOptions {
+        keep_going: true,
+        ..ExecOptions::serial()
+    }
+    .with_store(Arc::clone(&store));
+
+    let (runs, report) = execute(&[hang.clone(), boom.clone()], &opts);
+    assert!(matches!(
+        runs.outcome(hang.key()),
+        Some(RunOutcome::TimedOut { .. })
+    ));
+    assert!(matches!(
+        runs.outcome(boom.key()),
+        Some(RunOutcome::Panicked(_))
+    ));
+    assert_eq!(report.store_misses, 2);
+    assert_eq!(
+        store.len(),
+        0,
+        "TimedOut/Panicked are environmental verdicts and must not be cached"
+    );
+
+    // A warm re-run through a fresh handle re-simulates instead of
+    // replaying a stale environmental verdict.
+    let store2 = Arc::new(ResultStore::open(&dir, CodeFingerprint::fixed(3)).unwrap());
+    let opts2 = ExecOptions {
+        keep_going: true,
+        ..ExecOptions::serial()
+    }
+    .with_store(store2);
+    let (_, warm) = execute(&[hang, boom], &opts2);
+    assert_eq!(warm.store_hits, 0, "nothing to hit: nothing was stored");
+    assert_eq!(warm.store_misses, 2, "the warm run simulates again");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn retry_watchdog_factor_is_honored_and_surfaced() {
+    let rc = RunConfig {
+        commit_watchdog: Some(2_000),
+        ..tiny_rc()
+    };
+    let spec = RunSpec::pfm(
+        UseCaseFactory::new("wedge", "wedge-hang-fixture", wedged_usecase),
+        wedge_params(),
+        &rc,
+    );
+    // Factor 2: the single bounded retry runs at a 4 000-cycle cap,
+    // nowhere near the default 32x (64 000). The final hang verdict
+    // carries the stall length, which pins the factor actually used.
+    let opts = ExecOptions {
+        keep_going: true,
+        retry_watchdog_factor: 2,
+        ..ExecOptions::serial()
+    };
+    let (runs, report) = execute(std::slice::from_ref(&spec), &opts);
+    match runs.outcome(spec.key()) {
+        Some(RunOutcome::TimedOut { error, retries }) => {
+            assert_eq!(*retries, 1);
+            match error {
+                RunError::Watchdog { stalled_cycles, .. } => {
+                    assert!(
+                        (4_000..32_000).contains(stalled_cycles),
+                        "retry must use the configured 2x cap, stalled {stalled_cycles}"
+                    );
+                }
+                other => panic!("expected Watchdog, got {other:?}"),
+            }
+        }
+        other => panic!("expected TimedOut, got {other:?}"),
+    }
+    let summary = report.summary();
+    assert!(
+        summary.contains("1 watchdog retry across 1 run(s)"),
+        "retries must be surfaced in the summary: {summary}"
     );
 }
 

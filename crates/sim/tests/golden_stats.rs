@@ -146,6 +146,7 @@ fn golden_stats_are_bit_identical() {
             progress: false,
             keep_going: false,
             store: None,
+            ..ExecOptions::default()
         },
     );
 

@@ -233,7 +233,13 @@ pub fn bfs(graph: &Csr, input: &str, params: &BfsParams) -> UseCase {
 
     let mut rst = BTreeMap::new();
     rst.insert(roi_pc, RstEntry::dest().begin());
-    rst.insert(frontier_base_pc, RstEntry::dest());
+    // The per-level frontier-base snoop doubles as an ROI re-arm
+    // point: a no-op while the Agents are already armed (`begin_roi`
+    // only acts when the ROI is closed), but it lets a component that
+    // was swapped in mid-search re-arm at the next level boundary —
+    // exactly where `reset_level` makes a cold component's state
+    // meaningful again.
+    rst.insert(frontier_base_pc, RstEntry::dest().begin());
     rst.insert(frontier_len_pc, RstEntry::dest());
     rst.insert(induction_pc, RstEntry::dest());
     // Branch outcomes of both hard branches: observed for fine-grained

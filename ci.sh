@@ -15,6 +15,52 @@ echo "== pfm-lint (workspace invariants) =="
 cargo run -q --release -p pfm-lint -- --workspace
 cargo test -q --release -p pfm-lint
 
+echo "== pfm-lint evasion gate (interprocedural teeth) =="
+# The seeded evasion corpus, staged as a crate-shaped tree, must fail
+# with transitive findings that print their call paths; the clean
+# workspace above already proved the zero-noise side.
+lint_bin="$PWD/target/release/pfm-lint"
+lint_dir="$(mktemp -d)"
+mkdir -p "$lint_dir/crates/core/src" "$lint_dir/crates/fabric/src"
+cp crates/lint/tests/fixtures/evasion_snapshot_clock.rs \
+   crates/lint/tests/fixtures/evasion_store_key_env.rs \
+   crates/lint/tests/fixtures/evasion_agent_taint.rs \
+   crates/lint/tests/fixtures/evasion_scc_cycle.rs \
+   "$lint_dir/crates/core/src/"
+cp crates/lint/tests/fixtures/evasion_swap_mutator.rs \
+   "$lint_dir/crates/fabric/src/"
+evasion_out="$(cd "$lint_dir" && "$lint_bin" crates 2>&1)" && {
+    echo "pfm-lint passed the seeded evasion corpus" >&2
+    exit 1
+}
+for want in snapshot-wall-clock store-key-purity agent-taint swap-purity "(path: "; do
+    echo "$evasion_out" | grep -qF "$want" || {
+        echo "evasion gate missing expected marker: $want" >&2
+        echo "$evasion_out" >&2
+        exit 1
+    }
+done
+# --json -o writes an atomic, parseable pfm-lint/1 report with paths.
+(cd "$lint_dir" && "$lint_bin" --json -o findings.json crates 2>/dev/null) || true
+grep -q '"schema":"pfm-lint/1"' "$lint_dir/findings.json" || {
+    echo "pfm-lint --json -o did not write a pfm-lint/1 report" >&2
+    exit 1
+}
+python3 -m json.tool "$lint_dir/findings.json" > /dev/null || {
+    echo "pfm-lint --json output is not valid JSON" >&2
+    exit 1
+}
+# --graph dumps the call graph in both forms.
+"$lint_bin" --graph crates/lint/src/graph.rs | grep -q "fn extract_fns" || {
+    echo "pfm-lint --graph text dump missing functions" >&2
+    exit 1
+}
+"$lint_bin" --graph=dot crates/lint/src/graph.rs | grep -q "^digraph" || {
+    echo "pfm-lint --graph=dot did not emit a digraph" >&2
+    exit 1
+}
+rm -rf "$lint_dir"
+
 echo "== repro --analyze (static analysis of registered use cases) =="
 cargo build -q --release -p pfm-bench
 "$PWD/target/release/repro" --analyze > /dev/null

@@ -116,8 +116,9 @@ impl SparseMem {
     /// overlap. Off the hot path (one call per analysis, not per
     /// access).
     pub fn resident_page_addrs(&self) -> Vec<u64> {
-        // pfm-lint: allow(hash-iter): sorted before return, so the
-        // result is independent of hash-iteration order.
+        // Sorted before return, so the result is independent of
+        // hash-iteration order.
+        // pfm-lint: allow(hash-iter)
         let mut pages: Vec<u64> = self.index.keys().map(|p| p << PAGE_SHIFT).collect();
         pages.sort_unstable();
         pages

@@ -1,0 +1,631 @@
+//! Per-function effect summaries over the workspace call graph.
+//!
+//! Each function gets a *base* effect set from token patterns in its
+//! own body (wall-clock reads, environment reads, entropy RNG,
+//! hash-ordered iteration, architectural-state mutation, panics), and
+//! a *summary* set that closes the base sets over the call graph: a
+//! monotone union fixpoint, computed in one pass over the SCC
+//! condensation (callee components first). The summary is what the
+//! transitive rules in [`crate::rules`] consult — a wall-clock read
+//! two helpers deep below a `snapshot` function shows up in the
+//! snapshot function's callee summaries.
+//!
+//! Allow semantics: a `// pfm-lint: allow(...)` annotation adjacent to
+//! a base-effect site is an *audited assertion* that the site is
+//! harmless in context (e.g. "sorted before return"). Such sites
+//! contribute no base effect — otherwise every caller of the audited
+//! function would need its own escape — and the annotation is recorded
+//! as *used*, which feeds the `hygiene/unused-allow` audit.
+//!
+//! Witnesses: for every (function, effect) pair the analysis keeps one
+//! shortest call chain to a concrete source token, reconstructed for
+//! diagnostics as `` `helper` (file:line) -> `SystemTime` (file:line) ``.
+//! Witness chains are assigned by BFS from the direct sites over
+//! reverse call edges, so they are acyclic even inside recursion
+//! cycles.
+
+use crate::graph::{CallGraph, FnRef};
+use crate::lexer::Lexed;
+use crate::rules::{
+    ARCH_MUTATORS, HASH_ITER_METHODS, HASH_TYPES, PANIC_MACROS, RNG_IDENTS, SNAPSHOT_HASH_TYPES,
+};
+use std::collections::BTreeSet;
+
+/// Number of effect kinds (bit width of [`EffectSet`]).
+pub const N_EFFECTS: usize = 7;
+
+/// One effect kind tracked by the summaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Effect {
+    /// Reads host time (`Instant::now`, `SystemTime`).
+    WallClock = 0,
+    /// Reads the process environment (`env::var`, `env!`).
+    EnvRead = 1,
+    /// Entropy-seeded randomness (`thread_rng`, `from_entropy`, ...).
+    Rng = 2,
+    /// Iterates a `std` hash container in bucket order.
+    HashIter = 3,
+    /// Iterates an `Fx` hash container in bucket order (deterministic
+    /// per process, still not canonical across encodings).
+    FxHashIter = 4,
+    /// Calls an architectural-state mutator (`set_reg`, `set_pc`, ...).
+    ArchMutation = 5,
+    /// May panic (`panic!`-family macros, `.unwrap()`, `.expect()`).
+    Panics = 6,
+}
+
+impl Effect {
+    /// Every effect kind, in bit order.
+    pub const ALL: [Effect; N_EFFECTS] = [
+        Effect::WallClock,
+        Effect::EnvRead,
+        Effect::Rng,
+        Effect::HashIter,
+        Effect::FxHashIter,
+        Effect::ArchMutation,
+        Effect::Panics,
+    ];
+
+    /// Stable display name (used in `--graph` dumps and JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            Effect::WallClock => "wall-clock",
+            Effect::EnvRead => "env-read",
+            Effect::Rng => "rng",
+            Effect::HashIter => "hash-iter",
+            Effect::FxHashIter => "fx-hash-iter",
+            Effect::ArchMutation => "arch-mutation",
+            Effect::Panics => "panics",
+        }
+    }
+
+    fn idx(self) -> usize {
+        self as usize
+    }
+
+    /// The (family, rule) pairs whose allow annotations scrub a base
+    /// site of this effect. An allow written for any rule that would
+    /// flag the site locally also asserts the site is safe for the
+    /// transitive analysis.
+    fn scrub_rules(self) -> &'static [(&'static str, &'static str)] {
+        match self {
+            Effect::WallClock => &[
+                ("determinism", "wall-clock"),
+                ("determinism", "snapshot-wall-clock"),
+                ("determinism", "store-key-purity"),
+                ("robustness", "swap-purity"),
+            ],
+            Effect::EnvRead => &[("determinism", "store-key-purity")],
+            Effect::Rng => &[("determinism", "rng")],
+            Effect::HashIter | Effect::FxHashIter => &[
+                ("determinism", "hash-iter"),
+                ("determinism", "snapshot-hash-iter"),
+                ("determinism", "store-key-purity"),
+            ],
+            Effect::ArchMutation => &[
+                ("noninterference", "arch-mutation"),
+                ("robustness", "swap-purity"),
+            ],
+            Effect::Panics => &[
+                ("robustness", "panic"),
+                ("hygiene", "unwrap"),
+                ("hygiene", "expect"),
+            ],
+        }
+    }
+}
+
+/// A small bitset of [`Effect`]s.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EffectSet(u16);
+
+impl EffectSet {
+    /// The empty set.
+    pub fn empty() -> EffectSet {
+        EffectSet(0)
+    }
+
+    /// True when `e` is in the set.
+    pub fn has(self, e: Effect) -> bool {
+        self.0 & (1 << e.idx()) != 0
+    }
+
+    /// Inserts `e`.
+    pub fn insert(&mut self, e: Effect) {
+        self.0 |= 1 << e.idx();
+    }
+
+    /// Set union.
+    pub fn union(self, other: EffectSet) -> EffectSet {
+        EffectSet(self.0 | other.0)
+    }
+
+    /// True when no effect is present.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True when every effect in `self` is also in `other`.
+    pub fn subset_of(self, other: EffectSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Display names of the member effects, in bit order.
+    pub fn names(self) -> Vec<&'static str> {
+        Effect::ALL
+            .iter()
+            .filter(|e| self.has(**e))
+            .map(|e| e.name())
+            .collect()
+    }
+}
+
+/// A concrete source token that grounds an effect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaseSite {
+    /// The effect the token produces.
+    pub effect: Effect,
+    /// 1-based source line.
+    pub line: u32,
+    /// Short description of the token (`SystemTime`, `m.iter()`, ...).
+    pub what: String,
+}
+
+/// One hop of a witness chain for (function, effect).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Witness {
+    /// The function's own body contains the source token.
+    Direct {
+        /// Line of the source token.
+        line: u32,
+        /// Short description of the token.
+        what: String,
+    },
+    /// The effect arrives through a call to `callee`.
+    Call {
+        /// Line of the call site.
+        line: u32,
+        /// Index of the callee in the function table.
+        callee: usize,
+    },
+}
+
+/// The computed effect summaries for one analysis.
+#[derive(Debug, Default)]
+pub struct Effects {
+    /// Per-function base effects (own body only).
+    pub base: Vec<EffectSet>,
+    /// Per-function base sites (diagnostic grounding).
+    pub base_sites: Vec<Vec<BaseSite>>,
+    /// Per-function transitive summaries (base closed over calls).
+    pub summary: Vec<EffectSet>,
+    /// Per-function, per-effect witness hop (None when absent).
+    pub witness: Vec<[Option<Witness>; N_EFFECTS]>,
+    /// Per-file indices into `Lexed::allows` that scrubbed a base
+    /// site; feeds the unused-allow audit.
+    pub used_allows: Vec<BTreeSet<usize>>,
+}
+
+/// Indices of allow annotations that cover a finding of
+/// (`family`, `rule`) on `line` (same line or the line above).
+pub fn matching_allows(lexed: &Lexed, family: &str, rule: &str, line: u32) -> Vec<usize> {
+    let qualified = format!("{family}/{rule}");
+    lexed
+        .allows
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| {
+            (a.line == line || a.line + 1 == line)
+                && a.rules
+                    .iter()
+                    .any(|r| r == family || r == rule || *r == qualified)
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Computes base effects, transitive summaries and witnesses for the
+/// function table `fns` over `graph`. `lexeds[i]` is the lexed source
+/// of file `i` (the index space of `FnRef::file`).
+pub fn compute(lexeds: &[&Lexed], fns: &[FnRef], graph: &CallGraph) -> Effects {
+    let n = fns.len();
+    let mut out = Effects {
+        base: vec![EffectSet::empty(); n],
+        base_sites: vec![Vec::new(); n],
+        summary: vec![EffectSet::empty(); n],
+        witness: vec![std::array::from_fn(|_| None); n],
+        used_allows: vec![BTreeSet::new(); lexeds.len()],
+    };
+
+    // Per-file hash-container binding names: `std` containers carry
+    // HashIter, `Fx`-only names carry FxHashIter.
+    let per_file_names: Vec<(Vec<String>, Vec<String>)> = lexeds
+        .iter()
+        .map(|l| {
+            let std_names = crate::rules::hash_names_of(l, HASH_TYPES);
+            let all_names = crate::rules::hash_names_of(l, SNAPSHOT_HASH_TYPES);
+            let fx_names = all_names
+                .into_iter()
+                .filter(|n| !std_names.contains(n))
+                .collect();
+            (std_names, fx_names)
+        })
+        .collect();
+
+    for (fi, f) in fns.iter().enumerate() {
+        let lexed = lexeds[f.file];
+        let (std_names, fx_names) = &per_file_names[f.file];
+        let sites = base_sites_of(lexed, &f.item, std_names, fx_names);
+        for site in sites {
+            let mut scrubbed = false;
+            for (family, rule) in site.effect.scrub_rules() {
+                let hits = matching_allows(lexed, family, rule, site.line);
+                if !hits.is_empty() {
+                    out.used_allows[f.file].extend(hits);
+                    scrubbed = true;
+                }
+            }
+            if scrubbed {
+                continue;
+            }
+            out.base[fi].insert(site.effect);
+            out.base_sites[fi].push(site);
+        }
+    }
+
+    // Monotone fixpoint in one pass: SCCs arrive callee-first, so
+    // every external callee summary is final when its callers fold it.
+    for scc in &graph.sccs {
+        let this = graph.scc_of[scc[0]];
+        let mut s = EffectSet::empty();
+        for &f in scc {
+            s = s.union(out.base[f]);
+            for &(c, _) in &graph.callees[f] {
+                if graph.scc_of[c] != this {
+                    s = s.union(out.summary[c]);
+                }
+            }
+        }
+        for &f in scc {
+            out.summary[f] = s;
+        }
+    }
+
+    // Witnesses: per effect, BFS from the direct sites over reverse
+    // edges. Each hop points at an already-witnessed callee, so chains
+    // terminate even through recursion cycles.
+    for e in Effect::ALL {
+        let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        for fi in 0..n {
+            if out.base[fi].has(e) {
+                if let Some(site) = out.base_sites[fi].iter().find(|s| s.effect == e) {
+                    out.witness[fi][e.idx()] = Some(Witness::Direct {
+                        line: site.line,
+                        what: site.what.clone(),
+                    });
+                    queue.push_back(fi);
+                }
+            }
+        }
+        while let Some(f) = queue.pop_front() {
+            for &caller in &graph.callers[f] {
+                if out.witness[caller][e.idx()].is_some() {
+                    continue;
+                }
+                let line = graph.callees[caller]
+                    .iter()
+                    .find(|&&(c, _)| c == f)
+                    .map_or(fns[caller].item.line, |&(_, l)| l);
+                out.witness[caller][e.idx()] = Some(Witness::Call { line, callee: f });
+                queue.push_back(caller);
+            }
+        }
+    }
+    out
+}
+
+/// Scans one function's own region for base-effect source tokens.
+fn base_sites_of(
+    lexed: &Lexed,
+    item: &crate::graph::FnItem,
+    std_names: &[String],
+    fx_names: &[String],
+) -> Vec<BaseSite> {
+    let mut sites = Vec::new();
+    let Some((start, end)) = item.body else {
+        return sites;
+    };
+    let toks = &lexed.tokens;
+    let t = |i: usize| toks.get(i).map(|t| t.text.as_str());
+    let mut push = |effect: Effect, line: u32, what: String| {
+        sites.push(BaseSite { effect, line, what });
+    };
+    for i in start..end.min(toks.len()) {
+        if !item.owns(i) || lexed.in_test_region(i) {
+            continue;
+        }
+        let Some(w) = t(i) else { continue };
+        let line = toks[i].line;
+
+        // Wall clock.
+        if w == "Instant"
+            && t(i + 1) == Some(":")
+            && t(i + 2) == Some(":")
+            && t(i + 3) == Some("now")
+        {
+            push(Effect::WallClock, line, "Instant::now".into());
+        }
+        if w == "SystemTime" {
+            push(Effect::WallClock, line, "SystemTime".into());
+        }
+
+        // Environment.
+        if w == "env"
+            && t(i + 1) == Some(":")
+            && t(i + 2) == Some(":")
+            && matches!(t(i + 3), Some("var") | Some("var_os") | Some("vars"))
+        {
+            push(
+                Effect::EnvRead,
+                line,
+                format!("env::{}", t(i + 3).unwrap_or("var")),
+            );
+        }
+        if matches!(w, "env" | "option_env") && t(i + 1) == Some("!") {
+            push(Effect::EnvRead, line, format!("{w}!"));
+        }
+
+        // Entropy RNG.
+        if RNG_IDENTS.contains(&w) {
+            push(Effect::Rng, line, w.to_string());
+        }
+
+        // Hash-ordered iteration: `name.iter()` and friends.
+        let grade = if std_names.iter().any(|n| n == w) {
+            Some(Effect::HashIter)
+        } else if fx_names.iter().any(|n| n == w) {
+            Some(Effect::FxHashIter)
+        } else {
+            None
+        };
+        if let Some(e) = grade {
+            if t(i + 1) == Some(".") && t(i + 3) == Some("(") {
+                if let Some(m) = t(i + 2) {
+                    if HASH_ITER_METHODS.contains(&m) {
+                        push(e, line, format!("{w}.{m}()"));
+                    }
+                }
+            }
+        }
+
+        // `for k in &map {`.
+        if w == "in" {
+            let mut j = i + 1;
+            while matches!(t(j), Some("&") | Some("mut") | Some("self") | Some(".")) {
+                j += 1;
+            }
+            if let Some(name) = t(j) {
+                let grade = if std_names.iter().any(|n| n == name) {
+                    Some(Effect::HashIter)
+                } else if fx_names.iter().any(|n| n == name) {
+                    Some(Effect::FxHashIter)
+                } else {
+                    None
+                };
+                if let (Some(e), Some("{")) = (grade, t(j + 1)) {
+                    push(e, toks[j].line, format!("for over {name}"));
+                }
+            }
+        }
+
+        // Architectural-state mutator calls (method or path form).
+        if ARCH_MUTATORS.contains(&w)
+            && t(i + 1) == Some("(")
+            && i > start
+            && (t(i - 1) == Some(".") || (i >= 2 && t(i - 1) == Some(":") && t(i - 2) == Some(":")))
+        {
+            push(Effect::ArchMutation, line, w.to_string());
+        }
+
+        // Panic paths.
+        if PANIC_MACROS.contains(&w) && t(i + 1) == Some("!") {
+            push(Effect::Panics, line, format!("{w}!"));
+        }
+        if matches!(w, "unwrap" | "expect")
+            && i > start
+            && t(i - 1) == Some(".")
+            && t(i + 1) == Some("(")
+        {
+            push(Effect::Panics, line, format!(".{w}()"));
+        }
+    }
+    sites
+}
+
+impl Effects {
+    /// Renders the witness chain for (`start`, `e`) as diagnostic
+    /// hops: intermediate hops are `` `fn` (file:line-of-call) ``, the
+    /// final hop is `` `token` in `fn` (file:line) ``.
+    pub fn witness_path(
+        &self,
+        fns: &[FnRef],
+        displays: &[String],
+        start: usize,
+        e: Effect,
+    ) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut cur = start;
+        // The chain is acyclic by construction; the bound is a guard
+        // against internal inconsistency, not an expected exit.
+        for _ in 0..=fns.len() {
+            let file = &displays[fns[cur].file];
+            match &self.witness[cur][e.idx()] {
+                Some(Witness::Direct { line, what }) => {
+                    out.push(format!(
+                        "`{}` in `{}` ({file}:{line})",
+                        what, fns[cur].item.name
+                    ));
+                    return out;
+                }
+                Some(Witness::Call { line, callee }) => {
+                    out.push(format!("`{}` ({file}:{line})", fns[cur].item.name));
+                    cur = *callee;
+                }
+                None => {
+                    out.push(format!(
+                        "`{}` ({file}:{})",
+                        fns[cur].item.name, fns[cur].item.line
+                    ));
+                    return out;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{extract_fns, CallGraph};
+    use crate::lexer::lex;
+
+    fn analyze(src: &str) -> (Vec<FnRef>, CallGraph, Effects, Lexed) {
+        let lexed = lex(src);
+        let fns: Vec<FnRef> = extract_fns(&lexed)
+            .into_iter()
+            .map(|item| FnRef { file: 0, item })
+            .collect();
+        let graph = CallGraph::build(&fns, &crate::graph::LinkPolicy::allow_all());
+        let effects = compute(&[&lexed], &fns, &graph);
+        (fns, graph, effects, lexed)
+    }
+
+    fn idx(fns: &[FnRef], name: &str) -> usize {
+        fns.iter()
+            .position(|f| f.item.name == name)
+            .unwrap_or_else(|| panic!("no fn {name}"))
+    }
+
+    #[test]
+    fn base_effects_are_detected() {
+        let src = "fn clocky() { let t = SystemTime::now(); }\n\
+                   fn envy() { let v = std::env::var(\"X\"); }\n\
+                   fn rngy() { let r = thread_rng(); }\n\
+                   fn mutey(m: &mut M) { m.set_reg(1, 2); }\n\
+                   fn panicky(x: u64) { if x == 0 { panic!(\"b\") } }\n";
+        let (fns, _, eff, _) = analyze(src);
+        assert!(eff.base[idx(&fns, "clocky")].has(Effect::WallClock));
+        assert!(eff.base[idx(&fns, "envy")].has(Effect::EnvRead));
+        assert!(eff.base[idx(&fns, "rngy")].has(Effect::Rng));
+        assert!(eff.base[idx(&fns, "mutey")].has(Effect::ArchMutation));
+        assert!(eff.base[idx(&fns, "panicky")].has(Effect::Panics));
+    }
+
+    #[test]
+    fn hash_iteration_grades_std_vs_fx() {
+        let src = "fn f(m: &HashMap<u32, u32>, g: &FxHashMap<u32, u32>) {\n\
+                     for k in m { let _ = k; }\n\
+                     for k in g { let _ = k; }\n\
+                   }";
+        let (fns, _, eff, _) = analyze(src);
+        let s = eff.base[idx(&fns, "f")];
+        assert!(s.has(Effect::HashIter));
+        assert!(s.has(Effect::FxHashIter));
+    }
+
+    #[test]
+    fn summaries_propagate_transitively() {
+        let src =
+            "fn top() { mid(); }\nfn mid() { leaf(); }\nfn leaf() { let t = SystemTime::now(); }";
+        let (fns, _, eff, _) = analyze(src);
+        assert!(eff.summary[idx(&fns, "top")].has(Effect::WallClock));
+        assert!(eff.summary[idx(&fns, "mid")].has(Effect::WallClock));
+        assert!(eff.base[idx(&fns, "top")].is_empty());
+    }
+
+    #[test]
+    fn summaries_are_monotone_and_converged() {
+        // A diamond plus a recursion cycle; the fixpoint must satisfy
+        // summary(f) ⊇ base(f) ∪ ⋃ summary(callee) — i.e. re-applying
+        // the transfer function changes nothing (convergence), and
+        // every summary contains its base (monotonicity).
+        let src = "fn a() { b(); c(); }\nfn b() { d(); }\nfn c() { d(); let r = thread_rng(); }\n\
+                   fn d() { a_cycle(); }\nfn a_cycle() { d(); let t = SystemTime::now(); }";
+        let (fns, graph, eff, _) = analyze(src);
+        for fi in 0..fns.len() {
+            assert!(
+                eff.base[fi].subset_of(eff.summary[fi]),
+                "base ⊄ summary for {}",
+                fns[fi].item.name
+            );
+            let mut re = eff.base[fi];
+            for &(c, _) in &graph.callees[fi] {
+                re = re.union(eff.summary[c]);
+            }
+            assert_eq!(
+                re, eff.summary[fi],
+                "transfer function not at fixpoint for {}",
+                fns[fi].item.name
+            );
+        }
+        // And the witness table agrees exactly with the summaries.
+        for fi in 0..fns.len() {
+            for e in Effect::ALL {
+                assert_eq!(
+                    eff.summary[fi].has(e),
+                    eff.witness[fi][e as usize].is_some(),
+                    "witness/summary mismatch for {} / {}",
+                    fns[fi].item.name,
+                    e.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scc_cycles_converge_with_witnesses() {
+        let src = "fn ping() { pong(); }\nfn pong() { ping(); tick(); }\nfn tick() { let t = SystemTime::now(); }";
+        let (fns, _, eff, _) = analyze(src);
+        let ping = idx(&fns, "ping");
+        assert!(eff.summary[ping].has(Effect::WallClock));
+        let path = eff.witness_path(&fns, &["a.rs".to_string()], ping, Effect::WallClock);
+        let joined = path.join(" -> ");
+        assert!(joined.contains("`SystemTime`"), "{joined}");
+        assert!(
+            path.len() <= fns.len() + 1,
+            "witness chain cycled: {joined}"
+        );
+    }
+
+    #[test]
+    fn allow_scrubs_base_effect_and_is_recorded_used() {
+        let src = "fn audited(m: &HashMap<u32, u32>) -> Vec<u32> {\n\
+                     // pfm-lint: allow(hash-iter)\n\
+                     let mut v: Vec<u32> = m.keys().copied().collect();\n\
+                     v.sort_unstable(); v\n\
+                   }";
+        let (fns, _, eff, _) = analyze(src);
+        assert!(eff.base[idx(&fns, "audited")].is_empty());
+        assert_eq!(
+            eff.used_allows[0].iter().copied().collect::<Vec<_>>(),
+            vec![0]
+        );
+    }
+
+    #[test]
+    fn witness_path_names_each_hop() {
+        let src = "fn snap_outer() { helper_one(); }\nfn helper_one() { helper_two(); }\n\
+                   fn helper_two() { let t = SystemTime::now(); }";
+        let (fns, _, eff, _) = analyze(src);
+        let path = eff.witness_path(
+            &fns,
+            &["crates/x/src/y.rs".to_string()],
+            idx(&fns, "helper_one"),
+            Effect::WallClock,
+        );
+        assert_eq!(path.len(), 2, "{path:?}");
+        assert!(path[0].starts_with("`helper_one`"), "{path:?}");
+        assert!(path[1].contains("`SystemTime` in `helper_two`"), "{path:?}");
+    }
+}

@@ -1,0 +1,132 @@
+//! JSON rendering for `pfm-lint --json`, schema `pfm-lint/1`.
+//!
+//! The schema is stable and versioned so CI and downstream tooling can
+//! parse findings without scraping the human diagnostics:
+//!
+//! ```json
+//! {"schema":"pfm-lint/1","count":1,"findings":[
+//!   {"file":"crates/x/src/y.rs","line":12,"family":"determinism",
+//!    "rule":"snapshot-wall-clock","message":"...","path":["`a` (f:1)"]}]}
+//! ```
+//!
+//! Output files are written with the same temp+rename discipline as
+//! `pfm-analyze`: a concurrent reader sees either the old file or the
+//! new one, never a torn write.
+
+use crate::rules::Finding;
+use std::path::Path;
+
+/// Escapes a string for a JSON literal (same table as `pfm-analyze`).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders one finding as a JSON object.
+fn finding_to_json(f: &Finding) -> String {
+    let path: Vec<String> = f
+        .path
+        .iter()
+        .map(|p| format!("\"{}\"", json_escape(p)))
+        .collect();
+    format!(
+        "{{\"file\":\"{}\",\"line\":{},\"family\":\"{}\",\"rule\":\"{}\",\"message\":\"{}\",\"path\":[{}]}}",
+        json_escape(&f.file),
+        f.line,
+        f.family,
+        f.rule,
+        json_escape(&f.message),
+        path.join(",")
+    )
+}
+
+/// Renders a findings list as a `pfm-lint/1` document.
+pub fn render(findings: &[Finding]) -> String {
+    let mut out = String::from("{\"schema\":\"pfm-lint/1\",\"count\":");
+    out.push_str(&findings.len().to_string());
+    out.push_str(",\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&finding_to_json(f));
+    }
+    out.push_str("]}");
+    out.push('\n');
+    out
+}
+
+/// Writes `data` to `path` via a same-directory temp file and an
+/// atomic rename (mirrors `pfm-analyze`). On failure the temp file is
+/// removed and an error string returned.
+pub fn write_atomic(path: &Path, data: &str) -> Result<(), String> {
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d,
+        _ => Path::new("."),
+    };
+    let stem = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("pfm-lint.json");
+    let tmp = dir.join(format!(".{stem}.{}.tmp", std::process::id()));
+    std::fs::write(&tmp, data).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        format!("cannot rename {} to {}: {e}", tmp.display(), path.display())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_is_stable() {
+        assert_eq!(
+            render(&[]),
+            "{\"schema\":\"pfm-lint/1\",\"count\":0,\"findings\":[]}\n"
+        );
+    }
+
+    #[test]
+    fn escaping_is_safe() {
+        let f = Finding {
+            file: "a\"b.rs".into(),
+            line: 3,
+            family: "determinism",
+            rule: "wall-clock",
+            message: "line\nbreak\tand \\slash".into(),
+            path: vec!["`f` (a.rs:1)".into()],
+        };
+        let j = render(&[f]);
+        assert!(j.contains("a\\\"b.rs"), "{j}");
+        assert!(j.contains("\\n"), "{j}");
+        assert!(j.contains("\\t"), "{j}");
+        assert!(j.contains("\\\\slash"), "{j}");
+        assert!(j.contains("\"path\":[\"`f` (a.rs:1)\"]"), "{j}");
+    }
+
+    #[test]
+    fn atomic_write_round_trips() {
+        let dir = std::env::temp_dir().join(format!("pfm-lint-json-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("out.json");
+        let doc = render(&[]);
+        write_atomic(&path, &doc).map_err(|e| panic!("{e}")).ok();
+        assert_eq!(
+            std::fs::read_to_string(&path).ok().as_deref(),
+            Some(doc.as_str())
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

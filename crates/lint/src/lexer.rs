@@ -117,15 +117,21 @@ pub fn lex(source: &str) -> Lexed {
     while i < n {
         let c = chars[i];
 
-        // Line comment (including doc comments). Capture allow markers.
+        // Line comment (including doc comments). Capture allow markers
+        // — but not from doc comments (`///`, `//!`), where `pfm-lint:
+        // allow(...)` text is documentation quoting the syntax, not an
+        // annotation.
         if c == '/' && i + 1 < n && chars[i + 1] == '/' {
             let start = i;
             while i < n && chars[i] != '\n' {
                 i += 1;
             }
             let text: String = chars[start..i].iter().collect();
-            if let Some(rules) = parse_allow(&text) {
-                out.allows.push(Allow { line, rules });
+            let doc = text.starts_with("///") || text.starts_with("//!");
+            if !doc {
+                if let Some(rules) = parse_allow(&text) {
+                    out.allows.push(Allow { line, rules });
+                }
             }
             continue;
         }

@@ -1,26 +1,101 @@
 //! CLI entry point for `pfm-lint`.
 //!
 //! ```text
-//! pfm-lint --workspace        # lint every .rs file in the workspace
-//! pfm-lint PATH [PATH ...]    # lint specific files or directories
+//! pfm-lint --workspace              # lint every .rs file in the workspace
+//! pfm-lint PATH [PATH ...]          # lint specific files or directories
+//!
+//! flags (compose with either mode):
+//!   --json                          # machine-readable pfm-lint/1 report
+//!   -o FILE, --output FILE          # write the JSON report atomically
+//!                                   # (implies --json)
+//!   --graph[=dot]                   # dump the call graph instead of
+//!                                   # linting (text, or Graphviz dot)
 //! ```
 //!
 //! Exit status: 0 when clean, 1 when findings were reported, 2 on
-//! usage or IO errors.
+//! usage or IO errors. `--graph` exits 0 unless the analysis itself
+//! fails.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use pfm_lint::{collect_rs_files, find_workspace_root, lint_file, lint_workspace, Finding};
+use pfm_lint::{
+    analyze_files, analyze_workspace, collect_rs_files, find_workspace_root, json, lint_analysis,
+    render_graph, Analysis, Finding,
+};
 
-fn usage() -> ExitCode {
-    eprintln!("usage: pfm-lint --workspace | PATH [PATH ...]");
-    ExitCode::from(2)
+const USAGE: &str =
+    "usage: pfm-lint [--json] [-o FILE] [--graph[=dot]] (--workspace | PATH [PATH ...])";
+
+/// Parsed command line; every flag composes with both `--workspace`
+/// and explicit path arguments.
+struct Options {
+    workspace: bool,
+    json: bool,
+    output: Option<PathBuf>,
+    graph: bool,
+    graph_dot: bool,
+    paths: Vec<PathBuf>,
 }
 
-fn report(findings: &[Finding]) -> ExitCode {
-    for f in findings {
-        println!("{f}");
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        workspace: false,
+        json: false,
+        output: None,
+        graph: false,
+        graph_dot: false,
+        paths: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => opts.workspace = true,
+            "--json" => opts.json = true,
+            "-o" | "--output" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| format!("{a} requires a file argument"))?;
+                opts.output = Some(PathBuf::from(v));
+                opts.json = true;
+            }
+            "--graph" => opts.graph = true,
+            "--graph=dot" => {
+                opts.graph = true;
+                opts.graph_dot = true;
+            }
+            "--graph=text" => opts.graph = true,
+            _ if a.starts_with('-') && a.len() > 1 => {
+                return Err(format!("unknown flag `{a}`"));
+            }
+            _ => opts.paths.push(PathBuf::from(a)),
+        }
+    }
+    if opts.workspace && !opts.paths.is_empty() {
+        return Err("--workspace does not take path arguments".to_string());
+    }
+    if !opts.workspace && opts.paths.is_empty() {
+        return Err("no input: pass --workspace or at least one PATH".to_string());
+    }
+    Ok(opts)
+}
+
+fn report(findings: &[Finding], opts: &Options) -> ExitCode {
+    if opts.json {
+        let doc = json::render(findings);
+        if let Some(out) = &opts.output {
+            if let Err(e) = json::write_atomic(out, &doc) {
+                eprintln!("pfm-lint: {e}");
+                return ExitCode::from(2);
+            }
+            eprintln!("pfm-lint: wrote {}", out.display());
+        } else {
+            print!("{doc}");
+        }
+    } else {
+        for f in findings {
+            println!("{f}");
+        }
     }
     if findings.is_empty() {
         eprintln!("pfm-lint: clean");
@@ -31,11 +106,35 @@ fn report(findings: &[Finding]) -> ExitCode {
     }
 }
 
+fn build_analysis(root: &std::path::Path, opts: &Options) -> Result<Analysis, String> {
+    if opts.workspace {
+        return analyze_workspace(root);
+    }
+    let mut files: Vec<PathBuf> = Vec::new();
+    for p in &opts.paths {
+        if p.is_dir() {
+            collect_rs_files(p, &mut files)?;
+        } else {
+            files.push(p.clone());
+        }
+    }
+    files.sort();
+    files.dedup();
+    // Explicit paths are analyzed jointly, so helper chains that span
+    // the listed files resolve the same way `--workspace` resolves them.
+    analyze_files(root, &files)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() {
-        return usage();
-    }
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("pfm-lint: {e}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
 
     let cwd = match std::env::current_dir() {
         Ok(d) => d,
@@ -44,54 +143,30 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let root = match find_workspace_root(&cwd) {
-        Some(r) => r,
-        None => cwd.clone(),
+    let root = find_workspace_root(&cwd).unwrap_or_else(|| cwd.clone());
+
+    let analysis = match build_analysis(&root, &opts) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("pfm-lint: {e}");
+            return ExitCode::from(2);
+        }
     };
 
-    if args.iter().any(|a| a == "--workspace") {
-        if args.len() != 1 {
-            return usage();
-        }
-        return match lint_workspace(&root) {
-            Ok(findings) => report(&findings),
-            Err(e) => {
-                eprintln!("pfm-lint: {e}");
-                ExitCode::from(2)
-            }
-        };
-    }
-
-    if args.iter().any(|a| a.starts_with("--")) {
-        return usage();
-    }
-
-    let mut files: Vec<PathBuf> = Vec::new();
-    for a in &args {
-        let p = PathBuf::from(a);
-        if p.is_dir() {
-            if let Err(e) = collect_rs_files(&p, &mut files) {
+    if opts.graph {
+        let rendered = render_graph(&analysis, opts.graph_dot);
+        if let Some(out) = &opts.output {
+            if let Err(e) = json::write_atomic(out, &rendered) {
                 eprintln!("pfm-lint: {e}");
                 return ExitCode::from(2);
             }
+            eprintln!("pfm-lint: wrote {}", out.display());
         } else {
-            files.push(p);
+            print!("{rendered}");
         }
+        return ExitCode::SUCCESS;
     }
-    files.sort();
 
-    let mut findings = Vec::new();
-    for f in &files {
-        // Classify relative to the enclosing workspace so rule scoping
-        // (sim crates, agent crates) matches `--workspace` runs.
-        match lint_file(&root, f) {
-            Ok(fs) => findings.extend(fs),
-            Err(e) => {
-                eprintln!("pfm-lint: {e}");
-                return ExitCode::from(2);
-            }
-        }
-    }
-    findings.sort();
-    report(&findings)
+    let findings = lint_analysis(&analysis);
+    report(&findings, &opts)
 }

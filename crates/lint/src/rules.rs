@@ -62,7 +62,7 @@ pub const ARCH_MUTATORS: &[&str] = &[
 pub const PC_CONFIG_CRATES: &[&str] = &["components", "workloads", "sim"];
 
 /// Unordered-iteration methods on hash collections.
-const HASH_ITER_METHODS: &[&str] = &[
+pub(crate) const HASH_ITER_METHODS: &[&str] = &[
     "iter",
     "iter_mut",
     "keys",
@@ -75,17 +75,18 @@ const HASH_ITER_METHODS: &[&str] = &[
 /// Hash-container type names the determinism rule matches (`std` only:
 /// a seeded `FxHashMap` iterates reproducibly within one process, which
 /// is all run-level determinism needs).
-const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+pub(crate) const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
 
 /// Hash-container type names the *snapshot* rules match. Snapshot
 /// bytes must be canonical across processes and machine restarts, so
 /// even a deterministic-per-process hasher's bucket order (the Fx
 /// variants) is forbidden in serialization paths.
-const SNAPSHOT_HASH_TYPES: &[&str] = &["HashMap", "HashSet", "FxHashMap", "FxHashSet"];
+pub(crate) const SNAPSHOT_HASH_TYPES: &[&str] = &["HashMap", "HashSet", "FxHashMap", "FxHashSet"];
 
 /// Function-name substrings marking a snapshot/serialization code path
 /// (the region the snapshot rules confine themselves to).
-const SNAPSHOT_FN_MARKERS: &[&str] = &["snapshot", "encode", "decode", "restore", "serialize"];
+pub(crate) const SNAPSHOT_FN_MARKERS: &[&str] =
+    &["snapshot", "encode", "decode", "restore", "serialize"];
 
 /// Function-name substrings marking store-key / code-fingerprint
 /// construction (the region the `store-key-purity` rule confines
@@ -93,7 +94,7 @@ const SNAPSHOT_FN_MARKERS: &[&str] = &["snapshot", "encode", "decode", "restore"
 /// content and source bytes — anything environmental in the key makes
 /// cached results unreachable (or worse, wrongly reachable) on another
 /// machine or another day.
-const STORE_KEY_FN_MARKERS: &[&str] = &[
+pub(crate) const STORE_KEY_FN_MARKERS: &[&str] = &[
     "fingerprint",
     "store_key",
     "cache_key",
@@ -116,7 +117,7 @@ pub const SWAP_FN_MARKERS: &[&str] = &["swap", "drain", "reconfigure", "phase_si
 pub const SWAP_PURITY_CRATES: &[&str] = &["fabric", "sim"];
 
 /// Entropy-seeded RNG constructors/handles.
-const RNG_IDENTS: &[&str] = &["thread_rng", "ThreadRng", "from_entropy", "OsRng"];
+pub(crate) const RNG_IDENTS: &[&str] = &["thread_rng", "ThreadRng", "from_entropy", "OsRng"];
 
 /// The one file allowed to call `catch_unwind`: the parallel executor,
 /// where panic isolation turns a dying run into a typed
@@ -124,7 +125,7 @@ const RNG_IDENTS: &[&str] = &["thread_rng", "ThreadRng", "from_entropy", "OsRng"
 pub const UNWIND_BOUNDARY: &str = "crates/sim/src/exec.rs";
 
 /// Panic-family macros barred from Agent-crate library code.
-const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+pub(crate) const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 
 /// Where a source file sits in the workspace; decides which rule
 /// families run.
@@ -153,6 +154,10 @@ pub struct Finding {
     pub rule: &'static str,
     /// Human-readable explanation.
     pub message: String,
+    /// For interprocedural findings: the offending call chain, one
+    /// `` `fn` (file:line) `` hop per element. Empty for local
+    /// (single-body) findings.
+    pub path: Vec<String>,
 }
 
 impl std::fmt::Display for Finding {
@@ -161,12 +166,27 @@ impl std::fmt::Display for Finding {
             f,
             "{}:{}: {}/{}: {}",
             self.file, self.line, self.family, self.rule, self.message
-        )
+        )?;
+        if !self.path.is_empty() {
+            write!(f, " (path: {})", self.path.join(" -> "))?;
+        }
+        Ok(())
     }
 }
 
-/// Runs every applicable rule family over one lexed file.
+/// Runs every applicable rule family over one lexed file, honoring
+/// `// pfm-lint: allow(...)` annotations.
 pub fn check(lexed: &Lexed, ctx: &FileContext) -> Vec<Finding> {
+    let mut findings = check_raw(lexed, ctx);
+    findings.retain(|f| !lexed.allowed(f.family, f.rule, f.line));
+    findings
+}
+
+/// Runs every applicable rule family over one lexed file WITHOUT
+/// filtering allow-suppressed findings. The raw set is what the
+/// `hygiene/unused-allow` audit matches annotations against: an allow
+/// that suppresses no raw finding (and scrubs no effect) is dead.
+pub fn check_raw(lexed: &Lexed, ctx: &FileContext) -> Vec<Finding> {
     let mut findings = Vec::new();
     if ctx.exempt {
         return findings;
@@ -215,7 +235,9 @@ pub fn check(lexed: &Lexed, ctx: &FileContext) -> Vec<Finding> {
     findings
 }
 
-/// Pushes `finding` unless an allow annotation suppresses it.
+/// Records a raw finding. Allow-annotation filtering happens in
+/// [`check`] (and the unused-allow audit in `lib.rs` needs the
+/// unfiltered set), so nothing is suppressed here.
 fn emit(
     lexed: &Lexed,
     findings: &mut Vec<Finding>,
@@ -225,15 +247,14 @@ fn emit(
     rule: &'static str,
     message: String,
 ) {
-    if lexed.allowed(family, rule, line) {
-        return;
-    }
+    let _ = lexed;
     findings.push(Finding {
         file: ctx.display.clone(),
         line,
         family,
         rule,
         message,
+        path: Vec::new(),
     });
 }
 
@@ -241,7 +262,7 @@ fn emit(
 /// file: struct fields and typed bindings (`name: HashMap<..>`,
 /// possibly behind `&`/`&mut`/a `std::collections::` path) and
 /// inferred bindings (`let name = HashMap::new()`).
-fn hash_names_of(lexed: &Lexed, types: &[&str]) -> Vec<String> {
+pub(crate) fn hash_names_of(lexed: &Lexed, types: &[&str]) -> Vec<String> {
     let toks = &lexed.tokens;
     let t = |i: usize| toks.get(i).map(|t| t.text.as_str());
     let mut names = Vec::new();
@@ -418,7 +439,7 @@ fn snapshot_fn_ranges(lexed: &Lexed) -> Vec<(usize, usize)> {
 /// Finds half-open token ranges covering the bodies of functions whose
 /// name contains one of `markers` (case-insensitive), by brace
 /// matching over the token stream.
-fn marked_fn_ranges(lexed: &Lexed, markers: &[&str]) -> Vec<(usize, usize)> {
+pub(crate) fn marked_fn_ranges(lexed: &Lexed, markers: &[&str]) -> Vec<(usize, usize)> {
     let toks = &lexed.tokens;
     let t = |i: usize| toks.get(i).map(|t| t.text.as_str());
     let mut ranges = Vec::new();
@@ -950,6 +971,194 @@ fn robustness(lexed: &Lexed, ctx: &FileContext, in_agent: bool, findings: &mut V
             );
         }
     }
+}
+
+/// True when `name` carries one of the marker substrings
+/// (case-insensitive) that scope a purity family to a function.
+pub(crate) fn is_marked(name: &str, markers: &[&str]) -> bool {
+    let lower = name.to_ascii_lowercase();
+    markers.iter().any(|m| lower.contains(m))
+}
+
+/// The interprocedural rule pass: re-bases the marked-fn purity
+/// families and the crate-scoped determinism/non-interference rules on
+/// transitive effect summaries, so an impurity moved N calls deep is a
+/// finding at the call site that first crosses the scope boundary,
+/// with the offending chain printed.
+///
+/// Findings are emitted exactly at boundary-crossing call edges:
+///
+/// * a *marked* function (snapshot / store-key / swap) calling an
+///   *unmarked* function whose summary carries a forbidden effect —
+///   the callee's own body, if marked, is covered by the local rules
+///   and its own call edges, so every bad path is flagged exactly once
+///   (induction over the call chain);
+/// * a *sim-crate* function calling outside the sim crates (inside
+///   them, the callee's own file is already checked locally);
+/// * an *Agent-crate* function calling outside the Agent crates with
+///   an arch-mutation effect in the callee's summary.
+///
+/// Returns raw findings; allow filtering happens at the `lib.rs`
+/// level like everywhere else.
+pub fn check_transitive(
+    ctxs: &[FileContext],
+    fns: &[crate::graph::FnRef],
+    graph: &crate::graph::CallGraph,
+    effects: &crate::effects::Effects,
+) -> Vec<Finding> {
+    use crate::effects::Effect;
+    let displays: Vec<String> = ctxs.iter().map(|c| c.display.clone()).collect();
+    let mut out = Vec::new();
+    for (fi, f) in fns.iter().enumerate() {
+        let ctx = &ctxs[f.file];
+        if ctx.exempt {
+            continue;
+        }
+        let crate_name = ctx.crate_name.as_deref();
+        let f_snapshot = is_marked(&f.item.name, SNAPSHOT_FN_MARKERS);
+        let f_store_key = is_marked(&f.item.name, STORE_KEY_FN_MARKERS);
+        let f_swap = is_marked(&f.item.name, SWAP_FN_MARKERS)
+            && crate_name.is_some_and(|c| SWAP_PURITY_CRATES.contains(&c));
+        let f_sim = crate_name.is_some_and(|c| SIM_CRATES.contains(&c));
+        let f_agent = crate_name.is_some_and(|c| AGENT_CRATES.contains(&c));
+        if !(f_snapshot || f_store_key || f_swap || f_sim || f_agent) {
+            continue;
+        }
+        // One finding per (rule, call-site line): the first effect and
+        // first name-match candidate ground the diagnostic.
+        let mut seen: std::collections::BTreeSet<(&'static str, u32)> =
+            std::collections::BTreeSet::new();
+        for &(c, line) in &graph.callees[fi] {
+            let cs = effects.summary[c];
+            if cs.is_empty() {
+                continue;
+            }
+            let callee = &fns[c];
+            let callee_crate = ctxs[callee.file].crate_name.as_deref();
+            let fire = |out: &mut Vec<Finding>,
+                        seen: &mut std::collections::BTreeSet<(&'static str, u32)>,
+                        family: &'static str,
+                        rule: &'static str,
+                        e: Effect,
+                        scope: &str,
+                        effect_desc: &str| {
+                if !cs.has(e) || !seen.insert((rule, line)) {
+                    return;
+                }
+                out.push(Finding {
+                    file: ctx.display.clone(),
+                    line,
+                    family,
+                    rule,
+                    message: format!(
+                        "{scope} `{}` calls `{}`, which transitively reaches {effect_desc}",
+                        f.item.name, callee.item.name
+                    ),
+                    path: effects.witness_path(fns, &displays, c, e),
+                });
+            };
+            if f_snapshot && !is_marked(&callee.item.name, SNAPSHOT_FN_MARKERS) {
+                fire(
+                    &mut out,
+                    &mut seen,
+                    "determinism",
+                    "snapshot-wall-clock",
+                    Effect::WallClock,
+                    "snapshot path",
+                    "a wall-clock read; snapshot bytes must be a function of machine state",
+                );
+                for e in [Effect::HashIter, Effect::FxHashIter] {
+                    fire(
+                        &mut out,
+                        &mut seen,
+                        "determinism",
+                        "snapshot-hash-iter",
+                        e,
+                        "snapshot path",
+                        "hash-ordered iteration; snapshot bytes must be canonical",
+                    );
+                }
+            }
+            if f_store_key && !is_marked(&callee.item.name, STORE_KEY_FN_MARKERS) {
+                for (e, desc) in [
+                    (
+                        Effect::WallClock,
+                        "a wall-clock read; a key that embeds time never hits twice",
+                    ),
+                    (
+                        Effect::EnvRead,
+                        "an environment read; a key that embeds the environment is unreproducible",
+                    ),
+                    (
+                        Effect::HashIter,
+                        "hash-ordered iteration; fold keys in sorted order",
+                    ),
+                    (
+                        Effect::FxHashIter,
+                        "hash-ordered (Fx) iteration; fold keys in sorted order",
+                    ),
+                ] {
+                    fire(
+                        &mut out,
+                        &mut seen,
+                        "determinism",
+                        "store-key-purity",
+                        e,
+                        "store-key/fingerprint constructor",
+                        desc,
+                    );
+                }
+            }
+            let callee_swap_checked = is_marked(&callee.item.name, SWAP_FN_MARKERS)
+                && callee_crate.is_some_and(|c| SWAP_PURITY_CRATES.contains(&c));
+            if f_swap && !callee_swap_checked {
+                for (e, desc) in [
+                    (Effect::WallClock, "a wall-clock read; drain and load windows are simulated cycles"),
+                    (
+                        Effect::ArchMutation,
+                        "an architectural-state mutator; swaps must leave the committed stream bit-identical",
+                    ),
+                ] {
+                    fire(
+                        &mut out, &mut seen,
+                        "robustness", "swap-purity",
+                        e, "reconfiguration path", desc,
+                    );
+                }
+            }
+            let callee_in_sim = callee_crate.is_some_and(|c| SIM_CRATES.contains(&c));
+            if f_sim && !callee_in_sim {
+                for (rule, e, desc) in [
+                    ("wall-clock", Effect::WallClock, "a wall-clock read"),
+                    ("rng", Effect::Rng, "an entropy-seeded RNG"),
+                    ("hash-iter", Effect::HashIter, "unordered hash iteration"),
+                ] {
+                    fire(
+                        &mut out,
+                        &mut seen,
+                        "determinism",
+                        rule,
+                        e,
+                        "simulation code",
+                        desc,
+                    );
+                }
+            }
+            let callee_in_agent = callee_crate.is_some_and(|c| AGENT_CRATES.contains(&c));
+            if f_agent && !callee_in_agent {
+                fire(
+                    &mut out, &mut seen,
+                    "noninterference", "arch-mutation",
+                    Effect::ArchMutation,
+                    "Agent code",
+                    "an architectural-state mutator; fabric components may only observe and emit `FabricIo` packets",
+                );
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
 }
 
 #[cfg(test)]

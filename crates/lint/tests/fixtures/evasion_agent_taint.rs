@@ -1,0 +1,30 @@
+//! Seeded evasion: values returned from Agent hooks flowing into
+//! architectural-state mutators — once directly, once laundered
+//! through a helper's parameter. Hook values may steer
+//! microarchitecture only; both flows must be findings with the call
+//! chain printed.
+
+impl Core {
+    pub fn consume_direct(&mut self) {
+        let dir = self.hooks.fetch_inst(self.seq, self.pc, false);
+        self.machine.set_pc(dir.target);
+    }
+
+    pub fn consume_via_helper(&mut self) {
+        let v = self.hooks.pop_load();
+        self.apply_value(v);
+    }
+
+    fn apply_value(&mut self, v: u64) {
+        self.machine.set_reg(3, v);
+    }
+
+    /// Sanctioned shape: comparing the hook value and then mutating
+    /// with untainted arguments is steering, not data flow.
+    pub fn consume_steering_only(&mut self, seq: u64) {
+        let d = self.hooks.on_retire(&self.info);
+        if d == Directive::SquashYounger {
+            self.machine.commit_store(seq);
+        }
+    }
+}

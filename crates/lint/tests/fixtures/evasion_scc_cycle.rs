@@ -1,0 +1,32 @@
+//! Seeded evasion: the impurity sits below a mutually recursive pair.
+//! Summary propagation must converge on the cycle and still surface
+//! the clock read from the snapshot-marked entry point.
+
+use std::time::SystemTime;
+
+pub fn snapshot_tree(depth: u32) -> u64 {
+    walk_even(depth)
+}
+
+fn walk_even(d: u32) -> u64 {
+    if d == 0 {
+        stamp()
+    } else {
+        walk_odd(d - 1)
+    }
+}
+
+fn walk_odd(d: u32) -> u64 {
+    if d == 0 {
+        1
+    } else {
+        walk_even(d - 1)
+    }
+}
+
+fn stamp() -> u64 {
+    match SystemTime::now().duration_since(SystemTime::UNIX_EPOCH) {
+        Ok(d) => d.as_secs(),
+        Err(_) => 0,
+    }
+}

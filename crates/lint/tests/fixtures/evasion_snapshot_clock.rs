@@ -1,0 +1,38 @@
+//! Seeded evasion: wall-clock reads hidden one and two calls below
+//! snapshot functions. The local token rule only sees `Instant::now()`
+//! at its own line; the transitive effect summaries must surface the
+//! marked entry points too, with the offending call path.
+
+use std::time::Instant;
+
+pub struct Window {
+    last: u64,
+}
+
+impl Window {
+    /// Snapshot-marked: must be replay-pure, but its helper reads the
+    /// clock one call down.
+    pub fn snapshot_encode(&self) -> Vec<u8> {
+        let stamp = self.one_deep();
+        stamp.to_le_bytes().to_vec()
+    }
+
+    /// Snapshot-marked: the clock sits two calls down.
+    pub fn snapshot_state(&self) -> u64 {
+        self.two_deep_entry()
+    }
+
+    fn one_deep(&self) -> u64 {
+        Instant::now().elapsed().as_nanos() as u64
+    }
+
+    fn two_deep_entry(&self) -> u64 {
+        self.two_deep_leaf()
+    }
+
+    fn two_deep_leaf(&self) -> u64 {
+        let t = Instant::now();
+        let _ = t;
+        self.last
+    }
+}

@@ -1,0 +1,21 @@
+//! Seeded evasion: an environment read hidden below a store-key
+//! function. Store keys must depend on content only — a host-specific
+//! salt silently forks the result store across machines.
+
+pub fn fingerprint(parts: &[String]) -> u64 {
+    let salt = host_salt();
+    let mut h = 0xcbf29ce484222325u64;
+    for p in parts {
+        for b in p.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h ^ salt
+}
+
+fn host_salt() -> u64 {
+    match std::env::var("PFM_SALT") {
+        Ok(v) => v.len() as u64,
+        Err(_) => 0,
+    }
+}

@@ -1,0 +1,21 @@
+//! Seeded evasion: a runtime-reconfiguration path reaching an
+//! architectural-state mutator (and, separately, the wall clock)
+//! through helpers. Swap paths must stay quiescence-pure.
+
+impl FabricSlot {
+    pub fn begin_swap(&mut self, epoch: u64) {
+        self.quiesce(epoch);
+    }
+
+    fn quiesce(&mut self, epoch: u64) {
+        self.machine.set_reg(0, epoch);
+    }
+
+    pub fn drain_queues(&mut self) -> u64 {
+        self.settle()
+    }
+
+    fn settle(&mut self) -> u64 {
+        std::time::Instant::now().elapsed().as_nanos() as u64
+    }
+}

@@ -1,0 +1,214 @@
+//! Interprocedural integration tests: the seeded evasion corpus (each
+//! fixture MUST produce its finding, with the offending call path
+//! printed), convergence over the recursive fixture, the `pfm-lint/1`
+//! JSON byte-pin, and the `--graph` dump.
+
+use pfm_lint::{analyze, json, lint_analysis, lint_source, render_graph, FileContext, Finding};
+
+/// A source inside the core crate (determinism + taint scope).
+fn core_ctx() -> FileContext {
+    FileContext {
+        display: "crates/core/src/fixture.rs".to_string(),
+        crate_name: Some("core".to_string()),
+        exempt: false,
+    }
+}
+
+/// A source inside an Agent crate (swap purity + non-interference).
+fn fabric_ctx() -> FileContext {
+    FileContext {
+        display: "crates/fabric/src/fixture.rs".to_string(),
+        crate_name: Some("fabric".to_string()),
+        exempt: false,
+    }
+}
+
+/// A source outside the sim crates (only hygiene applies).
+fn tool_ctx() -> FileContext {
+    FileContext {
+        display: "crates/bench/src/fixture.rs".to_string(),
+        crate_name: Some("bench".to_string()),
+        exempt: false,
+    }
+}
+
+fn with_rule<'a>(findings: &'a [Finding], rule: &str) -> Vec<&'a Finding> {
+    findings.iter().filter(|f| f.rule == rule).collect()
+}
+
+#[test]
+fn snapshot_clock_evasion_is_found_one_and_two_deep() {
+    let src = include_str!("fixtures/evasion_snapshot_clock.rs");
+    let findings = lint_source(src, &core_ctx());
+    let hits = with_rule(&findings, "snapshot-wall-clock");
+    assert!(
+        hits.len() >= 2,
+        "both entry points must fire: {findings:#?}"
+    );
+    assert!(hits.iter().all(|f| !f.path.is_empty()), "{hits:#?}");
+    let joined: Vec<String> = hits.iter().map(|f| f.path.join(" -> ")).collect();
+    assert!(
+        joined.iter().any(|p| p.contains("one_deep")),
+        "one-deep path missing: {joined:?}"
+    );
+    assert!(
+        joined
+            .iter()
+            .any(|p| p.contains("two_deep_entry") && p.contains("two_deep_leaf")),
+        "two-deep chain must print both hops: {joined:?}"
+    );
+}
+
+#[test]
+fn store_key_env_evasion_is_found() {
+    let src = include_str!("fixtures/evasion_store_key_env.rs");
+    let findings = lint_source(src, &core_ctx());
+    let hits = with_rule(&findings, "store-key-purity");
+    assert_eq!(hits.len(), 1, "{findings:#?}");
+    assert!(
+        hits[0].path.join(" -> ").contains("host_salt"),
+        "path must name the env-reading helper: {:?}",
+        hits[0].path
+    );
+}
+
+#[test]
+fn agent_taint_evasion_is_found_direct_and_via_helper() {
+    let src = include_str!("fixtures/evasion_agent_taint.rs");
+    let findings = lint_source(src, &core_ctx());
+    let hits = with_rule(&findings, "agent-taint");
+    assert_eq!(
+        hits.len(),
+        2,
+        "direct + via-helper flows, steering-only stays clean: {findings:#?}"
+    );
+    assert!(hits.iter().all(|f| f.family == "noninterference"));
+    let joined: Vec<String> = hits.iter().map(|f| f.path.join(" -> ")).collect();
+    assert!(joined.iter().any(|p| p.contains("set_pc")), "{joined:?}");
+    assert!(
+        joined
+            .iter()
+            .any(|p| p.contains("apply_value") && p.contains("set_reg")),
+        "laundered flow must print the helper hop: {joined:?}"
+    );
+}
+
+#[test]
+fn scc_cycle_evasion_converges_and_is_found() {
+    let src = include_str!("fixtures/evasion_scc_cycle.rs");
+    let findings = lint_source(src, &core_ctx());
+    let hits = with_rule(&findings, "snapshot-wall-clock");
+    assert_eq!(hits.len(), 1, "{findings:#?}");
+    let p = hits[0].path.join(" -> ");
+    assert!(
+        p.contains("walk_even") && p.contains("stamp"),
+        "path must thread the cycle to the clock: {p}"
+    );
+
+    // The cycle members share the summary at fixpoint (monotone union
+    // converged over the SCC).
+    let a = analyze(vec![(core_ctx(), src.to_string())]);
+    let idx = |n: &str| {
+        a.fns
+            .iter()
+            .position(|f| f.item.name == n)
+            .unwrap_or_else(|| panic!("no fn {n}"))
+    };
+    let even = a.effects.summary[idx("walk_even")];
+    let odd = a.effects.summary[idx("walk_odd")];
+    assert!(even.names().contains(&"wall-clock"), "{:?}", even.names());
+    assert_eq!(even.names(), odd.names(), "SCC members agree at fixpoint");
+}
+
+#[test]
+fn swap_mutator_evasion_is_found() {
+    let src = include_str!("fixtures/evasion_swap_mutator.rs");
+    let findings = lint_source(src, &fabric_ctx());
+    let hits = with_rule(&findings, "swap-purity");
+    assert!(
+        hits.len() >= 2,
+        "mutator and clock variants must both fire: {findings:#?}"
+    );
+    let joined: Vec<String> = hits.iter().map(|f| f.path.join(" -> ")).collect();
+    assert!(joined.iter().any(|p| p.contains("quiesce")), "{joined:?}");
+    assert!(joined.iter().any(|p| p.contains("settle")), "{joined:?}");
+}
+
+#[test]
+fn analysis_is_deterministic() {
+    let src = include_str!("fixtures/evasion_snapshot_clock.rs");
+    let a = lint_source(src, &core_ctx());
+    let b = lint_source(src, &core_ctx());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn json_report_is_byte_pinned() {
+    let findings = lint_source("fn f() { x.unwrap(); }", &tool_ctx());
+    assert_eq!(findings.len(), 1);
+    let doc = json::render(&findings);
+    assert_eq!(
+        doc,
+        "{\"schema\":\"pfm-lint/1\",\"count\":1,\"findings\":[{\"file\":\
+         \"crates/bench/src/fixture.rs\",\"line\":1,\"family\":\"hygiene\",\
+         \"rule\":\"unwrap\",\"message\":\"`.unwrap()` in non-test code; \
+         plumb the error with context or justify with `// pfm-lint: \
+         allow(hygiene)`\",\"path\":[]}]}\n"
+    );
+}
+
+#[test]
+fn json_paths_round_trip_through_rendering() {
+    let src = include_str!("fixtures/evasion_scc_cycle.rs");
+    let findings = lint_source(src, &core_ctx());
+    let doc = json::render(&findings);
+    assert!(doc.starts_with("{\"schema\":\"pfm-lint/1\",\"count\":"));
+    assert!(doc.contains("\"rule\":\"snapshot-wall-clock\""));
+    assert!(doc.contains("walk_even"), "paths must survive rendering");
+    assert!(doc.ends_with("]}\n"));
+}
+
+#[test]
+fn graph_dump_lists_fns_edges_and_effects() {
+    let src = include_str!("fixtures/evasion_snapshot_clock.rs");
+    let a = analyze(vec![(core_ctx(), src.to_string())]);
+    let text = render_graph(&a, false);
+    assert!(text.contains("fn snapshot_encode"), "{text}");
+    assert!(text.contains("-> one_deep"), "{text}");
+    assert!(
+        text.contains("fn one_deep [effects: wall-clock]"),
+        "summaries must be printed: {text}"
+    );
+    let dot = render_graph(&a, true);
+    assert!(dot.starts_with("digraph"), "{dot}");
+    assert!(dot.contains("n0"), "{dot}");
+    assert!(dot.ends_with("}\n"), "{dot}");
+}
+
+#[test]
+fn lint_analysis_spans_files() {
+    // The helper lives in a different file of the same crate; the
+    // joint analysis must still thread the chain.
+    let entry = "pub fn snapshot_all(w: &W) -> u64 { helper_stamp(w) }";
+    let helper = "pub fn helper_stamp(_w: &W) -> u64 {\n\
+                  std::time::SystemTime::now().elapsed().unwrap().as_secs()\n\
+                  }";
+    let mk = |name: &str| FileContext {
+        display: format!("crates/core/src/{name}.rs"),
+        crate_name: Some("core".to_string()),
+        exempt: false,
+    };
+    let a = analyze(vec![
+        (mk("entry"), entry.to_string()),
+        (mk("helper"), helper.to_string()),
+    ]);
+    let findings = lint_analysis(&a);
+    let hits = with_rule(&findings, "snapshot-wall-clock");
+    assert_eq!(hits.len(), 1, "{findings:#?}");
+    assert_eq!(hits[0].file, "crates/core/src/entry.rs");
+    assert!(
+        hits[0].path.join(" -> ").contains("helper_stamp"),
+        "{:?}",
+        hits[0].path
+    );
+}

@@ -315,7 +315,6 @@ pub fn run_sampled(
         functional_instrs: fx.retired(),
         functional_completed: fx.halted(),
         rows,
-        // pfm-lint: allow(determinism): feeds the wall-clock report only, never results
         wall_seconds: started.elapsed().as_secs_f64(),
     })
 }
